@@ -1,0 +1,161 @@
+"""Ablation — Aggregation Trees are not competitive (Section 2).
+
+"A recent comprehensive performance study showed that even with a high
+degree of parallelism, the performance of the Aggregation Tree approach
+is not competitive [13]" and "the speed-up is far from linear and the
+scalability is limited" [8, 9].  This bench runs the same full temporal
+aggregation through four evaluators:
+
+* the Kline-Snodgrass tree (degenerate on chronological input),
+* the balanced (AVL) tree,
+* the Gendrano-style parallel balanced tree at 8 workers,
+* ParTime at 8 workers (pure mode — same per-record discipline).
+
+Expected: ParTime wins by a wide margin; the parallel tree's speed-up
+over the sequential one is visibly sub-linear (its merge is sequential).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.aggtree import aggregation_tree_aggregate, parallel_aggregation_tree
+from repro.bench import format_table, write_result
+from repro.core import ParTime, TemporalAggregationQuery
+from repro.simtime import SerialExecutor
+from repro.workloads import TPCBiHConfig, TPCBiHDataset
+
+WORKERS = 8
+
+
+def _sorted_open_versions(table, limit):
+    """``limit`` currently-open versions in commit (tt_start) order.
+
+    Open versions generate only their *start* boundary (no end event), so
+    a commit-ordered scan feeds the tree strictly ascending keys — the
+    degenerate case.  (With finite ends in the mix, the scattered end
+    boundaries accidentally re-balance the unbalanced tree, which is why
+    the degeneration claim needs this workload shape to show.)"""
+    import numpy as np
+
+    from repro.temporal.table import TableChunk
+    from repro.temporal.timestamps import FOREVER
+
+    chunk = table.chunk()
+    open_mask = chunk.column("tt_end") >= FOREVER
+    sub = chunk.select(open_mask)
+    order = np.argsort(sub.column("tt_start"), kind="stable")[:limit]
+    return TableChunk(
+        schema=sub.schema,
+        columns={name: arr[order] for name, arr in sub.columns.items()},
+    )
+
+
+def test_ablation_aggregation_trees(benchmark):
+    dataset = TPCBiHDataset(TPCBiHConfig(scale_factor=1.0, seed=3))
+    table = dataset.orders
+
+    timings = {}
+    results = {}
+
+    def measure(name, fn, repeats=2):
+        best, out = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            out = fn()
+            best = min(best, time.perf_counter() - t0)
+        timings[name] = best
+        results[name] = out
+
+    # --- Part A: degeneration on commit-ordered input (small subset; the
+    # unbalanced tree is quadratic there, so keep it feasible).
+    DEGEN_ROWS = 3_000
+    sorted_chunk = _sorted_open_versions(table, DEGEN_ROWS)
+    measure(
+        f"Kline-Snodgrass, {DEGEN_ROWS} sorted rows",
+        lambda: aggregation_tree_aggregate(
+            sorted_chunk, "tt", "totalprice", "sum", balanced=False
+        ),
+        repeats=1,  # quadratic; one run is plenty
+    )
+    measure(
+        f"Balanced (AVL), {DEGEN_ROWS} sorted rows",
+        lambda: aggregation_tree_aggregate(
+            sorted_chunk, "tt", "totalprice", "sum", balanced=True
+        ),
+    )
+
+    # --- Part B: competitiveness on the full table.
+    measure(
+        "Balanced tree (Boehlen, AVL)",
+        lambda: aggregation_tree_aggregate(
+            table.chunk(), "tt", "totalprice", "sum", balanced=True
+        ),
+    )
+
+    def parallel_tree():
+        executor = SerialExecutor(slots=WORKERS)
+        rows = parallel_aggregation_tree(
+            table.chunks(WORKERS), "tt", "totalprice", "sum",
+            balanced=True, executor=executor,
+        )
+        # Simulated elapsed: parallel build makespan + sequential merge.
+        timings["parallel tree (simulated)"] = executor.clock.elapsed
+        return rows
+
+    measure(f"Parallel trees ({WORKERS} workers, wall)", parallel_tree)
+
+    def partime():
+        executor = SerialExecutor(slots=WORKERS)
+        query = TemporalAggregationQuery(
+            varied_dims=("tt",), value_column="totalprice", aggregate="sum"
+        )
+        out = ParTime(mode="pure").execute(
+            table, query, workers=WORKERS, executor=executor
+        )
+        timings["ParTime (simulated)"] = executor.clock.elapsed
+        return out
+
+    measure(f"ParTime ({WORKERS} workers, pure mode, wall)", partime)
+
+    benchmark.pedantic(
+        lambda: aggregation_tree_aggregate(
+            table.chunk(0, 4_000), "tt", "totalprice", "sum", balanced=True
+        ),
+        rounds=2,
+        iterations=1,
+    )
+
+    # All evaluators agree (compare uncoalesced tree output with ParTime's
+    # coalesced rows pointwise).
+    tree_rows = dict(
+        (iv.start, v) for iv, v in results["Balanced tree (Boehlen, AVL)"]
+    )
+    partime_result = results[f"ParTime ({WORKERS} workers, pure mode, wall)"]
+    for start, value in list(tree_rows.items())[::37]:
+        got = partime_result.value_at(start) or 0
+        # Different accumulation orders: compare with relative tolerance.
+        assert abs(got - value) <= 1e-9 * max(1.0, abs(value))
+
+    rows = [(name, seconds) for name, seconds in timings.items()]
+    text = format_table(
+        "Ablation: Aggregation Trees vs ParTime (full TT aggregation, "
+        "TPC-BiH orders SF=1)",
+        ["evaluator", "seconds"],
+        rows,
+        notes=[
+            "chronological input degenerates the Kline-Snodgrass tree",
+            "the parallel tree's sequential merge caps its speed-up",
+        ],
+    )
+    write_result("ablation_aggtree", text)
+
+    kline = timings["Kline-Snodgrass, 3000 sorted rows"]
+    avl_small = timings["Balanced (AVL), 3000 sorted rows"]
+    avl = timings["Balanced tree (Boehlen, AVL)"]
+    par_sim = timings["parallel tree (simulated)"]
+    partime_sim = timings["ParTime (simulated)"]
+    assert kline > 3 * avl_small  # degeneration hurts badly
+    assert par_sim < avl  # parallelism helps some...
+    assert par_sim > avl / WORKERS * 2  # ...but far from linearly
+    assert partime_sim < par_sim  # ParTime wins even in pure mode

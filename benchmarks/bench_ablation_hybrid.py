@@ -1,0 +1,106 @@
+"""Ablation — the hybrid index + scan (future work #2).
+
+Section 6 asks whether ParTime can "co-exist with indexes such as the
+Timeline Index ... partially index historic data that is not updated and
+apply ParTime only to fresh and recently appended data."  This bench
+plays one operational cycle of that design on a large, mostly-frozen
+bookings table:
+
+1. **absorb one second of the update stream** (250 updates) — the
+   Timeline must refresh (re-scan ends, rebuild checkpoints); the hybrid
+   and plain ParTime need nothing;
+2. **answer a range-restricted aggregation over recent history** — plain
+   ParTime re-derives and sorts every event from the base table; the
+   hybrid answers the frozen part from its pre-sorted index (predicate-
+   free fast path: O(range)) and scans only the fresh tail.
+
+Expected: maintenance — hybrid ≈ ParTime ≈ 0 ≪ Timeline refresh; query —
+hybrid beats plain ParTime and sits near the Timeline.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import format_table, write_result
+from repro.core import ParTime, TemporalAggregationQuery
+from repro.temporal import Interval
+from repro.timeline import TimelineEngine
+from repro.timeline.hybrid import HybridAggregator
+from repro.workloads import AmadeusConfig, AmadeusWorkload
+
+
+def test_ablation_hybrid_index_scan(benchmark):
+    workload = AmadeusWorkload(AmadeusConfig(num_bookings=120_000, seed=19))
+    table = workload.table
+    horizon = int(table.column("tt_start").max())
+
+    hybrid = HybridAggregator(table)  # freeze the whole history now
+    timeline = TimelineEngine(value_columns=("fare",))
+    timeline.bulkload(table)
+
+    # --- 1. absorb updates -------------------------------------------------
+    updates = workload.update_stream(250)
+    t0 = time.perf_counter()
+    for op in updates:
+        table.update(op.key_value, op.changes, op.business, missing_ok=True)
+    apply_s = time.perf_counter() - t0  # paid by every design
+    refresh_s = timeline.refresh()  # paid by the Timeline only
+    hybrid_maintenance_s = 0.0  # by construction
+
+    # --- 2. range-restricted aggregation over recent history ---------------
+    query = TemporalAggregationQuery(
+        varied_dims=("tt",),
+        value_column="fare",
+        aggregate="sum",
+        query_intervals={"tt": Interval(int(horizon * 0.9), horizon + 300)},
+    )
+
+    def best(fn, repeats=3):
+        out = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            out = min(out, time.perf_counter() - t0)
+        return out
+
+    partime_q = best(lambda: ParTime().execute(table, query, workers=1))
+    hybrid_q = best(lambda: hybrid.execute(query, workers=1))
+    timeline_q = best(lambda: timeline.temporal_aggregation(query))
+
+    # Correctness across all three.
+    a = ParTime().execute(table, query, workers=1)
+    b = hybrid.execute(query, workers=1)
+    c, _s = timeline.temporal_aggregation(query)
+    for probe in range(int(horizon * 0.9), horizon + 1, max(1, horizon // 50)):
+        va, vb, vc = a.value_at(probe), b.value_at(probe), c.value_at(probe)
+        assert vb is not None and abs(vb - va) <= 1e-6 * max(1.0, abs(va))
+        assert vc is not None and abs(vc - va) <= 1e-6 * max(1.0, abs(va))
+
+    benchmark.pedantic(
+        lambda: hybrid.execute(query, workers=1), rounds=3, iterations=1
+    )
+
+    rows = [
+        ("plain ParTime", 0.0, partime_q),
+        ("hybrid index+scan", hybrid_maintenance_s, hybrid_q),
+        ("Timeline Index", refresh_s, timeline_q),
+        ("(update application, all designs)", apply_s, float("nan")),
+    ]
+    text = format_table(
+        "Ablation: hybrid index+scan — one update/query cycle "
+        f"({len(table):,} rows, {hybrid.fresh_rows} fresh)",
+        ["design", "maintenance s", "query s"],
+        rows,
+        notes=[
+            "maintenance: the Timeline refreshes its event maps and"
+            " checkpoints; ParTime and the hybrid maintain nothing",
+            "query: recent-history aggregation; the hybrid reads frozen"
+            " history from its pre-sorted index and scans only fresh rows",
+        ],
+    )
+    write_result("ablation_hybrid", text)
+
+    assert refresh_s > 50 * (hybrid_maintenance_s + 1e-9)
+    assert hybrid_q < partime_q, "the frozen index must pay off"
+    assert hybrid_q < 10 * timeline_q, "and sit in the Timeline's ballpark"

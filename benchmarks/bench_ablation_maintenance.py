@@ -1,0 +1,73 @@
+"""Ablation — the maintenance cost that disqualifies the Timeline Index.
+
+The paper's core systems argument (Sections 1, 2, 5.3.3): the Timeline
+Index is the query-speed lower bound, but "for update-intensive workloads,
+maintaining the Timeline Index is prohibitively expensive", so Crescando +
+ParTime — which maintains *nothing* — is the only design that sustains the
+Amadeus workload.  This bench quantifies that trade on one second of the
+update stream (250 updates): the cluster applies them as ordinary writes;
+the Timeline must additionally refresh its event maps and rebuild its
+checkpoints (and the business-time dimension forces a full re-sort).
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, write_result
+from repro.storage import Cluster
+from repro.timeline import TimelineEngine
+from repro.temporal import TemporalTable
+from repro.workloads.bulk import append_rows
+
+
+def _clone(table):
+    clone = TemporalTable(table.schema)
+    append_rows(
+        clone,
+        {name: table.column(name) for name in table.schema.physical_columns()},
+        next_version=table.current_version,
+    )
+    return clone
+
+
+def test_ablation_timeline_maintenance(benchmark, amadeus_small):
+    workload = amadeus_small
+    updates = workload.update_stream(250)
+
+    # Crescando: just apply the writes.
+    cluster = Cluster.from_table(workload.table, 4)
+    batch = cluster.execute_batch(list(updates))
+    crescando_s = batch.write_seconds
+
+    # Timeline: the same writes hit a base table, then the index refreshes.
+    shadow = _clone(workload.table)
+    timeline = TimelineEngine(value_columns=("fare", "seats"))
+    timeline.bulkload(shadow)
+    for op in updates:
+        shadow.update(op.key_value, op.changes, op.business, missing_ok=True)
+    refresh_s = min(timeline.refresh() for _ in range(1))
+
+    def rerun():
+        return timeline.refresh()
+
+    benchmark.pedantic(rerun, rounds=2, iterations=1)
+
+    rows = [
+        ("Crescando + ParTime (apply writes)", crescando_s),
+        ("Timeline Index (apply + refresh)", crescando_s + refresh_s),
+        ("  of which: index refresh", refresh_s),
+    ]
+    text = format_table(
+        "Ablation: cost of one second of the Amadeus update stream "
+        "(250 updates, simulated seconds)",
+        ["system", "seconds"],
+        rows,
+        notes=[
+            "the Timeline must rescan end timestamps, append/re-sort events"
+            " and rebuild checkpoints on every refresh — the cost that makes"
+            " materialisation unviable for update-intensive workloads",
+        ],
+    )
+    write_result("ablation_maintenance", text)
+
+    # The refresh alone must dwarf the write application.
+    assert refresh_s > 3 * crescando_s

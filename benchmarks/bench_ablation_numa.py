@@ -1,0 +1,82 @@
+"""Ablation — NUMA-aware data placement.
+
+Section 5.1: "in all cases … we made sure that the allocated memory was
+close to the used cores to the extent possible.  This NUMA-awareness was
+critical to achieve good performance for all four systems."  ParTime's
+design makes that placement easy — "each core … compute[s] data from a
+different partition of the database with memory affinity" (Section 1).
+
+This bench contrasts NUMA-aware placement (each partition in its worker's
+region) against naive allocation (all partitions in region 0, workers
+spread over the four sockets): remote workers pay the modelled
+remote-access penalty on their scan work, and — worse — the *slowest*
+worker sets the parallel phase, so the penalty hits response times at
+full strength.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_series, write_result
+from repro.core import TemporalAggregationQuery, WindowSpec
+from repro.simtime.machine import PAPER_MACHINE
+from repro.storage import Cluster, TemporalAggQuery
+from repro.temporal import CurrentVersion
+
+CORES = [4, 8, 16, 32]
+
+
+def test_ablation_numa_placement(benchmark, amadeus_large):
+    table = amadeus_large.table
+    # A scan-bound probe: windowed aggregation over the whole table has a
+    # fixed, tiny result, so Step 1 (where the NUMA penalty lives)
+    # dominates the response time.
+    query = TemporalAggregationQuery(
+        varied_dims=("bt",),
+        value_column="seats",
+        aggregate="sum",
+        predicate=CurrentVersion("tt"),
+        window=WindowSpec(0, 7, 60),
+    )
+    op = TemporalAggQuery(query)
+
+    points = {"NUMA-aware": [], "naive allocation": []}
+    for cores in CORES:
+        storage = max(1, cores // 2)
+        for label, aware in (("NUMA-aware", True), ("naive allocation", False)):
+            cluster = Cluster.from_table(
+                table, storage, numa_aware=aware
+            )
+            best = min(
+                cluster.execute_batch([op]).response_time(op.op_id)
+                for _ in range(3)
+            )
+            points[label].append((cores, best))
+
+    def rerun():
+        cluster = Cluster.from_table(table, 8, numa_aware=True)
+        return cluster.execute_batch([op])
+
+    benchmark.pedantic(rerun, rounds=1, iterations=1)
+
+    text = format_series(
+        "Ablation: NUMA-aware vs naive placement (response time, s, simulated)",
+        "cores",
+        points,
+        notes=[
+            f"remote-access penalty: {PAPER_MACHINE.remote_access_penalty}x"
+            " on scan work of workers outside the data's region",
+            "the straggler effect makes the penalty bind at full strength",
+        ],
+    )
+    write_result("ablation_numa", text)
+
+    aware = dict(points["NUMA-aware"])
+    naive = dict(points["naive allocation"])
+    # Up to 16 cores the 8 storage workers fit one socket (8 cores per
+    # socket): no remote access, both placements behave alike.
+    for cores in (4, 8, 16):
+        assert naive[cores] <= aware[cores] * 1.25, cores
+    # At 32 cores the 16 storage workers span two sockets: half of them
+    # scan remote memory under naive placement, and the slowest worker
+    # sets the response time.
+    assert naive[32] > aware[32] * 1.1

@@ -1,0 +1,88 @@
+"""Ablation — pivot dimension choice for multi-dimensional aggregation.
+
+Section 3.4: "it is best to choose the time dimension with the least
+distinct values ... because that will minimize the size of the delta map
+generated in Step 1."  This bench builds a bookings table whose business
+time is coarse (few distinct days) while transaction time is fine (every
+commit distinct), runs the same 2-D query with both pivots, and compares
+delta-map sizes and response times.  The statistics-driven chooser must
+pick the coarse dimension.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import (
+    ParTime,
+    TemporalAggregationQuery,
+    choose_pivot,
+    collect_statistics,
+)
+from repro.bench import format_table, write_result
+from repro.workloads import AmadeusConfig, AmadeusWorkload
+
+
+def test_ablation_pivot_choice(benchmark):
+    workload = AmadeusWorkload(AmadeusConfig(num_bookings=1_500, seed=33))
+    table = workload.table
+
+    stats = {s.dim: s for s in collect_statistics(table, ["bt", "tt"])}
+    # Business time is day-granular (coarse); transaction time is one
+    # timestamp per commit (fine).
+    assert stats["bt"].distinct_timestamps < stats["tt"].distinct_timestamps
+    best = choose_pivot(list(stats.values()), ["bt", "tt"])
+    assert best == "bt"
+
+    measurements = {}
+    for pivot in ("bt", "tt"):
+        query = TemporalAggregationQuery(
+            varied_dims=("bt", "tt"),
+            value_column="seats",
+            aggregate="sum",
+            pivot=pivot,
+        )
+        operator = ParTime()
+        t0 = time.perf_counter()
+        result = operator.execute(table, query, workers=2)
+        seconds = time.perf_counter() - t0
+        measurements[pivot] = (
+            operator.last_stats.delta_entries,
+            seconds,
+            len(result),
+        )
+
+    def rerun():
+        query = TemporalAggregationQuery(
+            varied_dims=("bt", "tt"), value_column="seats", pivot="bt"
+        )
+        return ParTime().execute(table, query, workers=2)
+
+    benchmark.pedantic(rerun, rounds=1, iterations=1)
+
+    rows = [
+        (
+            f"pivot={pivot}" + (" (chosen)" if pivot == best else ""),
+            stats[pivot].distinct_timestamps,
+            entries,
+            seconds,
+            nrows,
+        )
+        for pivot, (entries, seconds, nrows) in measurements.items()
+    ]
+    text = format_table(
+        "Ablation: pivot choice for 2-D aggregation (1.5k bookings)",
+        ["pivot", "distinct ts", "delta entries", "seconds", "result rows"],
+        rows,
+        notes=["fewer distinct pivot timestamps -> smaller delta maps"],
+    )
+    write_result("ablation_pivot", text)
+
+    # With per-record-unique non-pivot intervals, consolidation cannot
+    # shrink the delta maps, so entry counts are close either way; the
+    # benefit of the coarse pivot shows where it matters — fewer pivot
+    # spans mean fewer result rows and less Step 2 work.
+    _bt_entries, bt_seconds, bt_rows = measurements["bt"]
+    _tt_entries, tt_seconds, tt_rows = measurements["tt"]
+    assert bt_rows < tt_rows
+    assert bt_seconds < tt_seconds

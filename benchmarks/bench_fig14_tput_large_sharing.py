@@ -1,0 +1,60 @@
+"""Figure 14 — Throughput: Amadeus, large DB, varying cores, with and
+without shared scans.
+
+Expected shape (Section 5.3.2): both modes scale with the number of cores
+(roughly 15x from 2 to 32 in the paper); shared scans dominate no-sharing
+at every core count because the batch's base pass is amortised.  Systems
+D and M are absent: on the full database their temporal aggregation
+queries time out ("the throughput virtually drops to zero").
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_series, throughput_crescando, write_result
+from repro.storage import Cluster
+
+CORES = [2, 4, 8, 16, 32]
+BATCH = 240
+
+
+def test_fig14_throughput_large_sharing(benchmark, amadeus_large):
+    batch = amadeus_large.query_batch(BATCH)
+
+    shared_points, unshared_points = [], []
+    for cores in CORES:
+        storage = max(1, cores // 2)
+        shared = Cluster.from_table(amadeus_large.table, storage, sharing=True)
+        unshared = Cluster.from_table(amadeus_large.table, storage, sharing=False)
+        shared_points.append((cores, throughput_crescando(shared, batch, repeats=2)))
+        unshared_points.append(
+            (cores, throughput_crescando(unshared, batch, repeats=2))
+        )
+
+    def rerun():
+        cluster = Cluster.from_table(amadeus_large.table, 8, sharing=True)
+        return throughput_crescando(cluster, batch[:60], repeats=1)
+
+    benchmark.pedantic(rerun, rounds=1, iterations=1)
+
+    text = format_series(
+        "Figure 14: Throughput, Amadeus large DB, vary cores "
+        "(queries/simulated-second)",
+        "cores",
+        {
+            "Shared scans": shared_points,
+            "No sharing": unshared_points,
+        },
+        notes=[
+            "Systems D and M omitted: their temporal aggregation queries time"
+            " out on the full database (throughput ~ 0)",
+            "expected shape: both modes scale with cores; sharing always wins",
+        ],
+    )
+    write_result("fig14_tput_large_sharing", text)
+
+    shared = dict(shared_points)
+    unshared = dict(unshared_points)
+    for cores in CORES:
+        assert shared[cores] > unshared[cores], f"sharing must win at {cores}"
+    assert shared[32] > 4 * shared[2]
+    assert unshared[32] > 4 * unshared[2]

@@ -1,0 +1,65 @@
+"""Figure 15 — Response time: Amadeus, large DB, varying cores.
+
+The two temporal aggregation queries of Figure 13a, on the full bookings
+table, as a function of cores.  Expected shape (Section 5.3.2): almost
+linear speed-up up to sixteen cores, flattening after (Amdahl: Step 2 and
+per-query constant work stop shrinking).
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_series, measure_response_time, write_result
+from repro.storage import CrescandoEngine
+
+CORES = [2, 4, 8, 16, 32]
+
+
+def test_fig15_response_time_large_vary_cores(benchmark, amadeus_large):
+    workload = amadeus_large
+    queries = {
+        "ta1": workload.ta1(flight_id=9),
+        "ta2": workload.ta2(flight_id=9),
+    }
+    series: dict[str, list[tuple[int, float]]] = {name: [] for name in queries}
+    engines = {}
+    for cores in CORES:
+        engine = CrescandoEngine.with_cores(cores)
+        engine.bulkload(workload.table)
+        engines[cores] = engine
+        for name, op in queries.items():
+            best = min(measure_response_time(engine, op) for _ in range(3))
+            series[name].append((cores, best))
+
+    def rerun():
+        return measure_response_time(engines[16], queries["ta1"])
+
+    benchmark.pedantic(rerun, rounds=3, iterations=1)
+
+    speedups = {
+        name: [(c, points[0][1] / t) for c, t in points]
+        for name, points in series.items()
+    }
+    text = "\n\n".join(
+        [
+            format_series(
+                "Figure 15: Response time (s, simulated), Amadeus large DB, "
+                "vary cores",
+                "cores",
+                series,
+            ),
+            format_series(
+                "Figure 15 (derived): speed-up over 2 cores",
+                "cores",
+                speedups,
+                notes=["expected shape: near-linear up to 16 cores, then flattening"],
+            ),
+        ]
+    )
+    write_result("fig15_resptime_large_cores", text)
+
+    for name, points in series.items():
+        times = dict(points)
+        # Meaningful speed-up from 2 to 16 cores (paper: almost linear).
+        assert times[16] < times[2] / 3, name
+        # Monotone improvement through 16 cores.
+        assert times[4] <= times[2] and times[8] <= times[4], name

@@ -1,0 +1,62 @@
+"""Table 1 — the Amadeus query mix.
+
+Regenerates the workload composition table: 1% ta1, 1% ta2, 8% other
+temporal, 90% non-temporal, plus the 250 updates/second stream.  The
+benchmarked operation is the generation + execution of one mixed batch on
+a small cluster.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, write_result
+from repro.storage import Cluster, SelectQuery, TemporalAggQuery
+from repro.temporal.predicates import Overlaps, TimeTravel
+
+
+def _classify(op) -> str:
+    if isinstance(op, TemporalAggQuery):
+        dims = op.query.varied_dims
+        return "ta1 (Temp.Aggr. on TT)" if dims == ("tt",) else "ta2 (Temp.Aggr. on BT)"
+    assert isinstance(op, SelectQuery)
+    children = getattr(op.predicate, "children", (op.predicate,))
+    temporal = any(isinstance(c, (TimeTravel,)) for c in children) or any(
+        isinstance(c, Overlaps) and c.dim == "bt" for c in children
+    )
+    return "other temporal" if temporal else "non-temporal"
+
+
+def test_table1_amadeus_mix(benchmark, amadeus_small):
+    batch = amadeus_small.query_batch(4_000)
+    counts: dict[str, int] = {}
+    for op in batch:
+        counts[_classify(op)] = counts.get(_classify(op), 0) + 1
+
+    cluster = Cluster.from_table(amadeus_small.table, 2, sharing=True)
+    small_batch = amadeus_small.query_batch(50)
+
+    def run_batch():
+        return cluster.execute_batch(list(small_batch))
+
+    result = benchmark.pedantic(run_batch, rounds=3, iterations=1)
+    assert result.simulated_seconds > 0
+
+    rows = [
+        (kind, n, f"{100 * n / len(batch):.1f}%")
+        for kind, n in sorted(counts.items())
+    ]
+    rows.append(("updates / second", amadeus_small.config.update_rate_per_second, "-"))
+    text = format_table(
+        "Table 1: Queries of the Airline Reservation System (generated mix)",
+        ["kind", "count", "share"],
+        rows,
+        notes=[
+            "paper mix: ta1 1%, ta2 1%, other temporal 8%, non-temporal 90%",
+            f"batch sampled: {len(batch)} queries",
+        ],
+    )
+    write_result("table1_amadeus_mix", text)
+
+    ta = sum(n for k, n in counts.items() if k.startswith("ta"))
+    assert 0.005 < ta / len(batch) < 0.05  # ~2% temporal aggregation
+    non_temporal = counts.get("non-temporal", 0)
+    assert non_temporal / len(batch) > 0.8

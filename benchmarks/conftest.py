@@ -1,0 +1,50 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Dataset scales are chosen so the whole suite runs in minutes on one CPU;
+the mapping to the paper's scales is recorded in EXPERIMENTS.md (shapes,
+not absolute numbers, are the reproduction target).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    AmadeusConfig,
+    AmadeusWorkload,
+    TPCBiHConfig,
+    TPCBiHDataset,
+)
+
+#: "small database" — the 1% Amadeus subset of Section 5.2.1, scaled.
+AMADEUS_SMALL = AmadeusConfig(num_bookings=50_000, num_flights=2_000, seed=11)
+#: "large database" — the full bookings table, scaled (~25x the small one,
+#: ~800k physical rows: big enough that per-partition scan work dominates
+#: fixed per-node costs up to 32 simulated cores).
+AMADEUS_LARGE = AmadeusConfig(num_bookings=400_000, num_flights=2_000, seed=12)
+
+#: TPC-BiH SF=1 (the "small" 2.3 GB database, scaled).
+TPCBIH_SMALL = TPCBiHConfig(scale_factor=1.0, seed=21)
+#: TPC-BiH SF=100 (the "large" 312 GB database, scaled 1:10 relative to
+#: small rather than 1:100 — enough to move the Amdahl crossover).
+TPCBIH_LARGE = TPCBiHConfig(scale_factor=10.0, seed=22)
+
+
+@pytest.fixture(scope="session")
+def amadeus_small() -> AmadeusWorkload:
+    return AmadeusWorkload(AMADEUS_SMALL)
+
+
+@pytest.fixture(scope="session")
+def amadeus_large() -> AmadeusWorkload:
+    return AmadeusWorkload(AMADEUS_LARGE)
+
+
+@pytest.fixture(scope="session")
+def tpcbih_small() -> TPCBiHDataset:
+    return TPCBiHDataset(TPCBIH_SMALL)
+
+
+@pytest.fixture(scope="session")
+def tpcbih_large() -> TPCBiHDataset:
+    return TPCBiHDataset(TPCBIH_LARGE)

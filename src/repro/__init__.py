@@ -1,0 +1,63 @@
+"""ParTime: Parallel Temporal Aggregation — a full reproduction.
+
+This package reimplements the system of Pilman et al., *ParTime: Parallel
+Temporal Aggregation* (SIGMOD 2016), in Python:
+
+* :mod:`repro.core` — the ParTime algorithm (delta maps, Step 1 / Step 2,
+  windowed and multi-dimensional variants, pivot selection);
+* :mod:`repro.temporal` — the bi-temporal data model substrate;
+* :mod:`repro.storage` — a Crescando-style shared-scan parallel database;
+* :mod:`repro.timeline` — the Timeline Index baseline;
+* :mod:`repro.aggtree` — Aggregation Tree baselines;
+* :mod:`repro.systems` — cost-model stand-ins for the commercial
+  comparators, plus the reference oracle;
+* :mod:`repro.workloads` — the Amadeus workload and the TPC-BiH benchmark;
+* :mod:`repro.simtime` — simulated-multicore execution accounting;
+* :mod:`repro.bench` — the experiment harness.
+
+Quickstart::
+
+    from repro import ParTime, TemporalAggregationQuery
+    from repro.temporal import (
+        Column, ColumnType, TableSchema, TemporalTable, Overlaps,
+    )
+
+    schema = TableSchema("employee",
+                         [Column("name", ColumnType.STRING),
+                          Column("salary", ColumnType.INT)],
+                         business_dims=["bt"], key="name")
+    table = TemporalTable(schema)
+    table.insert({"name": "Anna", "salary": 10_000}, {"bt": (0, 100)})
+    query = TemporalAggregationQuery(varied_dims=("tt",),
+                                     value_column="salary")
+    result = ParTime().execute(table, query, workers=4)
+"""
+
+from repro.core import (
+    ParTime,
+    TemporalAggregationQuery,
+    TemporalAggregationResult,
+    WindowSpec,
+)
+from repro.temporal import (
+    FOREVER,
+    Interval,
+    TableSchema,
+    TemporalTable,
+    date_to_ts,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ParTime",
+    "TemporalAggregationQuery",
+    "TemporalAggregationResult",
+    "WindowSpec",
+    "TemporalTable",
+    "TableSchema",
+    "Interval",
+    "FOREVER",
+    "date_to_ts",
+    "__version__",
+]

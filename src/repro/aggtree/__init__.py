@@ -1,0 +1,41 @@
+"""Aggregation Tree baselines.
+
+Two tree-based temporal aggregation algorithms from the literature the
+paper positions ParTime against:
+
+* :class:`~repro.aggtree.kline.AggregationTree` — Kline & Snodgrass [16],
+  the original two-pass algorithm.  Its tree is built in input order and
+  is not balanced: "the Aggregation Tree is not necessarily balanced and
+  can degenerate into a linked list.  In this case, the Aggregation Tree
+  algorithm has quadratic complexity" (Section 2).  Feeding it
+  chronologically ordered data (the common case for transaction time!)
+  triggers exactly that degeneration.
+* :class:`~repro.aggtree.balanced.BalancedAggregationTree` — Böhlen,
+  Gamper & Jensen [3], which balances via AVL rotations and guarantees
+  O(n log n).
+
+Both are expressed over the same delta formulation ParTime uses (a node
+per distinct boundary timestamp carrying the consolidated delta; the
+original formulation stores interval contributions at inner nodes, which
+is equivalent for incremental aggregates), so all engines share aggregate
+semantics and can be cross-checked.
+
+:func:`~repro.aggtree.algorithms.aggregation_tree_aggregate` runs the full
+two-pass algorithm; :func:`~repro.aggtree.algorithms.parallel_aggregation_tree`
+is the Gendrano-style parallel variant [9] whose merge phase limits its
+scalability — the motivating negative result for ParTime.
+"""
+
+from repro.aggtree.kline import AggregationTree
+from repro.aggtree.balanced import BalancedAggregationTree
+from repro.aggtree.algorithms import (
+    aggregation_tree_aggregate,
+    parallel_aggregation_tree,
+)
+
+__all__ = [
+    "AggregationTree",
+    "BalancedAggregationTree",
+    "aggregation_tree_aggregate",
+    "parallel_aggregation_tree",
+]

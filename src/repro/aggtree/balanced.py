@@ -1,0 +1,141 @@
+"""The balanced Aggregation Tree of Böhlen, Gamper & Jensen [3].
+
+Identical contract to :class:`repro.aggtree.kline.AggregationTree`, but
+the boundary tree is an AVL tree: "an algorithm which is based on AVL
+trees for the upper and lower bounds of the time intervals ... guarantees
+O(n · log n) complexity" (Section 2).  Rotations keep the height
+logarithmic regardless of insertion order, fixing the quadratic blow-up of
+the original on chronologically ordered input.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.aggregates import AggregateFunction
+
+
+class _AvlNode:
+    __slots__ = ("key", "delta", "left", "right", "height")
+
+    def __init__(self, key: int, delta) -> None:
+        self.key = key
+        self.delta = delta
+        self.left: "_AvlNode | None" = None
+        self.right: "_AvlNode | None" = None
+        self.height = 1
+
+
+def _h(node: "_AvlNode | None") -> int:
+    return node.height if node is not None else 0
+
+
+def _fix(node: _AvlNode) -> None:
+    node.height = 1 + max(_h(node.left), _h(node.right))
+
+
+def _balance_factor(node: _AvlNode) -> int:
+    return _h(node.left) - _h(node.right)
+
+
+def _rotate_right(y: _AvlNode) -> _AvlNode:
+    x = y.left
+    assert x is not None
+    y.left = x.right
+    x.right = y
+    _fix(y)
+    _fix(x)
+    return x
+
+
+def _rotate_left(x: _AvlNode) -> _AvlNode:
+    y = x.right
+    assert y is not None
+    x.right = y.left
+    y.left = x
+    _fix(x)
+    _fix(y)
+    return y
+
+
+def _rebalance(node: _AvlNode) -> _AvlNode:
+    _fix(node)
+    bf = _balance_factor(node)
+    if bf > 1:
+        assert node.left is not None
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if bf < -1:
+        assert node.right is not None
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class BalancedAggregationTree:
+    """AVL boundary tree with consolidated deltas."""
+
+    def __init__(self, aggregate: AggregateFunction) -> None:
+        self.aggregate = aggregate
+        self._root: _AvlNode | None = None
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def put(self, key: int, delta) -> None:
+        self._root = self._insert(self._root, key, delta)
+
+    def _insert(self, node: "_AvlNode | None", key: int, delta) -> _AvlNode:
+        if node is None:
+            self._len += 1
+            return _AvlNode(key, delta)
+        if key == node.key:
+            node.delta = self.aggregate.combine(node.delta, delta)
+            return node
+        if key < node.key:
+            node.left = self._insert(node.left, key, delta)
+        else:
+            node.right = self._insert(node.right, key, delta)
+        return _rebalance(node)
+
+    def add_record(self, valid_from: int, valid_to: int, value, forever: int) -> None:
+        self.put(valid_from, self.aggregate.make_delta(value, +1))
+        if valid_to < forever:
+            self.put(valid_to, self.aggregate.make_delta(value, -1))
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        stack: list[_AvlNode] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.delta
+            node = node.right
+
+    def height(self) -> int:
+        return _h(self._root)
+
+    def check_invariants(self) -> None:
+        """AVL balance and ordering invariants (for property tests)."""
+
+        def walk(node: "_AvlNode | None") -> tuple[int, int | None, int | None]:
+            if node is None:
+                return 0, None, None
+            lh, lmin, lmax = walk(node.left)
+            rh, rmin, rmax = walk(node.right)
+            assert abs(lh - rh) <= 1, "AVL balance violated"
+            assert node.height == 1 + max(lh, rh), "stale height"
+            if lmax is not None:
+                assert lmax < node.key, "left subtree out of order"
+            if rmin is not None:
+                assert node.key < rmin, "right subtree out of order"
+            lo = lmin if lmin is not None else node.key
+            hi = rmax if rmax is not None else node.key
+            return node.height, lo, hi
+
+        walk(self._root)

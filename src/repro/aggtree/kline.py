@@ -1,0 +1,112 @@
+"""The Kline–Snodgrass Aggregation Tree [16].
+
+An unbalanced binary search tree over interval boundary timestamps; each
+node carries the consolidated delta of all records whose validity starts
+or ends at its timestamp.  Pass 1 inserts every record's two boundaries in
+input order; pass 2 traverses in order, accumulating the running aggregate
+and emitting one result interval per span between consecutive boundaries.
+
+No rebalancing is performed — by design, to preserve the algorithm's
+defining weakness: inserting boundaries in ascending timestamp order (the
+natural order of transaction time!) degenerates the tree into a linked
+list and the whole algorithm into O(n²).  The balanced fix is in
+:mod:`repro.aggtree.balanced`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.aggregates import AggregateFunction
+
+
+class _TreeNode:
+    __slots__ = ("key", "delta", "left", "right")
+
+    def __init__(self, key: int, delta) -> None:
+        self.key = key
+        self.delta = delta
+        self.left: "_TreeNode | None" = None
+        self.right: "_TreeNode | None" = None
+
+
+class AggregationTree:
+    """Unbalanced boundary tree with consolidated deltas."""
+
+    def __init__(self, aggregate: AggregateFunction) -> None:
+        self.aggregate = aggregate
+        self._root: _TreeNode | None = None
+        self._len = 0
+        self._max_depth_seen = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def max_depth_seen(self) -> int:
+        """Deepest insertion path so far — the degeneration witness."""
+        return self._max_depth_seen
+
+    def put(self, key: int, delta) -> None:
+        """Insert or consolidate a boundary delta (iteratively, so that a
+        degenerated tree exhausts time rather than the Python stack)."""
+        if self._root is None:
+            self._root = _TreeNode(key, delta)
+            self._len = 1
+            self._max_depth_seen = 1
+            return
+        node = self._root
+        depth = 1
+        while True:
+            if key == node.key:
+                node.delta = self.aggregate.combine(node.delta, delta)
+                break
+            if key < node.key:
+                if node.left is None:
+                    node.left = _TreeNode(key, delta)
+                    self._len += 1
+                    depth += 1
+                    break
+                node = node.left
+            else:
+                if node.right is None:
+                    node.right = _TreeNode(key, delta)
+                    self._len += 1
+                    depth += 1
+                    break
+                node = node.right
+            depth += 1
+        if depth > self._max_depth_seen:
+            self._max_depth_seen = depth
+
+    def add_record(self, valid_from: int, valid_to: int, value, forever: int) -> None:
+        """Pass-1 contribution of one record (same shape as delta maps)."""
+        self.put(valid_from, self.aggregate.make_delta(value, +1))
+        if valid_to < forever:
+            self.put(valid_to, self.aggregate.make_delta(value, -1))
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        """In-order traversal (pass 2's input), iterative."""
+        stack: list[_TreeNode] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.delta
+            node = node.right
+
+    def height(self) -> int:
+        """Exact height (O(n) walk; used by tests and the degeneration
+        bench)."""
+        best = 0
+        stack: list[tuple[_TreeNode | None, int]] = [(self._root, 1)]
+        while stack:
+            node, depth = stack.pop()
+            if node is None:
+                continue
+            best = max(best, depth)
+            stack.append((node.left, depth + 1))
+            stack.append((node.right, depth + 1))
+        return best

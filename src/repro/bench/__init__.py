@@ -1,0 +1,25 @@
+"""Benchmark harness: runners and reporters for the paper's experiments.
+
+Every file in ``benchmarks/`` regenerates one table or figure of
+Section 5; this package holds the shared machinery — engine construction,
+response-time and throughput runners with timeout handling, and plain-text
+table/series reporters that print the same rows the paper plots.
+"""
+
+from repro.bench.harness import (
+    ExperimentResult,
+    measure_response_time,
+    throughput_commercial,
+    throughput_crescando,
+)
+from repro.bench.reporting import format_series, format_table, write_result
+
+__all__ = [
+    "ExperimentResult",
+    "measure_response_time",
+    "throughput_crescando",
+    "throughput_commercial",
+    "format_table",
+    "format_series",
+    "write_result",
+]

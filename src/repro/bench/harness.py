@@ -1,0 +1,96 @@
+"""Experiment runners.
+
+Response times are per-query simulated seconds as defined by each engine
+(see DESIGN.md on the hardware substitution).  Throughput is modelled per
+system:
+
+* **Crescando** — a batch is executed for real; throughput is
+  ``batch size / simulated batch seconds`` (shared scans amortise the base
+  pass, Section 5.3.2: "a batch of up to 2000 queries").
+* **Systems D / M** — no scan sharing; with ``c`` cores and per-query
+  response times ``t_i``, throughput is ``n / (sum(t_i) / c)`` — perfect
+  inter-query parallelism, which is *generous* to them (real systems
+  contend).  Queries that time out contribute the timeout.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.simtime.cost import DEFAULT_COSTS
+from repro.storage.cluster import Cluster
+from repro.storage.queries import SelectQuery, TemporalAggQuery
+from repro.systems.base import Engine, QueryTimeout
+
+
+@dataclass
+class ExperimentResult:
+    """A labelled collection of measurements for one experiment."""
+
+    name: str
+    rows: list[tuple] = field(default_factory=list)
+    headers: tuple[str, ...] = ()
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *row) -> None:
+        self.rows.append(tuple(row))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+
+def measure_response_time(engine: Engine, op) -> float:
+    """One operation's simulated response time; ``inf`` on timeout."""
+    try:
+        if isinstance(op, TemporalAggQuery):
+            _result, seconds = engine.temporal_aggregation(op.query)
+        elif isinstance(op, SelectQuery):
+            _count, seconds = engine.select(op.predicate, indexed=op.indexed)
+        else:
+            raise TypeError(f"cannot run {op!r} on {engine.name}")
+        return seconds
+    except QueryTimeout:
+        return math.inf
+    except NotImplementedError:
+        return math.nan
+
+
+def throughput_crescando(cluster: Cluster, ops: list, repeats: int = 3) -> float:
+    """Queries per simulated second for one batch on a cluster.
+
+    Read-only batches are executed ``repeats`` times and the fastest run
+    counts (standard noise suppression for measured micro-costs; a batch
+    containing writes must use ``repeats=1``)."""
+    best = math.inf
+    for _ in range(max(1, repeats)):
+        batch = cluster.execute_batch(list(ops))
+        best = min(best, batch.simulated_seconds)
+    if best <= 0:
+        return math.inf
+    return len(ops) / best
+
+
+def throughput_commercial(
+    engine: Engine, ops: list, cores: int = 32, sample: int | None = None
+) -> float:
+    """Queries per simulated second for a commercial stand-in.
+
+    ``sample`` optionally measures only the first N operations and
+    extrapolates by kind-preserving scaling (the full Amadeus batch would
+    mostly repeat the same cheap lookups).
+    """
+    measured = ops if sample is None else ops[:sample]
+    total = 0.0
+    for op in measured:
+        seconds = measure_response_time(engine, op)
+        if math.isinf(seconds):
+            seconds = DEFAULT_COSTS.timeout_s
+        if math.isnan(seconds):
+            seconds = DEFAULT_COSTS.timeout_s
+        total += seconds
+    if sample is not None and measured:
+        total *= len(ops) / len(measured)
+    if total <= 0:
+        return math.inf
+    return len(ops) / (total / cores)

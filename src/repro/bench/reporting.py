@@ -1,0 +1,77 @@
+"""Plain-text reporting: the tables and series the paper prints.
+
+Every benchmark writes its output both to stdout and to
+``benchmarks/results/<experiment>.txt`` so the regenerated artifacts
+survive pytest's output capturing and can be diffed across runs.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Mapping, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "TIMEOUT"
+        if math.isnan(value):
+            return "n/a"
+        if value != 0 and (abs(value) < 0.01 or abs(value) >= 100_000):
+            return f"{value:.3e}"
+        return f"{value:,.4f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence], notes=()
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        widths = [max(w, len(c)) for w, c in zip(widths, row)]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)).rstrip())
+    for note in notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    series: Mapping[str, Sequence[tuple]],
+    y_label: str = "value",
+    notes=(),
+) -> str:
+    """Render several (x, y) series as one aligned table, x as rows."""
+    xs = sorted({x for points in series.values() for x, _y in points})
+    headers = [x_label] + list(series)
+    rows = []
+    lookup = {name: dict(points) for name, points in series.items()}
+    for x in xs:
+        rows.append([x] + [lookup[name].get(x, float("nan")) for name in series])
+    return format_table(title, headers, rows, notes=notes)
+
+
+def write_result(name: str, text: str, results_dir: str | None = None) -> str:
+    """Print and persist one experiment's output; returns the file path."""
+    if results_dir is None:
+        results_dir = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__)))),
+            "benchmarks",
+            "results",
+        )
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print("\n" + text)
+    return path

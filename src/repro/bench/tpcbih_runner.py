@@ -1,0 +1,86 @@
+"""Shared runner for the TPC-BiH response-time experiments (Figs 17, 18).
+
+Builds every engine over both benchmark tables and measures each Table 2
+query on each engine.  Engines that cannot run a query (timeout, or a
+missing capability) report ``inf`` / ``nan``, rendered as TIMEOUT / n/a.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.harness import measure_response_time
+from repro.simtime.cost import CostModel
+from repro.storage import CrescandoEngine
+from repro.systems import SystemD, SystemM
+from repro.timeline import TimelineEngine
+from repro.workloads import TPCBIH_QUERIES, TPCBiHDataset
+
+#: value columns the Timeline Index pre-aggregates per table.
+VALUE_COLUMNS = {
+    "customer": (),
+    "orders": ("totalprice", "lead_days"),
+}
+
+
+def build_engines(
+    dataset: TPCBiHDataset,
+    partime_cores: tuple[int, ...] = (2, 31),
+    include_commercial: bool = True,
+    costs: CostModel | None = None,
+) -> dict[str, dict[str, object]]:
+    """engine name -> {table name -> loaded engine}."""
+    tables = {"customer": dataset.customer, "orders": dataset.orders}
+    engines: dict[str, dict[str, object]] = {}
+
+    def add(name: str, factory) -> None:
+        engines[name] = {}
+        for tname, table in tables.items():
+            engine = factory(tname)
+            engine.bulkload(table)
+            engines[name][tname] = engine
+
+    add("Timeline (1 core)", lambda t: TimelineEngine(VALUE_COLUMNS[t]))
+    for cores in partime_cores:
+        add(
+            f"ParTime ({cores} cores)",
+            lambda _t, c=cores: CrescandoEngine.response_time_config(c),
+        )
+    if include_commercial:
+        kwargs = {} if costs is None else {"costs": costs}
+        add("System D (32 cores)", lambda _t: SystemD(**kwargs))
+        add("System M (32 cores)", lambda _t: SystemM(**kwargs))
+    return engines
+
+
+def run_all_queries(
+    dataset: TPCBiHDataset,
+    engines: dict[str, dict[str, object]],
+    repeats: int = 3,
+) -> dict[str, dict[str, float]]:
+    """query name -> engine name -> simulated seconds (sum over a query's
+    operations; best of ``repeats``)."""
+    times: dict[str, dict[str, float]] = {}
+    for qname, build in TPCBIH_QUERIES.items():
+        table_name, ops = build(dataset)
+        if not isinstance(ops, list):
+            ops = [ops]
+        times[qname] = {}
+        for ename, per_table in engines.items():
+            engine = per_table[table_name]
+            best = math.inf
+            for _ in range(repeats):
+                total = 0.0
+                for op in ops:
+                    seconds = measure_response_time(engine, op)
+                    if math.isinf(seconds) or math.isnan(seconds):
+                        total = seconds
+                        break
+                    total += seconds
+                if not math.isnan(total):
+                    best = min(best, total)
+                else:
+                    best = total
+                    break
+            times[qname][ename] = best
+    return times

@@ -1,0 +1,11 @@
+"""An in-memory B-tree with the paper's merge-on-insert ``dm_put``.
+
+Section 3.2.3: *"We extended our B tree implementation to support a special
+put operation which adjusts an existing entry, if it exists, or creates a
+new entry, if the search key cannot be found."*  :meth:`BTree.dm_put` is
+that operation; it is what delta maps are built on.
+"""
+
+from repro.btree.btree import BTree
+
+__all__ = ["BTree"]

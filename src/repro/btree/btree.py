@@ -1,0 +1,339 @@
+"""A classic in-memory B-tree.
+
+The tree stores ``(key, value)`` pairs with totally-ordered keys (ints or
+tuples of ints in this code base — delta maps key on timestamps or on
+concatenated interval boundaries, Figure 10).  Besides the usual ``put`` /
+``get`` / ``delete`` / ordered iteration, it offers the paper's special
+:meth:`BTree.dm_put`, which *adjusts* an existing entry in place (combining
+the old and new value, by default with ``+``) or inserts the key if absent —
+the core primitive of delta-map generation (Figure 7).
+
+The implementation is a textbook order-``t`` B-tree (Cormen et al.): every
+node other than the root holds between ``t - 1`` and ``2t - 1`` keys;
+insertion splits full children on the way down, deletion rebalances by
+borrowing or merging on the way down, so both are single-pass.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Iterator
+
+
+class _Node:
+    """One B-tree node; ``children`` is empty exactly for leaves."""
+
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: list = []
+        self.values: list = []
+        self.children: list[_Node] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def find(self, key) -> int:
+        """Index of the first key >= ``key`` (binary search)."""
+        lo, hi = 0, len(self.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+
+class BTree:
+    """An order-``t`` B-tree mapping comparable keys to values.
+
+    >>> tree = BTree()
+    >>> tree.dm_put(7, -10)
+    >>> tree.dm_put(7, +15)
+    >>> tree.get(7)
+    5
+    """
+
+    def __init__(self, min_degree: int = 16) -> None:
+        if min_degree < 2:
+            raise ValueError("B-tree minimum degree must be >= 2")
+        self._t = min_degree
+        self._root = _Node()
+        self._len = 0
+        self._put_count = 0  # operation statistics for the cost model
+
+    # ---------------------------------------------------------------- info
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def __contains__(self, key) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    @property
+    def put_count(self) -> int:
+        """Number of put/dm_put operations performed (cost accounting)."""
+        return self._put_count
+
+    def height(self) -> int:
+        """Number of levels (a single leaf root has height 1)."""
+        h, node = 1, self._root
+        while not node.is_leaf:
+            h += 1
+            node = node.children[0]
+        return h
+
+    # --------------------------------------------------------------- reads
+
+    def get(self, key, default=None):
+        node = self._root
+        while True:
+            i = node.find(key)
+            if i < len(node.keys) and node.keys[i] == key:
+                return node.values[i]
+            if node.is_leaf:
+                return default
+            node = node.children[i]
+
+    def min_key(self):
+        if not self._len:
+            raise KeyError("empty tree")
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    def max_key(self):
+        if not self._len:
+            raise KeyError("empty tree")
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1]
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All entries in ascending key order."""
+        yield from self._iter(self._root)
+
+    def keys(self) -> Iterator[Any]:
+        for k, _ in self.items():
+            yield k
+
+    def values(self) -> Iterator[Any]:
+        for _, v in self.items():
+            yield v
+
+    def _iter(self, node: _Node) -> Iterator[tuple[Any, Any]]:
+        if node.is_leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for i, key in enumerate(node.keys):
+            yield from self._iter(node.children[i])
+            yield key, node.values[i]
+        yield from self._iter(node.children[-1])
+
+    def range(self, lo, hi) -> Iterator[tuple[Any, Any]]:
+        """Entries with ``lo <= key < hi`` in ascending order."""
+        yield from self._range(self._root, lo, hi)
+
+    def _range(self, node: _Node, lo, hi) -> Iterator[tuple[Any, Any]]:
+        i = node.find(lo)
+        if node.is_leaf:
+            for j in range(i, len(node.keys)):
+                if node.keys[j] >= hi:
+                    return
+                yield node.keys[j], node.values[j]
+            return
+        for j in range(i, len(node.keys)):
+            yield from self._range(node.children[j], lo, hi)
+            if node.keys[j] >= hi:
+                return
+            yield node.keys[j], node.values[j]
+        yield from self._range(node.children[-1], lo, hi)
+
+    # -------------------------------------------------------------- writes
+
+    def put(self, key, value) -> None:
+        """Insert or overwrite ``key``."""
+        self.dm_put(key, value, combine=lambda _old, new: new)
+
+    def dm_put(self, key, value, combine: Callable = operator.add) -> None:
+        """The paper's special put: merge into an existing entry or insert.
+
+        ``combine(old, new)`` produces the stored value when ``key`` already
+        exists; the default ``+`` implements delta consolidation
+        (``<t7, -10k>`` followed by ``<t7, +15k>`` becomes ``<t7, +5k>``,
+        Section 3.2.1).
+        """
+        self._put_count += 1
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _Node()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+            root = new_root
+        self._insert_nonfull(root, key, value, combine)
+
+    def _split_child(self, parent: _Node, i: int) -> None:
+        t = self._t
+        child = parent.children[i]
+        sibling = _Node()
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        if not child.is_leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.keys.insert(i, child.keys[t - 1])
+        parent.values.insert(i, child.values[t - 1])
+        parent.children.insert(i + 1, sibling)
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+
+    def _insert_nonfull(self, node: _Node, key, value, combine: Callable) -> None:
+        while True:
+            i = node.find(key)
+            if i < len(node.keys) and node.keys[i] == key:
+                node.values[i] = combine(node.values[i], value)
+                return
+            if node.is_leaf:
+                node.keys.insert(i, key)
+                node.values.insert(i, value)
+                self._len += 1
+                return
+            child = node.children[i]
+            if len(child.keys) == 2 * self._t - 1:
+                self._split_child(node, i)
+                if node.keys[i] == key:
+                    node.values[i] = combine(node.values[i], value)
+                    return
+                if key > node.keys[i]:
+                    i += 1
+            node = node.children[i]
+
+    # ------------------------------------------------------------ deletion
+
+    def delete(self, key) -> None:
+        """Remove ``key``; raises ``KeyError`` if absent."""
+        if not self._delete(self._root, key):
+            raise KeyError(key)
+        if not self._root.keys and not self._root.is_leaf:
+            self._root = self._root.children[0]
+        self._len -= 1
+
+    def _delete(self, node: _Node, key) -> bool:
+        t = self._t
+        i = node.find(key)
+        if i < len(node.keys) and node.keys[i] == key:
+            if node.is_leaf:
+                node.keys.pop(i)
+                node.values.pop(i)
+                return True
+            # Replace by predecessor or successor from a child with >= t
+            # keys, or merge the two children around the key.
+            left, right = node.children[i], node.children[i + 1]
+            if len(left.keys) >= t:
+                pk, pv = self._pop_max(left)
+                node.keys[i], node.values[i] = pk, pv
+                return True
+            if len(right.keys) >= t:
+                sk, sv = self._pop_min(right)
+                node.keys[i], node.values[i] = sk, sv
+                return True
+            self._merge_children(node, i)
+            return self._delete(left, key)
+        if node.is_leaf:
+            return False
+        child = node.children[i]
+        if len(child.keys) < t:
+            child = self._fill_child(node, i)
+        return self._delete(child, key)
+
+    def _pop_max(self, node: _Node):
+        while not node.is_leaf:
+            if len(node.children[-1].keys) < self._t:
+                node = self._fill_child(node, len(node.children) - 1)
+            else:
+                node = node.children[-1]
+        return node.keys.pop(), node.values.pop()
+
+    def _pop_min(self, node: _Node):
+        while not node.is_leaf:
+            if len(node.children[0].keys) < self._t:
+                node = self._fill_child(node, 0)
+            else:
+                node = node.children[0]
+        k = node.keys.pop(0)
+        v = node.values.pop(0)
+        return k, v
+
+    def _fill_child(self, node: _Node, i: int) -> _Node:
+        """Ensure ``node.children[i]`` has at least ``t`` keys by borrowing
+        from a sibling or merging; returns the (possibly merged) child."""
+        t = self._t
+        child = node.children[i]
+        if i > 0 and len(node.children[i - 1].keys) >= t:
+            left = node.children[i - 1]
+            child.keys.insert(0, node.keys[i - 1])
+            child.values.insert(0, node.values[i - 1])
+            node.keys[i - 1] = left.keys.pop()
+            node.values[i - 1] = left.values.pop()
+            if not left.is_leaf:
+                child.children.insert(0, left.children.pop())
+            return child
+        if i < len(node.keys) and len(node.children[i + 1].keys) >= t:
+            right = node.children[i + 1]
+            child.keys.append(node.keys[i])
+            child.values.append(node.values[i])
+            node.keys[i] = right.keys.pop(0)
+            node.values[i] = right.values.pop(0)
+            if not right.is_leaf:
+                child.children.append(right.children.pop(0))
+            return child
+        if i < len(node.keys):
+            self._merge_children(node, i)
+            return node.children[i]
+        self._merge_children(node, i - 1)
+        return node.children[i - 1]
+
+    def _merge_children(self, node: _Node, i: int) -> None:
+        """Merge children ``i`` and ``i+1`` around separator key ``i``."""
+        left, right = node.children[i], node.children[i + 1]
+        left.keys.append(node.keys.pop(i))
+        left.values.append(node.values.pop(i))
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.children.extend(right.children)
+        node.children.pop(i + 1)
+
+    # --------------------------------------------------------------- misc
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; used by property-based tests."""
+        t = self._t
+
+        def walk(node: _Node, depth: int, is_root: bool) -> int:
+            assert len(node.keys) == len(node.values)
+            if not is_root:
+                assert len(node.keys) >= t - 1, "underfull node"
+            assert len(node.keys) <= 2 * t - 1, "overfull node"
+            assert all(
+                node.keys[j] < node.keys[j + 1] for j in range(len(node.keys) - 1)
+            ), "keys out of order"
+            if node.is_leaf:
+                return depth
+            assert len(node.children) == len(node.keys) + 1
+            depths = {walk(c, depth + 1, False) for c in node.children}
+            assert len(depths) == 1, "leaves at different depths"
+            return depths.pop()
+
+        walk(self._root, 0, True)
+        assert sum(1 for _ in self.items()) == self._len
+
+
+_MISSING = object()

@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+``demo``
+    The paper's running example (Figures 1-4) on stdout.
+``sql``
+    Run one statement of the temporal SQL dialect against a generated
+    dataset (``employee``, ``amadeus`` or ``tpcbih``).
+``tables``
+    Show the tables and schemas of a generated dataset.
+``experiments``
+    List the paper's experiments and the pytest targets that regenerate
+    them (and show any results already produced).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.sql import Database, SqlError
+from repro.temporal import TemporalTable
+
+
+def _load_dataset(name: str, scale: float, seed: int) -> Database:
+    """Build a Database with the requested dataset registered."""
+    db = Database(workers=4)
+    if name == "employee":
+        db.register("employee", _employee_fallback())
+    elif name == "amadeus":
+        from repro.workloads import AmadeusConfig, AmadeusWorkload
+
+        workload = AmadeusWorkload(
+            AmadeusConfig(num_bookings=max(100, int(20_000 * scale)), seed=seed)
+        )
+        db.register("bookings", workload.table)
+    elif name == "tpcbih":
+        from repro.workloads import TPCBiHConfig, TPCBiHDataset
+
+        dataset = TPCBiHDataset(TPCBiHConfig(scale_factor=scale, seed=seed))
+        db.register("customer", dataset.customer)
+        db.register("orders", dataset.orders)
+    else:
+        raise SystemExit(f"unknown dataset {name!r}")
+    return db
+
+
+def _employee_fallback() -> TemporalTable:
+    """Build Figure 1 without importing the examples package (installed
+    environments may not ship ``examples/``)."""
+    from repro.temporal import Column, ColumnType, TableSchema
+    from repro.temporal.timestamps import date_to_ts
+
+    schema = TableSchema(
+        "employee",
+        [
+            Column("name", ColumnType.STRING),
+            Column("descr", ColumnType.STRING),
+            Column("salary", ColumnType.INT),
+        ],
+        business_dims=["bt"],
+        key="name",
+    )
+    table = TemporalTable(schema)
+    table.begin()
+    table.insert({"name": "Anna", "descr": "CEO", "salary": 10_000},
+                 {"bt": date_to_ts(1993)})
+    table.insert({"name": "Ben", "descr": "Coder", "salary": 5_000},
+                 {"bt": date_to_ts(1993)})
+    table.commit()
+    for _ in range(4):
+        table.commit()
+    table.insert({"name": "Chris", "descr": "Coder", "salary": 5_000},
+                 {"bt": date_to_ts(1993, 8, 1)})
+    table.commit()
+    table.begin()
+    table.update("Anna", {"salary": 15_000}, {"bt": date_to_ts(1994, 6, 1)})
+    table.update("Ben", {"descr": "Manager"}, {"bt": date_to_ts(1994, 6, 1)})
+    table.commit()
+    for _ in range(3):
+        table.commit()
+    table.update("Ben", {"salary": 8_000}, {"bt": date_to_ts(1994, 6, 1)})
+    for _ in range(4):
+        table.commit()
+    table.delete("Chris", {"bt": date_to_ts(1995)})
+    return table
+
+
+def cmd_demo(_args) -> int:
+    from repro.core import ParTime, TemporalAggregationQuery, WindowSpec
+    from repro.temporal import CurrentVersion, Overlaps
+    from repro.temporal.timestamps import date_to_ts
+
+    table = _employee_fallback()
+    partime = ParTime()
+    print("Figure 2 — payroll in 1995 per database version:")
+    result = partime.execute(
+        table,
+        TemporalAggregationQuery(
+            varied_dims=("tt",), value_column="salary",
+            predicate=Overlaps("bt", date_to_ts(1995), date_to_ts(1996)),
+        ),
+        workers=2,
+    )
+    print(result.format_table())
+    print("\nFigure 3 — payroll per business moment and version:")
+    result = partime.execute(
+        table,
+        TemporalAggregationQuery(
+            varied_dims=("bt", "tt"), value_column="salary", pivot="tt"
+        ),
+        workers=2,
+    )
+    print(result.format_table())
+    print("\nFigure 4 — payroll at the start of each year (current state):")
+    result = partime.execute(
+        table,
+        TemporalAggregationQuery(
+            varied_dims=("bt",), value_column="salary",
+            predicate=CurrentVersion("tt"),
+            window=WindowSpec(date_to_ts(1993), 365, 3),
+        ),
+        workers=2,
+    )
+    print(result.format_table())
+    return 0
+
+
+def cmd_sql(args) -> int:
+    db = _load_dataset(args.dataset, args.scale, args.seed)
+    try:
+        if args.explain:
+            print(db.explain(args.statement))
+            return 0
+        result = db.query(args.statement, workers=args.workers)
+    except SqlError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if isinstance(result, int):
+        print(result)
+    else:
+        print(result.format_table(max_rows=args.max_rows))
+    return 0
+
+
+def cmd_tables(args) -> int:
+    db = _load_dataset(args.dataset, args.scale, args.seed)
+    for name in sorted(db._tables):  # noqa: SLF001 — CLI introspection
+        table = db.table(name)
+        schema = table.schema
+        dims = ", ".join(d.name for d in schema.time_dimensions)
+        print(f"{name} ({len(table):,} version rows)")
+        for column in schema.columns:
+            marker = "  key " if column.name == schema.key else "      "
+            print(f"{marker}{column.name}: {column.ctype.value}")
+        print(f"      time dimensions: {dims}")
+    return 0
+
+
+_EXPERIMENTS = [
+    ("Table 1", "Amadeus query mix", "bench_table1_amadeus_mix.py"),
+    ("Table 2", "TPC-BiH query set", "bench_table2_tpcbih_queries.py"),
+    ("Figure 12", "Throughput small DB, no sharing", "bench_fig12_tput_small_nosharing.py"),
+    ("Figure 13", "Response times small DB", "bench_fig13_resptime_small.py"),
+    ("Figure 14", "Throughput large DB, sharing", "bench_fig14_tput_large_sharing.py"),
+    ("Figure 15", "Response time vs cores", "bench_fig15_resptime_large_cores.py"),
+    ("Figure 16", "Throughput with 250 upd/s", "bench_fig16_tput_updates.py"),
+    ("Figure 17", "TPC-BiH SF=1, all systems", "bench_fig17_tpcbih_small.py"),
+    ("Figure 18", "TPC-BiH SF=100, timeouts", "bench_fig18_tpcbih_large.py"),
+    ("Figure 19", "r2/r4 vs cores", "bench_fig19_parallelization.py"),
+    ("Table 3", "Memory consumption", "bench_table3_memory.py"),
+    ("Table 4", "Bulk-load time", "bench_table4_bulkload.py"),
+    ("Ablation", "Delta-map backends", "bench_ablation_deltamap.py"),
+    ("Ablation", "Pivot choice", "bench_ablation_pivot.py"),
+    ("Ablation", "Windowed fast path", "bench_ablation_windowed.py"),
+    ("Ablation", "Parallel Step 2", "bench_ablation_parallel_merge.py"),
+    ("Ablation", "Partitioning/stragglers", "bench_ablation_partitioning.py"),
+    ("Ablation", "Timeline maintenance", "bench_ablation_maintenance.py"),
+    ("Ablation", "NUMA placement", "bench_ablation_numa.py"),
+    ("Ablation", "Aggregation Trees", "bench_ablation_aggtree.py"),
+    ("Ablation", "Hybrid index + scan", "bench_ablation_hybrid.py"),
+]
+
+
+def cmd_experiments(_args) -> int:
+    repo = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    results_dir = os.path.join(repo, "benchmarks", "results")
+    print("experiment   what                             regenerate with")
+    print("-" * 78)
+    for exp, what, bench in _EXPERIMENTS:
+        print(f"{exp:<12} {what:<32} pytest benchmarks/{bench} --benchmark-only")
+    if os.path.isdir(results_dir):
+        produced = sorted(os.listdir(results_dir))
+        print(f"\n{len(produced)} result artifact(s) in benchmarks/results/")
+    else:
+        print("\nno results yet — run: pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ParTime (SIGMOD 2016) reproduction — temporal "
+        "aggregation toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run the paper's Figures 1-4").set_defaults(
+        fn=cmd_demo
+    )
+
+    sql = sub.add_parser("sql", help="run a temporal SQL statement")
+    sql.add_argument("statement", help="one SELECT in the temporal dialect")
+    sql.add_argument("--dataset", default="employee",
+                     choices=["employee", "amadeus", "tpcbih"])
+    sql.add_argument("--scale", type=float, default=0.2,
+                     help="dataset scale factor")
+    sql.add_argument("--seed", type=int, default=7)
+    sql.add_argument("--workers", type=int, default=4)
+    sql.add_argument("--max-rows", type=int, default=40)
+    sql.add_argument("--explain", action="store_true",
+                     help="show the plan instead of executing")
+    sql.set_defaults(fn=cmd_sql)
+
+    tables = sub.add_parser("tables", help="show a dataset's tables")
+    tables.add_argument("--dataset", default="tpcbih",
+                        choices=["employee", "amadeus", "tpcbih"])
+    tables.add_argument("--scale", type=float, default=0.2)
+    tables.add_argument("--seed", type=int, default=7)
+    tables.set_defaults(fn=cmd_tables)
+
+    sub.add_parser(
+        "experiments", help="list the paper's experiments and bench targets"
+    ).set_defaults(fn=cmd_experiments)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

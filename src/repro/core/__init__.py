@@ -1,0 +1,96 @@
+"""ParTime — the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.partime.ParTime` — the two-step operator;
+* :class:`~repro.core.query.TemporalAggregationQuery` — query spec;
+* :class:`~repro.core.window.WindowSpec` — windowed-query grids;
+* :class:`~repro.core.result.TemporalAggregationResult` — results;
+* the aggregate registry (:func:`~repro.core.aggregates.get_aggregate`,
+  ``SUM``, ``COUNT``, ``AVG``, ``PRODUCT``, ``MIN``, ``MAX``, ``MEDIAN``).
+
+Lower-level building blocks (delta maps, Step 1 generators, Step 2 merges,
+pivot statistics) live in their own modules and are re-exported for
+advanced use — they are what the Crescando substrate embeds directly.
+"""
+
+from repro.core.aggregates import (
+    AVG,
+    COUNT,
+    MAX,
+    MEDIAN,
+    MIN,
+    PRODUCT,
+    SUM,
+    AggregateFunction,
+    get_aggregate,
+)
+from repro.core.deltamap import (
+    ArrayDeltaMap,
+    BTreeDeltaMap,
+    DeltaMap,
+    HashDeltaMap,
+    MultiDimDeltaMap,
+    SortedArrayDeltaMap,
+)
+from repro.core.joins import JoinRow, ParTimeJoin, temporal_join_reference
+from repro.core.optimizer import CostTerms, ParallelismOptimizer
+from repro.core.partime import ParTime, ParTimeStats
+from repro.core.pivot import DimensionStatistics, choose_pivot, collect_statistics
+from repro.core.query import TemporalAggregationQuery
+from repro.core.result import ResultRow, TemporalAggregationResult
+from repro.core.step1 import (
+    generate_delta_map,
+    generate_multidim_delta_map,
+    generate_windowed_delta_map,
+)
+from repro.core.step2 import (
+    consolidate_pair,
+    merge_delta_maps,
+    merge_multidim_maps,
+    merge_sorted_arrays,
+    merge_window_maps,
+    parallel_merge_plan,
+)
+from repro.core.window import WindowSpec
+
+__all__ = [
+    "ParTime",
+    "ParTimeStats",
+    "ParTimeJoin",
+    "JoinRow",
+    "temporal_join_reference",
+    "CostTerms",
+    "ParallelismOptimizer",
+    "TemporalAggregationQuery",
+    "TemporalAggregationResult",
+    "ResultRow",
+    "WindowSpec",
+    "AggregateFunction",
+    "get_aggregate",
+    "SUM",
+    "COUNT",
+    "AVG",
+    "PRODUCT",
+    "MIN",
+    "MAX",
+    "MEDIAN",
+    "DeltaMap",
+    "BTreeDeltaMap",
+    "HashDeltaMap",
+    "SortedArrayDeltaMap",
+    "ArrayDeltaMap",
+    "MultiDimDeltaMap",
+    "generate_delta_map",
+    "generate_windowed_delta_map",
+    "generate_multidim_delta_map",
+    "merge_delta_maps",
+    "merge_sorted_arrays",
+    "merge_window_maps",
+    "merge_multidim_maps",
+    "consolidate_pair",
+    "parallel_merge_plan",
+    "DimensionStatistics",
+    "choose_pivot",
+    "collect_statistics",
+]

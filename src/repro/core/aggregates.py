@@ -1,0 +1,275 @@
+"""Aggregate functions for temporal aggregation.
+
+Section 3.2.3 distinguishes two families:
+
+* *incremental* aggregates (SUM, COUNT, AVG, PRODUCT) — the delta map keeps
+  one small combined delta per timestamp, and a record's effect can be
+  *removed* again when its validity ends;
+* *non-incremental* aggregates (MIN, MAX, MEDIAN) — "it is not sufficient to
+  keep a single aggregate value ...  Instead, the delta map keeps the set of
+  values that became valid / invalid at each point in time.  The merge step
+  then involves keeping a priority queue" — here an order-statistics
+  multiset, which serves MIN, MAX and MEDIAN uniformly.
+
+Every aggregate implements the same small protocol, so Step 1 and Step 2 of
+ParTime are generic over the aggregate:
+
+``make_delta(value, sign)``
+    The delta-map entry a record contributes at one timestamp.
+``combine(d1, d2)``
+    Consolidation of two deltas at the same timestamp (the B-tree's
+    ``dm_put`` combine function).
+``negate(d)``
+    Inverse of a delta — needed by the multi-dimensional merge, where an
+    interval-valued delta is swept as ``+d`` at its start and ``-d`` at
+    its end.
+``identity() / apply(acc, d) / finalize(acc) / count(acc)``
+    The running accumulator of the merge phase.
+
+All incremental accumulators carry the count of active records alongside
+the aggregate, so the merge can distinguish "sum is 0" from "no active
+records" and callers can drop empty intervals if they wish.
+"""
+
+from __future__ import annotations
+
+from repro.core.multiset import SortedMultiset
+
+
+class AggregateFunction:
+    """Base protocol; see module docstring for the contract."""
+
+    #: Registry name, e.g. ``"sum"``.
+    name: str = "?"
+    #: Whether Step 1 may use the vectorized scalar-delta fast path.
+    incremental: bool = True
+
+    # -- delta-map side -------------------------------------------------
+    def make_delta(self, value, sign: int):
+        raise NotImplementedError
+
+    def combine(self, d1, d2):
+        raise NotImplementedError
+
+    def negate(self, d):
+        raise NotImplementedError
+
+    def is_null_delta(self, d) -> bool:
+        """Whether ``d`` has no effect (entries collapse away entirely)."""
+        raise NotImplementedError
+
+    # -- merge side ------------------------------------------------------
+    def identity(self):
+        raise NotImplementedError
+
+    def apply(self, acc, d):
+        raise NotImplementedError
+
+    def finalize(self, acc):
+        raise NotImplementedError
+
+    def count(self, acc) -> int:
+        """Number of currently active records in the accumulator."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<aggregate {self.name}>"
+
+
+class _SumLike(AggregateFunction):
+    """Shared machinery for SUM / COUNT / AVG: deltas are ``(value, count)``
+    pairs under componentwise addition."""
+
+    def make_delta(self, value, sign: int):
+        return (sign * value, sign)
+
+    def combine(self, d1, d2):
+        return (d1[0] + d2[0], d1[1] + d2[1])
+
+    def negate(self, d):
+        return (-d[0], -d[1])
+
+    def is_null_delta(self, d) -> bool:
+        return d[0] == 0 and d[1] == 0
+
+    def identity(self):
+        return (0, 0)
+
+    def apply(self, acc, d):
+        return (acc[0] + d[0], acc[1] + d[1])
+
+    def count(self, acc) -> int:
+        return acc[1]
+
+
+class Sum(_SumLike):
+    """``SUM(column)`` over time — the paper's running example."""
+
+    name = "sum"
+
+    def finalize(self, acc):
+        return acc[0]
+
+
+class Count(_SumLike):
+    """``COUNT(*)`` over time (e.g. number of open flights, query ta1)."""
+
+    name = "count"
+
+    def make_delta(self, value, sign: int):
+        return (sign, sign)
+
+    def finalize(self, acc):
+        return acc[1]
+
+
+class Avg(_SumLike):
+    """``AVG(column)`` over time; ``None`` where no record is active."""
+
+    name = "avg"
+
+    def finalize(self, acc):
+        if acc[1] == 0:
+            return None
+        return acc[0] / acc[1]
+
+
+class Product(AggregateFunction):
+    """``PRODUCT(column)`` — incremental via division, with explicit zero
+    bookkeeping so that a zero-valued record can be removed again.
+
+    Deltas are ``(factor, zero_count, count)``: multiply by ``factor``,
+    adjust the number of active zeros, adjust the active-record count.
+    """
+
+    name = "product"
+
+    def make_delta(self, value, sign: int):
+        value = float(value)
+        if value == 0.0:
+            return (1.0, sign, sign)
+        if sign > 0:
+            return (value, 0, 1)
+        return (1.0 / value, 0, -1)
+
+    def combine(self, d1, d2):
+        return (d1[0] * d2[0], d1[1] + d2[1], d1[2] + d2[2])
+
+    def negate(self, d):
+        return (1.0 / d[0], -d[1], -d[2])
+
+    def is_null_delta(self, d) -> bool:
+        return d[0] == 1.0 and d[1] == 0 and d[2] == 0
+
+    def identity(self):
+        return (1.0, 0, 0)
+
+    def apply(self, acc, d):
+        return (acc[0] * d[0], acc[1] + d[1], acc[2] + d[2])
+
+    def finalize(self, acc):
+        if acc[2] == 0:
+            return None
+        if acc[1] > 0:
+            return 0.0
+        return acc[0]
+
+    def count(self, acc) -> int:
+        return acc[2]
+
+
+class _ValueSetAggregate(AggregateFunction):
+    """Shared machinery for MIN / MAX / MEDIAN.
+
+    Deltas are ``(added, removed)`` tuples of value tuples; the accumulator
+    is a :class:`SortedMultiset` providing order statistics in O(log n).
+    """
+
+    incremental = False
+
+    def make_delta(self, value, sign: int):
+        if sign > 0:
+            return ((value,), ())
+        return ((), (value,))
+
+    def combine(self, d1, d2):
+        return (d1[0] + d2[0], d1[1] + d2[1])
+
+    def negate(self, d):
+        return (d[1], d[0])
+
+    def is_null_delta(self, d) -> bool:
+        return not d[0] and not d[1]
+
+    def identity(self):
+        return SortedMultiset()
+
+    def apply(self, acc, d):
+        added, removed = d
+        for v in added:
+            acc.add(v)
+        for v in removed:
+            acc.remove(v)
+        return acc
+
+    def count(self, acc) -> int:
+        return len(acc)
+
+
+class Min(_ValueSetAggregate):
+    name = "min"
+
+    def finalize(self, acc):
+        return acc.min() if len(acc) else None
+
+
+class Max(_ValueSetAggregate):
+    name = "max"
+
+    def finalize(self, acc):
+        return acc.max() if len(acc) else None
+
+
+class Median(_ValueSetAggregate):
+    """Lower median of the active values (the element at rank ⌊(n-1)/2⌋)."""
+
+    name = "median"
+
+    def finalize(self, acc):
+        n = len(acc)
+        if n == 0:
+            return None
+        return acc.kth((n - 1) // 2)
+
+
+_REGISTRY: dict[str, AggregateFunction] = {}
+
+
+def register(agg: AggregateFunction) -> AggregateFunction:
+    _REGISTRY[agg.name] = agg
+    return agg
+
+
+SUM = register(Sum())
+COUNT = register(Count())
+AVG = register(Avg())
+PRODUCT = register(Product())
+MIN = register(Min())
+MAX = register(Max())
+MEDIAN = register(Median())
+
+
+def get_aggregate(name_or_agg: "str | AggregateFunction") -> AggregateFunction:
+    """Look up an aggregate by name, passing instances through.
+
+    >>> get_aggregate("sum") is SUM
+    True
+    """
+    if isinstance(name_or_agg, AggregateFunction):
+        return name_or_agg
+    try:
+        return _REGISTRY[name_or_agg.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown aggregate {name_or_agg!r}; known: {sorted(_REGISTRY)}"
+        ) from None

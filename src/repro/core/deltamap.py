@@ -1,0 +1,224 @@
+"""Delta maps — the central data structure of ParTime (Section 3.2.1).
+
+A delta map records, for every point in time, the combined *delta* of all
+records that became valid or invalid at that point.  It is ordered by
+timestamp so that Step 2 can merge many of them like the merge phase of a
+sort-based GROUP BY.
+
+Several backends are provided; the paper used B-trees and notes that
+"other data structures can be used, too, and may give even better
+performance" — the alternatives here back the delta-map ablation bench:
+
+* :class:`BTreeDeltaMap` — the paper's choice, built on
+  :class:`repro.btree.BTree` with the special ``dm_put``;
+* :class:`HashDeltaMap` — hash consolidation, sorted once at iteration;
+* :class:`SortedArrayDeltaMap` — immutable, built in one vectorized pass
+  (sort + unique + segmented reduce), the NumPy stand-in for a tight
+  C++ loop;
+* :class:`ArrayDeltaMap` — the fixed-size array of windowed queries
+  (Figure 9), indexed by window bucket rather than raw timestamp.
+
+All mutable maps share the :meth:`DeltaMap.put` contract: deltas arriving
+at the same key are consolidated immediately with the aggregate's
+``combine`` (the ``<t7,-10k>`` + ``<t7,+15k>`` → ``<t7,+5k>`` example of
+Section 3.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.btree import BTree
+from repro.core.aggregates import AggregateFunction
+
+
+class DeltaMap:
+    """Ordered mapping from key (timestamp or composite) to delta."""
+
+    def __init__(self, aggregate: AggregateFunction) -> None:
+        self.aggregate = aggregate
+
+    def put(self, key, delta) -> None:
+        raise NotImplementedError
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All (key, delta) entries in ascending key order."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __iter__(self):
+        return self.items()
+
+    def add_record(self, valid_from: int, valid_to: int, value, forever: int) -> None:
+        """Contribute one record: ``+value`` at its start and, unless it is
+        still valid, ``-value`` at its end (Figure 7)."""
+        agg = self.aggregate
+        self.put(valid_from, agg.make_delta(value, +1))
+        if valid_to < forever:
+            self.put(valid_to, agg.make_delta(value, -1))
+
+
+class BTreeDeltaMap(DeltaMap):
+    """The paper's delta map: a B-tree with merge-on-insert."""
+
+    def __init__(self, aggregate: AggregateFunction, min_degree: int = 16) -> None:
+        super().__init__(aggregate)
+        self._tree = BTree(min_degree=min_degree)
+
+    def put(self, key, delta) -> None:
+        self._tree.dm_put(key, delta, combine=self.aggregate.combine)
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        return self._tree.items()
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    @property
+    def put_count(self) -> int:
+        return self._tree.put_count
+
+
+class HashDeltaMap(DeltaMap):
+    """Consolidates in a hash table; pays one sort at iteration time."""
+
+    def __init__(self, aggregate: AggregateFunction) -> None:
+        super().__init__(aggregate)
+        self._entries: dict[Any, Any] = {}
+
+    def put(self, key, delta) -> None:
+        combine = self.aggregate.combine
+        old = self._entries.get(key)
+        self._entries[key] = delta if old is None else combine(old, delta)
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        yield from sorted(self._entries.items())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class SortedArrayDeltaMap(DeltaMap):
+    """Immutable delta map produced by the vectorized Step 1 fast path.
+
+    Holds parallel arrays: unique sorted timestamps plus one array per
+    delta component.  Only usable for incremental aggregates whose deltas
+    are fixed-width numeric tuples (SUM / COUNT / AVG).
+    """
+
+    def __init__(
+        self,
+        aggregate: AggregateFunction,
+        keys: np.ndarray,
+        components: tuple[np.ndarray, ...],
+    ) -> None:
+        super().__init__(aggregate)
+        self._keys = keys
+        self._components = components
+
+    @classmethod
+    def from_events(
+        cls,
+        aggregate: AggregateFunction,
+        timestamps: np.ndarray,
+        values: np.ndarray,
+        counts: np.ndarray,
+    ) -> "SortedArrayDeltaMap":
+        """Consolidate raw per-record events in one vectorized pass."""
+        keys, inverse = np.unique(timestamps, return_inverse=True)
+        val_sum = np.zeros(len(keys), dtype=np.float64)
+        cnt_sum = np.zeros(len(keys), dtype=np.int64)
+        np.add.at(val_sum, inverse, values)
+        np.add.at(cnt_sum, inverse, counts)
+        # Entries that consolidated to the null delta are no-ops for the
+        # merge; keeping them would only manufacture interval seams that
+        # other evaluation paths (which never generated the cancelling
+        # events in the first place) do not have.
+        live = (val_sum != 0.0) | (cnt_sum != 0)
+        return cls(aggregate, keys[live], (val_sum[live], cnt_sum[live]))
+
+    def put(self, key, delta) -> None:
+        raise TypeError("SortedArrayDeltaMap is immutable; build from events")
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        vals, cnts = self._components
+        for i in range(len(self._keys)):
+            yield int(self._keys[i]), (vals[i].item(), int(cnts[i]))
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def arrays(self) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
+        """The backing arrays (used by the vectorized merge)."""
+        return self._keys, self._components
+
+
+class ArrayDeltaMap(DeltaMap):
+    """Fixed-size array delta map for windowed queries (Figure 9).
+
+    Keys are *bucket indices* of a :class:`~repro.core.window.WindowSpec`;
+    the caller translates timestamps to buckets (``dm[validFrom] += value``
+    in the paper's pseudo-code).  Entries at index ``count`` (beyond the
+    window) are accepted and ignored, which is how records that never
+    expire inside the window fall out naturally.
+    """
+
+    def __init__(self, aggregate: AggregateFunction, size: int) -> None:
+        super().__init__(aggregate)
+        self._size = size
+        self._slots: list[Any] = [None] * (size + 1)
+
+    def put(self, key: int, delta) -> None:
+        old = self._slots[key]
+        self._slots[key] = delta if old is None else self.aggregate.combine(old, delta)
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        for i in range(self._size):
+            if self._slots[i] is not None:
+                yield i, self._slots[i]
+
+    def __len__(self) -> int:
+        return sum(1 for i in range(self._size) if self._slots[i] is not None)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+
+class MultiDimDeltaMap(DeltaMap):
+    """Delta map for multi-dimensional aggregation (Figure 10).
+
+    Keys are tuples ``(nonpivot_0_start, nonpivot_0_end, ..., pivot_ts)``:
+    the validity intervals in every non-pivot dimension followed by the
+    point event on the pivot dimension (the paper's convention of keeping
+    the pivot last).  Backed by a B-tree so Step 2 can stream entries in
+    pivot-compatible order — but note the *pivot* must sort first for the
+    sweep, so the key stored internally is reordered to
+    ``(pivot_ts, nonpivot_intervals...)``.
+    """
+
+    def __init__(self, aggregate: AggregateFunction, min_degree: int = 16) -> None:
+        super().__init__(aggregate)
+        self._tree = BTree(min_degree=min_degree)
+
+    def put_event(
+        self, pivot_ts: int, nonpivot_intervals: tuple, delta
+    ) -> None:
+        key = (pivot_ts,) + nonpivot_intervals
+        self._tree.dm_put(key, delta, combine=self.aggregate.combine)
+
+    def put(self, key, delta) -> None:
+        # key arrives in paper order (intervals..., pivot); reorder.
+        self.put_event(key[-1], tuple(key[:-1]), delta)
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Entries ordered by pivot timestamp first."""
+        return self._tree.items()
+
+    def __len__(self) -> int:
+        return len(self._tree)

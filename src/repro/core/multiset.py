@@ -1,0 +1,122 @@
+"""An order-statistics multiset for non-incremental aggregates.
+
+The merge phase of MIN/MAX/MEDIAN temporal aggregation (Section 3.2.3)
+maintains the set of currently-valid values while sweeping over time; at
+every interval boundary it must report an order statistic of that set.  The
+paper suggests a priority queue; a priority queue only serves one end, so we
+use the classic *sorted list of blocks* structure (as popularized by the
+``sortedcontainers`` library, reimplemented here from scratch): a list of
+sorted blocks of bounded size, giving O(√n)-ish amortized add/remove and
+fast ``min`` / ``max`` / ``kth``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+_TARGET_BLOCK = 512
+
+
+class SortedMultiset:
+    """A multiset of comparable values with order statistics.
+
+    >>> ms = SortedMultiset([5, 1, 3, 3])
+    >>> ms.min(), ms.max(), ms.kth(1), len(ms)
+    (1, 5, 3, 4)
+    >>> ms.remove(3); sorted(ms)
+    [1, 3, 5]
+    """
+
+    __slots__ = ("_blocks", "_len")
+
+    def __init__(self, values=None) -> None:
+        self._blocks: list[list] = []
+        self._len = 0
+        if values:
+            data = sorted(values)
+            self._blocks = [
+                data[i : i + _TARGET_BLOCK] for i in range(0, len(data), _TARGET_BLOCK)
+            ]
+            self._len = len(data)
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __iter__(self) -> Iterator:
+        for block in self._blocks:
+            yield from block
+
+    def __contains__(self, value) -> bool:
+        bi = self._find_block(value)
+        if bi >= len(self._blocks):
+            return False
+        block = self._blocks[bi]
+        i = bisect.bisect_left(block, value)
+        return i < len(block) and block[i] == value
+
+    def _find_block(self, value) -> int:
+        """Index of the first block whose last element is >= value."""
+        lo, hi = 0, len(self._blocks)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._blocks[mid][-1] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def add(self, value) -> None:
+        if not self._blocks:
+            self._blocks.append([value])
+            self._len = 1
+            return
+        bi = min(self._find_block(value), len(self._blocks) - 1)
+        block = self._blocks[bi]
+        bisect.insort(block, value)
+        self._len += 1
+        if len(block) > 2 * _TARGET_BLOCK:
+            half = len(block) // 2
+            self._blocks[bi : bi + 1] = [block[:half], block[half:]]
+
+    def remove(self, value) -> None:
+        """Remove one occurrence; raises ``KeyError`` if absent."""
+        bi = self._find_block(value)
+        if bi < len(self._blocks):
+            block = self._blocks[bi]
+            i = bisect.bisect_left(block, value)
+            if i < len(block) and block[i] == value:
+                block.pop(i)
+                self._len -= 1
+                if not block:
+                    self._blocks.pop(bi)
+                return
+        raise KeyError(value)
+
+    def discard(self, value) -> bool:
+        """Remove one occurrence if present; returns whether it was."""
+        try:
+            self.remove(value)
+        except KeyError:
+            return False
+        return True
+
+    def min(self):
+        if not self._len:
+            raise KeyError("empty multiset")
+        return self._blocks[0][0]
+
+    def max(self):
+        if not self._len:
+            raise KeyError("empty multiset")
+        return self._blocks[-1][-1]
+
+    def kth(self, k: int):
+        """The element of rank ``k`` (0-based) in sorted order."""
+        if not 0 <= k < self._len:
+            raise IndexError(k)
+        for block in self._blocks:
+            if k < len(block):
+                return block[k]
+            k -= len(block)
+        raise AssertionError("rank accounting is broken")

@@ -1,0 +1,117 @@
+"""Choosing the degree of parallelism — the paper's future work #3.
+
+Section 6: "Third, we would like to develop a cost model in order to
+compute the optimal degree of parallelism for ParTime."  Section 5.4.2
+shows why it matters: r4 wants all the cores it can get, while r2 is best
+at a handful (Figure 19), and "the degree of parallelism needs to be
+optimized and controlled with ParTime."
+
+The model here is calibrated from two probe runs of the actual query
+(degrees 1 and k) and captures the three cost terms those experiments
+expose:
+
+* ``scan_work / w``       — Step 1 parallelises perfectly;
+* ``per_task_overhead``   — fixed cost per worker (dispatch, small-array
+  constants), which is what flattens the speed-up curves;
+* ``merge_base + merge_per_map * (w - 1)`` — Step 2 is sequential and its
+  incremental consolidation grows with the number of delta maps, the r2
+  degradation mechanism.
+
+``optimal_workers`` then just evaluates the closed form over the feasible
+degrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partime import ParTime
+from repro.core.query import TemporalAggregationQuery
+from repro.simtime.executor import SerialExecutor
+from repro.temporal.table import TemporalTable
+
+
+@dataclass(frozen=True)
+class CostTerms:
+    """Calibrated coefficients of the parallelism cost model."""
+
+    scan_work: float  # total Step 1 CPU-seconds (parallelisable)
+    per_task_overhead: float  # fixed seconds per worker
+    merge_base: float  # Step 2 seconds with one delta map
+    merge_per_map: float  # extra Step 2 seconds per additional map
+
+    def estimate(self, workers: int) -> float:
+        """Predicted response time at the given degree of parallelism."""
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        step1 = self.scan_work / workers + self.per_task_overhead
+        step2 = self.merge_base + self.merge_per_map * (workers - 1)
+        return step1 + step2
+
+    def estimate_parts(self, workers: int) -> tuple[float, float]:
+        step1 = self.scan_work / workers + self.per_task_overhead
+        step2 = self.merge_base + self.merge_per_map * (workers - 1)
+        return step1, step2
+
+
+class ParallelismOptimizer:
+    """Calibrates :class:`CostTerms` by probing a query, then picks the
+    optimal degree of parallelism."""
+
+    def __init__(self, terms: CostTerms) -> None:
+        self.terms = terms
+
+    @classmethod
+    def calibrate(
+        cls,
+        table: TemporalTable,
+        query: TemporalAggregationQuery,
+        probe_workers: int = 8,
+        mode: str = "pure",
+        repeats: int = 2,
+    ) -> "ParallelismOptimizer":
+        """Fit the model from two measured probe runs (1 and k workers).
+
+        With ``s1(w) = scan/w + c`` and ``s2(w) = base + d*(w-1)``, the
+        pairs of measurements at w=1 and w=k determine all four terms.
+        """
+        if probe_workers < 2:
+            raise ValueError("the second probe needs >= 2 workers")
+
+        def probe(workers: int) -> tuple[float, float]:
+            best = (float("inf"), float("inf"))
+            for _ in range(repeats):
+                executor = SerialExecutor(slots=workers)
+                ParTime(mode=mode).execute(
+                    table, query, workers=workers, executor=executor
+                )
+                step1 = executor.clock.phase_elapsed("partime.step1")
+                step2 = executor.clock.elapsed - step1
+                if step1 + step2 < sum(best):
+                    best = (step1, step2)
+            return best
+
+        s1_1, s2_1 = probe(1)
+        s1_k, s2_k = probe(probe_workers)
+        k = probe_workers
+        # s1_1 = scan + c ; s1_k = scan/k + c
+        scan = max(0.0, (s1_1 - s1_k) * k / (k - 1))
+        overhead = max(0.0, s1_1 - scan)
+        merge_base = s2_1
+        merge_per_map = max(0.0, (s2_k - s2_1) / (k - 1))
+        return cls(CostTerms(scan, overhead, merge_base, merge_per_map))
+
+    def optimal_workers(self, max_workers: int) -> int:
+        """The degree 1..max with the lowest predicted response time."""
+        if max_workers < 1:
+            raise ValueError("need at least one worker")
+        best_w, best_t = 1, self.terms.estimate(1)
+        for w in range(2, max_workers + 1):
+            t = self.terms.estimate(w)
+            if t < best_t:
+                best_w, best_t = w, t
+        return best_w
+
+    def speedup_curve(self, max_workers: int) -> list[tuple[int, float]]:
+        """(workers, predicted seconds) for plotting / reporting."""
+        return [(w, self.terms.estimate(w)) for w in range(1, max_workers + 1)]

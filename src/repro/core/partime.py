@@ -1,0 +1,267 @@
+"""The ParTime operator: partition → Step 1 in parallel → Step 2 merge.
+
+:class:`ParTime` is the standalone form of the algorithm (Section 3): give
+it a table, a query and a degree of parallelism and it computes the full
+temporal aggregation.  Inside the Crescando substrate the same Step 1 runs
+embedded in each storage node's shared scan and the same Step 2 runs on an
+aggregator node (Section 4); this class is the form used by examples, the
+response-time benchmarks and the correctness tests.
+
+The ``executor`` argument abstracts how the parallel phase is carried out
+and how its cost is accounted; see :mod:`repro.simtime`.  By default a
+:class:`~repro.simtime.executor.SerialExecutor` runs tasks one after
+another while *accounting* them as parallel — the simulated-multicore
+substitution described in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.deltamap import SortedArrayDeltaMap
+from repro.core.pivot import choose_pivot, collect_statistics
+from repro.core.query import TemporalAggregationQuery
+from repro.core.result import TemporalAggregationResult
+from repro.core.step1 import (
+    generate_delta_map,
+    generate_multidim_delta_map,
+    generate_windowed_delta_map,
+)
+from repro.core.step2 import (
+    consolidate_pair,
+    merge_delta_maps,
+    merge_multidim_maps,
+    merge_sorted_arrays,
+    merge_window_maps,
+    parallel_merge_plan,
+)
+from repro.simtime.executor import Executor, SerialExecutor
+from repro.temporal.table import TableChunk, TemporalTable
+from repro.temporal.timestamps import FOREVER
+
+
+@dataclass
+class ParTimeStats:
+    """Execution statistics of one ParTime run (for benches and tests)."""
+
+    num_partitions: int = 0
+    records_scanned: int = 0
+    delta_entries: int = 0
+    result_rows: int = 0
+    pivot: str | None = None
+
+
+class ParTime:
+    """The ParTime temporal aggregation operator.
+
+    Parameters
+    ----------
+    mode:
+        ``"vectorized"`` (NumPy fast path where applicable) or ``"pure"``
+        (the paper's per-record pseudo-code).
+    backend:
+        Delta-map backend for the pure path: ``"btree"`` (the paper) or
+        ``"hash"`` (ablation alternative).
+    parallel_step2:
+        Use the multi-level parallel merge (the paper's future-work
+        extension) instead of the sequential Step 2.
+    """
+
+    def __init__(
+        self,
+        mode: str = "vectorized",
+        backend: str = "btree",
+        parallel_step2: bool = False,
+    ) -> None:
+        self.mode = mode
+        self.backend = backend
+        self.parallel_step2 = parallel_step2
+        self.last_stats = ParTimeStats()
+
+    # ------------------------------------------------------------------ API
+
+    def execute(
+        self,
+        table: TemporalTable,
+        query: TemporalAggregationQuery,
+        workers: int = 1,
+        executor: Executor | None = None,
+    ) -> TemporalAggregationResult:
+        """Run the full two-step algorithm with ``workers`` partitions."""
+        executor = executor or SerialExecutor()
+        chunks = table.chunks(max(1, workers))
+        return self.execute_on_chunks(table, chunks, query, executor)
+
+    def execute_on_chunks(
+        self,
+        table: TemporalTable,
+        chunks: Sequence[TableChunk],
+        query: TemporalAggregationQuery,
+        executor: Executor | None = None,
+    ) -> TemporalAggregationResult:
+        """Run ParTime over pre-partitioned chunks (what storage nodes do)."""
+        executor = executor or SerialExecutor()
+        self.last_stats = ParTimeStats(
+            num_partitions=len(chunks),
+            records_scanned=sum(len(c) for c in chunks),
+        )
+        if query.is_windowed:
+            return self._execute_windowed(chunks, query, executor)
+        if query.is_multidim:
+            return self._execute_multidim(table, chunks, query, executor)
+        return self._execute_onedim(chunks, query, executor)
+
+    # ----------------------------------------------------------- internals
+
+    def _until(self, query: TemporalAggregationQuery, dim: str) -> int:
+        iv = query.interval_of(dim)
+        return FOREVER if iv is None else iv.end
+
+    def _execute_onedim(
+        self,
+        chunks: Sequence[TableChunk],
+        query: TemporalAggregationQuery,
+        executor: Executor,
+    ) -> TemporalAggregationResult:
+        dim = query.varied_dims[0]
+        agg = query.aggregate_fn
+
+        def step1(chunk: TableChunk):
+            return generate_delta_map(
+                chunk,
+                query.value_column,
+                dim,
+                agg,
+                predicate=query.predicate,
+                query_interval=query.interval_of(dim),
+                mode=self.mode,
+                backend=self.backend,
+            )
+
+        maps = executor.map_parallel(step1, chunks, label="partime.step1")
+        self.last_stats.delta_entries = sum(len(m) for m in maps)
+        until = self._until(query, dim)
+
+        if self.parallel_step2 and len(maps) > 1:
+            maps = self._consolidate_parallel(maps, agg, executor)
+
+        def step2():
+            if all(isinstance(m, SortedArrayDeltaMap) for m in maps):
+                return merge_sorted_arrays(
+                    maps, agg, until=until, drop_empty=query.drop_empty
+                )
+            return merge_delta_maps(
+                maps, agg, until=until, drop_empty=query.drop_empty
+            )
+
+        pairs = executor.run_serial(step2, label="partime.step2")
+        self.last_stats.result_rows = len(pairs)
+        return TemporalAggregationResult.from_pairs(
+            dim, pairs, aggregate_name=agg.name
+        )
+
+    def _execute_windowed(
+        self,
+        chunks: Sequence[TableChunk],
+        query: TemporalAggregationQuery,
+        executor: Executor,
+    ) -> TemporalAggregationResult:
+        dim = query.varied_dims[0]
+        agg = query.aggregate_fn
+        window = query.window
+        assert window is not None
+
+        def step1(chunk: TableChunk):
+            return generate_windowed_delta_map(
+                chunk,
+                query.value_column,
+                dim,
+                window,
+                agg,
+                predicate=query.predicate,
+                mode=self.mode if agg.incremental else "pure",
+            )
+
+        maps = executor.map_parallel(step1, chunks, label="partime.step1w")
+
+        def step2():
+            return merge_window_maps(
+                maps, window, agg, drop_empty=query.drop_empty
+            )
+
+        points = executor.run_serial(step2, label="partime.step2w")
+        self.last_stats.result_rows = len(points)
+        return TemporalAggregationResult.from_points(
+            dim, window.stride, points, aggregate_name=agg.name
+        )
+
+    def _execute_multidim(
+        self,
+        table: TemporalTable,
+        chunks: Sequence[TableChunk],
+        query: TemporalAggregationQuery,
+        executor: Executor,
+    ) -> TemporalAggregationResult:
+        agg = query.aggregate_fn
+        pivot = query.pivot
+        if pivot is None:
+            stats = collect_statistics(table, query.varied_dims)
+            pivot = choose_pivot(stats, query.varied_dims)
+        self.last_stats.pivot = pivot
+        nonpivot = [d for d in query.varied_dims if d != pivot]
+
+        def step1(chunk: TableChunk):
+            return generate_multidim_delta_map(
+                chunk,
+                query.value_column,
+                query.varied_dims,
+                pivot,
+                agg,
+                predicate=query.predicate,
+                query_intervals=query.query_intervals or None,
+            )
+
+        maps = executor.map_parallel(step1, chunks, label="partime.step1md")
+        self.last_stats.delta_entries = sum(len(m) for m in maps)
+
+        if self.parallel_step2 and len(maps) > 1:
+            maps = self._consolidate_parallel(maps, agg, executor)
+
+        def step2():
+            return merge_multidim_maps(
+                maps,
+                agg,
+                num_dims=len(query.varied_dims),
+                pivot_until=self._until(query, pivot),
+                nonpivot_untils=[self._until(query, d) for d in nonpivot],
+            )
+
+        raw_rows = executor.run_serial(step2, label="partime.step2md")
+        self.last_stats.result_rows = len(raw_rows)
+
+        # Raw rows order intervals (nonpivot..., pivot); reorder to the
+        # query's declared dimension order.
+        raw_order = nonpivot + [pivot]
+        perm = [raw_order.index(d) for d in query.varied_dims]
+        rows = [
+            (tuple(ivs[i] for i in perm), value) for ivs, value in raw_rows
+        ]
+        return TemporalAggregationResult.from_multidim(
+            query.varied_dims, rows, aggregate_name=agg.name
+        )
+
+    def _consolidate_parallel(self, maps, agg, executor: Executor):
+        """Multi-level pairwise consolidation (parallel Step 2 extension)."""
+        maps = list(maps)
+        for level in parallel_merge_plan(maps):
+            def merge_pair(pair, _maps=maps):
+                i, j = pair
+                return consolidate_pair(_maps[i], _maps[j], agg)
+
+            merged = executor.map_parallel(
+                merge_pair, level, label="partime.step2.level"
+            )
+            leftover = [maps[-1]] if len(maps) % 2 else []
+            maps = list(merged) + leftover
+        return maps

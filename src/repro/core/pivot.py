@@ -1,0 +1,86 @@
+"""Pivot-dimension selection for multi-dimensional aggregation.
+
+Section 3.4: *"For correctness, any time dimension can be used as pivot
+dimension.  For performance, it is best to choose the time dimension with
+the least distinct values (i.e., timestamps) because that will minimize the
+size of the delta map generated in Step 1.  Typically, one of the business
+time dimensions has the least distinct values and our implementation of
+ParTime keeps statistics to pivot for the best possible time dimension."*
+
+:class:`DimensionStatistics` are those statistics; :func:`choose_pivot`
+implements the selection rule.  Statistics can be computed exactly or from
+a sample (the production setting — a storage node would keep them
+incrementally).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.temporal.table import TableChunk, TemporalTable
+from repro.temporal.timestamps import FOREVER
+
+
+@dataclass(frozen=True)
+class DimensionStatistics:
+    """Distinct-timestamp statistics of one time dimension."""
+
+    dim: str
+    distinct_timestamps: int
+    open_ended_fraction: float
+
+    @classmethod
+    def collect(
+        cls, table_or_chunk: "TemporalTable | TableChunk", dim: str,
+        sample: int | None = None,
+    ) -> "DimensionStatistics":
+        """Compute statistics, optionally from the first ``sample`` rows."""
+        if isinstance(table_or_chunk, TemporalTable):
+            starts = table_or_chunk.column(f"{dim}_start")
+            ends = table_or_chunk.column(f"{dim}_end")
+        else:
+            starts = table_or_chunk.column(f"{dim}_start")
+            ends = table_or_chunk.column(f"{dim}_end")
+        if sample is not None:
+            starts = starts[:sample]
+            ends = ends[:sample]
+        if len(starts) == 0:
+            return cls(dim, 0, 0.0)
+        finite_ends = ends[ends < FOREVER]
+        distinct = len(np.unique(np.concatenate([starts, finite_ends])))
+        open_frac = 1.0 - len(finite_ends) / len(ends)
+        return cls(dim, distinct, open_frac)
+
+
+def choose_pivot(
+    stats: Sequence[DimensionStatistics], dims: Sequence[str] | None = None
+) -> str:
+    """The dimension with the fewest distinct timestamps.
+
+    ``dims`` optionally restricts the choice to the query's varied
+    dimensions.  Ties break toward the earlier dimension in ``stats``
+    order, which puts business time ahead of transaction time under the
+    schema convention.
+    """
+    candidates = [s for s in stats if dims is None or s.dim in dims]
+    if not candidates:
+        raise ValueError("no candidate pivot dimension")
+    best = candidates[0]
+    for s in candidates[1:]:
+        if s.distinct_timestamps < best.distinct_timestamps:
+            best = s
+    return best.dim
+
+
+def collect_statistics(
+    table_or_chunk: "TemporalTable | TableChunk",
+    dims: Sequence[str],
+    sample: int | None = None,
+) -> list[DimensionStatistics]:
+    """Statistics for several dimensions at once."""
+    return [
+        DimensionStatistics.collect(table_or_chunk, d, sample=sample) for d in dims
+    ]

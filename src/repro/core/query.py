@@ -1,0 +1,71 @@
+"""Temporal aggregation query specifications.
+
+A :class:`TemporalAggregationQuery` captures everything Section 3 varies:
+
+* which *value column* is aggregated, with which aggregate function;
+* which time dimensions are *varied* (one → Figure 2, several → Figure 3);
+* a :class:`~repro.temporal.predicates.Predicate` holding the *fixed*
+  dimensions (time-travel / overlap filters) and any non-temporal
+  selections — applied before delta generation;
+* optional *query intervals* restricting the varied dimensions to ranges
+  (TPC-BiH r3/r4);
+* an optional :class:`~repro.core.window.WindowSpec` turning the query into
+  a windowed one (Figure 4), which unlocks the array delta map;
+* an optional explicit *pivot* for multi-dimensional queries (by default
+  the statistics of Section 3.4 choose it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.aggregates import AggregateFunction, get_aggregate
+from repro.core.window import WindowSpec
+from repro.temporal.predicates import Predicate
+from repro.temporal.timestamps import Interval
+
+
+@dataclass(frozen=True)
+class TemporalAggregationQuery:
+    """Declarative description of one temporal aggregation."""
+
+    varied_dims: tuple[str, ...]
+    value_column: str | None = None
+    aggregate: str = "sum"
+    predicate: Predicate | None = None
+    query_intervals: dict = field(default_factory=dict)
+    window: WindowSpec | None = None
+    pivot: str | None = None
+    drop_empty: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.varied_dims:
+            raise ValueError("a temporal aggregation must vary some dimension")
+        if len(set(self.varied_dims)) != len(self.varied_dims):
+            raise ValueError("duplicate varied dimension")
+        if self.window is not None and len(self.varied_dims) != 1:
+            raise ValueError("windowed aggregation is one-dimensional")
+        if self.pivot is not None and self.pivot not in self.varied_dims:
+            raise ValueError("pivot must be one of the varied dimensions")
+        for d in self.query_intervals:
+            if d not in self.varied_dims:
+                raise ValueError(
+                    f"query interval on {d!r}, which is not varied; "
+                    "fix that dimension through the predicate instead"
+                )
+        get_aggregate(self.aggregate)  # validate eagerly
+
+    @property
+    def aggregate_fn(self) -> AggregateFunction:
+        return get_aggregate(self.aggregate)
+
+    @property
+    def is_windowed(self) -> bool:
+        return self.window is not None
+
+    @property
+    def is_multidim(self) -> bool:
+        return len(self.varied_dims) > 1
+
+    def interval_of(self, dim: str) -> Interval | None:
+        return self.query_intervals.get(dim)

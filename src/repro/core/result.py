@@ -1,0 +1,156 @@
+"""Result containers for temporal aggregation queries.
+
+A :class:`TemporalAggregationResult` is a list of rows, each carrying one
+:class:`~repro.temporal.timestamps.Interval` per varied dimension plus the
+aggregate value — i.e. rows of the shape of Figures 2 (one dimension),
+3 (two dimensions) and 4 (windowed, degenerate intervals of one sample
+point each).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, NamedTuple, Sequence
+
+from repro.temporal.timestamps import Interval, format_ts
+
+
+class ResultRow(NamedTuple):
+    """One row: an interval per output dimension and the aggregate value.
+
+    A NamedTuple — results can hold hundreds of thousands of rows (query
+    r2), so per-row construction cost matters.
+    """
+
+    intervals: tuple[Interval, ...]
+    value: object
+
+    def interval(self, i: int = 0) -> Interval:
+        return self.intervals[i]
+
+
+@dataclass
+class TemporalAggregationResult:
+    """Rows of a temporal aggregation, with named output dimensions.
+
+    ``dims`` names the varied dimensions in row order.  For windowed
+    queries, rows carry degenerate ``[p, p+stride)`` spans and
+    :meth:`points` gives the sampled view.
+    """
+
+    dims: tuple[str, ...]
+    rows: list[ResultRow] = field(default_factory=list)
+    aggregate_name: str = "sum"
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[ResultRow]:
+        return iter(self.rows)
+
+    def __getitem__(self, i: int) -> ResultRow:
+        return self.rows[i]
+
+    @classmethod
+    def from_pairs(
+        cls,
+        dim: str,
+        pairs: Sequence[tuple[Interval, object]],
+        aggregate_name: str = "sum",
+    ) -> "TemporalAggregationResult":
+        """Build a one-dimensional result from ``(interval, value)`` pairs."""
+        return cls(
+            dims=(dim,),
+            rows=[ResultRow((iv,), value) for iv, value in pairs],
+            aggregate_name=aggregate_name,
+        )
+
+    @classmethod
+    def from_points(
+        cls,
+        dim: str,
+        stride: int,
+        pairs: Sequence[tuple[int, object]],
+        aggregate_name: str = "sum",
+    ) -> "TemporalAggregationResult":
+        """Build a windowed result from ``(sample_point, value)`` pairs."""
+        return cls(
+            dims=(dim,),
+            rows=[ResultRow((Interval(p, p + stride),), v) for p, v in pairs],
+            aggregate_name=aggregate_name,
+        )
+
+    @classmethod
+    def from_multidim(
+        cls,
+        dims: Sequence[str],
+        rows: Sequence[tuple[tuple[Interval, ...], object]],
+        aggregate_name: str = "sum",
+    ) -> "TemporalAggregationResult":
+        return cls(
+            dims=tuple(dims),
+            rows=[ResultRow(tuple(ivs), value) for ivs, value in rows],
+            aggregate_name=aggregate_name,
+        )
+
+    # ---------------------------------------------------------------- views
+
+    def value_at(self, *timestamps: int):
+        """The aggregate value at a point (one timestamp per dimension);
+        ``None`` when no row covers the point."""
+        if len(timestamps) != len(self.dims):
+            raise ValueError(f"need {len(self.dims)} timestamps")
+        for row in self.rows:
+            if all(iv.contains(ts) for iv, ts in zip(row.intervals, timestamps)):
+                return row.value
+        return None
+
+    def points(self) -> list[tuple[int, object]]:
+        """``(interval_start, value)`` pairs of a one-dimensional result."""
+        if len(self.dims) != 1:
+            raise ValueError("points() requires a one-dimensional result")
+        return [(row.intervals[0].start, row.value) for row in self.rows]
+
+    def pairs(self) -> list[tuple[Interval, object]]:
+        """``(interval, value)`` pairs of a one-dimensional result."""
+        if len(self.dims) != 1:
+            raise ValueError("pairs() requires a one-dimensional result")
+        return [(row.intervals[0], row.value) for row in self.rows]
+
+    def total_rows(self) -> int:
+        return len(self.rows)
+
+    def format_table(self, max_rows: int = 50) -> str:
+        """Pretty-print the result like the paper's figures.
+
+        >>> r = TemporalAggregationResult.from_pairs(
+        ...     "tt", [(Interval(0, 5), 15000), (Interval(5, FOREVER), 20000)])
+        >>> print(r.format_table())  # doctest: +NORMALIZE_WHITESPACE
+        tt_start | tt_end | SUM
+        ---------+--------+------
+               0 |      5 | 15000
+               5 |    inf | 20000
+        """
+        headers: list[str] = []
+        for d in self.dims:
+            headers += [f"{d}_start", f"{d}_end"]
+        headers.append(self.aggregate_name.upper())
+        body: list[list[str]] = []
+        for row in self.rows[:max_rows]:
+            cells: list[str] = []
+            for iv in row.intervals:
+                cells += [format_ts(iv.start), format_ts(iv.end)]
+            cells.append(str(row.value))
+            body.append(cells)
+        widths = [len(h) for h in headers]
+        for cells in body:
+            widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+        lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()]
+        lines.append("-+-".join("-" * w for w in widths))
+        for cells in body:
+            lines.append(
+                " | ".join(c.rjust(w) for c, w in zip(cells, widths)).rstrip()
+            )
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)

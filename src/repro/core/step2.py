@@ -1,0 +1,413 @@
+"""Step 2 of ParTime: merging delta maps.
+
+The merge "can be implemented in exactly the same way as a merge in a
+sort-based, regular (non-temporal) group-by operator" (Section 3.2.2): the
+timestamp is the group-by key, deltas at equal timestamps are combined, and
+a running accumulator turns consolidated deltas into the aggregate value of
+each interval between consecutive timestamps.
+
+Provided here:
+
+* :func:`merge_delta_maps` — the sequential k-way merge used by the
+  aggregator node (this is the paper's Step 2);
+* :func:`merge_sorted_arrays` — vectorized merge for the NumPy fast path;
+* :func:`merge_window_maps` — the trivial windowed merge (element-wise sum
+  of fixed-size arrays followed by one prefix scan);
+* :func:`merge_multidim_maps` — the multi-dimensional merge with the
+  interval Cartesian product of Section 3.4;
+* :func:`consolidate_pair` / :func:`parallel_merge_plan` — the multi-level
+  parallel merge the paper sketches as future work ("this parallelization
+  can be achieved with a multi-level merge operation as described in
+  [11]"), used by the parallel-Step-2 ablation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.aggregates import AggregateFunction
+from repro.core.deltamap import ArrayDeltaMap, DeltaMap, SortedArrayDeltaMap
+from repro.core.window import WindowSpec
+from repro.temporal.timestamps import FOREVER, Interval
+
+
+def _merged_entries(maps: Sequence[DeltaMap]) -> Iterator[tuple]:
+    """K-way merge of the maps' sorted entry streams."""
+    return heapq.merge(*(m.items() for m in maps), key=lambda kv: kv[0])
+
+
+def finalize_arrays(
+    aggregate: AggregateFunction, run_vals: np.ndarray, run_cnts: np.ndarray
+) -> list:
+    """Vectorized finalisation of running (value, count) accumulators.
+
+    SUM/COUNT/AVG — the array-backed aggregates — finalize in one NumPy
+    expression plus one ``tolist``; anything else goes through the generic
+    per-entry protocol.  Shared by the Step 2 merges and the Timeline
+    Index (result emission is on both engines' critical paths).
+    """
+    if aggregate.name == "sum":
+        return run_vals.tolist()
+    if aggregate.name == "count":
+        return run_cnts.tolist()
+    if aggregate.name == "avg":
+        with np.errstate(invalid="ignore", divide="ignore"):
+            finals = (run_vals / run_cnts).tolist()
+        return [None if c == 0 else f for f, c in zip(finals, run_cnts.tolist())]
+    return [
+        aggregate.finalize((v, c))
+        for v, c in zip(run_vals.tolist(), run_cnts.tolist())
+    ]
+
+
+def merge_delta_maps(
+    maps: Sequence[DeltaMap],
+    aggregate: AggregateFunction,
+    until: int = FOREVER,
+    drop_empty: bool = False,
+    coalesce: bool = True,
+) -> list[tuple[Interval, object]]:
+    """Sequential Step 2 for one-dimensional aggregation.
+
+    Returns ``(interval, value)`` rows: for every span between consecutive
+    delta timestamps, the aggregate of all records valid throughout that
+    span.  The last span extends to ``until`` (``FOREVER`` reproduces the
+    open-ended final rows of Figure 2).
+
+    ``drop_empty`` suppresses spans with no active record (count 0);
+    ``coalesce`` merges adjacent spans with equal value, which removes the
+    seams left by deltas that consolidated to zero.
+    """
+    rows: list[tuple[Interval, object]] = []
+    acc = aggregate.identity()
+    prev_ts: int | None = None
+    prev_count = 0
+
+    def emit(lo: int, hi: int, value, count: int) -> None:
+        if lo >= hi:
+            return
+        if drop_empty and count == 0:
+            return
+        if coalesce and rows and rows[-1][0].end == lo and rows[-1][1] == value:
+            rows[-1] = (Interval(rows[-1][0].start, hi), value)
+            return
+        rows.append((Interval(lo, hi), value))
+
+    for ts, delta in _merged_entries(maps):
+        ts = int(ts)
+        if prev_ts is not None and ts > prev_ts:
+            emit(prev_ts, ts, aggregate.finalize(acc), prev_count)
+        if prev_ts is None or ts > prev_ts:
+            prev_ts = ts
+        acc = aggregate.apply(acc, delta)
+        prev_count = aggregate.count(acc)
+    if prev_ts is not None:
+        emit(prev_ts, until, aggregate.finalize(acc), prev_count)
+    return rows
+
+
+def merge_sorted_arrays(
+    maps: Sequence[SortedArrayDeltaMap],
+    aggregate: AggregateFunction,
+    until: int = FOREVER,
+    drop_empty: bool = False,
+    coalesce: bool = True,
+) -> list[tuple[Interval, object]]:
+    """Vectorized Step 2 for the SUM/COUNT/AVG fast path.
+
+    Semantically identical to :func:`merge_delta_maps`; concatenates the
+    backing arrays, re-consolidates with one sort, and prefix-sums.
+    """
+    keys_parts, val_parts, cnt_parts = [], [], []
+    for m in maps:
+        keys, (vals, cnts) = m.arrays
+        keys_parts.append(keys)
+        val_parts.append(vals)
+        cnt_parts.append(cnts)
+    if not keys_parts or sum(map(len, keys_parts)) == 0:
+        return []
+    all_keys = np.concatenate(keys_parts)
+    all_vals = np.concatenate(val_parts)
+    all_cnts = np.concatenate(cnt_parts)
+    keys, inverse = np.unique(all_keys, return_inverse=True)
+    vals = np.zeros(len(keys), dtype=np.float64)
+    cnts = np.zeros(len(keys), dtype=np.int64)
+    np.add.at(vals, inverse, all_vals)
+    np.add.at(cnts, inverse, all_cnts)
+    run_vals = np.cumsum(vals)
+    run_cnts = np.cumsum(cnts)
+    finals = finalize_arrays(aggregate, run_vals, run_cnts)
+
+    rows: list[tuple[Interval, object]] = []
+    ends = np.empty(len(keys), dtype=np.int64)
+    ends[:-1] = keys[1:]
+    ends[-1] = until
+    keys_list = keys.tolist()
+    ends_list = ends.tolist()
+    cnts_list = run_cnts.tolist()
+    for i, lo in enumerate(keys_list):
+        if drop_empty and cnts_list[i] == 0:
+            continue
+        hi = ends_list[i]
+        if lo >= hi:
+            continue
+        value = finals[i]
+        if coalesce and rows and rows[-1][0].end == lo and rows[-1][1] == value:
+            rows[-1] = (Interval(rows[-1][0].start, hi), value)
+        else:
+            rows.append((Interval(lo, hi), value))
+    return rows
+
+
+def merge_window_maps(
+    maps: Sequence[object],
+    window: WindowSpec,
+    aggregate: AggregateFunction,
+    drop_empty: bool = False,
+) -> list[tuple[int, object]]:
+    """Step 2 for windowed aggregation: sum the fixed-size delta arrays
+    slot-wise, then one prefix scan yields the value at every sample point.
+
+    Accepts a mix of :class:`ArrayDeltaMap` (pure path) and
+    ``(value_deltas, count_deltas)`` array pairs (vectorized path).
+    """
+    if aggregate.incremental:
+        val_total = np.zeros(window.count + 1, dtype=np.float64)
+        cnt_total = np.zeros(window.count + 1, dtype=np.int64)
+        for m in maps:
+            if isinstance(m, ArrayDeltaMap):
+                for bucket, delta in m.items():
+                    val_total[bucket] += delta[0]
+                    cnt_total[bucket] += delta[1]
+            else:
+                vals, cnts = m
+                val_total += vals
+                cnt_total += cnts
+        run_vals = np.cumsum(val_total[: window.count])
+        run_cnts = np.cumsum(cnt_total[: window.count])
+        rows: list[tuple[int, object]] = []
+        for i in range(window.count):
+            if drop_empty and run_cnts[i] == 0:
+                continue
+            value = aggregate.finalize((run_vals[i].item(), int(run_cnts[i])))
+            rows.append((window.point(i), value))
+        return rows
+
+    # Non-incremental aggregates: replay bucket deltas through the
+    # accumulator (the "priority queue" merge of Section 3.2.3).
+    acc = aggregate.identity()
+    slot_deltas: list[object] = [None] * (window.count + 1)
+    for m in maps:
+        if not isinstance(m, ArrayDeltaMap):
+            raise TypeError("non-incremental windowed merge needs ArrayDeltaMaps")
+        for bucket, delta in m.items():
+            old = slot_deltas[bucket]
+            slot_deltas[bucket] = delta if old is None else aggregate.combine(old, delta)
+    rows = []
+    for i in range(window.count):
+        if slot_deltas[i] is not None:
+            acc = aggregate.apply(acc, slot_deltas[i])
+        if drop_empty and aggregate.count(acc) == 0:
+            continue
+        rows.append((window.point(i), aggregate.finalize(acc)))
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Multi-dimensional merge (Section 3.4)
+# --------------------------------------------------------------------------
+
+
+def _resolve(
+    items: Iterable[tuple[tuple, object]],
+    aggregate: AggregateFunction,
+    dims_remaining: int,
+    untils: Sequence[int],
+) -> list[tuple[tuple[Interval, ...], object]]:
+    """The interval Cartesian product of overlapping deltas.
+
+    ``items`` are ``(flat_key, delta)`` pairs where ``flat_key`` holds
+    ``dims_remaining`` interval boundary pairs ``(s0, e0, s1, e1, ...)``.
+    Sweeps the first dimension's boundaries, maintaining the set of active
+    deltas (keyed by their remaining intervals), and recurses — producing
+    one output row per cell of the overlap grid, exactly the result
+    explosion of Figure 3.
+    """
+    if dims_remaining == 0:
+        acc = aggregate.identity()
+        for _key, delta in items:
+            acc = aggregate.apply(acc, delta)
+        if aggregate.count(acc) == 0:
+            return []
+        return [((), aggregate.finalize(acc))]
+
+    # Build the event list over the first remaining dimension.
+    events: dict[int, dict[tuple, object]] = {}
+
+    def add_event(ts: int, rest: tuple, delta) -> None:
+        bucket = events.setdefault(ts, {})
+        old = bucket.get(rest)
+        merged = delta if old is None else aggregate.combine(old, delta)
+        if aggregate.is_null_delta(merged):
+            bucket.pop(rest, None)
+        else:
+            bucket[rest] = merged
+
+    until = untils[0]
+    for key, delta in items:
+        start, end, rest = key[0], key[1], key[2:]
+        add_event(start, rest, delta)
+        if end < until:
+            add_event(end, rest, aggregate.negate(delta))
+
+    rows: list[tuple[tuple[Interval, ...], object]] = []
+    active: dict[tuple, object] = {}
+    boundaries = sorted(events)
+    for idx, ts in enumerate(boundaries):
+        for rest, delta in events[ts].items():
+            old = active.get(rest)
+            merged = delta if old is None else aggregate.combine(old, delta)
+            if aggregate.is_null_delta(merged):
+                active.pop(rest, None)
+            else:
+                active[rest] = merged
+        hi = boundaries[idx + 1] if idx + 1 < len(boundaries) else until
+        if ts >= hi or not active:
+            continue
+        sub = _resolve(list(active.items()), aggregate, dims_remaining - 1, untils[1:])
+        span = Interval(ts, hi)
+        for sub_intervals, value in sub:
+            rows.append(((span,) + sub_intervals, value))
+    return rows
+
+
+def merge_multidim_maps(
+    maps: Sequence[DeltaMap],
+    aggregate: AggregateFunction,
+    num_dims: int,
+    pivot_until: int = FOREVER,
+    nonpivot_untils: Sequence[int] | None = None,
+    coalesce: bool = False,
+) -> list[tuple[tuple[Interval, ...], object]]:
+    """Step 2 for multi-dimensional aggregation.
+
+    Entries arrive ordered by pivot timestamp (the maps reorder their keys
+    internally); the sweep maintains the set of active non-pivot deltas and
+    resolves their interval overlaps for every pivot span.  Output rows are
+    ``((nonpivot_intervals..., pivot_interval), value)`` — non-pivot
+    dimensions in key order, pivot last, as in the paper's delta notation.
+
+    Rows with no active record are dropped (they do not appear in Figure 3
+    either).  ``coalesce`` optionally merges pivot-adjacent rows whose
+    non-pivot intervals and values are identical; Figure 3 keeps them
+    separate (every pivot event splits all rows), so the default is off.
+    """
+    untils = list(nonpivot_untils or [FOREVER] * (num_dims - 1))
+    if len(untils) != num_dims - 1:
+        raise ValueError("need one 'until' per non-pivot dimension")
+
+    active: dict[tuple, object] = {}
+    rows: list[tuple[tuple[Interval, ...], object]] = []
+
+    def emit_row(nonpivot_intervals: tuple, span: Interval, value) -> None:
+        if coalesce:
+            # Try to extend a row from the immediately preceding pivot span.
+            for j in range(len(rows) - 1, -1, -1):
+                prev_iv, prev_val = rows[j]
+                if prev_iv[-1].end < span.start:
+                    break
+                if (
+                    prev_iv[-1].end == span.start
+                    and prev_iv[:-1] == nonpivot_intervals
+                    and prev_val == value
+                ):
+                    rows[j] = (
+                        nonpivot_intervals
+                        + (Interval(prev_iv[-1].start, span.end),),
+                        value,
+                    )
+                    return
+        rows.append((nonpivot_intervals + (span,), value))
+
+    def emit_span(lo: int, hi: int) -> None:
+        if lo >= hi or not active:
+            return
+        resolved = _resolve(list(active.items()), aggregate, num_dims - 1, untils)
+        span = Interval(lo, hi)
+        for nonpivot_intervals, value in resolved:
+            emit_row(nonpivot_intervals, span, value)
+
+    prev_ts: int | None = None
+    for key, delta in _merged_entries(maps):
+        ts = int(key[0])
+        rest = tuple(int(x) for x in key[1:])
+        if prev_ts is not None and ts > prev_ts:
+            emit_span(prev_ts, ts)
+        if prev_ts is None or ts > prev_ts:
+            prev_ts = ts
+        old = active.get(rest)
+        merged = delta if old is None else aggregate.combine(old, delta)
+        if aggregate.is_null_delta(merged):
+            active.pop(rest, None)
+        else:
+            active[rest] = merged
+    if prev_ts is not None:
+        emit_span(prev_ts, pivot_until)
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Parallel multi-level merge (the paper's future work, Section 3.4)
+# --------------------------------------------------------------------------
+
+
+class _ListDeltaMap(DeltaMap):
+    """A consolidated delta map backed by a sorted entry list."""
+
+    def __init__(self, aggregate: AggregateFunction, entries: list) -> None:
+        super().__init__(aggregate)
+        self._entries = entries
+
+    def put(self, key, delta) -> None:
+        raise TypeError("consolidated delta maps are read-only")
+
+    def items(self):
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def consolidate_pair(
+    a: DeltaMap, b: DeltaMap, aggregate: AggregateFunction
+) -> DeltaMap:
+    """Merge two delta maps into one, combining deltas at equal keys.
+
+    This is the unit of work of the multi-level parallel merge: at each
+    level, pairs of maps are consolidated independently (in parallel),
+    halving the number of maps; after log2(k) levels one map remains and
+    the final accumulator pass is linear in its size.
+    """
+    entries: list = []
+    for key, delta in heapq.merge(a.items(), b.items(), key=lambda kv: kv[0]):
+        if entries and entries[-1][0] == key:
+            entries[-1] = (key, aggregate.combine(entries[-1][1], delta))
+        else:
+            entries.append((key, delta))
+    return _ListDeltaMap(aggregate, entries)
+
+
+def parallel_merge_plan(maps: Sequence[DeltaMap]) -> list[list[tuple[int, int]]]:
+    """The pairing schedule of the multi-level merge: a list of levels,
+    each a list of ``(i, j)`` index pairs merged concurrently.  Odd maps
+    pass through a level untouched."""
+    plan: list[list[tuple[int, int]]] = []
+    n = len(maps)
+    while n > 1:
+        level = [(i, i + 1) for i in range(0, n - 1, 2)]
+        plan.append(level)
+        n = (n + 1) // 2
+    return plan

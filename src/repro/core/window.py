@@ -1,0 +1,76 @@
+"""Window specifications for windowed temporal aggregation (Section 3.3).
+
+A *windowed* temporal aggregation query samples the aggregate at a known,
+fixed grid of points in time — e.g. "the total payroll at the beginning of
+each year" (Example 3, Figure 4).  Because the result size is known in
+advance, Step 1 can use a plain array as the delta map (Figure 9) instead
+of a dynamic B-tree.
+
+:class:`WindowSpec` describes the grid: ``count`` sample points starting at
+``origin``, ``stride`` apart.  A record valid over ``[start, end)`` is
+visible at sample point ``p`` iff ``start <= p < end``; translated to array
+indices, the record contributes ``+value`` at ``bucket(start)`` and
+``-value`` at ``bucket(end)``, where ``bucket`` rounds *up* to the next
+sample point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.temporal.timestamps import FOREVER, Interval
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A fixed grid of ``count`` sample points: origin + i * stride."""
+
+    origin: int
+    stride: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+        if self.count <= 0:
+            raise ValueError("need at least one sample point")
+
+    @classmethod
+    def covering(cls, interval: Interval, stride: int) -> "WindowSpec":
+        """The grid with the given stride whose points cover ``interval``."""
+        count = max(1, -(-(interval.end - interval.start) // stride))
+        return cls(interval.start, stride, count)
+
+    def points(self) -> np.ndarray:
+        """All sample points as an int64 array."""
+        return self.origin + self.stride * np.arange(self.count, dtype=np.int64)
+
+    def point(self, i: int) -> int:
+        if not 0 <= i < self.count:
+            raise IndexError(i)
+        return self.origin + i * self.stride
+
+    def bucket(self, ts: int) -> int:
+        """Index of the first sample point >= ``ts``, clamped to
+        ``[0, count]``.  Index ``count`` means "beyond the window" — a
+        start there never becomes visible, an end there never expires
+        within the window."""
+        if ts >= FOREVER:
+            return self.count
+        i = -(-(ts - self.origin) // self.stride)  # ceil division
+        if i < 0:
+            return 0
+        if i > self.count:
+            return self.count
+        return int(i)
+
+    def buckets(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`bucket`."""
+        ts = np.asarray(ts, dtype=np.int64)
+        # Avoid overflow on FOREVER sentinels: clamp before arithmetic.
+        hi = self.origin + self.stride * (self.count + 1)
+        clamped = np.minimum(ts, hi)
+        idx = -((self.origin - clamped) // self.stride)
+        return np.clip(idx, 0, self.count).astype(np.int64)

@@ -1,0 +1,30 @@
+"""Simulated multicore execution and cost accounting.
+
+The paper's headline experiments run on a 32-core NUMA machine; CPython
+(GIL, and a single-CPU container) cannot demonstrate real 32-way speedup.
+This package provides the substitution documented in DESIGN.md: algorithms
+run for real, their per-task wall-clock work is measured, and a
+:class:`~repro.simtime.clock.SimClock` derives the elapsed time a parallel
+machine would observe — a parallel phase costs the *makespan* of its tasks
+over the available cores, a serial phase costs the *sum*.
+
+Because the real work of every task is measured (not modelled), Amdahl
+effects emerge naturally: ParTime's Step 1 shrinks with more cores while
+Step 2 does not, and query r2's giant per-partition delta maps make Step 2
+grow with the number of cores, just as in Figure 19.
+"""
+
+from repro.simtime.clock import SimClock, Phase
+from repro.simtime.machine import MachineSpec
+from repro.simtime.executor import Executor, SerialExecutor, ThreadExecutor
+from repro.simtime.cost import CostModel
+
+__all__ = [
+    "SimClock",
+    "Phase",
+    "MachineSpec",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "CostModel",
+]

@@ -1,0 +1,86 @@
+"""The simulated clock: makespan accounting for parallel phases.
+
+A :class:`SimClock` accumulates *simulated elapsed time* from measured
+per-task durations.  Parallel phases are scheduled onto a bounded number of
+core slots with a greedy longest-processing-time-first policy, so asking
+for more tasks than cores correctly serialises the excess — this is what
+produces the flattening speedup curves of Figures 15 and 19 when a phase
+stops being the bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One recorded phase: its label, kind, and task durations (seconds)."""
+
+    label: str
+    kind: str  # "parallel" | "serial"
+    durations: tuple[float, ...]
+    slots: int
+    elapsed: float
+
+
+def makespan(durations: Sequence[float], slots: int) -> float:
+    """Greedy LPT makespan of ``durations`` on ``slots`` identical cores.
+
+    >>> makespan([3.0, 3.0, 2.0, 2.0], slots=2)
+    5.0
+    >>> makespan([4.0, 1.0], slots=8)
+    4.0
+    """
+    if not durations:
+        return 0.0
+    if slots <= 0:
+        raise ValueError("need at least one slot")
+    if slots == 1:
+        return float(sum(durations))
+    loads = [0.0] * min(slots, len(durations))
+    for d in sorted(durations, reverse=True):
+        i = loads.index(min(loads))
+        loads[i] += d
+    return max(loads)
+
+
+class SimClock:
+    """Accumulates simulated elapsed time across phases.
+
+    >>> clock = SimClock()
+    >>> clock.parallel("scan", [1.0, 1.0, 1.0, 1.0], slots=4)
+    >>> clock.serial("merge", 0.5)
+    >>> clock.elapsed
+    1.5
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.phases: list[Phase] = []
+
+    def parallel(self, label: str, durations: Sequence[float], slots: int) -> None:
+        span = makespan(durations, slots)
+        self.phases.append(
+            Phase(label, "parallel", tuple(durations), slots, span)
+        )
+        self.elapsed += span
+
+    def serial(self, label: str, duration: float) -> None:
+        self.phases.append(Phase(label, "serial", (duration,), 1, duration))
+        self.elapsed += duration
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.phases.clear()
+
+    def total_work(self) -> float:
+        """CPU-seconds of actual work across all phases (independent of the
+        degree of parallelism)."""
+        return sum(sum(p.durations) for p in self.phases)
+
+    def phase_elapsed(self, label_prefix: str) -> float:
+        """Elapsed time attributed to phases whose label starts with the
+        given prefix (e.g. ``"partime.step1"``)."""
+        return sum(p.elapsed for p in self.phases if p.label.startswith(label_prefix))

@@ -1,0 +1,83 @@
+"""Calibrated cost constants for the commercial-system stand-ins.
+
+Systems D and M of Section 5.1 are anonymous commercial databases; we model
+their *cost structure* rather than their implementations (see DESIGN.md):
+
+* **System D** — disk-based, general-purpose: pays buffered page I/O on
+  scans even when warm (buffer-manager overhead), has good secondary
+  indexes (the paper ran its index advisor), and executes temporal
+  aggregation via self-joins over the time columns — which is why it is
+  orders of magnitude slower than a purpose-built operator and why it
+  times out at scale.
+* **System M** — main-memory columnar analytics engine with strong
+  compression and fast scans, primary-key indexes only, native temporal
+  *storage* but no native temporal aggregation operator.
+
+The constants below are multipliers applied to the measured work of the
+naive reference evaluation; they were chosen so that the SF=1 TPC-BiH
+response-time ordering of Figure 17 (Timeline < ParTime(31) < M < D)
+and the bulk-load ordering of Table 4 hold.  They are deliberately simple:
+the benchmark harness reports shapes, not absolute times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cost multipliers and limits for the simulated comparators."""
+
+    #: Cores the commercial systems use (Section 5.1: "Systems D and M
+    #: made use of all 32 cores").  Their generic plans parallelise with
+    #: the given efficiency, which is how System M with 32 cores beats
+    #: ParTime with 2 (Section 5.4.1) despite the worse algorithm.
+    commercial_cores: int = 32
+    #: D's temporal plans are effectively single-threaded (disk-era
+    #: executor): efficiency 1/32 cancels the 32-way divisor.
+    system_d_parallel_efficiency: float = 0.03125
+    system_m_parallel_efficiency: float = 0.70
+
+    # --- System D (disk-based, Section 5.1) -----------------------------
+    #: Slowdown of D's buffered scan vs. a columnar in-memory scan.
+    system_d_scan_factor: float = 12.0
+    #: Extra blow-up of D's temporal aggregation (self-join plans grow
+    #: super-linearly in the number of versions), per core, before the
+    #: parallel divisor.
+    system_d_temporal_factor: float = 400.0
+    #: D's result materialisation overhead on temporal aggregation.
+    system_d_merge_factor: float = 5.0
+    #: Speed-up D gets on indexed point/range queries.
+    system_d_index_speedup: float = 200.0
+    #: Per-row bulk-load slowdown (row store, constraint checks, logging).
+    system_d_load_factor: float = 300.0
+
+    # --- System M (main-memory columnar, Section 5.1) -------------------
+    #: M's scans are fast: mild factor over our NumPy scan.
+    system_m_scan_factor: float = 1.5
+    #: M's temporal aggregation still goes through generic plans.
+    system_m_temporal_factor: float = 12.0
+    #: M's result materialisation overhead on temporal aggregation.
+    system_m_merge_factor: float = 2.0
+    #: Speed-up from M's primary-key index on key lookups.
+    system_m_index_speedup: float = 100.0
+    #: M's compressed temporal bulk load is notoriously slow (Table 4:
+    #: 962 min vs 2.5 min for Crescando on SF=1).
+    system_m_load_factor: float = 1200.0
+    #: M's dictionary compression shrinks storage (Table 3).
+    system_m_compression: float = 0.9
+
+    # --- Timeouts --------------------------------------------------------
+    #: Simulated seconds after which D/M abort a query, as they did on the
+    #: full Amadeus database and on TPC-BiH SF=100.
+    timeout_s: float = 600.0
+
+    # --- Crescando / shared scan -----------------------------------------
+    #: Maximum number of queries batched into one shared scan cycle
+    #: ("Crescando processes a batch of up to 2000 queries", Section 5.3.2).
+    max_batch: int = 2000
+
+
+#: Default calibration used by the benchmark harness.
+DEFAULT_COSTS = CostModel()

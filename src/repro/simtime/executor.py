@@ -1,0 +1,88 @@
+"""Executors: how parallel phases actually run and are accounted.
+
+Two implementations of the same small protocol:
+
+* :class:`SerialExecutor` — runs tasks one after another, measures each
+  with ``perf_counter`` and books the phase into a
+  :class:`~repro.simtime.clock.SimClock` as if the tasks had run on
+  ``slots`` cores.  This is the default and the basis of every simulated
+  experiment (see DESIGN.md on the hardware substitution).
+* :class:`ThreadExecutor` — a real ``ThreadPoolExecutor``.  Under the GIL
+  this gives no speedup for pure-Python work (the very limitation the
+  substitution works around) but it validates that Step 1 is safe to run
+  concurrently, and NumPy releases the GIL for large array kernels.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Protocol, Sequence
+
+from repro.simtime.clock import SimClock
+
+
+class Executor(Protocol):
+    """The execution/accounting interface ParTime and the cluster use."""
+
+    clock: SimClock
+
+    def map_parallel(
+        self, fn: Callable, items: Sequence, label: str = ""
+    ) -> list: ...
+
+    def run_serial(self, fn: Callable[[], Any], label: str = "") -> Any: ...
+
+
+class SerialExecutor:
+    """Sequential execution with simulated-parallel accounting.
+
+    ``slots`` is the number of simulated cores available to parallel
+    phases; by default every task of a phase gets its own core (the
+    one-chunk-per-worker usage of :class:`~repro.core.partime.ParTime`).
+    """
+
+    def __init__(self, slots: int | None = None, clock: SimClock | None = None) -> None:
+        self.slots = slots
+        self.clock = clock or SimClock()
+
+    def map_parallel(self, fn: Callable, items: Sequence, label: str = "") -> list:
+        results = []
+        durations = []
+        for item in items:
+            t0 = time.perf_counter()
+            results.append(fn(item))
+            durations.append(time.perf_counter() - t0)
+        slots = self.slots if self.slots is not None else max(1, len(items))
+        self.clock.parallel(label or fn.__name__, durations, slots)
+        return results
+
+    def run_serial(self, fn: Callable[[], Any], label: str = "") -> Any:
+        t0 = time.perf_counter()
+        result = fn()
+        self.clock.serial(label or fn.__name__, time.perf_counter() - t0)
+        return result
+
+
+class ThreadExecutor:
+    """Real threads; simulated clock records wall-clock per phase."""
+
+    def __init__(self, max_workers: int, clock: SimClock | None = None) -> None:
+        if max_workers < 1:
+            raise ValueError("need at least one worker")
+        self.max_workers = max_workers
+        self.clock = clock or SimClock()
+
+    def map_parallel(self, fn: Callable, items: Sequence, label: str = "") -> list:
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            results = list(pool.map(fn, items))
+        wall = time.perf_counter() - t0
+        self.clock.parallel(label or fn.__name__, [wall], slots=1)
+        return results
+
+    def run_serial(self, fn: Callable[[], Any], label: str = "") -> Any:
+        t0 = time.perf_counter()
+        result = fn()
+        self.clock.serial(label or fn.__name__, time.perf_counter() - t0)
+        return result

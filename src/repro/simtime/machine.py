@@ -1,0 +1,45 @@
+"""Machine descriptions for the simulated experiments.
+
+The paper's testbed: four Intel Xeon E5-4650 sockets, eight 2.7 GHz cores
+each (32 cores total), 1.5 TB DDR3 RAM, Linux.  :data:`PAPER_MACHINE`
+mirrors that shape.  The NUMA parameters feed the optional remote-access
+penalty: a worker assigned data outside its NUMA region is charged a
+multiplicative slowdown on its scan work, letting the NUMA-awareness
+discussion of Section 5.1 be exercised by tests and an ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A NUMA machine with ``sockets * cores_per_socket`` cores."""
+
+    sockets: int = 4
+    cores_per_socket: int = 8
+    remote_access_penalty: float = 1.4
+
+    @property
+    def cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def numa_region(self, core: int) -> int:
+        """The socket a core belongs to (cores numbered socket-major)."""
+        if not 0 <= core < self.cores:
+            raise ValueError(f"core {core} out of range")
+        return core // self.cores_per_socket
+
+    def scan_penalty(self, core: int, data_region: int, numa_aware: bool) -> float:
+        """Multiplier on scan work for a core touching data in
+        ``data_region``.  NUMA-aware placement puts each partition in its
+        worker's region, so the penalty is 1; naive placement pays the
+        remote-access penalty whenever regions differ."""
+        if numa_aware or self.numa_region(core) == data_region:
+            return 1.0
+        return self.remote_access_penalty
+
+
+#: The evaluation machine of Section 5.1.
+PAPER_MACHINE = MachineSpec(sockets=4, cores_per_socket=8)

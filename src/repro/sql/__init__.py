@@ -1,0 +1,41 @@
+"""A small temporal SQL dialect over ParTime.
+
+Section 4.3 notes that "ParTime can be added to the compiler of an
+extensible temporal database system just like any other new algorithm".
+This package is that compiler surface in miniature: a declarative, SQL:2011
+-flavoured dialect that covers the paper's query classes and compiles to
+the engine-neutral query objects:
+
+.. code-block:: sql
+
+    -- Example 1 (Figure 2): payroll in 1995 per database version
+    SELECT SUM(salary) FROM employee
+    WHERE bt OVERLAPS (9131, 9496)
+    GROUP BY TEMPORAL (tt)
+
+    -- Example 3 (Figure 4): payroll at the start of each year
+    SELECT SUM(salary) FROM employee
+    WHERE CURRENT(tt)
+    GROUP BY TEMPORAL (bt)
+    WINDOW FROM 8401 STRIDE 365 COUNT 3
+
+    -- time travel + selection
+    SELECT COUNT(*) FROM bookings
+    WHERE flight_id = 7 AND tt AS OF 120
+
+    -- the future-work temporal join
+    SELECT COUNT(*) FROM orders TEMPORAL JOIN lineitem
+    ON orderkey = orderkey USING bt
+
+Entry points: :func:`~repro.sql.parser.parse` (text → AST),
+:func:`~repro.sql.planner.plan` (AST + schema → query object) and
+:class:`~repro.sql.database.Database` (register tables, run SQL).
+"""
+
+from repro.sql.ast import SelectStmt
+from repro.sql.database import Database
+from repro.sql.errors import SqlError
+from repro.sql.parser import parse
+from repro.sql.planner import plan
+
+__all__ = ["Database", "SelectStmt", "SqlError", "parse", "plan"]

@@ -1,0 +1,102 @@
+"""Abstract syntax of the temporal SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column <op> literal`` with op in =, <>, <, <=, >, >=."""
+
+    column: str
+    op: str
+    value: object
+
+
+@dataclass(frozen=True)
+class InList:
+    """``column IN (v1, v2, ...)``."""
+
+    column: str
+    values: tuple
+
+
+@dataclass(frozen=True)
+class BetweenCond:
+    """``column BETWEEN lo AND hi`` (half-open, like all ranges here)."""
+
+    column: str
+    lo: object
+    hi: object
+
+
+@dataclass(frozen=True)
+class AsOfCond:
+    """``<dim> AS OF <ts>`` — SQL:2011 time travel on one dimension."""
+
+    dim: str
+    ts: int
+
+
+@dataclass(frozen=True)
+class CurrentCond:
+    """``CURRENT(<dim>)`` — only currently valid versions."""
+
+    dim: str
+
+
+@dataclass(frozen=True)
+class OverlapsCond:
+    """``<dim> OVERLAPS (lo, hi)`` — validity intersects the range."""
+
+    dim: str
+    lo: int
+    hi: int
+
+
+Condition = (Comparison, InList, BetweenCond, AsOfCond, CurrentCond, OverlapsCond)
+
+
+@dataclass(frozen=True)
+class WindowClause:
+    """``WINDOW FROM <origin> STRIDE <stride> COUNT <count>``."""
+
+    origin: int
+    stride: int
+    count: int
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    """One parsed SELECT."""
+
+    aggregate: str  # sum/count/avg/min/max/median/product
+    argument: str | None  # column name, or None for COUNT(*)
+    table: str
+    conditions: tuple = field(default_factory=tuple)
+    temporal_dims: tuple[str, ...] = ()
+    window: WindowClause | None = None
+    pivot: str | None = None
+    drop_empty: bool = False
+
+    @property
+    def is_temporal_aggregation(self) -> bool:
+        return bool(self.temporal_dims)
+
+
+@dataclass(frozen=True)
+class JoinStmt:
+    """A temporal equi-join (the future-work operator as SQL).
+
+    ``SELECT COUNT(*) FROM left TEMPORAL JOIN right ON lkey = rkey
+    USING dim`` counts the matched version pairs; ``SELECT * ...``
+    returns the :class:`~repro.core.joins.JoinRow` list.
+    """
+
+    left: str
+    right: str
+    left_key: str
+    right_key: str
+    dim: str
+    count_only: bool

@@ -1,0 +1,121 @@
+"""A tiny database facade: registered tables + SQL entry point.
+
+:class:`Database` is what a downstream user touches first: register
+bi-temporal tables, then run the temporal SQL dialect against them.
+Temporal aggregations execute through :class:`~repro.core.partime.ParTime`
+with a configurable (or optimizer-chosen) degree of parallelism;
+selections are vectorized counts.
+"""
+
+from __future__ import annotations
+
+from repro.core.joins import ParTimeJoin
+from repro.core.optimizer import ParallelismOptimizer
+from repro.core.partime import ParTime
+from repro.sql.ast import JoinStmt
+from repro.sql.errors import SqlError
+from repro.sql.parser import parse
+from repro.sql.planner import plan, plan_join
+from repro.temporal.table import TemporalTable
+
+
+class Database:
+    """A named collection of bi-temporal tables, queryable with SQL.
+
+    >>> # db = Database(workers=8)
+    >>> # db.register("employee", table)
+    >>> # db.query("SELECT SUM(salary) FROM employee GROUP BY TEMPORAL (tt)")
+    """
+
+    def __init__(self, workers: int = 4, mode: str = "vectorized") -> None:
+        self.workers = workers
+        self._partime = ParTime(mode=mode)
+        self._tables: dict[str, TemporalTable] = {}
+
+    def register(self, name: str, table: TemporalTable) -> None:
+        """Make a table visible to SQL under ``name``."""
+        self._tables[name] = table
+
+    def table(self, name: str) -> TemporalTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SqlError(
+                f"unknown table {name!r}; registered: {sorted(self._tables)}"
+            ) from None
+
+    def query(
+        self, sql: str, workers: int | None = None
+    ) -> "TemporalAggregationResult | int":
+        """Parse, plan and execute one statement.
+
+        Temporal aggregations return a
+        :class:`~repro.core.result.TemporalAggregationResult`; ``COUNT(*)``
+        selections return the matching row count.
+        """
+        stmt = parse(sql)
+        if isinstance(stmt, JoinStmt):
+            left, right = self.table(stmt.left), self.table(stmt.right)
+            plan_join(stmt, left.schema, right.schema)
+            rows = ParTimeJoin().execute(
+                left,
+                right,
+                stmt.left_key,
+                stmt.right_key,
+                dim=stmt.dim,
+                workers=workers or self.workers,
+            )
+            return len(rows) if stmt.count_only else rows
+        table = self.table(stmt.table)
+        kind, compiled = plan(stmt, table.schema)
+        if kind == "select":
+            return int(compiled.mask(table.chunk()).sum())
+        return self._partime.execute(
+            table, compiled, workers=workers or self.workers
+        )
+
+    def explain(self, sql: str) -> str:
+        """A human-readable plan description (no execution)."""
+        stmt = parse(sql)
+        if isinstance(stmt, JoinStmt):
+            return (
+                f"ParTime temporal equi-join {stmt.left} x {stmt.right}\n"
+                f"  on:      {stmt.left_key} = {stmt.right_key}\n"
+                f"  overlap: {stmt.dim}\n"
+                f"  output:  {'count' if stmt.count_only else 'matched pairs'}"
+            )
+        table = self.table(stmt.table)
+        kind, compiled = plan(stmt, table.schema)
+        if kind == "select":
+            return f"SELECT COUNT(*) scan of {stmt.table}: {compiled!r}"
+        lines = [
+            f"ParTime temporal aggregation on {stmt.table}",
+            f"  aggregate:    {compiled.aggregate}({compiled.value_column or '*'})",
+            f"  varied dims:  {', '.join(compiled.varied_dims)}",
+            f"  predicate:    {compiled.predicate!r}",
+        ]
+        if compiled.query_intervals:
+            lines.append(f"  ranges:       {compiled.query_intervals}")
+        if compiled.window is not None:
+            lines.append(f"  window:       {compiled.window}")
+        if compiled.is_multidim:
+            lines.append(f"  pivot:        {compiled.pivot or '(by statistics)'}")
+        lines.append(f"  workers:      {self.workers}")
+        return "\n".join(lines)
+
+    def tune_workers(
+        self, sql: str, max_workers: int = 32, probe_workers: int = 8
+    ) -> int:
+        """Calibrate the parallelism cost model on this query and return
+        the optimal degree (future work #3 as a user-facing feature)."""
+        stmt = parse(sql)
+        if isinstance(stmt, JoinStmt):
+            return self.workers  # join scaling is near-linear; no tuning
+        table = self.table(stmt.table)
+        kind, compiled = plan(stmt, table.schema)
+        if kind != "aggregate":
+            return 1
+        optimizer = ParallelismOptimizer.calibrate(
+            table, compiled, probe_workers=probe_workers
+        )
+        return optimizer.optimal_workers(max_workers)

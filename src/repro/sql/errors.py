@@ -1,0 +1,15 @@
+"""SQL error type with source positions."""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """A lexing, parsing or planning error, pointing into the source."""
+
+    def __init__(self, message: str, source: str = "", pos: int | None = None) -> None:
+        if pos is not None and source:
+            line = source.count("\n", 0, pos) + 1
+            col = pos - (source.rfind("\n", 0, pos) + 1) + 1
+            message = f"{message} (line {line}, column {col})"
+        super().__init__(message)
+        self.pos = pos

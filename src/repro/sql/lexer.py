@@ -1,0 +1,141 @@
+"""Tokenizer for the temporal SQL dialect.
+
+Hand-rolled single-pass scanner: identifiers/keywords, integer and float
+literals, single-quoted strings, ``DATE 'YYYY-MM-DD'`` literals (folded to
+day timestamps at lex time), the ``INF`` literal (the FOREVER sentinel),
+punctuation and comparison operators.  Keywords are case-insensitive;
+identifiers preserve case.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+from repro.sql.errors import SqlError
+from repro.temporal.timestamps import FOREVER, date_to_ts
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "GROUP", "BY", "TEMPORAL",
+    "WINDOW", "STRIDE", "COUNT", "PIVOT", "AS", "OF", "CURRENT",
+    "OVERLAPS", "BETWEEN", "IN", "NOT", "DATE", "INF", "DROP", "EMPTY",
+    "JOIN", "ON", "USING",
+}
+
+PUNCT = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    "*": "STAR",
+    "=": "EQ",
+    "<": "LT",
+    ">": "GT",
+    "<=": "LE",
+    ">=": "GE",
+    "<>": "NE",
+    "!=": "NE",
+}
+
+
+class Token(NamedTuple):
+    kind: str  # keyword name, "IDENT", "NUMBER", "STRING", punct kind, "EOF"
+    value: object
+    pos: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """The full token stream (EOF-terminated)."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if source.startswith("--", i):  # line comment
+            nl = source.find("\n", i)
+            i = n if nl < 0 else nl + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            upper = word.upper()
+            if upper == "DATE":
+                yield from _date_literal(source, start, i)
+                # _date_literal consumed the string literal; skip it here.
+                i = _skip_string(source, i)
+                continue
+            if upper == "INF":
+                yield Token("NUMBER", FOREVER, start)
+                continue
+            if upper in KEYWORDS:
+                yield Token(upper, word, start)
+            else:
+                yield Token("IDENT", word, start)
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            if ch == "-":
+                i += 1
+            while i < n and source[i].isdigit():
+                i += 1
+            if i < n and source[i] == "." and i + 1 < n and source[i + 1].isdigit():
+                i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+                yield Token("NUMBER", float(source[start:i]), start)
+            else:
+                yield Token("NUMBER", int(source[start:i]), start)
+            continue
+        if ch == "'":
+            end = source.find("'", i + 1)
+            if end < 0:
+                raise SqlError("unterminated string literal", source, i)
+            yield Token("STRING", source[i + 1 : end], i)
+            i = end + 1
+            continue
+        two = source[i : i + 2]
+        if two in PUNCT:
+            yield Token(PUNCT[two], two, i)
+            i += 2
+            continue
+        if ch in PUNCT:
+            yield Token(PUNCT[ch], ch, i)
+            i += 1
+            continue
+        raise SqlError(f"unexpected character {ch!r}", source, i)
+    yield Token("EOF", None, n)
+
+
+def _skip_string(source: str, i: int) -> int:
+    """Position after the whitespace + string literal following DATE."""
+    n = len(source)
+    while i < n and source[i].isspace():
+        i += 1
+    if i >= n or source[i] != "'":
+        raise SqlError("DATE must be followed by a quoted 'YYYY-MM-DD'", source, i)
+    end = source.find("'", i + 1)
+    if end < 0:
+        raise SqlError("unterminated date literal", source, i)
+    return end + 1
+
+
+def _date_literal(source: str, start: int, after_kw: int) -> Iterator[Token]:
+    i = after_kw
+    n = len(source)
+    while i < n and source[i].isspace():
+        i += 1
+    if i >= n or source[i] != "'":
+        raise SqlError("DATE must be followed by a quoted 'YYYY-MM-DD'", source, i)
+    end = source.find("'", i + 1)
+    text = source[i + 1 : end if end > 0 else n]
+    try:
+        y, m, d = (int(part) for part in text.split("-"))
+        ts = date_to_ts(y, m, d)
+    except (ValueError, TypeError):
+        raise SqlError(f"invalid date literal {text!r}", source, i) from None
+    yield Token("NUMBER", ts, start)

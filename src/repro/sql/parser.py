@@ -1,0 +1,253 @@
+"""Recursive-descent parser for the temporal SQL dialect.
+
+Grammar (keywords case-insensitive)::
+
+    select     := SELECT agg_call FROM IDENT
+                  [ WHERE condition (AND condition)* ]
+                  [ GROUP BY TEMPORAL '(' IDENT (',' IDENT)* ')' ]
+                  [ WINDOW FROM NUMBER STRIDE NUMBER COUNT NUMBER ]
+                  [ PIVOT IDENT ]
+                  [ DROP EMPTY ]
+    agg_call   := IDENT '(' ( IDENT | '*' ) ')'
+    condition  := CURRENT '(' IDENT ')'
+                | IDENT AS OF literal
+                | IDENT OVERLAPS '(' literal ',' literal ')'
+                | IDENT BETWEEN literal AND literal
+                | IDENT IN '(' literal (',' literal)* ')'
+                | IDENT cmp_op literal
+    literal    := NUMBER | STRING | DATE 'YYYY-MM-DD' | INF
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast import (
+    AsOfCond,
+    BetweenCond,
+    Comparison,
+    CurrentCond,
+    InList,
+    JoinStmt,
+    OverlapsCond,
+    SelectStmt,
+    WindowClause,
+)
+from repro.sql.errors import SqlError
+from repro.sql.lexer import Token, tokenize
+
+_AGGREGATES = {"sum", "count", "avg", "min", "max", "median", "product"}
+_CMP_OPS = {"EQ": "=", "NE": "<>", "LT": "<", "LE": "<=", "GT": ">", "GE": ">="}
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.tokens = tokenize(source)
+        self.i = 0
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.i]
+
+    def advance(self) -> Token:
+        token = self.cur
+        self.i += 1
+        return token
+
+    def accept(self, kind: str) -> Token | None:
+        if self.cur.kind == kind:
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, what: str | None = None) -> Token:
+        if self.cur.kind != kind:
+            raise SqlError(
+                f"expected {what or kind}, found {self.cur.value!r}",
+                self.source,
+                self.cur.pos,
+            )
+        return self.advance()
+
+    # ------------------------------------------------------------- grammar
+
+    def parse(self) -> "SelectStmt | JoinStmt":
+        self.expect("SELECT")
+        if self.cur.kind == "STAR":
+            # ``SELECT *`` is only meaningful for TEMPORAL JOIN statements.
+            self.advance()
+            aggregate, argument = "*", None
+        else:
+            aggregate, argument = self._agg_call()
+        self.expect("FROM")
+        table = str(self.expect("IDENT", "table name").value)
+
+        if self.cur.kind == "TEMPORAL":
+            return self._join_tail(aggregate, argument, table)
+        if aggregate == "*":
+            raise SqlError(
+                "SELECT * is only supported with TEMPORAL JOIN",
+                self.source,
+                self.cur.pos,
+            )
+
+        conditions: list = []
+        if self.accept("WHERE"):
+            conditions.append(self._condition())
+            while self.accept("AND"):
+                conditions.append(self._condition())
+
+        temporal_dims: tuple[str, ...] = ()
+        if self.accept("GROUP"):
+            self.expect("BY")
+            self.expect("TEMPORAL")
+            self.expect("LPAREN")
+            dims = [str(self.expect("IDENT", "time dimension").value)]
+            while self.accept("COMMA"):
+                dims.append(str(self.expect("IDENT", "time dimension").value))
+            self.expect("RPAREN")
+            temporal_dims = tuple(dims)
+
+        window = None
+        if self.accept("WINDOW"):
+            self.expect("FROM")
+            origin = self._int("window origin")
+            self.expect("STRIDE")
+            stride = self._int("window stride")
+            self.expect("COUNT")
+            count = self._int("window count")
+            window = WindowClause(origin, stride, count)
+
+        pivot = None
+        if self.accept("PIVOT"):
+            pivot = str(self.expect("IDENT", "pivot dimension").value)
+
+        drop_empty = False
+        if self.accept("DROP"):
+            self.expect("EMPTY")
+            drop_empty = True
+
+        self.expect("EOF", "end of statement")
+        return SelectStmt(
+            aggregate=aggregate,
+            argument=argument,
+            table=table,
+            conditions=tuple(conditions),
+            temporal_dims=temporal_dims,
+            window=window,
+            pivot=pivot,
+            drop_empty=drop_empty,
+        )
+
+    def _join_tail(self, aggregate, argument, left: str) -> JoinStmt:
+        """``... FROM left TEMPORAL JOIN right ON lkey = rkey USING dim``."""
+        if aggregate not in ("*", "count") or argument is not None:
+            raise SqlError(
+                "a TEMPORAL JOIN selects * (the matched pairs) or COUNT(*)",
+                self.source,
+                self.cur.pos,
+            )
+        self.expect("TEMPORAL")
+        self.expect("JOIN")
+        right = str(self.expect("IDENT", "right table name").value)
+        self.expect("ON")
+        left_key = str(self.expect("IDENT", "left join key").value)
+        self.expect("EQ", "'='")
+        right_key = str(self.expect("IDENT", "right join key").value)
+        self.expect("USING")
+        dim = str(self.expect("IDENT", "join time dimension").value)
+        self.expect("EOF", "end of statement")
+        return JoinStmt(
+            left=left,
+            right=right,
+            left_key=left_key,
+            right_key=right_key,
+            dim=dim,
+            count_only=aggregate == "count",
+        )
+
+    def _agg_call(self) -> tuple[str, str | None]:
+        # COUNT doubles as a keyword (WINDOW ... COUNT n), so accept it
+        # here explicitly alongside plain identifiers.
+        if self.cur.kind == "COUNT":
+            name_tok = self.advance()
+        else:
+            name_tok = self.expect("IDENT", "aggregate function")
+        name = str(name_tok.value).lower()
+        if name not in _AGGREGATES:
+            raise SqlError(
+                f"unknown aggregate {name_tok.value!r}; "
+                f"known: {sorted(_AGGREGATES)}",
+                self.source,
+                name_tok.pos,
+            )
+        self.expect("LPAREN")
+        if self.accept("STAR"):
+            argument = None
+        else:
+            argument = str(self.expect("IDENT", "column name").value)
+        self.expect("RPAREN")
+        return name, argument
+
+    def _condition(self):
+        if self.accept("CURRENT"):
+            self.expect("LPAREN")
+            dim = str(self.expect("IDENT", "time dimension").value)
+            self.expect("RPAREN")
+            return CurrentCond(dim)
+        ident = self.expect("IDENT", "column or dimension")
+        name = str(ident.value)
+        if self.accept("AS"):
+            self.expect("OF")
+            return AsOfCond(name, self._int("AS OF timestamp"))
+        if self.accept("OVERLAPS"):
+            self.expect("LPAREN")
+            lo = self._int("range start")
+            self.expect("COMMA")
+            hi = self._int("range end")
+            self.expect("RPAREN")
+            return OverlapsCond(name, lo, hi)
+        if self.accept("BETWEEN"):
+            lo = self._literal()
+            self.expect("AND")
+            hi = self._literal()
+            return BetweenCond(name, lo, hi)
+        if self.accept("IN"):
+            self.expect("LPAREN")
+            values = [self._literal()]
+            while self.accept("COMMA"):
+                values.append(self._literal())
+            self.expect("RPAREN")
+            return InList(name, tuple(values))
+        for kind, op in _CMP_OPS.items():
+            if self.accept(kind):
+                return Comparison(name, op, self._literal())
+        raise SqlError(
+            f"expected a condition operator after {name!r}",
+            self.source,
+            self.cur.pos,
+        )
+
+    def _literal(self):
+        token = self.cur
+        if token.kind in ("NUMBER", "STRING"):
+            return self.advance().value
+        raise SqlError(
+            f"expected a literal, found {token.value!r}", self.source, token.pos
+        )
+
+    def _int(self, what: str) -> int:
+        token = self.expect("NUMBER", what)
+        if not isinstance(token.value, int):
+            raise SqlError(f"{what} must be an integer", self.source, token.pos)
+        return token.value
+
+
+def parse(source: str) -> SelectStmt:
+    """Parse one SELECT statement.
+
+    >>> stmt = parse("SELECT SUM(salary) FROM employee GROUP BY TEMPORAL (tt)")
+    >>> stmt.aggregate, stmt.temporal_dims
+    ('sum', ('tt',))
+    """
+    return _Parser(source).parse()

@@ -1,0 +1,195 @@
+"""Planning: AST + schema → engine-neutral query objects.
+
+The planner validates names against the table schema, routes temporal
+conditions on time dimensions to time-travel / overlap predicates, maps
+``BETWEEN`` on a *varied* dimension to a query interval (range-restricted
+aggregation, TPC-BiH r3-style), and produces either a
+:class:`~repro.core.query.TemporalAggregationQuery` (``GROUP BY
+TEMPORAL``) or a plain selection predicate.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import TemporalAggregationQuery
+from repro.core.window import WindowSpec
+from repro.sql.ast import (
+    AsOfCond,
+    BetweenCond,
+    Comparison,
+    CurrentCond,
+    InList,
+    JoinStmt,
+    OverlapsCond,
+    SelectStmt,
+)
+from repro.sql.errors import SqlError
+from repro.temporal.predicates import (
+    And,
+    ColumnBetween,
+    ColumnEquals,
+    ColumnIn,
+    CurrentVersion,
+    Not,
+    Or,
+    Overlaps,
+    Predicate,
+    TimeTravel,
+)
+from repro.temporal.schema import TableSchema
+from repro.temporal.timestamps import Interval
+
+
+def _dim_names(schema: TableSchema) -> set[str]:
+    return {d.name for d in schema.time_dimensions}
+
+
+def _comparison_predicate(cond: Comparison) -> Predicate:
+    if cond.op == "=":
+        return ColumnEquals(cond.column, cond.value)
+    if cond.op == "<>":
+        return Not(ColumnEquals(cond.column, cond.value))
+    if cond.op == "<":
+        return ColumnBetween(cond.column, float("-inf"), cond.value)
+    if cond.op == "<=":
+        return Or([
+            ColumnBetween(cond.column, float("-inf"), cond.value),
+            ColumnEquals(cond.column, cond.value),
+        ])
+    if cond.op == ">=":
+        return Not(ColumnBetween(cond.column, float("-inf"), cond.value))
+    if cond.op == ">":
+        return Not(
+            Or([
+                ColumnBetween(cond.column, float("-inf"), cond.value),
+                ColumnEquals(cond.column, cond.value),
+            ])
+        )
+    raise AssertionError(cond.op)
+
+
+def plan(stmt: SelectStmt, schema: TableSchema):
+    """Compile a statement against a schema.
+
+    Returns ``("aggregate", TemporalAggregationQuery)`` for temporal
+    aggregations, or ``("select", predicate)`` for plain counting
+    selections (only ``COUNT(*)`` may omit ``GROUP BY TEMPORAL``).
+    """
+    dims = _dim_names(schema)
+    value_columns = set(schema.column_names())
+
+    if stmt.argument is not None and stmt.argument not in value_columns:
+        raise SqlError(f"unknown column {stmt.argument!r} in aggregate")
+    for dim in stmt.temporal_dims:
+        if dim not in dims:
+            raise SqlError(f"unknown time dimension {dim!r} in GROUP BY TEMPORAL")
+
+    predicates: list[Predicate] = []
+    query_intervals: dict[str, Interval] = {}
+    varied = set(stmt.temporal_dims)
+
+    for cond in stmt.conditions:
+        if isinstance(cond, CurrentCond):
+            if cond.dim not in dims:
+                raise SqlError(f"CURRENT on unknown dimension {cond.dim!r}")
+            if cond.dim in varied:
+                raise SqlError(
+                    f"dimension {cond.dim!r} is varied by GROUP BY TEMPORAL "
+                    "and cannot also be fixed with CURRENT"
+                )
+            predicates.append(CurrentVersion(cond.dim))
+        elif isinstance(cond, AsOfCond):
+            if cond.dim not in dims:
+                raise SqlError(f"AS OF on unknown dimension {cond.dim!r}")
+            if cond.dim in varied:
+                raise SqlError(
+                    f"dimension {cond.dim!r} is varied and cannot be fixed"
+                    " with AS OF"
+                )
+            predicates.append(TimeTravel(cond.dim, cond.ts))
+        elif isinstance(cond, OverlapsCond):
+            if cond.dim not in dims:
+                raise SqlError(f"OVERLAPS on unknown dimension {cond.dim!r}")
+            predicates.append(Overlaps(cond.dim, cond.lo, cond.hi))
+        elif isinstance(cond, BetweenCond):
+            if cond.column in varied:
+                query_intervals[cond.column] = Interval(int(cond.lo), int(cond.hi))
+            elif cond.column in value_columns:
+                predicates.append(ColumnBetween(cond.column, cond.lo, cond.hi))
+            elif cond.column in dims:
+                raise SqlError(
+                    f"BETWEEN on fixed time dimension {cond.column!r}; use"
+                    " OVERLAPS, AS OF or CURRENT"
+                )
+            else:
+                raise SqlError(f"unknown column {cond.column!r} in BETWEEN")
+        elif isinstance(cond, InList):
+            if cond.column not in value_columns:
+                raise SqlError(f"unknown column {cond.column!r} in IN")
+            predicates.append(ColumnIn(cond.column, cond.values))
+        elif isinstance(cond, Comparison):
+            if cond.column in dims:
+                raise SqlError(
+                    f"comparison on time dimension {cond.column!r}; use"
+                    " AS OF / OVERLAPS / CURRENT / BETWEEN"
+                )
+            if cond.column not in value_columns:
+                raise SqlError(f"unknown column {cond.column!r}")
+            predicates.append(_comparison_predicate(cond))
+        else:
+            raise AssertionError(cond)
+
+    predicate: Predicate | None
+    if not predicates:
+        predicate = None
+    elif len(predicates) == 1:
+        predicate = predicates[0]
+    else:
+        predicate = And(predicates)
+
+    if not stmt.is_temporal_aggregation:
+        if stmt.aggregate != "count" or stmt.argument is not None:
+            raise SqlError(
+                "only COUNT(*) may omit GROUP BY TEMPORAL; aggregating a"
+                " column requires varied time dimensions or a WINDOW"
+            )
+        if stmt.window is not None or stmt.pivot is not None:
+            raise SqlError("WINDOW/PIVOT require GROUP BY TEMPORAL")
+        from repro.temporal.predicates import TrueP
+
+        return "select", (predicate if predicate is not None else TrueP())
+
+    window = None
+    if stmt.window is not None:
+        window = WindowSpec(stmt.window.origin, stmt.window.stride, stmt.window.count)
+    if stmt.pivot is not None and stmt.pivot not in stmt.temporal_dims:
+        raise SqlError(f"PIVOT {stmt.pivot!r} is not among the varied dimensions")
+
+    query = TemporalAggregationQuery(
+        varied_dims=stmt.temporal_dims,
+        value_column=stmt.argument,
+        aggregate=stmt.aggregate,
+        predicate=predicate,
+        query_intervals=query_intervals,
+        window=window,
+        pivot=stmt.pivot,
+        drop_empty=stmt.drop_empty,
+    )
+    return "aggregate", query
+
+
+def plan_join(stmt: JoinStmt, left_schema: TableSchema, right_schema: TableSchema):
+    """Validate a TEMPORAL JOIN against both schemas.
+
+    Returns the validated statement (the executable plan is the statement
+    itself — the join operator takes tables and column names directly).
+    """
+    if stmt.left_key not in left_schema.column_names():
+        raise SqlError(f"unknown join key {stmt.left_key!r} on {stmt.left!r}")
+    if stmt.right_key not in right_schema.column_names():
+        raise SqlError(f"unknown join key {stmt.right_key!r} on {stmt.right!r}")
+    for schema, table in ((left_schema, stmt.left), (right_schema, stmt.right)):
+        if stmt.dim not in {d.name for d in schema.time_dimensions}:
+            raise SqlError(
+                f"table {table!r} has no time dimension {stmt.dim!r}"
+            )
+    return stmt

@@ -1,0 +1,108 @@
+"""Rendering query objects back to the SQL dialect.
+
+The inverse of the planner: given a
+:class:`~repro.core.query.TemporalAggregationQuery` (or a plain selection
+predicate), produce dialect text that parses and plans back to an
+equivalent query.  Used by ``EXPLAIN``-style tooling and by the round-trip
+property tests, which pin the dialect's semantics from both directions.
+
+Only predicate shapes the dialect can express are renderable; anything
+else raises :class:`~repro.sql.errors.SqlError`.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import TemporalAggregationQuery
+from repro.sql.errors import SqlError
+from repro.temporal.predicates import (
+    And,
+    ColumnBetween,
+    ColumnEquals,
+    ColumnIn,
+    CurrentVersion,
+    Overlaps,
+    Predicate,
+    TimeTravel,
+    TrueP,
+)
+
+
+def _literal(value) -> str:
+    if isinstance(value, str):
+        if "'" in value:
+            raise SqlError("string literals with quotes are not renderable")
+        return f"'{value}'"
+    if isinstance(value, bool):
+        raise SqlError("boolean literals are not part of the dialect")
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if hasattr(value, "item"):  # NumPy scalar
+        return _literal(value.item())
+    raise SqlError(f"unrenderable literal {value!r}")
+
+
+def render_condition(pred: Predicate) -> list[str]:
+    """One predicate as a list of AND-able condition strings."""
+    if isinstance(pred, TrueP):
+        return []
+    if isinstance(pred, And):
+        out: list[str] = []
+        for child in pred.children:
+            out.extend(render_condition(child))
+        return out
+    if isinstance(pred, ColumnEquals):
+        return [f"{pred.column} = {_literal(pred.value)}"]
+    if isinstance(pred, ColumnIn):
+        values = ", ".join(_literal(v) for v in pred.values)
+        return [f"{pred.column} IN ({values})"]
+    if isinstance(pred, ColumnBetween):
+        return [f"{pred.column} BETWEEN {_literal(pred.lo)} AND {_literal(pred.hi)}"]
+    if isinstance(pred, TimeTravel):
+        return [f"{pred.dim} AS OF {int(pred.at)}"]
+    if isinstance(pred, Overlaps):
+        return [f"{pred.dim} OVERLAPS ({int(pred.lo)}, {int(pred.hi)})"]
+    if isinstance(pred, CurrentVersion):
+        return [f"CURRENT({pred.dim})"]
+    raise SqlError(f"predicate {type(pred).__name__} is not expressible in SQL")
+
+
+def render_query(query: TemporalAggregationQuery, table: str) -> str:
+    """A temporal aggregation query as dialect text.
+
+    >>> from repro.core import TemporalAggregationQuery
+    >>> q = TemporalAggregationQuery(varied_dims=("tt",), value_column="v")
+    >>> render_query(q, "t")
+    'SELECT SUM(v) FROM t GROUP BY TEMPORAL (tt)'
+    """
+    agg = query.aggregate.upper()
+    argument = query.value_column if query.value_column is not None else "*"
+    parts = [f"SELECT {agg}({argument}) FROM {table}"]
+
+    conditions: list[str] = []
+    if query.predicate is not None:
+        conditions.extend(render_condition(query.predicate))
+    for dim, interval in sorted(query.query_intervals.items()):
+        conditions.append(f"{dim} BETWEEN {int(interval.start)} AND {int(interval.end)}")
+    if conditions:
+        parts.append("WHERE " + " AND ".join(conditions))
+
+    parts.append(f"GROUP BY TEMPORAL ({', '.join(query.varied_dims)})")
+    if query.window is not None:
+        parts.append(
+            f"WINDOW FROM {query.window.origin} STRIDE {query.window.stride}"
+            f" COUNT {query.window.count}"
+        )
+    if query.pivot is not None:
+        parts.append(f"PIVOT {query.pivot}")
+    if query.drop_empty:
+        parts.append("DROP EMPTY")
+    return " ".join(parts)
+
+
+def render_select(predicate: Predicate, table: str) -> str:
+    """A counting selection as dialect text."""
+    conditions = render_condition(predicate)
+    sql = f"SELECT COUNT(*) FROM {table}"
+    if conditions:
+        sql += " WHERE " + " AND ".join(conditions)
+    return sql

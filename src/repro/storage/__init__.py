@@ -1,0 +1,60 @@
+"""The Crescando-style parallel main-memory database substrate (Section 4).
+
+A two-tier shared-nothing architecture (Figure 11):
+
+* :class:`~repro.storage.node.StorageNode` — holds one horizontal partition
+  of a table and processes batches of queries and updates with a
+  ClockScan-style shared scan (:mod:`repro.storage.clockscan`);
+* :class:`~repro.storage.aggregator.AggregatorNode` — coordinates queries,
+  merges the per-node delta maps (ParTime's Step 2), and produces final
+  results;
+* :class:`~repro.storage.cluster.Cluster` — wires the tiers together,
+  routes operation batches, stamps global commit versions, and accounts
+  the simulated elapsed time of every cycle.
+
+ParTime's Step 1 is embedded directly in the shared scan: a storage node
+generates one delta map per temporal aggregation query *in the same pass*
+that answers all other queries of the batch — the integration that
+Section 4.2 describes and that Experiment 2 shows to be decisive.
+"""
+
+from repro.storage.partitioning import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    RoundRobinPartitioner,
+)
+from repro.storage.queries import (
+    InsertOp,
+    SelectQuery,
+    TemporalAggQuery,
+    UpdateOp,
+    DeleteOp,
+)
+from repro.storage.clockscan import ClockScan, ScanCycleReport
+from repro.storage.node import StorageNode
+from repro.storage.aggregator import AggregatorNode
+from repro.storage.cluster import BatchResult, Cluster
+from repro.storage.engine import CrescandoEngine
+from repro.storage.recovery import WriteAheadLog, recover_cluster
+
+__all__ = [
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "SelectQuery",
+    "TemporalAggQuery",
+    "UpdateOp",
+    "DeleteOp",
+    "InsertOp",
+    "ClockScan",
+    "ScanCycleReport",
+    "StorageNode",
+    "AggregatorNode",
+    "Cluster",
+    "BatchResult",
+    "CrescandoEngine",
+    "WriteAheadLog",
+    "recover_cluster",
+]

@@ -1,0 +1,357 @@
+"""The Crescando cluster: two tiers, global versioning, shared scans.
+
+:class:`Cluster` wires storage nodes and aggregator nodes together
+(Figure 11) and executes *batches* of mixed operations:
+
+* writes are applied first, each stamped with the next global commit
+  version; updates and deletes are broadcast (round-robin partitioning
+  cannot route them), inserts are routed round-robin;
+* all read operations of the batch are then processed by every storage
+  node in one shared-scan cycle (or one cycle per query with sharing
+  disabled — the *No sharing* mode of Section 5.1);
+* temporal aggregation queries finish on an aggregator node (Step 2),
+  distributed round-robin over the aggregator tier.
+
+Simulated elapsed time follows the substitution of DESIGN.md: node cycles
+are a parallel phase over the storage cores (makespan), merges a parallel
+phase over the aggregator cores, writes a sequence of broadcast steps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.core.pivot import choose_pivot, collect_statistics
+from repro.simtime.clock import SimClock, makespan
+from repro.simtime.machine import PAPER_MACHINE, MachineSpec
+from repro.storage.aggregator import AggregatorNode
+from repro.storage.node import StorageNode
+from repro.storage.partitioning import (
+    Partitioner,
+    RoundRobinPartitioner,
+    split_table,
+)
+from repro.storage.queries import (
+    InsertOp,
+    ReadOp,
+    SelectQuery,
+    TemporalAggQuery,
+    UpdateOp,
+    WriteOp,
+)
+from repro.temporal.table import TemporalTable
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one batch: final results and the time decomposition."""
+
+    results: dict[int, object]
+    simulated_seconds: float
+    write_seconds: float
+    scan_seconds: float
+    merge_seconds: float
+    node_scan_seconds: list[float] = field(default_factory=list)
+    op_response_seconds: dict[int, float] = field(default_factory=dict)
+
+    def response_time(self, op_id: int) -> float:
+        """Stand-alone response time of one read operation: the slowest
+        node's scan for that query plus its merge (the paper's No-sharing
+        response-time metric)."""
+        return self.op_response_seconds[op_id]
+
+
+class Cluster:
+    """A Crescando deployment."""
+
+    def __init__(
+        self,
+        nodes: list[StorageNode],
+        num_aggregators: int = 1,
+        sharing: bool = True,
+        wal=None,
+        machine: MachineSpec | None = None,
+        numa_aware: bool = True,
+    ) -> None:
+        if not nodes:
+            raise ValueError("need at least one storage node")
+        if num_aggregators < 1:
+            raise ValueError("need at least one aggregator")
+        self.nodes = nodes
+        self.aggregators = [AggregatorNode(i) for i in range(num_aggregators)]
+        self.sharing = sharing
+        self.clock = SimClock()
+        self._version = max(n.table.current_version for n in nodes)
+        self._insert_rr = 0
+        #: Optional write-ahead log: writes are logged before application
+        #: (Section 4.1, crash recovery).
+        self.wal = wal
+        #: Optional hot standby replicating this cluster's write stream
+        #: (state-machine replication; see attach_standby).
+        self.standby: "Cluster | None" = None
+        #: NUMA model (Section 5.1: "we made sure that the allocated
+        #: memory was close to the used cores ... This NUMA-awareness was
+        #: critical").  With ``numa_aware`` each node's partition lives in
+        #: its own region (penalty 1.0); without it, all partitions live
+        #: in region 0 and remote workers pay the remote-access penalty.
+        self.machine = machine or PAPER_MACHINE
+        self.numa_aware = numa_aware
+
+    @classmethod
+    def from_table(
+        cls,
+        table: TemporalTable,
+        num_storage: int,
+        num_aggregators: int = 1,
+        partitioner: Partitioner | None = None,
+        sharing: bool = True,
+        scan_mode: str = "vectorized",
+        wal=None,
+        machine: MachineSpec | None = None,
+        numa_aware: bool = True,
+    ) -> "Cluster":
+        """Partition ``table`` across ``num_storage`` nodes.
+
+        Each node is pinned to a NUMA region in socket-major order,
+        matching the "allocated memory was close to the used cores"
+        placement of Section 5.1.
+        """
+        partitioner = partitioner or RoundRobinPartitioner()
+        spec = machine or PAPER_MACHINE
+        parts = split_table(table, partitioner, num_storage)
+        nodes = [
+            StorageNode(
+                i,
+                part,
+                numa_region=spec.numa_region(i % spec.cores),
+                scan_mode=scan_mode,
+            )
+            for i, part in enumerate(parts)
+        ]
+        return cls(
+            nodes,
+            num_aggregators=num_aggregators,
+            sharing=sharing,
+            wal=wal,
+            machine=spec,
+            numa_aware=numa_aware,
+        )
+
+    def _numa_penalty(self, node_index: int) -> float:
+        """Scan-work multiplier for one storage node's worker.
+
+        NUMA-aware placement co-locates partition and worker; naive
+        placement allocates everything in region 0 while workers spread
+        over the sockets, so remote workers pay the penalty."""
+        core = node_index % self.machine.cores
+        data_region = (
+            self.nodes[node_index].numa_region if self.numa_aware else 0
+        )
+        return self.machine.scan_penalty(core, data_region, self.numa_aware)
+
+    # ------------------------------------------------------------- batches
+
+    @property
+    def num_storage(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_aggregators(self) -> int:
+        return len(self.aggregators)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(len(n) for n in self.nodes)
+
+    def memory_bytes(self) -> int:
+        return sum(n.memory_bytes() for n in self.nodes)
+
+    def _fix_pivot(self, op: TemporalAggQuery) -> TemporalAggQuery:
+        """Multi-dimensional queries need one cluster-wide pivot choice;
+        decide it from the statistics of the first non-empty node."""
+        query = op.query
+        if not query.is_multidim or query.pivot is not None:
+            return op
+        for node in self.nodes:
+            if len(node.table):
+                stats = collect_statistics(node.table, query.varied_dims)
+                pivot = choose_pivot(stats, query.varied_dims)
+                break
+        else:
+            pivot = query.varied_dims[-1]
+        return dataclasses.replace(op, query=dataclasses.replace(query, pivot=pivot))
+
+    def _apply_update(self, op: UpdateOp, version: int) -> tuple[list, list[float]]:
+        """A broadcast update in two phases: every node closes and
+        fragments its overlapping versions; exactly one node (the first
+        that held an overlapping version) inserts the new version; then all
+        nodes commit the version together."""
+        for node in self.nodes:
+            node.begin_write(version)
+        created: list[int] = []
+        durations: list[float] = []
+        target: StorageNode | None = None
+        template: dict | None = None
+        for node in self.nodes:
+            templates, part, seconds = node.close_for_update(op)
+            created.extend(part)
+            durations.append(seconds)
+            if templates and target is None:
+                target = node
+                template = templates[0]
+        if target is None:
+            for node in self.nodes:
+                node.table.commit()
+            raise KeyError(f"no current version of {op.key_value!r} to update")
+        new_values = dict(template)
+        for name, value in op.changes.items():
+            target.table.schema.column(name)  # validates
+            new_values[name] = value
+        created.append(target.insert_version(new_values, op.business))
+        for node in self.nodes:
+            node.commit_write()
+        return created, durations
+
+    def execute_batch(self, ops: list) -> BatchResult:
+        """Run one batch of mixed operations; see module docstring."""
+        writes = [op for op in ops if isinstance(op, WriteOp)]
+        reads = [
+            self._fix_pivot(op) if isinstance(op, TemporalAggQuery) else op
+            for op in ops
+            if isinstance(op, ReadOp)
+        ]
+        unknown = [
+            op for op in ops if not isinstance(op, ReadOp + WriteOp)
+        ]
+        if unknown:
+            raise TypeError(f"unsupported operations: {unknown[:3]}")
+
+        results: dict[int, object] = {}
+
+        # --- writes: one global version per operation --------------------
+        write_seconds = 0.0
+        for op in writes:
+            version = self._version
+            if self.wal is not None:
+                self.wal.append(version, op)
+            durations: list[float] = []
+            if isinstance(op, InsertOp):
+                node = self.nodes[self._insert_rr % len(self.nodes)]
+                self._insert_rr += 1
+                created, seconds = node.apply_write(op, version)
+                durations.append(seconds)
+            elif isinstance(op, UpdateOp):
+                created, durations = self._apply_update(op, version)
+            else:  # DeleteOp: broadcast, self-contained
+                created = []
+                for node in self.nodes:
+                    part, seconds = node.apply_write(op, version)
+                    created.extend(part)
+                    durations.append(seconds)
+            results[op.op_id] = created
+            step = makespan(durations, len(self.nodes))
+            self.clock.parallel("cluster.write", durations, len(self.nodes))
+            write_seconds += step
+            self._version = version + 1
+        for node in self.nodes:  # re-align partitions that saw no write
+            node.table.sync_version(self._version)
+        if writes and self.standby is not None:
+            # State-machine replication: the standby applies the identical
+            # write stream and therefore reaches the identical state.
+            self.standby.execute_batch(list(writes))
+
+        # --- shared (or per-query) scan cycles ---------------------------
+        scan_seconds = 0.0
+        node_scan_seconds: list[float] = []
+        reports = []
+        partials: dict[int, list] = {}
+        if reads:
+            per_node = [node.run_read_cycle(reads) for node in self.nodes]
+            reports = [report for _, report in per_node]
+            for node_results, _report in per_node:
+                for op_id, value in node_results.items():
+                    partials.setdefault(op_id, []).append(value)
+            penalties = [self._numa_penalty(i) for i in range(len(self.nodes))]
+            if self.sharing:
+                node_scan_seconds = [
+                    r.shared_seconds * p for r, p in zip(reports, penalties)
+                ]
+            else:
+                node_scan_seconds = [
+                    r.unshared_seconds * p for r, p in zip(reports, penalties)
+                ]
+            scan_seconds = makespan(node_scan_seconds, len(self.nodes))
+            self.clock.parallel(
+                "cluster.scan", node_scan_seconds, len(self.nodes)
+            )
+
+        # --- aggregation tier --------------------------------------------
+        merge_seconds_per_op: dict[int, float] = {}
+        merge_durations: list[float] = []
+        for i, op in enumerate(reads):
+            aggregator = self.aggregators[i % len(self.aggregators)]
+            if isinstance(op, SelectQuery):
+                results[op.op_id] = aggregator.merge_select(partials[op.op_id])
+                merge_seconds_per_op[op.op_id] = 0.0
+            else:
+                result, seconds = aggregator.merge_temporal(
+                    op.query, partials[op.op_id]
+                )
+                results[op.op_id] = result
+                merge_seconds_per_op[op.op_id] = seconds
+                merge_durations.append(seconds)
+        merge_seconds = makespan(merge_durations, len(self.aggregators))
+        if merge_durations:
+            self.clock.parallel(
+                "cluster.merge", merge_durations, len(self.aggregators)
+            )
+
+        # --- per-operation stand-alone response times ---------------------
+        op_response: dict[int, float] = {}
+        for op in reads:
+            node_times = [
+                r.op_seconds(op.op_id) * self._numa_penalty(i)
+                for i, r in enumerate(reports)
+            ]
+            op_response[op.op_id] = (
+                makespan(node_times, len(self.nodes))
+                + merge_seconds_per_op[op.op_id]
+            )
+
+        return BatchResult(
+            results=results,
+            simulated_seconds=write_seconds + scan_seconds + merge_seconds,
+            write_seconds=write_seconds,
+            scan_seconds=scan_seconds,
+            merge_seconds=merge_seconds,
+            node_scan_seconds=node_scan_seconds,
+            op_response_seconds=op_response,
+        )
+
+    def attach_standby(self, standby: "Cluster") -> None:
+        """Register a hot standby (same node count, same current state).
+
+        Every subsequent write batch is forwarded to the standby, which —
+        being a deterministic state machine fed the same op stream — stays
+        an exact replica (Section 4.1 / [17])."""
+        if standby.num_storage != self.num_storage:
+            raise ValueError("standby must mirror the storage tier")
+        if standby._version != self._version:  # noqa: SLF001
+            raise ValueError("standby must start from the same version")
+        self.standby = standby
+
+    def failover_node(self, node_id: int) -> None:
+        """Shoot down a straggling or failed storage node and continue
+        with its hot-standby twin (Section 4.1)."""
+        if self.standby is None:
+            raise RuntimeError("no standby attached")
+        if not 0 <= node_id < len(self.nodes):
+            raise IndexError(node_id)
+        self.nodes[node_id] = self.standby.nodes[node_id]
+
+    def execute_query(self, op) -> tuple[object, float]:
+        """Convenience: run one read operation alone (No-sharing response
+        time, the metric of Figures 13, 15, 17-19)."""
+        batch = self.execute_batch([op])
+        return batch.results[op.op_id], batch.response_time(op.op_id)

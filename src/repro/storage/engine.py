@@ -1,0 +1,103 @@
+"""Crescando + ParTime wrapped as a benchmark engine.
+
+Core accounting follows Section 5.1: a deployment with ``c`` cores runs
+``num_storage`` storage nodes and ``num_aggregators`` aggregator nodes
+(the default splits cores half/half as in the throughput experiments; the
+response-time experiments of Figures 17-19 use ``c-1`` storage nodes and
+one aggregator).  Crescando uses no data indexes, ever (Section 5.1) —
+``indexed`` hints on selections are ignored.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.query import TemporalAggregationQuery
+from repro.core.result import TemporalAggregationResult
+from repro.storage.cluster import Cluster
+from repro.storage.partitioning import Partitioner, RoundRobinPartitioner
+from repro.storage.queries import SelectQuery, TemporalAggQuery
+from repro.systems.base import Engine
+from repro.temporal.predicates import Predicate
+from repro.temporal.table import TemporalTable
+
+
+class CrescandoEngine(Engine):
+    """Engine facade over a :class:`~repro.storage.cluster.Cluster`."""
+
+    def __init__(
+        self,
+        num_storage: int = 1,
+        num_aggregators: int = 1,
+        sharing: bool = False,
+        partitioner: Partitioner | None = None,
+        scan_mode: str = "vectorized",
+    ) -> None:
+        self.num_storage = num_storage
+        self.num_aggregators = num_aggregators
+        self.sharing = sharing
+        self.partitioner = partitioner or RoundRobinPartitioner()
+        self.scan_mode = scan_mode
+        self.cluster: Cluster | None = None
+        self.name = f"ParTime ({num_storage + num_aggregators} cores)"
+
+    @classmethod
+    def with_cores(
+        cls, cores: int, sharing: bool = False, **kwargs
+    ) -> "CrescandoEngine":
+        """The paper's default split: half storage, half aggregators."""
+        if cores < 2:
+            raise ValueError("Crescando needs at least 2 cores")
+        num_storage = cores // 2
+        return cls(
+            num_storage=num_storage,
+            num_aggregators=cores - num_storage,
+            sharing=sharing,
+            **kwargs,
+        )
+
+    @classmethod
+    def response_time_config(cls, cores: int, **kwargs) -> "CrescandoEngine":
+        """The Figure 17-19 split: one aggregator, the rest storage."""
+        if cores < 2:
+            raise ValueError("Crescando needs at least 2 cores")
+        return cls(num_storage=cores - 1, num_aggregators=1, **kwargs)
+
+    # -------------------------------------------------------------- engine
+
+    def bulkload(self, table: TemporalTable) -> float:
+        """Partitioning the columns across nodes is the whole load — "the
+        temporal columns are no different than any other column and
+        Crescando creates no data structures that are specific to temporal
+        data" (Section 5.7)."""
+        t0 = time.perf_counter()
+        self.cluster = Cluster.from_table(
+            table,
+            num_storage=self.num_storage,
+            num_aggregators=self.num_aggregators,
+            partitioner=self.partitioner,
+            sharing=self.sharing,
+            scan_mode=self.scan_mode,
+        )
+        return time.perf_counter() - t0
+
+    def _require_loaded(self) -> Cluster:
+        if self.cluster is None:
+            raise RuntimeError("Crescando: bulkload a table first")
+        return self.cluster
+
+    def memory_bytes(self) -> int:
+        return self._require_loaded().memory_bytes()
+
+    def temporal_aggregation(
+        self, query: TemporalAggregationQuery
+    ) -> tuple[TemporalAggregationResult, float]:
+        cluster = self._require_loaded()
+        result, seconds = cluster.execute_query(TemporalAggQuery(query))
+        return result, seconds
+
+    def select(self, predicate: Predicate, indexed: bool = False) -> tuple[int, float]:
+        # ``indexed`` intentionally ignored: no data indexes in Crescando.
+        cluster = self._require_loaded()
+        count, seconds = cluster.execute_query(SelectQuery(predicate))
+        return count, seconds

@@ -1,0 +1,85 @@
+"""Storage nodes: one partition, one shared scan, NUMA affinity.
+
+"Each storage node keeps a different partition of a (temporal or
+non-temporal) table ... All read-requests are served completely out of
+main memory" (Section 4.1).  A node applies the write operations the
+cluster routes to it (updates and deletes arrive broadcast, inserts are
+routed) and answers read batches through its :class:`ClockScan`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.storage.clockscan import ClockScan, ScanCycleReport
+from repro.storage.queries import DeleteOp, InsertOp, UpdateOp
+from repro.temporal.table import TemporalTable
+
+
+class StorageNode:
+    """One shared-nothing storage node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        table: TemporalTable,
+        numa_region: int = 0,
+        scan_mode: str = "vectorized",
+    ) -> None:
+        self.node_id = node_id
+        self.table = table
+        self.numa_region = numa_region
+        self.scan = ClockScan(table, mode=scan_mode)
+        self.updates_applied = 0
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def apply_write(self, op, version: int) -> tuple[object, float]:
+        """Apply a self-contained write (insert or delete) at the given
+        global version; returns (created row ids, measured seconds).
+
+        Updates are *not* self-contained under broadcast — the new version
+        must be inserted on exactly one node — so the cluster drives them
+        through :meth:`begin_write` / :meth:`close_for_update` /
+        :meth:`insert_version` / :meth:`commit_write` instead.
+        """
+        self.table.sync_version(version)
+        t0 = time.perf_counter()
+        if isinstance(op, DeleteOp):
+            created = self.table.delete(op.key_value, op.business, missing_ok=True)
+        elif isinstance(op, InsertOp):
+            created = [self.table.insert(op.values, op.business)]
+        else:
+            raise TypeError(f"not a self-contained write: {op!r}")
+        self.updates_applied += 1
+        return created, time.perf_counter() - t0
+
+    # --- two-phase (distributed) updates --------------------------------
+
+    def begin_write(self, version: int) -> None:
+        self.table.sync_version(version)
+        self.table.begin()
+
+    def close_for_update(self, op: UpdateOp) -> tuple[list[dict], list[int], float]:
+        """Phase 1 of a broadcast update on this partition: close the
+        overlapping current versions and re-insert their uncovered
+        fragments.  Returns (value templates, created row ids, seconds)."""
+        t0 = time.perf_counter()
+        templates, created = self.table.close_versions(op.key_value, op.business)
+        return templates, created, time.perf_counter() - t0
+
+    def insert_version(self, values, business) -> int:
+        """Phase 2, on the one chosen node: the update's new version."""
+        return self.table.insert(values, business)
+
+    def commit_write(self) -> None:
+        self.table.commit()
+        self.updates_applied += 1
+
+    def run_read_cycle(self, reads: list) -> tuple[dict[int, object], ScanCycleReport]:
+        """One shared-scan cycle over this node's partition."""
+        return self.scan.run_cycle(reads)
+
+    def memory_bytes(self) -> int:
+        return self.table.memory_bytes()

@@ -1,0 +1,104 @@
+"""Horizontal partitioning schemes for storage nodes.
+
+"Crescando supports any kind of partitioning scheme; in particular, it
+supports round-robin partitioning as used in the examples" (Section 4.1),
+and ParTime "works best if all cores process the same number of records so
+that random or round-robin are good partitioning schemes" (Section 3.2.1).
+
+A partitioner assigns every source row to one of ``n`` partitions.  The
+skew a bad scheme introduces is what the partitioning ablation bench
+demonstrates (stragglers dominating the parallel phase).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.temporal.table import TemporalTable
+from repro.temporal.timestamps import FOREVER
+
+
+class Partitioner:
+    """Assigns rows of a source table to partitions."""
+
+    name: str = "?"
+
+    def assign(self, table: TemporalTable, num_partitions: int) -> np.ndarray:
+        """Partition index (int array of len(table)) for every row."""
+        raise NotImplementedError
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Row ``i`` goes to partition ``i mod n`` — the default and the
+    scheme of the paper's running examples (Core 1 even rows, Core 2 odd
+    rows)."""
+
+    name = "round-robin"
+
+    def assign(self, table: TemporalTable, num_partitions: int) -> np.ndarray:
+        return np.arange(len(table), dtype=np.int64) % num_partitions
+
+
+class HashPartitioner(Partitioner):
+    """Hash of a key column — co-locates all versions of an entity, which
+    lets updates be routed to a single node instead of broadcast."""
+
+    name = "hash"
+
+    def __init__(self, key_column: str) -> None:
+        self.key_column = key_column
+
+    def assign(self, table: TemporalTable, num_partitions: int) -> np.ndarray:
+        keys = table.column(self.key_column)
+        return np.array(
+            [hash(k) % num_partitions for k in keys], dtype=np.int64
+        )
+
+
+class RangePartitioner(Partitioner):
+    """Contiguous ranges of a (time) column.
+
+    Range partitioning on a time column is the *bad* scheme for ParTime
+    with range-restricted queries: one partition holds all the relevant
+    data and becomes a straggler while the others idle.
+    """
+
+    name = "range"
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+
+    def assign(self, table: TemporalTable, num_partitions: int) -> np.ndarray:
+        values = table.column(self.column).astype(np.int64)
+        finite = values[values < FOREVER]
+        if len(finite) == 0:
+            return np.zeros(len(values), dtype=np.int64)
+        # Equi-depth boundaries over the observed values.
+        quantiles = np.quantile(finite, np.linspace(0, 1, num_partitions + 1)[1:-1])
+        return np.searchsorted(quantiles, np.minimum(values, finite.max())).astype(
+            np.int64
+        )
+
+
+def split_table(
+    table: TemporalTable, partitioner: Partitioner, num_partitions: int
+) -> list[TemporalTable]:
+    """Materialise per-partition tables from a source table.
+
+    The per-partition tables share the source schema and are synchronised
+    to the source's commit counter so subsequent cluster updates continue
+    the same transaction-time sequence.
+    """
+    assignment = partitioner.assign(table, num_partitions)
+    parts: list[TemporalTable] = []
+    chunk = table.chunk()
+    for p in range(num_partitions):
+        part = TemporalTable(table.schema)
+        mask = assignment == p
+        sub = chunk.select(mask)
+        # Bulk-append the partition's rows column by column.
+        for name in table.schema.physical_columns():
+            part._cols[name].extend(sub.column(name))  # noqa: SLF001
+        part.sync_version(table.current_version)
+        parts.append(part)
+    return parts

@@ -1,0 +1,79 @@
+"""Operations that flow through a shared scan.
+
+A batch submitted to the cluster mixes four kinds of operations — exactly
+the Amadeus mix of Table 1: cheap selections, temporal aggregations,
+updates and inserts.  Each carries an ``op_id`` so results can be matched
+back to their submitters by the aggregator tier.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.query import TemporalAggregationQuery
+from repro.temporal.predicates import Predicate
+
+_ids = itertools.count()
+
+
+def _next_id() -> int:
+    return next(_ids)
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A selection (possibly with time-travel predicates): returns the
+    number of matching rows (result shipping is out of scope — the paper's
+    throughput experiments count queries, not bytes)."""
+
+    predicate: Predicate
+    op_id: int = field(default_factory=_next_id)
+    #: Whether a conventional engine could serve this from an index
+    #: (equality on an indexed key).  Crescando ignores this — it never
+    #: uses data indexes (Section 5.1) — but Systems D/M honour it.
+    indexed: bool = False
+
+
+@dataclass(frozen=True)
+class TemporalAggQuery:
+    """A temporal aggregation query processed with ParTime: Step 1 happens
+    inside each node's shared scan, Step 2 on an aggregator node."""
+
+    query: TemporalAggregationQuery
+    op_id: int = field(default_factory=_next_id)
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """A bi-temporal update broadcast to all nodes (round-robin
+    partitioning cannot route it); nodes that hold no current version of
+    the key apply it as a no-op."""
+
+    key_value: Any
+    changes: Mapping[str, Any]
+    business: Mapping[str, Any] | None = None
+    op_id: int = field(default_factory=_next_id)
+
+
+@dataclass(frozen=True)
+class DeleteOp:
+    """A bi-temporal delete, broadcast like an update."""
+
+    key_value: Any
+    business: Mapping[str, Any] | None = None
+    op_id: int = field(default_factory=_next_id)
+
+
+@dataclass(frozen=True)
+class InsertOp:
+    """An insert, routed to exactly one storage node by the cluster."""
+
+    values: Mapping[str, Any]
+    business: Mapping[str, Any] | None = None
+    op_id: int = field(default_factory=_next_id)
+
+
+ReadOp = (SelectQuery, TemporalAggQuery)
+WriteOp = (UpdateOp, DeleteOp, InsertOp)

@@ -1,0 +1,29 @@
+"""Reference evaluation and the commercial-system stand-ins.
+
+* :mod:`repro.systems.oracle` — a textbook sweep-line evaluator for
+  temporal aggregation.  It is deliberately simple (and slow); it doubles
+  as the correctness oracle of the test suite and as the evaluation core
+  of the System D / System M stand-ins.
+* :mod:`repro.systems.system_d` / :mod:`repro.systems.system_m` — cost-model
+  stand-ins for the two anonymous commercial comparators of Section 5.1
+  (see DESIGN.md for the substitution rationale).
+"""
+
+from repro.systems.base import Engine, QueryTimeout
+from repro.systems.oracle import (
+    reference_temporal_aggregation,
+    reference_multidim_value_at,
+    reference_windowed_aggregation,
+)
+from repro.systems.system_d import SystemD
+from repro.systems.system_m import SystemM
+
+__all__ = [
+    "Engine",
+    "QueryTimeout",
+    "reference_temporal_aggregation",
+    "reference_multidim_value_at",
+    "reference_windowed_aggregation",
+    "SystemD",
+    "SystemM",
+]

@@ -1,0 +1,64 @@
+"""The engine interface shared by all comparators.
+
+Every system in the evaluation — Crescando+ParTime, the Timeline Index,
+System D and System M — exposes the same few operations so the benchmark
+harness can sweep over engines uniformly:
+
+* :meth:`Engine.bulkload` — ingest a table, returning simulated seconds
+  (Table 4);
+* :meth:`Engine.memory_bytes` — resident size after loading (Table 3);
+* :meth:`Engine.temporal_aggregation` — run one temporal aggregation query,
+  returning the result and simulated seconds (Figures 13, 15, 17-19);
+* :meth:`Engine.select` — run one selection / time-travel query (the
+  non-temporal side of Figure 13).
+
+Engines whose real-world counterpart would give up on a query raise
+:class:`QueryTimeout` once their simulated time crosses the configured
+limit — reproducing "the queries timed out" of Sections 5.2.1 and 5.4.
+"""
+
+from __future__ import annotations
+
+from repro.core.query import TemporalAggregationQuery
+from repro.core.result import TemporalAggregationResult
+from repro.temporal.predicates import Predicate
+from repro.temporal.table import TemporalTable
+
+
+class QueryTimeout(Exception):
+    """A query exceeded the engine's simulated time limit."""
+
+    def __init__(self, engine: str, seconds: float) -> None:
+        super().__init__(f"{engine}: query timed out after {seconds:.1f}s (simulated)")
+        self.engine = engine
+        self.seconds = seconds
+
+
+class Engine:
+    """Abstract comparator; see module docstring."""
+
+    name: str = "?"
+
+    def bulkload(self, table: TemporalTable) -> float:
+        raise NotImplementedError
+
+    def memory_bytes(self) -> int:
+        raise NotImplementedError
+
+    def temporal_aggregation(
+        self, query: TemporalAggregationQuery
+    ) -> tuple[TemporalAggregationResult, float]:
+        raise NotImplementedError
+
+    def select(self, predicate: Predicate, indexed: bool = False) -> tuple[int, float]:
+        """Run a selection; returns (matching row count, simulated seconds).
+
+        ``indexed`` marks queries the engine could serve from an index
+        (equality on an indexed key) — the distinction that makes Systems
+        D/M beat the index-less Crescando on non-temporal queries in
+        Figure 13b.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<engine {self.name}>"

@@ -1,0 +1,112 @@
+"""Shared machinery of the System D / System M stand-ins.
+
+Both engines compute *exact* answers (via a single-worker ParTime run —
+any correct evaluator would do) and report a simulated response time
+derived from the measured base work scaled by the engine's calibrated
+cost factors (see :mod:`repro.simtime.cost`).  This captures what the
+paper uses the commercial systems for: a performance *foil* whose cost
+structure — index-fast point queries, catastrophic full-scan temporal
+aggregation, slow temporal bulk load — is what the experiments contrast
+ParTime against.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.core.partime import ParTime
+from repro.simtime.executor import SerialExecutor
+from repro.core.query import TemporalAggregationQuery
+from repro.core.result import TemporalAggregationResult
+from repro.simtime.cost import CostModel, DEFAULT_COSTS
+from repro.systems.base import Engine, QueryTimeout
+from repro.temporal.predicates import Predicate
+from repro.temporal.table import TemporalTable
+
+
+class CommercialEngine(Engine):
+    """Base class: exact answers, cost-model response times."""
+
+    #: Multiplier on measured scan work for plain selections.
+    scan_factor: float = 1.0
+    #: Multiplier on measured work for temporal aggregation plans.
+    temporal_factor: float = 1.0
+    #: Divisor on scan work for index-served queries.
+    index_speedup: float = 1.0
+    #: Multiplier on the measured result-construction (merge) work of
+    #: temporal aggregation — generic plans materialise, Section above.
+    merge_factor: float = 1.0
+    #: Multiplier on measured ingest work for bulk loads.
+    load_factor: float = 1.0
+    #: Multiplier on raw columnar bytes for resident size.
+    memory_factor: float = 1.0
+
+    def __init__(self, costs: CostModel = DEFAULT_COSTS) -> None:
+        self.costs = costs
+        self._table: TemporalTable | None = None
+        self._partime = ParTime(mode="vectorized")
+
+    # ------------------------------------------------------------- loading
+
+    def bulkload(self, table: TemporalTable) -> float:
+        t0 = time.perf_counter()
+        # The measured base work of ingesting: touch every physical column
+        # once (the copy a loader cannot avoid).
+        chunk = table.chunk()
+        for name in table.schema.physical_columns():
+            chunk.column(name).copy()
+        base = time.perf_counter() - t0
+        self._table = table
+        return base * self.load_factor
+
+    def memory_bytes(self) -> int:
+        self._require_loaded()
+        return int(self._table.memory_bytes() * self.memory_factor)
+
+    def _require_loaded(self) -> None:
+        if self._table is None:
+            raise RuntimeError(f"{self.name}: bulkload a table first")
+
+    # ------------------------------------------------------------- queries
+
+    def _check_timeout(self, simulated: float) -> float:
+        if simulated > self.costs.timeout_s:
+            raise QueryTimeout(self.name, self.costs.timeout_s)
+        return simulated
+
+    def temporal_aggregation(
+        self, query: TemporalAggregationQuery
+    ) -> tuple[TemporalAggregationResult, float]:
+        """Exact result via a single-worker reference run; simulated time
+        decomposes the measured work: the *scan* side is multiplied by the
+        engine's (possibly parallelised) temporal plan factor, while the
+        *result construction* side is multiplied by ``merge_factor`` —
+        generic sort/group plans materialise results, they do not stream
+        them, and no amount of intra-query parallelism removes that
+        sequential tail."""
+        self._require_loaded()
+        executor = SerialExecutor()
+        result = self._partime.execute(
+            self._table, query, workers=1, executor=executor
+        )
+        step1 = executor.clock.phase_elapsed("partime.step1")
+        step2 = max(0.0, executor.clock.elapsed - step1)
+        simulated = step1 * self.temporal_factor + step2 * self.merge_factor
+        return result, self._check_timeout(simulated)
+
+    def select(self, predicate: Predicate, indexed: bool = False) -> tuple[int, float]:
+        self._require_loaded()
+        chunk = self._table.chunk()
+        t0 = time.perf_counter()
+        count = int(predicate.mask(chunk).sum())
+        base = time.perf_counter() - t0
+        if indexed:
+            # An index turns the scan into a handful of lookups; model as
+            # the scan work divided by the calibrated speedup, floored by a
+            # logarithmic probe cost.
+            probe = 1e-6 * math.log2(max(2, len(self._table)))
+            simulated = max(base * self.scan_factor / self.index_speedup, probe)
+        else:
+            simulated = base * self.scan_factor
+        return count, self._check_timeout(simulated)

@@ -1,0 +1,163 @@
+"""Reference (oracle) implementations of temporal aggregation.
+
+These evaluators follow the definition of the operator directly: collect
+all interval boundaries, and for every elementary segment compute the
+aggregate over the records valid throughout it.  Complexity is O(n²) — the
+point is transparency, not speed.  They validate ParTime, the Timeline
+Index and the Aggregation Trees against each other in the test suite, and
+they are the evaluation core of the System D / System M stand-ins.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.aggregates import AggregateFunction, get_aggregate
+from repro.core.window import WindowSpec
+from repro.temporal.predicates import Predicate
+from repro.temporal.table import TableChunk, TemporalTable
+from repro.temporal.timestamps import FOREVER, Interval, MIN_TIME
+
+
+def _records_of(
+    source: "TemporalTable | TableChunk | Iterable[tuple]",
+    dim: str | None,
+    value_column: str | None,
+    predicate: Predicate | None,
+) -> list[tuple[int, int, object]]:
+    """Normalise any record source to ``(start, end, value)`` triples."""
+    if isinstance(source, TemporalTable):
+        source = source.chunk()
+    if isinstance(source, TableChunk):
+        if predicate is not None:
+            source = source.select(predicate.mask(source))
+        starts = source.column(f"{dim}_start")
+        ends = source.column(f"{dim}_end")
+        values = (
+            [1] * len(source)
+            if value_column is None
+            else source.column(value_column)
+        )
+        return [
+            (int(s), int(e), v) for s, e, v in zip(starts, ends, values)
+        ]
+    return [(int(s), int(e), v) for s, e, v in source]
+
+
+def reference_temporal_aggregation(
+    source,
+    aggregate="sum",
+    dim: str | None = None,
+    value_column: str | None = None,
+    predicate: Predicate | None = None,
+    query_interval: Interval | None = None,
+    drop_empty: bool = False,
+    coalesce: bool = True,
+) -> list[tuple[Interval, object]]:
+    """One-dimensional temporal aggregation, computed the slow, obvious way.
+
+    ``source`` may be a :class:`TemporalTable`, a :class:`TableChunk`
+    (then ``dim`` selects the varied time dimension) or an iterable of raw
+    ``(start, end, value)`` triples.
+    """
+    agg = get_aggregate(aggregate)
+    qlo = MIN_TIME if query_interval is None else query_interval.start
+    qhi = FOREVER if query_interval is None else query_interval.end
+    triples = []
+    for s, e, v in _records_of(source, dim, value_column, predicate):
+        s, e = max(s, qlo), min(e, qhi)
+        if s < e:
+            triples.append((s, e, v))
+    if not triples:
+        return []
+    boundaries = sorted(
+        {s for s, _, _ in triples} | {e for _, e, _ in triples if e < qhi}
+    )
+    rows: list[tuple[Interval, object]] = []
+    for i, lo in enumerate(boundaries):
+        hi = boundaries[i + 1] if i + 1 < len(boundaries) else qhi
+        if lo >= hi:
+            continue
+        acc = agg.identity()
+        count = 0
+        for s, e, v in triples:
+            if s <= lo and e >= hi:
+                acc = agg.apply(acc, agg.make_delta(v, +1))
+                count += 1
+        if drop_empty and count == 0:
+            continue
+        value = agg.finalize(acc)
+        if coalesce and rows and rows[-1][0].end == lo and rows[-1][1] == value:
+            rows[-1] = (Interval(rows[-1][0].start, hi), value)
+        else:
+            rows.append((Interval(lo, hi), value))
+    return rows
+
+
+def reference_windowed_aggregation(
+    source,
+    window: WindowSpec,
+    aggregate="sum",
+    dim: str | None = None,
+    value_column: str | None = None,
+    predicate: Predicate | None = None,
+    drop_empty: bool = False,
+) -> list[tuple[int, object]]:
+    """Windowed aggregation: the aggregate of the records visible at each
+    sample point of ``window``."""
+    agg = get_aggregate(aggregate)
+    triples = _records_of(source, dim, value_column, predicate)
+    rows: list[tuple[int, object]] = []
+    for i in range(window.count):
+        point = window.point(i)
+        acc = agg.identity()
+        count = 0
+        for s, e, v in triples:
+            if s <= point < e:
+                acc = agg.apply(acc, agg.make_delta(v, +1))
+                count += 1
+        if drop_empty and count == 0:
+            continue
+        rows.append((point, agg.finalize(acc)))
+    return rows
+
+
+def reference_multidim_value_at(
+    source,
+    point: Sequence[int],
+    dims: Sequence[str],
+    aggregate="sum",
+    value_column: str | None = None,
+    predicate: Predicate | None = None,
+):
+    """The multi-dimensional aggregate at one point (one timestamp per
+    varied dimension): aggregate all records whose validity contains the
+    point in *every* dimension; ``None`` when no record qualifies.
+
+    This is the pointwise characterisation of the operator — ParTime's
+    multi-dimensional result must agree with it everywhere, regardless of
+    the pivot choice or row tiling.
+    """
+    agg = get_aggregate(aggregate)
+    if isinstance(source, TemporalTable):
+        source = source.chunk()
+    if predicate is not None:
+        source = source.select(predicate.mask(source))
+    acc = agg.identity()
+    count = 0
+    for i in range(len(source)):
+        ok = True
+        for d, ts in zip(dims, point):
+            if not (
+                source.column(f"{d}_start")[i] <= ts < source.column(f"{d}_end")[i]
+            ):
+                ok = False
+                break
+        if not ok:
+            continue
+        value = 1 if value_column is None else source.column(value_column)[i]
+        acc = agg.apply(acc, agg.make_delta(value, +1))
+        count += 1
+    if count == 0:
+        return None
+    return agg.finalize(acc)

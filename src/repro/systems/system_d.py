@@ -1,0 +1,44 @@
+"""System D — the disk-based commercial comparator (Section 5.1).
+
+"A commercial disk-based, general-purpose database system.  We used the
+index advisor shipped with the product to generate indexes for the
+benchmark workload."  Its cost profile, as it manifests in the paper's
+experiments:
+
+* worst overall performer ("it is a disk-based database system and cannot
+  compete with main-memory database systems even if all the data is kept
+  in the main-memory buffers" — Figure 17);
+* good secondary indexes, so indexed point queries are fast (Figure 13b);
+* temporal aggregation through generic self-join plans — one order of
+  magnitude slower than ParTime even on the small database (Figure 13a),
+  timing out on the large ones (Sections 5.2.1, 5.4.1);
+* extremely slow *temporal* bulk load (Table 4: 220 minutes for SF=1).
+"""
+
+from __future__ import annotations
+
+from repro.simtime.cost import CostModel, DEFAULT_COSTS
+from repro.systems.commercial import CommercialEngine
+
+
+class SystemD(CommercialEngine):
+    """The disk-based stand-in; see module docstring."""
+
+    name = "System D"
+
+    def __init__(self, costs: CostModel = DEFAULT_COSTS) -> None:
+        super().__init__(costs)
+        self.scan_factor = costs.system_d_scan_factor
+        # Generic self-join plans on all cores: per-core blow-up divided
+        # by the (inefficient) 32-way parallelism.
+        self.temporal_factor = (
+            costs.system_d_scan_factor
+            * costs.system_d_temporal_factor
+            / (costs.commercial_cores * costs.system_d_parallel_efficiency)
+        )
+        self.merge_factor = costs.system_d_merge_factor
+        self.index_speedup = costs.system_d_index_speedup
+        self.load_factor = costs.system_d_load_factor
+        # Table 3: 2.5 GB resident for 2.3 GB raw (row-store headers,
+        # free-space maps) — roughly +9%.
+        self.memory_factor = 1.09

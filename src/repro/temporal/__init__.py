@@ -1,0 +1,73 @@
+"""Bi-temporal data model substrate.
+
+This package implements the data model of Section 3.1 of the paper:
+tables whose rows carry one *transaction time* interval (assigned by the
+system when a transaction commits) and any number of *business time*
+intervals (assigned by the application).  All intervals are half-open
+``[start, end)`` and ``end == FOREVER`` denotes a currently-valid version.
+
+The main entry points are:
+
+* :class:`~repro.temporal.schema.TableSchema` — declares value columns and
+  time dimensions.
+* :class:`~repro.temporal.table.TemporalTable` — an append-only versioned
+  table with transactional updates that follow the row-splitting semantics
+  of Figure 1 of the paper.
+* :mod:`~repro.temporal.predicates` — selection and time-travel predicates
+  evaluable both per record and vectorized over column chunks.
+"""
+
+from repro.temporal.timestamps import (
+    FOREVER,
+    MIN_TIME,
+    Interval,
+    date_to_ts,
+    ts_to_date,
+)
+from repro.temporal.schema import (
+    Column,
+    ColumnType,
+    TimeDimension,
+    TimeKind,
+    TableSchema,
+)
+from repro.temporal.table import TemporalTable, TableChunk
+from repro.temporal.predicates import (
+    And,
+    ColumnBetween,
+    ColumnEquals,
+    ColumnIn,
+    CurrentVersion,
+    Not,
+    Or,
+    Overlaps,
+    Predicate,
+    TimeTravel,
+    TrueP,
+)
+
+__all__ = [
+    "FOREVER",
+    "MIN_TIME",
+    "Interval",
+    "date_to_ts",
+    "ts_to_date",
+    "Column",
+    "ColumnType",
+    "TimeDimension",
+    "TimeKind",
+    "TableSchema",
+    "TemporalTable",
+    "TableChunk",
+    "Predicate",
+    "TrueP",
+    "ColumnEquals",
+    "ColumnIn",
+    "ColumnBetween",
+    "And",
+    "Or",
+    "Not",
+    "TimeTravel",
+    "Overlaps",
+    "CurrentVersion",
+]

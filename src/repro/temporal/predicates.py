@@ -1,0 +1,221 @@
+"""Selection and time-travel predicates.
+
+Predicates are the filtering vocabulary of the storage nodes: every query in
+the shared scan carries one, and ParTime's Step 1 first applies the query's
+predicate before generating deltas (Section 3.2.1: "these rows are filtered
+out before the ParTime algorithm takes effect").
+
+Every predicate supports two evaluation modes:
+
+* :meth:`Predicate.mask` — vectorized over a :class:`TableChunk`, returning
+  a boolean NumPy array (the production path);
+* :meth:`Predicate.matches` — per record dict (the pedagogical path,
+  mirroring the paper's per-record pseudo-code).
+
+The time-travel operator of SQL:2011 is the :class:`TimeTravel` predicate —
+"a simple selection on the time dimensions" as Section 3.1 observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.temporal.table import TableChunk
+from repro.temporal.timestamps import FOREVER, Interval
+
+
+class Predicate:
+    """Abstract base class of all predicates."""
+
+    def mask(self, chunk: TableChunk) -> np.ndarray:
+        raise NotImplementedError
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And([self, other])
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or([self, other])
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueP(Predicate):
+    """The always-true predicate (no filtering)."""
+
+    def mask(self, chunk: TableChunk) -> np.ndarray:
+        return np.ones(len(chunk), dtype=bool)
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ColumnEquals(Predicate):
+    """``column == value``."""
+
+    column: str
+    value: Any
+
+    def mask(self, chunk: TableChunk) -> np.ndarray:
+        return chunk.column(self.column) == self.value
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        return record[self.column] == self.value
+
+
+@dataclass(frozen=True)
+class ColumnIn(Predicate):
+    """``column IN values``."""
+
+    column: str
+    values: tuple
+
+    def __init__(self, column: str, values) -> None:
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "values", tuple(values))
+
+    def mask(self, chunk: TableChunk) -> np.ndarray:
+        return np.isin(chunk.column(self.column), np.array(list(self.values)))
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        return record[self.column] in self.values
+
+
+@dataclass(frozen=True)
+class ColumnBetween(Predicate):
+    """``lo <= column < hi`` (half-open, like all intervals here)."""
+
+    column: str
+    lo: Any
+    hi: Any
+
+    def mask(self, chunk: TableChunk) -> np.ndarray:
+        col = chunk.column(self.column)
+        return (col >= self.lo) & (col < self.hi)
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        return self.lo <= record[self.column] < self.hi
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    children: tuple
+
+    def __init__(self, children: Sequence[Predicate]) -> None:
+        object.__setattr__(self, "children", tuple(children))
+
+    def mask(self, chunk: TableChunk) -> np.ndarray:
+        out = np.ones(len(chunk), dtype=bool)
+        for child in self.children:
+            out &= child.mask(chunk)
+        return out
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        return all(child.matches(record) for child in self.children)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    children: tuple
+
+    def __init__(self, children: Sequence[Predicate]) -> None:
+        object.__setattr__(self, "children", tuple(children))
+
+    def mask(self, chunk: TableChunk) -> np.ndarray:
+        out = np.zeros(len(chunk), dtype=bool)
+        for child in self.children:
+            out |= child.mask(chunk)
+        return out
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        return any(child.matches(record) for child in self.children)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation."""
+
+    child: Predicate
+
+    def mask(self, chunk: TableChunk) -> np.ndarray:
+        return ~self.child.mask(chunk)
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        return not self.child.matches(record)
+
+
+@dataclass(frozen=True)
+class TimeTravel(Predicate):
+    """Fix a time dimension to a single point: versions visible *at* ``at``.
+
+    ``dim_start <= at < dim_end`` — e.g. "given Version t3 of the database"
+    is ``TimeTravel("tt", 3)``; "on June 1, 1994" is
+    ``TimeTravel("bt", date_to_ts(1994, 6, 1))``.
+    """
+
+    dim: str
+    at: int
+
+    def mask(self, chunk: TableChunk) -> np.ndarray:
+        start = chunk.column(f"{self.dim}_start")
+        end = chunk.column(f"{self.dim}_end")
+        return (start <= self.at) & (self.at < end)
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        return record[f"{self.dim}_start"] <= self.at < record[f"{self.dim}_end"]
+
+
+@dataclass(frozen=True)
+class Overlaps(Predicate):
+    """Versions whose validity in ``dim`` overlaps ``[lo, hi)``.
+
+    This is the range filter of windowed and range-restricted temporal
+    aggregation queries (e.g. Example 1 fixes business time to the year
+    1995 by requiring the BT interval to overlap 1995).
+    """
+
+    dim: str
+    lo: int
+    hi: int = FOREVER
+
+    @classmethod
+    def interval(cls, dim: str, iv: Interval) -> "Overlaps":
+        return cls(dim, iv.start, iv.end)
+
+    def mask(self, chunk: TableChunk) -> np.ndarray:
+        start = chunk.column(f"{self.dim}_start")
+        end = chunk.column(f"{self.dim}_end")
+        return (start < self.hi) & (end > self.lo)
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        return record[f"{self.dim}_start"] < self.hi and record[f"{self.dim}_end"] > self.lo
+
+
+@dataclass(frozen=True)
+class CurrentVersion(Predicate):
+    """Only currently-valid versions: ``dim_end == FOREVER``.
+
+    With the transaction dimension this is the paper's Example 3 filter
+    ("the query asks only for tuples of the current version of the
+    database; i.e., records with END_TT = ∞").
+    """
+
+    dim: str = "tt"
+
+    def mask(self, chunk: TableChunk) -> np.ndarray:
+        return chunk.column(f"{self.dim}_end") >= FOREVER
+
+    def matches(self, record: Mapping[str, Any]) -> bool:
+        return record[f"{self.dim}_end"] >= FOREVER

@@ -1,0 +1,172 @@
+"""Schemas for bi-temporal tables.
+
+A :class:`TableSchema` consists of ordinary value columns plus an ordered
+list of *time dimensions*.  Following the data model of Section 3.1 there is
+always exactly one :data:`~TimeKind.TRANSACTION` dimension (versioning of
+the database, timestamps assigned at commit) and zero or more
+:data:`~TimeKind.BUSINESS` dimensions (application-assigned validity).
+
+Each time dimension materialises as a pair of int64 columns
+``<name>_start`` / ``<name>_end`` in the physical layout — the paper's
+``START_BT``/``END_BT``/``START_TT``/``END_TT`` columns of Figure 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class ColumnType(enum.Enum):
+    """Physical type of a value column."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+
+    @property
+    def numpy_dtype(self):
+        """dtype used by the columnar backing store."""
+        if self is ColumnType.INT:
+            return np.int64
+        if self is ColumnType.FLOAT:
+            return np.float64
+        return object
+
+
+@dataclass(frozen=True)
+class Column:
+    """An ordinary (non-temporal) value column."""
+
+    name: str
+    ctype: ColumnType = ColumnType.INT
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise ValueError(f"column name must be an identifier: {self.name!r}")
+
+
+class TimeKind(enum.Enum):
+    """Whether a time dimension is system- or application-controlled."""
+
+    TRANSACTION = "transaction"
+    BUSINESS = "business"
+
+
+@dataclass(frozen=True)
+class TimeDimension:
+    """One temporal dimension of a bi-temporal table.
+
+    ``kind == TRANSACTION`` timestamps are assigned by
+    :class:`~repro.temporal.table.TemporalTable` at commit; ``BUSINESS``
+    timestamps are supplied by the application on insert/update.
+    """
+
+    name: str
+    kind: TimeKind = TimeKind.BUSINESS
+
+    @property
+    def start_column(self) -> str:
+        return f"{self.name}_start"
+
+    @property
+    def end_column(self) -> str:
+        return f"{self.name}_end"
+
+
+@dataclass
+class TableSchema:
+    """Schema of a bi-temporal table.
+
+    Parameters
+    ----------
+    name:
+        Table name.
+    columns:
+        The value columns.
+    business_dims:
+        Names of the business-time dimensions, in order.  May be empty for a
+        plain *temporal table* (transaction time only).
+    key:
+        Optional name of the value column that identifies a logical entity
+        across versions (e.g. the employee name in Figure 1).  Updates and
+        deletes address rows through this key.
+    transaction_dim:
+        Name of the transaction-time dimension (default ``"tt"``).
+
+    Examples
+    --------
+    The Employee table of Figure 1:
+
+    >>> schema = TableSchema(
+    ...     name="employee",
+    ...     columns=[Column("name", ColumnType.STRING),
+    ...              Column("descr", ColumnType.STRING),
+    ...              Column("salary", ColumnType.INT)],
+    ...     business_dims=["bt"],
+    ...     key="name",
+    ... )
+    >>> [d.name for d in schema.time_dimensions]
+    ['bt', 'tt']
+    """
+
+    name: str
+    columns: list[Column]
+    business_dims: list[str] = field(default_factory=list)
+    key: str | None = None
+    transaction_dim: str = "tt"
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in {self.name}")
+        if self.key is not None and self.key not in names:
+            raise ValueError(f"key column {self.key!r} is not a column")
+        if self.transaction_dim in self.business_dims:
+            raise ValueError("transaction dimension may not double as business time")
+        reserved = set()
+        for dim in self.business_dims + [self.transaction_dim]:
+            reserved.add(f"{dim}_start")
+            reserved.add(f"{dim}_end")
+        clash = reserved.intersection(names)
+        if clash:
+            raise ValueError(f"value columns clash with time columns: {sorted(clash)}")
+
+    @property
+    def time_dimensions(self) -> list[TimeDimension]:
+        """All temporal dimensions, business times first, transaction time
+        last (the convention used throughout the paper's examples)."""
+        dims = [TimeDimension(d, TimeKind.BUSINESS) for d in self.business_dims]
+        dims.append(TimeDimension(self.transaction_dim, TimeKind.TRANSACTION))
+        return dims
+
+    @property
+    def transaction_dimension(self) -> TimeDimension:
+        return TimeDimension(self.transaction_dim, TimeKind.TRANSACTION)
+
+    def dimension(self, name: str) -> TimeDimension:
+        """Look up a time dimension by name."""
+        for dim in self.time_dimensions:
+            if dim.name == name:
+                return dim
+        raise KeyError(f"no time dimension named {name!r} in table {self.name}")
+
+    def column(self, name: str) -> Column:
+        """Look up a value column by name."""
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise KeyError(f"no column named {name!r} in table {self.name}")
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def physical_columns(self) -> list[str]:
+        """Value columns followed by start/end pairs of every dimension."""
+        cols = self.column_names()
+        for dim in self.time_dimensions:
+            cols.append(dim.start_column)
+            cols.append(dim.end_column)
+        return cols

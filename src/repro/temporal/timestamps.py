@@ -1,0 +1,159 @@
+"""Timestamps, the FOREVER sentinel, and half-open intervals.
+
+All points in time in this reproduction are 64-bit integers:
+
+* *transaction time* is the commit sequence number of the transaction that
+  created (or invalidated) a version — exactly the ``t0, t5, t7, ...``
+  notation of the paper;
+* *business time* is application-assigned; for date-valued dimensions we
+  map calendar dates to days since 1970-01-01 via :func:`date_to_ts`.
+
+``FOREVER`` plays the role of the paper's ``∞``: a version whose end
+timestamp is ``FOREVER`` is still valid.  It is chosen as ``2**62`` so that
+modest arithmetic on timestamps can never overflow a signed 64-bit integer.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import NamedTuple
+
+#: The ``∞`` sentinel.  A version with ``end == FOREVER`` is currently valid.
+FOREVER: int = 2**62
+
+#: The smallest representable point in time (used as "beginning of time").
+MIN_TIME: int = -(2**62)
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+def date_to_ts(year: int, month: int = 1, day: int = 1) -> int:
+    """Map a calendar date to an integer timestamp (days since 1970-01-01).
+
+    The paper's examples use dates like ``01-06-1994``; this helper lets the
+    running examples and workload generators express business time in the
+    same vocabulary:
+
+    >>> date_to_ts(1970, 1, 2)
+    1
+    >>> date_to_ts(1993) < date_to_ts(1994, 6, 1)
+    True
+    """
+    return (datetime.date(year, month, day) - _EPOCH).days
+
+
+def ts_to_date(ts: int) -> datetime.date:
+    """Inverse of :func:`date_to_ts` for finite timestamps.
+
+    >>> ts_to_date(date_to_ts(1994, 6, 1))
+    datetime.date(1994, 6, 1)
+    """
+    if ts >= FOREVER:
+        raise ValueError("FOREVER has no calendar representation")
+    return _EPOCH + datetime.timedelta(days=int(ts))
+
+
+def format_ts(ts: int) -> str:
+    """Human-readable rendering used by result pretty-printers.
+
+    ``FOREVER`` renders as the infinity symbol, mirroring the paper's
+    figures.
+    """
+    if ts >= FOREVER:
+        return "inf"
+    if ts <= MIN_TIME:
+        return "-inf"
+    return str(int(ts))
+
+
+class Interval(NamedTuple):
+    """A half-open time interval ``[start, end)``.
+
+    Half-open intervals are the standard temporal-database convention and
+    the one the paper implicitly uses: a version created by transaction
+    ``t0`` and invalidated by ``t7`` is visible in versions ``t0 .. t6``.
+
+    Implemented as a NamedTuple: immutable, ordered lexicographically by
+    ``(start, end)``, usable as a dictionary key, and cheap to construct —
+    result merges build one per output row, so construction cost is on the
+    Step 2 critical path.  Construction does not validate (hot path); use
+    :meth:`checked` where inputs are untrusted.
+    """
+
+    start: int
+    end: int = FOREVER
+
+    @classmethod
+    def checked(cls, start: int, end: int = FOREVER) -> "Interval":
+        """Validating constructor: rejects ``end < start``."""
+        if end < start:
+            raise ValueError(
+                f"invalid interval: end {end} precedes start {start}"
+            )
+        return cls(start, end)
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when the interval contains no point at all."""
+        return self.start == self.end
+
+    @property
+    def is_open_ended(self) -> bool:
+        """``True`` when the interval extends to FOREVER (the paper's ∞)."""
+        return self.end >= FOREVER
+
+    def contains(self, ts: int) -> bool:
+        """Point containment under half-open semantics.
+
+        >>> Interval(1, 5).contains(1), Interval(1, 5).contains(5)
+        (True, False)
+        """
+        return self.start <= ts < self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two intervals share at least one point.
+
+        Empty intervals share no point with anything — including when
+        they lie strictly inside the other interval.
+
+        >>> Interval(1, 5).overlaps(Interval(5, 9))
+        False
+        >>> Interval(1, 5).overlaps(Interval(4, 9))
+        True
+        >>> Interval(1, 5).overlaps(Interval(3, 3))
+        False
+        """
+        return (
+            self.start < other.end
+            and other.start < self.end
+            and not self.is_empty
+            and not other.is_empty
+        )
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """The overlapping part of the two intervals, or ``None``.
+
+        >>> Interval(1, 5).intersect(Interval(3, 9))
+        Interval(start=3, end=5)
+        """
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start >= end:
+            return None
+        return Interval(start, end)
+
+    def clamp(self, lo: int, hi: int) -> "Interval | None":
+        """Restrict the interval to ``[lo, hi)``; ``None`` if disjoint."""
+        return self.intersect(Interval(lo, hi))
+
+    def duration(self) -> int:
+        """Length of the interval; ``FOREVER``-ended intervals are infinite
+        and represented by a very large number rather than a float."""
+        return self.end - self.start
+
+    def __str__(self) -> str:
+        return f"[{format_ts(self.start)}, {format_ts(self.end)})"
+
+
+#: The interval covering all of time.
+ALL_TIME = Interval(MIN_TIME, FOREVER)

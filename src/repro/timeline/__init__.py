@@ -1,0 +1,36 @@
+"""The Timeline Index baseline (Kaufmann et al., SIGMOD 2013; [13] in the
+paper).
+
+"At the core of the Timeline Index is the *event map*, which is a
+pre-computed sorted list of points in time when versions of records became
+valid and invalid.  Given this event map, computing the result of a
+temporal aggregation query involves only one scan of this highly
+compressed sorted list.  To further speed the computation up, the Timeline
+Index features checkpoints, which materialize a bitmap with all active
+records for a specific point in time."  (Section 2.)
+
+The paper uses the Timeline Index as the query-performance lower bound —
+temporal aggregation becomes a single scan over precomputed state — while
+stressing its two weaknesses, both modelled here: expensive maintenance
+under updates, and no parallelisation (queries run on one core).
+
+:class:`~repro.timeline.bitemporal.BitemporalTimelineIndex` implements the
+bi-temporal extension ([15]): business-time queries at a fixed version.
+"""
+
+from repro.timeline.eventmap import EventMap
+from repro.timeline.checkpoints import Checkpoint, CheckpointSet
+from repro.timeline.index import TimelineIndex
+from repro.timeline.bitemporal import BitemporalTimelineIndex
+from repro.timeline.engine import TimelineEngine
+from repro.timeline.hybrid import HybridAggregator
+
+__all__ = [
+    "EventMap",
+    "Checkpoint",
+    "CheckpointSet",
+    "TimelineIndex",
+    "BitemporalTimelineIndex",
+    "TimelineEngine",
+    "HybridAggregator",
+]

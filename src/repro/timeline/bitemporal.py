@@ -1,0 +1,106 @@
+"""The bi-temporal Timeline Index ([15], Kaufmann et al., ICDE 2015).
+
+The plain Timeline Index "works particularly well for the transaction time
+dimension ... which is naturally ordered.  However, the Timeline Index has
+recently been amended to support the full bi-temporal data model"
+(Section 2).  This module implements that amendment in its essential form:
+
+* a transaction-time Timeline (event map + checkpoints) answers "which
+  versions are visible at version t?" as a bitmap;
+* a second, precomputed business-time event map — sorted by business time
+  once, at build — is scanned with that bitmap as a row filter.
+
+A business-time aggregation at a fixed version is then a checkpoint lookup
+plus one filtered scan of the business-time event map: no sorting at query
+time, which is what keeps the Timeline the query-speed lower bound for
+query ta2 / TPC-BiH r2 as well.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.window import WindowSpec
+from repro.temporal.table import TemporalTable
+from repro.temporal.timestamps import Interval
+from repro.timeline.index import TimelineIndex
+
+
+class BitemporalTimelineIndex:
+    """Timeline over transaction time + precomputed business-time events."""
+
+    def __init__(
+        self,
+        table: TemporalTable,
+        business_dim: str = "bt",
+        transaction_dim: str = "tt",
+        value_columns: tuple[str, ...] = (),
+        checkpoint_every: int = 4096,
+    ) -> None:
+        self.business_dim = business_dim
+        self.transaction_dim = transaction_dim
+        self.tt_index = TimelineIndex(
+            table, transaction_dim, value_columns, checkpoint_every
+        )
+        self.bt_index = TimelineIndex(
+            table, business_dim, value_columns, checkpoint_every
+        )
+
+    def nbytes(self) -> int:
+        return self.tt_index.nbytes() + self.bt_index.nbytes()
+
+    def _mask_at_version(
+        self, version: int, predicate_mask: np.ndarray | None
+    ) -> np.ndarray:
+        mask = self.tt_index.active_bitmap_at(version)
+        if predicate_mask is not None:
+            mask = mask & predicate_mask
+        return mask
+
+    def business_aggregation(
+        self,
+        version: int,
+        value_column: str | None = None,
+        aggregate="sum",
+        query_interval: Interval | None = None,
+        predicate_mask: np.ndarray | None = None,
+        drop_empty: bool = False,
+    ) -> list[tuple[Interval, object]]:
+        """Temporal aggregation over business time, as of ``version``."""
+        mask = self._mask_at_version(version, predicate_mask)
+        return self.bt_index.temporal_aggregation(
+            value_column,
+            aggregate,
+            query_interval=query_interval,
+            predicate_mask=mask,
+            drop_empty=drop_empty,
+        )
+
+    def business_windowed(
+        self,
+        version: int,
+        window: WindowSpec,
+        value_column: str | None = None,
+        aggregate="sum",
+        predicate_mask: np.ndarray | None = None,
+    ) -> list[tuple[int, object]]:
+        """Windowed business-time aggregation, as of ``version``."""
+        mask = self._mask_at_version(version, predicate_mask)
+        return self.bt_index.windowed_aggregation(
+            window, value_column, aggregate, predicate_mask=mask
+        )
+
+    def value_at(
+        self,
+        version: int,
+        business_ts: int,
+        value_column: str | None = None,
+        aggregate="sum",
+        predicate_mask: np.ndarray | None = None,
+    ):
+        """Bi-temporal time travel: the aggregate at one (version, business
+        time) point."""
+        mask = self._mask_at_version(version, predicate_mask)
+        return self.bt_index.aggregate_at(
+            business_ts, value_column, aggregate, predicate_mask=mask
+        )

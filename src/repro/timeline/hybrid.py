@@ -1,0 +1,345 @@
+"""Hybrid index + scan — the paper's second future-work item.
+
+Section 6: "we would like to investigate how ParTime can co-exist with
+indexes such as the Timeline Index; for instance, would it be possible to
+partially index historic data that is not updated and to apply ParTime
+only to fresh and recently appended data in a hybrid way."
+
+:class:`HybridAggregator` is that investigation, built from the two
+existing engines:
+
+* at construction, the table is split at a *freeze version*: rows whose
+  transaction time started before it are *frozen*, everything after is
+  *fresh*;
+* the frozen rows' validity events are extracted and sorted **once**, per
+  time dimension — a partial Timeline Index.  For the transaction-time
+  dimension only events *before* the freeze version are indexed, because
+  an update arriving later may still close a frozen row, and that closing
+  event always carries a timestamp at or after the freeze version —
+  frozen events are therefore immutable by construction;
+* a query answers from three delta streams merged by ParTime's Step 2:
+  (1) the frozen index, filtered by the query's predicate and clamped to
+  the query range without any sorting, (2) for transaction-time queries,
+  the *supplemental* end events of frozen rows closed after the freeze
+  (one vectorized pass over the frozen end column — no sort, the stream
+  is consolidated on the fly), and (3) ordinary ParTime Step 1 over the
+  fresh rows, parallelised as usual.
+
+Updates need no index maintenance at all: closing events and new versions
+land on the fresh side by construction.  Periodically calling
+:meth:`HybridAggregator.advance_freeze` re-freezes the accumulated fresh
+rows (the only re-sorting cost, amortised over many updates).
+
+Limits (documented, asserted): one-dimensional queries with incremental
+aggregates (SUM/COUNT/AVG).  Everything else falls back to plain ParTime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aggregates import get_aggregate
+from repro.core.deltamap import SortedArrayDeltaMap
+from repro.core.query import TemporalAggregationQuery
+from repro.core.result import TemporalAggregationResult
+from repro.core.step1 import generate_delta_map
+from repro.core.step2 import merge_sorted_arrays
+from repro.simtime.executor import Executor, SerialExecutor
+from repro.temporal.table import TableChunk, TemporalTable
+from repro.temporal.timestamps import FOREVER, MIN_TIME
+
+
+class _FrozenDimIndex:
+    """Sorted validity events of the frozen rows for one dimension."""
+
+    def __init__(
+        self,
+        chunk: TableChunk,
+        dim: str,
+        transaction_dim: str,
+        freeze_version: int,
+    ) -> None:
+        self.dim = dim
+        starts = chunk.column(f"{dim}_start")
+        ends = chunk.column(f"{dim}_end")
+        n = len(starts)
+        rows = np.arange(n, dtype=np.int64)
+        if dim == transaction_dim:
+            # End events at or after the freeze are mutable (an update may
+            # still close a frozen row): exclude them here; the fresh-side
+            # supplemental pass provides them at query time.
+            end_keep = ends < freeze_version
+        else:
+            # Business-time intervals of a written version never change.
+            end_keep = ends < FOREVER
+        ts = np.concatenate([starts, ends[end_keep]])
+        evt_rows = np.concatenate([rows, rows[end_keep]])
+        signs = np.concatenate(
+            [np.ones(n, dtype=np.int64),
+             -np.ones(int(end_keep.sum()), dtype=np.int64)]
+        )
+        order = np.argsort(ts, kind="stable")
+        self.timestamps = ts[order]
+        self.rows = evt_rows[order]
+        self.signs = signs[order]
+        #: column name -> (event value deltas, prefix sums) for
+        #: predicate-free queries (computed lazily, immutable thereafter).
+        self._cumulative: dict = {}
+
+    def _cumulative_for(self, column_key, values_per_row: np.ndarray):
+        cached = self._cumulative.get(column_key)
+        if cached is None:
+            vals = values_per_row[self.rows] * self.signs
+            cached = (vals, np.cumsum(vals), np.cumsum(self.signs))
+            self._cumulative[column_key] = cached
+        return cached
+
+    def delta_map(
+        self,
+        values_per_row: np.ndarray,
+        mask: np.ndarray | None,
+        qlo: int,
+        qhi: int,
+        aggregate,
+        column_key=None,
+    ) -> SortedArrayDeltaMap:
+        """The frozen contribution as a consolidated sorted-array map:
+        predicate filter, prefix-fold of events before the query range,
+        no sorting (the index is pre-sorted).  ``column_key`` identifies
+        the value column for the predicate-free cumulative cache."""
+        ts = self.timestamps
+        signs = self.signs
+        if mask is None:
+            # Predicate-free fast path: cached per-event deltas + prefix
+            # sums make the query O(range), like a full Timeline Index.
+            vals, cum_vals, cum_cnts = self._cumulative_for(
+                column_key, values_per_row
+            )
+            i0 = int(np.searchsorted(ts, qlo, side="left"))
+            i1 = int(np.searchsorted(ts, qhi, side="left"))
+            parts_ts = [ts[i0:i1]]
+            parts_vals = [vals[i0:i1]]
+            parts_cnts = [signs[i0:i1]]
+            if i0 > 0 and qlo > MIN_TIME:
+                fold_val = float(cum_vals[i0 - 1])
+                fold_cnt = int(cum_cnts[i0 - 1])
+                # A null fold (no record survives into the range) must not
+                # materialise: ParTime's clamp skips such records entirely.
+                if fold_val != 0.0 or fold_cnt != 0:
+                    parts_ts.insert(0, np.array([qlo], dtype=np.int64))
+                    parts_vals.insert(0, np.array([fold_val]))
+                    parts_cnts.insert(
+                        0, np.array([fold_cnt], dtype=np.int64)
+                    )
+            return SortedArrayDeltaMap.from_events(
+                aggregate,
+                np.concatenate(parts_ts),
+                np.concatenate(parts_vals).astype(np.float64),
+                np.concatenate(parts_cnts),
+            )
+        vals = values_per_row[self.rows] * signs
+        keep = mask[self.rows]
+        ts, signs, vals = ts[keep], signs[keep], vals[keep]
+        i0 = int(np.searchsorted(ts, qlo, side="left"))
+        i1 = int(np.searchsorted(ts, qhi, side="left"))
+        parts_ts = [ts[i0:i1]]
+        parts_vals = [vals[i0:i1]]
+        parts_cnts = [signs[i0:i1]]
+        if i0 > 0 and qlo > MIN_TIME:
+            # Everything before the range folds into one event at qlo —
+            # unless the fold is null (see the fast path above).
+            fold_val = float(vals[:i0].sum())
+            fold_cnt = int(signs[:i0].sum())
+            if fold_val != 0.0 or fold_cnt != 0:
+                parts_ts.insert(0, np.array([qlo], dtype=np.int64))
+                parts_vals.insert(0, np.array([fold_val]))
+                parts_cnts.insert(0, np.array([fold_cnt], dtype=np.int64))
+        return SortedArrayDeltaMap.from_events(
+            aggregate,
+            np.concatenate(parts_ts),
+            np.concatenate(parts_vals).astype(np.float64),
+            np.concatenate(parts_cnts),
+        )
+
+    def nbytes(self) -> int:
+        return self.timestamps.nbytes + self.rows.nbytes + self.signs.nbytes
+
+
+class HybridAggregator:
+    """Partial Timeline over frozen history + ParTime over fresh data."""
+
+    def __init__(
+        self, table: TemporalTable, freeze_version: int | None = None
+    ) -> None:
+        self.table = table
+        self._tdim = table.schema.transaction_dim
+        self.freeze_version = (
+            table.current_version if freeze_version is None else freeze_version
+        )
+        self._build_frozen()
+
+    # -------------------------------------------------------------- build
+
+    def _build_frozen(self) -> None:
+        chunk = self.table.chunk()
+        starts = chunk.column(f"{self._tdim}_start")
+        self._frozen_mask = starts < self.freeze_version
+        self._frozen_count = int(self._frozen_mask.sum())
+        # The event index and the cached column copies are immutable by
+        # construction; the ONLY column of a written row that ever mutates
+        # is the transaction-time end (an update closing the version), so
+        # _frozen_live_chunk() re-reads just that one column.
+        self._frozen_indices = np.nonzero(self._frozen_mask)[0]
+        self._build_view = chunk.select(self._frozen_mask)
+        self._indexes: dict[str, _FrozenDimIndex] = {
+            dim.name: _FrozenDimIndex(
+                self._build_view, dim.name, self._tdim, self.freeze_version
+            )
+            for dim in self.table.schema.time_dimensions
+        }
+
+    def _frozen_live_chunk(self) -> TableChunk:
+        """The frozen rows as seen *now*: the build-time copy with the
+        one mutable column (``tt_end``) refreshed from the live table."""
+        end_col = f"{self._tdim}_end"
+        columns = dict(self._build_view.columns)
+        columns[end_col] = self.table.column(end_col)[self._frozen_indices]
+        return TableChunk(schema=self._build_view.schema, columns=columns)
+
+    def advance_freeze(self) -> None:
+        """Re-freeze: absorb all fresh data into the index (the periodic,
+        amortised re-sort the paper's hybrid idea implies)."""
+        self.freeze_version = self.table.current_version
+        self._build_frozen()
+
+    def nbytes(self) -> int:
+        return sum(ix.nbytes() for ix in self._indexes.values())
+
+    @property
+    def fresh_rows(self) -> int:
+        return len(self.table) - self._frozen_count
+
+    # -------------------------------------------------------------- query
+
+    def _fresh_chunk(self) -> TableChunk:
+        chunk = self.table.chunk()
+        mask = np.ones(len(chunk), dtype=bool)
+        mask[: len(self._frozen_mask)] = ~self._frozen_mask
+        return chunk.select(mask)
+
+    def _supplemental_map(
+        self, query: TemporalAggregationQuery, aggregate, qlo: int, qhi: int
+    ) -> SortedArrayDeltaMap | None:
+        """End events of frozen rows closed at or after the freeze version
+        (transaction-time queries only): one vectorized pass, no sort
+        needed for Step 2 (`from_events` consolidates)."""
+        chunk = self._frozen_live_chunk()
+        ends = chunk.column(f"{self._tdim}_end")
+        closed = (ends >= self.freeze_version) & (ends < FOREVER)
+        if query.predicate is not None:
+            closed &= query.predicate.mask(chunk)
+        ts = ends[closed]
+        ts = ts[(ts >= qlo) & (ts < qhi)]
+        if len(ts) == 0:
+            return None
+        sub = chunk.select(closed)
+        sub_ts = sub.column(f"{self._tdim}_end")
+        keep = (sub_ts >= qlo) & (sub_ts < qhi)
+        if query.value_column is None:
+            values = np.ones(int(keep.sum()))
+        else:
+            values = sub.column(query.value_column).astype(np.float64)[keep]
+        return SortedArrayDeltaMap.from_events(
+            aggregate,
+            sub_ts[keep],
+            -values,
+            -np.ones(int(keep.sum()), dtype=np.int64),
+        )
+
+    def supports(self, query: TemporalAggregationQuery) -> bool:
+        return (
+            not query.is_multidim
+            and not query.is_windowed
+            and query.aggregate_fn.incremental
+        )
+
+    def execute(
+        self,
+        query: TemporalAggregationQuery,
+        workers: int = 1,
+        executor: Executor | None = None,
+    ) -> TemporalAggregationResult:
+        """Answer a query from the frozen index plus a fresh-only scan."""
+        if not self.supports(query):
+            raise NotImplementedError(
+                "the hybrid path covers one-dimensional incremental "
+                "aggregation; use ParTime directly for the rest"
+            )
+        executor = executor or SerialExecutor()
+        agg = get_aggregate(query.aggregate)
+        dim = query.varied_dims[0]
+        interval = query.interval_of(dim)
+        qlo = MIN_TIME if interval is None else interval.start
+        qhi = FOREVER if interval is None else interval.end
+
+        def frozen_side():
+            chunk = self._frozen_live_chunk()
+            mask = (
+                None
+                if query.predicate is None
+                else query.predicate.mask(chunk)
+            )
+            if query.value_column is None:
+                values = np.ones(len(chunk))
+            else:
+                values = chunk.column(query.value_column).astype(np.float64)
+            maps = [
+                self._indexes[dim].delta_map(
+                    values, mask, qlo, qhi, agg, column_key=query.value_column
+                )
+            ]
+            if dim == self._tdim:
+                supplemental = self._supplemental_map(query, agg, qlo, qhi)
+                if supplemental is not None:
+                    maps.append(supplemental)
+            return maps
+
+        fresh = self._fresh_chunk()
+        bounds = [round(i * len(fresh) / max(1, workers)) for i in range(workers + 1)]
+        fresh_chunks = [
+            TableChunk(
+                schema=fresh.schema,
+                columns={
+                    name: arr[bounds[i]:bounds[i + 1]]
+                    for name, arr in fresh.columns.items()
+                },
+            )
+            for i in range(max(1, workers))
+        ]
+
+        def fresh_side(chunk):
+            return generate_delta_map(
+                chunk,
+                query.value_column,
+                dim,
+                agg,
+                predicate=query.predicate,
+                query_interval=interval,
+                mode="vectorized",
+            )
+
+        fresh_maps = executor.map_parallel(
+            fresh_side, fresh_chunks, label="hybrid.fresh"
+        )
+        frozen_maps = executor.run_serial(frozen_side, label="hybrid.frozen")
+
+        def step2():
+            return merge_sorted_arrays(
+                frozen_maps + list(fresh_maps),
+                agg,
+                until=qhi,
+                drop_empty=query.drop_empty,
+            )
+
+        pairs = executor.run_serial(step2, label="hybrid.step2")
+        return TemporalAggregationResult.from_pairs(dim, pairs, agg.name)

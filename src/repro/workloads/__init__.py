@@ -1,0 +1,20 @@
+"""Workload generators: the Amadeus airline-reservation workload and the
+TPC-BiH bi-temporal benchmark.
+
+Both follow the substitution documented in DESIGN.md: the paper's
+proprietary production trace (2.4 billion bookings) and the TPC-BiH data
+generator are replaced by synthetic generators that exercise the same code
+paths at configurable scale — version chains with skew, mixed query
+batches matching Table 1, update streams, and the full Table 2 query set.
+"""
+
+from repro.workloads.amadeus import AmadeusConfig, AmadeusWorkload
+from repro.workloads.tpcbih import TPCBiHConfig, TPCBiHDataset, TPCBIH_QUERIES
+
+__all__ = [
+    "AmadeusConfig",
+    "AmadeusWorkload",
+    "TPCBiHConfig",
+    "TPCBiHDataset",
+    "TPCBIH_QUERIES",
+]

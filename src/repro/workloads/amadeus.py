@@ -1,0 +1,287 @@
+"""The Amadeus airline-reservation workload (Section 5.2.1).
+
+The paper's workload is a production trace over a bookings table of 2.4
+billion rows (bookings x versions).  This generator produces a synthetic
+equivalent at configurable scale with the characteristics the paper
+reports:
+
+* every booking has on average five versions, with Zipf skew ("some
+  bookings are updated much more often than others");
+* two business-time facets — the ticket's validity interval and the
+  departure day — plus transaction time;
+* the query mix of Table 1: 1% ta1 (number of open bookings of a flight
+  grouped by transaction time), 1% ta2 (valid tickets over business
+  time), 8% other temporal queries (time travel, ranges), 90%
+  non-temporal queries (booking lookups, passenger lists per flight);
+* an update stream of configurable rate (the paper: 250 updates/second).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.query import TemporalAggregationQuery
+from repro.core.window import WindowSpec
+from repro.storage.queries import InsertOp, SelectQuery, TemporalAggQuery, UpdateOp
+from repro.temporal.predicates import (
+    ColumnEquals,
+    CurrentVersion,
+    Overlaps,
+    TimeTravel,
+)
+from repro.temporal.schema import Column, ColumnType, TableSchema
+from repro.temporal.table import TemporalTable
+from repro.temporal.timestamps import Interval
+from repro.workloads.bulk import append_rows, version_chain_bounds
+
+#: Status codes of a booking version.
+STATUS_OPEN = 0
+STATUS_TICKETED = 1
+STATUS_CANCELLED = 2
+
+
+@dataclass(frozen=True)
+class AmadeusConfig:
+    """Scale and shape knobs of the synthetic Amadeus workload."""
+
+    num_bookings: int = 20_000
+    avg_versions: float = 5.0
+    num_flights: int = 200
+    num_airlines: int = 12
+    update_rate_per_second: int = 250
+    seed: int = 7
+
+    @property
+    def horizon(self) -> int:
+        """Number of committed transactions in the generated history."""
+        return max(1000, self.num_bookings // 2)
+
+
+def bookings_schema() -> TableSchema:
+    """The bookings table: key + flight/airline/passenger attributes, the
+    ticket-validity business time ``bt`` and transaction time ``tt``."""
+    return TableSchema(
+        name="bookings",
+        columns=[
+            Column("booking_id", ColumnType.INT),
+            Column("flight_id", ColumnType.INT),
+            Column("airline", ColumnType.INT),
+            Column("passenger", ColumnType.INT),
+            Column("status", ColumnType.INT),
+            Column("seats", ColumnType.INT),
+            Column("fare", ColumnType.FLOAT),
+            Column("departure_day", ColumnType.INT),
+            Column("lead_days", ColumnType.INT),
+        ],
+        business_dims=["bt"],
+        key="booking_id",
+    )
+
+
+class AmadeusWorkload:
+    """Synthetic bookings table plus Table 1's query mix."""
+
+    def __init__(self, config: AmadeusConfig = AmadeusConfig()) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self.table = self._build_table()
+
+    # ------------------------------------------------------------- data
+
+    def _build_table(self) -> TemporalTable:
+        cfg = self.config
+        rng = self._rng
+        table = TemporalTable(bookings_schema())
+        booking, tt_start, tt_end = version_chain_bounds(
+            rng, cfg.num_bookings, cfg.avg_versions, cfg.horizon
+        )
+        n = len(booking)
+
+        # Per-booking (version-invariant) attributes.
+        flight = rng.integers(0, cfg.num_flights, cfg.num_bookings)
+        airline = flight % cfg.num_airlines
+        passenger = rng.integers(0, cfg.num_bookings * 2, cfg.num_bookings)
+        booking_day = rng.integers(0, 365, cfg.num_bookings)
+        lead = rng.integers(1, 120, cfg.num_bookings)
+        departure = booking_day + lead
+
+        # Per-version attributes: fares drift, some versions cancel.
+        fare = np.round(rng.uniform(50, 1500, n), 2)
+        status = np.where(
+            rng.random(n) < 0.08, STATUS_CANCELLED,
+            np.where(rng.random(n) < 0.5, STATUS_TICKETED, STATUS_OPEN),
+        )
+        seats = rng.integers(1, 5, n)
+
+        # Ticket validity: from the booking day until shortly after the
+        # departure; cancelled versions get their validity truncated.
+        bt_start = booking_day[booking]
+        bt_end = departure[booking] + rng.integers(1, 30, n)
+        bt_end = np.where(status == STATUS_CANCELLED, bt_start + 1, bt_end)
+
+        append_rows(
+            table,
+            {
+                "booking_id": booking,
+                "flight_id": flight[booking],
+                "airline": airline[booking],
+                "passenger": passenger[booking],
+                "status": status,
+                "seats": seats,
+                "fare": fare,
+                "departure_day": departure[booking],
+                "lead_days": lead[booking],
+                "bt_start": bt_start,
+                "bt_end": bt_end,
+                "tt_start": tt_start,
+                "tt_end": tt_end,
+            },
+        )
+        return table
+
+    # ---------------------------------------------------------- queries
+
+    def ta1(self, flight_id: int | None = None) -> TemporalAggQuery:
+        """Table 1 ta1: number of open bookings of a flight, grouped by
+        transaction time (how did the count evolve over versions)."""
+        flight_id = self._pick_flight(flight_id)
+        return TemporalAggQuery(
+            TemporalAggregationQuery(
+                varied_dims=("tt",),
+                value_column=None,
+                aggregate="count",
+                predicate=ColumnEquals("flight_id", flight_id)
+                & ColumnEquals("status", STATUS_OPEN),
+            )
+        )
+
+    def ta2(self, flight_id: int | None = None) -> TemporalAggQuery:
+        """Table 1 ta2: number of valid tickets over business time, for the
+        current state of the database."""
+        flight_id = self._pick_flight(flight_id)
+        return TemporalAggQuery(
+            TemporalAggregationQuery(
+                varied_dims=("bt",),
+                value_column=None,
+                aggregate="count",
+                predicate=ColumnEquals("flight_id", flight_id)
+                & CurrentVersion("tt"),
+            )
+        )
+
+    def seats_over_time(self, flight_id: int | None = None) -> TemporalAggQuery:
+        """The intro's motivating query: booked seats of a flight over
+        business time (windowed by day)."""
+        flight_id = self._pick_flight(flight_id)
+        return TemporalAggQuery(
+            TemporalAggregationQuery(
+                varied_dims=("bt",),
+                value_column="seats",
+                aggregate="sum",
+                predicate=ColumnEquals("flight_id", flight_id)
+                & CurrentVersion("tt"),
+                window=WindowSpec(0, 7, 75),
+            )
+        )
+
+    def time_travel_count(self) -> SelectQuery:
+        """'Other temporal': bookings existing at some past version."""
+        version = int(self._rng.integers(0, max(1, self.table.current_version)))
+        return SelectQuery(
+            TimeTravel("tt", version) & ColumnEquals("status", STATUS_OPEN)
+        )
+
+    def bookings_by_day_range(self) -> SelectQuery:
+        """'Other temporal': bookings valid in a business-time range."""
+        day = int(self._rng.integers(0, 300))
+        return SelectQuery(
+            Overlaps("bt", day, day + 30) & CurrentVersion("tt")
+        )
+
+    def booking_lookup(self) -> SelectQuery:
+        """Non-temporal: one booking by key (index-served elsewhere)."""
+        booking = int(self._rng.integers(0, self.config.num_bookings))
+        return SelectQuery(
+            ColumnEquals("booking_id", booking) & CurrentVersion("tt"),
+            indexed=True,
+        )
+
+    def passenger_list(self) -> SelectQuery:
+        """Non-temporal: passengers currently booked on a flight."""
+        flight = self._pick_flight(None)
+        return SelectQuery(
+            ColumnEquals("flight_id", flight) & CurrentVersion("tt")
+        )
+
+    def _pick_flight(self, flight_id: int | None) -> int:
+        if flight_id is not None:
+            return flight_id
+        return int(self._rng.integers(0, self.config.num_flights))
+
+    # ------------------------------------------------------------ mixes
+
+    def query_batch(self, size: int) -> list:
+        """A batch with Table 1's mix: 1% ta1, 1% ta2, 8% other temporal,
+        90% non-temporal."""
+        ops = []
+        for _ in range(size):
+            r = self._rng.random()
+            if r < 0.01:
+                ops.append(self.ta1())
+            elif r < 0.02:
+                ops.append(self.ta2())
+            elif r < 0.06:
+                ops.append(self.time_travel_count())
+            elif r < 0.10:
+                ops.append(self.bookings_by_day_range())
+            elif r < 0.55:
+                ops.append(self.booking_lookup())
+            else:
+                ops.append(self.passenger_list())
+        return ops
+
+    def update_stream(self, count: int) -> list[UpdateOp]:
+        """``count`` updates: fare changes, ticketing, dietary flags — the
+        paper's 250/s stream.  Keys are Zipf-skewed like the version
+        counts."""
+        ops: list[UpdateOp] = []
+        for _ in range(count):
+            booking = int(
+                min(self.config.num_bookings - 1, self._rng.zipf(1.3))
+            )
+            kind = self._rng.random()
+            if kind < 0.6:
+                changes = {"fare": float(np.round(self._rng.uniform(50, 1500), 2))}
+            elif kind < 0.9:
+                changes = {"status": STATUS_TICKETED}
+            else:
+                changes = {"seats": int(self._rng.integers(1, 5))}
+            ops.append(UpdateOp(booking, changes))
+        return ops
+
+    def insert_stream(self, count: int) -> list[InsertOp]:
+        """New bookings (part of the update mix)."""
+        cfg = self.config
+        ops: list[InsertOp] = []
+        for i in range(count):
+            flight = int(self._rng.integers(0, cfg.num_flights))
+            day = int(self._rng.integers(0, 365))
+            ops.append(
+                InsertOp(
+                    {
+                        "booking_id": cfg.num_bookings + i,
+                        "flight_id": flight,
+                        "airline": flight % cfg.num_airlines,
+                        "passenger": int(self._rng.integers(0, cfg.num_bookings)),
+                        "status": STATUS_OPEN,
+                        "seats": int(self._rng.integers(1, 5)),
+                        "fare": float(np.round(self._rng.uniform(50, 1500), 2)),
+                        "departure_day": day + 30,
+                        "lead_days": 30,
+                    },
+                    business={"bt": Interval(day, day + 60)},
+                )
+            )
+        return ops

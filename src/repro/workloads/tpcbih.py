@@ -1,0 +1,455 @@
+"""The TPC-BiH bi-temporal benchmark ([14], Kaufmann et al., TPCTC 2013).
+
+TPC-BiH starts from a TPC-H database (version 0) and generates history by
+running TPC-C-style update transactions, each commit creating a new
+version.  This module provides:
+
+* :class:`TPCBiHDataset` — a scaled synthetic instance: a ``customer``
+  table (with residence business time — the substrate of queries r1-r4)
+  and an ``orders`` table (with order-validity business time — the
+  substrate of the time-travel and key-in-time queries);
+* :data:`TPCBIH_QUERIES` — constructors for all 13 queries of Table 2,
+  expressed against the engine-neutral query vocabulary so every engine
+  (ParTime/Crescando, Timeline, System D, System M) runs the same logical
+  workload.
+
+The scale factor follows the paper's convention in spirit: SF=1 is the
+"small" database; absolute row counts are scaled down for a Python
+substrate and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.query import TemporalAggregationQuery
+from repro.core.window import WindowSpec
+from repro.storage.queries import SelectQuery, TemporalAggQuery
+from repro.temporal.predicates import (
+    ColumnEquals,
+    CurrentVersion,
+    Overlaps,
+    TimeTravel,
+)
+from repro.temporal.schema import Column, ColumnType, TableSchema
+from repro.temporal.table import TemporalTable
+from repro.temporal.timestamps import FOREVER, Interval
+from repro.workloads.bulk import append_rows, version_chain_bounds
+
+#: TPC-H nation key of the United States.
+US_NATION = 24
+NUM_NATIONS = 25
+
+ORDER_OPEN = 0
+ORDER_SHIPPED = 1
+ORDER_CLOSED = 2
+
+
+@dataclass(frozen=True)
+class TPCBiHConfig:
+    """Scale knobs; ``scale_factor`` plays the role of TPC-H's SF."""
+
+    scale_factor: float = 1.0
+    customers_per_sf: int = 3_000
+    orders_per_sf: int = 9_000
+    avg_customer_versions: float = 2.5
+    avg_order_versions: float = 3.0
+    business_horizon_days: int = 2_400  # ~the TPC-H 1992-1998 span
+    seed: int = 42
+
+    @property
+    def num_customers(self) -> int:
+        return max(100, int(self.customers_per_sf * self.scale_factor))
+
+    @property
+    def num_orders(self) -> int:
+        return max(300, int(self.orders_per_sf * self.scale_factor))
+
+
+def customer_schema() -> TableSchema:
+    return TableSchema(
+        name="customer",
+        columns=[
+            Column("custkey", ColumnType.INT),
+            Column("nationkey", ColumnType.INT),
+            Column("segment", ColumnType.INT),
+            Column("acctbal", ColumnType.FLOAT),
+        ],
+        business_dims=["bt"],  # residence validity
+        key="custkey",
+    )
+
+
+def lineitem_schema() -> TableSchema:
+    return TableSchema(
+        name="lineitem",
+        columns=[
+            Column("linekey", ColumnType.INT),
+            Column("orderkey", ColumnType.INT),
+            Column("partkey", ColumnType.INT),
+            Column("quantity", ColumnType.INT),
+            Column("extendedprice", ColumnType.FLOAT),
+        ],
+        business_dims=["bt"],  # shipment validity
+        key="linekey",
+    )
+
+
+def orders_schema() -> TableSchema:
+    return TableSchema(
+        name="orders",
+        columns=[
+            Column("orderkey", ColumnType.INT),
+            Column("custkey", ColumnType.INT),
+            Column("totalprice", ColumnType.FLOAT),
+            Column("status", ColumnType.INT),
+            Column("clerk", ColumnType.INT),
+            Column("lead_days", ColumnType.INT),
+        ],
+        business_dims=["bt"],  # order validity (order date .. fulfilment)
+        key="orderkey",
+    )
+
+
+class TPCBiHDataset:
+    """One generated TPC-BiH instance."""
+
+    def __init__(self, config: TPCBiHConfig = TPCBiHConfig()) -> None:
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.customer = self._build_customer(rng)
+        self.orders = self._build_orders(rng)
+        self.lineitem = self._build_lineitem(rng)
+
+    # ------------------------------------------------------------ tables
+
+    def _build_customer(self, rng: np.random.Generator) -> TemporalTable:
+        cfg = self.config
+        table = TemporalTable(customer_schema())
+        horizon = max(1000, cfg.num_customers)
+        cust, tt_start, tt_end = version_chain_bounds(
+            rng, cfg.num_customers, cfg.avg_customer_versions, horizon
+        )
+        n = len(cust)
+        # Per-version residences: customers move between nations; a bias
+        # toward the US makes queries r1-r4 moderately selective.
+        nation = rng.integers(0, NUM_NATIONS, n)
+        to_us = rng.random(n) < 0.15
+        nation[to_us] = US_NATION
+        segment = rng.integers(0, 5, cfg.num_customers)
+        acctbal = np.round(rng.uniform(-999, 9_999, n), 2)
+        # Residence validity: essentially unique boundaries per version —
+        # the r2 corner case ("the query result has roughly the same size
+        # as the whole temporal table", Section 5.4.2).
+        bt_start = rng.integers(0, cfg.business_horizon_days, n)
+        duration = rng.integers(30, 2_000, n)
+        bt_end = bt_start + duration
+        still_there = rng.random(n) < 0.4
+        bt_end[still_there] = FOREVER
+        append_rows(
+            table,
+            {
+                "custkey": cust,
+                "nationkey": nation,
+                "segment": segment[cust],
+                "acctbal": acctbal,
+                "bt_start": bt_start,
+                "bt_end": bt_end,
+                "tt_start": tt_start,
+                "tt_end": tt_end,
+            },
+        )
+        return table
+
+    def _build_orders(self, rng: np.random.Generator) -> TemporalTable:
+        cfg = self.config
+        table = TemporalTable(orders_schema())
+        horizon = max(1000, cfg.num_orders)
+        order, tt_start, tt_end = version_chain_bounds(
+            rng, cfg.num_orders, cfg.avg_order_versions, horizon
+        )
+        n = len(order)
+        custkey = rng.integers(0, cfg.num_customers, cfg.num_orders)
+        clerk = rng.integers(0, 50, cfg.num_orders)
+        orderdate = rng.integers(0, cfg.business_horizon_days - 200, cfg.num_orders)
+        lead = rng.integers(1, 90, cfg.num_orders)
+        totalprice = np.round(rng.uniform(100, 400_000, n), 2)
+        status = rng.choice(
+            [ORDER_OPEN, ORDER_SHIPPED, ORDER_CLOSED], size=n, p=[0.4, 0.35, 0.25]
+        )
+        bt_start = orderdate[order]
+        bt_end = bt_start + rng.integers(10, 200, n)
+        open_mask = status == ORDER_OPEN
+        bt_end[open_mask] = FOREVER
+        append_rows(
+            table,
+            {
+                "orderkey": order,
+                "custkey": custkey[order],
+                "totalprice": totalprice,
+                "status": status,
+                "clerk": clerk[order],
+                "lead_days": lead[order],
+                "bt_start": bt_start,
+                "bt_end": bt_end,
+                "tt_start": tt_start,
+                "tt_end": tt_end,
+            },
+        )
+        return table
+
+    def _build_lineitem(self, rng: np.random.Generator) -> TemporalTable:
+        """1-4 line items per order; shipment validity nested inside the
+        order's business validity so the temporal join orders x lineitem
+        produces meaningful overlaps."""
+        cfg = self.config
+        table = TemporalTable(lineitem_schema())
+        per_order = rng.integers(1, 5, cfg.num_orders)
+        num_items = int(per_order.sum())
+        orderkey = np.repeat(np.arange(cfg.num_orders, dtype=np.int64), per_order)
+        item, tt_start, tt_end = version_chain_bounds(
+            rng, num_items, 1.8, max(1000, num_items)
+        )
+        n = len(item)
+        order_of_version = orderkey[item]
+        # Shipment window: starts inside the order's lifetime.
+        order_start = self.orders.column("bt_start")
+        # Use the first version of each order as the anchor date.
+        first_version_row = np.zeros(cfg.num_orders, dtype=np.int64)
+        seen = set()
+        okeys = self.orders.column("orderkey")
+        for row in range(len(okeys)):
+            k = int(okeys[row])
+            if k not in seen:
+                seen.add(k)
+                first_version_row[k] = row
+        anchor = order_start[first_version_row[order_of_version]]
+        bt_start = anchor + rng.integers(0, 30, n)
+        bt_end = bt_start + rng.integers(5, 120, n)
+        append_rows(
+            table,
+            {
+                "linekey": item,
+                "orderkey": order_of_version,
+                "partkey": rng.integers(0, 2_000, n),
+                "quantity": rng.integers(1, 50, n),
+                "extendedprice": np.round(rng.uniform(10, 90_000, n), 2),
+                "bt_start": bt_start,
+                "bt_end": bt_end,
+                "tt_start": tt_start,
+                "tt_end": tt_end,
+            },
+        )
+        return table
+
+    # ----------------------------------------------------------- helpers
+
+    def mid_version(self, table: TemporalTable, fraction: float = 0.5) -> int:
+        return int(table.current_version * fraction)
+
+    def mid_day(self, fraction: float = 0.5) -> int:
+        return int(self.config.business_horizon_days * fraction)
+
+
+# --------------------------------------------------------------------------
+# The Table 2 query set
+# --------------------------------------------------------------------------
+
+
+def _point_agg(predicate, at_day: int, value_column: str, aggregate="sum"):
+    """An aggregate at a single business-time point — a windowed query
+    with one sample point (the degenerate window of time travel)."""
+    return TemporalAggregationQuery(
+        varied_dims=("bt",),
+        value_column=value_column,
+        aggregate=aggregate,
+        predicate=predicate,
+        window=WindowSpec(at_day, 1, 1),
+    )
+
+
+def q_t2(ds: TPCBiHDataset):
+    """t2: total revenue of all orders at a given business time, as
+    recorded at a previous version."""
+    v = ds.mid_version(ds.orders, 0.6)
+    day = ds.mid_day(0.5)
+    return "orders", TemporalAggQuery(
+        _point_agg(TimeTravel("tt", v), day, "totalprice")
+    )
+
+
+def q_t3_sys(ds: TPCBiHDataset):
+    """t3_sys: revenue of open orders at one business time, recorded at two
+    versions — two point aggregations."""
+    day = ds.mid_day(0.5)
+    ops = []
+    for frac in (0.3, 0.8):
+        v = ds.mid_version(ds.orders, frac)
+        pred = TimeTravel("tt", v) & ColumnEquals("status", ORDER_OPEN)
+        ops.append(TemporalAggQuery(_point_agg(pred, day, "totalprice")))
+    return "orders", ops
+
+
+def q_t3_app(ds: TPCBiHDataset):
+    """t3_app: revenue of open orders at two business times, current
+    version."""
+    ops = []
+    for frac in (0.3, 0.8):
+        pred = CurrentVersion("tt") & ColumnEquals("status", ORDER_OPEN)
+        ops.append(
+            TemporalAggQuery(_point_agg(pred, ds.mid_day(frac), "totalprice"))
+        )
+    return "orders", ops
+
+
+def q_t6_sys(ds: TPCBiHDataset):
+    """t6_sys: average revenue per customer over business time, at a given
+    version — a full business-time aggregation."""
+    v = ds.mid_version(ds.orders, 0.7)
+    return "orders", TemporalAggQuery(
+        TemporalAggregationQuery(
+            varied_dims=("bt",),
+            value_column="totalprice",
+            aggregate="avg",
+            predicate=TimeTravel("tt", v),
+        )
+    )
+
+
+def q_t6_app(ds: TPCBiHDataset):
+    """t6_app: average order revenue over history at a given business
+    time — varies transaction time."""
+    day = ds.mid_day(0.5)
+    return "orders", TemporalAggQuery(
+        TemporalAggregationQuery(
+            varied_dims=("tt",),
+            value_column="totalprice",
+            aggregate="avg",
+            predicate=Overlaps("bt", day, day + 1),
+        )
+    )
+
+
+def q_t8(ds: TPCBiHDataset):
+    """t8: average booking lead time for one clerk's orders (the paper
+    phrases it for an airline; the shape is avg over a selection)."""
+    return "orders", TemporalAggQuery(
+        _point_agg(
+            CurrentVersion("tt") & ColumnEquals("clerk", 7),
+            ds.mid_day(0.5),
+            "lead_days",
+            aggregate="avg",
+        )
+    )
+
+
+def q_t9(ds: TPCBiHDataset):
+    """t9: bookings per point in system time, over a version interval."""
+    lo = ds.mid_version(ds.orders, 0.25)
+    hi = ds.mid_version(ds.orders, 0.75)
+    return "orders", TemporalAggQuery(
+        TemporalAggregationQuery(
+            varied_dims=("tt",),
+            value_column=None,
+            aggregate="count",
+            query_intervals={"tt": Interval(lo, hi)},
+        )
+    )
+
+
+def q_k1_sys(ds: TPCBiHDataset):
+    """k1_sys: how one order (valid at a business time) evolved over
+    history — all its versions overlapping that business time."""
+    day = ds.mid_day(0.5)
+    return "orders", SelectQuery(
+        ColumnEquals("orderkey", 17) & Overlaps("bt", day, day + 1)
+    )
+
+
+def q_k1_app(ds: TPCBiHDataset):
+    """k1_app: one order's state as of a version, over business time."""
+    v = ds.mid_version(ds.orders, 0.5)
+    return "orders", SelectQuery(
+        ColumnEquals("orderkey", 17) & TimeTravel("tt", v)
+    )
+
+
+def q_r1(ds: TPCBiHDataset):
+    """r1: customers who moved to the US and still live there, counted
+    over full system time."""
+    return "customer", TemporalAggQuery(
+        TemporalAggregationQuery(
+            varied_dims=("tt",),
+            value_column=None,
+            aggregate="count",
+            predicate=ColumnEquals("nationkey", US_NATION),
+        )
+    )
+
+
+def q_r2(ds: TPCBiHDataset):
+    """r2: the same over full business time — the corner case whose result
+    is nearly as large as the table (Section 5.4.2)."""
+    return "customer", TemporalAggQuery(
+        TemporalAggregationQuery(
+            varied_dims=("bt",),
+            value_column=None,
+            aggregate="count",
+            predicate=ColumnEquals("nationkey", US_NATION)
+            & CurrentVersion("tt"),
+        )
+    )
+
+
+def q_r3(ds: TPCBiHDataset):
+    """r3: r1 restricted to a system-time interval."""
+    lo = ds.mid_version(ds.customer, 0.3)
+    hi = ds.mid_version(ds.customer, 0.7)
+    return "customer", TemporalAggQuery(
+        TemporalAggregationQuery(
+            varied_dims=("tt",),
+            value_column=None,
+            aggregate="count",
+            predicate=ColumnEquals("nationkey", US_NATION),
+            query_intervals={"tt": Interval(lo, hi)},
+        )
+    )
+
+
+def q_r4(ds: TPCBiHDataset):
+    """r4: windowed business-time aggregation over an interval (weekly
+    samples) — the windowed fast path."""
+    lo = ds.mid_day(0.2)
+    hi = ds.mid_day(0.8)
+    window = WindowSpec.covering(Interval(lo, hi), stride=7)
+    return "customer", TemporalAggQuery(
+        TemporalAggregationQuery(
+            varied_dims=("bt",),
+            value_column=None,
+            aggregate="count",
+            predicate=ColumnEquals("nationkey", US_NATION)
+            & CurrentVersion("tt"),
+            window=window,
+        )
+    )
+
+
+#: name -> constructor(dataset) -> (table name, op or list of ops)
+TPCBIH_QUERIES: dict[str, Callable] = {
+    "t2": q_t2,
+    "t3_sys": q_t3_sys,
+    "t3_app": q_t3_app,
+    "t6_sys": q_t6_sys,
+    "t6_app": q_t6_app,
+    "t8": q_t8,
+    "t9": q_t9,
+    "k1_sys": q_k1_sys,
+    "k1_app": q_k1_app,
+    "r1": q_r1,
+    "r2": q_r2,
+    "r3": q_r3,
+    "r4": q_r4,
+}

@@ -1,0 +1,70 @@
+"""Shared fixtures: the paper's Employee table (Figure 1) and friends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.temporal import (
+    Column,
+    ColumnType,
+    TableSchema,
+    TemporalTable,
+    date_to_ts,
+)
+
+# Paper timestamps for business time, used throughout the tests.
+BT_1993 = date_to_ts(1993, 1, 1)
+BT_1993_08 = date_to_ts(1993, 8, 1)
+BT_1994 = date_to_ts(1994, 1, 1)
+BT_1994_06 = date_to_ts(1994, 6, 1)
+BT_1995 = date_to_ts(1995, 1, 1)
+BT_1996 = date_to_ts(1996, 1, 1)
+
+
+def employee_schema() -> TableSchema:
+    return TableSchema(
+        name="employee",
+        columns=[
+            Column("name", ColumnType.STRING),
+            Column("descr", ColumnType.STRING),
+            Column("salary", ColumnType.INT),
+        ],
+        business_dims=["bt"],
+        key="name",
+    )
+
+
+def build_employee_table() -> TemporalTable:
+    """Reconstruct the exact 9-row history of Figure 1.
+
+    Transactions: t0 inserts Anna and Ben; t5 inserts Chris; t7 gives Anna
+    a raise and promotes Ben (both effective 01-06-1994); t11 raises the
+    promoted Ben to 8k; t16 truncates Chris's validity at 01-01-1995.
+    """
+    table = TemporalTable(employee_schema())
+    table.begin()
+    table.insert({"name": "Anna", "descr": "CEO", "salary": 10_000}, {"bt": BT_1993})
+    table.insert({"name": "Ben", "descr": "Coder", "salary": 5_000}, {"bt": BT_1993})
+    assert table.commit() == 0  # t0
+    for _ in range(4):  # t1 .. t4 touch other data in the paper's world
+        table.commit()
+    table.insert(
+        {"name": "Chris", "descr": "Coder", "salary": 5_000}, {"bt": BT_1993_08}
+    )
+    table.commit()  # t6
+    table.begin()
+    table.update("Anna", {"salary": 15_000}, {"bt": BT_1994_06})
+    table.update("Ben", {"descr": "Manager"}, {"bt": BT_1994_06})
+    assert table.commit() == 7  # t7
+    for _ in range(3):  # t8 .. t10
+        table.commit()
+    table.update("Ben", {"salary": 8_000}, {"bt": BT_1994_06})  # t11
+    for _ in range(4):  # t12 .. t15
+        table.commit()
+    table.delete("Chris", {"bt": BT_1995})  # t16: gone from 01-01-1995 on
+    return table
+
+
+@pytest.fixture
+def employee_table() -> TemporalTable:
+    return build_employee_table()

@@ -1,0 +1,185 @@
+"""Aggregate functions: the delta/accumulator protocol invariants.
+
+Every aggregate must satisfy, for arbitrary value sequences:
+
+* applying ``make_delta(v, +1)`` for all values yields the aggregate of
+  the multiset;
+* a ``+1`` delta followed by the matching ``-1`` delta is a no-op
+  (incremental removability);
+* ``combine`` is associative and agrees with applying deltas one by one;
+* ``negate`` inverts a delta under ``combine`` up to ``is_null_delta``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import (
+    AVG,
+    COUNT,
+    MAX,
+    MEDIAN,
+    MIN,
+    PRODUCT,
+    SUM,
+    get_aggregate,
+)
+
+ALL = [SUM, COUNT, AVG, PRODUCT, MIN, MAX, MEDIAN]
+INCREMENTAL = [a for a in ALL if a.incremental]
+
+values_strategy = st.lists(
+    st.integers(-50, 50).map(float), min_size=0, max_size=30
+)
+
+
+def reference(agg, values):
+    if not values:
+        return None if agg.name in ("avg", "min", "max", "median", "product") else _zero(agg)
+    if agg.name == "sum":
+        return sum(values)
+    if agg.name == "count":
+        return len(values)
+    if agg.name == "avg":
+        return sum(values) / len(values)
+    if agg.name == "product":
+        out = 1.0
+        for v in values:
+            out *= v
+        return out
+    if agg.name == "min":
+        return min(values)
+    if agg.name == "max":
+        return max(values)
+    if agg.name == "median":
+        return sorted(values)[(len(values) - 1) // 2]
+    raise AssertionError(agg.name)
+
+
+def _zero(agg):
+    return 0
+
+
+def aggregate_of(agg, values):
+    acc = agg.identity()
+    for v in values:
+        acc = agg.apply(acc, agg.make_delta(v, +1))
+    return agg.finalize(acc)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_aggregate("SUM") is SUM
+        assert get_aggregate("median") is MEDIAN
+
+    def test_lookup_instance_passthrough(self):
+        assert get_aggregate(SUM) is SUM
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_aggregate("nope")
+
+
+@pytest.mark.parametrize("agg", ALL, ids=lambda a: a.name)
+class TestProtocol:
+    def test_identity_is_empty(self, agg):
+        acc = agg.identity()
+        assert agg.count(acc) == 0
+
+    def test_single_value(self, agg):
+        acc = agg.apply(agg.identity(), agg.make_delta(7.0, +1))
+        assert agg.count(acc) == 1
+        assert agg.finalize(acc) == (1 if agg.name == "count" else 7.0)
+
+    def test_add_remove_is_noop(self, agg):
+        acc = agg.identity()
+        acc = agg.apply(acc, agg.make_delta(3.0, +1))
+        acc = agg.apply(acc, agg.make_delta(5.0, +1))
+        acc = agg.apply(acc, agg.make_delta(3.0, -1))
+        assert agg.count(acc) == 1
+        expected = 1 if agg.name == "count" else 5.0
+        assert agg.finalize(acc) == pytest.approx(expected)
+
+    def test_null_delta_detection(self, agg):
+        d = agg.combine(agg.make_delta(4.0, +1), agg.make_delta(4.0, -1))
+        assert agg.is_null_delta(d) or agg.count(
+            agg.apply(agg.identity(), d)
+        ) == 0
+
+    def test_negate_inverts(self, agg):
+        d = agg.make_delta(6.0, +1)
+        merged = agg.combine(d, agg.negate(d))
+        acc = agg.apply(agg.identity(), merged)
+        assert agg.count(acc) == 0
+
+
+@pytest.mark.parametrize("agg", ALL, ids=lambda a: a.name)
+@settings(max_examples=40, deadline=None)
+@given(values=values_strategy)
+def test_matches_reference(agg, values):
+    got = aggregate_of(agg, values)
+    expected = reference(agg, values)
+    if not values:
+        if agg.name in ("sum", "count"):
+            assert got == 0
+        else:
+            assert got is None
+        return
+    if isinstance(expected, float):
+        assert got == pytest.approx(expected, rel=1e-9, abs=1e-9)
+    else:
+        assert got == expected
+
+
+@pytest.mark.parametrize("agg", INCREMENTAL, ids=lambda a: a.name)
+@settings(max_examples=40, deadline=None)
+@given(values=values_strategy, removals=st.data())
+def test_incremental_removal(agg, values, removals):
+    """Adding everything then removing a subset equals aggregating the
+    complement — the property Step 1's end events rely on."""
+    if agg is PRODUCT:
+        values = [v for v in values if v != 0.0] or [1.0]
+    n_remove = removals.draw(st.integers(0, len(values)))
+    acc = agg.identity()
+    for v in values:
+        acc = agg.apply(acc, agg.make_delta(v, +1))
+    for v in values[:n_remove]:
+        acc = agg.apply(acc, agg.make_delta(v, -1))
+    remaining = values[n_remove:]
+    got = agg.finalize(acc)
+    expected = reference(agg, remaining)
+    if not remaining:
+        assert got is None or got == 0 or got == 1.0  # per-aggregate empty
+    elif isinstance(expected, float):
+        assert got == pytest.approx(expected, rel=1e-6, abs=1e-6)
+    else:
+        assert got == expected
+
+
+def test_product_zero_handling():
+    """A zero can be added and removed without poisoning the product."""
+    acc = PRODUCT.identity()
+    acc = PRODUCT.apply(acc, PRODUCT.make_delta(3.0, +1))
+    acc = PRODUCT.apply(acc, PRODUCT.make_delta(0.0, +1))
+    assert PRODUCT.finalize(acc) == 0.0
+    acc = PRODUCT.apply(acc, PRODUCT.make_delta(0.0, -1))
+    assert PRODUCT.finalize(acc) == pytest.approx(3.0)
+
+
+def test_avg_none_when_empty():
+    acc = AVG.identity()
+    assert AVG.finalize(acc) is None
+
+
+def test_count_ignores_values():
+    acc = COUNT.identity()
+    acc = COUNT.apply(acc, COUNT.make_delta(123.0, +1))
+    acc = COUNT.apply(acc, COUNT.make_delta(-99.0, +1))
+    assert COUNT.finalize(acc) == 2
+
+
+def test_median_lower_median():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert aggregate_of(MEDIAN, values) == 2.0  # lower of the two middles

@@ -1,0 +1,130 @@
+"""Aggregation Tree baselines: correctness and the degeneration story."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggtree import (
+    AggregationTree,
+    BalancedAggregationTree,
+    aggregation_tree_aggregate,
+    parallel_aggregation_tree,
+)
+from repro.core import SUM
+from repro.simtime import SerialExecutor
+from repro.systems import reference_temporal_aggregation
+from repro.temporal import Column, ColumnType, FOREVER, TableSchema, TemporalTable
+from repro.workloads.bulk import append_rows
+
+
+def make_table(spans):
+    schema = TableSchema(
+        "t", [Column("k", ColumnType.INT), Column("v", ColumnType.INT)],
+        business_dims=["bt"], key="k",
+    )
+    table = TemporalTable(schema)
+    if spans:
+        n = len(spans)
+        append_rows(
+            table,
+            {
+                "k": np.arange(n, dtype=np.int64),
+                "v": np.array([v for _s, _e, v in spans], dtype=np.int64),
+                "bt_start": np.array([s for s, _e, _v in spans], dtype=np.int64),
+                "bt_end": np.array([e for _s, e, _v in spans], dtype=np.int64),
+                "tt_start": np.zeros(n, dtype=np.int64),
+                "tt_end": np.full(n, FOREVER, dtype=np.int64),
+            },
+            next_version=1,
+        )
+    return table
+
+
+class TestTreeStructures:
+    def test_kline_degenerates_on_sorted_input(self):
+        """Sorted boundary insertion turns the unbalanced tree into a
+        linked list — the O(n²) pathology of Section 2."""
+        tree = AggregationTree(SUM)
+        for ts in range(200):
+            tree.put(ts, SUM.make_delta(1, +1))
+        assert tree.height() == 200
+        assert tree.max_depth_seen == 200
+
+    def test_avl_stays_balanced_on_sorted_input(self):
+        tree = BalancedAggregationTree(SUM)
+        for ts in range(200):
+            tree.put(ts, SUM.make_delta(1, +1))
+        assert tree.height() <= 9  # ~1.44 * log2(200)
+        tree.check_invariants()
+
+    def test_both_consolidate(self):
+        for cls in (AggregationTree, BalancedAggregationTree):
+            tree = cls(SUM)
+            tree.put(5, SUM.make_delta(10, +1))
+            tree.put(5, SUM.make_delta(-4, +1))
+            assert list(tree.items()) == [(5, (6, 2))]
+
+    def test_items_sorted(self):
+        for cls in (AggregationTree, BalancedAggregationTree):
+            tree = cls(SUM)
+            for ts in [7, 2, 9, 1, 5]:
+                tree.put(ts, SUM.make_delta(1, +1))
+            assert [k for k, _ in tree.items()] == [1, 2, 5, 7, 9]
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys=st.lists(st.integers(0, 100), max_size=200))
+    def test_avl_invariants_hold(self, keys):
+        tree = BalancedAggregationTree(SUM)
+        for k in keys:
+            tree.put(k, SUM.make_delta(1, +1))
+        tree.check_invariants()
+        assert len(tree) == len(set(keys))
+
+
+spans_strategy = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(1, 20), st.integers(-9, 9)),
+    max_size=30,
+).map(lambda xs: [(s, s + d, v) for s, d, v in xs])
+
+
+class TestAlgorithms:
+    @settings(max_examples=40, deadline=None)
+    @given(spans=spans_strategy, balanced=st.booleans())
+    def test_matches_oracle(self, spans, balanced):
+        table = make_table(spans)
+        rows = aggregation_tree_aggregate(
+            table.chunk(), "bt", "v", "sum", balanced=balanced
+        )
+        expected = reference_temporal_aggregation(
+            [(s, e, v) for s, e, v in spans], "sum", coalesce=False
+        )
+        assert rows == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(spans=spans_strategy, chunks=st.integers(1, 4))
+    def test_parallel_matches_sequential(self, spans, chunks):
+        table = make_table(spans)
+        sequential = aggregation_tree_aggregate(
+            table.chunk(), "bt", "v", "sum", balanced=True
+        )
+        parallel = parallel_aggregation_tree(
+            table.chunks(chunks), "bt", "v", "sum", balanced=True
+        )
+        assert parallel == sequential
+
+    def test_parallel_merge_is_sequential_bottleneck(self):
+        """The Gendrano merge phase books as serial time — the reason the
+        approach 'does not parallelize well'."""
+        spans = [(i % 50, (i % 50) + 5, 1) for i in range(2_000)]
+        table = make_table(spans)
+        executor = SerialExecutor(slots=8)
+        parallel_aggregation_tree(
+            table.chunks(8), "bt", "v", "sum", executor=executor
+        )
+        build = executor.clock.phase_elapsed("aggtree.build")
+        merge = executor.clock.phase_elapsed("aggtree.merge")
+        assert merge > 0
+        # The serial merge is a significant share of the total.
+        assert merge > 0.15 * (build + merge)

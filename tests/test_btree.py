@@ -1,0 +1,180 @@
+"""B-tree: unit tests plus property-based structural invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree import BTree
+
+
+class TestBasics:
+    def test_empty(self):
+        t = BTree()
+        assert len(t) == 0
+        assert not t
+        assert t.get(1) is None
+        assert t.get(1, "d") == "d"
+        assert 1 not in t
+
+    def test_put_get(self):
+        t = BTree()
+        t.put(5, "five")
+        assert t.get(5) == "five"
+        assert 5 in t
+        assert len(t) == 1
+
+    def test_put_overwrites(self):
+        t = BTree()
+        t.put(5, "a")
+        t.put(5, "b")
+        assert t.get(5) == "b"
+        assert len(t) == 1
+
+    def test_dm_put_accumulates(self):
+        t = BTree()
+        t.dm_put(7, -10_000)
+        t.dm_put(7, 15_000)
+        assert t.get(7) == 5_000  # the paper's <t7, +5k> consolidation
+        assert len(t) == 1
+
+    def test_dm_put_custom_combine(self):
+        t = BTree()
+        t.dm_put(1, [1], combine=lambda a, b: a + b)
+        t.dm_put(1, [2], combine=lambda a, b: a + b)
+        assert t.get(1) == [1, 2]
+
+    def test_min_max_keys(self):
+        t = BTree(min_degree=2)
+        for k in [5, 1, 9, 3]:
+            t.put(k, k)
+        assert t.min_key() == 1
+        assert t.max_key() == 9
+
+    def test_min_max_empty_raise(self):
+        t = BTree()
+        with pytest.raises(KeyError):
+            t.min_key()
+        with pytest.raises(KeyError):
+            t.max_key()
+
+    def test_min_degree_validation(self):
+        with pytest.raises(ValueError):
+            BTree(min_degree=1)
+
+    def test_put_count_statistics(self):
+        t = BTree()
+        for i in range(5):
+            t.dm_put(i % 2, 1)
+        assert t.put_count == 5
+
+    def test_tuple_keys(self):
+        """Composite keys (multi-dimensional delta maps) sort correctly."""
+        t = BTree(min_degree=2)
+        keys = [(1, 5), (0, 9), (1, 2), (0, 1), (2, 0)]
+        for k in keys:
+            t.put(k, k)
+        assert list(t.keys()) == sorted(keys)
+
+
+class TestOrderedIteration:
+    def test_items_sorted(self):
+        t = BTree(min_degree=2)
+        for k in [9, 2, 7, 4, 1, 8, 0, 5, 3, 6]:
+            t.put(k, k * 10)
+        assert list(t.items()) == [(k, k * 10) for k in range(10)]
+
+    def test_range_query(self):
+        t = BTree(min_degree=2)
+        for k in range(20):
+            t.put(k, k)
+        assert [k for k, _v in t.range(5, 11)] == list(range(5, 11))
+
+    def test_range_empty(self):
+        t = BTree(min_degree=2)
+        for k in range(0, 20, 2):
+            t.put(k, k)
+        assert list(t.range(21, 30)) == []
+
+    def test_range_half_open(self):
+        t = BTree(min_degree=2)
+        for k in range(10):
+            t.put(k, k)
+        keys = [k for k, _ in t.range(3, 7)]
+        assert 3 in keys and 7 not in keys
+
+
+class TestDeletion:
+    def test_delete_missing(self):
+        t = BTree()
+        t.put(1, 1)
+        with pytest.raises(KeyError):
+            t.delete(2)
+
+    def test_delete_all_ascending(self):
+        t = BTree(min_degree=2)
+        for k in range(100):
+            t.put(k, k)
+        for k in range(100):
+            t.delete(k)
+            t.check_invariants()
+        assert len(t) == 0
+
+    def test_delete_all_descending(self):
+        t = BTree(min_degree=2)
+        for k in range(100):
+            t.put(k, k)
+        for k in reversed(range(100)):
+            t.delete(k)
+        assert len(t) == 0
+
+    def test_height_logarithmic(self):
+        t = BTree(min_degree=8)
+        for k in range(10_000):
+            t.put(k, k)
+        assert t.height() <= 6  # log_8(10000) ~ 4.4
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "dm_put", "delete"]),
+            st.integers(0, 50),
+        ),
+        max_size=300,
+    ),
+    degree=st.integers(2, 8),
+)
+def test_btree_matches_dict_model(ops, degree):
+    """Property: a B-tree behaves exactly like a dict + sort."""
+    tree = BTree(min_degree=degree)
+    model: dict[int, int] = {}
+    for op, key in ops:
+        if op == "put":
+            tree.put(key, key)
+            model[key] = key
+        elif op == "dm_put":
+            tree.dm_put(key, 1)
+            model[key] = model.get(key, 0) + 1 if key in model else 1
+        elif key in model:
+            tree.delete(key)
+            del model[key]
+    tree.check_invariants()
+    assert list(tree.items()) == sorted(model.items())
+    assert len(tree) == len(model)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 1000), min_size=1, max_size=200),
+    lo=st.integers(0, 1000),
+    hi=st.integers(0, 1000),
+)
+def test_range_matches_model(keys, lo, hi):
+    tree = BTree(min_degree=3)
+    for k in keys:
+        tree.dm_put(k, 1)
+    expected = sorted(k for k in set(keys) if lo <= k < hi)
+    assert [k for k, _v in tree.range(lo, hi)] == expected

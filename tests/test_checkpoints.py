@@ -1,0 +1,148 @@
+"""Checkpoints and event maps: direct unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.temporal import Column, ColumnType, FOREVER, TableSchema, TemporalTable
+from repro.timeline.checkpoints import CheckpointSet
+from repro.timeline.eventmap import EventMap
+from repro.workloads.bulk import append_rows
+
+
+def make_table(spans):
+    schema = TableSchema(
+        "t", [Column("v", ColumnType.FLOAT)], business_dims=[], key=None
+    )
+    table = TemporalTable(schema)
+    if spans:
+        n = len(spans)
+        append_rows(
+            table,
+            {
+                "v": np.array([v for _s, _e, v in spans], dtype=np.float64),
+                "tt_start": np.array([s for s, _e, _v in spans], dtype=np.int64),
+                "tt_end": np.array([e for _s, e, _v in spans], dtype=np.int64),
+            },
+            next_version=100,
+        )
+    return table
+
+
+class TestEventMap:
+    def test_build_counts(self):
+        table = make_table([(0, 5, 1.0), (2, FOREVER, 2.0)])
+        events = EventMap.build(table, "tt")
+        assert len(events) == 3  # two starts + one finite end
+        assert events.timestamps.tolist() == [0, 2, 5]
+        assert events.signs.tolist() == [1, 1, -1]
+
+    def test_position_of(self):
+        table = make_table([(0, 5, 1.0), (2, 9, 2.0)])
+        events = EventMap.build(table, "tt")
+        assert events.position_of(-1) == 0
+        assert events.position_of(2) == 1
+        assert events.position_of(100) == len(events)
+
+    def test_active_rows_at(self):
+        table = make_table([(0, 5, 1.0), (2, 9, 2.0), (7, FOREVER, 3.0)])
+        events = EventMap.build(table, "tt")
+        assert events.active_rows_at(0, 3).tolist() == [True, False, False]
+        assert events.active_rows_at(4, 3).tolist() == [True, True, False]
+        assert events.active_rows_at(8, 3).tolist() == [False, True, True]
+
+    def test_append_in_order_no_resort(self):
+        table = make_table([(0, 5, 1.0)])
+        events = EventMap.build(table, "tt")
+        appended = events.append_events(
+            np.array([9], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+            np.array([1], dtype=np.int8),
+        )
+        assert appended.timestamps.tolist() == [0, 5, 9]
+
+    def test_append_out_of_order_resorts(self):
+        table = make_table([(5, FOREVER, 1.0)])
+        events = EventMap.build(table, "tt")
+        appended = events.append_events(
+            np.array([1], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+            np.array([1], dtype=np.int8),
+        )
+        assert appended.timestamps.tolist() == [1, 5]
+
+    def test_nbytes_compressed_accounting(self):
+        table = make_table([(i, i + 10, 1.0) for i in range(100)])
+        events = EventMap.build(table, "tt")
+        # 200 events: distinct*8 + n*4 + packed signs.
+        assert events.nbytes() < events.timestamps.nbytes + events.rows.nbytes
+
+
+class TestCheckpointSet:
+    def test_running_sums(self):
+        table = make_table([(0, 5, 10.0), (2, FOREVER, 20.0), (6, 8, 5.0)])
+        events = EventMap.build(table, "tt")
+        cps = CheckpointSet.build(
+            events, 3, {"v": table.column("v").astype(np.float64)}, every=2
+        )
+        last = cps.checkpoints[-1]
+        # All events applied: rows 0 and 2 ended, row 1 still active.
+        assert last.active_count == 1
+        assert last.running["v"] == pytest.approx(20.0)
+
+    def test_never_splits_a_timestamp(self):
+        # Five events at the same timestamp must stay in one checkpoint
+        # segment even with every=2.
+        table = make_table([(3, FOREVER, float(i)) for i in range(5)])
+        events = EventMap.build(table, "tt")
+        cps = CheckpointSet.build(events, 5, {}, every=2)
+        assert len(cps) == 1
+        assert cps.checkpoints[0].event_position == 5
+
+    def test_latest_before(self):
+        table = make_table([(i, FOREVER, 1.0) for i in range(10)])
+        events = EventMap.build(table, "tt")
+        cps = CheckpointSet.build(events, 10, {}, every=3)
+        assert cps.latest_before(0) is None
+        cp = cps.latest_before(9)
+        assert cp is not None and cp.ts < 9
+        # The returned checkpoint is the most recent qualifying one.
+        better = [c for c in cps.checkpoints if c.ts < 9]
+        assert cp is better[-1]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        spans=st.lists(
+            st.tuples(
+                st.integers(0, 30),
+                st.one_of(st.none(), st.integers(1, 20)),
+                st.floats(-10, 10),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        every=st.integers(1, 16),
+        at=st.integers(0, 60),
+    )
+    def test_checkpoint_state_matches_replay(self, spans, every, at):
+        """Any checkpoint's bitmap and running sums equal a from-scratch
+        replay up to its position — the correctness contract that lets
+        queries resume mid-stream."""
+        rows = [
+            (s, FOREVER if d is None else s + d, float(v)) for s, d, v in spans
+        ]
+        table = make_table(rows)
+        events = EventMap.build(table, "tt")
+        values = {"v": table.column("v").astype(np.float64)}
+        cps = CheckpointSet.build(events, len(rows), values, every=every)
+        cp = cps.latest_before(at)
+        if cp is None:
+            return
+        expected_bitmap = events.active_rows_at(cp.ts, len(rows))
+        assert (cp.bitmap == expected_bitmap).all()
+        expected_sum = float(values["v"][expected_bitmap].sum())
+        assert cp.running["v"] == pytest.approx(expected_sum, abs=1e-9)
+        assert cp.active_count == int(expected_bitmap.sum())

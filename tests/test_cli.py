@@ -1,0 +1,86 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestDemo:
+    def test_demo_prints_all_three_figures(self, capsys):
+        code, out, _err = run(capsys, "demo")
+        assert code == 0
+        assert "Figure 2" in out and "Figure 3" in out and "Figure 4" in out
+        assert "23000" in out  # the 1995 payroll of Figure 2/4
+
+
+class TestSql:
+    def test_count_on_employee(self, capsys):
+        code, out, _ = run(
+            capsys, "sql", "SELECT COUNT(*) FROM employee WHERE CURRENT(tt)"
+        )
+        assert code == 0
+        assert out.strip() == "5"  # current versions of Figure 1
+
+    def test_aggregation_on_employee(self, capsys):
+        code, out, _ = run(
+            capsys, "sql",
+            "SELECT SUM(salary) FROM employee GROUP BY TEMPORAL (tt)",
+        )
+        assert code == 0
+        assert "tt_start" in out and "SUM" in out
+
+    def test_tpcbih_dataset(self, capsys):
+        code, out, _ = run(
+            capsys, "sql", "--dataset", "tpcbih", "--scale", "0.1",
+            "SELECT COUNT(*) FROM customer WHERE CURRENT(tt)",
+        )
+        assert code == 0
+        assert int(out.strip()) > 0
+
+    def test_explain(self, capsys):
+        code, out, _ = run(
+            capsys, "sql", "--explain",
+            "SELECT SUM(salary) FROM employee GROUP BY TEMPORAL (bt, tt)",
+        )
+        assert code == 0
+        assert "ParTime temporal aggregation" in out
+
+    def test_sql_error_is_reported(self, capsys):
+        code, _out, err = run(capsys, "sql", "SELECT FROG(x) FROM employee")
+        assert code == 1
+        assert "unknown aggregate" in err
+
+    def test_unknown_table_reported(self, capsys):
+        code, _out, err = run(capsys, "sql", "SELECT COUNT(*) FROM nope")
+        assert code == 1
+        assert "unknown table" in err
+
+
+class TestTables:
+    def test_tables_listing(self, capsys):
+        code, out, _ = run(capsys, "tables", "--dataset", "tpcbih",
+                           "--scale", "0.1")
+        assert code == 0
+        assert "customer" in out and "orders" in out
+        assert "time dimensions: bt, tt" in out
+
+
+class TestExperiments:
+    def test_experiment_catalogue(self, capsys):
+        code, out, _ = run(capsys, "experiments")
+        assert code == 0
+        assert "Figure 19" in out and "bench_fig19_parallelization.py" in out
+        assert out.count("Ablation") >= 6
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,88 @@
+"""ClockScan query indexing: grouped lookups, same answers, cheaper cycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import Cluster, SelectQuery
+from repro.storage.clockscan import ClockScan
+from repro.temporal import (
+    ColumnBetween,
+    ColumnEquals,
+    CurrentVersion,
+    Overlaps,
+)
+from repro.workloads import AmadeusConfig, AmadeusWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return AmadeusWorkload(AmadeusConfig(num_bookings=5_000, seed=61))
+
+
+class TestIndexability:
+    def test_equality_is_indexable(self):
+        op = SelectQuery(ColumnEquals("booking_id", 5))
+        assert ClockScan._indexable(op) == ("booking_id", False)
+
+    def test_equality_and_current_is_indexable(self):
+        op = SelectQuery(ColumnEquals("flight_id", 2) & CurrentVersion("tt"))
+        assert ClockScan._indexable(op) == ("flight_id", True)
+
+    def test_other_shapes_are_not(self):
+        assert ClockScan._indexable(SelectQuery(Overlaps("bt", 0, 5))) is None
+        assert ClockScan._indexable(
+            SelectQuery(ColumnBetween("fare", 0, 10))
+        ) is None
+        assert ClockScan._indexable(
+            SelectQuery(ColumnEquals("a", 1) & ColumnEquals("b", 2))
+        ) is None
+
+
+class TestGroupedExecution:
+    def test_indexed_lookups_match_direct_evaluation(self, workload):
+        scan = ClockScan(workload.table)
+        ops = [
+            SelectQuery(
+                ColumnEquals("booking_id", i * 37 % 5_000) & CurrentVersion("tt")
+            )
+            for i in range(40)
+        ] + [SelectQuery(ColumnEquals("flight_id", f)) for f in range(10)]
+        results, report = scan.run_cycle(ops)
+        chunk = workload.table.chunk()
+        for op in ops:
+            assert results[op.op_id] == int(op.predicate.mask(chunk).sum())
+            assert report.per_op_seconds[op.op_id] > 0
+            assert report.op_seconds(op.op_id) >= report.base_seconds
+
+    def test_group_pass_amortises(self, workload):
+        """The shared cycle with 100 indexed lookups must cost much less
+        than 100 stand-alone evaluations."""
+        scan = ClockScan(workload.table)
+        ops = [
+            SelectQuery(ColumnEquals("booking_id", i) & CurrentVersion("tt"))
+            for i in range(100)
+        ]
+        best_shared, best_standalone = float("inf"), float("inf")
+        for _ in range(3):
+            _results, report = scan.run_cycle(list(ops))
+            shared = sum(report.per_op_seconds.values())
+            standalone = sum(
+                report.standalone_of(op.op_id) for op in ops
+            )
+            best_shared = min(best_shared, shared)
+            best_standalone = min(best_standalone, standalone)
+        assert best_shared < best_standalone / 3
+
+    def test_mixed_batch_on_cluster_unchanged(self, workload):
+        """End to end through the cluster: indexed and non-indexed ops in
+        one batch return correct results."""
+        cluster = Cluster.from_table(workload.table, 3)
+        lookups = [workload.booking_lookup() for _ in range(25)]
+        others = [workload.bookings_by_day_range() for _ in range(5)]
+        agg = workload.ta1(flight_id=1)
+        batch = cluster.execute_batch(lookups + others + [agg])
+        chunk = workload.table.chunk()
+        for op in lookups + others:
+            assert batch.results[op.op_id] == int(op.predicate.mask(chunk).sum())
+        assert len(batch.results[agg.op_id].rows) >= 0

@@ -1,0 +1,130 @@
+"""Delta maps: backend equivalence and contracts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SUM
+from repro.core.deltamap import (
+    ArrayDeltaMap,
+    BTreeDeltaMap,
+    HashDeltaMap,
+    MultiDimDeltaMap,
+    SortedArrayDeltaMap,
+)
+from repro.temporal.timestamps import FOREVER
+
+
+class TestBTreeDeltaMap:
+    def test_consolidation(self):
+        dm = BTreeDeltaMap(SUM)
+        dm.put(7, SUM.make_delta(10_000, -1))
+        dm.put(7, SUM.make_delta(15_000, +1))
+        assert list(dm.items()) == [(7, (5_000, 0))]
+        assert len(dm) == 1
+
+    def test_add_record_open_ended(self):
+        dm = BTreeDeltaMap(SUM)
+        dm.add_record(3, FOREVER, 100, FOREVER)
+        assert list(dm.items()) == [(3, (100, 1))]
+
+    def test_add_record_closed(self):
+        dm = BTreeDeltaMap(SUM)
+        dm.add_record(3, 9, 100, FOREVER)
+        assert list(dm.items()) == [(3, (100, 1)), (9, (-100, -1))]
+
+    def test_put_count(self):
+        dm = BTreeDeltaMap(SUM)
+        dm.put(1, SUM.make_delta(1, 1))
+        dm.put(1, SUM.make_delta(1, 1))
+        assert dm.put_count == 2
+
+
+class TestSortedArrayDeltaMap:
+    def test_from_events_consolidates(self):
+        dm = SortedArrayDeltaMap.from_events(
+            SUM,
+            np.array([5, 3, 5], dtype=np.int64),
+            np.array([10.0, 20.0, -4.0]),
+            np.array([1, 1, -1], dtype=np.int64),
+        )
+        assert list(dm.items()) == [(3, (20.0, 1)), (5, (6.0, 0))]
+
+    def test_immutable(self):
+        dm = SortedArrayDeltaMap.from_events(
+            SUM, np.array([1]), np.array([1.0]), np.array([1])
+        )
+        with pytest.raises(TypeError):
+            dm.put(2, (1, 1))
+
+
+class TestArrayDeltaMap:
+    def test_out_of_window_slot_ignored(self):
+        dm = ArrayDeltaMap(SUM, size=3)
+        dm.put(3, SUM.make_delta(99, +1))  # slot "count" = beyond window
+        assert list(dm.items()) == []
+        assert len(dm) == 0
+
+    def test_slots(self):
+        dm = ArrayDeltaMap(SUM, size=3)
+        dm.put(1, SUM.make_delta(5, +1))
+        dm.put(1, SUM.make_delta(3, +1))
+        assert list(dm.items()) == [(1, (8, 2))]
+
+
+class TestMultiDimDeltaMap:
+    def test_pivot_sorts_first(self):
+        dm = MultiDimDeltaMap(SUM)
+        dm.put_event(10, (0, 5), SUM.make_delta(1, +1))
+        dm.put_event(2, (99, 100), SUM.make_delta(2, +1))
+        keys = [k for k, _ in dm.items()]
+        assert keys[0][0] == 2 and keys[1][0] == 10
+
+    def test_paper_key_order_accepted(self):
+        """put() takes keys in the paper's order (intervals..., pivot)."""
+        dm = MultiDimDeltaMap(SUM)
+        dm.put((0, 5, 7), SUM.make_delta(1, +1))  # pivot ts = 7, last
+        ((key, _delta),) = list(dm.items())
+        assert key == (7, 0, 5)
+
+    def test_consolidation_on_full_key(self):
+        dm = MultiDimDeltaMap(SUM)
+        dm.put_event(7, (0, 5), SUM.make_delta(10, +1))
+        dm.put_event(7, (0, 5), SUM.make_delta(-4, +1))
+        dm.put_event(7, (0, 6), SUM.make_delta(1, +1))
+        assert len(dm) == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(st.integers(0, 20), st.integers(-9, 9)), max_size=100
+    )
+)
+def test_backends_equivalent(events):
+    """B-tree, hash, and sorted-array backends consolidate identically."""
+    btree = BTreeDeltaMap(SUM)
+    hashed = HashDeltaMap(SUM)
+    for ts, v in events:
+        delta = SUM.make_delta(float(v), +1)
+        btree.put(ts, delta)
+        hashed.put(ts, delta)
+    if events:
+        arr = SortedArrayDeltaMap.from_events(
+            SUM,
+            np.array([ts for ts, _ in events], dtype=np.int64),
+            np.array([float(v) for _, v in events]),
+            np.ones(len(events), dtype=np.int64),
+        )
+        arr_items = [(k, v) for k, v in arr.items()]
+    else:
+        arr_items = []
+    b_items = list(btree.items())
+    h_items = list(hashed.items())
+    assert b_items == h_items
+    assert [(k, (pytest.approx(v[0]), v[1])) for k, v in b_items] == [
+        (k, (v[0], v[1])) for k, v in arr_items
+    ] or b_items == arr_items

@@ -1,0 +1,157 @@
+"""End-to-end integration: the whole stack against itself.
+
+These tests wire several subsystems together and cross-validate the four
+engines on the same workload — the repository-level invariant that every
+engine computes the same answers, however different their cost profiles.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.tpcbih_runner import VALUE_COLUMNS, build_engines, run_all_queries
+from repro.storage import (
+    Cluster,
+    CrescandoEngine,
+    SelectQuery,
+    TemporalAggQuery,
+)
+from repro.systems import SystemM
+from repro.timeline import TimelineEngine
+from repro.workloads import (
+    AmadeusConfig,
+    AmadeusWorkload,
+    TPCBIH_QUERIES,
+    TPCBiHConfig,
+    TPCBiHDataset,
+)
+
+
+@pytest.fixture(scope="module")
+def amadeus():
+    return AmadeusWorkload(AmadeusConfig(num_bookings=1_200, seed=99))
+
+
+@pytest.fixture(scope="module")
+def tpcbih():
+    return TPCBiHDataset(TPCBiHConfig(scale_factor=0.15, seed=44))
+
+
+def test_all_engines_agree_on_tpcbih(tpcbih):
+    """Every temporal aggregation query returns identical rows on
+    ParTime/Crescando, the Timeline Index and the commercial stand-ins."""
+    tables = {"customer": tpcbih.customer, "orders": tpcbih.orders}
+    engines = {}
+    for tname, table in tables.items():
+        per_table = {
+            "partime": CrescandoEngine.response_time_config(4),
+            "timeline": TimelineEngine(VALUE_COLUMNS[tname]),
+            "system_m": SystemM(),
+        }
+        for engine in per_table.values():
+            engine.bulkload(table)
+        engines[tname] = per_table
+
+    compared = 0
+    for qname, build in TPCBIH_QUERIES.items():
+        table_name, ops = build(tpcbih)
+        if not isinstance(ops, list):
+            ops = [ops]
+        for op in ops:
+            if not isinstance(op, TemporalAggQuery):
+                continue
+            per_table = engines[table_name]
+            results = {}
+            for ename, engine in per_table.items():
+                result, _s = engine.temporal_aggregation(op.query)
+                results[ename] = result
+            base = results["partime"]
+            for ename, result in results.items():
+                assert len(result) == len(base), (qname, ename)
+                for row_a, row_b in zip(result, base):
+                    assert row_a.intervals == row_b.intervals, (qname, ename)
+                    va, vb = row_a.value, row_b.value
+                    if isinstance(vb, float) and vb is not None:
+                        assert va == pytest.approx(vb, rel=1e-9, abs=1e-9)
+                    else:
+                        assert va == vb
+            compared += 1
+    assert compared >= 11  # all temporal aggregation ops of Table 2
+
+
+def test_updates_keep_engines_consistent(amadeus):
+    """After a burst of updates, a refreshed Timeline agrees with a fresh
+    ParTime scan — the maintenance path computes the same index state."""
+    cluster = Cluster.from_table(amadeus.table, 3)
+    updates = amadeus.update_stream(30)
+    cluster.execute_batch(updates)
+
+    # Rebuild a single logical table from the partitions to compare.
+    ta1 = amadeus.ta1(flight_id=1)
+    partime_result, _ = cluster.execute_query(ta1)
+
+    # A Timeline built *after* the updates on the merged partition data.
+    merged = amadeus.table  # note: cluster holds copies; rebuild instead
+    engine = TimelineEngine()
+    rebuilt = _merge_partitions(cluster)
+    engine.bulkload(rebuilt)
+    timeline_result, _ = engine.temporal_aggregation(ta1.query)
+    assert timeline_result.pairs() == partime_result.pairs()
+
+
+def _merge_partitions(cluster):
+    """Concatenate partition tables back into one logical table."""
+    from repro.temporal import TemporalTable
+    from repro.workloads.bulk import append_rows
+
+    first = cluster.nodes[0].table
+    merged = TemporalTable(first.schema)
+    for node in cluster.nodes:
+        if not len(node.table):
+            continue
+        append_rows(
+            merged,
+            {
+                name: node.table.column(name)
+                for name in first.schema.physical_columns()
+            },
+            next_version=node.table.current_version,
+        )
+    return merged
+
+
+def test_throughput_engines_all_answer(amadeus):
+    """A mixed batch runs on the cluster and every op gets a result."""
+    cluster = Cluster.from_table(amadeus.table, 2, num_aggregators=2)
+    ops = amadeus.query_batch(100) + amadeus.update_stream(5)
+    batch = cluster.execute_batch(ops)
+    assert len(batch.results) == 105
+    for op in ops:
+        assert op.op_id in batch.results
+    assert batch.simulated_seconds > 0
+    for op in ops:
+        if isinstance(op, (SelectQuery, TemporalAggQuery)):
+            assert batch.response_time(op.op_id) > 0
+
+
+def test_runner_smoke(tpcbih):
+    """The Fig 17/18 runner produces a full matrix with sane values."""
+    engines = build_engines(tpcbih, partime_cores=(2,), include_commercial=False)
+    times = run_all_queries(tpcbih, engines, repeats=1)
+    assert set(times) == set(TPCBIH_QUERIES)
+    for per_engine in times.values():
+        for seconds in per_engine.values():
+            assert seconds > 0 or math.isnan(seconds)
+
+
+def test_scan_modes_agree_on_cluster(amadeus):
+    """A pure-mode cluster and a vectorized cluster return identical
+    temporal aggregation results."""
+    ta2 = amadeus.ta2(flight_id=2)
+    vec = Cluster.from_table(amadeus.table, 3, scan_mode="vectorized")
+    pure = Cluster.from_table(amadeus.table, 3, scan_mode="pure")
+    r_vec, _ = vec.execute_query(ta2)
+    r_pure, _ = pure.execute_query(ta2)
+    assert r_vec.pairs() == r_pure.pairs()

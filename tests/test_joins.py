@@ -1,0 +1,158 @@
+"""Temporal joins: the ParTime-style parallel join vs. the oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.joins import (
+    JoinRow,
+    ParTimeJoin,
+    merge_join_partition,
+    temporal_join_reference,
+)
+from repro.temporal import (
+    Column,
+    ColumnEquals,
+    ColumnType,
+    FOREVER,
+    Interval,
+    TableSchema,
+    TemporalTable,
+)
+from repro.workloads.bulk import append_rows
+
+
+def make_table(rows, name="t"):
+    """rows: list of (key, start, end, tag)."""
+    schema = TableSchema(
+        name,
+        [Column("key", ColumnType.INT), Column("tag", ColumnType.INT)],
+        business_dims=["bt"],
+        key="key",
+    )
+    table = TemporalTable(schema)
+    if rows:
+        n = len(rows)
+        append_rows(
+            table,
+            {
+                "key": np.array([r[0] for r in rows], dtype=np.int64),
+                "tag": np.array([r[3] for r in rows], dtype=np.int64),
+                "bt_start": np.array([r[1] for r in rows], dtype=np.int64),
+                "bt_end": np.array([r[2] for r in rows], dtype=np.int64),
+                "tt_start": np.zeros(n, dtype=np.int64),
+                "tt_end": np.full(n, FOREVER, dtype=np.int64),
+            },
+            next_version=1,
+        )
+    return table
+
+
+class TestBasics:
+    def test_simple_overlap(self):
+        left = make_table([(1, 0, 10, 0)])
+        right = make_table([(1, 5, 15, 0)])
+        rows = ParTimeJoin().execute(left, right, "key", "key", dim="bt")
+        assert rows == [JoinRow(1, 0, 0, Interval(5, 10))]
+
+    def test_no_overlap_no_row(self):
+        left = make_table([(1, 0, 5, 0)])
+        right = make_table([(1, 5, 10, 0)])
+        assert ParTimeJoin().execute(left, right, "key", "key", dim="bt") == []
+
+    def test_key_mismatch_no_row(self):
+        left = make_table([(1, 0, 10, 0)])
+        right = make_table([(2, 0, 10, 0)])
+        assert ParTimeJoin().execute(left, right, "key", "key", dim="bt") == []
+
+    def test_open_ended_intervals(self):
+        left = make_table([(1, 0, FOREVER, 0)])
+        right = make_table([(1, 7, FOREVER, 0)])
+        (row,) = ParTimeJoin().execute(left, right, "key", "key", dim="bt")
+        assert row.interval == Interval(7, FOREVER)
+
+    def test_many_versions_same_key(self):
+        left = make_table([(1, 0, 10, 0), (1, 10, 20, 1)])
+        right = make_table([(1, 5, 15, 0)])
+        rows = ParTimeJoin().execute(left, right, "key", "key", dim="bt")
+        assert [(r.left_row, r.interval) for r in rows] == [
+            (0, Interval(5, 10)),
+            (1, Interval(10, 15)),
+        ]
+
+    def test_predicates_filter_sides(self):
+        left = make_table([(1, 0, 10, 0), (1, 0, 10, 9)])
+        right = make_table([(1, 0, 10, 0)])
+        rows = ParTimeJoin().execute(
+            left, right, "key", "key", dim="bt",
+            left_predicate=ColumnEquals("tag", 9),
+        )
+        assert len(rows) == 1 and rows[0].left_row == 1
+
+    def test_empty_inputs(self):
+        empty = make_table([])
+        other = make_table([(1, 0, 5, 0)])
+        assert merge_join_partition(
+            empty.chunk(), other.chunk(), "key", "key", "bt"
+        ) == []
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 6),     # key
+        st.integers(0, 30),    # start
+        st.integers(1, 20),    # duration
+        st.integers(0, 99),    # tag
+    ),
+    max_size=25,
+).map(lambda xs: [(k, s, s + d, t) for k, s, d, t in xs])
+
+
+@settings(max_examples=60, deadline=None)
+@given(left_rows=rows_strategy, right_rows=rows_strategy, workers=st.integers(1, 4))
+def test_join_matches_oracle(left_rows, right_rows, workers):
+    left = make_table(left_rows, "l")
+    right = make_table(right_rows, "r")
+    got = ParTimeJoin().execute(
+        left, right, "key", "key", dim="bt", workers=workers
+    )
+    expected = temporal_join_reference(left, right, "key", "key", dim="bt")
+    assert got == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(left_rows=rows_strategy, right_rows=rows_strategy)
+def test_join_output_intervals_valid(left_rows, right_rows):
+    """Every output interval is non-empty and contained in both inputs."""
+    left = make_table(left_rows, "l")
+    right = make_table(right_rows, "r")
+    for row in ParTimeJoin().execute(left, right, "key", "key", dim="bt"):
+        assert not row.interval.is_empty
+        lrec = left.record(row.left_row)
+        rrec = right.record(row.right_row)
+        assert lrec["bt_start"] <= row.interval.start
+        assert rrec["bt_start"] <= row.interval.start
+        assert row.interval.end <= min(lrec["bt_end"], rrec["bt_end"])
+        assert lrec["key"] == rrec["key"]
+
+
+def test_join_workers_equivalent():
+    rng = np.random.default_rng(3)
+    rows_l = [
+        (int(rng.integers(0, 20)), int(s := rng.integers(0, 50)), int(s + rng.integers(1, 30)), i)
+        for i in range(200)
+    ]
+    rows_r = [
+        (int(rng.integers(0, 20)), int(s := rng.integers(0, 50)), int(s + rng.integers(1, 30)), i)
+        for i in range(150)
+    ]
+    left, right = make_table(rows_l, "l"), make_table(rows_r, "r")
+    baseline = ParTimeJoin().execute(left, right, "key", "key", dim="bt", workers=1)
+    for workers in (2, 5, 8):
+        got = ParTimeJoin().execute(
+            left, right, "key", "key", dim="bt", workers=workers
+        )
+        assert got == baseline
+    assert len(baseline) > 0

@@ -1,0 +1,101 @@
+"""The TPC-BiH lineitem table and the orders x lineitem temporal join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ParTime,
+    ParTimeJoin,
+    TemporalAggregationQuery,
+    temporal_join_reference,
+)
+from repro.temporal import CurrentVersion, FOREVER
+from repro.workloads import TPCBiHConfig, TPCBiHDataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return TPCBiHDataset(TPCBiHConfig(scale_factor=0.15, seed=31))
+
+
+def test_lineitem_sizes(dataset):
+    # 1-4 line items per order, ~1.8 versions each.
+    n_orders = dataset.config.num_orders
+    assert len(dataset.lineitem) > n_orders
+    keys = dataset.lineitem.column("orderkey")
+    assert keys.min() >= 0 and keys.max() < n_orders
+
+
+def test_lineitem_version_chains(dataset):
+    table = dataset.lineitem
+    keys = table.column("linekey")
+    tt_start = table.column("tt_start")
+    tt_end = table.column("tt_end")
+    chains: dict[int, list[tuple[int, int]]] = {}
+    for k, s, e in zip(keys, tt_start, tt_end):
+        chains.setdefault(int(k), []).append((int(s), int(e)))
+    for chain in chains.values():
+        chain.sort()
+        for (s1, e1), (s2, _e2) in zip(chain, chain[1:]):
+            assert e1 == s2
+        assert chain[-1][1] == FOREVER
+
+
+def test_shipments_anchored_to_orders(dataset):
+    """Every line item's shipment starts at or after its order's date."""
+    order_start = {}
+    okeys = dataset.orders.column("orderkey")
+    ostarts = dataset.orders.column("bt_start")
+    for k, s in zip(okeys, ostarts):
+        order_start.setdefault(int(k), int(s))
+    lkeys = dataset.lineitem.column("orderkey")
+    lstarts = dataset.lineitem.column("bt_start")
+    for k, s in zip(lkeys[:500], lstarts[:500]):
+        assert int(s) >= order_start[int(k)]
+
+
+def test_orders_lineitem_temporal_join(dataset):
+    """The future-work join on the benchmark data: every order version
+    matched with the line-item versions shipping during its validity."""
+    rows = ParTimeJoin().execute(
+        dataset.orders, dataset.lineitem, "orderkey", "orderkey",
+        dim="bt", workers=4,
+    )
+    assert len(rows) > 0
+    # Spot-check a sample against the raw tables.
+    ochunk, lchunk = dataset.orders.chunk(), dataset.lineitem.chunk()
+    for row in rows[:50]:
+        orec, lrec = ochunk.record(row.left_row), lchunk.record(row.right_row)
+        assert orec["orderkey"] == lrec["orderkey"] == row.key
+        assert max(orec["bt_start"], lrec["bt_start"]) == row.interval.start
+
+
+def test_join_small_subset_matches_oracle(dataset):
+    """Exact oracle agreement on a subset small enough for O(n*m)."""
+    from repro.temporal import ColumnBetween
+
+    pred = ColumnBetween("orderkey", 0, 12)
+    got = ParTimeJoin().execute(
+        dataset.orders, dataset.lineitem, "orderkey", "orderkey",
+        dim="bt", workers=3,
+        left_predicate=pred, right_predicate=pred,
+    )
+    expected = temporal_join_reference(
+        dataset.orders, dataset.lineitem, "orderkey", "orderkey",
+        dim="bt", left_predicate=pred, right_predicate=pred,
+    )
+    assert got == expected
+
+
+def test_lineitem_aggregation(dataset):
+    """Shipped quantity over business time runs like any other table."""
+    query = TemporalAggregationQuery(
+        varied_dims=("bt",),
+        value_column="quantity",
+        aggregate="sum",
+        predicate=CurrentVersion("tt"),
+    )
+    result = ParTime().execute(dataset.lineitem, query, workers=4)
+    assert len(result) > 0
+    assert max(v for _iv, v in result.pairs()) > 0

@@ -1,0 +1,89 @@
+"""Order-statistics multiset: unit + property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multiset import SortedMultiset
+
+
+class TestBasics:
+    def test_empty(self):
+        ms = SortedMultiset()
+        assert len(ms) == 0
+        assert 1 not in ms
+        with pytest.raises(KeyError):
+            ms.min()
+        with pytest.raises(KeyError):
+            ms.max()
+
+    def test_init_from_values(self):
+        ms = SortedMultiset([3, 1, 2, 1])
+        assert sorted(ms) == [1, 1, 2, 3]
+
+    def test_duplicates(self):
+        ms = SortedMultiset()
+        ms.add(5)
+        ms.add(5)
+        assert len(ms) == 2
+        ms.remove(5)
+        assert len(ms) == 1
+        assert 5 in ms
+
+    def test_remove_missing(self):
+        ms = SortedMultiset([1])
+        with pytest.raises(KeyError):
+            ms.remove(2)
+
+    def test_discard(self):
+        ms = SortedMultiset([1])
+        assert ms.discard(1) is True
+        assert ms.discard(1) is False
+
+    def test_kth(self):
+        ms = SortedMultiset([10, 30, 20, 20])
+        assert [ms.kth(i) for i in range(4)] == [10, 20, 20, 30]
+        with pytest.raises(IndexError):
+            ms.kth(4)
+        with pytest.raises(IndexError):
+            ms.kth(-1)
+
+    def test_min_max(self):
+        ms = SortedMultiset([7, 3, 9])
+        assert ms.min() == 3 and ms.max() == 9
+
+    def test_large_block_splitting(self):
+        ms = SortedMultiset()
+        for i in range(5_000):
+            ms.add(i % 100)
+        assert len(ms) == 5_000
+        assert ms.min() == 0 and ms.max() == 99
+        assert ms.kth(2_500) == 50
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(-20, 20)), max_size=400
+    )
+)
+def test_matches_list_model(ops):
+    ms = SortedMultiset()
+    model: list[int] = []
+    for is_add, v in ops:
+        if is_add:
+            ms.add(v)
+            model.append(v)
+        elif v in model:
+            ms.remove(v)
+            model.remove(v)
+    model.sort()
+    assert list(ms) == model
+    assert len(ms) == len(model)
+    if model:
+        assert ms.min() == model[0]
+        assert ms.max() == model[-1]
+        mid = (len(model) - 1) // 2
+        assert ms.kth(mid) == model[mid]

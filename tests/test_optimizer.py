@@ -1,0 +1,116 @@
+"""The parallelism-degree cost model (future work #3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TemporalAggregationQuery
+from repro.core.optimizer import CostTerms, ParallelismOptimizer
+from repro.temporal import ColumnEquals, CurrentVersion
+from repro.workloads import TPCBiHConfig, TPCBiHDataset
+from repro.workloads.tpcbih import US_NATION
+
+
+class TestCostTerms:
+    def test_estimate_shape(self):
+        terms = CostTerms(
+            scan_work=8.0, per_task_overhead=0.1, merge_base=1.0, merge_per_map=0.0
+        )
+        # Pure Amdahl: monotone improvement toward the merge floor.
+        times = [terms.estimate(w) for w in range(1, 33)]
+        assert times == sorted(times, reverse=True)
+        assert times[-1] >= 1.0 + 0.1
+
+    def test_estimate_with_merge_growth_has_minimum(self):
+        terms = CostTerms(
+            scan_work=8.0, per_task_overhead=0.0, merge_base=1.0, merge_per_map=0.5
+        )
+        opt = ParallelismOptimizer(terms)
+        best = opt.optimal_workers(32)
+        # d/dw (8/w + 0.5w) = 0 at w = 4.
+        assert best == 4
+
+    def test_scan_bound_query_wants_all_cores(self):
+        terms = CostTerms(
+            scan_work=100.0, per_task_overhead=0.0, merge_base=0.1,
+            merge_per_map=0.0,
+        )
+        assert ParallelismOptimizer(terms).optimal_workers(32) == 32
+
+    def test_merge_bound_query_wants_one_core(self):
+        terms = CostTerms(
+            scan_work=0.1, per_task_overhead=0.0, merge_base=10.0,
+            merge_per_map=5.0,
+        )
+        assert ParallelismOptimizer(terms).optimal_workers(32) == 1
+
+    def test_validation(self):
+        terms = CostTerms(1.0, 0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            terms.estimate(0)
+        with pytest.raises(ValueError):
+            ParallelismOptimizer(terms).optimal_workers(0)
+
+    def test_speedup_curve(self):
+        terms = CostTerms(4.0, 0.0, 1.0, 0.0)
+        curve = ParallelismOptimizer(terms).speedup_curve(4)
+        assert curve == [(1, 5.0), (2, 3.0), (3, pytest.approx(4 / 3 + 1)), (4, 2.0)]
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return TPCBiHDataset(TPCBiHConfig(scale_factor=0.6, seed=13))
+
+    def test_calibrate_r2_like_prefers_few_workers(self, dataset):
+        """The r2 corner case: huge result, Step 2-bound — the optimizer
+        must not pick the maximum degree."""
+        query = TemporalAggregationQuery(
+            varied_dims=("bt",), value_column=None, aggregate="count",
+            predicate=ColumnEquals("nationkey", US_NATION)
+            & CurrentVersion("tt"),
+        )
+        opt = ParallelismOptimizer.calibrate(
+            dataset.customer, query, probe_workers=8
+        )
+        best = opt.optimal_workers(32)
+        assert best < 32
+        # The model's curve is sane: predicted times are positive.
+        assert all(t > 0 for _w, t in opt.speedup_curve(32))
+
+    def test_calibrate_scan_bound_prefers_many_workers(self, dataset):
+        """A windowed aggregation has a fixed, tiny result: Step 1 (the
+        scan) dominates, so the optimizer should pick a high degree of
+        parallelism — in contrast to the Step 2-bound r2."""
+        from repro.core import WindowSpec
+
+        query = TemporalAggregationQuery(
+            varied_dims=("bt",), value_column=None, aggregate="count",
+            window=WindowSpec(0, 300, 8),
+        )
+        r2_query = TemporalAggregationQuery(
+            varied_dims=("bt",), value_column=None, aggregate="count",
+            predicate=ColumnEquals("nationkey", US_NATION)
+            & CurrentVersion("tt"),
+        )
+        # The scan-bound probe is microsecond-scale and thus noisy under
+        # load; retry the measured comparison a few times before failing.
+        for attempt in range(3):
+            opt = ParallelismOptimizer.calibrate(
+                dataset.customer, query, probe_workers=8, repeats=4
+            )
+            scan_best = opt.optimal_workers(32)
+            r2_opt = ParallelismOptimizer.calibrate(
+                dataset.customer, r2_query, probe_workers=8, repeats=4
+            )
+            r2_best = r2_opt.optimal_workers(32)
+            if scan_best >= r2_best - 4:
+                break
+        assert scan_best >= r2_best - 4
+
+    def test_calibrate_validation(self, dataset):
+        query = TemporalAggregationQuery(varied_dims=("tt",), aggregate="count")
+        with pytest.raises(ValueError):
+            ParallelismOptimizer.calibrate(
+                dataset.customer, query, probe_workers=1
+            )

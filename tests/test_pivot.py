@@ -1,0 +1,73 @@
+"""Pivot statistics and selection (Section 3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pivot import (
+    DimensionStatistics,
+    choose_pivot,
+    collect_statistics,
+)
+from repro.temporal import Column, ColumnType, TableSchema, TemporalTable
+
+
+@pytest.fixture
+def table():
+    schema = TableSchema(
+        "t", [Column("k", ColumnType.INT)], business_dims=["bt"], key="k"
+    )
+    t = TemporalTable(schema)
+    # Coarse business time (2 distinct boundaries), fine transaction time
+    # (every insert its own commit).
+    for i in range(20):
+        t.insert({"k": i}, {"bt": (0, 100)})
+    return t
+
+
+def test_collect_statistics(table):
+    stats = {s.dim: s for s in collect_statistics(table, ["bt", "tt"])}
+    assert stats["bt"].distinct_timestamps == 2
+    assert stats["tt"].distinct_timestamps == 20
+    assert stats["tt"].open_ended_fraction == 1.0
+
+
+def test_collect_from_chunk(table):
+    stats = DimensionStatistics.collect(table.chunk(), "bt")
+    assert stats.distinct_timestamps == 2
+
+
+def test_sampled_statistics(table):
+    stats = DimensionStatistics.collect(table, "tt", sample=5)
+    assert stats.distinct_timestamps == 5
+
+
+def test_empty_table():
+    schema = TableSchema(
+        "t", [Column("k", ColumnType.INT)], business_dims=["bt"], key="k"
+    )
+    stats = DimensionStatistics.collect(TemporalTable(schema), "bt")
+    assert stats.distinct_timestamps == 0
+
+
+def test_choose_pivot_picks_fewest(table):
+    stats = collect_statistics(table, ["bt", "tt"])
+    assert choose_pivot(stats) == "bt"
+
+
+def test_choose_pivot_restricted(table):
+    stats = collect_statistics(table, ["bt", "tt"])
+    assert choose_pivot(stats, dims=["tt"]) == "tt"
+
+
+def test_choose_pivot_tie_breaks_to_first():
+    stats = [
+        DimensionStatistics("a", 5, 0.0),
+        DimensionStatistics("b", 5, 0.0),
+    ]
+    assert choose_pivot(stats) == "a"
+
+
+def test_choose_pivot_no_candidates():
+    with pytest.raises(ValueError):
+        choose_pivot([], dims=["x"])

@@ -1,0 +1,129 @@
+"""Predicates: vectorized masks must agree with per-record matches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.temporal import (
+    And,
+    Column,
+    ColumnBetween,
+    ColumnEquals,
+    ColumnIn,
+    ColumnType,
+    CurrentVersion,
+    FOREVER,
+    Not,
+    Or,
+    Overlaps,
+    TableSchema,
+    TemporalTable,
+    TimeTravel,
+    TrueP,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    schema = TableSchema(
+        "t",
+        [Column("k", ColumnType.INT), Column("grp", ColumnType.INT)],
+        business_dims=["bt"],
+        key="k",
+    )
+    t = TemporalTable(schema)
+    rng = np.random.default_rng(17)
+    for i in range(60):
+        start = int(rng.integers(0, 50))
+        end = int(start + rng.integers(1, 40))
+        t.insert(
+            {"k": i, "grp": i % 5},
+            {"bt": (start, FOREVER if i % 7 == 0 else end)},
+        )
+    for i in range(0, 30, 3):
+        t.update(i, {"grp": (i + 1) % 5})
+    return t
+
+
+ALL_PREDICATES = [
+    TrueP(),
+    ColumnEquals("grp", 2),
+    ColumnIn("grp", [0, 3]),
+    ColumnBetween("k", 10, 40),
+    TimeTravel("tt", 5),
+    TimeTravel("bt", 25),
+    Overlaps("bt", 10, 30),
+    CurrentVersion("tt"),
+    ColumnEquals("grp", 1) & Overlaps("bt", 0, 20),
+    ColumnEquals("grp", 1) | ColumnEquals("grp", 2),
+    ~ColumnEquals("grp", 0),
+    And([TrueP(), CurrentVersion("tt"), ColumnBetween("k", 0, 50)]),
+    Or([TimeTravel("tt", 0), TimeTravel("tt", 100)]),
+    Not(Overlaps("bt", 0, 1000)),
+]
+
+
+@pytest.mark.parametrize("pred", ALL_PREDICATES, ids=lambda p: type(p).__name__ + str(id(p) % 97))
+def test_mask_matches_consistency(table, pred):
+    """The vectorized mask and the per-record matches() must agree on
+    every row — the contract shared by the pure and vectorized paths."""
+    chunk = table.chunk()
+    mask = pred.mask(chunk)
+    assert mask.dtype == bool and len(mask) == len(chunk)
+    for i, record in enumerate(chunk.records()):
+        assert bool(mask[i]) == pred.matches(record), f"row {i}"
+
+
+def test_combinator_operators(table):
+    chunk = table.chunk()
+    a = ColumnEquals("grp", 1)
+    b = Overlaps("bt", 5, 15)
+    assert ((a & b).mask(chunk) == (a.mask(chunk) & b.mask(chunk))).all()
+    assert ((a | b).mask(chunk) == (a.mask(chunk) | b.mask(chunk))).all()
+    assert ((~a).mask(chunk) == ~a.mask(chunk)).all()
+
+
+def test_time_travel_half_open(table):
+    """A version starting exactly at t is visible at t; one ending at t is
+    not (half-open intervals)."""
+    chunk = table.chunk()
+    starts = chunk.column("tt_start")
+    ends = chunk.column("tt_end")
+    for t in (0, 1, 5):
+        mask = TimeTravel("tt", t).mask(chunk)
+        expected = (starts <= t) & (t < ends)
+        assert (mask == expected).all()
+
+
+def test_overlaps_boundary(table):
+    chunk = table.chunk()
+    # An interval [10, 20) does not overlap query [20, 30).
+    pred = Overlaps("bt", 20, 30)
+    for record in chunk.records():
+        if record["bt_start"] == 10 and record["bt_end"] == 20:
+            assert not pred.matches(record)
+
+
+def test_current_version_counts(table):
+    chunk = table.chunk()
+    n_current = int(CurrentVersion("tt").mask(chunk).sum())
+    # Exactly one current version per logical key.
+    assert n_current == 60
+
+
+@given(st.integers(-5, 60), st.integers(1, 60))
+def test_overlaps_equals_interval_logic(lo, width):
+    """Overlaps(mask) must equal the Interval.overlaps relation."""
+    from repro.temporal.timestamps import Interval
+
+    schema = TableSchema("x", [Column("k", ColumnType.INT)], ["bt"], key="k")
+    t = TemporalTable(schema)
+    spans = [(0, 10), (10, 20), (5, 25), (30, FOREVER)]
+    for i, (s, e) in enumerate(spans):
+        t.insert({"k": i}, {"bt": (s, e)})
+    mask = Overlaps("bt", lo, lo + width).mask(t.chunk())
+    for i, (s, e) in enumerate(spans):
+        assert bool(mask[i]) == Interval(s, e).overlaps(Interval(lo, lo + width))

@@ -1,0 +1,221 @@
+"""Property-based validation: ParTime vs. the reference oracle.
+
+Hypothesis generates arbitrary little bi-temporal tables; ParTime — in
+every execution mode, with every aggregate, at every degree of
+parallelism — must agree with the O(n²) sweep-line oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ParTime, TemporalAggregationQuery, WindowSpec
+from repro.systems import (
+    reference_multidim_value_at,
+    reference_temporal_aggregation,
+    reference_windowed_aggregation,
+)
+from repro.temporal import (
+    Column,
+    ColumnType,
+    FOREVER,
+    Interval,
+    TableSchema,
+    TemporalTable,
+)
+from repro.workloads.bulk import append_rows
+
+import numpy as np
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        "prop",
+        [Column("k", ColumnType.INT), Column("v", ColumnType.INT)],
+        business_dims=["bt"],
+        key="k",
+    )
+
+
+# One generated row: (bt_start, bt_dur|None, tt_start, tt_dur|None, value)
+row_strategy = st.tuples(
+    st.integers(0, 40),
+    st.one_of(st.none(), st.integers(1, 30)),
+    st.integers(0, 40),
+    st.one_of(st.none(), st.integers(1, 30)),
+    st.integers(-20, 20),
+)
+rows_strategy = st.lists(row_strategy, min_size=0, max_size=40)
+
+
+def build_table(rows) -> TemporalTable:
+    table = TemporalTable(_schema())
+    if not rows:
+        return table
+    n = len(rows)
+    bt_start = np.array([r[0] for r in rows], dtype=np.int64)
+    bt_end = np.array(
+        [FOREVER if r[1] is None else r[0] + r[1] for r in rows], dtype=np.int64
+    )
+    tt_start = np.array([r[2] for r in rows], dtype=np.int64)
+    tt_end = np.array(
+        [FOREVER if r[3] is None else r[2] + r[3] for r in rows], dtype=np.int64
+    )
+    append_rows(
+        table,
+        {
+            "k": np.arange(n, dtype=np.int64),
+            "v": np.array([r[4] for r in rows], dtype=np.int64),
+            "bt_start": bt_start,
+            "bt_end": bt_end,
+            "tt_start": tt_start,
+            "tt_end": tt_end,
+        },
+        next_version=100,
+    )
+    return table
+
+
+def assert_rows_equal(got, expected, approx=False):
+    assert len(got) == len(expected), f"\n{got}\nvs\n{expected}"
+    for (iv_g, v_g), (iv_e, v_e) in zip(got, expected):
+        assert iv_g == iv_e
+        if approx and isinstance(v_e, float):
+            assert v_g == pytest.approx(v_e, rel=1e-9, abs=1e-9)
+        else:
+            assert v_g == v_e
+
+
+@settings(max_examples=80, deadline=None)
+@given(rows=rows_strategy, workers=st.integers(1, 5))
+@pytest.mark.parametrize("mode,backend", [
+    ("vectorized", "btree"), ("pure", "btree"), ("pure", "hash"),
+])
+def test_onedim_sum_matches_oracle(mode, backend, rows, workers):
+    table = build_table(rows)
+    query = TemporalAggregationQuery(
+        varied_dims=("bt",), value_column="v", aggregate="sum"
+    )
+    got = ParTime(mode=mode, backend=backend).execute(
+        table, query, workers=workers
+    )
+    expected = reference_temporal_aggregation(
+        table, "sum", dim="bt", value_column="v"
+    )
+    assert_rows_equal(got.pairs(), expected, approx=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy, workers=st.integers(1, 4))
+@pytest.mark.parametrize("aggregate", ["count", "avg", "min", "max", "median"])
+def test_other_aggregates_match_oracle(aggregate, rows, workers):
+    table = build_table(rows)
+    query = TemporalAggregationQuery(
+        varied_dims=("bt",),
+        value_column=None if aggregate == "count" else "v",
+        aggregate=aggregate,
+    )
+    got = ParTime().execute(table, query, workers=workers)
+    expected = reference_temporal_aggregation(
+        table, aggregate, dim="bt",
+        value_column=None if aggregate == "count" else "v",
+    )
+    assert_rows_equal(got.pairs(), expected, approx=True)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rows=rows_strategy,
+    workers=st.integers(1, 4),
+    qlo=st.integers(0, 50),
+    qwidth=st.integers(1, 40),
+)
+def test_range_restricted_matches_oracle(rows, workers, qlo, qwidth):
+    """Query intervals (TPC-BiH r3-style) clamp correctly."""
+    table = build_table(rows)
+    interval = Interval(qlo, qlo + qwidth)
+    query = TemporalAggregationQuery(
+        varied_dims=("bt",), value_column="v", aggregate="sum",
+        query_intervals={"bt": interval},
+    )
+    got = ParTime().execute(table, query, workers=workers)
+    expected = reference_temporal_aggregation(
+        table, "sum", dim="bt", value_column="v", query_interval=interval
+    )
+    assert_rows_equal(got.pairs(), expected, approx=True)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rows=rows_strategy,
+    workers=st.integers(1, 4),
+    origin=st.integers(-5, 30),
+    stride=st.integers(1, 9),
+    count=st.integers(1, 12),
+)
+@pytest.mark.parametrize("mode", ["vectorized", "pure"])
+def test_windowed_matches_oracle(mode, rows, workers, origin, stride, count):
+    table = build_table(rows)
+    window = WindowSpec(origin, stride, count)
+    query = TemporalAggregationQuery(
+        varied_dims=("bt",), value_column="v", aggregate="sum", window=window
+    )
+    got = ParTime(mode=mode).execute(table, query, workers=workers)
+    expected = reference_windowed_aggregation(
+        table, window, "sum", dim="bt", value_column="v"
+    )
+    assert [(p, v) for p, v in got.points()] == [
+        (p, pytest.approx(v)) for p, v in expected
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=rows_strategy, workers=st.integers(1, 3), data=st.data())
+@pytest.mark.parametrize("pivot", ["bt", "tt"])
+def test_multidim_pointwise_matches_oracle(pivot, rows, workers, data):
+    """The 2-D result, evaluated at arbitrary points, equals the oracle —
+    for either pivot choice."""
+    table = build_table(rows)
+    query = TemporalAggregationQuery(
+        varied_dims=("bt", "tt"), value_column="v", aggregate="sum",
+        pivot=pivot,
+    )
+    got = ParTime().execute(table, query, workers=workers)
+    for _ in range(5):
+        bt = data.draw(st.integers(-2, 90))
+        tt = data.draw(st.integers(-2, 90))
+        expected = reference_multidim_value_at(
+            table, (bt, tt), ("bt", "tt"), "sum", value_column="v"
+        )
+        assert got.value_at(bt, tt) == expected, (bt, tt)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=rows_strategy, workers=st.integers(2, 5))
+def test_parallel_step2_equals_sequential(rows, workers):
+    """The future-work multi-level merge must not change results."""
+    table = build_table(rows)
+    query = TemporalAggregationQuery(
+        varied_dims=("bt",), value_column="v", aggregate="sum"
+    )
+    sequential = ParTime(mode="pure").execute(table, query, workers=workers)
+    parallel = ParTime(mode="pure", parallel_step2=True).execute(
+        table, query, workers=workers
+    )
+    assert sequential.pairs() == parallel.pairs()
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=rows_strategy)
+def test_workers_do_not_change_result(rows):
+    """Partitioning invariance: any worker count gives the same answer."""
+    table = build_table(rows)
+    query = TemporalAggregationQuery(
+        varied_dims=("tt",), value_column="v", aggregate="sum"
+    )
+    baseline = ParTime().execute(table, query, workers=1).pairs()
+    for workers in (2, 3, 7):
+        got = ParTime().execute(table, query, workers=workers).pairs()
+        assert_rows_equal(got, baseline, approx=True)

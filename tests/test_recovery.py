@@ -1,0 +1,176 @@
+"""WAL, crash recovery and hot-standby replication (Section 4.1)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.storage import Cluster, InsertOp, SelectQuery, UpdateOp
+from repro.storage.queries import DeleteOp
+from repro.storage.recovery import (
+    WriteAheadLog,
+    decode_op,
+    encode_op,
+    recover_cluster,
+)
+from repro.temporal import ColumnEquals, CurrentVersion, Interval, TrueP
+from repro.workloads import AmadeusConfig, AmadeusWorkload
+from repro.workloads.amadeus import bookings_schema
+from tests.conftest import build_employee_table, employee_schema
+
+
+class TestOpCodec:
+    def test_insert_roundtrip(self):
+        op = InsertOp({"name": "X", "descr": "D", "salary": 5},
+                      {"bt": Interval(3, 9)})
+        decoded = decode_op(encode_op(op))
+        assert isinstance(decoded, InsertOp)
+        assert decoded.values == {"name": "X", "descr": "D", "salary": 5}
+        assert decoded.business == {"bt": Interval(3, 9)}
+
+    def test_update_roundtrip(self):
+        op = UpdateOp("Anna", {"salary": 7}, {"bt": 42})
+        decoded = decode_op(encode_op(op))
+        assert isinstance(decoded, UpdateOp)
+        assert decoded.key_value == "Anna"
+        assert decoded.changes == {"salary": 7}
+        assert decoded.business == {"bt": 42}
+
+    def test_delete_roundtrip(self):
+        op = DeleteOp(17, None)
+        decoded = decode_op(encode_op(op))
+        assert isinstance(decoded, DeleteOp)
+        assert decoded.key_value == 17 and decoded.business is None
+
+    def test_read_op_rejected(self):
+        with pytest.raises(TypeError):
+            encode_op(SelectQuery(TrueP()))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            decode_op({"kind": "nope"})
+
+
+class TestWal:
+    def test_append_and_replay(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        with WriteAheadLog(path) as wal:
+            wal.append(0, InsertOp({"x": 1}, None))
+            wal.append(1, DeleteOp(5, None))
+            assert wal.appended == 2
+        records = list(WriteAheadLog.replay(path))
+        assert [v for v, _ in records] == [0, 1]
+        assert isinstance(records[1][1], DeleteOp)
+
+    def test_torn_tail_skipped(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        with WriteAheadLog(path) as wal:
+            wal.append(0, InsertOp({"x": 1}, None))
+        with open(path, "a") as f:
+            f.write('{"version": 1, "op": {"kind": "ins')  # crash mid-write
+        records = list(WriteAheadLog.replay(path))
+        assert len(records) == 1  # torn record never acknowledged
+
+
+class TestRecovery:
+    def test_cluster_recovers_exact_state(self, tmp_path):
+        """Replay reconstructs byte-identical partitions."""
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path)
+        schema = employee_schema()
+        from repro.temporal import TemporalTable
+
+        cluster = Cluster.from_table(TemporalTable(schema), 3, wal=wal)
+        ops = [
+            InsertOp({"name": "Anna", "descr": "CEO", "salary": 10}, {"bt": 0}),
+            InsertOp({"name": "Ben", "descr": "Coder", "salary": 5}, {"bt": 0}),
+            UpdateOp("Anna", {"salary": 15}, {"bt": 10}),
+            InsertOp({"name": "Chris", "descr": "Coder", "salary": 5}, {"bt": 3}),
+            DeleteOp("Ben", {"bt": 20}),
+            UpdateOp("Chris", {"descr": "Manager"}, {"bt": 5}),
+        ]
+        for op in ops:  # one txn each, as in the Amadeus update stream
+            cluster.execute_batch([op])
+        wal.close()
+
+        recovered = recover_cluster(schema, path, num_storage=3)
+        assert recovered._version == cluster._version  # noqa: SLF001
+        for orig, rec in zip(cluster.nodes, recovered.nodes):
+            assert len(orig.table) == len(rec.table)
+            for col in schema.physical_columns():
+                assert orig.table.column(col).tolist() == rec.table.column(col).tolist()
+
+    def test_recovered_cluster_answers_queries(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        workload = AmadeusWorkload(AmadeusConfig(num_bookings=300, seed=5))
+        wal = WriteAheadLog(path)
+        from repro.temporal import TemporalTable
+
+        cluster = Cluster.from_table(
+            TemporalTable(bookings_schema()), 2, wal=wal
+        )
+        inserts = workload.insert_stream(40)
+        cluster.execute_batch(inserts)
+        updates = [
+            UpdateOp(op.values["booking_id"], {"fare": 1.0}) for op in inserts[:10]
+        ]
+        cluster.execute_batch(updates)
+        wal.close()
+
+        recovered = recover_cluster(bookings_schema(), path, num_storage=2)
+        probe = SelectQuery(CurrentVersion("tt"))
+        a, _ = cluster.execute_query(probe)
+        b, _ = recovered.execute_query(SelectQuery(CurrentVersion("tt")))
+        assert a == b == 40
+
+    def test_replay_version_mismatch_detected(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        with open(path, "w") as f:
+            record = {"version": 5, "op": encode_op(InsertOp({"x": 1}, None))}
+            f.write(json.dumps(record) + "\n")
+        from repro.temporal import Column, ColumnType, TableSchema
+
+        schema = TableSchema("t", [Column("x", ColumnType.INT)], ["bt"], key="x")
+        with pytest.raises(RuntimeError):
+            recover_cluster(schema, path, num_storage=1)
+
+
+class TestStandby:
+    def _twin_clusters(self):
+        table = build_employee_table()
+        primary = Cluster.from_table(table, 3)
+        standby = Cluster.from_table(table, 3)
+        primary.attach_standby(standby)
+        return primary, standby
+
+    def test_standby_tracks_writes(self):
+        primary, standby = self._twin_clusters()
+        primary.execute_batch([UpdateOp("Anna", {"salary": 99_000}, {"bt": 9_500})])
+        for p_node, s_node in zip(primary.nodes, standby.nodes):
+            assert p_node.table.column("salary").tolist() == s_node.table.column(
+                "salary"
+            ).tolist()
+
+    def test_failover_preserves_answers(self):
+        primary, _standby = self._twin_clusters()
+        primary.execute_batch([UpdateOp("Ben", {"salary": 1}, {"bt": 9_500})])
+        probe = SelectQuery(ColumnEquals("name", "Ben") & CurrentVersion("tt"))
+        before, _ = primary.execute_query(probe)
+        primary.failover_node(1)  # shoot down a straggler
+        after, _ = primary.execute_query(
+            SelectQuery(ColumnEquals("name", "Ben") & CurrentVersion("tt"))
+        )
+        assert before == after
+
+    def test_standby_validation(self):
+        table = build_employee_table()
+        primary = Cluster.from_table(table, 3)
+        with pytest.raises(ValueError):
+            primary.attach_standby(Cluster.from_table(table, 2))
+        with pytest.raises(RuntimeError):
+            primary.failover_node(0)
+        smaller = Cluster.from_table(table, 3)
+        primary.attach_standby(smaller)
+        with pytest.raises(IndexError):
+            primary.failover_node(9)

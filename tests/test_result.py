@@ -1,0 +1,98 @@
+"""Result containers: lookups, builders, and formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import ResultRow, TemporalAggregationResult
+from repro.temporal.timestamps import FOREVER, Interval
+
+
+@pytest.fixture
+def onedim():
+    return TemporalAggregationResult.from_pairs(
+        "tt",
+        [(Interval(0, 5), 15_000), (Interval(5, FOREVER), 20_000)],
+        aggregate_name="sum",
+    )
+
+
+@pytest.fixture
+def twodim():
+    return TemporalAggregationResult.from_multidim(
+        ("bt", "tt"),
+        [
+            ((Interval(0, 10), Interval(0, 5)), 1),
+            ((Interval(10, 20), Interval(0, 5)), 2),
+            ((Interval(0, 10), Interval(5, FOREVER)), 3),
+        ],
+    )
+
+
+class TestLookups:
+    def test_value_at_onedim(self, onedim):
+        assert onedim.value_at(0) == 15_000
+        assert onedim.value_at(4) == 15_000
+        assert onedim.value_at(5) == 20_000
+        assert onedim.value_at(10**9) == 20_000
+        assert onedim.value_at(-1) is None
+
+    def test_value_at_arity_checked(self, onedim, twodim):
+        with pytest.raises(ValueError):
+            onedim.value_at(1, 2)
+        with pytest.raises(ValueError):
+            twodim.value_at(1)
+
+    def test_value_at_twodim(self, twodim):
+        assert twodim.value_at(15, 3) == 2
+        assert twodim.value_at(5, 7) == 3
+        assert twodim.value_at(15, 7) is None
+
+    def test_pairs_and_points(self, onedim):
+        assert onedim.pairs()[0] == (Interval(0, 5), 15_000)
+        assert onedim.points() == [(0, 15_000), (5, 20_000)]
+
+    def test_pairs_rejected_multidim(self, twodim):
+        with pytest.raises(ValueError):
+            twodim.pairs()
+        with pytest.raises(ValueError):
+            twodim.points()
+
+    def test_iteration_and_indexing(self, onedim):
+        assert len(onedim) == 2
+        assert onedim[0].value == 15_000
+        assert [row.value for row in onedim] == [15_000, 20_000]
+
+    def test_result_row_interval_accessor(self):
+        row = ResultRow((Interval(1, 2), Interval(3, 4)), 9)
+        assert row.interval() == Interval(1, 2)
+        assert row.interval(1) == Interval(3, 4)
+
+
+class TestBuilders:
+    def test_from_points_builds_degenerate_spans(self):
+        result = TemporalAggregationResult.from_points(
+            "bt", stride=7, pairs=[(0, 1.0), (7, 2.0)]
+        )
+        assert result[0].interval() == Interval(0, 7)
+        assert result.value_at(8) == 2.0
+
+
+class TestFormatting:
+    def test_format_table_shape(self, onedim):
+        text = onedim.format_table()
+        lines = text.splitlines()
+        assert "tt_start" in lines[0] and "SUM" in lines[0]
+        assert len(lines) == 4  # header + rule + 2 rows
+        assert "inf" in lines[-1]
+
+    def test_format_table_truncation(self):
+        result = TemporalAggregationResult.from_pairs(
+            "tt", [(Interval(i, i + 1), i) for i in range(100)]
+        )
+        text = result.format_table(max_rows=5)
+        assert "95 more rows" in text
+
+    def test_format_table_multidim(self, twodim):
+        text = twodim.format_table()
+        assert "bt_start" in text and "tt_end" in text

@@ -1,0 +1,106 @@
+"""Schema validation and structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.temporal.schema import (
+    Column,
+    ColumnType,
+    TableSchema,
+    TimeDimension,
+    TimeKind,
+)
+
+
+class TestColumn:
+    def test_valid(self):
+        assert Column("price", ColumnType.FLOAT).name == "price"
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            Column("not a name")
+        with pytest.raises(ValueError):
+            Column("")
+
+    def test_numpy_dtypes(self):
+        assert ColumnType.INT.numpy_dtype is np.int64
+        assert ColumnType.FLOAT.numpy_dtype is np.float64
+        assert ColumnType.STRING.numpy_dtype is object
+
+
+class TestTimeDimension:
+    def test_column_names(self):
+        dim = TimeDimension("bt")
+        assert dim.start_column == "bt_start"
+        assert dim.end_column == "bt_end"
+
+    def test_default_kind_business(self):
+        assert TimeDimension("bt").kind is TimeKind.BUSINESS
+
+
+class TestTableSchema:
+    def _schema(self, **kwargs):
+        defaults = dict(
+            name="t",
+            columns=[Column("a"), Column("b", ColumnType.FLOAT)],
+            business_dims=["bt"],
+            key="a",
+        )
+        defaults.update(kwargs)
+        return TableSchema(**defaults)
+
+    def test_time_dimensions_order(self):
+        schema = self._schema(business_dims=["bt1", "bt2"])
+        names = [d.name for d in schema.time_dimensions]
+        assert names == ["bt1", "bt2", "tt"]  # business first, tt last
+        assert schema.time_dimensions[-1].kind is TimeKind.TRANSACTION
+
+    def test_no_business_dims_is_temporal_table(self):
+        schema = self._schema(business_dims=[])
+        assert [d.name for d in schema.time_dimensions] == ["tt"]
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            self._schema(columns=[Column("a"), Column("a")])
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            self._schema(key="nope")
+
+    def test_key_optional(self):
+        schema = self._schema(key=None)
+        assert schema.key is None
+
+    def test_transaction_dim_cannot_be_business(self):
+        with pytest.raises(ValueError):
+            self._schema(business_dims=["tt"])
+
+    def test_value_column_clash_with_time_columns(self):
+        with pytest.raises(ValueError):
+            self._schema(columns=[Column("a"), Column("bt_start")])
+
+    def test_dimension_lookup(self):
+        schema = self._schema()
+        assert schema.dimension("bt").kind is TimeKind.BUSINESS
+        assert schema.dimension("tt").kind is TimeKind.TRANSACTION
+        with pytest.raises(KeyError):
+            schema.dimension("nope")
+
+    def test_column_lookup(self):
+        schema = self._schema()
+        assert schema.column("b").ctype is ColumnType.FLOAT
+        with pytest.raises(KeyError):
+            schema.column("nope")
+
+    def test_physical_columns(self):
+        schema = self._schema()
+        assert schema.physical_columns() == [
+            "a", "b", "bt_start", "bt_end", "tt_start", "tt_end",
+        ]
+
+    def test_custom_transaction_dim_name(self):
+        schema = self._schema(transaction_dim="sys")
+        assert schema.transaction_dimension.name == "sys"
+        assert "sys_start" in schema.physical_columns()

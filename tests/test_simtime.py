@@ -1,0 +1,124 @@
+"""Simulated-multicore accounting: makespan, clock, executors, machine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simtime import MachineSpec, SerialExecutor, SimClock, ThreadExecutor
+from repro.simtime.clock import makespan
+from repro.simtime.machine import PAPER_MACHINE
+
+
+class TestMakespan:
+    def test_empty(self):
+        assert makespan([], 4) == 0.0
+
+    def test_single_slot_sums(self):
+        assert makespan([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_enough_slots_is_max(self):
+        assert makespan([4.0, 1.0, 2.0], 8) == 4.0
+
+    def test_two_slots(self):
+        assert makespan([3.0, 3.0, 2.0, 2.0], 2) == 5.0
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ValueError):
+            makespan([1.0], 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        durations=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=20),
+        slots=st.integers(1, 8),
+    )
+    def test_bounds(self, durations, slots):
+        """max <= makespan <= sum, and makespan >= sum/slots."""
+        span = makespan(durations, slots)
+        assert span <= sum(durations) + 1e-9
+        assert span >= max(durations) - 1e-9
+        assert span >= sum(durations) / slots - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(durations=st.lists(st.floats(0.0, 5.0), min_size=1, max_size=16))
+    def test_more_slots_never_slower(self, durations):
+        spans = [makespan(durations, s) for s in (1, 2, 4, 8)]
+        assert spans == sorted(spans, reverse=True)
+
+
+class TestSimClock:
+    def test_parallel_plus_serial(self):
+        clock = SimClock()
+        clock.parallel("scan", [1.0, 1.0, 1.0, 1.0], slots=4)
+        clock.serial("merge", 0.5)
+        assert clock.elapsed == 1.5
+        assert clock.total_work() == 4.5
+
+    def test_phase_elapsed_prefix(self):
+        clock = SimClock()
+        clock.parallel("partime.step1", [2.0], slots=1)
+        clock.serial("partime.step2", 1.0)
+        clock.serial("other", 9.0)
+        assert clock.phase_elapsed("partime.step1") == 2.0
+        assert clock.phase_elapsed("partime") == 3.0
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.serial("x", 1.0)
+        clock.reset()
+        assert clock.elapsed == 0.0 and not clock.phases
+
+
+class TestExecutors:
+    def test_serial_executor_parallel_accounting(self):
+        executor = SerialExecutor()
+        results = executor.map_parallel(lambda x: x * 2, [1, 2, 3], label="m")
+        assert results == [2, 4, 6]
+        (phase,) = executor.clock.phases
+        assert phase.kind == "parallel" and len(phase.durations) == 3
+        # With one slot per task, elapsed is the max, not the sum.
+        assert phase.elapsed <= sum(phase.durations)
+
+    def test_serial_executor_fixed_slots(self):
+        executor = SerialExecutor(slots=1)
+        executor.map_parallel(lambda x: x, [1, 2, 3, 4], label="m")
+        (phase,) = executor.clock.phases
+        assert phase.elapsed == pytest.approx(sum(phase.durations))
+
+    def test_run_serial(self):
+        executor = SerialExecutor()
+        assert executor.run_serial(lambda: 42, label="s") == 42
+        assert executor.clock.phases[-1].kind == "serial"
+
+    def test_thread_executor_results(self):
+        executor = ThreadExecutor(max_workers=3)
+        assert executor.map_parallel(lambda x: x + 1, list(range(10))) == list(
+            range(1, 11)
+        )
+        assert executor.run_serial(lambda: "ok") == "ok"
+
+    def test_thread_executor_validation(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(max_workers=0)
+
+
+class TestMachineSpec:
+    def test_paper_machine(self):
+        assert PAPER_MACHINE.cores == 32
+        assert PAPER_MACHINE.sockets == 4
+
+    def test_numa_region(self):
+        m = MachineSpec(sockets=2, cores_per_socket=4)
+        assert m.numa_region(0) == 0
+        assert m.numa_region(3) == 0
+        assert m.numa_region(4) == 1
+        with pytest.raises(ValueError):
+            m.numa_region(8)
+
+    def test_scan_penalty(self):
+        m = MachineSpec(sockets=2, cores_per_socket=4, remote_access_penalty=1.5)
+        assert m.scan_penalty(0, data_region=0, numa_aware=False) == 1.0
+        assert m.scan_penalty(0, data_region=1, numa_aware=False) == 1.5
+        # NUMA-aware placement never pays the penalty.
+        assert m.scan_penalty(0, data_region=1, numa_aware=True) == 1.0

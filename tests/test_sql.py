@@ -1,0 +1,275 @@
+"""The temporal SQL dialect: lexer, parser, planner, database facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ParTime, TemporalAggregationQuery, WindowSpec
+from repro.sql import Database, SqlError, parse, plan
+from repro.sql.ast import (
+    AsOfCond,
+    BetweenCond,
+    Comparison,
+    CurrentCond,
+    InList,
+    OverlapsCond,
+)
+from repro.sql.lexer import tokenize
+from repro.temporal import CurrentVersion, FOREVER, Interval, Overlaps, date_to_ts
+from tests.conftest import (
+    BT_1993,
+    BT_1995,
+    BT_1996,
+    build_employee_table,
+    employee_schema,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database(workers=3)
+    database.register("employee", build_employee_table())
+    return database
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("select FROM Group bY")]
+        assert kinds == ["SELECT", "FROM", "GROUP", "BY", "EOF"]
+
+    def test_numbers(self):
+        tokens = tokenize("42 -7 3.5")
+        assert [t.value for t in tokens[:-1]] == [42, -7, 3.5]
+
+    def test_string_literal(self):
+        (tok, _eof) = tokenize("'Anna'")
+        assert tok.kind == "STRING" and tok.value == "Anna"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            tokenize("'oops")
+
+    def test_date_literal_folds_to_days(self):
+        (tok, _eof) = tokenize("DATE '1994-06-01'")
+        assert tok.kind == "NUMBER"
+        assert tok.value == date_to_ts(1994, 6, 1)
+
+    def test_bad_date_literal(self):
+        with pytest.raises(SqlError):
+            tokenize("DATE 'yesterday'")
+        with pytest.raises(SqlError):
+            tokenize("DATE 42")
+
+    def test_inf_literal(self):
+        (tok, _eof) = tokenize("INF")
+        assert tok.value == FOREVER
+
+    def test_comments_skipped(self):
+        kinds = [t.kind for t in tokenize("SELECT -- the agg\n *")]
+        assert kinds == ["SELECT", "STAR", "EOF"]
+
+    def test_two_char_operators(self):
+        kinds = [t.kind for t in tokenize("<= >= <> !=")]
+        assert kinds == ["LE", "GE", "NE", "NE", "EOF"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT ;")
+
+
+class TestParser:
+    def test_minimal(self):
+        stmt = parse("SELECT COUNT(*) FROM t")
+        assert stmt.aggregate == "count" and stmt.argument is None
+        assert stmt.table == "t" and not stmt.is_temporal_aggregation
+
+    def test_full_statement(self):
+        stmt = parse(
+            "SELECT sum(salary) FROM employee "
+            "WHERE name = 'Anna' AND CURRENT(tt) AND bt OVERLAPS (0, 10) "
+            "AND salary IN (1, 2) AND bt AS OF 5 AND salary BETWEEN 0 AND 9 "
+            "GROUP BY TEMPORAL (bt, tt) WINDOW FROM 0 STRIDE 7 COUNT 3 "
+            "PIVOT tt DROP EMPTY"
+        )
+        assert stmt.aggregate == "sum" and stmt.argument == "salary"
+        assert stmt.temporal_dims == ("bt", "tt")
+        kinds = [type(c) for c in stmt.conditions]
+        assert kinds == [
+            Comparison, CurrentCond, OverlapsCond, InList, AsOfCond, BetweenCond,
+        ]
+        assert stmt.window.stride == 7 and stmt.pivot == "tt"
+        assert stmt.drop_empty
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(SqlError, match="unknown aggregate"):
+            parse("SELECT frobnicate(x) FROM t")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlError, match="end of statement"):
+            parse("SELECT COUNT(*) FROM t banana")
+
+    def test_missing_from(self):
+        with pytest.raises(SqlError):
+            parse("SELECT COUNT(*) t")
+
+    def test_error_has_position(self):
+        with pytest.raises(SqlError, match="line 1, column"):
+            parse("SELECT COUNT(*) FROM t WHERE x ??")
+
+    def test_window_requires_integers(self):
+        with pytest.raises(SqlError, match="integer"):
+            parse("SELECT COUNT(*) FROM t GROUP BY TEMPORAL (tt) "
+                  "WINDOW FROM 0.5 STRIDE 1 COUNT 2")
+
+
+class TestPlanner:
+    def test_temporal_aggregation_query(self):
+        stmt = parse(
+            "SELECT SUM(salary) FROM employee "
+            "WHERE bt OVERLAPS (100, 200) GROUP BY TEMPORAL (tt)"
+        )
+        kind, query = plan(stmt, employee_schema())
+        assert kind == "aggregate"
+        assert isinstance(query, TemporalAggregationQuery)
+        assert query.varied_dims == ("tt",)
+        assert query.predicate == Overlaps("bt", 100, 200)
+
+    def test_current_becomes_current_version(self):
+        stmt = parse(
+            "SELECT COUNT(*) FROM employee WHERE CURRENT(tt) "
+            "GROUP BY TEMPORAL (bt)"
+        )
+        _kind, query = plan(stmt, employee_schema())
+        assert query.predicate == CurrentVersion("tt")
+
+    def test_between_on_varied_dim_is_range(self):
+        stmt = parse(
+            "SELECT COUNT(*) FROM employee WHERE tt BETWEEN 3 AND 9 "
+            "GROUP BY TEMPORAL (tt)"
+        )
+        _kind, query = plan(stmt, employee_schema())
+        assert query.query_intervals == {"tt": Interval(3, 9)}
+        assert query.predicate is None
+
+    def test_between_on_fixed_dim_rejected(self):
+        stmt = parse(
+            "SELECT COUNT(*) FROM employee WHERE tt BETWEEN 3 AND 9 "
+            "GROUP BY TEMPORAL (bt)"
+        )
+        with pytest.raises(SqlError, match="OVERLAPS, AS OF or CURRENT"):
+            plan(stmt, employee_schema())
+
+    def test_varied_dim_cannot_be_fixed(self):
+        stmt = parse(
+            "SELECT COUNT(*) FROM employee WHERE tt AS OF 3 "
+            "GROUP BY TEMPORAL (tt)"
+        )
+        with pytest.raises(SqlError, match="varied"):
+            plan(stmt, employee_schema())
+
+    def test_window_clause(self):
+        stmt = parse(
+            "SELECT SUM(salary) FROM employee GROUP BY TEMPORAL (bt) "
+            "WINDOW FROM 0 STRIDE 7 COUNT 4"
+        )
+        _kind, query = plan(stmt, employee_schema())
+        assert query.window == WindowSpec(0, 7, 4)
+
+    def test_plain_select(self):
+        stmt = parse("SELECT COUNT(*) FROM employee WHERE name = 'Ben'")
+        kind, predicate = plan(stmt, employee_schema())
+        assert kind == "select"
+
+    def test_only_count_star_without_group(self):
+        stmt = parse("SELECT SUM(salary) FROM employee")
+        with pytest.raises(SqlError, match="GROUP BY TEMPORAL"):
+            plan(stmt, employee_schema())
+
+    def test_unknown_column_rejected(self):
+        stmt = parse("SELECT SUM(bogus) FROM employee GROUP BY TEMPORAL (tt)")
+        with pytest.raises(SqlError, match="unknown column"):
+            plan(stmt, employee_schema())
+
+    def test_unknown_dim_rejected(self):
+        stmt = parse("SELECT COUNT(*) FROM employee GROUP BY TEMPORAL (zz)")
+        with pytest.raises(SqlError, match="unknown time dimension"):
+            plan(stmt, employee_schema())
+
+
+class TestDatabase:
+    def test_example1_via_sql(self, db):
+        """Figure 2 through the SQL surface."""
+        result = db.query(
+            "SELECT SUM(salary) FROM employee "
+            f"WHERE bt OVERLAPS ({BT_1995}, {BT_1996}) "
+            "GROUP BY TEMPORAL (tt)"
+        )
+        assert result.pairs() == [
+            (Interval(0, 5), 15_000),
+            (Interval(5, 7), 20_000),
+            (Interval(7, 11), 25_000),
+            (Interval(11, 16), 28_000),
+            (Interval(16, FOREVER), 23_000),
+        ]
+
+    def test_example1_with_date_literals(self, db):
+        result = db.query(
+            "SELECT SUM(salary) FROM employee "
+            "WHERE bt OVERLAPS (DATE '1995-01-01', DATE '1996-01-01') "
+            "GROUP BY TEMPORAL (tt)"
+        )
+        assert result.pairs()[-1] == (Interval(16, FOREVER), 23_000)
+
+    def test_example3_via_sql(self, db):
+        result = db.query(
+            "SELECT SUM(salary) FROM employee WHERE CURRENT(tt) "
+            f"GROUP BY TEMPORAL (bt) WINDOW FROM {BT_1993} STRIDE 365 COUNT 3"
+        )
+        assert result.points() == [
+            (BT_1993, 15_000.0),
+            (BT_1993 + 365, 20_000.0),
+            (BT_1995, 23_000.0),
+        ]
+
+    def test_two_dimensional_via_sql(self, db):
+        result = db.query(
+            "SELECT SUM(salary) FROM employee GROUP BY TEMPORAL (bt, tt) "
+            "PIVOT tt"
+        )
+        assert result.value_at(BT_1995, 20) == 23_000
+
+    def test_count_select(self, db):
+        count = db.query("SELECT COUNT(*) FROM employee WHERE name = 'Ben'")
+        assert count == 4
+
+    def test_sql_equals_api(self, db):
+        """The SQL surface and the programmatic API agree."""
+        table = db.table("employee")
+        api = ParTime().execute(
+            table,
+            TemporalAggregationQuery(
+                varied_dims=("tt",), value_column="salary", aggregate="max"
+            ),
+            workers=3,
+        )
+        via_sql = db.query("SELECT MAX(salary) FROM employee GROUP BY TEMPORAL (tt)")
+        assert via_sql.pairs() == api.pairs()
+
+    def test_unknown_table(self, db):
+        with pytest.raises(SqlError, match="unknown table"):
+            db.query("SELECT COUNT(*) FROM nope")
+
+    def test_explain(self, db):
+        text = db.explain(
+            "SELECT SUM(salary) FROM employee GROUP BY TEMPORAL (bt, tt)"
+        )
+        assert "ParTime temporal aggregation" in text
+        assert "bt, tt" in text
+
+    def test_tune_workers(self, db):
+        best = db.tune_workers(
+            "SELECT SUM(salary) FROM employee GROUP BY TEMPORAL (tt)",
+            max_workers=8,
+            probe_workers=4,
+        )
+        assert 1 <= best <= 8

@@ -1,0 +1,107 @@
+"""TEMPORAL JOIN through the SQL surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ParTimeJoin
+from repro.sql import Database, SqlError, parse
+from repro.sql.ast import JoinStmt
+from repro.sql.planner import plan_join
+from repro.workloads import TPCBiHConfig, TPCBiHDataset
+
+
+@pytest.fixture(scope="module")
+def db():
+    dataset = TPCBiHDataset(TPCBiHConfig(scale_factor=0.12, seed=8))
+    database = Database(workers=3)
+    database.register("orders", dataset.orders)
+    database.register("lineitem", dataset.lineitem)
+    database.register("customer", dataset.customer)
+    database._dataset = dataset  # for cross-checking
+    return database
+
+
+JOIN_SQL = (
+    "SELECT {what} FROM orders TEMPORAL JOIN lineitem "
+    "ON orderkey = orderkey USING bt"
+)
+
+
+class TestParsing:
+    def test_join_statement_parses(self):
+        stmt = parse(JOIN_SQL.format(what="COUNT(*)"))
+        assert isinstance(stmt, JoinStmt)
+        assert stmt.left == "orders" and stmt.right == "lineitem"
+        assert stmt.left_key == stmt.right_key == "orderkey"
+        assert stmt.dim == "bt" and stmt.count_only
+
+    def test_star_returns_pairs(self):
+        stmt = parse(JOIN_SQL.format(what="*"))
+        assert isinstance(stmt, JoinStmt) and not stmt.count_only
+
+    def test_star_without_join_rejected(self):
+        with pytest.raises(SqlError, match="TEMPORAL JOIN"):
+            parse("SELECT * FROM orders")
+
+    def test_other_aggregates_rejected_on_join(self):
+        with pytest.raises(SqlError, match="TEMPORAL JOIN selects"):
+            parse(JOIN_SQL.format(what="SUM(totalprice)"))
+
+    def test_missing_using_rejected(self):
+        with pytest.raises(SqlError):
+            parse(
+                "SELECT COUNT(*) FROM a TEMPORAL JOIN b ON k = k"
+            )
+
+
+class TestPlanning:
+    def test_unknown_key_rejected(self, db):
+        stmt = parse(
+            "SELECT COUNT(*) FROM orders TEMPORAL JOIN lineitem "
+            "ON nope = orderkey USING bt"
+        )
+        with pytest.raises(SqlError, match="unknown join key"):
+            plan_join(stmt, db.table("orders").schema, db.table("lineitem").schema)
+
+    def test_unknown_dim_rejected(self, db):
+        stmt = parse(
+            "SELECT COUNT(*) FROM orders TEMPORAL JOIN lineitem "
+            "ON orderkey = orderkey USING zz"
+        )
+        with pytest.raises(SqlError, match="time dimension"):
+            plan_join(stmt, db.table("orders").schema, db.table("lineitem").schema)
+
+
+class TestExecution:
+    def test_count_matches_operator(self, db):
+        dataset = db._dataset
+        expected = len(
+            ParTimeJoin().execute(
+                dataset.orders, dataset.lineitem, "orderkey", "orderkey",
+                dim="bt", workers=3,
+            )
+        )
+        got = db.query(JOIN_SQL.format(what="COUNT(*)"))
+        assert got == expected > 0
+
+    def test_star_rows(self, db):
+        rows = db.query(JOIN_SQL.format(what="*"))
+        assert len(rows) > 0
+        sample = rows[0]
+        assert not sample.interval.is_empty
+
+    def test_explain(self, db):
+        text = db.explain(JOIN_SQL.format(what="COUNT(*)"))
+        assert "equi-join" in text and "orderkey = orderkey" in text
+
+    def test_tune_workers_on_join(self, db):
+        assert db.tune_workers(JOIN_SQL.format(what="COUNT(*)")) == db.workers
+
+    def test_cross_dimension_join(self, db):
+        """Joining over transaction time works just as well."""
+        count = db.query(
+            "SELECT COUNT(*) FROM orders TEMPORAL JOIN lineitem "
+            "ON orderkey = orderkey USING tt"
+        )
+        assert count > 0

@@ -1,0 +1,144 @@
+"""Step 1 generators: targeted unit tests (Figures 7, 9, 10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SUM, MIN
+from repro.core.step1 import (
+    generate_delta_map,
+    generate_multidim_delta_map,
+    generate_windowed_delta_map,
+)
+from repro.core.window import WindowSpec
+from repro.temporal import (
+    Column,
+    ColumnEquals,
+    ColumnType,
+    FOREVER,
+    Interval,
+    TableSchema,
+    TemporalTable,
+)
+
+
+@pytest.fixture
+def chunk():
+    schema = TableSchema(
+        "t", [Column("k", ColumnType.INT), Column("v", ColumnType.INT)],
+        business_dims=["bt"], key="k",
+    )
+    t = TemporalTable(schema)
+    t.insert({"k": 0, "v": 10}, {"bt": (0, 10)})
+    t.insert({"k": 1, "v": 20}, {"bt": (5, FOREVER)})
+    t.insert({"k": 2, "v": 30}, {"bt": (10, 20)})
+    return t.chunk()
+
+
+class TestGeneral:
+    def test_figure7_events(self, chunk):
+        dm = generate_delta_map(chunk, "v", "bt", SUM, mode="pure")
+        assert list(dm.items()) == [
+            (0, (10, 1)),
+            (5, (20, 1)),
+            (10, (20, 0)),   # -10 (k=0 expires) + 30 (k=2 starts)
+            (20, (-30, -1)),
+        ]
+
+    def test_vectorized_equals_pure(self, chunk):
+        pure = dict(generate_delta_map(chunk, "v", "bt", SUM, mode="pure").items())
+        vec = dict(generate_delta_map(chunk, "v", "bt", SUM, mode="vectorized").items())
+        assert {k: (float(v0), v1) for k, (v0, v1) in pure.items()} == vec
+
+    def test_count_without_value_column(self, chunk):
+        dm = generate_delta_map(chunk, None, "bt", SUM, mode="vectorized")
+        assert dict(dm.items())[0] == (1.0, 1)
+
+    def test_query_interval_clamps(self, chunk):
+        dm = generate_delta_map(
+            chunk, "v", "bt", SUM, query_interval=Interval(6, 12), mode="pure"
+        )
+        # k=0: [6,10); k=1: [6,12) (no end event: survives past 12);
+        # k=2: [10,12) (no end event).
+        assert list(dm.items()) == [
+            (6, (30, 2)),
+            (10, (20, 0)),
+        ]
+
+    def test_predicate_filters_before_deltas(self, chunk):
+        dm = generate_delta_map(
+            chunk, "v", "bt", SUM, predicate=ColumnEquals("k", 1), mode="pure"
+        )
+        assert list(dm.items()) == [(5, (20, 1))]
+
+    def test_unknown_mode_rejected(self, chunk):
+        with pytest.raises(ValueError):
+            generate_delta_map(chunk, "v", "bt", SUM, mode="nope")
+
+    def test_unknown_backend_rejected(self, chunk):
+        with pytest.raises(ValueError):
+            generate_delta_map(chunk, "v", "bt", SUM, mode="pure", backend="nope")
+
+    def test_non_incremental_falls_back_to_pure(self, chunk):
+        dm = generate_delta_map(chunk, "v", "bt", MIN, mode="vectorized")
+        # value-set deltas: (added, removed)
+        assert dict(dm.items())[0] == ((10,), ())
+
+
+class TestWindowed:
+    def test_figure9_array(self, chunk):
+        window = WindowSpec(0, 5, 5)  # points 0,5,10,15,20
+        dm = generate_windowed_delta_map(chunk, "v", "bt", window, SUM, mode="pure")
+        assert dict(dm.items()) == {
+            0: (10, 1),    # k=0 visible from point 0
+            1: (20, 1),    # k=1 from point 5
+            2: (20, 0),    # k=0 gone at 10, k=2 appears
+            4: (-30, -1),  # k=2 gone at 20
+        }
+
+    def test_vectorized_arrays(self, chunk):
+        window = WindowSpec(0, 5, 5)
+        vals, cnts = generate_windowed_delta_map(
+            chunk, "v", "bt", window, SUM, mode="vectorized"
+        )
+        # Index 5 is the overflow slot: events beyond the window land
+        # there and are discarded by the merge (k=1 never expires inside).
+        assert vals.tolist() == [10, 20, 20, 0, -30, -20]
+        assert cnts.tolist() == [1, 1, 0, 0, -1, -1]
+
+    def test_record_invisible_at_every_point_skipped(self):
+        schema = TableSchema("t", [Column("v", ColumnType.INT)], ["bt"])
+        t = TemporalTable(schema)
+        t.insert({"v": 5}, {"bt": (1, 4)})  # between points 0 and 5
+        window = WindowSpec(0, 5, 3)
+        dm = generate_windowed_delta_map(t.chunk(), "v", "bt", window, SUM, mode="pure")
+        assert list(dm.items()) == []
+
+
+class TestMultidim:
+    def test_figure10_keys(self, chunk):
+        dm = generate_multidim_delta_map(
+            chunk, "v", ("bt", "tt"), pivot="tt", aggregate=SUM
+        )
+        items = list(dm.items())
+        # Every record inserts one +event at its tt_start (none expire).
+        assert len(items) == 3
+        # Keys are (pivot_ts, bt_start, bt_end).
+        assert items[0][0] == (0, 0, 10)
+
+    def test_pivot_must_be_varied(self, chunk):
+        with pytest.raises(ValueError):
+            generate_multidim_delta_map(
+                chunk, "v", ("bt",), pivot="tt", aggregate=SUM
+            )
+
+    def test_query_intervals_clamp_each_dim(self, chunk):
+        dm = generate_multidim_delta_map(
+            chunk, "v", ("bt", "tt"), pivot="tt", aggregate=SUM,
+            query_intervals={"bt": Interval(0, 7)},
+        )
+        items = list(dm.items())
+        # k=2 (bt [10,20)) is clamped away entirely.
+        assert len(items) == 2
+        for key, _delta in items:
+            assert key[2] <= 7  # bt_end clamped

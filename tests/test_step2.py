@@ -1,0 +1,167 @@
+"""Step 2 merges: unit tests for edge cases the property tests don't pin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SUM
+from repro.core.deltamap import BTreeDeltaMap
+from repro.core.step2 import (
+    consolidate_pair,
+    finalize_arrays,
+    merge_delta_maps,
+    merge_multidim_maps,
+    parallel_merge_plan,
+)
+from repro.core.deltamap import MultiDimDeltaMap
+from repro.temporal.timestamps import FOREVER, Interval
+
+import numpy as np
+
+
+def _dm(entries):
+    dm = BTreeDeltaMap(SUM)
+    for ts, v in entries:
+        dm.put(ts, SUM.make_delta(v, +1))
+    return dm
+
+
+class TestMergeDeltaMaps:
+    def test_empty(self):
+        assert merge_delta_maps([_dm([])], SUM) == []
+
+    def test_single_open_interval(self):
+        rows = merge_delta_maps([_dm([(5, 10)])], SUM)
+        assert rows == [(Interval(5, FOREVER), 10)]
+
+    def test_until_bounds_last_interval(self):
+        rows = merge_delta_maps([_dm([(5, 10)])], SUM, until=9)
+        assert rows == [(Interval(5, 9), 10)]
+
+    def test_two_maps_interleave(self):
+        rows = merge_delta_maps([_dm([(0, 1), (10, -1)]), _dm([(5, 2)])], SUM)
+        assert rows == [
+            (Interval(0, 5), 1),
+            (Interval(5, 10), 3),
+            (Interval(10, FOREVER), 2),
+        ]
+
+    def test_coalesce_merges_equal_neighbours(self):
+        # +5 at 0, then +3 -3 at 4 (net zero) -> one coalesced interval.
+        dm = _dm([(0, 5), (4, 3), (4, -3)])
+        rows = merge_delta_maps([dm], SUM, coalesce=True)
+        assert rows == [(Interval(0, FOREVER), 5)]
+        rows = merge_delta_maps([dm], SUM, coalesce=False)
+        assert rows == [(Interval(0, 4), 5), (Interval(4, FOREVER), 5)]
+
+    def test_drop_empty(self):
+        dm = BTreeDeltaMap(SUM)
+        dm.add_record(0, 5, 10, FOREVER)
+        dm.add_record(8, 12, 7, FOREVER)
+        rows = merge_delta_maps([dm], SUM, drop_empty=True)
+        assert rows == [(Interval(0, 5), 10), (Interval(8, 12), 7)]
+        rows_keep = merge_delta_maps([dm], SUM, drop_empty=False)
+        assert (Interval(5, 8), 0) in rows_keep
+
+
+class TestFinalizeArrays:
+    def test_sum(self):
+        assert finalize_arrays(SUM, np.array([1.5, 2.0]), np.array([1, 2])) == [1.5, 2.0]
+
+    def test_avg_none_on_zero_count(self):
+        from repro.core import AVG
+
+        out = finalize_arrays(AVG, np.array([4.0, 0.0]), np.array([2, 0]))
+        assert out == [2.0, None]
+
+
+class TestConsolidatePair:
+    def test_combines_equal_keys(self):
+        merged = consolidate_pair(_dm([(1, 5), (3, 2)]), _dm([(3, 4)]), SUM)
+        assert list(merged.items()) == [(1, (5, 1)), (3, (6, 2))]
+        with pytest.raises(TypeError):
+            merged.put(9, (1, 1))
+
+    def test_merge_after_consolidation_equivalent(self):
+        a, b, c = _dm([(0, 1), (9, 2)]), _dm([(4, 3)]), _dm([(9, -2)])
+        direct = merge_delta_maps([a, b, c], SUM)
+        ab = consolidate_pair(a, b, SUM)
+        abc = consolidate_pair(ab, c, SUM)
+        assert merge_delta_maps([abc], SUM) == direct
+
+
+class TestParallelMergePlan:
+    def test_plan_shape(self):
+        plan = parallel_merge_plan([None] * 5)
+        assert plan == [[(0, 1), (2, 3)], [(0, 1)], [(0, 1)]]
+
+    def test_single_map_no_levels(self):
+        assert parallel_merge_plan([None]) == []
+
+    def test_levels_logarithmic(self):
+        plan = parallel_merge_plan([None] * 64)
+        assert len(plan) == 6
+
+
+class TestMultidimMerge:
+    def _map(self, entries):
+        dm = MultiDimDeltaMap(SUM)
+        for pivot_ts, nonpivot, v in entries:
+            dm.put_event(pivot_ts, nonpivot, SUM.make_delta(v, +1))
+        return dm
+
+    def test_single_record_two_dims(self):
+        # One record valid bt [0, 10), tt [2, inf): one pivot event at 2.
+        dm = self._map([(2, (0, 10), 5)])
+        rows = merge_multidim_maps([dm], SUM, num_dims=2)
+        assert rows == [((Interval(0, 10), Interval(2, FOREVER)), 5)]
+
+    def test_nonpivot_untils_validation(self):
+        dm = self._map([(0, (0, 5), 1)])
+        with pytest.raises(ValueError):
+            merge_multidim_maps([dm], SUM, num_dims=2, nonpivot_untils=[1, 2])
+
+    def test_cartesian_explosion(self):
+        # Two overlapping records in both dims -> 3 bt cells per pivot span.
+        dm = self._map([
+            (0, (0, 10), 1),
+            (5, (5, 15), 2),
+        ])
+        rows = merge_multidim_maps([dm], SUM, num_dims=2)
+        by_cell = {
+            (ivs[0].start, ivs[0].end, ivs[1].start, ivs[1].end): v
+            for ivs, v in rows
+        }
+        assert by_cell[(0, 10, 0, 5)] == 1
+        assert by_cell[(0, 5, 5, FOREVER)] == 1
+        assert by_cell[(5, 10, 5, FOREVER)] == 3
+        assert by_cell[(10, 15, 5, FOREVER)] == 2
+
+    def test_negative_pivot_event_removes(self):
+        dm = MultiDimDeltaMap(SUM)
+        dm.put_event(0, (0, 10), SUM.make_delta(5, +1))
+        dm.put_event(4, (0, 10), SUM.make_delta(5, -1))
+        rows = merge_multidim_maps([dm], SUM, num_dims=2)
+        assert rows == [((Interval(0, 10), Interval(0, 4)), 5)]
+
+    def test_three_dims(self):
+        dm = MultiDimDeltaMap(SUM)
+        # record: d1 [0,4), d2 [1,3), pivot [2, inf)
+        dm.put_event(2, (0, 4, 1, 3), SUM.make_delta(7, +1))
+        rows = merge_multidim_maps([dm], SUM, num_dims=3)
+        assert rows == [
+            ((Interval(0, 4), Interval(1, 3), Interval(2, FOREVER)), 7)
+        ]
+
+    def test_coalesce_option(self):
+        # Two identical-nonpivot entries at consecutive pivot ts, same value.
+        dm = MultiDimDeltaMap(SUM)
+        dm.put_event(0, (0, 10), SUM.make_delta(5, +1))
+        # A record whose start and end events consolidate to the null
+        # delta — the seam must coalesce away.
+        dm.put_event(3, (20, 30), SUM.make_delta(1, +1))
+        dm.put_event(3, (20, 30), SUM.make_delta(1, -1))
+        uncoalesced = merge_multidim_maps([dm], SUM, num_dims=2, coalesce=False)
+        coalesced = merge_multidim_maps([dm], SUM, num_dims=2, coalesce=True)
+        assert len(coalesced) < len(uncoalesced)
+        assert coalesced == [((Interval(0, 10), Interval(0, FOREVER)), 5)]

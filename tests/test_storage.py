@@ -1,0 +1,222 @@
+"""The Crescando substrate: partitioning, shared scans, cluster batches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ParTime, TemporalAggregationQuery, WindowSpec
+from repro.storage import (
+    Cluster,
+    CrescandoEngine,
+    DeleteOp,
+    HashPartitioner,
+    InsertOp,
+    RangePartitioner,
+    RoundRobinPartitioner,
+    SelectQuery,
+    TemporalAggQuery,
+    UpdateOp,
+)
+from repro.storage.partitioning import split_table
+from repro.temporal import ColumnEquals, CurrentVersion, Overlaps
+from tests.conftest import BT_1993, BT_1995, BT_1996, build_employee_table
+
+
+@pytest.fixture
+def table():
+    return build_employee_table()
+
+
+# ----------------------------------------------------------- partitioning
+
+
+def test_round_robin_balance(table):
+    parts = split_table(table, RoundRobinPartitioner(), 4)
+    sizes = [len(p) for p in parts]
+    assert sum(sizes) == len(table)
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_hash_partitioner_colocates_entities(table):
+    parts = split_table(table, HashPartitioner("name"), 3)
+    for part in parts:
+        names = set(part.column("name"))
+        # every version of an entity lands on the same node
+        for other in parts:
+            if other is part:
+                continue
+            assert names.isdisjoint(set(other.column("name")))
+
+
+def test_range_partitioner_skews_time(table):
+    parts = split_table(table, RangePartitioner("tt_start"), 2)
+    assert sum(len(p) for p in parts) == len(table)
+    lows = parts[0].column("tt_start")
+    highs = parts[1].column("tt_start")
+    if len(lows) and len(highs):
+        assert lows.max() <= highs.min()
+
+
+def test_partitions_preserve_version_counter(table):
+    parts = split_table(table, RoundRobinPartitioner(), 3)
+    for p in parts:
+        assert p.current_version == table.current_version
+
+
+# ----------------------------------------------------------------- scans
+
+
+@pytest.mark.parametrize("num_storage", [1, 2, 5])
+def test_cluster_select_counts(table, num_storage):
+    cluster = Cluster.from_table(table, num_storage)
+    op = SelectQuery(ColumnEquals("name", "Ben"))
+    result = cluster.execute_batch([op])
+    assert result.results[op.op_id] == 4  # Ben has 4 versions in Figure 1
+
+
+@pytest.mark.parametrize("num_storage", [1, 2, 3, 9])
+def test_cluster_temporal_aggregation_matches_partime(table, num_storage):
+    cluster = Cluster.from_table(table, num_storage)
+    query = TemporalAggregationQuery(
+        varied_dims=("tt",), value_column="salary", aggregate="sum",
+        predicate=Overlaps("bt", BT_1995, BT_1996),
+    )
+    op = TemporalAggQuery(query)
+    result, seconds = cluster.execute_query(op)
+    expected = ParTime().execute(table, query, workers=num_storage)
+    assert result.pairs() == expected.pairs()
+    assert seconds > 0
+
+
+def test_cluster_windowed_and_multidim(table):
+    cluster = Cluster.from_table(table, 3, num_aggregators=2)
+    windowed = TemporalAggQuery(
+        TemporalAggregationQuery(
+            varied_dims=("bt",), value_column="salary",
+            predicate=CurrentVersion("tt"),
+            window=WindowSpec(BT_1993, 365, 3),
+        )
+    )
+    multidim = TemporalAggQuery(
+        TemporalAggregationQuery(
+            varied_dims=("bt", "tt"), value_column="salary"
+        )
+    )
+    batch = cluster.execute_batch([windowed, multidim])
+    wres = batch.results[windowed.op_id]
+    assert wres.points()[-1] == (BT_1995, 23_000.0)
+    mres = batch.results[multidim.op_id]
+    reference = ParTime().execute(
+        table,
+        TemporalAggregationQuery(varied_dims=("bt", "tt"), value_column="salary"),
+        workers=3,
+    )
+    grid_bt = sorted({iv.start for row in reference for iv in (row.intervals[0],)})
+    for bt in grid_bt:
+        for tt in (0, 6, 8, 12, 20):
+            assert mres.value_at(bt, tt) == reference.value_at(bt, tt)
+
+
+def test_multidim_pivot_fixed_cluster_wide(table):
+    cluster = Cluster.from_table(table, 2)
+    op = TemporalAggQuery(
+        TemporalAggregationQuery(varied_dims=("bt", "tt"), value_column="salary")
+    )
+    fixed = cluster._fix_pivot(op)  # noqa: SLF001
+    assert fixed.query.pivot in ("bt", "tt")
+
+
+# ---------------------------------------------------------------- writes
+
+
+def test_cluster_broadcast_update(table):
+    cluster = Cluster.from_table(table, 3)
+    version_before = max(n.table.current_version for n in cluster.nodes)
+    op = UpdateOp("Anna", {"salary": 20_000}, {"bt": BT_1995})
+    batch = cluster.execute_batch([op])
+    assert batch.results[op.op_id]  # some rows were created somewhere
+    for node in cluster.nodes:
+        assert node.table.current_version == version_before + 1
+
+    # The update is visible to subsequent queries.
+    query = TemporalAggregationQuery(
+        varied_dims=("tt",), value_column="salary",
+        predicate=Overlaps("bt", BT_1995, BT_1996),
+    )
+    result, _ = cluster.execute_query(TemporalAggQuery(query))
+    assert result.pairs()[-1][1] == 28_000  # 23k - 15k(Anna) + 20k(Anna)
+
+
+def test_cluster_insert_routes_round_robin(table):
+    cluster = Cluster.from_table(table, 3)
+    sizes_before = [len(n) for n in cluster.nodes]
+    ops = [
+        InsertOp(
+            {"name": f"N{i}", "descr": "Coder", "salary": 1_000},
+            {"bt": BT_1995},
+        )
+        for i in range(6)
+    ]
+    cluster.execute_batch(ops)
+    sizes_after = [len(n) for n in cluster.nodes]
+    assert [a - b for a, b in zip(sizes_after, sizes_before)] == [2, 2, 2]
+
+
+def test_cluster_delete(table):
+    cluster = Cluster.from_table(table, 2)
+    op = DeleteOp("Ben", {"bt": BT_1993})
+    cluster.execute_batch([op])
+    sel = SelectQuery(ColumnEquals("name", "Ben") & CurrentVersion("tt"))
+    batch = cluster.execute_batch([sel])
+    assert batch.results[sel.op_id] == 0
+
+
+def test_mixed_batch_write_then_read_consistency(table):
+    """Reads in a batch observe the batch's earlier writes (the shared
+    scan processes updates and queries in the same cycle)."""
+    cluster = Cluster.from_table(table, 2)
+    upd = UpdateOp("Ben", {"salary": 9_000}, {"bt": BT_1995})
+    query = TemporalAggregationQuery(
+        varied_dims=("tt",), value_column="salary",
+        predicate=Overlaps("bt", BT_1995, BT_1996),
+    )
+    agg = TemporalAggQuery(query)
+    batch = cluster.execute_batch([upd, agg])
+    assert batch.results[agg.op_id].pairs()[-1][1] == 24_000  # 23k - 8k + 9k
+
+
+# ----------------------------------------------------------- cost shapes
+
+
+def test_sharing_cheaper_than_no_sharing(table):
+    """The defining property of the shared scan: a batch of queries costs
+    less than the sum of individual scans (base pass amortised)."""
+    ops = [SelectQuery(ColumnEquals("name", "Anna")) for _ in range(20)]
+    shared = Cluster.from_table(table, 2, sharing=True)
+    unshared = Cluster.from_table(table, 2, sharing=False)
+    b1 = shared.execute_batch(list(ops))
+    b2 = unshared.execute_batch(list(ops))
+    assert b1.scan_seconds < b2.scan_seconds
+
+
+def test_engine_facade(table):
+    engine = CrescandoEngine.response_time_config(3)
+    load_s = engine.bulkload(table)
+    assert load_s >= 0
+    assert engine.cluster.num_storage == 2
+    query = TemporalAggregationQuery(
+        varied_dims=("tt",), value_column="salary",
+        predicate=Overlaps("bt", BT_1995, BT_1996),
+    )
+    result, seconds = engine.temporal_aggregation(query)
+    assert result.pairs()[-1][1] == 23_000
+    count, _ = engine.select(ColumnEquals("name", "Chris"))
+    assert count == 2
+    assert engine.memory_bytes() > 0
+
+
+def test_engine_with_cores_split():
+    engine = CrescandoEngine.with_cores(18)
+    assert engine.num_storage == 9 and engine.num_aggregators == 9
+    with pytest.raises(ValueError):
+        CrescandoEngine.with_cores(1)

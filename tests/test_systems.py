@@ -1,0 +1,123 @@
+"""The oracle and the commercial stand-ins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ParTime, TemporalAggregationQuery
+from repro.simtime.cost import CostModel
+from repro.systems import (
+    QueryTimeout,
+    SystemD,
+    SystemM,
+    reference_temporal_aggregation,
+)
+from repro.temporal import ColumnEquals, FOREVER, Interval, Overlaps
+from tests.conftest import BT_1995, BT_1996, build_employee_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_employee_table()
+
+
+class TestOracle:
+    def test_raw_triples(self):
+        rows = reference_temporal_aggregation(
+            [(0, 10, 5), (5, FOREVER, 3)], "sum"
+        )
+        assert rows == [
+            (Interval(0, 5), 5),
+            (Interval(5, 10), 8),
+            (Interval(10, FOREVER), 3),
+        ]
+
+    def test_empty(self):
+        assert reference_temporal_aggregation([], "sum") == []
+
+    def test_drop_empty_gap(self):
+        rows = reference_temporal_aggregation(
+            [(0, 2, 1), (5, 7, 1)], "count", drop_empty=True
+        )
+        assert rows == [(Interval(0, 2), 1), (Interval(5, 7), 1)]
+
+    def test_query_interval(self):
+        rows = reference_temporal_aggregation(
+            [(0, 100, 5)], "sum", query_interval=Interval(10, 20)
+        )
+        assert rows == [(Interval(10, 20), 5)]
+
+    def test_table_source_with_predicate(self, table):
+        rows = reference_temporal_aggregation(
+            table,
+            "sum",
+            dim="tt",
+            value_column="salary",
+            predicate=ColumnEquals("name", "Anna"),
+        )
+        # Anna alone: 10k at t0, 25k from t7 (both versions coexist).
+        assert rows[0] == (Interval(0, 7), 10_000)
+        assert rows[-1] == (Interval(7, FOREVER), 25_000)
+
+
+class TestCommercialEngines:
+    def test_exact_results(self, table):
+        query = TemporalAggregationQuery(
+            varied_dims=("tt",), value_column="salary", aggregate="sum",
+            predicate=Overlaps("bt", BT_1995, BT_1996),
+        )
+        expected = ParTime().execute(table, query, workers=1).pairs()
+        for engine in (SystemD(), SystemM()):
+            engine.bulkload(table)
+            result, seconds = engine.temporal_aggregation(query)
+            assert result.pairs() == expected
+            assert seconds > 0
+
+    def test_requires_load(self, table):
+        engine = SystemD()
+        with pytest.raises(RuntimeError):
+            engine.memory_bytes()
+
+    def test_d_slower_than_m_on_temporal(self, table):
+        query = TemporalAggregationQuery(
+            varied_dims=("tt",), value_column="salary", aggregate="sum"
+        )
+        d, m = SystemD(), SystemM()
+        d.bulkload(table)
+        m.bulkload(table)
+        d_best = min(d.temporal_aggregation(query)[1] for _ in range(3))
+        m_best = min(m.temporal_aggregation(query)[1] for _ in range(3))
+        assert d_best > 5 * m_best
+
+    def test_indexed_select_faster(self, table):
+        engine = SystemM()
+        engine.bulkload(table)
+        pred = ColumnEquals("name", "Ben")
+        count_i, fast = engine.select(pred, indexed=True)
+        count_s, slow = engine.select(pred, indexed=False)
+        assert count_i == count_s == 4
+        assert fast <= slow
+
+    def test_timeout_raised(self, table):
+        costs = CostModel(timeout_s=1e-12)
+        engine = SystemD(costs)
+        engine.bulkload(table)
+        query = TemporalAggregationQuery(
+            varied_dims=("tt",), value_column="salary"
+        )
+        with pytest.raises(QueryTimeout):
+            engine.temporal_aggregation(query)
+
+    def test_memory_factors(self, table):
+        raw = table.memory_bytes()
+        d, m = SystemD(), SystemM()
+        d.bulkload(table)
+        m.bulkload(table)
+        assert d.memory_bytes() > raw
+        assert m.memory_bytes() < raw
+
+    def test_bulkload_ordering(self, table):
+        d, m = SystemD(), SystemM()
+        d_load = min(d.bulkload(table) for _ in range(3))
+        m_load = min(m.bulkload(table) for _ in range(3))
+        assert m_load > d_load  # Table 4: M's temporal load is the worst

@@ -1,0 +1,275 @@
+"""Unit tests for the bi-temporal table and its building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.temporal import (
+    Column,
+    ColumnType,
+    FOREVER,
+    Interval,
+    TableSchema,
+    TemporalTable,
+)
+from repro.temporal.table import _GrowArray, _rectangle_difference
+
+
+def simple_schema(business_dims=("bt",)) -> TableSchema:
+    return TableSchema(
+        name="t",
+        columns=[Column("k", ColumnType.INT), Column("v", ColumnType.INT)],
+        business_dims=list(business_dims),
+        key="k",
+    )
+
+
+class TestGrowArray:
+    def test_append_and_view(self):
+        arr = _GrowArray(np.int64, capacity=2)
+        for i in range(10):
+            arr.append(i)
+        assert list(arr.view()) == list(range(10))
+        assert len(arr) == 10
+
+    def test_extend(self):
+        arr = _GrowArray(np.float64, capacity=2)
+        arr.extend([1.5, 2.5])
+        arr.extend(np.arange(100, dtype=np.float64))
+        assert len(arr) == 102
+        assert arr[0] == 1.5
+
+    def test_setitem(self):
+        arr = _GrowArray(np.int64)
+        arr.append(1)
+        arr[0] = 7
+        assert arr[0] == 7
+
+    def test_object_dtype(self):
+        arr = _GrowArray(object)
+        arr.append("hello")
+        arr.extend(["a", "b"])
+        assert list(arr.view()) == ["hello", "a", "b"]
+
+
+class TestRectangleDifference:
+    def test_one_dim_before_and_after(self):
+        frags = _rectangle_difference(
+            [Interval(0, 10)], [Interval(3, 6)]
+        )
+        assert frags == [(Interval(0, 3),), (Interval(6, 10),)]
+
+    def test_one_dim_covered(self):
+        assert _rectangle_difference([Interval(3, 6)], [Interval(0, 10)]) == []
+
+    def test_one_dim_disjoint_returns_old(self):
+        frags = _rectangle_difference([Interval(0, 3)], [Interval(5, 9)])
+        assert frags == [(Interval(0, 3),)]
+
+    def test_two_dims(self):
+        old = [Interval(0, 10), Interval(0, 10)]
+        new = [Interval(2, 8), Interval(3, 7)]
+        frags = _rectangle_difference(old, new)
+        # 2 fragments on axis 0 + 2 on axis 1 (clamped on axis 0).
+        assert len(frags) == 4
+        # Fragments must be disjoint and cover exactly old minus new.
+        covered = 0
+        for fx, fy in frags:
+            covered += fx.duration() * fy.duration()
+        assert covered == 10 * 10 - 6 * 4
+
+    def test_fragments_disjoint_pointwise(self):
+        old = [Interval(0, 9), Interval(0, 9)]
+        new = [Interval(2, 5), Interval(4, 8)]
+        frags = _rectangle_difference(old, new)
+        for x in range(9):
+            for y in range(9):
+                in_old = True
+                in_new = new[0].contains(x) and new[1].contains(y)
+                n_frags = sum(
+                    1 for fx, fy in frags if fx.contains(x) and fy.contains(y)
+                )
+                if in_old and not in_new:
+                    assert n_frags == 1, (x, y)
+                else:
+                    assert n_frags == 0, (x, y)
+
+
+class TestTransactions:
+    def test_autocommit_bumps_version(self):
+        t = TemporalTable(simple_schema())
+        assert t.current_version == 0
+        t.insert({"k": 1, "v": 10})
+        assert t.current_version == 1
+
+    def test_explicit_transaction_groups(self):
+        t = TemporalTable(simple_schema())
+        t.begin()
+        t.insert({"k": 1, "v": 10})
+        t.insert({"k": 2, "v": 20})
+        assert t.current_version == 0  # not yet committed
+        assert t.commit() == 0
+        assert t.column("tt_start").tolist() == [0, 0]
+
+    def test_nested_begin_rejected(self):
+        t = TemporalTable(simple_schema())
+        t.begin()
+        with pytest.raises(RuntimeError):
+            t.begin()
+
+    def test_sync_version_forward_only(self):
+        t = TemporalTable(simple_schema())
+        t.sync_version(5)
+        assert t.current_version == 5
+        with pytest.raises(ValueError):
+            t.sync_version(3)
+
+    def test_last_committed_version(self):
+        t = TemporalTable(simple_schema())
+        assert t.last_committed_version == -1
+        t.insert({"k": 1, "v": 1})
+        assert t.last_committed_version == 0
+
+
+class TestInsert:
+    def test_insert_missing_column_rejected(self):
+        t = TemporalTable(simple_schema())
+        with pytest.raises(KeyError):
+            t.insert({"k": 1})
+
+    def test_insert_unknown_business_dim_rejected(self):
+        t = TemporalTable(simple_schema())
+        with pytest.raises(KeyError):
+            t.insert({"k": 1, "v": 1}, {"nope": 3})
+
+    def test_default_business_interval_is_all_time(self):
+        t = TemporalTable(simple_schema())
+        t.insert({"k": 1, "v": 1})
+        assert t.record(0)["bt_start"] == 0
+        assert t.record(0)["bt_end"] == FOREVER
+
+    def test_bare_int_business_means_open_ended(self):
+        t = TemporalTable(simple_schema())
+        t.insert({"k": 1, "v": 1}, {"bt": 42})
+        assert (t.record(0)["bt_start"], t.record(0)["bt_end"]) == (42, FOREVER)
+
+    def test_tuple_business(self):
+        t = TemporalTable(simple_schema())
+        t.insert({"k": 1, "v": 1}, {"bt": (5, 9)})
+        assert (t.record(0)["bt_start"], t.record(0)["bt_end"]) == (5, 9)
+
+
+class TestUpdateDelete:
+    def test_update_missing_raises(self):
+        t = TemporalTable(simple_schema())
+        with pytest.raises(KeyError):
+            t.update(99, {"v": 5})
+
+    def test_update_missing_ok(self):
+        t = TemporalTable(simple_schema())
+        assert t.update(99, {"v": 5}, missing_ok=True) == []
+
+    def test_update_unknown_column_rejected(self):
+        t = TemporalTable(simple_schema())
+        t.insert({"k": 1, "v": 1})
+        with pytest.raises(KeyError):
+            t.update(1, {"nope": 5})
+
+    def test_full_overlap_no_fragments(self):
+        t = TemporalTable(simple_schema())
+        t.insert({"k": 1, "v": 1}, {"bt": (0, 10)})
+        created = t.update(1, {"v": 2}, {"bt": (0, 10)})
+        assert len(created) == 1  # only the new version
+        assert len(t) == 2
+        assert t.record(0)["tt_end"] == 1  # old version closed
+
+    def test_partial_overlap_creates_fragments(self):
+        t = TemporalTable(simple_schema())
+        t.insert({"k": 1, "v": 1}, {"bt": (0, 10)})
+        created = t.update(1, {"v": 2}, {"bt": (4, 6)})
+        # before-fragment + after-fragment + new version
+        assert len(created) == 3
+        spans = sorted(
+            (int(t.record(r)["bt_start"]), int(t.record(r)["bt_end"]))
+            for r in created
+        )
+        assert spans == [(0, 4), (4, 6), (6, 10)]
+
+    def test_update_extends_validity(self):
+        """Updating a range beyond the current validity still works: the
+        old version's values template the new one."""
+        t = TemporalTable(simple_schema())
+        t.insert({"k": 1, "v": 1}, {"bt": (0, 5)})
+        created = t.update(1, {"v": 2}, {"bt": (10, 20)})
+        assert len(created) == 1
+        row = t.record(created[0])
+        assert (row["bt_start"], row["bt_end"], row["v"]) == (10, 20, 2)
+
+    def test_delete_closes_and_fragments(self):
+        t = TemporalTable(simple_schema())
+        t.insert({"k": 1, "v": 1}, {"bt": (0, 10)})
+        created = t.delete(1, {"bt": (6, 10)})
+        assert len(created) == 1
+        row = t.record(created[0])
+        assert (row["bt_start"], row["bt_end"]) == (0, 6)
+
+    def test_delete_missing_raises(self):
+        t = TemporalTable(simple_schema())
+        with pytest.raises(KeyError):
+            t.delete(1)
+
+    def test_two_business_dims_update(self):
+        t = TemporalTable(simple_schema(business_dims=("bt", "dep")))
+        t.insert({"k": 1, "v": 1}, {"bt": (0, 10), "dep": (0, 10)})
+        created = t.update(1, {"v": 9}, {"bt": (2, 8), "dep": (3, 7)})
+        # 2 bt fragments + 2 dep fragments + new version
+        assert len(created) == 5
+        assert len(t) == 6
+
+
+class TestChunks:
+    def test_chunks_cover_table(self):
+        t = TemporalTable(simple_schema())
+        for i in range(17):
+            t.insert({"k": i, "v": i})
+        chunks = t.chunks(4)
+        assert sum(len(c) for c in chunks) == 17
+        assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1
+
+    def test_chunk_row_offsets(self):
+        t = TemporalTable(simple_schema())
+        for i in range(10):
+            t.insert({"k": i, "v": i})
+        chunks = t.chunks(3)
+        offsets = [c.row_offset for c in chunks]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0
+
+    def test_zero_chunks_rejected(self):
+        t = TemporalTable(simple_schema())
+        with pytest.raises(ValueError):
+            t.chunks(0)
+
+    def test_chunk_select(self):
+        t = TemporalTable(simple_schema())
+        for i in range(6):
+            t.insert({"k": i, "v": i * 10})
+        chunk = t.chunk()
+        sub = chunk.select(chunk.column("v") >= 30)
+        assert len(sub) == 3
+
+    def test_record_iteration(self):
+        t = TemporalTable(simple_schema())
+        t.insert({"k": 1, "v": 2})
+        records = list(t.records())
+        assert len(records) == 1
+        assert records[0]["v"] == 2
+
+    def test_memory_bytes_grows(self):
+        t = TemporalTable(simple_schema())
+        t.insert({"k": 1, "v": 1})
+        small = t.memory_bytes()
+        for i in range(100):
+            t.insert({"k": i, "v": i})
+        assert t.memory_bytes() > small

@@ -1,0 +1,164 @@
+"""Timeline Index: agreement with ParTime and the reference oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ParTime, TemporalAggregationQuery, WindowSpec
+from repro.systems import reference_temporal_aggregation
+from repro.temporal import FOREVER, CurrentVersion, Interval, Overlaps
+from repro.timeline import BitemporalTimelineIndex, TimelineEngine, TimelineIndex
+from tests.conftest import (
+    BT_1993,
+    BT_1993_08,
+    BT_1995,
+    BT_1996,
+    build_employee_table,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_employee_table()
+
+
+def test_event_map_is_sorted(table):
+    index = TimelineIndex(table, "tt", ("salary",))
+    ts = index.events.timestamps
+    assert (ts[1:] >= ts[:-1]).all()
+    # 9 rows, 4 of them closed in transaction time -> 13 events.
+    assert len(index.events) == 13
+
+
+def test_full_aggregation_matches_partime(table):
+    index = TimelineIndex(table, "tt", ("salary",))
+    query = TemporalAggregationQuery(
+        varied_dims=("tt",), value_column="salary", aggregate="sum",
+        predicate=Overlaps("bt", BT_1995, BT_1996),
+    )
+    expected = ParTime().execute(table, query, workers=3).pairs()
+    mask = query.predicate.mask(table.chunk())
+    got = index.temporal_aggregation("salary", "sum", predicate_mask=mask)
+    assert got == expected
+
+
+def test_range_restricted_aggregation_uses_initial_state(table):
+    """A query interval starting mid-history must fold earlier events into
+    the initial accumulator (what checkpoints enable)."""
+    index = TimelineIndex(table, "tt", ("salary",))
+    got = index.temporal_aggregation(
+        "salary", "sum", query_interval=Interval(6, 12)
+    )
+    reference = reference_temporal_aggregation(
+        table, "sum", dim="tt", value_column="salary",
+        query_interval=Interval(6, 12),
+    )
+    assert got == reference
+    assert got[0][0].start == 6  # the fold-in segment starts at the range
+
+
+def test_aggregate_at_checkpoint_replay(table):
+    index = TimelineIndex(table, "tt", ("salary",), checkpoint_every=4)
+    # Versions t0..: payroll over all business time.
+    assert index.aggregate_at(0, "salary") == 15_000
+    assert index.aggregate_at(6, "salary") == 20_000
+    # At t12 the current versions are Anna 10k + Anna 15k + Ben 5k +
+    # Ben(Manager) 8k + Chris 5k = 43k (over all business time, fragments
+    # created by updates coexist with their successors).
+    assert index.aggregate_at(12, "salary") == 43_000
+    assert index.aggregate_at(20, "salary") == 43_000
+
+
+def test_active_bitmap_at(table):
+    index = TimelineIndex(table, "tt", (), checkpoint_every=4)
+    # Physical row ids follow insertion order: 0=Anna, 1=Ben, 2=Chris,
+    # 3..6 = the t7 update rows, 7 = Ben 8k (t11), 8 = Chris fragment (t16).
+    bitmap = index.active_bitmap_at(6)
+    assert set(np.nonzero(bitmap)[0]) == {0, 1, 2}
+    bitmap = index.active_bitmap_at(20)
+    assert set(np.nonzero(bitmap)[0]) == {3, 4, 5, 7, 8}
+
+
+def test_windowed_aggregation(table):
+    index = TimelineIndex(table, "bt", ("salary",))
+    window = WindowSpec(BT_1993, 365, 3)
+    mask = CurrentVersion("tt").mask(table.chunk())
+    got = index.windowed_aggregation(window, "salary", "sum", predicate_mask=mask)
+    assert got == [
+        (BT_1993, 15_000.0),
+        (BT_1993 + 365, 20_000.0),
+        (BT_1995, 23_000.0),
+    ]
+
+
+def test_min_max_aggregation(table):
+    index = TimelineIndex(table, "tt", ("salary",))
+    got = index.temporal_aggregation("salary", "max")
+    reference = reference_temporal_aggregation(
+        table, "max", dim="tt", value_column="salary"
+    )
+    assert got == reference
+
+
+def test_bitemporal_index(table):
+    bi = BitemporalTimelineIndex(table, "bt", "tt", ("salary",))
+    # As of version 6: Anna 10k [93,inf), Ben 5k [93,inf), Chris 5k [93-08,inf).
+    rows = bi.business_aggregation(6, "salary")
+    reference = reference_temporal_aggregation(
+        [(BT_1993, FOREVER, 10_000), (BT_1993, FOREVER, 5_000),
+         (BT_1993_08, FOREVER, 5_000)],
+        "sum",
+    )
+    assert rows == reference
+    assert bi.value_at(6, BT_1995, "salary") == 20_000
+    assert bi.value_at(20, BT_1995, "salary") == 23_000
+
+
+def test_refresh_after_updates(table):
+    fresh = build_employee_table()
+    index = TimelineIndex(fresh, "tt", ("salary",), checkpoint_every=4)
+    before = index.aggregate_at(fresh.last_committed_version, "salary")
+    fresh.update("Anna", {"salary": 20_000}, {"bt": BT_1995})
+    stats = index.refresh(fresh)
+    assert stats.new_rows >= 1 and stats.closed_rows >= 1
+    assert not stats.resorted  # transaction-time events append in order
+    after = index.aggregate_at(fresh.last_committed_version, "salary")
+    # The update closes Anna's 15k version and creates a 15k business-time
+    # fragment plus the new 20k version: net +20k over all business time.
+    assert after == before + 20_000
+
+
+def test_refresh_business_time_resorts(table):
+    fresh = build_employee_table()
+    index = TimelineIndex(fresh, "bt", ("salary",))
+    fresh.update("Anna", {"salary": 20_000}, {"bt": BT_1993 + 10})
+    stats = index.refresh(fresh)
+    assert stats.resorted  # mid-history business timestamps force a re-sort
+    ts = index.events.timestamps
+    assert (ts[1:] >= ts[:-1]).all()
+
+
+def test_timeline_engine_end_to_end(table):
+    engine = TimelineEngine(value_columns=("salary",))
+    load_s = engine.bulkload(table)
+    assert load_s >= 0
+    query = TemporalAggregationQuery(
+        varied_dims=("tt",), value_column="salary", aggregate="sum",
+        predicate=Overlaps("bt", BT_1995, BT_1996),
+    )
+    result, seconds = engine.temporal_aggregation(query)
+    assert seconds >= 0
+    expected = ParTime().execute(table, query, workers=2)
+    assert result.pairs() == expected.pairs()
+    assert engine.memory_bytes() > table.memory_bytes()
+
+
+def test_timeline_engine_rejects_multidim(table):
+    engine = TimelineEngine(value_columns=("salary",))
+    engine.bulkload(table)
+    query = TemporalAggregationQuery(
+        varied_dims=("bt", "tt"), value_column="salary"
+    )
+    with pytest.raises(NotImplementedError):
+        engine.temporal_aggregation(query)

@@ -1,0 +1,138 @@
+"""Unit tests for timestamps and intervals."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.temporal.timestamps import (
+    ALL_TIME,
+    FOREVER,
+    MIN_TIME,
+    Interval,
+    date_to_ts,
+    format_ts,
+    ts_to_date,
+)
+
+
+class TestDateConversion:
+    def test_epoch(self):
+        assert date_to_ts(1970, 1, 1) == 0
+
+    def test_next_day(self):
+        assert date_to_ts(1970, 1, 2) == 1
+
+    def test_roundtrip(self):
+        assert ts_to_date(date_to_ts(1994, 6, 1)) == datetime.date(1994, 6, 1)
+
+    def test_pre_epoch(self):
+        assert date_to_ts(1969, 12, 31) == -1
+
+    def test_forever_has_no_date(self):
+        with pytest.raises(ValueError):
+            ts_to_date(FOREVER)
+
+    @given(st.integers(1900, 2100), st.integers(1, 12), st.integers(1, 28))
+    def test_roundtrip_property(self, y, m, d):
+        assert ts_to_date(date_to_ts(y, m, d)) == datetime.date(y, m, d)
+
+    def test_ordering_matches_calendar(self):
+        assert date_to_ts(1993) < date_to_ts(1993, 8, 1) < date_to_ts(1994, 6, 1)
+
+
+class TestFormatTs:
+    def test_finite(self):
+        assert format_ts(42) == "42"
+
+    def test_forever(self):
+        assert format_ts(FOREVER) == "inf"
+
+    def test_min_time(self):
+        assert format_ts(MIN_TIME) == "-inf"
+
+
+class TestInterval:
+    def test_default_end_is_forever(self):
+        assert Interval(5).end == FOREVER
+
+    def test_checked_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Interval.checked(5, 3)
+
+    def test_checked_accepts_empty(self):
+        assert Interval.checked(5, 5).is_empty
+
+    def test_is_open_ended(self):
+        assert Interval(0).is_open_ended
+        assert not Interval(0, 10).is_open_ended
+
+    def test_contains_half_open(self):
+        iv = Interval(1, 5)
+        assert iv.contains(1)
+        assert iv.contains(4)
+        assert not iv.contains(5)
+        assert not iv.contains(0)
+
+    def test_overlaps_adjacent_is_false(self):
+        assert not Interval(1, 5).overlaps(Interval(5, 9))
+        assert not Interval(5, 9).overlaps(Interval(1, 5))
+
+    def test_overlaps_true(self):
+        assert Interval(1, 5).overlaps(Interval(4, 9))
+        assert Interval(1, 5).overlaps(Interval(0, 2))
+        assert Interval(1, 5).overlaps(Interval(2, 3))  # containment
+
+    def test_intersect(self):
+        assert Interval(1, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(1, 5).intersect(Interval(5, 9)) is None
+
+    def test_clamp(self):
+        assert Interval(0, 100).clamp(10, 20) == Interval(10, 20)
+        assert Interval(0, 5).clamp(10, 20) is None
+
+    def test_duration(self):
+        assert Interval(3, 10).duration() == 7
+
+    def test_ordering_lexicographic(self):
+        assert Interval(1, 5) < Interval(1, 6) < Interval(2, 3)
+
+    def test_usable_as_dict_key(self):
+        d = {Interval(1, 5): "a", Interval(1, 6): "b"}
+        assert d[Interval(1, 5)] == "a"
+
+    def test_str_rendering(self):
+        assert str(Interval(1, 5)) == "[1, 5)"
+        assert str(Interval(1)) == "[1, inf)"
+
+    def test_all_time_contains_everything(self):
+        assert ALL_TIME.contains(0)
+        assert ALL_TIME.contains(FOREVER - 1)
+
+    @given(
+        st.integers(-1000, 1000), st.integers(0, 1000),
+        st.integers(-1000, 1000), st.integers(0, 1000),
+    )
+    def test_overlap_symmetry(self, a, da, b, db):
+        x, y = Interval(a, a + da), Interval(b, b + db)
+        assert x.overlaps(y) == y.overlaps(x)
+        inter = x.intersect(y)
+        if x.overlaps(y):
+            assert inter is not None and not inter.is_empty
+            assert x.contains(inter.start) and y.contains(inter.start)
+        else:
+            assert inter is None
+
+    @given(
+        st.integers(-100, 100), st.integers(1, 100),
+        st.integers(-100, 100), st.integers(1, 100),
+        st.integers(-150, 150),
+    )
+    def test_intersection_pointwise(self, a, da, b, db, p):
+        x, y = Interval(a, a + da), Interval(b, b + db)
+        inter = x.intersect(y)
+        in_both = x.contains(p) and y.contains(p)
+        assert in_both == (inter is not None and inter.contains(p))

@@ -1,0 +1,107 @@
+"""Window specifications: bucket mapping and grids."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.window import WindowSpec
+from repro.temporal.timestamps import FOREVER, Interval
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowSpec(0, 0, 5)
+        with pytest.raises(ValueError):
+            WindowSpec(0, 7, 0)
+
+    def test_points(self):
+        w = WindowSpec(10, 5, 3)
+        assert w.points().tolist() == [10, 15, 20]
+        assert w.point(2) == 20
+        with pytest.raises(IndexError):
+            w.point(3)
+
+    def test_covering(self):
+        w = WindowSpec.covering(Interval(0, 21), stride=7)
+        assert w.count == 3
+        assert w.points().tolist() == [0, 7, 14]
+
+    def test_covering_exact_multiple(self):
+        w = WindowSpec.covering(Interval(0, 14), stride=7)
+        assert w.count == 2
+
+
+class TestBucket:
+    def test_on_grid_maps_to_self(self):
+        w = WindowSpec(0, 7, 4)
+        assert w.bucket(0) == 0
+        assert w.bucket(7) == 1
+        assert w.bucket(21) == 3
+
+    def test_between_points_rounds_up(self):
+        """A record becoming valid between sample points is first visible
+        at the *next* point."""
+        w = WindowSpec(0, 7, 4)
+        assert w.bucket(1) == 1
+        assert w.bucket(6) == 1
+        assert w.bucket(8) == 2
+
+    def test_before_window_clamps_to_zero(self):
+        w = WindowSpec(100, 10, 3)
+        assert w.bucket(-50) == 0
+        assert w.bucket(100) == 0
+
+    def test_after_window_clamps_to_count(self):
+        w = WindowSpec(0, 10, 3)
+        assert w.bucket(21) == 3  # beyond last point (20)
+        assert w.bucket(10_000) == 3
+
+    def test_forever_is_out_of_window(self):
+        w = WindowSpec(0, 10, 3)
+        assert w.bucket(FOREVER) == 3
+
+    def test_vectorized_agrees_with_scalar(self):
+        w = WindowSpec(5, 3, 10)
+        ts = np.array([-10, 0, 5, 6, 8, 20, 35, 100, FOREVER], dtype=np.int64)
+        got = w.buckets(ts)
+        expected = [w.bucket(int(t)) for t in ts]
+        assert got.tolist() == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        origin=st.integers(-100, 100),
+        stride=st.integers(1, 20),
+        count=st.integers(1, 30),
+        ts=st.integers(-500, 1000),
+    )
+    def test_bucket_definition(self, origin, stride, count, ts):
+        """bucket(ts) is the index of the first point >= ts, clamped."""
+        w = WindowSpec(origin, stride, count)
+        points = w.points().tolist()
+        expected = next(
+            (i for i, p in enumerate(points) if p >= ts), count
+        )
+        assert w.bucket(ts) == expected
+        assert w.buckets(np.array([ts], dtype=np.int64))[0] == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        origin=st.integers(-50, 50),
+        stride=st.integers(1, 9),
+        count=st.integers(1, 20),
+        start=st.integers(-100, 200),
+        dur=st.integers(1, 100),
+    )
+    def test_visibility_vs_buckets(self, origin, stride, count, start, dur):
+        """A record [start, end) is visible at point p iff
+        bucket(start) <= index(p) < bucket(end)."""
+        w = WindowSpec(origin, stride, count)
+        end = start + dur
+        from_b, to_b = w.bucket(start), w.bucket(end)
+        for i, p in enumerate(w.points().tolist()):
+            visible = start <= p < end
+            assert visible == (from_b <= i < to_b), (i, p)

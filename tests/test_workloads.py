@@ -1,0 +1,155 @@
+"""Workload generators: structural invariants and query-mix shape."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ParTime
+from repro.storage import Cluster, SelectQuery, TemporalAggQuery
+from repro.temporal.timestamps import FOREVER
+from repro.workloads import (
+    AmadeusConfig,
+    AmadeusWorkload,
+    TPCBiHConfig,
+    TPCBiHDataset,
+    TPCBIH_QUERIES,
+)
+
+
+@pytest.fixture(scope="module")
+def amadeus():
+    return AmadeusWorkload(AmadeusConfig(num_bookings=2_000, seed=3))
+
+
+@pytest.fixture(scope="module")
+def tpcbih():
+    return TPCBiHDataset(TPCBiHConfig(scale_factor=0.2, seed=5))
+
+
+def _check_version_chains(table, key_column: str) -> None:
+    """Every entity's transaction-time intervals must tile [birth, inf):
+    contiguous, non-overlapping, last one open."""
+    keys = table.column(key_column)
+    tt_start = table.column("tt_start")
+    tt_end = table.column("tt_end")
+    by_key: dict[int, list[tuple[int, int]]] = {}
+    for k, s, e in zip(keys, tt_start, tt_end):
+        by_key.setdefault(int(k), []).append((int(s), int(e)))
+    for chain in by_key.values():
+        chain.sort()
+        for (s1, e1), (s2, e2) in zip(chain, chain[1:]):
+            assert e1 == s2, "versions must abut"
+        assert chain[-1][1] == FOREVER, "last version must be open"
+
+
+def test_amadeus_version_chains(amadeus):
+    _check_version_chains(amadeus.table, "booking_id")
+
+
+def test_amadeus_average_versions(amadeus):
+    n_versions = len(amadeus.table)
+    ratio = n_versions / amadeus.config.num_bookings
+    assert 2.0 < ratio < 10.0  # around the paper's "five versions on average"
+
+
+def test_amadeus_version_skew(amadeus):
+    counts = np.bincount(amadeus.table.column("booking_id").astype(int))
+    assert counts.max() >= 4 * max(1, int(np.median(counts)))
+
+
+def test_amadeus_query_mix(amadeus):
+    rng_ops = amadeus.query_batch(2_000)
+    kinds = {"ta": 0, "select": 0}
+    temporal_agg = [op for op in rng_ops if isinstance(op, TemporalAggQuery)]
+    selects = [op for op in rng_ops if isinstance(op, SelectQuery)]
+    assert len(temporal_agg) + len(selects) == 2_000
+    # Table 1: ~2% temporal aggregation.
+    assert 10 <= len(temporal_agg) <= 90
+    indexed = [op for op in selects if op.indexed]
+    assert len(indexed) > 0
+
+
+def test_amadeus_queries_run_on_cluster(amadeus):
+    cluster = Cluster.from_table(amadeus.table, 2)
+    ta1 = amadeus.ta1(flight_id=3)
+    result, seconds = cluster.execute_query(ta1)
+    assert seconds > 0
+    for _iv, value in result.pairs():
+        assert value >= 0
+    ta2 = amadeus.ta2(flight_id=3)
+    result, _ = cluster.execute_query(ta2)
+    assert all(v >= 0 for _iv, v in result.pairs())
+    seats = amadeus.seats_over_time(flight_id=3)
+    result, _ = cluster.execute_query(seats)
+    assert len(result.points()) == 75
+
+
+def test_amadeus_update_stream_applies(amadeus):
+    cluster = Cluster.from_table(amadeus.table, 2)
+    updates = amadeus.update_stream(10)
+    version_before = cluster._version  # noqa: SLF001
+    batch = cluster.execute_batch(updates)
+    assert cluster._version == version_before + 10  # noqa: SLF001
+    assert batch.write_seconds > 0
+
+
+def test_tpcbih_chains(tpcbih):
+    _check_version_chains(tpcbih.customer, "custkey")
+    _check_version_chains(tpcbih.orders, "orderkey")
+
+
+def test_tpcbih_sizes_scale(tpcbih):
+    small = TPCBiHDataset(TPCBiHConfig(scale_factor=0.1, seed=5))
+    assert len(tpcbih.customer) > len(small.customer)
+    assert len(tpcbih.orders) > len(small.orders)
+
+
+def test_all_tpcbih_queries_execute(tpcbih):
+    """Every Table 2 query must run on a ParTime cluster and return a
+    sane result."""
+    clusters = {
+        "customer": Cluster.from_table(tpcbih.customer, 2),
+        "orders": Cluster.from_table(tpcbih.orders, 2),
+    }
+    for name, build in TPCBIH_QUERIES.items():
+        table_name, ops = build(tpcbih)
+        if not isinstance(ops, list):
+            ops = [ops]
+        for op in ops:
+            result, seconds = clusters[table_name].execute_query(op)
+            assert seconds > 0, name
+            if isinstance(op, TemporalAggQuery):
+                assert len(result.rows) >= 0, name
+            else:
+                assert result >= 0, name
+
+
+def test_r2_result_is_huge(tpcbih):
+    """The r2 corner case: the result has the same order of magnitude as
+    the (filtered) base data, because business-time boundaries are nearly
+    unique per version."""
+    _table, op = TPCBIH_QUERIES["r2"](tpcbih)
+    cluster = Cluster.from_table(tpcbih.customer, 2)
+    result, _ = cluster.execute_query(op)
+    us_rows = int(
+        (tpcbih.customer.column("nationkey") == 24).sum()
+    )
+    assert len(result.rows) > us_rows / 4
+
+
+def test_r4_windowed_matches_general(tpcbih):
+    """r4 through the windowed fast path equals the general algorithm
+    sampled at the window points."""
+    _t, op = TPCBIH_QUERIES["r4"](tpcbih)
+    query = op.query
+    windowed = ParTime().execute(tpcbih.customer, query, workers=2)
+    import dataclasses
+
+    general = ParTime().execute(
+        tpcbih.customer,
+        dataclasses.replace(query, window=None),
+        workers=2,
+    )
+    for point, value in windowed.points():
+        assert value == (general.value_at(point) or 0)
