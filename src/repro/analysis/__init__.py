@@ -1,0 +1,78 @@
+"""Parallel-safety analysis for the simtime substrate.
+
+Two halves (see ``docs/static_analysis.md``):
+
+* a **static lint framework** — :class:`Rule` protocol, AST driver,
+  :class:`Finding`/:class:`Severity` model, per-line suppression, and the
+  repo-specific rule catalogue PT001–PT005 (``python -m repro lint``);
+* a **runtime sanitizer** — :class:`SanitizingExecutor`, ThreadSanitizer
+  for simulated parallelism: wraps any executor and reports
+  :class:`RaceReport`\\ s when two tasks of one phase write overlapping
+  keys of shared state.
+
+Both exist to machine-check the DESIGN.md substitution's two claims: that
+Step 1 is embarrassingly parallel and that every measured cost flows
+through :class:`~repro.simtime.clock.SimClock`.
+"""
+
+from repro.analysis.model import (
+    Finding,
+    ModuleContext,
+    Rule,
+    Severity,
+    suppressed_codes,
+)
+from repro.analysis.rules import (
+    DEFAULT_RULES,
+    RULES_BY_ID,
+    GilBlindLoopRule,
+    ImpureAggregateRule,
+    SharedMutableCaptureRule,
+    UnaccountedWallClockRule,
+    UnlabeledPhaseRule,
+)
+from repro.analysis.driver import (
+    explain_rules,
+    format_findings,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.sanitizer import (
+    ChunkProxy,
+    DeltaMapProxy,
+    RaceError,
+    RaceReport,
+    SanitizingExecutor,
+    TaskLog,
+)
+
+__all__ = [
+    # model
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "suppressed_codes",
+    # rules
+    "DEFAULT_RULES",
+    "RULES_BY_ID",
+    "SharedMutableCaptureRule",
+    "UnaccountedWallClockRule",
+    "UnlabeledPhaseRule",
+    "ImpureAggregateRule",
+    "GilBlindLoopRule",
+    # driver
+    "lint_paths",
+    "lint_source",
+    "iter_python_files",
+    "format_findings",
+    "explain_rules",
+    # sanitizer
+    "SanitizingExecutor",
+    "RaceReport",
+    "RaceError",
+    "TaskLog",
+    "ChunkProxy",
+    "DeltaMapProxy",
+]

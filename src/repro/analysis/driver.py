@@ -1,0 +1,150 @@
+"""Lint driver: file walking, rule execution, suppression, formatting.
+
+The public entry points are :func:`lint_paths` (what the CLI and the CI
+gate call) and :func:`lint_source` (what the rule tests call with inline
+fixtures).  Unparseable files are reported as ``PT000`` findings rather
+than crashing the run, so the lint gate also catches syntax rot.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from typing import Iterable, Sequence
+
+from repro.analysis.model import Finding, ModuleContext, Rule, Severity
+from repro.analysis.rules import DEFAULT_RULES, RULES_BY_ID
+
+
+def _select_rules(
+    rules: "Sequence[Rule] | None", select: "Iterable[str] | None"
+) -> Sequence[Rule]:
+    chosen = tuple(rules) if rules is not None else DEFAULT_RULES
+    if select:
+        wanted = {s.strip().upper() for s in select if s.strip()}
+        unknown = wanted - {r.id for r in chosen} - set(RULES_BY_ID)
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(RULES_BY_ID))}"
+            )
+        chosen = tuple(r for r in chosen if r.id in wanted)
+    return chosen
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: "Sequence[Rule] | None" = None,
+    select: "Iterable[str] | None" = None,
+) -> list[Finding]:
+    """Lint one module given as a string; returns sorted findings."""
+    chosen = _select_rules(rules, select)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                rule_id="PT000",
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(path=path, source=source, tree=tree)
+    findings: list[Finding] = []
+    for rule in chosen:
+        for finding in rule.check(ctx):
+            if not ctx.is_suppressed(finding):
+                findings.append(finding)
+    findings.sort()
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in {"__pycache__", ".git", ".hypothesis"}
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(dirpath, name))
+        elif path.endswith(".py"):
+            out.append(path)
+        elif not os.path.exists(path):
+            raise FileNotFoundError(f"no such file or directory: {path!r}")
+    return out
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: "Sequence[Rule] | None" = None,
+    select: "Iterable[str] | None" = None,
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; returns sorted findings."""
+    chosen = _select_rules(rules, select)
+    findings: list[Finding] = []
+    for filename in iter_python_files(paths):
+        try:
+            with open(filename, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    path=filename,
+                    line=1,
+                    col=1,
+                    rule_id="PT000",
+                    severity=Severity.ERROR,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_source(source, path=filename, rules=chosen))
+    findings.sort()
+    return findings
+
+
+def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
+    """Render findings as ``text`` (one per line + summary) or ``json``."""
+    if fmt == "json":
+        return json.dumps(
+            {
+                "findings": [f.to_dict() for f in findings],
+                "count": len(findings),
+            },
+            indent=2,
+        )
+    if fmt != "text":
+        raise ValueError(f"unknown format {fmt!r}; use 'text' or 'json'")
+    lines = [f.format() for f in findings]
+    if findings:
+        by_rule: dict[str, int] = {}
+        for f in findings:
+            by_rule[f.rule_id] = by_rule.get(f.rule_id, 0) + 1
+        summary = ", ".join(f"{k}: {v}" for k, v in sorted(by_rule.items()))
+        lines.append(f"{len(findings)} finding(s) ({summary})")
+    else:
+        lines.append("clean: no findings")
+    return "\n".join(lines)
+
+
+def explain_rules(rules: "Sequence[Rule] | None" = None) -> str:
+    """Human-readable rule catalogue (``repro lint --explain``)."""
+    chosen = tuple(rules) if rules is not None else DEFAULT_RULES
+    blocks = []
+    for rule in chosen:
+        blocks.append(
+            f"{rule.id} {rule.name} [{rule.severity.value}]\n"
+            f"    {rule.rationale}\n"
+            f"    suppress with: # partime: ignore[{rule.id}]"
+        )
+    return "\n".join(blocks)

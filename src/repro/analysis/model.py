@@ -1,0 +1,135 @@
+"""Core model of the parallel-safety lint framework.
+
+The framework is deliberately small: a :class:`Rule` inspects one parsed
+module (:class:`ModuleContext`) and yields :class:`Finding` objects; the
+driver (:mod:`repro.analysis.driver`) walks files, applies every rule and
+filters findings through per-line suppression comments of the form::
+
+    results.append(x)  # partime: ignore[PT001]
+    t0 = time.time()   # partime: ignore          (suppresses every rule)
+
+Rules are repo-specific by design — they machine-check the invariants that
+the DESIGN.md hardware substitution rests on (Step 1 is embarrassingly
+parallel; every cost flows through ``SimClock``) rather than generic style.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+
+class Severity(str, Enum):
+    """How bad a finding is; both fail the lint gate, WARNING documents
+    rules whose heuristics may legitimately need suppressions."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint result, pointing at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity.value}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*partime:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+def suppressed_codes(line: str) -> "set[str] | None":
+    """Rule ids suppressed by the comment on ``line``.
+
+    Returns ``None`` when the line carries no suppression comment, the
+    empty set for a bare ``# partime: ignore`` (suppress everything), and
+    the set of named codes for ``# partime: ignore[PT001, PT002]``.
+    """
+    m = _SUPPRESS_RE.search(line)
+    if m is None:
+        return None
+    codes = m.group("codes")
+    if codes is None:
+        return set()
+    return {c.strip().upper() for c in codes.split(",") if c.strip()}
+
+
+class ModuleContext:
+    """One parsed module plus the derived structures rules share."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+
+    @property
+    def path_parts(self) -> tuple[str, ...]:
+        return tuple(p for p in re.split(r"[\\/]", self.path) if p)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        codes = suppressed_codes(self.line_text(finding.line))
+        if codes is None:
+            return False
+        return not codes or finding.rule_id.upper() in codes
+
+
+class Rule:
+    """Base class of a lint rule; subclasses set the metadata and
+    implement :meth:`check`."""
+
+    id: str = "PT000"
+    name: str = "unnamed"
+    severity: Severity = Severity.ERROR
+    #: One-paragraph rationale shown by ``repro lint --explain``.
+    rationale: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.id,
+            severity=self.severity,
+            message=message,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<rule {self.id} {self.name}>"

@@ -1,0 +1,390 @@
+"""The repo-specific rule catalogue (PT001–PT005).
+
+Each rule machine-checks one invariant the reproduction's credibility
+rests on; see ``docs/static_analysis.md`` for the full catalogue with
+examples and suppression guidance.
+
+=====  ========================  ==============================================
+id     name                      invariant enforced
+=====  ========================  ==============================================
+PT001  shared-mutable-capture    ``map_parallel`` tasks touch disjoint state
+PT002  unaccounted-wall-clock    every measured cost flows through ``simtime``
+PT003  unlabeled-phase           every phase is attributable in traces
+PT004  impure-aggregate          aggregate deltas are value-semantic
+PT005  gil-blind-loop            vectorized paths stay vectorized
+=====  ========================  ==============================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.model import Finding, ModuleContext, Rule, Severity
+from repro.analysis.scopes import (
+    captured_mutations,
+    function_params,
+    mutations_of_names,
+    resolve_callable,
+)
+
+_PHASE_METHODS = {"map_parallel": 2, "run_serial": 1}  # label positional index
+_CLOCK_METHODS = {"parallel", "serial"}
+_WALL_CLOCK_ATTRS = {"time", "perf_counter", "monotonic", "process_time", "clock"}
+
+
+def _callable_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return node.name
+    if isinstance(node, ast.Lambda):
+        return "<lambda>"
+    return "<callable>"
+
+
+class SharedMutableCaptureRule(Rule):
+    """PT001 — the simulated race detector.
+
+    A task function passed to ``Executor.map_parallel`` must not mutate
+    state captured from an enclosing (or global) scope: under the
+    :class:`~repro.simtime.executor.SerialExecutor` the tasks run one
+    after another and the mutation *happens to work*, but the phase is
+    accounted as parallel — the moment a real thread/process backend is
+    substituted (the ROADMAP's scaling work), the same code is a data
+    race.  Step 1's claim to be embarrassingly parallel (Section 3.2) is
+    exactly the absence of such captures.
+    """
+
+    id = "PT001"
+    name = "shared-mutable-capture"
+    severity = Severity.ERROR
+    rationale = (
+        "map_parallel tasks must be pure over captured state; a captured "
+        "mutation is a data race under any real parallel executor and "
+        "silently order-dependent under the simulated one."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "map_parallel"
+                and node.args
+            ):
+                continue
+            task = node.args[0]
+            fn: ast.AST | None = None
+            if isinstance(task, ast.Lambda):
+                fn = task
+            elif isinstance(task, ast.Name):
+                fn = resolve_callable(task.id, node, ctx.parents)
+            if fn is None:
+                continue
+            seen: set[tuple[int, str]] = set()
+            for mut in captured_mutations(fn):
+                key = (getattr(mut.node, "lineno", 0), mut.name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.finding(
+                    ctx,
+                    mut.node,
+                    f"task {_callable_name(task)!r} passed to map_parallel "
+                    f"mutates captured variable {mut.name!r} "
+                    f"({mut.how}); parallel tasks must write only "
+                    f"task-local state",
+                )
+
+
+class UnaccountedWallClockRule(Rule):
+    """PT002 — wall-clock reads outside the accounting layer.
+
+    All measured cost must flow through ``repro.simtime`` (see
+    :mod:`repro.simtime.measure`): a direct ``time.perf_counter()`` in an
+    algorithm module produces durations the ``SimClock`` never sees,
+    which silently corrupts every simulated speedup curve.
+    """
+
+    id = "PT002"
+    name = "unaccounted-wall-clock"
+    severity = Severity.ERROR
+    rationale = (
+        "Durations measured outside repro.simtime bypass SimClock "
+        "accounting; use `with measured() as sw:` from "
+        "repro.simtime.measure instead."
+    )
+
+    #: Path components exempt from the rule: the accounting layer itself
+    #: and the benchmark harness (which reports real wall time by design).
+    exempt_parts = frozenset({"simtime", "bench", "benchmarks"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if self.exempt_parts & set(ctx.path_parts):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _WALL_CLOCK_ATTRS
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "time"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct wall-clock read time.{node.attr} bypasses "
+                    f"SimClock accounting; use repro.simtime.measure."
+                    f"measured() so the duration is booked",
+                )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                names = [
+                    a.name for a in node.names if a.name in _WALL_CLOCK_ATTRS
+                ]
+                if names:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"importing {', '.join(names)} from time invites "
+                        f"unaccounted measurements; route timing through "
+                        f"repro.simtime.measure",
+                    )
+
+
+def _is_empty_label(node: "ast.expr | None") -> bool:
+    if node is None:
+        return True
+    if isinstance(node, ast.Constant):
+        # A non-string constant in the label position means the label was
+        # omitted and a payload argument slid into its slot.
+        return not (isinstance(node.value, str) and node.value)
+    # Same for a literal collection (e.g. clock.parallel([1.0], 2)).
+    return isinstance(node, (ast.List, ast.Tuple, ast.Dict, ast.Set))
+
+
+def _label_argument(call: ast.Call, positional_index: int) -> "ast.expr | None":
+    for kw in call.keywords:
+        if kw.arg == "label":
+            return kw.value
+    if len(call.args) > positional_index:
+        return call.args[positional_index]
+    return None
+
+
+def _mentions_clock(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return "clock" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "clock" in node.attr.lower() or _mentions_clock(node.value)
+    return False
+
+
+class UnlabeledPhaseRule(Rule):
+    """PT003 — phases must be labeled.
+
+    Phase traces (``SimClock.phases``) and per-phase attribution
+    (``phase_elapsed``) are only readable when every
+    ``map_parallel``/``run_serial``/``clock.parallel`` call names its
+    phase; the ``fn.__name__`` fallback produces labels like ``step1``
+    from five different call sites.
+    """
+
+    id = "PT003"
+    name = "unlabeled-phase"
+    severity = Severity.WARNING
+    rationale = (
+        "Unlabeled phases make SimClock traces unattributable; pass "
+        "label='component.phase' at every executor/clock call site."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            attr = node.func.attr
+            if attr in _PHASE_METHODS:
+                label = _label_argument(node, _PHASE_METHODS[attr])
+                if _is_empty_label(label):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{attr} call without a phase label; pass "
+                        f"label='component.phase' so SimClock traces stay "
+                        f"attributable",
+                    )
+            elif attr in _CLOCK_METHODS and _mentions_clock(node.func.value):
+                label = _label_argument(node, 0)
+                if _is_empty_label(label):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"clock.{attr} call without a phase label",
+                    )
+
+
+class ImpureAggregateRule(Rule):
+    """PT004 — aggregate deltas must be value-semantic.
+
+    ``make_delta`` / ``combine`` / ``negate`` results are shared freely
+    between delta maps (consolidation re-combines entries from many maps;
+    the multi-dimensional merge negates a delta that still lives in its
+    source map), so mutating an *argument* corrupts other maps.  ``apply``
+    owns its accumulator (first argument) but must not mutate the delta.
+    """
+
+    id = "PT004"
+    name = "impure-aggregate"
+    severity = Severity.ERROR
+    rationale = (
+        "Delta objects are shared across delta maps and merge levels; "
+        "combine/negate/make_delta must build new values, and apply may "
+        "mutate only its accumulator."
+    )
+
+    _pure_methods = {"make_delta", "combine", "negate", "is_null_delta"}
+    _acc_methods = {"apply"}
+
+    def _aggregate_classes(self, ctx: ModuleContext) -> list[ast.ClassDef]:
+        classes = {
+            n.name: n for n in ast.walk(ctx.tree) if isinstance(n, ast.ClassDef)
+        }
+
+        def base_names(cls: ast.ClassDef) -> list[str]:
+            out = []
+            for b in cls.bases:
+                if isinstance(b, ast.Name):
+                    out.append(b.id)
+                elif isinstance(b, ast.Attribute):
+                    out.append(b.attr)
+            return out
+
+        def is_aggregate(cls: ast.ClassDef, seen: frozenset = frozenset()) -> bool:
+            if cls.name in seen:
+                return False
+            if "aggregate" in cls.name.lower():
+                return True
+            for base in base_names(cls):
+                if "aggregate" in base.lower():
+                    return True
+                if base in classes and is_aggregate(
+                    classes[base], seen | {cls.name}
+                ):
+                    return True
+            return False
+
+        return [c for c in classes.values() if is_aggregate(c)]
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for cls in self._aggregate_classes(ctx):
+            for item in cls.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name in self._pure_methods:
+                    protected_from = 1  # everything but self
+                elif item.name in self._acc_methods:
+                    protected_from = 2  # self + accumulator may mutate
+                else:
+                    continue
+                params = function_params(item)
+                protected = set(params[protected_from:])
+                if not protected:
+                    continue
+                for mut in mutations_of_names(item.body, protected):
+                    yield self.finding(
+                        ctx,
+                        mut.node,
+                        f"{cls.name}.{item.name} mutates its input "
+                        f"argument {mut.name!r} ({mut.how}); deltas are "
+                        f"shared between delta maps — build a new value "
+                        f"instead",
+                    )
+
+
+class GilBlindLoopRule(Rule):
+    """PT005 — per-record Python loops inside vectorized code paths.
+
+    The ``mode="vectorized"`` paths exist to stand in for a tight C++
+    scan loop (DESIGN.md); a per-record ``for record in chunk.records()``
+    inside such a path reintroduces interpreter-per-row cost and makes
+    the measured Step 1 durations — and hence every simulated speedup —
+    meaningless for that path.
+    """
+
+    id = "PT005"
+    name = "gil-blind-loop"
+    severity = Severity.WARNING
+    rationale = (
+        "Vectorized code paths must express per-record work as NumPy "
+        "array operations; a Python row loop invalidates their measured "
+        "cost."
+    )
+
+    @staticmethod
+    def _is_vectorized_guard(test: ast.expr) -> bool:
+        for node in ast.walk(test):
+            if isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                if any(
+                    isinstance(op, ast.Constant) and op.value == "vectorized"
+                    for op in operands
+                ):
+                    return True
+        return False
+
+    @staticmethod
+    def _is_per_record_iter(iter_node: ast.expr) -> bool:
+        if isinstance(iter_node, ast.Call):
+            f = iter_node.func
+            if isinstance(f, ast.Attribute) and f.attr in {"records", "iterrows"}:
+                return True
+            if (
+                isinstance(f, ast.Name)
+                and f.id == "range"
+                and len(iter_node.args) == 1
+                and isinstance(iter_node.args[0], ast.Call)
+                and isinstance(iter_node.args[0].func, ast.Name)
+                and iter_node.args[0].func.id == "len"
+            ):
+                return True
+        return False
+
+    def _scan_block(
+        self, ctx: ModuleContext, block: list[ast.stmt]
+    ) -> Iterator[Finding]:
+        for stmt in block:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.For, ast.AsyncFor)) and (
+                    self._is_per_record_iter(node.iter)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "per-record Python loop inside a vectorized code "
+                        "path; express this as NumPy array operations or "
+                        "move it to the mode='pure' branch",
+                    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.If) and self._is_vectorized_guard(node.test):
+                yield from self._scan_block(ctx, node.body)
+            elif (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and "vectorized" in node.name.lower()
+            ):
+                yield from self._scan_block(ctx, node.body)
+
+
+#: The shipped rule set, in id order.
+DEFAULT_RULES: tuple[Rule, ...] = (
+    SharedMutableCaptureRule(),
+    UnaccountedWallClockRule(),
+    UnlabeledPhaseRule(),
+    ImpureAggregateRule(),
+    GilBlindLoopRule(),
+)
+
+RULES_BY_ID = {rule.id: rule for rule in DEFAULT_RULES}

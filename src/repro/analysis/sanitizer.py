@@ -1,0 +1,416 @@
+"""Runtime race sanitizer for the simulated-parallel substrate.
+
+The :class:`~repro.simtime.executor.SerialExecutor` runs "parallel" tasks
+one after another, so a genuine data race — two tasks of the same phase
+writing the same key of a shared structure — executes deterministically
+and produces *an* answer.  That answer is only correct by accident of
+serial ordering, and the phase it came from is booked as parallel, which
+is exactly the situation the DESIGN.md substitution forbids.
+
+:class:`SanitizingExecutor` is ThreadSanitizer for this substrate: it
+wraps any :class:`~repro.simtime.executor.Executor`, gives every
+``map_parallel`` task its own access log, proxies the task items
+(:class:`~repro.temporal.table.TableChunk` columns become read-only NumPy
+views, :class:`~repro.core.deltamap.DeltaMap` puts are recorded) and lets
+callers :meth:`~SanitizingExecutor.watch` shared structures.  At the end
+of each phase the per-task write sets are intersected; overlapping writes
+by distinct tasks raise (or record) a :class:`RaceReport`.
+
+The static counterpart is lint rule PT001 (shared-mutable-capture); the
+sanitizer catches what escapes lexical analysis — aliasing through
+``self``, containers of containers, dynamic dispatch.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.core.deltamap import DeltaMap
+from repro.simtime.clock import SimClock
+from repro.simtime.executor import Executor, SerialExecutor
+from repro.temporal.table import TableChunk
+
+
+@dataclass
+class TaskLog:
+    """Read/write sets of one task of one phase."""
+
+    phase: str
+    task_index: int
+    #: ``(watch_id, key)`` pairs.
+    reads: set = field(default_factory=set)
+    writes: set = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Two tasks of the same phase touched the same key, at least one
+    writing."""
+
+    phase: str
+    target: str
+    key: Any
+    task_a: int
+    task_b: int
+    kind: str  # "write-write" | "read-write"
+
+    def format(self) -> str:
+        return (
+            f"[{self.kind}] phase {self.phase!r}: tasks {self.task_a} and "
+            f"{self.task_b} both touched {self.target}[{self.key!r}]"
+        )
+
+
+class RaceError(RuntimeError):
+    """Raised by :class:`SanitizingExecutor` on a write-write overlap."""
+
+    def __init__(self, reports: Sequence[RaceReport]) -> None:
+        self.reports = list(reports)
+        lines = "\n  ".join(r.format() for r in self.reports[:10])
+        more = len(self.reports) - 10
+        suffix = f"\n  ... and {more} more" if more > 0 else ""
+        super().__init__(
+            f"simulated race detected ({len(self.reports)} overlap(s)):\n"
+            f"  {lines}{suffix}"
+        )
+
+
+class _Recorder:
+    """Resolves the currently running task's log (thread-safe, so the
+    sanitizer also works over a real :class:`ThreadExecutor`)."""
+
+    def __init__(self) -> None:
+        self._tls = threading.local()
+
+    def enter(self, log: TaskLog) -> "TaskLog | None":
+        previous = getattr(self._tls, "log", None)
+        self._tls.log = log
+        return previous
+
+    def exit(self, previous: "TaskLog | None") -> None:
+        self._tls.log = previous
+
+    @staticmethod
+    def _hashable(key: Any) -> Any:
+        try:
+            hash(key)
+        except TypeError:
+            return repr(key)
+        return key
+
+    def read(self, watch_id: str, key: Any) -> None:
+        log = getattr(self._tls, "log", None)
+        if log is not None:
+            log.reads.add((watch_id, self._hashable(key)))
+
+    def write(self, watch_id: str, key: Any) -> None:
+        log = getattr(self._tls, "log", None)
+        if log is not None:
+            log.writes.add((watch_id, self._hashable(key)))
+
+
+class ChunkProxy:
+    """A :class:`TableChunk` stand-in that records column reads and hands
+    out *read-only* NumPy views, so any in-place write to shared table
+    storage raises immediately inside the offending task."""
+
+    def __init__(self, chunk: TableChunk, recorder: _Recorder, name: str) -> None:
+        self._chunk = chunk
+        self._recorder = recorder
+        self._name = name
+
+    # -- read surface ----------------------------------------------------
+    def _readonly(self, arr):
+        view = arr.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def schema(self):
+        return self._chunk.schema
+
+    @property
+    def row_offset(self) -> int:
+        return self._chunk.row_offset
+
+    @property
+    def columns(self) -> dict:
+        for name in self._chunk.columns:
+            self._recorder.read(self._name, ("column", name))
+        return {
+            name: self._readonly(arr) for name, arr in self._chunk.columns.items()
+        }
+
+    def column(self, name: str):
+        self._recorder.read(self._name, ("column", name))
+        return self._readonly(self._chunk.column(name))
+
+    def record(self, i: int) -> dict:
+        self._recorder.read(self._name, ("row", int(i)))
+        return self._chunk.record(i)
+
+    def records(self) -> Iterator[dict]:
+        for name in self._chunk.columns:
+            self._recorder.read(self._name, ("column", name))
+        return self._chunk.records()
+
+    def select(self, mask) -> "ChunkProxy":
+        for name in self._chunk.columns:
+            self._recorder.read(self._name, ("column", name))
+        return ChunkProxy(
+            self._chunk.select(mask), self._recorder, f"{self._name}.select"
+        )
+
+    def __len__(self) -> int:
+        return len(self._chunk)
+
+    def __repr__(self) -> str:
+        return f"<ChunkProxy {self._name} of {len(self)} rows>"
+
+
+class DeltaMapProxy:
+    """Wraps a :class:`DeltaMap`, recording puts as writes and iteration
+    as reads.  Tasks that share one of these — the canonical broken
+    "just aggregate into a shared map" shortcut — produce overlapping
+    write sets the phase analysis then reports."""
+
+    def __init__(self, dm: DeltaMap, recorder: _Recorder, name: str) -> None:
+        self._dm = dm
+        self._recorder = recorder
+        self._name = name
+
+    @property
+    def aggregate(self):
+        return self._dm.aggregate
+
+    def put(self, key, delta) -> None:
+        self._recorder.write(self._name, key)
+        self._dm.put(key, delta)
+
+    def put_event(self, pivot_ts, nonpivot_intervals, delta) -> None:
+        self._recorder.write(self._name, (pivot_ts,) + tuple(nonpivot_intervals))
+        self._dm.put_event(pivot_ts, nonpivot_intervals, delta)
+
+    def add_record(self, valid_from, valid_to, value, forever) -> None:
+        self._recorder.write(self._name, valid_from)
+        if valid_to < forever:
+            self._recorder.write(self._name, valid_to)
+        self._dm.add_record(valid_from, valid_to, value, forever)
+
+    def items(self):
+        self._recorder.read(self._name, ("items",))
+        return self._dm.items()
+
+    def __iter__(self):
+        return self.items()
+
+    def __len__(self) -> int:
+        return len(self._dm)
+
+    def __getattr__(self, name: str):
+        # Unknown attributes fall through to the wrapped map (e.g. the
+        # backend-specific `arrays` / `put_count` accessors).
+        return getattr(self._dm, name)
+
+    def __repr__(self) -> str:
+        return f"<DeltaMapProxy {self._name}>"
+
+
+class _WatchedObject:
+    """Generic watch proxy for shared mutable containers (dict/list-like):
+    ``obj[key] = v`` and mutating method calls are recorded as writes."""
+
+    _MUTATORS = {
+        "append", "extend", "insert", "add", "update", "setdefault",
+        "pop", "remove", "discard", "clear",
+    }
+
+    def __init__(self, obj: Any, recorder: _Recorder, name: str) -> None:
+        self._obj = obj
+        self._recorder = recorder
+        self._name = name
+
+    def __getitem__(self, key):
+        self._recorder.read(self._name, key)
+        return self._obj[key]
+
+    def __setitem__(self, key, value):
+        self._recorder.write(self._name, key)
+        self._obj[key] = value
+
+    def __delitem__(self, key):
+        self._recorder.write(self._name, key)
+        del self._obj[key]
+
+    def __contains__(self, key) -> bool:
+        self._recorder.read(self._name, key)
+        return key in self._obj
+
+    def __len__(self) -> int:
+        return len(self._obj)
+
+    def __iter__(self):
+        self._recorder.read(self._name, ("iter",))
+        return iter(self._obj)
+
+    def __getattr__(self, name: str):
+        attr = getattr(self._obj, name)
+        if name in self._MUTATORS and callable(attr):
+            recorder, watch = self._recorder, self._name
+
+            def recorded(*args, **kwargs):
+                # Key-addressed mutators record the key; positional
+                # mutators (append/add/...) record the whole-object key,
+                # which still collides across tasks — any two appends to
+                # a shared list are a race.
+                if name in {"pop", "setdefault"} and args:
+                    key = args[0]
+                else:
+                    key = ("*",)
+                recorder.write(watch, key)
+                return attr(*args, **kwargs)
+
+            return recorded
+        return attr
+
+    def __repr__(self) -> str:
+        return f"<watched {self._name}: {self._obj!r}>"
+
+
+class SanitizingExecutor:
+    """Race-sanitizing wrapper around any :class:`Executor`.
+
+    Parameters
+    ----------
+    inner:
+        The executor that actually runs and accounts the phases
+        (default: a fresh :class:`SerialExecutor`).
+    on_race:
+        ``"raise"`` (default) raises :class:`RaceError` at the end of a
+        phase with write-write overlaps; ``"record"`` only appends to
+        :attr:`reports` (read-write overlaps are always only recorded).
+
+    Usage::
+
+        sanitizer = SanitizingExecutor(SerialExecutor(slots=8))
+        partime.execute(table, query, workers=8, executor=sanitizer)
+        assert not sanitizer.reports
+    """
+
+    def __init__(
+        self, inner: "Executor | None" = None, on_race: str = "raise"
+    ) -> None:
+        if on_race not in ("raise", "record"):
+            raise ValueError("on_race must be 'raise' or 'record'")
+        self.inner: Executor = inner if inner is not None else SerialExecutor()
+        self.on_race = on_race
+        self.reports: list[RaceReport] = []
+        self.task_logs: list[TaskLog] = []
+        self._recorder = _Recorder()
+        self._watch_count = 0
+
+    # -- Executor protocol ------------------------------------------------
+
+    @property
+    def clock(self) -> SimClock:
+        return self.inner.clock
+
+    def map_parallel(self, fn: Callable, items: Sequence, label: str = "") -> list:
+        logs = [TaskLog(label, i) for i in range(len(items))]
+        proxied = [
+            self._proxy_item(item, f"{label or 'phase'}.item[{i}]")
+            for i, item in enumerate(items)
+        ]
+
+        def run(pair):
+            index, item = pair
+            previous = self._recorder.enter(logs[index])
+            try:
+                return fn(item)
+            finally:
+                self._recorder.exit(previous)
+
+        results = self.inner.map_parallel(
+            run, list(enumerate(proxied)), label=label
+        )
+        self.task_logs.extend(logs)
+        self._analyze_phase(label, logs)
+        return results
+
+    def run_serial(self, fn: Callable[[], Any], label: str = "") -> Any:
+        # A serial phase has a single task: no intra-phase race is
+        # possible, but accesses are still recorded for inspection.
+        log = TaskLog(label, 0)
+        previous = self._recorder.enter(log)
+        try:
+            return self.inner.run_serial(fn, label=label)
+        finally:
+            self._recorder.exit(previous)
+            self.task_logs.append(log)
+
+    # -- instrumentation --------------------------------------------------
+
+    def watch(self, obj: Any, name: "str | None" = None) -> Any:
+        """Wrap a *shared* structure so task accesses are tracked.
+
+        Returns the proxy; tasks must go through it (capture the proxy,
+        not the original) for their accesses to be visible.
+        """
+        self._watch_count += 1
+        watch_name = name or f"watched#{self._watch_count}"
+        if isinstance(obj, DeltaMap):
+            return DeltaMapProxy(obj, self._recorder, watch_name)
+        if isinstance(obj, TableChunk):
+            return ChunkProxy(obj, self._recorder, watch_name)
+        return _WatchedObject(obj, self._recorder, watch_name)
+
+    def _proxy_item(self, item: Any, name: str) -> Any:
+        if isinstance(item, TableChunk):
+            return ChunkProxy(item, self._recorder, name)
+        if isinstance(item, DeltaMap):
+            return DeltaMapProxy(item, self._recorder, name)
+        return item
+
+    # -- analysis ----------------------------------------------------------
+
+    def _analyze_phase(self, label: str, logs: Sequence[TaskLog]) -> None:
+        races: list[RaceReport] = []
+        writers: dict[Any, int] = {}
+        for log in logs:
+            for access in log.writes:
+                owner = writers.get(access)
+                if owner is not None and owner != log.task_index:
+                    races.append(
+                        RaceReport(
+                            phase=label,
+                            target=str(access[0]),
+                            key=access[1],
+                            task_a=owner,
+                            task_b=log.task_index,
+                            kind="write-write",
+                        )
+                    )
+                else:
+                    writers[access] = log.task_index
+        # Read-write overlaps: informative, never fatal (two tasks reading
+        # a key one of them wrote is order-dependent under real threads).
+        for log in logs:
+            for access in log.reads:
+                owner = writers.get(access)
+                if owner is not None and owner != log.task_index:
+                    races.append(
+                        RaceReport(
+                            phase=label,
+                            target=str(access[0]),
+                            key=access[1],
+                            task_a=owner,
+                            task_b=log.task_index,
+                            kind="read-write",
+                        )
+                    )
+        self.reports.extend(races)
+        fatal = [r for r in races if r.kind == "write-write"]
+        if fatal and self.on_race == "raise":
+            raise RaceError(fatal)

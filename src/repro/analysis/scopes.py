@@ -1,0 +1,265 @@
+"""Scope and mutation analysis shared by the lint rules.
+
+Python closures make the shared-mutable-state race easy to write and hard
+to see: a task function handed to ``map_parallel`` that does
+``results.append(...)`` on a list from the enclosing scope is correct
+under the :class:`~repro.simtime.executor.SerialExecutor` (tasks run one
+after another) and silently order-dependent — or corrupting — the moment a
+real parallel backend is substituted.  The helpers here answer the two
+questions rules need: *which names are local to a function* and *which
+captured (non-local) names does its body mutate, and how*.
+
+The analysis is intentionally lexical and conservative: it treats every
+name bound anywhere inside the function (params, assignments, loop
+targets, ``with`` targets, comprehension targets, nested ``def``/imports)
+as local unless declared ``global``/``nonlocal``, so only mutations that
+must target enclosing state are reported.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+#: Method names that mutate their receiver in-place (built-in containers
+#: plus this repo's delta-map/table write surface).
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "sort",
+        "reverse",
+        "appendleft",
+        "popleft",
+        # repo-specific write surface
+        "put",
+        "put_event",
+        "add_record",
+        "dm_put",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One mutation of a captured name inside a function body."""
+
+    node: ast.AST
+    name: str
+    how: str  # human-readable description of the mutation form
+
+
+def function_params(fn: FunctionNode) -> list[str]:
+    a = fn.args
+    params = [p.arg for p in a.posonlyargs + a.args + a.kwonlyargs]
+    if a.vararg:
+        params.append(a.vararg.arg)
+    if a.kwarg:
+        params.append(a.kwarg.arg)
+    return params
+
+
+def _bound_names(target: ast.AST) -> Iterator[str]:
+    """Names bound by an assignment/loop/with target."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _bound_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _bound_names(target.value)
+    # Attribute / Subscript targets bind nothing new.
+
+
+def local_bindings(fn: FunctionNode) -> set[str]:
+    """Every name the function binds locally (hence *not* captured).
+
+    Includes bindings made in nested scopes too — a deliberate
+    over-approximation that keeps the race rule low-noise: we only report
+    mutations of names that cannot possibly be local.
+    """
+    locals_: set[str] = set(function_params(fn))
+    body = fn.body if isinstance(fn.body, list) else [fn.body]
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    locals_.update(_bound_names(t))
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                locals_.update(_bound_names(node.target))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                locals_.update(_bound_names(node.target))
+            elif isinstance(node, ast.withitem) and node.optional_vars:
+                locals_.update(_bound_names(node.optional_vars))
+            elif isinstance(node, ast.comprehension):
+                locals_.update(_bound_names(node.target))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                locals_.add(node.name)
+            elif isinstance(node, ast.ClassDef):
+                locals_.add(node.name)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    locals_.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                locals_.add(node.name)
+            elif isinstance(node, ast.NamedExpr):
+                locals_.update(_bound_names(node.target))
+    for name in declared_escaping(fn):
+        locals_.discard(name)
+    return locals_
+
+
+def declared_escaping(fn: FunctionNode) -> set[str]:
+    """Names declared ``global`` or ``nonlocal`` anywhere in the body."""
+    out: set[str] = set()
+    body = fn.body if isinstance(fn.body, list) else [fn.body]
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                out.update(node.names)
+    return out
+
+
+def _root_name(node: ast.AST) -> "str | None":
+    """The base ``Name`` of a (possibly nested) attribute/subscript chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def mutations_of_names(
+    body: "list[ast.stmt] | ast.expr", names: set[str]
+) -> Iterator[Mutation]:
+    """Every statement/expression in ``body`` that mutates one of ``names``.
+
+    Detected forms, for a watched name ``x``:
+
+    * ``x[...] = v`` / ``x.attr = v``        (store through the object)
+    * ``x += v`` / ``x[...] += v``           (augmented assignment)
+    * ``del x[...]`` / ``del x.attr``        (deletion through the object)
+    * ``x.append(v)`` and friends            (:data:`MUTATING_METHODS`)
+    """
+    stmts = body if isinstance(body, list) else [body]
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if isinstance(t, (ast.Subscript, ast.Attribute)):
+                        root = _root_name(t)
+                        if root in names:
+                            kind = (
+                                "subscript" if isinstance(t, ast.Subscript)
+                                else "attribute"
+                            )
+                            yield Mutation(node, root, f"{kind} assignment")
+            elif isinstance(node, ast.AugAssign):
+                root = _root_name(node.target)
+                if root in names:
+                    yield Mutation(node, root, "augmented assignment")
+            elif isinstance(node, ast.Delete):
+                for t in node.targets:
+                    if isinstance(t, (ast.Subscript, ast.Attribute)):
+                        root = _root_name(t)
+                        if root in names:
+                            yield Mutation(node, root, "del through the object")
+            elif isinstance(node, ast.Call):
+                f = node.func
+                if (
+                    isinstance(f, ast.Attribute)
+                    and f.attr in MUTATING_METHODS
+                    and isinstance(f.value, ast.Name)
+                    and f.value.id in names
+                ):
+                    yield Mutation(node, f.value.id, f".{f.attr}() call")
+
+
+def captured_mutations(fn: FunctionNode) -> Iterator[Mutation]:
+    """Mutations of names the function captures from an enclosing scope.
+
+    Covers both in-place mutation of captured objects and rebinding of
+    ``global``/``nonlocal``-declared names (a rebind of enclosing state is
+    a write-write race between parallel tasks just as surely).
+    """
+    locals_ = local_bindings(fn)
+    escaping = declared_escaping(fn)
+    body = fn.body if isinstance(fn.body, list) else [fn.body]
+
+    # Rebinding of declared-escaping names.
+    stmts = body if isinstance(body, list) else [body]
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    for name in _bound_names(t):
+                        if name in escaping:
+                            yield Mutation(node, name, "rebinding (global/nonlocal)")
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if node.target.id in escaping:
+                    yield Mutation(
+                        node, node.target.id, "augmented rebinding (global/nonlocal)"
+                    )
+
+    # In-place mutation of anything not provably local.
+    watched: set[str] = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id not in locals_:
+                    watched.add(node.id)
+    watched |= escaping
+    yield from mutations_of_names(body, watched)
+
+
+def enclosing_scopes(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> Iterator[ast.AST]:
+    """The chain of enclosing function/module scopes, innermost first."""
+    cur = parents.get(node)
+    while cur is not None:
+        if isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.Module)
+        ):
+            yield cur
+        cur = parents.get(cur)
+
+
+def resolve_callable(
+    name: str, call: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> "FunctionNode | None":
+    """Find the function/lambda bound to ``name`` in the lexical scopes
+    enclosing ``call`` (nearest scope wins)."""
+    for scope in enclosing_scopes(call, parents):
+        body = scope.body if isinstance(scope.body, list) else [scope.body]
+        best: FunctionNode | None = None
+        for stmt in body if isinstance(body, list) else [body]:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name == name
+                ):
+                    best = node
+                elif isinstance(node, ast.Assign) and isinstance(
+                    node.value, ast.Lambda
+                ):
+                    for t in node.targets:
+                        if isinstance(t, ast.Name) and t.id == name:
+                            best = node.value
+        if best is not None:
+            return best
+    return None

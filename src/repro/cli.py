@@ -12,6 +12,9 @@ Subcommands:
 ``experiments``
     List the paper's experiments and the pytest targets that regenerate
     them (and show any results already produced).
+``lint``
+    Run the parallel-safety lint rules (PT001–PT005) over source paths;
+    exits nonzero when findings remain (see ``docs/static_analysis.md``).
 """
 
 from __future__ import annotations
@@ -199,6 +202,26 @@ def cmd_experiments(_args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis import explain_rules, format_findings, lint_paths
+
+    if args.explain:
+        print(explain_rules())
+        return 0
+    paths = args.paths
+    if not paths:
+        # Default to the package source tree when run from a checkout.
+        paths = ["src/repro"] if os.path.isdir("src/repro") else ["."]
+    select = args.select.split(",") if args.select else None
+    try:
+        findings = lint_paths(paths, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_findings(findings, fmt=args.format))
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -234,7 +257,33 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "experiments", help="list the paper's experiments and bench targets"
     ).set_defaults(fn=cmd_experiments)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the parallel-safety lint rules (PT001-PT005)",
+        description="AST-based parallel-safety lint for the simtime "
+        "substrate; exits 1 when findings remain, 0 when clean.",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument("--format", default="text", choices=["text", "json"])
+    lint.add_argument(
+        "--select", default="",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--explain", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint.set_defaults(fn=cmd_lint)
     return parser
+
+
+def lint_entry() -> int:
+    """Console-script entry point (``repro-lint [paths...]``)."""
+    return main(["lint", *sys.argv[1:]])
 
 
 def main(argv=None) -> int:

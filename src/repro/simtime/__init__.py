@@ -16,8 +16,9 @@ grow with the number of cores, just as in Figure 19.
 
 from repro.simtime.clock import SimClock, Phase
 from repro.simtime.machine import MachineSpec
-from repro.simtime.executor import Executor, SerialExecutor, ThreadExecutor
+from repro.simtime.executor import Executor, SerialExecutor, ThreadExecutor, task_label
 from repro.simtime.cost import CostModel
+from repro.simtime.measure import Stopwatch, measured, timed_call
 
 __all__ = [
     "SimClock",
@@ -26,5 +27,9 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ThreadExecutor",
+    "task_label",
     "CostModel",
+    "Stopwatch",
+    "measured",
+    "timed_call",
 ]

@@ -15,11 +15,33 @@ Two implementations of the same small protocol:
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Protocol, Sequence
 
 from repro.simtime.clock import SimClock
+from repro.simtime.measure import measured
+
+
+def task_label(label: str, fn: Callable) -> str:
+    """The phase label to book: the explicit ``label``, else a name derived
+    from the callable.
+
+    Not every callable has a ``__name__`` — ``functools.partial`` objects
+    and instances with ``__call__`` do not — so fall back to the wrapped
+    function's name and finally to a ``repr``-based tag rather than
+    crashing the accounting path.
+    """
+    if label:
+        return label
+    name = getattr(fn, "__name__", None)
+    if name:
+        return name
+    wrapped = getattr(fn, "func", None)  # functools.partial
+    if wrapped is not None:
+        inner = getattr(wrapped, "__name__", None)
+        if inner:
+            return f"partial({inner})"
+    return f"<{type(fn).__name__}>"
 
 
 class Executor(Protocol):
@@ -50,17 +72,17 @@ class SerialExecutor:
         results = []
         durations = []
         for item in items:
-            t0 = time.perf_counter()
-            results.append(fn(item))
-            durations.append(time.perf_counter() - t0)
+            with measured() as sw:
+                results.append(fn(item))
+            durations.append(sw.elapsed)
         slots = self.slots if self.slots is not None else max(1, len(items))
-        self.clock.parallel(label or fn.__name__, durations, slots)
+        self.clock.parallel(task_label(label, fn), durations, slots)
         return results
 
     def run_serial(self, fn: Callable[[], Any], label: str = "") -> Any:
-        t0 = time.perf_counter()
-        result = fn()
-        self.clock.serial(label or fn.__name__, time.perf_counter() - t0)
+        with measured() as sw:
+            result = fn()
+        self.clock.serial(task_label(label, fn), sw.elapsed)
         return result
 
 
@@ -74,15 +96,14 @@ class ThreadExecutor:
         self.clock = clock or SimClock()
 
     def map_parallel(self, fn: Callable, items: Sequence, label: str = "") -> list:
-        t0 = time.perf_counter()
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            results = list(pool.map(fn, items))
-        wall = time.perf_counter() - t0
-        self.clock.parallel(label or fn.__name__, [wall], slots=1)
+        with measured() as sw:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                results = list(pool.map(fn, items))
+        self.clock.parallel(task_label(label, fn), [sw.elapsed], slots=1)
         return results
 
     def run_serial(self, fn: Callable[[], Any], label: str = "") -> Any:
-        t0 = time.perf_counter()
-        result = fn()
-        self.clock.serial(label or fn.__name__, time.perf_counter() - t0)
+        with measured() as sw:
+            result = fn()
+        self.clock.serial(task_label(label, fn), sw.elapsed)
         return result

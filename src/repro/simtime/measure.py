@@ -1,0 +1,72 @@
+"""The sanctioned wall-clock measurement primitive.
+
+Every *measured* cost in this reproduction must flow through this module.
+The DESIGN.md substitution only holds if all timing that feeds the
+simulated clock is visible to the accounting layer: a stray
+``time.perf_counter()`` call elsewhere in ``src/repro`` silently bypasses
+:class:`~repro.simtime.clock.SimClock` and corrupts the speedup curves.
+The ``PT002`` lint rule (:mod:`repro.analysis`) enforces this by flagging
+direct ``time.time``/``time.perf_counter`` use outside ``simtime/`` and
+``bench/``; call sites instead write::
+
+    with measured() as sw:
+        ... do the work ...
+    return result, sw.elapsed
+
+which keeps the measurement explicit, greppable and mockable in one place.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+#: The raw clock source.  Monotonic, highest available resolution.  Tests
+#: may monkeypatch this to make measured durations deterministic.
+clock_source: Callable[[], float] = time.perf_counter
+
+
+class Stopwatch:
+    """Result handle of :func:`measured`.
+
+    ``elapsed`` is 0.0 until the ``with`` block exits, after which it holds
+    the block's wall-clock duration in seconds.  :meth:`lap` reads the
+    running time without stopping.
+    """
+
+    __slots__ = ("_t0", "elapsed")
+
+    def __init__(self) -> None:
+        self._t0 = clock_source()
+        self.elapsed = 0.0
+
+    def lap(self) -> float:
+        """Seconds since the stopwatch started (without stopping it)."""
+        return clock_source() - self._t0
+
+    def _stop(self) -> None:
+        self.elapsed = clock_source() - self._t0
+
+
+@contextmanager
+def measured() -> Iterator[Stopwatch]:
+    """Measure the wall-clock duration of a ``with`` block.
+
+    >>> with measured() as sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+    sw = Stopwatch()
+    try:
+        yield sw
+    finally:
+        sw._stop()
+
+
+def timed_call(fn: Callable, *args, **kwargs) -> tuple[object, float]:
+    """Run ``fn(*args, **kwargs)`` and return ``(result, seconds)``."""
+    with measured() as sw:
+        result = fn(*args, **kwargs)
+    return result, sw.elapsed

@@ -10,8 +10,6 @@ parallelised inside Crescando (Section 4.2).
 
 from __future__ import annotations
 
-import time
-
 from repro.core.deltamap import SortedArrayDeltaMap
 from repro.core.query import TemporalAggregationQuery
 from repro.core.result import TemporalAggregationResult
@@ -22,6 +20,7 @@ from repro.core.step2 import (
     merge_sorted_arrays,
     merge_window_maps,
 )
+from repro.simtime.measure import measured
 from repro.temporal.timestamps import FOREVER
 
 
@@ -42,54 +41,55 @@ class AggregatorNode:
         """ParTime Step 2 over the storage nodes' partial delta maps;
         returns the final result and the measured merge seconds."""
         agg = query.aggregate_fn
-        t0 = time.perf_counter()
-        if query.is_windowed:
-            points = merge_window_maps(
-                partials, query.window, agg, drop_empty=query.drop_empty
-            )
-            result = TemporalAggregationResult.from_points(
-                query.varied_dims[0], query.window.stride, points, agg.name
-            )
-        elif query.is_multidim:
-            pivot = query.pivot
-            nonpivot = [d for d in query.varied_dims if d != pivot]
-            raw = merge_multidim_maps(
-                partials,
-                agg,
-                num_dims=len(query.varied_dims),
-                pivot_until=self._until(query, pivot),
-                nonpivot_untils=[self._until(query, d) for d in nonpivot],
-            )
-            order = nonpivot + [pivot]
-            perm = [order.index(d) for d in query.varied_dims]
-            rows = [(tuple(ivs[i] for i in perm), v) for ivs, v in raw]
-            result = TemporalAggregationResult.from_multidim(
-                query.varied_dims, rows, agg.name
-            )
-        else:
-            until = self._until(query, query.varied_dims[0])
-            if all(isinstance(m, SortedArrayDeltaMap) for m in partials):
-                pairs = merge_sorted_arrays(
-                    partials, agg, until=until, drop_empty=query.drop_empty
+        with measured() as sw:
+            if query.is_windowed:
+                points = merge_window_maps(
+                    partials, query.window, agg, drop_empty=query.drop_empty
+                )
+                result = TemporalAggregationResult.from_points(
+                    query.varied_dims[0], query.window.stride, points, agg.name
+                )
+            elif query.is_multidim:
+                pivot = query.pivot
+                nonpivot = [d for d in query.varied_dims if d != pivot]
+                raw = merge_multidim_maps(
+                    partials,
+                    agg,
+                    num_dims=len(query.varied_dims),
+                    pivot_until=self._until(query, pivot),
+                    nonpivot_untils=[self._until(query, d) for d in nonpivot],
+                )
+                order = nonpivot + [pivot]
+                perm = [order.index(d) for d in query.varied_dims]
+                rows = [(tuple(ivs[i] for i in perm), v) for ivs, v in raw]
+                result = TemporalAggregationResult.from_multidim(
+                    query.varied_dims, rows, agg.name
                 )
             else:
-                # Delta maps arrive from the storage nodes one by one and
-                # are consolidated incrementally (the accumulated map is
-                # rewritten per arrival).  For queries whose delta maps are
-                # nearly as large as the base table — TPC-BiH r2 — this
-                # costs ~n*k/2 over k partitions, which is why r2 *degrades*
-                # with the number of cores in Figure 19.
-                merged = partials[0]
-                for partial in partials[1:]:
-                    merged = consolidate_pair(merged, partial, agg)
-                pairs = merge_delta_maps(
-                    [merged], agg, until=until, drop_empty=query.drop_empty
+                until = self._until(query, query.varied_dims[0])
+                if all(isinstance(m, SortedArrayDeltaMap) for m in partials):
+                    pairs = merge_sorted_arrays(
+                        partials, agg, until=until, drop_empty=query.drop_empty
+                    )
+                else:
+                    # Delta maps arrive from the storage nodes one by one
+                    # and are consolidated incrementally (the accumulated
+                    # map is rewritten per arrival).  For queries whose
+                    # delta maps are nearly as large as the base table —
+                    # TPC-BiH r2 — this costs ~n*k/2 over k partitions,
+                    # which is why r2 *degrades* with the number of cores
+                    # in Figure 19.
+                    merged = partials[0]
+                    for partial in partials[1:]:
+                        merged = consolidate_pair(merged, partial, agg)
+                    pairs = merge_delta_maps(
+                        [merged], agg, until=until, drop_empty=query.drop_empty
+                    )
+                result = TemporalAggregationResult.from_pairs(
+                    query.varied_dims[0], pairs, agg.name
                 )
-            result = TemporalAggregationResult.from_pairs(
-                query.varied_dims[0], pairs, agg.name
-            )
         self.queries_merged += 1
-        return result, time.perf_counter() - t0
+        return result, sw.elapsed
 
     @staticmethod
     def _until(query: TemporalAggregationQuery, dim: str) -> int:

@@ -23,7 +23,6 @@ ParTime's Step 1 runs *inside* the cycle: a temporal aggregation query's
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,6 +32,7 @@ from repro.core.step1 import (
     generate_multidim_delta_map,
     generate_windowed_delta_map,
 )
+from repro.simtime.measure import measured
 from repro.storage.queries import SelectQuery, TemporalAggQuery
 from repro.temporal.predicates import And, ColumnEquals, CurrentVersion
 from repro.temporal.table import TemporalTable
@@ -92,10 +92,10 @@ class ClockScan:
         equivalent of the scan cursor's per-tuple fetch.
         """
         dim = self.table.schema.transaction_dim
-        t0 = time.perf_counter()
-        if len(self.table):
-            self.table.column(f"{dim}_start").sum()
-        return time.perf_counter() - t0
+        with measured() as sw:
+            if len(self.table):
+                self.table.column(f"{dim}_start").sum()
+        return sw.elapsed
 
     @staticmethod
     def _indexable(op) -> "tuple[str, bool] | None":
@@ -133,21 +133,23 @@ class ClockScan:
         "index on queries": probe the batch's value set while scanning,
         instead of evaluating each predicate against each tuple)."""
         column, current = key
-        t0 = time.perf_counter()
-        values = chunk.column(column)
-        if current:
-            dim = self.table.schema.transaction_dim
-            values = values[chunk.column(f"{dim}_end") >= FOREVER]
-        uniques, counts = np.unique(values, return_counts=True)
-        histogram = dict(zip(uniques.tolist(), counts.tolist()))
-        for op in ops:
-            results[op.op_id] = int(histogram.get(self._lookup_value(op), 0))
-        group_seconds = time.perf_counter() - t0
+        with measured() as sw:
+            values = chunk.column(column)
+            if current:
+                dim = self.table.schema.transaction_dim
+                values = values[chunk.column(f"{dim}_end") >= FOREVER]
+            uniques, counts = np.unique(values, return_counts=True)
+            histogram = dict(zip(uniques.tolist(), counts.tolist()))
+            for op in ops:
+                results[op.op_id] = int(
+                    histogram.get(self._lookup_value(op), 0)
+                )
+        group_seconds = sw.elapsed
         # Stand-alone pricing: one representative predicate evaluated the
         # conventional way (what a single lookup would cost alone).
-        t0 = time.perf_counter()
-        int(ops[0].predicate.mask(chunk).sum())
-        standalone = time.perf_counter() - t0
+        with measured() as sw:
+            int(ops[0].predicate.mask(chunk).sum())
+        standalone = sw.elapsed
         for op in ops:
             report.per_op_seconds[op.op_id] = group_seconds / len(ops)
             report.standalone_seconds[op.op_id] = standalone
@@ -173,14 +175,14 @@ class ClockScan:
             if key is not None:
                 index_groups.setdefault(key, []).append(op)
                 continue
-            t0 = time.perf_counter()
-            if isinstance(op, SelectQuery):
-                results[op.op_id] = int(op.predicate.mask(chunk).sum())
-            elif isinstance(op, TemporalAggQuery):
-                results[op.op_id] = self._step1(chunk, op.query)
-            else:
-                raise TypeError(f"not a read operation: {op!r}")
-            report.per_op_seconds[op.op_id] = time.perf_counter() - t0
+            with measured() as sw:
+                if isinstance(op, SelectQuery):
+                    results[op.op_id] = int(op.predicate.mask(chunk).sum())
+                elif isinstance(op, TemporalAggQuery):
+                    results[op.op_id] = self._step1(chunk, op.query)
+                else:
+                    raise TypeError(f"not a read operation: {op!r}")
+            report.per_op_seconds[op.op_id] = sw.elapsed
         for key, ops in index_groups.items():
             self._run_index_group(chunk, key, ops, results, report)
         return results, report

@@ -10,12 +10,11 @@ one aggregator).  Crescando uses no data indexes, ever (Section 5.1) —
 
 from __future__ import annotations
 
-import time
-
 from repro.core.query import TemporalAggregationQuery
 from repro.core.result import TemporalAggregationResult
 from repro.storage.cluster import Cluster
 from repro.storage.partitioning import Partitioner, RoundRobinPartitioner
+from repro.simtime.measure import measured
 from repro.storage.queries import SelectQuery, TemporalAggQuery
 from repro.systems.base import Engine
 from repro.temporal.predicates import Predicate
@@ -70,16 +69,16 @@ class CrescandoEngine(Engine):
         temporal columns are no different than any other column and
         Crescando creates no data structures that are specific to temporal
         data" (Section 5.7)."""
-        t0 = time.perf_counter()
-        self.cluster = Cluster.from_table(
-            table,
-            num_storage=self.num_storage,
-            num_aggregators=self.num_aggregators,
-            partitioner=self.partitioner,
-            sharing=self.sharing,
-            scan_mode=self.scan_mode,
-        )
-        return time.perf_counter() - t0
+        with measured() as sw:
+            self.cluster = Cluster.from_table(
+                table,
+                num_storage=self.num_storage,
+                num_aggregators=self.num_aggregators,
+                partitioner=self.partitioner,
+                sharing=self.sharing,
+                scan_mode=self.scan_mode,
+            )
+        return sw.elapsed
 
     def _require_loaded(self) -> Cluster:
         if self.cluster is None:

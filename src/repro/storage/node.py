@@ -9,8 +9,7 @@ routed) and answers read batches through its :class:`ClockScan`.
 
 from __future__ import annotations
 
-import time
-
+from repro.simtime.measure import measured
 from repro.storage.clockscan import ClockScan, ScanCycleReport
 from repro.storage.queries import DeleteOp, InsertOp, UpdateOp
 from repro.temporal.table import TemporalTable
@@ -45,15 +44,17 @@ class StorageNode:
         :meth:`insert_version` / :meth:`commit_write` instead.
         """
         self.table.sync_version(version)
-        t0 = time.perf_counter()
-        if isinstance(op, DeleteOp):
-            created = self.table.delete(op.key_value, op.business, missing_ok=True)
-        elif isinstance(op, InsertOp):
-            created = [self.table.insert(op.values, op.business)]
-        else:
-            raise TypeError(f"not a self-contained write: {op!r}")
+        with measured() as sw:
+            if isinstance(op, DeleteOp):
+                created = self.table.delete(
+                    op.key_value, op.business, missing_ok=True
+                )
+            elif isinstance(op, InsertOp):
+                created = [self.table.insert(op.values, op.business)]
+            else:
+                raise TypeError(f"not a self-contained write: {op!r}")
         self.updates_applied += 1
-        return created, time.perf_counter() - t0
+        return created, sw.elapsed
 
     # --- two-phase (distributed) updates --------------------------------
 
@@ -65,9 +66,11 @@ class StorageNode:
         """Phase 1 of a broadcast update on this partition: close the
         overlapping current versions and re-insert their uncovered
         fragments.  Returns (value templates, created row ids, seconds)."""
-        t0 = time.perf_counter()
-        templates, created = self.table.close_versions(op.key_value, op.business)
-        return templates, created, time.perf_counter() - t0
+        with measured() as sw:
+            templates, created = self.table.close_versions(
+                op.key_value, op.business
+            )
+        return templates, created, sw.elapsed
 
     def insert_version(self, values, business) -> int:
         """Phase 2, on the one chosen node: the update's new version."""

@@ -13,10 +13,10 @@ ParTime against.
 from __future__ import annotations
 
 import math
-import time
 
 from repro.core.partime import ParTime
 from repro.simtime.executor import SerialExecutor
+from repro.simtime.measure import measured
 from repro.core.query import TemporalAggregationQuery
 from repro.core.result import TemporalAggregationResult
 from repro.simtime.cost import CostModel, DEFAULT_COSTS
@@ -50,15 +50,14 @@ class CommercialEngine(Engine):
     # ------------------------------------------------------------- loading
 
     def bulkload(self, table: TemporalTable) -> float:
-        t0 = time.perf_counter()
         # The measured base work of ingesting: touch every physical column
         # once (the copy a loader cannot avoid).
-        chunk = table.chunk()
-        for name in table.schema.physical_columns():
-            chunk.column(name).copy()
-        base = time.perf_counter() - t0
+        with measured() as sw:
+            chunk = table.chunk()
+            for name in table.schema.physical_columns():
+                chunk.column(name).copy()
         self._table = table
-        return base * self.load_factor
+        return sw.elapsed * self.load_factor
 
     def memory_bytes(self) -> int:
         self._require_loaded()
@@ -98,9 +97,9 @@ class CommercialEngine(Engine):
     def select(self, predicate: Predicate, indexed: bool = False) -> tuple[int, float]:
         self._require_loaded()
         chunk = self._table.chunk()
-        t0 = time.perf_counter()
-        count = int(predicate.mask(chunk).sum())
-        base = time.perf_counter() - t0
+        with measured() as sw:
+            count = int(predicate.mask(chunk).sum())
+        base = sw.elapsed
         if indexed:
             # An index turns the scan into a handful of lookups; model as
             # the scan work divided by the calibrated speedup, floored by a

@@ -10,11 +10,10 @@ vectorized scan: the lower bound the paper compares ParTime against.
 
 from __future__ import annotations
 
-import time
-
 from repro.core.query import TemporalAggregationQuery
 from repro.core.result import TemporalAggregationResult
 from repro.systems.base import Engine
+from repro.simtime.measure import Stopwatch, measured
 from repro.temporal.predicates import Predicate
 from repro.temporal.table import TemporalTable
 from repro.timeline.index import TimelineIndex
@@ -38,27 +37,27 @@ class TimelineEngine(Engine):
 
     def bulkload(self, table: TemporalTable) -> float:
         """Build one Timeline Index per time dimension (measured)."""
-        t0 = time.perf_counter()
-        self._table = table
-        self._mask_cache = {}
-        self._indexes = {
-            dim.name: TimelineIndex(
-                table, dim.name, self.value_columns, self.checkpoint_every
-            )
-            for dim in table.schema.time_dimensions
-        }
-        return time.perf_counter() - t0
+        with measured() as sw:
+            self._table = table
+            self._mask_cache = {}
+            self._indexes = {
+                dim.name: TimelineIndex(
+                    table, dim.name, self.value_columns, self.checkpoint_every
+                )
+                for dim in table.schema.time_dimensions
+            }
+        return sw.elapsed
 
     def refresh(self) -> float:
         """Maintenance after table updates; returns measured seconds —
         the cost that makes the Timeline unviable for the Amadeus
         workload."""
         self._require_loaded()
-        t0 = time.perf_counter()
-        self._mask_cache = {}
-        for index in self._indexes.values():
-            index.refresh(self._table)
-        return time.perf_counter() - t0
+        with measured() as sw:
+            self._mask_cache = {}
+            for index in self._indexes.values():
+                index.refresh(self._table)
+        return sw.elapsed
 
     def memory_bytes(self) -> int:
         self._require_loaded()
@@ -85,7 +84,7 @@ class TimelineEngine(Engine):
         dim = query.varied_dims[0]
         index = self._indexes[dim]
         agg = query.aggregate_fn
-        t0 = time.perf_counter()
+        sw = Stopwatch()
         # Predicates are memoised: a read-only Timeline deployment
         # materialises the row-id set of each recurring selection next to
         # the index, so steady-state queries touch only precomputed state.
@@ -121,12 +120,12 @@ class TimelineEngine(Engine):
             result = TemporalAggregationResult.from_pairs(
                 dim, pairs, aggregate_name=agg.name
             )
-        return result, time.perf_counter() - t0
+        return result, sw.lap()
 
     def select(self, predicate: Predicate, indexed: bool = False) -> tuple[int, float]:
         """The Timeline Index does not serve general selections; fall back
         to a scan of the base table."""
         self._require_loaded()
-        t0 = time.perf_counter()
-        count = int(predicate.mask(self._table.chunk()).sum())
-        return count, time.perf_counter() - t0
+        with measured() as sw:
+            count = int(predicate.mask(self._table.chunk()).sum())
+        return count, sw.elapsed

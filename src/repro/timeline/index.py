@@ -19,12 +19,12 @@ materialisation.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.aggregates import get_aggregate
+from repro.simtime.measure import Stopwatch
 from repro.core.step2 import finalize_arrays
 from repro.core.window import WindowSpec
 from repro.temporal.table import TemporalTable
@@ -369,7 +369,7 @@ class TimelineIndex:
         before the current tail (business-time dimensions), the whole event
         map is re-sorted and all checkpoints rebuilt — the expensive path.
         """
-        t0 = time.perf_counter()
+        sw = Stopwatch()
         dim = self.dim
         n_new = len(table) - self._indexed_rows
         starts = table.column(f"{dim}_start")
@@ -425,5 +425,5 @@ class TimelineIndex:
             closed_rows=int(len(closed_rows)),
             events_appended=appended,
             resorted=resorted,
-            seconds=time.perf_counter() - t0,
+            seconds=sw.lap(),
         )

@@ -1,0 +1,140 @@
+"""ThreadExecutor ↔ SerialExecutor parity, and label-fallback robustness.
+
+DESIGN.md's hardware substitution claims that swapping the executor only
+changes *timing*, never *answers*.  These tests pin that claim: a full
+ParTime query under real threads and under simulated-parallel serial
+execution must produce identical aggregates.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.core import ParTime, TemporalAggregationQuery, WindowSpec
+from repro.simtime import SerialExecutor, ThreadExecutor
+from repro.simtime.executor import task_label
+from repro.temporal import Overlaps
+from repro.workloads import AmadeusConfig, AmadeusWorkload
+
+from tests.conftest import BT_1993, BT_1995, BT_1996, build_employee_table
+
+
+@pytest.fixture(scope="module")
+def amadeus_table():
+    return AmadeusWorkload(AmadeusConfig(num_bookings=600, seed=5)).table
+
+
+class TestThreadSerialParity:
+    """The DESIGN.md parity claim, checked query shape by query shape."""
+
+    def assert_parity(self, table, query, workers=4, **partime_kwargs):
+        serial = ParTime(**partime_kwargs).execute(
+            table, query, workers=workers, executor=SerialExecutor()
+        )
+        threaded = ParTime(**partime_kwargs).execute(
+            table, query, workers=workers,
+            executor=ThreadExecutor(max_workers=workers),
+        )
+        assert threaded.rows == serial.rows
+        return serial
+
+    def test_onedim_employee(self):
+        table = build_employee_table()
+        self.assert_parity(
+            table,
+            TemporalAggregationQuery(
+                varied_dims=("tt",), value_column="salary",
+                predicate=Overlaps("bt", BT_1995, BT_1996),
+            ),
+        )
+
+    def test_onedim_amadeus_full_history(self, amadeus_table):
+        self.assert_parity(
+            amadeus_table,
+            TemporalAggregationQuery(varied_dims=("tt",), value_column=None),
+            workers=8,
+        )
+
+    def test_multidim_employee(self):
+        table = build_employee_table()
+        self.assert_parity(
+            table,
+            TemporalAggregationQuery(
+                varied_dims=("bt", "tt"), value_column="salary", pivot="tt"
+            ),
+        )
+
+    def test_windowed_employee(self):
+        table = build_employee_table()
+        self.assert_parity(
+            table,
+            TemporalAggregationQuery(
+                varied_dims=("bt",), value_column="salary",
+                window=WindowSpec(BT_1993, 365, 3),
+            ),
+        )
+
+    def test_parallel_step2(self, amadeus_table):
+        self.assert_parity(
+            amadeus_table,
+            TemporalAggregationQuery(varied_dims=("tt",), value_column=None),
+            workers=6,
+            parallel_step2=True,
+        )
+
+    def test_both_clocks_record_phases(self):
+        table = build_employee_table()
+        query = TemporalAggregationQuery(
+            varied_dims=("tt",), value_column="salary"
+        )
+        for executor in (SerialExecutor(), ThreadExecutor(max_workers=2)):
+            ParTime().execute(table, query, workers=2, executor=executor)
+            labels = [p.label for p in executor.clock.phases]
+            assert labels == ["partime.step1", "partime.step2"]
+
+
+class _CallableObject:
+    """A callable with no ``__name__`` attribute."""
+
+    def __call__(self, x):
+        return x + 1
+
+
+class TestLabelFallback:
+    """Regression: ``label or fn.__name__`` crashed on functools.partial
+    and other nameless callables."""
+
+    def test_partial_does_not_crash_map_parallel(self):
+        executor = SerialExecutor()
+        fn = functools.partial(pow, 2)
+        assert executor.map_parallel(fn, [1, 2, 3]) == [2, 4, 8]
+        assert executor.clock.phases[-1].label == "partial(pow)"
+
+    def test_partial_does_not_crash_run_serial(self):
+        executor = SerialExecutor()
+        assert executor.run_serial(functools.partial(int, "7")) == 7
+        assert executor.clock.phases[-1].label == "partial(int)"
+
+    def test_callable_object_falls_back_to_type_name(self):
+        executor = SerialExecutor()
+        assert executor.map_parallel(_CallableObject(), [1, 2]) == [2, 3]
+        assert executor.clock.phases[-1].label == "<_CallableObject>"
+
+    def test_thread_executor_partial(self):
+        executor = ThreadExecutor(max_workers=2)
+        fn = functools.partial(pow, 3)
+        assert executor.map_parallel(fn, [1, 2]) == [3, 9]
+        assert executor.clock.phases[-1].label == "partial(pow)"
+
+    def test_explicit_label_still_wins(self):
+        executor = SerialExecutor()
+        executor.map_parallel(functools.partial(pow, 2), [1], label="mine")
+        assert executor.clock.phases[-1].label == "mine"
+
+    def test_task_label_unit(self):
+        assert task_label("x", len) == "x"
+        assert task_label("", len) == "len"
+        assert task_label("", functools.partial(len)) == "partial(len)"
+        assert task_label("", _CallableObject()) == "<_CallableObject>"

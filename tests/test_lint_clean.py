@@ -1,0 +1,32 @@
+"""Tier-1 gate: the package source tree must be lint-clean.
+
+This is the machine-checked form of the DESIGN.md substitution's two
+claims — Step 1 is embarrassingly parallel (PT001) and every measured
+cost flows through SimClock (PT002) — plus the supporting hygiene rules
+(PT003–PT005).  New code that violates a rule fails this test; genuine
+exceptions carry a ``# partime: ignore[PTxxx]`` suppression with a
+rationale next to it.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis import format_findings, lint_paths
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def test_src_tree_is_lint_clean():
+    findings = lint_paths([SRC])
+    assert not findings, "\n" + format_findings(findings)
+
+
+def test_src_tree_has_files_to_lint():
+    # Guard against a vacuously-green gate (e.g. a bad path).
+    from repro.analysis import iter_python_files
+
+    files = iter_python_files([SRC])
+    assert len(files) > 50
+    assert any(f.endswith(os.path.join("core", "partime.py")) for f in files)

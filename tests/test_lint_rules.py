@@ -1,0 +1,496 @@
+"""The parallel-safety lint framework: rule catalogue PT001–PT005.
+
+Every rule gets three fixtures — a positive (triggers), a negative
+(passes) and a suppressed variant — plus driver/CLI behaviour tests.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    DEFAULT_RULES,
+    RULES_BY_ID,
+    Severity,
+    format_findings,
+    lint_paths,
+    lint_source,
+    suppressed_codes,
+)
+from repro.cli import main as cli_main
+
+
+def lint(src: str, path: str = "fixture.py", select=None):
+    return lint_source(textwrap.dedent(src), path=path, select=select)
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# ---------------------------------------------------------------- PT001
+
+
+class TestSharedMutableCapture:
+    def test_positive_append_to_captured_list(self):
+        findings = lint(
+            """
+            def run(executor, chunks):
+                results = []
+                def task(chunk):
+                    results.append(len(chunk))
+                executor.map_parallel(task, chunks, label="phase")
+                return results
+            """
+        )
+        assert rule_ids(findings) == ["PT001"]
+        assert "results" in findings[0].message
+        assert findings[0].line == 5
+
+    def test_positive_dict_store_and_global_rebind(self):
+        findings = lint(
+            """
+            TOTALS = {}
+            counter = 0
+            def run(executor, chunks):
+                def task(chunk):
+                    global counter
+                    counter += 1
+                    TOTALS[chunk.row_offset] = len(chunk)
+                executor.map_parallel(task, chunks, label="phase")
+            """
+        )
+        assert rule_ids(findings) == ["PT001", "PT001"]
+        names = {f.message.split("'")[3] for f in findings}
+        assert names == {"counter", "TOTALS"}
+
+    def test_positive_lambda_put_on_shared_map(self):
+        findings = lint(
+            """
+            def run(executor, chunks, shared_map):
+                executor.map_parallel(
+                    lambda c: shared_map.put(0, len(c)), chunks, label="p"
+                )
+            """
+        )
+        assert rule_ids(findings) == ["PT001"]
+
+    def test_negative_task_local_mutation(self):
+        findings = lint(
+            """
+            def run(executor, chunks):
+                def task(chunk):
+                    local = []
+                    for x in range(3):
+                        local.append(x)
+                    return local
+                return executor.map_parallel(task, chunks, label="phase")
+            """
+        )
+        assert findings == []
+
+    def test_negative_reads_of_captured_state(self):
+        findings = lint(
+            """
+            def run(executor, chunks, query):
+                factor = 2
+                def task(chunk):
+                    return len(chunk) * factor + query.cost
+                return executor.map_parallel(task, chunks, label="phase")
+            """
+        )
+        assert findings == []
+
+    def test_negative_default_arg_rebinding_is_local(self):
+        # The partime.py _consolidate_parallel idiom: captured list passed
+        # through a default argument becomes a parameter — not a capture.
+        findings = lint(
+            """
+            def run(executor, maps, pairs):
+                def merge(pair, _maps=maps):
+                    i, j = pair
+                    return (_maps[i], _maps[j])
+                return executor.map_parallel(merge, pairs, label="phase")
+            """
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint(
+            """
+            def run(executor, chunks):
+                results = []
+                def task(chunk):
+                    results.append(len(chunk))  # partime: ignore[PT001]
+                executor.map_parallel(task, chunks, label="phase")
+            """
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------- PT002
+
+
+class TestUnaccountedWallClock:
+    def test_positive_perf_counter(self):
+        findings = lint(
+            """
+            import time
+            def f():
+                t0 = time.perf_counter()
+                return time.time() - t0
+            """,
+            path="src/repro/core/somefile.py",
+        )
+        assert rule_ids(findings) == ["PT002", "PT002"]
+
+    def test_positive_from_import(self):
+        findings = lint(
+            "from time import perf_counter\n",
+            path="src/repro/storage/x.py",
+        )
+        assert rule_ids(findings) == ["PT002"]
+
+    def test_negative_exempt_simtime_and_bench(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint(src, path="src/repro/simtime/executor.py") == []
+        assert lint(src, path="src/repro/bench/harness.py") == []
+        assert lint(src, path="benchmarks/bench_x.py") == []
+
+    def test_negative_sanctioned_helper(self):
+        findings = lint(
+            """
+            from repro.simtime.measure import measured
+            def f(work):
+                with measured() as sw:
+                    work()
+                return sw.elapsed
+            """,
+            path="src/repro/core/x.py",
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint(
+            "import time\nt = time.time()  # partime: ignore[PT002]\n",
+            path="src/repro/core/x.py",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------- PT003
+
+
+class TestUnlabeledPhase:
+    def test_positive_missing_and_empty_labels(self):
+        findings = lint(
+            """
+            def f(executor, items):
+                executor.map_parallel(len, items)
+                executor.run_serial(list, label="")
+            """
+        )
+        assert rule_ids(findings) == ["PT003", "PT003"]
+
+    def test_positive_clock_calls(self):
+        findings = lint(
+            """
+            def f(clock):
+                clock.parallel([1.0, 2.0], 2)
+                clock.serial(0.5)
+            """
+        )
+        assert rule_ids(findings) == ["PT003", "PT003"]
+
+    def test_negative_labeled_calls(self):
+        findings = lint(
+            """
+            def f(executor, items, clock, self_label):
+                executor.map_parallel(len, items, label="partime.step1")
+                executor.run_serial(list, label="partime.step2")
+                clock.parallel("scan", [1.0], 2)
+                clock.serial(self_label or "merge", 0.5)
+            """
+        )
+        assert findings == []
+
+    def test_negative_positional_label(self):
+        findings = lint(
+            """
+            def f(executor, fn, items):
+                executor.map_parallel(fn, items, "labelled")
+            """
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint(
+            """
+            def f(executor, items):
+                executor.map_parallel(len, items)  # partime: ignore[PT003]
+            """
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------- PT004
+
+
+class TestImpureAggregate:
+    def test_positive_combine_mutates_argument(self):
+        findings = lint(
+            """
+            class BrokenAggregate:
+                def combine(self, d1, d2):
+                    d1.update(d2)
+                    return d1
+            """
+        )
+        assert rule_ids(findings) == ["PT004"]
+        assert "d1" in findings[0].message
+
+    def test_positive_apply_mutates_delta(self):
+        findings = lint(
+            """
+            class Base:
+                pass
+            class MyAggregateFunction(Base):
+                pass
+            class Sub(MyAggregateFunction):
+                def apply(self, acc, d):
+                    acc.add(1)        # accumulator mutation: allowed
+                    d.append("oops")  # delta mutation: flagged
+                    return acc
+            """
+        )
+        assert rule_ids(findings) == ["PT004"]
+        assert "'d'" in findings[0].message
+
+    def test_positive_negate_subscript_store(self):
+        findings = lint(
+            """
+            class XAggregate:
+                def negate(self, d):
+                    d[0] = -d[0]
+                    return d
+            """
+        )
+        assert rule_ids(findings) == ["PT004"]
+
+    def test_negative_value_semantic_methods(self):
+        findings = lint(
+            """
+            class GoodAggregate:
+                def make_delta(self, value, sign):
+                    return (sign * value, sign)
+                def combine(self, d1, d2):
+                    return (d1[0] + d2[0], d1[1] + d2[1])
+                def negate(self, d):
+                    return (-d[0], -d[1])
+                def apply(self, acc, d):
+                    acc.add(d)
+                    return acc
+            """
+        )
+        assert findings == []
+
+    def test_negative_non_aggregate_class(self):
+        findings = lint(
+            """
+            class NotRelated:
+                def combine(self, d1, d2):
+                    d1.update(d2)
+                    return d1
+            """
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint(
+            """
+            class XAggregate:
+                def combine(self, d1, d2):
+                    d1.update(d2)  # partime: ignore[PT004]
+                    return d1
+            """
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------- PT005
+
+
+class TestGilBlindLoop:
+    def test_positive_record_loop_in_vectorized_branch(self):
+        findings = lint(
+            """
+            def step1(chunk, mode):
+                if mode == "vectorized":
+                    total = 0
+                    for record in chunk.records():
+                        total += record["v"]
+                    return total
+            """
+        )
+        assert rule_ids(findings) == ["PT005"]
+
+    def test_positive_range_len_loop_in_vectorized_function(self):
+        findings = lint(
+            """
+            def scan_vectorized(chunk):
+                out = []
+                for i in range(len(chunk)):
+                    out.append(chunk.record(i))
+                return out
+            """
+        )
+        assert rule_ids(findings) == ["PT005"]
+
+    def test_negative_loop_in_pure_branch(self):
+        findings = lint(
+            """
+            def step1(chunk, mode):
+                if mode == "vectorized":
+                    return chunk.column("v").sum()
+                total = 0
+                for record in chunk.records():
+                    total += record["v"]
+                return total
+            """
+        )
+        assert findings == []
+
+    def test_negative_non_record_loop_in_vectorized_branch(self):
+        findings = lint(
+            """
+            def step1(chunk, columns, mode):
+                if mode == "vectorized":
+                    return [chunk.column(name) for name in columns]
+            """
+        )
+        assert findings == []
+
+    def test_suppression(self):
+        findings = lint(
+            """
+            def step1(chunk, mode):
+                if mode == "vectorized":
+                    for record in chunk.records():  # partime: ignore[PT005]
+                        pass
+            """
+        )
+        assert findings == []
+
+
+# ------------------------------------------------------------- framework
+
+
+class TestFramework:
+    def test_rule_catalogue_complete(self):
+        assert [r.id for r in DEFAULT_RULES] == [
+            "PT001", "PT002", "PT003", "PT004", "PT005",
+        ]
+        assert set(RULES_BY_ID) == {r.id for r in DEFAULT_RULES}
+        for rule in DEFAULT_RULES:
+            assert rule.rationale
+            assert rule.severity in (Severity.ERROR, Severity.WARNING)
+
+    def test_bare_suppression_suppresses_everything(self):
+        findings = lint(
+            "import time\nt = time.time()  # partime: ignore\n",
+            path="src/repro/core/x.py",
+        )
+        assert findings == []
+
+    def test_suppression_of_other_rule_does_not_hide(self):
+        findings = lint(
+            "import time\nt = time.time()  # partime: ignore[PT001]\n",
+            path="src/repro/core/x.py",
+        )
+        assert rule_ids(findings) == ["PT002"]
+
+    def test_suppressed_codes_parsing(self):
+        assert suppressed_codes("x = 1") is None
+        assert suppressed_codes("x = 1  # partime: ignore") == set()
+        assert suppressed_codes("x  # partime: ignore[PT001, PT004]") == {
+            "PT001", "PT004",
+        }
+
+    def test_select_filters_rules(self):
+        src = """
+        import time
+        def f(executor, items):
+            t0 = time.time()
+            executor.map_parallel(len, items)
+        """
+        assert rule_ids(lint(src, path="src/repro/core/x.py")) == [
+            "PT002", "PT003",
+        ]
+        assert rule_ids(
+            lint(src, path="src/repro/core/x.py", select=["PT003"])
+        ) == ["PT003"]
+
+    def test_unknown_select_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_source("x = 1", select=["PT999"])
+
+    def test_syntax_error_reported_as_pt000(self):
+        findings = lint_source("def broken(:\n", path="bad.py")
+        assert rule_ids(findings) == ["PT000"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_format_text_and_json(self):
+        findings = lint(
+            "import time\nt = time.time()\n", path="src/repro/core/x.py"
+        )
+        text = format_findings(findings, "text")
+        assert "PT002" in text and "1 finding(s)" in text
+        payload = json.loads(format_findings(findings, "json"))
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "PT002"
+        assert format_findings([], "text") == "clean: no findings"
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text("import time\nt = time.perf_counter()\n")
+        (pkg / "good.py").write_text("x = 1\n")
+        findings = lint_paths([str(tmp_path)])
+        assert rule_ids(findings) == ["PT002"]
+        with pytest.raises(FileNotFoundError):
+            lint_paths([str(tmp_path / "missing")])
+
+
+class TestLintCli:
+    def test_cli_clean_exit_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert cli_main(["lint", str(good)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_cli_findings_exit_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.perf_counter()\n")
+        assert cli_main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "PT002" in out and "bad.py:2" in out
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.perf_counter()\n")
+        assert cli_main(["lint", "--format=json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+
+    def test_cli_explain(self, capsys):
+        assert cli_main(["lint", "--explain"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("PT001", "PT002", "PT003", "PT004", "PT005"):
+            assert rule_id in out
+
+    def test_cli_missing_path_exit_two(self, tmp_path, capsys):
+        assert cli_main(["lint", str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err

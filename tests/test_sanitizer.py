@@ -1,0 +1,268 @@
+"""The runtime race sanitizer: SanitizingExecutor over racy and clean
+task sets, and over the full ParTime pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ChunkProxy,
+    RaceError,
+    SanitizingExecutor,
+)
+from repro.core import ParTime, TemporalAggregationQuery, WindowSpec
+from repro.core.aggregates import SUM
+from repro.core.deltamap import BTreeDeltaMap
+from repro.simtime import SerialExecutor, ThreadExecutor
+from repro.temporal import CurrentVersion, Overlaps
+
+from tests.conftest import BT_1993, BT_1995, BT_1996, build_employee_table
+
+
+# ------------------------------------------------------------ racy fixtures
+
+
+class TestRaceDetection:
+    def test_overlapping_writes_raise(self):
+        """The seeded racy task set: every task writes key 0 of one
+        shared delta map — the canonical broken 'aggregate into a shared
+        map' shortcut."""
+        sanitizer = SanitizingExecutor(SerialExecutor())
+        shared = sanitizer.watch(BTreeDeltaMap(SUM), name="shared-dm")
+
+        def task(value):
+            shared.put(0, SUM.make_delta(value, +1))
+            return value
+
+        with pytest.raises(RaceError) as exc:
+            sanitizer.map_parallel(task, [1, 2, 3, 4], label="racy.step1")
+        reports = exc.value.reports
+        assert reports and all(r.kind == "write-write" for r in reports)
+        assert reports[0].phase == "racy.step1"
+        assert reports[0].target == "shared-dm"
+        assert "shared-dm" in str(exc.value)
+
+    def test_record_mode_collects_instead_of_raising(self):
+        sanitizer = SanitizingExecutor(SerialExecutor(), on_race="record")
+        shared = sanitizer.watch({}, name="shared-dict")
+
+        def task(i):
+            shared[42] = i  # same key from every task
+            return i
+
+        results = sanitizer.map_parallel(task, [0, 1, 2], label="racy")
+        assert results == [0, 1, 2]
+        ww = [r for r in sanitizer.reports if r.kind == "write-write"]
+        assert len(ww) == 2  # tasks 1 and 2 collide with task 0's write
+        assert {r.key for r in ww} == {42}
+
+    def test_disjoint_writes_pass(self):
+        sanitizer = SanitizingExecutor(SerialExecutor())
+        shared = sanitizer.watch(BTreeDeltaMap(SUM), name="dm")
+
+        def task(key):
+            shared.put(key, SUM.make_delta(1, +1))
+            return key
+
+        sanitizer.map_parallel(task, [10, 20, 30, 40], label="disjoint")
+        assert [r for r in sanitizer.reports if r.kind == "write-write"] == []
+        assert len(shared) == 4  # writes really went through the proxy
+
+    def test_shared_list_appends_race(self):
+        sanitizer = SanitizingExecutor(SerialExecutor(), on_race="record")
+        results = sanitizer.watch([], name="results")
+
+        def task(i):
+            results.append(i)
+
+        sanitizer.map_parallel(task, [1, 2], label="appends")
+        assert any(r.kind == "write-write" for r in sanitizer.reports)
+
+    def test_read_write_overlap_reported_not_fatal(self):
+        sanitizer = SanitizingExecutor(SerialExecutor())
+        shared = sanitizer.watch({0: "seed"}, name="d")
+
+        def task(i):
+            if i == 0:
+                shared[1] = "w"  # writer
+                return None
+            return shared[1]  # reader of the same key
+
+        sanitizer.map_parallel(task, [0, 1], label="rw")  # must not raise
+        kinds = {r.kind for r in sanitizer.reports}
+        assert kinds == {"read-write"}
+
+    def test_race_error_formats_many_reports(self):
+        sanitizer = SanitizingExecutor(SerialExecutor(), on_race="record")
+        shared = sanitizer.watch({}, name="d")
+
+        def task(i):
+            for k in range(15):
+                shared[k] = i
+
+        sanitizer.map_parallel(task, [0, 1], label="wide")
+        err = RaceError(sanitizer.reports)
+        assert "more" in str(err)
+
+    def test_races_only_within_one_phase(self):
+        """The same key written in *different* phases is not a race —
+        phases are sequenced by the executor."""
+        sanitizer = SanitizingExecutor(SerialExecutor())
+        shared = sanitizer.watch({}, name="d")
+
+        def task(i):
+            shared[0] = i
+
+        sanitizer.map_parallel(task, [1], label="phase1")
+        sanitizer.map_parallel(task, [2], label="phase2")
+        assert sanitizer.reports == []
+
+    def test_serial_phase_never_races(self):
+        sanitizer = SanitizingExecutor(SerialExecutor())
+        shared = sanitizer.watch({}, name="d")
+
+        def step():
+            shared[0] = 1
+            shared[0] = 2
+            return shared[0]
+
+        assert sanitizer.run_serial(step, label="merge") == 2
+        assert sanitizer.reports == []
+
+    def test_works_over_thread_executor(self):
+        sanitizer = SanitizingExecutor(ThreadExecutor(max_workers=2))
+        shared = sanitizer.watch({}, name="d")
+
+        def task(i):
+            shared[7] = i
+            return i
+
+        with pytest.raises(RaceError):
+            sanitizer.map_parallel(task, list(range(8)), label="threads")
+
+
+# ------------------------------------------------------- chunk protection
+
+
+class TestChunkProxy:
+    def test_columns_are_read_only(self):
+        table = build_employee_table()
+        sanitizer = SanitizingExecutor(SerialExecutor())
+        proxy = sanitizer.watch(table.chunk(), name="chunk")
+        assert isinstance(proxy, ChunkProxy)
+        col = proxy.column("salary")
+        with pytest.raises(ValueError):
+            col[0] = 999_999  # writing shared table storage must blow up
+
+    def test_in_task_column_write_raises(self):
+        table = build_employee_table()
+        sanitizer = SanitizingExecutor(SerialExecutor())
+        chunks = table.chunks(2)
+
+        def evil(chunk):
+            chunk.column("salary")[0] = 0
+            return len(chunk)
+
+        with pytest.raises(ValueError):
+            sanitizer.map_parallel(evil, chunks, label="evil.scan")
+
+    def test_proxy_preserves_chunk_interface(self):
+        table = build_employee_table()
+        sanitizer = SanitizingExecutor(SerialExecutor())
+        chunk = table.chunk()
+        proxy = sanitizer.watch(chunk, name="chunk")
+        assert len(proxy) == len(chunk)
+        assert proxy.schema is chunk.schema
+        assert proxy.row_offset == chunk.row_offset
+        assert proxy.record(0) == chunk.record(0)
+        assert len(list(proxy.records())) == len(chunk)
+        np.testing.assert_array_equal(
+            proxy.column("salary"), chunk.column("salary")
+        )
+        sub = proxy.select(chunk.column("salary") > 5_000)
+        assert isinstance(sub, ChunkProxy)
+        assert len(sub) < len(chunk)
+
+
+# ------------------------------------------------- full-pipeline validation
+
+
+class TestFullPipeline:
+    @pytest.fixture()
+    def table(self):
+        return build_employee_table()
+
+    def run_sanitized(self, table, query, workers=4, **partime_kwargs):
+        plain = ParTime(**partime_kwargs).execute(
+            table, query, workers=workers, executor=SerialExecutor()
+        )
+        sanitizer = SanitizingExecutor(SerialExecutor())
+        sanitized = ParTime(**partime_kwargs).execute(
+            table, query, workers=workers, executor=sanitizer
+        )
+        ww = [r for r in sanitizer.reports if r.kind == "write-write"]
+        assert ww == [], [r.format() for r in ww]
+        assert sanitized.rows == plain.rows
+        return sanitizer
+
+    def test_partime_onedim_race_free_over_four_chunks(self, table):
+        sanitizer = self.run_sanitized(
+            table,
+            TemporalAggregationQuery(
+                varied_dims=("tt",), value_column="salary",
+                predicate=Overlaps("bt", BT_1995, BT_1996),
+            ),
+            workers=4,
+        )
+        # The parallel phase really ran task-per-chunk under the sanitizer.
+        phase_logs = [l for l in sanitizer.task_logs if l.phase == "partime.step1"]
+        assert len(phase_logs) == 4
+        assert any(log.reads for log in phase_logs)
+
+    def test_partime_pure_mode_race_free(self, table):
+        self.run_sanitized(
+            table,
+            TemporalAggregationQuery(varied_dims=("tt",), value_column="salary"),
+            workers=4,
+            mode="pure",
+        )
+
+    def test_partime_multidim_race_free(self, table):
+        self.run_sanitized(
+            table,
+            TemporalAggregationQuery(
+                varied_dims=("bt", "tt"), value_column="salary", pivot="tt"
+            ),
+            workers=4,
+        )
+
+    def test_partime_windowed_race_free(self, table):
+        self.run_sanitized(
+            table,
+            TemporalAggregationQuery(
+                varied_dims=("bt",), value_column="salary",
+                predicate=CurrentVersion("tt"),
+                window=WindowSpec(BT_1993, 365, 3),
+            ),
+            workers=4,
+        )
+
+    def test_partime_parallel_step2_race_free(self, table):
+        self.run_sanitized(
+            table,
+            TemporalAggregationQuery(varied_dims=("tt",), value_column="salary"),
+            workers=5,
+            parallel_step2=True,
+        )
+
+    def test_clock_accounting_untouched_by_sanitizer(self, table):
+        query = TemporalAggregationQuery(
+            varied_dims=("tt",), value_column="salary"
+        )
+        sanitizer = SanitizingExecutor(SerialExecutor())
+        ParTime().execute(table, query, workers=4, executor=sanitizer)
+        labels = [p.label for p in sanitizer.clock.phases]
+        assert "partime.step1" in labels
+        assert "partime.step2" in labels
