@@ -22,15 +22,16 @@ from __future__ import annotations
 
 import time
 
-from repro.bench import format_table, write_result
+from repro.bench import format_table, write_result, write_result_json
 from repro.core import ParTime, TemporalAggregationQuery
+from repro.obs import metrics, tracing
 from repro.temporal import Interval
 from repro.timeline import TimelineEngine
 from repro.timeline.hybrid import HybridAggregator
 from repro.workloads import AmadeusConfig, AmadeusWorkload
 
 
-def test_ablation_hybrid_index_scan(benchmark):
+def test_ablation_hybrid_index_scan(benchmark, trace_json):
     workload = AmadeusWorkload(AmadeusConfig(num_bookings=120_000, seed=19))
     table = workload.table
     horizon = int(table.column("tt_start").max())
@@ -100,6 +101,26 @@ def test_ablation_hybrid_index_scan(benchmark):
         ],
     )
     write_result("ablation_hybrid", text)
+    if trace_json:
+        runs = []
+        for label, fn in (
+            ("partime", lambda: ParTime().execute(table, query, workers=1)),
+            ("hybrid", lambda: hybrid.execute(query, workers=1)),
+        ):
+            metrics().reset()
+            with tracing(f"ablation_hybrid:{label}") as tracer:
+                fn()
+            runs.append(
+                {
+                    "design": label,
+                    "trace": tracer.root.to_dict(),
+                    "metrics": metrics().snapshot(),
+                }
+            )
+        write_result_json(
+            "ablation_hybrid_trace",
+            {"experiment": "ablation_hybrid", "runs": runs},
+        )
 
     assert refresh_s > 50 * (hybrid_maintenance_s + 1e-9)
     assert hybrid_q < partime_q, "the frozen index must pay off"

@@ -18,7 +18,8 @@ merge of Section 3.2.2.
 
 from __future__ import annotations
 
-from repro.bench import format_series, write_result
+from repro.bench import format_series, write_result, write_result_json
+from repro.obs import metrics, tracing
 from repro.storage import CrescandoEngine
 from repro.timeline import TimelineEngine
 from repro.workloads import TPCBIH_QUERIES
@@ -32,7 +33,27 @@ def _best_time(engine, op, repeats=4) -> float:
     return min(measure_response_time(engine, op) for _ in range(repeats))
 
 
-def test_fig19_r2_r4_vary_cores(benchmark, tpcbih_large):
+def _traced_run(engines, ops) -> dict:
+    """One traced execution per (cores, query): the span trees embedded in
+    the results JSON under ``--trace-json``."""
+    runs = []
+    for cores, engine in sorted(engines.items()):
+        for label, op in ops.items():
+            metrics().reset()
+            with tracing(f"fig19:{label}@{cores}cores") as tracer:
+                _best_time(engine, op, repeats=1)
+            runs.append(
+                {
+                    "cores": cores,
+                    "query": label,
+                    "trace": tracer.root.to_dict(),
+                    "metrics": metrics().snapshot(),
+                }
+            )
+    return {"experiment": "fig19_parallelization", "runs": runs}
+
+
+def test_fig19_r2_r4_vary_cores(benchmark, tpcbih_large, trace_json):
     _t, r2 = TPCBIH_QUERIES["r2"](tpcbih_large)
     _t, r4 = TPCBIH_QUERIES["r4"](tpcbih_large)
 
@@ -69,6 +90,11 @@ def test_fig19_r2_r4_vary_cores(benchmark, tpcbih_large):
         ],
     )
     write_result("fig19_parallelization", text)
+    if trace_json:
+        write_result_json(
+            "fig19_parallelization_trace",
+            _traced_run(engines, {"r2": r2, "r4": r4}),
+        )
 
     r2_t, r4_t = dict(r2_points), dict(r4_points)
     # r4: clear speed-up from 2 to 16 cores...

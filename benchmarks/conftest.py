@@ -16,6 +16,22 @@ from repro.workloads import (
     TPCBiHDataset,
 )
 
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--trace-json",
+        action="store_true",
+        default=False,
+        help="also write span trees of representative runs as JSON "
+        "artifacts into benchmarks/results/ (see docs/observability.md)",
+    )
+
+
+@pytest.fixture(scope="session")
+def trace_json(request) -> bool:
+    """Whether ``--trace-json`` was passed to this benchmark run."""
+    return bool(request.config.getoption("--trace-json", default=False))
+
 #: "small database" — the 1% Amadeus subset of Section 5.2.1, scaled.
 AMADEUS_SMALL = AmadeusConfig(num_bookings=50_000, num_flights=2_000, seed=11)
 #: "large database" — the full bookings table, scaled (~25x the small one,

@@ -12,7 +12,12 @@ from repro.bench.harness import (
     throughput_commercial,
     throughput_crescando,
 )
-from repro.bench.reporting import format_series, format_table, write_result
+from repro.bench.reporting import (
+    format_series,
+    format_table,
+    write_result,
+    write_result_json,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -22,4 +27,5 @@ __all__ = [
     "format_table",
     "format_series",
     "write_result",
+    "write_result_json",
 ]

@@ -1,12 +1,16 @@
-"""Plain-text reporting: the tables and series the paper prints.
+"""Plain-text and JSON reporting: the artifacts the benchmarks persist.
 
 Every benchmark writes its output both to stdout and to
 ``benchmarks/results/<experiment>.txt`` so the regenerated artifacts
-survive pytest's output capturing and can be diffed across runs.
+survive pytest's output capturing and can be diffed across runs.  With
+``--trace-json`` (see ``benchmarks/conftest.py``) drivers additionally
+write ``<experiment>_trace.json`` files embedding the span trees of
+representative runs (:func:`write_result_json`).
 """
 
 from __future__ import annotations
 
+import json
 import math
 import os
 from typing import Mapping, Sequence
@@ -61,17 +65,40 @@ def format_series(
     return format_table(title, headers, rows, notes=notes)
 
 
+def _default_results_dir() -> str:
+    return os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__)))),
+        "benchmarks",
+        "results",
+    )
+
+
 def write_result(name: str, text: str, results_dir: str | None = None) -> str:
     """Print and persist one experiment's output; returns the file path."""
     if results_dir is None:
-        results_dir = os.path.join(
-            os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__)))),
-            "benchmarks",
-            "results",
-        )
+        results_dir = _default_results_dir()
     os.makedirs(results_dir, exist_ok=True)
     path = os.path.join(results_dir, f"{name}.txt")
     with open(path, "w") as f:
         f.write(text + "\n")
     print("\n" + text)
+    return path
+
+
+def write_result_json(
+    name: str, payload: dict, results_dir: str | None = None
+) -> str:
+    """Persist a JSON artifact next to the text results; returns the path.
+
+    Used by the ``--trace-json`` benchmark mode to embed the span trees of
+    representative runs (``Span.to_dict()`` output plus whatever metadata
+    the driver adds) in ``benchmarks/results/<name>.json``.
+    """
+    if results_dir is None:
+        results_dir = _default_results_dir()
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"{name}.json")
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+    print(f"\ntrace JSON written to {path}")
     return path

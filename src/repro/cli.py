@@ -15,6 +15,10 @@ Subcommands:
 ``lint``
     Run the parallel-safety lint rules (PT001–PT005) over source paths;
     exits nonzero when findings remain (see ``docs/static_analysis.md``).
+``trace``
+    Run a workload (``demo`` or a Python script) under the observability
+    layer and print its span tree and metric snapshot; ``--json`` writes
+    both to a file (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -222,6 +226,49 @@ def cmd_lint(args) -> int:
     return 1 if findings else 0
 
 
+def cmd_trace(args) -> int:
+    """Run a workload under an active tracer; print tree + metrics."""
+    import json
+    import runpy
+
+    from repro.obs import metrics, tracing
+
+    target = args.target
+    if target != "demo" and not target.endswith(".py"):
+        print(
+            f"error: trace target must be 'demo' or a .py workload script, "
+            f"got {target!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if target != "demo" and not os.path.isfile(target):
+        print(f"error: no such workload script: {target}", file=sys.stderr)
+        return 2
+
+    metrics().reset()
+    label = "demo" if target == "demo" else os.path.basename(target)
+    with tracing(f"trace:{label}") as tracer:
+        if target == "demo":
+            cmd_demo(args)
+        else:
+            runpy.run_path(target, run_name="__main__")
+
+    print("\n=== trace ===")
+    print(tracer.root.format_tree())
+    print("\n=== metrics ===")
+    print(metrics().format_table())
+    if args.json:
+        payload = {
+            "target": target,
+            "trace": tracer.root.to_dict(),
+            "metrics": metrics().snapshot(),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"\ntrace JSON written to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -278,6 +325,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     lint.set_defaults(fn=cmd_lint)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a workload under the tracer and print its span tree",
+        description="Activates the repro.obs tracer around a workload — "
+        "'demo' (the paper's Figures 1-4) or a Python script executed as "
+        "__main__ — then prints the hierarchical span tree (simulated and "
+        "measured time per phase) and the metric snapshot.",
+    )
+    trace.add_argument(
+        "target",
+        help="'demo' or a path to a Python workload script "
+        "(e.g. examples/quickstart.py)",
+    )
+    trace.add_argument(
+        "--json", metavar="PATH", default="",
+        help="also write the span tree and metrics snapshot as JSON",
+    )
+    trace.set_defaults(fn=cmd_trace)
     return parser
 
 

@@ -36,6 +36,7 @@ from repro.core.step2 import (
     merge_window_maps,
     parallel_merge_plan,
 )
+from repro.obs.tracer import span
 from repro.simtime.executor import Executor, SerialExecutor
 from repro.temporal.table import TableChunk, TemporalTable
 from repro.temporal.timestamps import FOREVER
@@ -106,11 +107,18 @@ class ParTime:
             num_partitions=len(chunks),
             records_scanned=sum(len(c) for c in chunks),
         )
-        if query.is_windowed:
-            return self._execute_windowed(chunks, query, executor)
-        if query.is_multidim:
-            return self._execute_multidim(table, chunks, query, executor)
-        return self._execute_onedim(chunks, query, executor)
+        with span(
+            "partime.query",
+            kind="query",
+            partitions=len(chunks),
+            aggregate=query.aggregate,
+            mode=self.mode,
+        ):
+            if query.is_windowed:
+                return self._execute_windowed(chunks, query, executor)
+            if query.is_multidim:
+                return self._execute_multidim(table, chunks, query, executor)
+            return self._execute_onedim(chunks, query, executor)
 
     # ----------------------------------------------------------- internals
 

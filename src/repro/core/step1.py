@@ -35,11 +35,22 @@ from repro.core.deltamap import (
     SortedArrayDeltaMap,
 )
 from repro.core.window import WindowSpec
+from repro.obs.metrics import metrics
 from repro.temporal.predicates import Predicate
 from repro.temporal.table import TableChunk
 from repro.temporal.timestamps import FOREVER, Interval, MIN_TIME
 
 _BACKENDS = {"btree": BTreeDeltaMap, "hash": HashDeltaMap}
+
+
+def _count_scan(chunk: TableChunk) -> None:
+    """Book the partition scan with the observability layer.
+
+    Counted *before* predicate filtering: Step 1 reads every record of its
+    chunk (the predicate test itself is part of the scan), so the counter
+    reflects work done, not rows kept.
+    """
+    metrics().counter("step1.rows_scanned").add(len(chunk))
 
 
 def _make_backend(backend: str, aggregate: AggregateFunction) -> DeltaMap:
@@ -108,6 +119,7 @@ def generate_delta_map(
     qhi = FOREVER if query_interval is None else query_interval.end
     start_col = f"{dim}_start"
     end_col = f"{dim}_end"
+    _count_scan(chunk)
 
     if mode == "vectorized" and aggregate.incremental:
         needed = [start_col, end_col]
@@ -134,7 +146,9 @@ def generate_delta_map(
             [np.ones(len(starts), dtype=np.int64),
              -np.ones(int(expiring.sum()), dtype=np.int64)]
         )
-        return SortedArrayDeltaMap.from_events(aggregate, timestamps, vals, counts)
+        dm = SortedArrayDeltaMap.from_events(aggregate, timestamps, vals, counts)
+        metrics().counter("step1.delta_entries").add(len(dm))
+        return dm
 
     if mode not in ("pure", "vectorized"):
         raise ValueError(f"unknown mode {mode!r}")
@@ -150,6 +164,7 @@ def generate_delta_map(
         dm.put(valid_from, aggregate.make_delta(value, +1))
         if valid_to < qhi:
             dm.put(valid_to, aggregate.make_delta(value, -1))
+    metrics().counter("step1.delta_entries").add(len(dm))
     return dm
 
 
@@ -172,6 +187,7 @@ def generate_windowed_delta_map(
     """
     start_col = f"{dim}_start"
     end_col = f"{dim}_end"
+    _count_scan(chunk)
 
     if mode == "vectorized" and aggregate.incremental:
         needed = [start_col, end_col]
@@ -190,6 +206,8 @@ def generate_windowed_delta_map(
         np.add.at(val_deltas, end_buckets, -values)
         np.add.at(cnt_deltas, start_buckets, 1)
         np.add.at(cnt_deltas, end_buckets, -1)
+        occupied = (val_deltas != 0.0) | (cnt_deltas != 0)
+        metrics().counter("step1.delta_entries").add(int(occupied.sum()))
         return val_deltas, cnt_deltas
 
     if mode not in ("pure", "vectorized"):
@@ -205,6 +223,7 @@ def generate_windowed_delta_map(
         dm.put(from_bucket, aggregate.make_delta(value, +1))
         if to_bucket <= window.count:
             dm.put(to_bucket, aggregate.make_delta(value, -1))
+    metrics().counter("step1.delta_entries").add(len(dm))
     return dm
 
 
@@ -233,6 +252,7 @@ def generate_multidim_delta_map(
         raise ValueError(f"pivot {pivot!r} is not among the varied dims {dims}")
     nonpivot = [d for d in dims if d != pivot]
     bounds = query_intervals or {}
+    _count_scan(chunk)
 
     def clamp_of(d: str) -> tuple[int, int]:
         iv = bounds.get(d)
@@ -265,4 +285,5 @@ def generate_multidim_delta_map(
         dm.put_event(pivot_begin, nonpivot_key, aggregate.make_delta(value, +1))
         if pivot_end < p_hi:
             dm.put_event(pivot_end, nonpivot_key, aggregate.make_delta(value, -1))
+    metrics().counter("step1.delta_entries").add(len(dm))
     return dm

@@ -31,12 +31,20 @@ import numpy as np
 from repro.core.aggregates import AggregateFunction
 from repro.core.deltamap import ArrayDeltaMap, DeltaMap, SortedArrayDeltaMap
 from repro.core.window import WindowSpec
+from repro.obs.metrics import metrics
 from repro.temporal.timestamps import FOREVER, Interval
 
 
 def _merged_entries(maps: Sequence[DeltaMap]) -> Iterator[tuple]:
     """K-way merge of the maps' sorted entry streams."""
     return heapq.merge(*(m.items() for m in maps), key=lambda kv: kv[0])
+
+
+def _count_merge(maps: Sequence) -> None:
+    """Book one Step 2 merge operation and its fan-in (the number of delta
+    maps fed into it) with the observability layer."""
+    metrics().counter("step2.merges").add(1)
+    metrics().counter("step2.merge_fan_in").add(len(maps))
 
 
 def finalize_arrays(
@@ -81,6 +89,7 @@ def merge_delta_maps(
     ``coalesce`` merges adjacent spans with equal value, which removes the
     seams left by deltas that consolidated to zero.
     """
+    _count_merge(maps)
     rows: list[tuple[Interval, object]] = []
     acc = aggregate.identity()
     prev_ts: int | None = None
@@ -121,6 +130,7 @@ def merge_sorted_arrays(
     Semantically identical to :func:`merge_delta_maps`; concatenates the
     backing arrays, re-consolidates with one sort, and prefix-sums.
     """
+    _count_merge(maps)
     keys_parts, val_parts, cnt_parts = [], [], []
     for m in maps:
         keys, (vals, cnts) = m.arrays
@@ -174,6 +184,7 @@ def merge_window_maps(
     Accepts a mix of :class:`ArrayDeltaMap` (pure path) and
     ``(value_deltas, count_deltas)`` array pairs (vectorized path).
     """
+    _count_merge(maps)
     if aggregate.incremental:
         val_total = np.zeros(window.count + 1, dtype=np.float64)
         cnt_total = np.zeros(window.count + 1, dtype=np.int64)
@@ -308,6 +319,7 @@ def merge_multidim_maps(
     untils = list(nonpivot_untils or [FOREVER] * (num_dims - 1))
     if len(untils) != num_dims - 1:
         raise ValueError("need one 'until' per non-pivot dimension")
+    _count_merge(maps)
 
     active: dict[tuple, object] = {}
     rows: list[tuple[tuple[Interval, ...], object]] = []
@@ -391,6 +403,7 @@ def consolidate_pair(
     halving the number of maps; after log2(k) levels one map remains and
     the final accumulator pass is linear in its size.
     """
+    _count_merge((a, b))
     entries: list = []
     for key, delta in heapq.merge(a.items(), b.items(), key=lambda kv: kv[0]):
         if entries and entries[-1][0] == key:

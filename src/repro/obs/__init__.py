@@ -1,0 +1,49 @@
+"""``repro.obs`` — query tracing and phase metrics.
+
+The observability layer of the reproduction (see docs/observability.md):
+
+* :mod:`repro.obs.tracer` — hierarchical spans mirroring every
+  ``SimClock`` phase booking plus explicit engine spans, with simulated
+  *and* wall-clock time per node;
+* :mod:`repro.obs.metrics` — process-local counters/gauges (rows
+  scanned, delta entries emitted, merge fan-in, NUMA penalties,
+  checkpoint hits, ...).
+
+Surfaced three ways: ``python -m repro trace <target>`` prints a span
+tree and the metric snapshot; benchmark drivers accept ``--trace-json``
+to embed span trees in ``benchmarks/results`` JSON; and
+``Database.explain`` annotates plans with the spans of the statement's
+last execution.
+"""
+
+from repro.obs.metrics import (
+    CATALOGUE,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    metrics,
+)
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    current_tracer,
+    record_measure,
+    record_phase,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "CATALOGUE",
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "metrics",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "record_measure",
+    "record_phase",
+    "span",
+    "tracing",
+]

@@ -1,0 +1,139 @@
+"""Process-local counters and gauges — the metrics side of ``repro.obs``.
+
+Engines increment named counters at well-defined points (rows scanned,
+delta-map entries emitted, merge fan-in, NUMA penalties applied,
+checkpoint hits, ...).  The registry is deliberately tiny: a counter is a
+locked integer/float, a gauge a locked last-value — enough to answer
+"what did that query actually do" without a dependency, and safe under
+the real-thread executor (every mutation takes the instrument's lock, so
+serial and threaded runs of the same workload produce identical
+snapshots).
+
+The default registry is process-local (:func:`metrics`).  Tests and the
+CLI ``reset()`` it around a workload and read ``snapshot()`` after.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: The metric catalogue: every name the instrumented engines emit, with a
+#: one-line meaning.  Kept in one place so the docs, the CLI and the
+#: tests agree on the vocabulary (see docs/observability.md).
+CATALOGUE: dict[str, str] = {
+    "step1.rows_scanned": "records scanned by ParTime Step 1 (all paths)",
+    "step1.delta_entries": "consolidated delta-map entries emitted by Step 1",
+    "step2.merges": "Step 2 merge operations performed",
+    "step2.merge_fan_in": "delta maps fed into Step 2 merges (sum of k)",
+    "scan.cycles": "ClockScan shared-scan cycles executed",
+    "scan.rows_scanned": "rows swept by ClockScan base passes",
+    "cluster.batches": "cluster batches executed",
+    "cluster.numa_penalty_applied": "node scans priced with a remote-NUMA penalty",
+    "timeline.checkpoint_hits": "Timeline Index lookups resumed from a checkpoint",
+    "hybrid.queries": "queries answered by the hybrid index + scan",
+    "hybrid.frozen_events": "frozen-index events considered by hybrid probes",
+    "hybrid.supplemental_events": "post-freeze closing events fed to hybrid folds",
+}
+
+
+class Counter:
+    """A monotonically increasing, thread-safe counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def add(self, n: int | float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+
+class Gauge:
+    """A thread-safe last-value instrument."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class MetricsRegistry:
+    """A named collection of counters and gauges."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter with this name (created on first use)."""
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name)
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge with this name (created on first use)."""
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name)
+            return inst
+
+    def snapshot(self) -> dict:
+        """All current values: ``{"counters": {...}, "gauges": {...}}``.
+
+        Zero-valued instruments are included — an explicit zero is
+        information ("no checkpoint was hit"), a missing key is not.
+        """
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            }
+
+    def reset(self) -> None:
+        """Drop all instruments (names re-register on next use)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+
+    def format_table(self) -> str:
+        """Aligned plain-text rendering of the snapshot."""
+        snap = self.snapshot()
+        rows = [("counter", n, v) for n, v in snap["counters"].items()]
+        rows += [("gauge", n, v) for n, v in snap["gauges"].items()]
+        if not rows:
+            return "(no metrics recorded)"
+        width = max(len(n) for _k, n, _v in rows)
+        lines = []
+        for kind, name, value in rows:
+            shown = f"{value:,}" if isinstance(value, int) else f"{value:g}"
+            lines.append(f"{name.ljust(width)}  {shown:>14}  ({kind})")
+        return "\n".join(lines)
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-local default registry."""
+    return _REGISTRY

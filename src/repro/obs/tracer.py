@@ -1,0 +1,297 @@
+"""Hierarchical query tracing — the span side of ``repro.obs``.
+
+A :class:`Span` is one named piece of work with a *wall-clock* duration
+(what the CPU actually did, measured through
+:mod:`repro.simtime.measure`) and a *simulated* duration (what the
+paper's 32-core machine would have observed, as booked by
+:class:`~repro.simtime.clock.SimClock`).  Spans nest: a query span
+contains its Step 1 map phase, Step 2 merge phase, frozen-index probes,
+cluster batches, and so on.
+
+The integration points are deliberately few:
+
+* every ``SimClock.parallel``/``SimClock.serial`` booking is mirrored as
+  a *phase* leaf under the innermost open span (``record_phase``);
+* ``measured(label=...)`` call sites add *measure* leaves
+  (``record_measure``) — sub-phase provenance without double-booking
+  simulated time (measure leaves carry ``sim_seconds = 0``);
+* engines open *query*/*probe* spans around their entry points with the
+  :func:`span` context manager.
+
+There is one process-local active tracer (:func:`current_tracer`),
+activated with :func:`tracing`.  When ``tracing()`` is entered while a
+tracer is already active, the new root is grafted into the outer tree so
+an outer trace (e.g. the ``repro trace`` CLI) still sees everything an
+inner trace (e.g. the SQL layer's per-statement trace) records.
+
+When no tracer is active every hook is a no-op behind a single ``None``
+check, so the instrumented hot paths cost nothing in benchmarks.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.simtime.measure import measured
+
+#: Span kinds, in the order they usually appear in a tree.
+KINDS = ("root", "query", "parallel", "serial", "probe", "span", "measure")
+
+
+@dataclass
+class Span:
+    """One node of a trace tree.
+
+    ``wall_seconds`` is measured wall-clock work (for parallel phases:
+    the *sum* over tasks); ``sim_seconds`` is the simulated contribution
+    (for parallel phases: the makespan over the booked slots; zero for
+    measure/probe spans, whose time is already inside an enclosing
+    phase).
+    """
+
+    name: str
+    kind: str = "span"
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    durations: tuple[float, ...] = ()
+    slots: int = 0
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    # ------------------------------------------------------------ queries
+
+    def sim_total(self) -> float:
+        """Simulated elapsed time of this subtree.
+
+        Phases booked by a ``SimClock`` compose the way the clock does:
+        serially across phases (the clock already folded each parallel
+        phase to its makespan), so the subtree total is a plain sum.
+        """
+        return self.sim_seconds + sum(c.sim_total() for c in self.children)
+
+    def wall_work(self) -> float:
+        """CPU-seconds of measured work in phase leaves of this subtree
+        (independent of the simulated degree of parallelism)."""
+        own = self.wall_seconds if self.kind in ("parallel", "serial") else 0.0
+        return own + sum(c.wall_work() for c in self.children)
+
+    def iter_spans(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def find(self, name: str) -> "Span | None":
+        """First span in the subtree (pre-order) with the given name."""
+        for sp in self.iter_spans():
+            if sp.name == name:
+                return sp
+        return None
+
+    def find_all(self, name: str) -> list["Span"]:
+        return [sp for sp in self.iter_spans() if sp.name == name]
+
+    # ------------------------------------------------------- serialisation
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable representation (round-trips via
+        :meth:`from_dict`)."""
+        out: dict = {
+            "name": self.name,
+            "kind": self.kind,
+            "wall_seconds": self.wall_seconds,
+            "sim_seconds": self.sim_seconds,
+        }
+        if self.durations:
+            out["durations"] = list(self.durations)
+        if self.slots:
+            out["slots"] = self.slots
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            name=data["name"],
+            kind=data.get("kind", "span"),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            sim_seconds=float(data.get("sim_seconds", 0.0)),
+            durations=tuple(data.get("durations", ())),
+            slots=int(data.get("slots", 0)),
+            attrs=dict(data.get("attrs", {})),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
+    # ----------------------------------------------------------- rendering
+
+    def format_tree(self, sim_digits: int = 6) -> str:
+        """An aligned tree, one line per span, sim + wall columns."""
+        lines: list[str] = []
+        self._format_into(lines, prefix="", is_last=True, is_root=True,
+                          sim_digits=sim_digits)
+        return "\n".join(lines)
+
+    def _describe(self) -> str:
+        if self.kind == "parallel":
+            return f"[parallel x{len(self.durations)} on {self.slots} slots]"
+        if self.kind == "serial":
+            return "[serial]"
+        if self.kind in ("root", "span"):
+            return ""
+        return f"[{self.kind}]"
+
+    def _format_into(self, lines, prefix, is_last, is_root, sim_digits):
+        connector = "" if is_root else ("`- " if is_last else "|- ")
+        desc = self._describe()
+        head = f"{prefix}{connector}{self.name}"
+        if desc:
+            head += f" {desc}"
+        cols = f"sim {self.sim_total():.{sim_digits}f}s"
+        if self.kind in ("parallel", "serial"):
+            cols += f"  work {self.wall_seconds:.{sim_digits}f}s"
+        elif self.wall_seconds:
+            cols += f"  wall {self.wall_seconds:.{sim_digits}f}s"
+        lines.append(f"{head:<58} {cols}")
+        child_prefix = prefix if is_root else prefix + ("   " if is_last else "|  ")
+        for i, child in enumerate(self.children):
+            child._format_into(
+                lines, child_prefix, i == len(self.children) - 1, False,
+                sim_digits,
+            )
+
+
+class Tracer:
+    """Collects a tree of spans; one instance per traced execution."""
+
+    def __init__(self, name: str = "trace") -> None:
+        self.root = Span(name, kind="root")
+        self._stack: list[Span] = [self.root]
+        self._lock = threading.Lock()
+
+    @property
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    @contextmanager
+    def span(self, name: str, kind: str = "span", **attrs) -> Iterator[Span]:
+        """Open a child span for the duration of the ``with`` block."""
+        sp = Span(name, kind=kind, attrs=dict(attrs))
+        with self._lock:
+            self._stack[-1].children.append(sp)
+            self._stack.append(sp)
+        try:
+            with measured() as sw:
+                yield sp
+        finally:
+            sp.wall_seconds = sw.elapsed
+            with self._lock:
+                # Pop back to (and past) this span; tolerate leaf spans a
+                # crashed block left open below us.
+                while len(self._stack) > 1:
+                    top = self._stack.pop()
+                    if top is sp:
+                        break
+
+    def record_phase(
+        self,
+        label: str,
+        kind: str,
+        durations,
+        slots: int,
+        elapsed: float,
+        attrs: dict | None = None,
+    ) -> Span:
+        """Mirror one ``SimClock`` booking as a leaf under the open span."""
+        leaf = Span(
+            label,
+            kind=kind,
+            wall_seconds=float(sum(durations)),
+            sim_seconds=float(elapsed),
+            durations=tuple(float(d) for d in durations),
+            slots=int(slots),
+            attrs=dict(attrs or {}),
+        )
+        with self._lock:
+            self._stack[-1].children.append(leaf)
+        return leaf
+
+    def record_measure(self, label: str, seconds: float,
+                       attrs: dict | None = None) -> Span:
+        """A measured sub-step (no simulated time of its own)."""
+        leaf = Span(
+            label, kind="measure", wall_seconds=float(seconds),
+            attrs=dict(attrs or {}),
+        )
+        with self._lock:
+            self._stack[-1].children.append(leaf)
+        return leaf
+
+
+# ---------------------------------------------------------------------------
+# Process-local active tracer
+# ---------------------------------------------------------------------------
+
+_CURRENT: Tracer | None = None
+
+
+def current_tracer() -> Tracer | None:
+    """The active tracer, or ``None`` when tracing is off."""
+    return _CURRENT
+
+
+@contextmanager
+def tracing(name: str = "trace") -> Iterator[Tracer]:
+    """Activate a tracer for the ``with`` block.
+
+    Nested activations graft the inner root into the outer tree, so an
+    outer trace keeps full visibility while the inner owner (e.g. the SQL
+    layer) still gets a self-contained tree of its own.
+    """
+    global _CURRENT
+    outer = _CURRENT
+    tracer = Tracer(name)
+    if outer is not None:
+        with outer._lock:
+            outer.current.children.append(tracer.root)
+    _CURRENT = tracer
+    try:
+        with measured() as sw:
+            yield tracer
+    finally:
+        tracer.root.wall_seconds = sw.elapsed
+        _CURRENT = outer
+
+
+def record_phase(
+    label: str,
+    kind: str,
+    durations,
+    slots: int,
+    elapsed: float,
+    attrs: dict | None = None,
+) -> None:
+    """Module-level hook used by :class:`~repro.simtime.clock.SimClock`."""
+    if _CURRENT is not None:
+        _CURRENT.record_phase(label, kind, durations, slots, elapsed, attrs)
+
+
+def record_measure(label: str, seconds: float,
+                   attrs: dict | None = None) -> None:
+    """Module-level hook used by ``measured(label=...)``."""
+    if _CURRENT is not None:
+        _CURRENT.record_measure(label, seconds, attrs)
+
+
+@contextmanager
+def span(name: str, kind: str = "span", **attrs) -> Iterator[Span | None]:
+    """Open a span on the active tracer; no-op when tracing is off."""
+    if _CURRENT is None:
+        yield None
+        return
+    with _CURRENT.span(name, kind=kind, **attrs) as sp:
+        yield sp

@@ -6,12 +6,19 @@ core slots with a greedy longest-processing-time-first policy, so asking
 for more tasks than cores correctly serialises the excess — this is what
 produces the flattening speedup curves of Figures 15 and 19 when a phase
 stops being the bottleneck.
+
+Every booking is additionally mirrored to the active
+:class:`repro.obs.tracer.Tracer` (when one is installed), which is how the
+observability layer sees per-phase simulated times without any engine
+threading a tracer through its call stack.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Sequence
+
+from repro.obs.tracer import record_phase
 
 
 @dataclass(frozen=True)
@@ -60,16 +67,26 @@ class SimClock:
         self.elapsed = 0.0
         self.phases: list[Phase] = []
 
-    def parallel(self, label: str, durations: Sequence[float], slots: int) -> None:
+    def parallel(
+        self,
+        label: str,
+        durations: Sequence[float],
+        slots: int,
+        meta: dict | None = None,
+    ) -> None:
         span = makespan(durations, slots)
         self.phases.append(
             Phase(label, "parallel", tuple(durations), slots, span)
         )
         self.elapsed += span
+        record_phase(label, "parallel", durations, slots, span, meta)
 
-    def serial(self, label: str, duration: float) -> None:
+    def serial(
+        self, label: str, duration: float, meta: dict | None = None
+    ) -> None:
         self.phases.append(Phase(label, "serial", (duration,), 1, duration))
         self.elapsed += duration
+        record_phase(label, "serial", (duration,), 1, duration, meta)
 
     def reset(self) -> None:
         self.elapsed = 0.0

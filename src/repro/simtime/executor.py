@@ -76,13 +76,20 @@ class SerialExecutor:
                 results.append(fn(item))
             durations.append(sw.elapsed)
         slots = self.slots if self.slots is not None else max(1, len(items))
-        self.clock.parallel(task_label(label, fn), durations, slots)
+        self.clock.parallel(
+            task_label(label, fn),
+            durations,
+            slots,
+            meta={"executor": "serial", "tasks": len(items)},
+        )
         return results
 
     def run_serial(self, fn: Callable[[], Any], label: str = "") -> Any:
         with measured() as sw:
             result = fn()
-        self.clock.serial(task_label(label, fn), sw.elapsed)
+        self.clock.serial(
+            task_label(label, fn), sw.elapsed, meta={"executor": "serial"}
+        )
         return result
 
 
@@ -99,11 +106,18 @@ class ThreadExecutor:
         with measured() as sw:
             with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
                 results = list(pool.map(fn, items))
-        self.clock.parallel(task_label(label, fn), [sw.elapsed], slots=1)
+        self.clock.parallel(
+            task_label(label, fn),
+            [sw.elapsed],
+            slots=1,
+            meta={"executor": "thread", "tasks": len(items)},
+        )
         return results
 
     def run_serial(self, fn: Callable[[], Any], label: str = "") -> Any:
         with measured() as sw:
             result = fn()
-        self.clock.serial(task_label(label, fn), sw.elapsed)
+        self.clock.serial(
+            task_label(label, fn), sw.elapsed, meta={"executor": "thread"}
+        )
         return result

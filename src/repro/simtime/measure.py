@@ -50,8 +50,14 @@ class Stopwatch:
 
 
 @contextmanager
-def measured() -> Iterator[Stopwatch]:
+def measured(label: str | None = None) -> Iterator[Stopwatch]:
     """Measure the wall-clock duration of a ``with`` block.
+
+    ``label`` optionally names the measurement for the observability
+    layer: when a :mod:`repro.obs` tracer is active, a *measure* leaf
+    span with this label and the measured duration is recorded under the
+    innermost open span.  Unlabeled measurements (the default, and every
+    per-task hot-path call) are never reported and cost nothing extra.
 
     >>> with measured() as sw:
     ...     _ = sum(range(1000))
@@ -63,6 +69,11 @@ def measured() -> Iterator[Stopwatch]:
         yield sw
     finally:
         sw._stop()
+        if label is not None:
+            # Imported lazily: repro.obs.tracer imports this module.
+            from repro.obs.tracer import record_measure
+
+            record_measure(label, sw.elapsed)
 
 
 def timed_call(fn: Callable, *args, **kwargs) -> tuple[object, float]:

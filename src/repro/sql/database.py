@@ -12,11 +12,18 @@ from __future__ import annotations
 from repro.core.joins import ParTimeJoin
 from repro.core.optimizer import ParallelismOptimizer
 from repro.core.partime import ParTime
+from repro.obs.tracer import Span, tracing
 from repro.sql.ast import JoinStmt
 from repro.sql.errors import SqlError
 from repro.sql.parser import parse
-from repro.sql.planner import plan, plan_join
+from repro.sql.planner import annotate_plan, plan, plan_join
 from repro.temporal.table import TemporalTable
+
+
+def _statement_key(sql: str) -> str:
+    """Whitespace-normalised statement text, the key under which the last
+    execution's trace is remembered for ``EXPLAIN``."""
+    return " ".join(sql.split())
 
 
 class Database:
@@ -31,6 +38,10 @@ class Database:
         self.workers = workers
         self._partime = ParTime(mode=mode)
         self._tables: dict[str, TemporalTable] = {}
+        #: Root span of the most recently executed statement, and the
+        #: per-statement history ``EXPLAIN`` annotates plans from.
+        self.last_trace: Span | None = None
+        self._traces: dict[str, Span] = {}
 
     def register(self, name: str, table: TemporalTable) -> None:
         """Make a table visible to SQL under ``name``."""
@@ -52,8 +63,21 @@ class Database:
         Temporal aggregations return a
         :class:`~repro.core.result.TemporalAggregationResult`; ``COUNT(*)``
         selections return the matching row count.
+
+        Every execution runs under a tracer; the resulting span tree is
+        kept (per normalised statement text, and as :attr:`last_trace`)
+        and rendered by :meth:`explain` — the EXPLAIN-ANALYZE side of the
+        observability layer (see docs/observability.md).
         """
         stmt = parse(sql)
+        key = _statement_key(sql)
+        with tracing(f"sql:{key}") as tracer:
+            result = self._execute(stmt, workers)
+        self.last_trace = tracer.root
+        self._traces[key] = tracer.root
+        return result
+
+    def _execute(self, stmt, workers: int | None):
         if isinstance(stmt, JoinStmt):
             left, right = self.table(stmt.left), self.table(stmt.right)
             plan_join(stmt, left.schema, right.schema)
@@ -75,19 +99,27 @@ class Database:
         )
 
     def explain(self, sql: str) -> str:
-        """A human-readable plan description (no execution)."""
+        """A human-readable plan description (no execution).
+
+        When the same statement (up to whitespace) has been executed on
+        this database before, the plan is annotated with the span tree of
+        that last execution — per-phase simulated and measured time."""
         stmt = parse(sql)
+        trace = self._traces.get(_statement_key(sql))
         if isinstance(stmt, JoinStmt):
-            return (
+            text = (
                 f"ParTime temporal equi-join {stmt.left} x {stmt.right}\n"
                 f"  on:      {stmt.left_key} = {stmt.right_key}\n"
                 f"  overlap: {stmt.dim}\n"
                 f"  output:  {'count' if stmt.count_only else 'matched pairs'}"
             )
+            return annotate_plan(text, trace)
         table = self.table(stmt.table)
         kind, compiled = plan(stmt, table.schema)
         if kind == "select":
-            return f"SELECT COUNT(*) scan of {stmt.table}: {compiled!r}"
+            return annotate_plan(
+                f"SELECT COUNT(*) scan of {stmt.table}: {compiled!r}", trace
+            )
         lines = [
             f"ParTime temporal aggregation on {stmt.table}",
             f"  aggregate:    {compiled.aggregate}({compiled.value_column or '*'})",
@@ -101,7 +133,7 @@ class Database:
         if compiled.is_multidim:
             lines.append(f"  pivot:        {compiled.pivot or '(by statistics)'}")
         lines.append(f"  workers:      {self.workers}")
-        return "\n".join(lines)
+        return annotate_plan("\n".join(lines), trace)
 
     def tune_workers(
         self, sql: str, max_workers: int = 32, probe_workers: int = 8

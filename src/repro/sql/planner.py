@@ -177,6 +177,27 @@ def plan(stmt: SelectStmt, schema: TableSchema):
     return "aggregate", query
 
 
+def annotate_plan(plan_text: str, trace) -> str:
+    """EXPLAIN annotation: append the span tree of the statement's last
+    execution to a plan description.
+
+    ``trace`` is the root :class:`~repro.obs.tracer.Span` the database
+    captured when it last executed the statement (or ``None``, in which
+    case the plan is returned untouched).  The tree shows per-phase
+    *simulated* time — how the plan's parallel phases composed into the
+    reported elapsed time — next to the measured wall work, which is the
+    piece a static plan can never show.
+    """
+    if trace is None:
+        return plan_text
+    tree = trace.format_tree()
+    return (
+        f"{plan_text}\n"
+        f"  last execution (sim {trace.sim_total():.6f}s):\n"
+        + "\n".join(f"    {line}" for line in tree.splitlines())
+    )
+
+
 def plan_join(stmt: JoinStmt, left_schema: TableSchema, right_schema: TableSchema):
     """Validate a TEMPORAL JOIN against both schemas.
 

@@ -32,6 +32,7 @@ from repro.core.step1 import (
     generate_multidim_delta_map,
     generate_windowed_delta_map,
 )
+from repro.obs.metrics import metrics
 from repro.simtime.measure import measured
 from repro.storage.queries import SelectQuery, TemporalAggQuery
 from repro.temporal.predicates import And, ColumnEquals, CurrentVersion
@@ -164,6 +165,8 @@ class ClockScan:
         report.  Equality lookups are grouped into query indexes: one pass
         per (column, current-only) group serves every lookup in it.
         """
+        metrics().counter("scan.cycles").add(1)
+        metrics().counter("scan.rows_scanned").add(len(self.table))
         report = ScanCycleReport(
             rows_scanned=len(self.table), base_seconds=self._measure_base()
         )

@@ -23,6 +23,8 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from repro.core.pivot import choose_pivot, collect_statistics
+from repro.obs.metrics import metrics
+from repro.obs.tracer import span
 from repro.simtime.clock import SimClock, makespan
 from repro.simtime.machine import PAPER_MACHINE, MachineSpec
 from repro.storage.aggregator import AggregatorNode
@@ -58,8 +60,33 @@ class BatchResult:
     def response_time(self, op_id: int) -> float:
         """Stand-alone response time of one read operation: the slowest
         node's scan for that query plus its merge (the paper's No-sharing
-        response-time metric)."""
-        return self.op_response_seconds[op_id]
+        response-time metric).
+
+        Raises a :class:`KeyError` naming the operation and the ids the
+        batch did execute — a bare ``KeyError: 7`` from the dict lookup
+        gives no hint that the id belongs to a write (writes have no
+        response time) or to a different batch entirely.
+        """
+        try:
+            return self.op_response_seconds[op_id]
+        except KeyError:
+            known = sorted(self.op_response_seconds)
+            raise KeyError(
+                f"no response time recorded for op_id {op_id!r}: this batch "
+                f"timed read operations {known!r} (writes and ops from "
+                "other batches have no response time here)"
+            ) from None
+
+    def result_of(self, op_id: int) -> object:
+        """The result of one operation, with a diagnosable failure mode."""
+        try:
+            return self.results[op_id]
+        except KeyError:
+            known = sorted(self.results)
+            raise KeyError(
+                f"no result recorded for op_id {op_id!r}: this batch "
+                f"executed operations {known!r}"
+            ) from None
 
 
 class Cluster:
@@ -226,7 +253,18 @@ class Cluster:
         ]
         if unknown:
             raise TypeError(f"unsupported operations: {unknown[:3]}")
+        metrics().counter("cluster.batches").add(1)
+        with span(
+            "cluster.batch",
+            kind="span",
+            writes=len(writes),
+            reads=len(reads),
+            nodes=len(self.nodes),
+            sharing=self.sharing,
+        ):
+            return self._run_batch(writes, reads)
 
+    def _run_batch(self, writes: list, reads: list) -> BatchResult:
         results: dict[int, object] = {}
 
         # --- writes: one global version per operation --------------------
@@ -273,6 +311,9 @@ class Cluster:
                 for op_id, value in node_results.items():
                     partials.setdefault(op_id, []).append(value)
             penalties = [self._numa_penalty(i) for i in range(len(self.nodes))]
+            metrics().counter("cluster.numa_penalty_applied").add(
+                sum(1 for p in penalties if p > 1.0)
+            )
             if self.sharing:
                 node_scan_seconds = [
                     r.shared_seconds * p for r, p in zip(reports, penalties)
@@ -354,4 +395,4 @@ class Cluster:
         """Convenience: run one read operation alone (No-sharing response
         time, the metric of Figures 13, 15, 17-19)."""
         batch = self.execute_batch([op])
-        return batch.results[op.op_id], batch.response_time(op.op_id)
+        return batch.result_of(op.op_id), batch.response_time(op.op_id)

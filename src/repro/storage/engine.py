@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.core.query import TemporalAggregationQuery
 from repro.core.result import TemporalAggregationResult
+from repro.obs.tracer import span
 from repro.storage.cluster import Cluster
 from repro.storage.partitioning import Partitioner, RoundRobinPartitioner
 from repro.simtime.measure import measured
@@ -69,15 +70,16 @@ class CrescandoEngine(Engine):
         temporal columns are no different than any other column and
         Crescando creates no data structures that are specific to temporal
         data" (Section 5.7)."""
-        with measured() as sw:
-            self.cluster = Cluster.from_table(
-                table,
-                num_storage=self.num_storage,
-                num_aggregators=self.num_aggregators,
-                partitioner=self.partitioner,
-                sharing=self.sharing,
-                scan_mode=self.scan_mode,
-            )
+        with span("crescando.bulkload", kind="span", rows=len(table)):
+            with measured() as sw:
+                self.cluster = Cluster.from_table(
+                    table,
+                    num_storage=self.num_storage,
+                    num_aggregators=self.num_aggregators,
+                    partitioner=self.partitioner,
+                    sharing=self.sharing,
+                    scan_mode=self.scan_mode,
+                )
         return sw.elapsed
 
     def _require_loaded(self) -> Cluster:

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.metrics import metrics
 from repro.timeline.eventmap import EventMap
 
 
@@ -94,6 +95,8 @@ class CheckpointSet:
                 best = cp
             else:
                 break
+        if best is not None:
+            metrics().counter("timeline.checkpoint_hits").add(1)
         return best
 
     def nbytes(self) -> int:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.core.query import TemporalAggregationQuery
 from repro.core.result import TemporalAggregationResult
+from repro.obs.tracer import record_phase
 from repro.systems.base import Engine
 from repro.simtime.measure import Stopwatch, measured
 from repro.temporal.predicates import Predicate
@@ -120,7 +121,19 @@ class TimelineEngine(Engine):
             result = TemporalAggregationResult.from_pairs(
                 dim, pairs, aggregate_name=agg.name
             )
-        return result, sw.lap()
+        seconds = sw.lap()
+        # The Timeline runs single-core, so its measured wall time *is* the
+        # simulated time; mirror it to the tracer as one serial phase so
+        # trace trees show the engine comparison on equal footing.
+        record_phase(
+            "timeline.query",
+            "serial",
+            (seconds,),
+            1,
+            seconds,
+            {"engine": self.name, "dim": dim},
+        )
+        return result, seconds
 
     def select(self, predicate: Predicate, indexed: bool = False) -> tuple[int, float]:
         """The Timeline Index does not serve general selections; fall back

@@ -17,13 +17,15 @@ existing engines:
   an update arriving later may still close a frozen row, and that closing
   event always carries a timestamp at or after the freeze version —
   frozen events are therefore immutable by construction;
-* a query answers from three delta streams merged by ParTime's Step 2:
+* a query answers from two delta streams merged by ParTime's Step 2:
   (1) the frozen index, filtered by the query's predicate and clamped to
-  the query range without any sorting, (2) for transaction-time queries,
-  the *supplemental* end events of frozen rows closed after the freeze
-  (one vectorized pass over the frozen end column — no sort, the stream
-  is consolidated on the fly), and (3) ordinary ParTime Step 1 over the
-  fresh rows, parallelised as usual.
+  the query range without any sorting — for transaction-time queries the
+  *supplemental* end events of frozen rows closed at or after the freeze
+  (one vectorized pass over the live frozen end column, no sort) are
+  folded jointly with the indexed events, so a close *before* the query
+  range cancels its row's start event inside the prefix fold instead of
+  being dropped — and (2) ordinary ParTime Step 1 over the fresh rows,
+  parallelised as usual.
 
 Updates need no index maintenance at all: closing events and new versions
 land on the fresh side by construction.  Periodically calling
@@ -44,6 +46,8 @@ from repro.core.query import TemporalAggregationQuery
 from repro.core.result import TemporalAggregationResult
 from repro.core.step1 import generate_delta_map
 from repro.core.step2 import merge_sorted_arrays
+from repro.obs.metrics import metrics
+from repro.obs.tracer import span
 from repro.simtime.executor import Executor, SerialExecutor
 from repro.temporal.table import TableChunk, TemporalTable
 from repro.temporal.timestamps import FOREVER, MIN_TIME
@@ -102,11 +106,23 @@ class _FrozenDimIndex:
         qhi: int,
         aggregate,
         column_key=None,
+        extra: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
     ) -> SortedArrayDeltaMap:
         """The frozen contribution as a consolidated sorted-array map:
         predicate filter, prefix-fold of events before the query range,
         no sorting (the index is pre-sorted).  ``column_key`` identifies
-        the value column for the predicate-free cumulative cache."""
+        the value column for the predicate-free cumulative cache.
+
+        ``extra`` is an optional ``(timestamps, value_deltas, count_deltas)``
+        stream of events *not* in the index — the supplemental end events of
+        frozen rows closed at or after the freeze version.  They must be
+        folded **jointly** with the indexed events: a supplemental close
+        before ``qlo`` has to cancel its row's indexed start event inside
+        the prefix fold, otherwise the fold counts the row as still alive
+        at ``qlo`` and the query double-counts it (the freeze-boundary bug).
+        Extra events at or after ``qhi`` must already be clamped away by
+        the caller.
+        """
         ts = self.timestamps
         signs = self.signs
         if mask is None:
@@ -117,43 +133,41 @@ class _FrozenDimIndex:
             )
             i0 = int(np.searchsorted(ts, qlo, side="left"))
             i1 = int(np.searchsorted(ts, qhi, side="left"))
-            parts_ts = [ts[i0:i1]]
-            parts_vals = [vals[i0:i1]]
-            parts_cnts = [signs[i0:i1]]
-            if i0 > 0 and qlo > MIN_TIME:
-                fold_val = float(cum_vals[i0 - 1])
-                fold_cnt = int(cum_cnts[i0 - 1])
-                # A null fold (no record survives into the range) must not
-                # materialise: ParTime's clamp skips such records entirely.
-                if fold_val != 0.0 or fold_cnt != 0:
-                    parts_ts.insert(0, np.array([qlo], dtype=np.int64))
-                    parts_vals.insert(0, np.array([fold_val]))
-                    parts_cnts.insert(
-                        0, np.array([fold_cnt], dtype=np.int64)
-                    )
-            return SortedArrayDeltaMap.from_events(
-                aggregate,
-                np.concatenate(parts_ts),
-                np.concatenate(parts_vals).astype(np.float64),
-                np.concatenate(parts_cnts),
-            )
-        vals = values_per_row[self.rows] * signs
-        keep = mask[self.rows]
-        ts, signs, vals = ts[keep], signs[keep], vals[keep]
-        i0 = int(np.searchsorted(ts, qlo, side="left"))
-        i1 = int(np.searchsorted(ts, qhi, side="left"))
+            fold_val = float(cum_vals[i0 - 1]) if i0 > 0 else 0.0
+            fold_cnt = int(cum_cnts[i0 - 1]) if i0 > 0 else 0
+        else:
+            vals = values_per_row[self.rows] * signs
+            keep = mask[self.rows]
+            ts, signs, vals = ts[keep], signs[keep], vals[keep]
+            i0 = int(np.searchsorted(ts, qlo, side="left"))
+            i1 = int(np.searchsorted(ts, qhi, side="left"))
+            fold_val = float(vals[:i0].sum())
+            fold_cnt = int(signs[:i0].sum())
         parts_ts = [ts[i0:i1]]
         parts_vals = [vals[i0:i1]]
         parts_cnts = [signs[i0:i1]]
-        if i0 > 0 and qlo > MIN_TIME:
+        if extra is not None:
+            ex_ts, ex_vals, ex_cnts = extra
+            before = ex_ts < qlo
+            if before.any():
+                fold_val += float(ex_vals[before].sum())
+                fold_cnt += int(ex_cnts[before].sum())
+            in_range = ~before  # already clamped to < qhi by the caller
+            if in_range.any():
+                # `from_events` sorts and consolidates, so appending the
+                # unsorted supplemental stream after the indexed slice is
+                # fine.
+                parts_ts.append(ex_ts[in_range])
+                parts_vals.append(ex_vals[in_range])
+                parts_cnts.append(ex_cnts[in_range])
+        if qlo > MIN_TIME and (fold_val != 0.0 or fold_cnt != 0):
             # Everything before the range folds into one event at qlo —
-            # unless the fold is null (see the fast path above).
-            fold_val = float(vals[:i0].sum())
-            fold_cnt = int(signs[:i0].sum())
-            if fold_val != 0.0 or fold_cnt != 0:
-                parts_ts.insert(0, np.array([qlo], dtype=np.int64))
-                parts_vals.insert(0, np.array([fold_val]))
-                parts_cnts.insert(0, np.array([fold_cnt], dtype=np.int64))
+            # unless the *joint* fold is null (no record survives into the
+            # range): ParTime's clamp skips such records entirely, so a
+            # null fold must not materialise a spurious zero entry.
+            parts_ts.insert(0, np.array([qlo], dtype=np.int64))
+            parts_vals.insert(0, np.array([fold_val]))
+            parts_cnts.insert(0, np.array([fold_cnt], dtype=np.int64))
         return SortedArrayDeltaMap.from_events(
             aggregate,
             np.concatenate(parts_ts),
@@ -227,34 +241,31 @@ class HybridAggregator:
         mask[: len(self._frozen_mask)] = ~self._frozen_mask
         return chunk.select(mask)
 
-    def _supplemental_map(
-        self, query: TemporalAggregationQuery, aggregate, qlo: int, qhi: int
-    ) -> SortedArrayDeltaMap | None:
+    def _supplemental_events(
+        self,
+        chunk: TableChunk,
+        mask: np.ndarray | None,
+        values: np.ndarray,
+        qhi: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
         """End events of frozen rows closed at or after the freeze version
-        (transaction-time queries only): one vectorized pass, no sort
-        needed for Step 2 (`from_events` consolidates)."""
-        chunk = self._frozen_live_chunk()
+        (transaction-time queries only): one vectorized pass over the live
+        ``tt_end`` column of the frozen rows.  Returned *unclamped below*
+        ``qlo`` on purpose — events before the query range must reach the
+        frozen index's prefix fold (see :meth:`_FrozenDimIndex.delta_map`)
+        so they cancel their rows' indexed start events instead of being
+        dropped, which would double-count rows closed before ``qlo``.
+        ``mask`` is the query predicate evaluated on ``chunk`` (or None)
+        and ``values`` the per-row aggregation values of ``chunk``.
+        """
         ends = chunk.column(f"{self._tdim}_end")
-        closed = (ends >= self.freeze_version) & (ends < FOREVER)
-        if query.predicate is not None:
-            closed &= query.predicate.mask(chunk)
-        ts = ends[closed]
-        ts = ts[(ts >= qlo) & (ts < qhi)]
-        if len(ts) == 0:
+        closed = (ends >= self.freeze_version) & (ends < FOREVER) & (ends < qhi)
+        if mask is not None:
+            closed &= mask
+        if not closed.any():
             return None
-        sub = chunk.select(closed)
-        sub_ts = sub.column(f"{self._tdim}_end")
-        keep = (sub_ts >= qlo) & (sub_ts < qhi)
-        if query.value_column is None:
-            values = np.ones(int(keep.sum()))
-        else:
-            values = sub.column(query.value_column).astype(np.float64)[keep]
-        return SortedArrayDeltaMap.from_events(
-            aggregate,
-            sub_ts[keep],
-            -values,
-            -np.ones(int(keep.sum()), dtype=np.int64),
-        )
+        ts = ends[closed]
+        return ts, -values[closed], -np.ones(len(ts), dtype=np.int64)
 
     def supports(self, query: TemporalAggregationQuery) -> bool:
         return (
@@ -281,28 +292,45 @@ class HybridAggregator:
         interval = query.interval_of(dim)
         qlo = MIN_TIME if interval is None else interval.start
         qhi = FOREVER if interval is None else interval.end
+        metrics().counter("hybrid.queries").add(1)
 
         def frozen_side():
-            chunk = self._frozen_live_chunk()
-            mask = (
-                None
-                if query.predicate is None
-                else query.predicate.mask(chunk)
-            )
-            if query.value_column is None:
-                values = np.ones(len(chunk))
-            else:
-                values = chunk.column(query.value_column).astype(np.float64)
-            maps = [
-                self._indexes[dim].delta_map(
-                    values, mask, qlo, qhi, agg, column_key=query.value_column
+            with span("hybrid.frozen.probe", kind="probe", dim=dim):
+                chunk = self._frozen_live_chunk()
+                mask = (
+                    None
+                    if query.predicate is None
+                    else query.predicate.mask(chunk)
                 )
-            ]
-            if dim == self._tdim:
-                supplemental = self._supplemental_map(query, agg, qlo, qhi)
-                if supplemental is not None:
-                    maps.append(supplemental)
-            return maps
+                if query.value_column is None:
+                    values = np.ones(len(chunk))
+                else:
+                    values = chunk.column(query.value_column).astype(
+                        np.float64
+                    )
+                index = self._indexes[dim]
+                metrics().counter("hybrid.frozen_events").add(
+                    len(index.timestamps)
+                )
+                extra = (
+                    self._supplemental_events(chunk, mask, values, qhi)
+                    if dim == self._tdim
+                    else None
+                )
+                metrics().counter("hybrid.supplemental_events").add(
+                    0 if extra is None else len(extra[0])
+                )
+                return [
+                    index.delta_map(
+                        values,
+                        mask,
+                        qlo,
+                        qhi,
+                        agg,
+                        column_key=query.value_column,
+                        extra=extra,
+                    )
+                ]
 
         fresh = self._fresh_chunk()
         bounds = [round(i * len(fresh) / max(1, workers)) for i in range(workers + 1)]
@@ -328,18 +356,28 @@ class HybridAggregator:
                 mode="vectorized",
             )
 
-        fresh_maps = executor.map_parallel(
-            fresh_side, fresh_chunks, label="hybrid.fresh"
-        )
-        frozen_maps = executor.run_serial(frozen_side, label="hybrid.frozen")
-
-        def step2():
-            return merge_sorted_arrays(
-                frozen_maps + list(fresh_maps),
-                agg,
-                until=qhi,
-                drop_empty=query.drop_empty,
+        with span(
+            "hybrid.query",
+            kind="query",
+            dim=dim,
+            aggregate=query.aggregate,
+            frozen_rows=self._frozen_count,
+            fresh_rows=self.fresh_rows,
+        ):
+            fresh_maps = executor.map_parallel(
+                fresh_side, fresh_chunks, label="hybrid.fresh"
+            )
+            frozen_maps = executor.run_serial(
+                frozen_side, label="hybrid.frozen"
             )
 
-        pairs = executor.run_serial(step2, label="hybrid.step2")
+            def step2():
+                return merge_sorted_arrays(
+                    frozen_maps + list(fresh_maps),
+                    agg,
+                    until=qhi,
+                    drop_empty=query.drop_empty,
+                )
+
+            pairs = executor.run_serial(step2, label="hybrid.step2")
         return TemporalAggregationResult.from_pairs(dim, pairs, agg.name)

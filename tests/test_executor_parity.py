@@ -13,6 +13,7 @@ import functools
 import pytest
 
 from repro.core import ParTime, TemporalAggregationQuery, WindowSpec
+from repro.obs import metrics
 from repro.simtime import SerialExecutor, ThreadExecutor
 from repro.simtime.executor import task_label
 from repro.temporal import Overlaps
@@ -83,6 +84,31 @@ class TestThreadSerialParity:
             workers=6,
             parallel_step2=True,
         )
+
+    def test_metrics_parity_serial_vs_threads(self, amadeus_table):
+        """The ``repro.obs`` counters are part of the parity contract:
+        swapping the executor may change wall-clock timing, but the
+        *booked work* — rows scanned, delta entries, merges — must come
+        out identical, and under real threads the thread-safe counters
+        must not lose increments."""
+        query = TemporalAggregationQuery(varied_dims=("tt",), value_column=None)
+        snapshots = {}
+        for label, executor in (
+            ("serial", SerialExecutor()),
+            ("threads", ThreadExecutor(max_workers=4)),
+        ):
+            metrics().reset()
+            ParTime().execute(
+                amadeus_table, query, workers=4, executor=executor
+            )
+            snapshots[label] = metrics().snapshot()
+        assert snapshots["serial"] == snapshots["threads"]
+        counters = snapshots["serial"]["counters"]
+        # Step 1 sweeps every physical row exactly once across partitions.
+        assert counters["step1.rows_scanned"] == len(amadeus_table)
+        assert counters["step1.delta_entries"] > 0
+        assert counters["step2.merges"] >= 1
+        assert counters["step2.merge_fan_in"] >= 4  # one map per partition
 
     def test_both_clocks_record_phases(self):
         table = build_employee_table()

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.core import ParTime, TemporalAggregationQuery
@@ -98,6 +98,22 @@ QUERIES = [
     after=st.lists(spec_strategy, max_size=10),
     workers=st.integers(1, 3),
     query_idx=st.integers(0, len(QUERIES) - 1),
+)
+# Pinned regressions for the freeze-boundary double-counting bug: a frozen
+# row closed *before* the query range (query_idx=4 is tt SUM over [2, 9))
+# must have its supplemental end event folded into the frozen index's
+# prefix fold, not dropped by the range clamp.
+@example(
+    before=[("insert", 0, 0, 1, 1)],
+    after=[("delete", 0, 0, None, 1)],
+    workers=1,
+    query_idx=4,
+)
+@example(
+    before=[("insert", 0, 0, None, 1)],
+    after=[("update", 0, 0, None, 1)],
+    workers=1,
+    query_idx=4,
 )
 def test_hybrid_equals_partime(before, after, workers, query_idx):
     """Freeze mid-history, keep mutating, and every supported query must

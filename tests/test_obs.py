@@ -1,0 +1,259 @@
+"""The observability layer: span trees, metrics, and their surfacing.
+
+Three contracts are pinned here (see docs/observability.md):
+
+1. **composition** — the span tree a traced query produces has phase
+   leaves whose simulated times compose (plain sum, the clock already
+   folded parallel phases to makespans) to exactly the ``SimClock``
+   elapsed time the executor reports;
+2. **shape** — span nesting matches the executor phase labels and engine
+   entry points ("partime.query" > "partime.step1"/"partime.step2",
+   "cluster.batch" > "cluster.write"/"cluster.scan"/"cluster.merge");
+3. **transport** — span trees survive ``to_dict``/``from_dict`` and the
+   ``repro trace`` CLI prints/serialises them.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.core import ParTime, TemporalAggregationQuery
+from repro.obs import (
+    CATALOGUE,
+    Span,
+    Tracer,
+    current_tracer,
+    metrics,
+    record_phase,
+    span,
+    tracing,
+)
+from repro.simtime import SerialExecutor
+from repro.storage.cluster import Cluster
+from repro.storage.queries import InsertOp, SelectQuery, TemporalAggQuery
+from repro.temporal import ColumnEquals, Overlaps
+
+from tests.conftest import BT_1995, BT_1996, build_employee_table
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    """Each test sees (and leaves behind) an empty metrics registry."""
+    metrics().reset()
+    yield
+    metrics().reset()
+
+
+def run_traced_query(workers: int = 3):
+    """One ParTime aggregation under tracing; returns (tracer, executor)."""
+    table = build_employee_table()
+    query = TemporalAggregationQuery(
+        varied_dims=("tt",), value_column="salary",
+        predicate=Overlaps("bt", BT_1995, BT_1996),
+    )
+    executor = SerialExecutor()
+    with tracing("test") as tracer:
+        ParTime().execute(table, query, workers=workers, executor=executor)
+    return tracer, executor
+
+
+class TestSpanTreeShape:
+    def test_phases_nest_under_query_span(self):
+        tracer, _executor = run_traced_query()
+        q = tracer.root.find("partime.query")
+        assert q is not None and q.kind == "query"
+        child_names = [c.name for c in q.children]
+        assert child_names == ["partime.step1", "partime.step2"]
+        step1 = q.children[0]
+        assert step1.kind == "parallel"
+        assert step1.slots >= 1
+        assert len(step1.durations) == 3  # one task per partition
+
+    def test_sim_times_compose_to_clock_elapsed(self):
+        """Acceptance criterion: per-phase simulated times compose to the
+        query's reported SimClock elapsed time."""
+        tracer, executor = run_traced_query(workers=4)
+        q = tracer.root.find("partime.query")
+        assert q.sim_total() == pytest.approx(executor.clock.elapsed, abs=1e-12)
+        # ... and the root sees the same total (nothing else ran).
+        assert tracer.root.sim_total() == pytest.approx(
+            executor.clock.elapsed, abs=1e-12
+        )
+        # Phase-by-phase the leaves mirror the clock's bookings exactly.
+        for phase, leaf in zip(executor.clock.phases, q.children):
+            assert leaf.name == phase.label
+            assert leaf.sim_seconds == phase.elapsed
+
+    def test_wall_work_sums_task_durations(self):
+        tracer, executor = run_traced_query()
+        q = tracer.root.find("partime.query")
+        booked = sum(sum(p.durations) for p in executor.clock.phases)
+        assert q.wall_work() == pytest.approx(booked, abs=1e-12)
+
+    def test_cluster_batch_phases_match_time_decomposition(self):
+        """The cluster.batch span's simulated subtree total is exactly the
+        ``BatchResult.simulated_seconds`` decomposition."""
+        table = build_employee_table()
+        cluster = Cluster.from_table(table, 2)
+        write = InsertOp(
+            {"name": "Dora", "descr": "Coder", "salary": 6_000},
+            {"bt": BT_1995},
+        )
+        agg = TemporalAggQuery(
+            TemporalAggregationQuery(varied_dims=("tt",), value_column="salary")
+        )
+        with tracing("cluster") as tracer:
+            batch = cluster.execute_batch([write, agg])
+        sp = tracer.root.find("cluster.batch")
+        assert sp is not None
+        assert sp.attrs == {
+            "writes": 1, "reads": 1, "nodes": 2, "sharing": True,
+        }
+        names = [c.name for c in sp.children]
+        assert names == ["cluster.write", "cluster.scan", "cluster.merge"]
+        assert sp.sim_total() == pytest.approx(
+            batch.simulated_seconds, abs=1e-12
+        )
+        assert metrics().snapshot()["counters"]["cluster.batches"] == 1
+
+
+class TestTracerMechanics:
+    def test_hooks_are_noops_when_tracing_off(self):
+        assert current_tracer() is None
+        record_phase("orphan", "serial", (0.1,), 1, 0.1)  # must not raise
+        with span("orphan") as sp:
+            assert sp is None
+
+    def test_nested_tracing_grafts_inner_root(self):
+        with tracing("outer") as outer:
+            with outer.span("stage"):
+                with tracing("inner") as inner:
+                    record_phase("leaf", "serial", (0.5,), 1, 0.5)
+        assert inner.root.find("leaf") is not None
+        stage = outer.root.find("stage")
+        assert inner.root in stage.children  # grafted, not copied
+        assert outer.root.sim_total() == pytest.approx(0.5)
+
+    def test_crashed_span_block_unwinds_stack(self):
+        tracer = Tracer("t")
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("doomed"):
+                    raise RuntimeError("boom")
+        assert tracer.current is tracer.root  # stack fully unwound
+
+    def test_span_json_round_trip(self):
+        tracer, _executor = run_traced_query()
+        payload = tracer.root.to_dict()
+        json.loads(json.dumps(payload))  # JSON-serialisable as promised
+        restored = Span.from_dict(payload)
+        assert restored == tracer.root
+        assert restored.sim_total() == tracer.root.sim_total()
+        assert restored.format_tree() == tracer.root.format_tree()
+
+    def test_format_tree_mentions_every_span(self):
+        tracer, _executor = run_traced_query()
+        tree = tracer.root.format_tree()
+        for sp in tracer.root.iter_spans():
+            assert sp.name in tree
+        assert "[parallel x3 on" in tree
+
+
+class TestMetricsRegistry:
+    def test_counters_and_gauges(self):
+        reg = metrics()
+        reg.counter("step2.merges").add(2)
+        reg.counter("step2.merges").add(3)
+        reg.gauge("load").set(0.75)
+        snap = reg.snapshot()
+        assert snap["counters"]["step2.merges"] == 5
+        assert snap["gauges"]["load"] == 0.75
+        table = reg.format_table()
+        assert "step2.merges" in table and "(counter)" in table
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}}
+        assert reg.format_table() == "(no metrics recorded)"
+
+    def test_engines_emit_only_catalogued_names(self):
+        """Every counter the instrumented engines book is documented in
+        the CATALOGUE — the vocabulary docs, CLI and tests share."""
+        table = build_employee_table()
+        ParTime().execute(
+            table,
+            TemporalAggregationQuery(varied_dims=("tt",), value_column="salary"),
+            workers=2,
+        )
+        cluster = Cluster.from_table(table, 2)
+        cluster.execute_batch([SelectQuery(ColumnEquals("name", "Ben"))])
+        emitted = set(metrics().snapshot()["counters"])
+        assert emitted  # the run did book work
+        assert emitted <= set(CATALOGUE)
+
+
+class TestBatchResultErrors:
+    def _batch(self):
+        table = build_employee_table()
+        cluster = Cluster.from_table(table, 2)
+        write = InsertOp(
+            {"name": "Eve", "descr": "CFO", "salary": 9_000}, {"bt": BT_1995}
+        )
+        read = SelectQuery(ColumnEquals("name", "Ben"))
+        return cluster.execute_batch([write, read]), write, read
+
+    def test_response_time_known_read(self):
+        batch, _write, read = self._batch()
+        assert batch.response_time(read.op_id) >= 0.0
+
+    def test_response_time_of_write_raises_descriptive_keyerror(self):
+        batch, write, read = self._batch()
+        with pytest.raises(KeyError, match="no response time recorded") as ei:
+            batch.response_time(write.op_id)
+        message = str(ei.value)
+        assert str(write.op_id) in message
+        assert str(read.op_id) in message  # the ids that *do* have one
+        assert "write" in message
+
+    def test_result_of_unknown_op_raises_descriptive_keyerror(self):
+        batch, _write, _read = self._batch()
+        with pytest.raises(KeyError, match="no result recorded"):
+            batch.result_of(999_999)
+
+
+class TestTraceCli:
+    def test_trace_demo_prints_tree_and_metrics(self, capsys, tmp_path):
+        out_json = tmp_path / "trace.json"
+        assert cli.main(["trace", "demo", "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "=== trace ===" in out and "=== metrics ===" in out
+        assert "partime.query" in out
+        assert "step1.rows_scanned" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["target"] == "demo"
+        root = Span.from_dict(payload["trace"])
+        # Three demo queries, each one a traced ParTime execution.
+        assert len(root.find_all("partime.query")) == 3
+        assert root.sim_total() > 0.0
+        assert payload["metrics"]["counters"]["step1.rows_scanned"] > 0
+
+    def test_trace_script_runs_under_tracer(self, capsys, tmp_path):
+        script = tmp_path / "workload.py"
+        script.write_text(
+            "from repro.core import ParTime, TemporalAggregationQuery\n"
+            "from tests.conftest import build_employee_table\n"
+            "table = build_employee_table()\n"
+            "ParTime().execute(table, TemporalAggregationQuery(\n"
+            "    varied_dims=('tt',), value_column='salary'), workers=2)\n"
+        )
+        assert cli.main(["trace", str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "trace:workload.py" in out
+        assert "partime.step2" in out
+
+    def test_trace_rejects_bad_targets(self, capsys, tmp_path):
+        assert cli.main(["trace", "not-a-workload"]) == 2
+        assert "must be 'demo' or a .py" in capsys.readouterr().err
+        assert cli.main(["trace", str(tmp_path / "missing.py")]) == 2
+        assert "no such workload script" in capsys.readouterr().err
