@@ -12,14 +12,14 @@ from __future__ import annotations
 
 from repro.bench import format_table, write_result
 from repro.core import ParTime, TemporalAggregationQuery
-from repro.simtime import SerialExecutor
+from repro.simtime import make_executor
 from repro.temporal import CurrentVersion
 from repro.workloads import TPCBiHConfig, TPCBiHDataset
 
 WORKERS = 16
 
 
-def test_ablation_parallel_step2(benchmark):
+def test_ablation_parallel_step2(benchmark, exec_backend):
     dataset = TPCBiHDataset(TPCBiHConfig(scale_factor=4.0, seed=77))
     table = dataset.customer
     # r2's defining property is that every partition's delta map is large
@@ -34,11 +34,16 @@ def test_ablation_parallel_step2(benchmark):
     )
 
     def run_once(parallel_step2: bool):
-        executor = SerialExecutor(slots=WORKERS)
+        executor = make_executor(exec_backend, workers=WORKERS)
         operator = ParTime(mode="pure", parallel_step2=parallel_step2)
-        result = operator.execute(
-            table, query, workers=WORKERS, executor=executor
-        )
+        try:
+            result = operator.execute(
+                table, query, workers=WORKERS, executor=executor
+            )
+        finally:
+            close = getattr(executor, "close", None)
+            if close is not None:
+                close()
         return result, executor.clock
 
     def run(parallel_step2: bool, repeats: int = 4):

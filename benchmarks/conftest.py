@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.simtime.executor import BACKENDS
 from repro.workloads import (
     AmadeusConfig,
     AmadeusWorkload,
@@ -25,12 +26,30 @@ def pytest_addoption(parser) -> None:
         help="also write span trees of representative runs as JSON "
         "artifacts into benchmarks/results/ (see docs/observability.md)",
     )
+    parser.addoption(
+        "--backend",
+        action="store",
+        default="serial",
+        choices=list(BACKENDS),
+        help="physical execution backend for the backend-aware benches "
+        "(fig19, parallel-merge ablation): 'serial' (default; simulated-"
+        "parallel), 'threads', or 'process' (real multiprocessing with "
+        "shared-memory chunk transport).  Answers are backend-"
+        "independent; only measured wall-clock changes "
+        "(see docs/executors.md)",
+    )
 
 
 @pytest.fixture(scope="session")
 def trace_json(request) -> bool:
     """Whether ``--trace-json`` was passed to this benchmark run."""
     return bool(request.config.getoption("--trace-json", default=False))
+
+
+@pytest.fixture(scope="session")
+def exec_backend(request) -> str:
+    """The ``--backend`` of this benchmark run (``serial`` by default)."""
+    return str(request.config.getoption("--backend", default="serial"))
 
 #: "small database" — the 1% Amadeus subset of Section 5.2.1, scaled.
 AMADEUS_SMALL = AmadeusConfig(num_bookings=50_000, num_flights=2_000, seed=11)

@@ -27,13 +27,16 @@ import argparse
 import os
 import sys
 
+from repro.simtime.executor import BACKENDS
 from repro.sql import Database, SqlError
 from repro.temporal import TemporalTable
 
 
-def _load_dataset(name: str, scale: float, seed: int) -> Database:
+def _load_dataset(
+    name: str, scale: float, seed: int, backend: str = "serial"
+) -> Database:
     """Build a Database with the requested dataset registered."""
-    db = Database(workers=4)
+    db = Database(workers=4, backend=backend)
     if name == "employee":
         db.register("employee", _employee_fallback())
     elif name == "amadeus":
@@ -136,7 +139,9 @@ def cmd_demo(_args) -> int:
 
 
 def cmd_sql(args) -> int:
-    db = _load_dataset(args.dataset, args.scale, args.seed)
+    db = _load_dataset(
+        args.dataset, args.scale, args.seed, backend=args.backend
+    )
     try:
         if args.explain:
             print(db.explain(args.statement))
@@ -145,6 +150,8 @@ def cmd_sql(args) -> int:
     except SqlError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        db.close()
     if isinstance(result, int):
         print(result)
     else:
@@ -289,6 +296,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="dataset scale factor")
     sql.add_argument("--seed", type=int, default=7)
     sql.add_argument("--workers", type=int, default=4)
+    sql.add_argument(
+        "--backend", default="serial", choices=list(BACKENDS),
+        help="how parallel phases physically run: 'serial' (simulated-"
+        "parallel accounting, the default), 'threads', or 'process' "
+        "(real multiprocessing with shared-memory chunk transport)",
+    )
     sql.add_argument("--max-rows", type=int, default=40)
     sql.add_argument("--explain", action="store_true",
                      help="show the plan instead of executing")

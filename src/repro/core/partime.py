@@ -53,6 +53,100 @@ class ParTimeStats:
     pivot: str | None = None
 
 
+# ---------------------------------------------------------------------------
+# Step 1 task payloads
+# ---------------------------------------------------------------------------
+#
+# Step 1 tasks are frozen-dataclass *callables* rather than closures: a
+# closure cannot cross a process boundary, while a dataclass instance
+# whose fields are all picklable (queries, predicates and aggregates are
+# frozen dataclasses / stateless registry singletons) pickles in a few
+# hundred bytes.  This is what lets the same ``executor.map_parallel``
+# call run unchanged under the serial, thread and process backends — the
+# chunk itself travels via shared memory (see repro.simtime.shm), the
+# task spec via pickle.
+
+
+@dataclass(frozen=True)
+class _Step1Task:
+    """One-dimensional Step 1 over one chunk (Figure 7)."""
+
+    query: TemporalAggregationQuery
+    dim: str
+    mode: str
+    backend: str
+
+    def __call__(self, chunk: TableChunk):
+        return generate_delta_map(
+            chunk,
+            self.query.value_column,
+            self.dim,
+            self.query.aggregate_fn,
+            predicate=self.query.predicate,
+            query_interval=self.query.interval_of(self.dim),
+            mode=self.mode,
+            backend=self.backend,
+        )
+
+
+@dataclass(frozen=True)
+class _Step1WindowTask:
+    """Windowed Step 1 over one chunk (Figure 9)."""
+
+    query: TemporalAggregationQuery
+    dim: str
+    mode: str
+
+    def __call__(self, chunk: TableChunk):
+        return generate_windowed_delta_map(
+            chunk,
+            self.query.value_column,
+            self.dim,
+            self.query.window,
+            self.query.aggregate_fn,
+            predicate=self.query.predicate,
+            mode=self.mode,
+        )
+
+
+@dataclass(frozen=True)
+class _Step1MultiDimTask:
+    """Multi-dimensional Step 1 over one chunk (Figure 10)."""
+
+    query: TemporalAggregationQuery
+    pivot: str
+
+    def __call__(self, chunk: TableChunk):
+        return generate_multidim_delta_map(
+            chunk,
+            self.query.value_column,
+            self.query.varied_dims,
+            self.pivot,
+            self.query.aggregate_fn,
+            predicate=self.query.predicate,
+            query_intervals=self.query.query_intervals or None,
+        )
+
+
+@dataclass(frozen=True)
+class _ConsolidateTask:
+    """One pairwise Step 2 consolidation (parallel-merge extension).
+
+    The item is the ``(left, right)`` delta-map pair itself — carrying the
+    maps in the payload (rather than indices into captured state) keeps
+    the task pure over captured state (lint rule PT001) and
+    process-portable.
+    """
+
+    aggregate: str
+
+    def __call__(self, pair):
+        left, right = pair
+        from repro.core.aggregates import get_aggregate
+
+        return consolidate_pair(left, right, get_aggregate(self.aggregate))
+
+
 class ParTime:
     """The ParTime temporal aggregation operator.
 
@@ -135,18 +229,9 @@ class ParTime:
         dim = query.varied_dims[0]
         agg = query.aggregate_fn
 
-        def step1(chunk: TableChunk):
-            return generate_delta_map(
-                chunk,
-                query.value_column,
-                dim,
-                agg,
-                predicate=query.predicate,
-                query_interval=query.interval_of(dim),
-                mode=self.mode,
-                backend=self.backend,
-            )
-
+        step1 = _Step1Task(
+            query=query, dim=dim, mode=self.mode, backend=self.backend
+        )
         maps = executor.map_parallel(step1, chunks, label="partime.step1")
         self.last_stats.delta_entries = sum(len(m) for m in maps)
         until = self._until(query, dim)
@@ -180,17 +265,11 @@ class ParTime:
         window = query.window
         assert window is not None
 
-        def step1(chunk: TableChunk):
-            return generate_windowed_delta_map(
-                chunk,
-                query.value_column,
-                dim,
-                window,
-                agg,
-                predicate=query.predicate,
-                mode=self.mode if agg.incremental else "pure",
-            )
-
+        step1 = _Step1WindowTask(
+            query=query,
+            dim=dim,
+            mode=self.mode if agg.incremental else "pure",
+        )
         maps = executor.map_parallel(step1, chunks, label="partime.step1w")
 
         def step2():
@@ -219,17 +298,7 @@ class ParTime:
         self.last_stats.pivot = pivot
         nonpivot = [d for d in query.varied_dims if d != pivot]
 
-        def step1(chunk: TableChunk):
-            return generate_multidim_delta_map(
-                chunk,
-                query.value_column,
-                query.varied_dims,
-                pivot,
-                agg,
-                predicate=query.predicate,
-                query_intervals=query.query_intervals or None,
-            )
-
+        step1 = _Step1MultiDimTask(query=query, pivot=pivot)
         maps = executor.map_parallel(step1, chunks, label="partime.step1md")
         self.last_stats.delta_entries = sum(len(m) for m in maps)
 
@@ -262,13 +331,11 @@ class ParTime:
     def _consolidate_parallel(self, maps, agg, executor: Executor):
         """Multi-level pairwise consolidation (parallel Step 2 extension)."""
         maps = list(maps)
+        task = _ConsolidateTask(aggregate=agg.name)
         for level in parallel_merge_plan(maps):
-            def merge_pair(pair, _maps=maps):
-                i, j = pair
-                return consolidate_pair(_maps[i], _maps[j], agg)
-
+            pairs = [(maps[i], maps[j]) for i, j in level]
             merged = executor.map_parallel(
-                merge_pair, level, label="partime.step2.level"
+                task, pairs, label="partime.step2.level"
             )
             leftover = [maps[-1]] if len(maps) % 2 else []
             maps = list(merged) + leftover

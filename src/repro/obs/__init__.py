@@ -21,6 +21,8 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     MetricsRegistry,
+    diff_snapshots,
+    merge_delta,
     metrics,
 )
 from repro.obs.tracer import (
@@ -38,6 +40,8 @@ __all__ = [
     "Counter",
     "Gauge",
     "MetricsRegistry",
+    "diff_snapshots",
+    "merge_delta",
     "metrics",
     "Span",
     "Tracer",

@@ -137,3 +137,45 @@ _REGISTRY = MetricsRegistry()
 def metrics() -> MetricsRegistry:
     """The process-local default registry."""
     return _REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# Cross-process snapshot algebra
+# ---------------------------------------------------------------------------
+#
+# The registry is process-local, so work done inside a
+# :class:`~repro.simtime.executor.ProcessExecutor` worker increments the
+# *worker's* registry — invisible to the parent.  Workers therefore ship a
+# snapshot *delta* (what their task added) back with each result, and the
+# parent folds it in.  This is what keeps the metrics side of the
+# executor-parity contract: a workload booked under serial, thread and
+# process execution produces identical parent-side snapshots.
+
+
+def diff_snapshots(before: dict, after: dict) -> dict:
+    """What ``after`` added on top of ``before``.
+
+    Counters subtract; gauges are last-value, so the delta carries every
+    gauge whose value changed (or appeared) since ``before``.
+    """
+    counters = {}
+    for name, value in after.get("counters", {}).items():
+        delta = value - before.get("counters", {}).get(name, 0)
+        if delta or name not in before.get("counters", {}):
+            counters[name] = delta
+    gauges = {}
+    before_gauges = before.get("gauges", {})
+    for name, value in after.get("gauges", {}).items():
+        if name not in before_gauges or before_gauges[name] != value:
+            gauges[name] = value
+    return {"counters": counters, "gauges": gauges}
+
+
+def merge_delta(delta: dict, registry: MetricsRegistry | None = None) -> None:
+    """Fold a :func:`diff_snapshots` delta into ``registry`` (the default
+    process-local one when omitted)."""
+    registry = registry or metrics()
+    for name, value in delta.get("counters", {}).items():
+        registry.counter(name).add(value)
+    for name, value in delta.get("gauges", {}).items():
+        registry.gauge(name).set(value)

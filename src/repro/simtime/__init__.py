@@ -16,20 +16,36 @@ grow with the number of cores, just as in Figure 19.
 
 from repro.simtime.clock import SimClock, Phase
 from repro.simtime.machine import MachineSpec
-from repro.simtime.executor import Executor, SerialExecutor, ThreadExecutor, task_label
+from repro.simtime.executor import (
+    BACKENDS,
+    Executor,
+    ExecutorTaskError,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+    task_label,
+)
 from repro.simtime.cost import CostModel
 from repro.simtime.measure import Stopwatch, measured, timed_call
+from repro.simtime.shm import ShmChunk, export_chunk
 
 __all__ = [
     "SimClock",
     "Phase",
     "MachineSpec",
+    "BACKENDS",
     "Executor",
+    "ExecutorTaskError",
+    "ProcessExecutor",
     "SerialExecutor",
     "ThreadExecutor",
+    "make_executor",
     "task_label",
     "CostModel",
     "Stopwatch",
     "measured",
     "timed_call",
+    "ShmChunk",
+    "export_chunk",
 ]

@@ -1,6 +1,6 @@
 """Executors: how parallel phases actually run and are accounted.
 
-Two implementations of the same small protocol:
+Three implementations of the same small protocol:
 
 * :class:`SerialExecutor` — runs tasks one after another, measures each
   with ``perf_counter`` and books the phase into a
@@ -11,15 +11,38 @@ Two implementations of the same small protocol:
   this gives no speedup for pure-Python work (the very limitation the
   substitution works around) but it validates that Step 1 is safe to run
   concurrently, and NumPy releases the GIL for large array kernels.
+* :class:`ProcessExecutor` — a real ``multiprocessing`` worker pool: one
+  Python interpreter per worker, zero GIL contention, chunk payloads
+  shipped through :mod:`repro.simtime.shm` (shared-memory blocks with
+  zero-copy NumPy reconstruction) instead of the pickle pipe.  This is
+  the repo's first path to genuine hardware speedup on pure-Python
+  Step 1.
+
+All three book **the same phases** into their clock: one
+``clock.parallel`` per ``map_parallel`` with one measured duration per
+task, one ``clock.serial`` per ``run_serial``.  Swapping the executor
+changes measured values (and real wall-clock), never answers, phase
+labels, task counts, or metric snapshots — the parity contract pinned by
+``tests/test_executor_parity.py`` and documented in docs/executors.md.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Any, Callable, Protocol, Sequence
 
+from repro.obs.metrics import diff_snapshots, merge_delta, metrics
 from repro.simtime.clock import SimClock
 from repro.simtime.measure import measured
+from repro.simtime.shm import ShmChunk, export_chunk, release_all
+
+#: Environment knob the CI matrix uses to pin the multiprocessing start
+#: method (``fork`` / ``spawn`` / ``forkserver``).  Unset → the platform
+#: default.
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
 
 
 def task_label(label: str, fn: Callable) -> str:
@@ -42,6 +65,25 @@ def task_label(label: str, fn: Callable) -> str:
         if inner:
             return f"partial({inner})"
     return f"<{type(fn).__name__}>"
+
+
+class ExecutorTaskError(RuntimeError):
+    """A task of a parallel phase failed (raised, or its worker died).
+
+    Always names the phase label and the failing task index, so a stack
+    trace from deep inside a worker still says *which* Step 1 partition
+    (or node cycle) went down.
+    """
+
+    def __init__(self, phase: str, task_index: int | None, reason: str) -> None:
+        where = (
+            f"task {task_index} of phase {phase!r}"
+            if task_index is not None
+            else f"phase {phase!r}"
+        )
+        super().__init__(f"{where} failed: {reason}")
+        self.phase = phase
+        self.task_index = task_index
 
 
 class Executor(Protocol):
@@ -93,23 +135,43 @@ class SerialExecutor:
         return result
 
 
+def _timed_task(fn: Callable, item) -> tuple[Any, float]:
+    """Run one task and measure it (thread-pool per-task instrumentation)."""
+    with measured() as sw:
+        result = fn(item)
+    return result, sw.elapsed
+
+
 class ThreadExecutor:
-    """Real threads; simulated clock records wall-clock per phase."""
+    """Real threads; each task is measured individually and the phase is
+    booked exactly like the serial executor's (same label, same task
+    count), with ``max_workers`` slots.
+
+    Like :class:`ProcessExecutor`, the physical pool is capped at the
+    machine's core count: threads beyond the physical cores only
+    time-slice and inflate the per-task measurements the simulated
+    makespan is computed from.  (GIL-bound pure-Python tasks still
+    contend below that cap — the very limitation DESIGN.md §1's
+    substitution works around — which is why the serial executor remains
+    the reference backend for simulated numbers.)
+    """
 
     def __init__(self, max_workers: int, clock: SimClock | None = None) -> None:
         if max_workers < 1:
             raise ValueError("need at least one worker")
         self.max_workers = max_workers
+        self.pool_workers = min(max_workers, os.cpu_count() or max_workers)
         self.clock = clock or SimClock()
 
     def map_parallel(self, fn: Callable, items: Sequence, label: str = "") -> list:
-        with measured() as sw:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                results = list(pool.map(fn, items))
+        with ThreadPoolExecutor(max_workers=self.pool_workers) as pool:
+            outcomes = list(pool.map(_timed_task, [fn] * len(items), items))
+        results = [r for r, _ in outcomes]
+        durations = [d for _, d in outcomes]
         self.clock.parallel(
             task_label(label, fn),
-            [sw.elapsed],
-            slots=1,
+            durations,
+            slots=self.max_workers,
             meta={"executor": "thread", "tasks": len(items)},
         )
         return results
@@ -121,3 +183,238 @@ class ThreadExecutor:
             task_label(label, fn), sw.elapsed, meta={"executor": "thread"}
         )
         return result
+
+
+# ---------------------------------------------------------------------------
+# Process backend
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _PickledResult:
+    """A task result serialised *inside* the shared-memory mapping window.
+
+    A result that aliases the chunk's zero-copy views would dangle once
+    the worker unmaps the block — and NumPy keeps only a plain object
+    reference to the mapped ``mmap``, invisible to ``mmap.close()``, so
+    the dangling view reads unmapped memory instead of failing loudly.
+    Pickling while the mapping is still valid materialises any aliasing
+    arrays into owned buffers; the parent unpickles transparently.
+    """
+
+    blob: bytes
+
+
+def _run_process_task(fn: Callable, payload) -> tuple[Any, float, dict]:
+    """Worker-side wrapper around one task.
+
+    * Reconstructs :class:`~repro.simtime.shm.ShmChunk` payloads as
+      zero-copy chunks, and pickles the result *before* the mapping
+      closes (see :class:`_PickledResult`);
+    * measures the task with the same stopwatch serial execution uses, so
+      the parent can book the phase as a measured makespan;
+    * captures the metrics the task emitted into this worker's
+      process-local registry as a snapshot delta, so the parent can fold
+      them into its own registry (metrics parity across backends).
+    """
+    registry = metrics()
+    before = registry.snapshot()
+    if isinstance(payload, ShmChunk):
+        with payload.open() as chunk:
+            with measured() as sw:
+                result = fn(chunk)
+            result = _PickledResult(
+                pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+    else:
+        with measured() as sw:
+            result = fn(payload)
+    delta = diff_snapshots(before, registry.snapshot())
+    return result, sw.elapsed, delta
+
+
+class ProcessExecutor:
+    """Real multi-process execution with measured-makespan accounting.
+
+    Tasks run in a persistent ``concurrent.futures.ProcessPoolExecutor``
+    (``fork``/``spawn``/``forkserver`` selectable; defaults to the
+    ``REPRO_MP_START_METHOD`` environment variable, then the platform
+    default).  Task callables and non-chunk payloads must be picklable —
+    :mod:`repro.core.partime` ships its Step 1 tasks as frozen dataclass
+    callables for exactly this reason.  :class:`TableChunk` payloads are
+    transparently rerouted through :mod:`repro.simtime.shm`.
+
+    Accounting matches :class:`SerialExecutor`: every task returns its
+    *own* measured seconds, and the parent books the phase into the
+    :class:`SimClock` as the makespan of those measurements over
+    ``max_workers`` slots.  The simulated-time model is therefore
+    unchanged — only the real wall-clock spent obtaining the measurements
+    shrinks with the core count.
+
+    The *physical* pool never exceeds ``os.cpu_count()``, regardless of
+    ``max_workers``: oversubscribed workers time-slice one core, which
+    inflates every concurrently-running task's measured wall-clock — and
+    those measurements are the inputs of the simulated makespan.  Capping
+    the pool keeps each measurement an uncontended single-core run (the
+    quantity the substitution is defined over) while ``max_workers``
+    keeps meaning the number of *simulated* cores the phase is booked
+    against.
+
+    Failure semantics: a task that raises — or whose worker process dies —
+    surfaces as :class:`ExecutorTaskError` naming the phase label; the
+    phase's shared-memory blocks are released either way (no orphans), and
+    a broken pool is discarded so the next phase starts fresh.
+    """
+
+    def __init__(
+        self,
+        max_workers: int,
+        clock: SimClock | None = None,
+        start_method: str | None = None,
+        use_shared_memory: bool = True,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("need at least one worker")
+        self.max_workers = max_workers
+        #: Physical pool size: simulated cores may outnumber real ones,
+        #: but running more workers than cores only adds scheduler
+        #: contention to the per-task measurements (see class docstring).
+        self.pool_workers = min(max_workers, os.cpu_count() or max_workers)
+        self.clock = clock or SimClock()
+        self.start_method = start_method or os.environ.get(START_METHOD_ENV) or None
+        self.use_shared_memory = use_shared_memory
+        self._pool = None
+
+    # ------------------------------------------------------------- plumbing
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.pool_workers, mp_context=context
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (it restarts lazily on next use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _discard_broken_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _export_payloads(self, items: Sequence) -> tuple[list, list]:
+        """Chunks → shared-memory handles; everything else passes through."""
+        from repro.temporal.table import TableChunk
+
+        payloads: list = []
+        handles: list = []
+        for item in items:
+            if self.use_shared_memory and isinstance(item, TableChunk):
+                handle = export_chunk(item)
+                handles.append(handle)
+                payloads.append(handle)
+            else:
+                payloads.append(item)
+        return payloads, handles
+
+    # -------------------------------------------------------------- protocol
+
+    def map_parallel(self, fn: Callable, items: Sequence, label: str = "") -> list:
+        from concurrent.futures import process as _cf_process
+
+        phase = task_label(label, fn)
+        payloads, handles = self._export_payloads(items)
+        results: list = []
+        durations: list[float] = []
+        try:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(_run_process_task, fn, payload)
+                for payload in payloads
+            ]
+            for i, future in enumerate(futures):
+                try:
+                    result, seconds, metric_delta = future.result()
+                except _cf_process.BrokenProcessPool as exc:
+                    self._discard_broken_pool()
+                    raise ExecutorTaskError(
+                        phase,
+                        i,
+                        f"worker process died before returning a result "
+                        f"({exc}); the pool has been discarded",
+                    ) from exc
+                except ExecutorTaskError:
+                    raise
+                except Exception as exc:
+                    for pending in futures[i + 1 :]:
+                        pending.cancel()
+                    raise ExecutorTaskError(
+                        phase, i, f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                if isinstance(result, _PickledResult):
+                    result = pickle.loads(result.blob)
+                results.append(result)
+                durations.append(seconds)
+                merge_delta(metric_delta)
+        finally:
+            release_all(handles)
+        self.clock.parallel(
+            phase,
+            durations,
+            slots=self.max_workers,
+            meta={"executor": "process", "tasks": len(items)},
+        )
+        return results
+
+    def run_serial(self, fn: Callable[[], Any], label: str = "") -> Any:
+        with measured() as sw:
+            result = fn()
+        self.clock.serial(
+            task_label(label, fn), sw.elapsed, meta={"executor": "process"}
+        )
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Backend selection
+# ---------------------------------------------------------------------------
+
+#: The names accepted by ``--backend`` flags and config layers.
+BACKENDS = ("serial", "threads", "process")
+
+
+def make_executor(
+    backend: str,
+    workers: int | None = None,
+    clock: SimClock | None = None,
+    start_method: str | None = None,
+) -> "SerialExecutor | ThreadExecutor | ProcessExecutor":
+    """Build an executor from a backend name.
+
+    ``workers`` bounds the real worker pool for ``threads`` / ``process``
+    (defaulting to ``os.cpu_count()``), and the simulated slot count for
+    ``serial`` (defaulting to one slot per task, the historical default).
+    """
+    if backend == "serial":
+        return SerialExecutor(slots=workers, clock=clock)
+    pool = workers or os.cpu_count() or 1
+    if backend == "threads":
+        return ThreadExecutor(max_workers=pool, clock=clock)
+    if backend == "process":
+        return ProcessExecutor(
+            max_workers=pool, clock=clock, start_method=start_method
+        )
+    raise ValueError(f"unknown executor backend {backend!r}; known: {BACKENDS}")

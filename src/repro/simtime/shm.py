@@ -1,0 +1,284 @@
+"""Shared-memory transport for columnar chunks.
+
+The :class:`~repro.simtime.executor.ProcessExecutor` fans ParTime Step 1
+out over real OS processes.  Naively, every task would pickle its whole
+:class:`~repro.temporal.table.TableChunk` through a pipe — O(partition)
+bytes copied twice per task, which is exactly the serialization tax that
+ParIS-style engines fight at process boundaries.  This module removes it
+for the dominant payload: numeric NumPy columns travel through one
+``multiprocessing.shared_memory`` block per chunk and are reconstructed
+in the worker as **zero-copy views** into the mapped block.
+
+Layout of a block::
+
+    [col 0 bytes][pad][col 1 bytes][pad]...
+
+Each column's placement is described by a picklable
+:class:`ColumnDescriptor`; the whole chunk by a :class:`ShmChunk` handle
+(block name + descriptors + schema + row offset), which is what actually
+crosses the process boundary — a few hundred bytes regardless of the
+partition size.
+
+Two kinds of columns exist in this repo (see
+:class:`~repro.temporal.schema.ColumnType`):
+
+* fixed-width numeric dtypes (``int64``/``float64``/``bool``) — stored
+  raw, reconstructed as ``np.ndarray(buffer=shm.buf, ...)`` views
+  (zero-copy);
+* ``object`` dtype (strings) — NumPy object arrays hold *pointers*, which
+  are meaningless in another address space; these columns are pickled
+  into the block and materialised (one copy) in the worker.
+
+Lifecycle contract
+------------------
+
+The **parent** (exporting side) owns every block: :func:`export_chunk`
+creates it and :func:`ShmChunk.release` (or :func:`release_all`) closes
+*and unlinks* it.  The **worker** (attaching side) only maps and unmaps:
+:meth:`ShmChunk.open` attaches, the returned :class:`AttachedChunk`
+context manager unmaps on exit.  Workers never unlink — the parent may
+still need the block for a retry — and they unregister the mapping from
+their own ``resource_tracker`` so the tracker does not double-account a
+block whose ownership lives in the parent (the well-known
+``shared_memory`` leak-warning gotcha).
+
+A task result that aliases the zero-copy views would dangle once the
+mapping closes — NumPy records only a plain object reference to the
+mapped ``mmap``, which ``mmap.close()`` cannot see, so the dangling view
+would *not* fail loudly; it would read unmapped memory.  The executor
+therefore pickles every task result **inside** the mapping window
+(:func:`repro.simtime.executor._run_process_task`): pickling materialises
+any aliasing arrays into owned buffers while the bytes are still valid.
+``AttachedChunk.__exit__`` additionally releases its column memoryviews
+explicitly and converts a ``BufferError`` from a still-exported buffer
+into a message naming the offending block.
+"""
+
+from __future__ import annotations
+
+import pickle
+import secrets
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.temporal.schema import TableSchema
+from repro.temporal.table import TableChunk
+
+#: Every block this module creates carries this name prefix, so leak
+#: checks (tests, operators looking at /dev/shm) can attribute blocks.
+SHM_PREFIX = "partime_"
+
+#: Column byte ranges start at multiples of this (int64/float64 views
+#: must be aligned; 16 also covers any future wider dtype).
+_ALIGN = 16
+
+#: Parent-side registry of live (not yet released) blocks, by name.
+#: Inspected by the leak assertions of the executor test-suite.
+_LIVE_BLOCKS: dict[str, shared_memory.SharedMemory] = {}
+
+
+def active_block_names() -> list[str]:
+    """Names of blocks exported by this process and not yet released."""
+    return sorted(_LIVE_BLOCKS)
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class ColumnDescriptor:
+    """Where one column lives inside a block and how to rebuild it.
+
+    ``encoding`` is ``"raw"`` (fixed-width dtype, zero-copy view) or
+    ``"pickle"`` (object dtype, materialised copy).
+    """
+
+    name: str
+    encoding: str
+    dtype: str
+    length: int
+    offset: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class ShmChunk:
+    """Picklable handle to a columnar chunk living in shared memory."""
+
+    block_name: str
+    schema: TableSchema
+    row_offset: int
+    columns: tuple[ColumnDescriptor, ...]
+    num_rows: int
+
+    def open(self) -> "AttachedChunk":
+        """Attach to the block (worker side); use as a context manager."""
+        return AttachedChunk(self)
+
+    def release(self) -> None:
+        """Parent side: close and unlink the backing block (idempotent)."""
+        shm = _LIVE_BLOCKS.pop(self.block_name, None)
+        if shm is None:
+            return
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # already unlinked by an earlier release
+            pass
+
+
+class AttachedChunk:
+    """Worker-side mapping of a :class:`ShmChunk`.
+
+    ``with handle.open() as chunk:`` yields a reconstructed
+    :class:`TableChunk` whose numeric columns are zero-copy views into
+    the mapped block; the mapping is closed when the block exits.
+    """
+
+    def __init__(self, handle: ShmChunk) -> None:
+        self._handle = handle
+        self._shm: shared_memory.SharedMemory | None = None
+        #: The column memoryview slices, kept alive for the lifetime of
+        #: the mapping (dropping them early lets ``mmap.close`` succeed
+        #: under still-live ndarray views — a silent dangling pointer).
+        self._views: list[memoryview] = []
+
+    def __enter__(self) -> TableChunk:
+        handle = self._handle
+        self._shm = _attach_untracked(handle.block_name)
+        columns: dict[str, np.ndarray] = {}
+        buf = self._shm.buf
+        for desc in handle.columns:
+            raw = buf[desc.offset : desc.offset + desc.nbytes]
+            if desc.encoding == "raw":
+                self._views.append(raw)
+                columns[desc.name] = np.ndarray(
+                    (desc.length,), dtype=np.dtype(desc.dtype), buffer=raw
+                )
+            elif desc.encoding == "pickle":
+                columns[desc.name] = pickle.loads(raw)  # materialised copy
+                raw.release()
+            else:  # pragma: no cover - descriptor written by export_chunk
+                raise ValueError(f"unknown column encoding {desc.encoding!r}")
+        return TableChunk(
+            schema=handle.schema,
+            columns=columns,
+            row_offset=handle.row_offset,
+        )
+
+    def __exit__(self, *exc_info) -> None:
+        if self._shm is None:
+            return
+        try:
+            for view in self._views:
+                view.release()
+            self._shm.close()
+        except BufferError:
+            raise BufferError(
+                f"buffers exported from shared-memory chunk "
+                f"{self._handle.block_name!r} are still alive at unmap "
+                f"time; results returned from a ProcessExecutor task must "
+                f"own their buffers (the executor pickles results inside "
+                f"the mapping window for exactly this reason)"
+            ) from None
+        finally:
+            self._views = []
+            self._shm = None
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without registering it with this
+    process's ``resource_tracker``.
+
+    The *creating* process (the executor parent) already registered the
+    block and will unlink it; a second registration from the attaching
+    worker either double-books a shared tracker (``fork``: the eventual
+    unlink triggers a KeyError in the tracker process) or books it with a
+    tracker that outlives the mapping (``spawn``: the worker's tracker
+    "cleans up" — i.e. unlinks — a block the parent still owns, plus a
+    leak warning).  Python 3.13 grew ``track=False`` for exactly this;
+    on the 3.10-3.12 range this repo supports, suppressing the register
+    hook around the attach is the sanctioned workaround (single-threaded
+    workers, so the swap cannot race).
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def export_chunk(chunk: TableChunk) -> ShmChunk:
+    """Serialize ``chunk`` into one fresh shared-memory block.
+
+    Returns the picklable handle.  The caller (parent process) is
+    responsible for :meth:`ShmChunk.release` once every worker holding
+    the handle has finished — the executor does this per phase.
+    """
+    payloads: list[tuple[str, str, str, int, bytes | np.ndarray]] = []
+    offset = 0
+    descriptors: list[ColumnDescriptor] = []
+    for name, arr in chunk.columns.items():
+        if arr.dtype == object:
+            blob = pickle.dumps(arr, protocol=pickle.HIGHEST_PROTOCOL)
+            encoding, dtype, nbytes = "pickle", "object", len(blob)
+            payload: bytes | np.ndarray = blob
+            length = len(arr)
+        else:
+            arr = np.ascontiguousarray(arr)
+            encoding, dtype, nbytes = "raw", arr.dtype.str, arr.nbytes
+            payload = arr
+            length = len(arr)
+        offset = _align(offset)
+        descriptors.append(
+            ColumnDescriptor(name, encoding, dtype, length, offset, nbytes)
+        )
+        payloads.append((name, encoding, dtype, offset, payload))
+        offset += nbytes
+
+    # SharedMemory(size=0) is invalid; an empty chunk still needs a block
+    # so the worker-side protocol stays uniform.
+    shm = shared_memory.SharedMemory(
+        create=True, size=max(offset, 1), name=_fresh_name()
+    )
+    try:
+        buf = shm.buf
+        for desc, (_name, encoding, _dtype, off, payload) in zip(
+            descriptors, payloads
+        ):
+            target = buf[off : off + desc.nbytes]
+            if encoding == "raw":
+                view = np.ndarray(
+                    (desc.length,), dtype=np.dtype(desc.dtype), buffer=target
+                )
+                view[:] = payload
+                del view  # drop the export before the memoryview slice
+            else:
+                target[:] = payload
+            del target
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    _LIVE_BLOCKS[shm.name] = shm
+    return ShmChunk(
+        block_name=shm.name,
+        schema=chunk.schema,
+        row_offset=chunk.row_offset,
+        columns=tuple(descriptors),
+        num_rows=len(chunk),
+    )
+
+
+def _fresh_name() -> str:
+    return f"{SHM_PREFIX}{secrets.token_hex(8)}"
+
+
+def release_all(handles) -> None:
+    """Release every handle in ``handles`` (idempotent, exception-safe)."""
+    for handle in handles:
+        handle.release()

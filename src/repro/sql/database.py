@@ -17,6 +17,7 @@ from repro.sql.ast import JoinStmt
 from repro.sql.errors import SqlError
 from repro.sql.parser import parse
 from repro.sql.planner import annotate_plan, plan, plan_join
+from repro.simtime.executor import make_executor
 from repro.temporal.table import TemporalTable
 
 
@@ -32,10 +33,22 @@ class Database:
     >>> # db = Database(workers=8)
     >>> # db.register("employee", table)
     >>> # db.query("SELECT SUM(salary) FROM employee GROUP BY TEMPORAL (tt)")
+
+    ``backend`` selects how the parallel phases physically run (see
+    docs/executors.md): ``"serial"`` (default; simulated-parallel),
+    ``"threads"`` or ``"process"``.  The answers are backend-independent
+    — the parity suite pins that — only wall-clock time changes.
     """
 
-    def __init__(self, workers: int = 4, mode: str = "vectorized") -> None:
+    def __init__(
+        self,
+        workers: int = 4,
+        mode: str = "vectorized",
+        backend: str = "serial",
+    ) -> None:
         self.workers = workers
+        self.backend = backend
+        self._executor = make_executor(backend, workers=workers)
         self._partime = ParTime(mode=mode)
         self._tables: dict[str, TemporalTable] = {}
         #: Root span of the most recently executed statement, and the
@@ -95,8 +108,23 @@ class Database:
         if kind == "select":
             return int(compiled.mask(table.chunk()).sum())
         return self._partime.execute(
-            table, compiled, workers=workers or self.workers
+            table,
+            compiled,
+            workers=workers or self.workers,
+            executor=self._executor,
         )
+
+    def close(self) -> None:
+        """Release executor resources (worker processes, if any)."""
+        close = getattr(self._executor, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def explain(self, sql: str) -> str:
         """A human-readable plan description (no execution).

@@ -45,6 +45,24 @@ from repro.storage.queries import (
 from repro.temporal.table import TemporalTable
 
 
+@dataclass(frozen=True)
+class _NodeReadCycleTask:
+    """One storage node's shared-scan cycle, as a picklable task.
+
+    Fanning the node cycles out through an :class:`Executor` needs a
+    payload the process backend can ship: the reads travel in the task
+    (queries and predicates are frozen dataclasses), the node is the
+    mapped item.  ``run_read_cycle`` is read-only over node state, so a
+    worker-side copy of the node produces the same partials and report as
+    the parent's.
+    """
+
+    reads: tuple
+
+    def __call__(self, node: StorageNode):
+        return node.run_read_cycle(list(self.reads))
+
+
 @dataclass
 class BatchResult:
     """Outcome of one batch: final results and the time decomposition."""
@@ -100,6 +118,7 @@ class Cluster:
         wal=None,
         machine: MachineSpec | None = None,
         numa_aware: bool = True,
+        executor=None,
     ) -> None:
         if not nodes:
             raise ValueError("need at least one storage node")
@@ -124,6 +143,14 @@ class Cluster:
         #: in region 0 and remote workers pay the remote-access penalty.
         self.machine = machine or PAPER_MACHINE
         self.numa_aware = numa_aware
+        #: Optional physical executor for the node scan cycles.  ``None``
+        #: keeps the historical in-process loop.  When set (e.g. a
+        #: :class:`~repro.simtime.executor.ProcessExecutor`), the cycles
+        #: fan out for real; the cluster still books ``cluster.scan`` into
+        #: its own clock from the *reported* per-node seconds — the
+        #: executor carries a separate clock precisely so the phase is not
+        #: double-booked.
+        self.executor = executor
 
     @classmethod
     def from_table(
@@ -137,6 +164,7 @@ class Cluster:
         wal=None,
         machine: MachineSpec | None = None,
         numa_aware: bool = True,
+        executor=None,
     ) -> "Cluster":
         """Partition ``table`` across ``num_storage`` nodes.
 
@@ -163,6 +191,7 @@ class Cluster:
             wal=wal,
             machine=spec,
             numa_aware=numa_aware,
+            executor=executor,
         )
 
     def _numa_penalty(self, node_index: int) -> float:
@@ -305,7 +334,14 @@ class Cluster:
         reports = []
         partials: dict[int, list] = {}
         if reads:
-            per_node = [node.run_read_cycle(reads) for node in self.nodes]
+            if self.executor is None:
+                per_node = [node.run_read_cycle(reads) for node in self.nodes]
+            else:
+                per_node = self.executor.map_parallel(
+                    _NodeReadCycleTask(reads=tuple(reads)),
+                    self.nodes,
+                    label="cluster.scan.cycle",
+                )
             reports = [report for _, report in per_node]
             for node_results, _report in per_node:
                 for op_id, value in node_results.items():

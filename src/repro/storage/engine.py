@@ -15,6 +15,7 @@ from repro.core.result import TemporalAggregationResult
 from repro.obs.tracer import span
 from repro.storage.cluster import Cluster
 from repro.storage.partitioning import Partitioner, RoundRobinPartitioner
+from repro.simtime.executor import make_executor
 from repro.simtime.measure import measured
 from repro.storage.queries import SelectQuery, TemporalAggQuery
 from repro.systems.base import Engine
@@ -32,12 +33,22 @@ class CrescandoEngine(Engine):
         sharing: bool = False,
         partitioner: Partitioner | None = None,
         scan_mode: str = "vectorized",
+        backend: str | None = None,
     ) -> None:
         self.num_storage = num_storage
         self.num_aggregators = num_aggregators
         self.sharing = sharing
         self.partitioner = partitioner or RoundRobinPartitioner()
         self.scan_mode = scan_mode
+        #: Physical execution backend for the node scan cycles: ``None``
+        #: (historical in-process loop) or one of
+        #: :data:`repro.simtime.executor.BACKENDS`.  The executor carries
+        #: its own clock — the cluster's simulated accounting stays driven
+        #: by the reported per-node scan seconds either way.
+        self.backend = backend
+        self._executor = (
+            None if backend is None else make_executor(backend, workers=num_storage)
+        )
         self.cluster: Cluster | None = None
         self.name = f"ParTime ({num_storage + num_aggregators} cores)"
 
@@ -79,8 +90,15 @@ class CrescandoEngine(Engine):
                     partitioner=self.partitioner,
                     sharing=self.sharing,
                     scan_mode=self.scan_mode,
+                    executor=self._executor,
                 )
         return sw.elapsed
+
+    def close(self) -> None:
+        """Release executor resources (worker processes, if any)."""
+        close = getattr(self._executor, "close", None)
+        if close is not None:
+            close()
 
     def _require_loaded(self) -> Cluster:
         if self.cluster is None:

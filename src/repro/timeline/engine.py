@@ -10,6 +10,8 @@ vectorized scan: the lower bound the paper compares ParTime against.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.core.query import TemporalAggregationQuery
 from repro.core.result import TemporalAggregationResult
 from repro.obs.tracer import record_phase
@@ -18,6 +20,26 @@ from repro.simtime.measure import Stopwatch, measured
 from repro.temporal.predicates import Predicate
 from repro.temporal.table import TemporalTable
 from repro.timeline.index import TimelineIndex
+
+
+@dataclass(frozen=True)
+class _BuildIndexTask:
+    """Build the Timeline Index of one time dimension (picklable task).
+
+    Index construction is the one Timeline phase that parallelises — one
+    independent build per time dimension — so it is the one phase an
+    :class:`~repro.simtime.executor.Executor` may fan out.  Queries stay
+    single-core per Section 5.1.
+    """
+
+    table: TemporalTable
+    value_columns: tuple[str, ...]
+    checkpoint_every: int
+
+    def __call__(self, dim: str) -> TimelineIndex:
+        return TimelineIndex(
+            self.table, dim, self.value_columns, self.checkpoint_every
+        )
 
 
 class TimelineEngine(Engine):
@@ -29,9 +51,13 @@ class TimelineEngine(Engine):
         self,
         value_columns: tuple[str, ...] = (),
         checkpoint_every: int = 4096,
+        executor=None,
     ) -> None:
         self.value_columns = value_columns
         self.checkpoint_every = checkpoint_every
+        #: Optional executor for the per-dimension index builds during
+        #: bulkload; ``None`` builds them inline.
+        self.executor = executor
         self._table: TemporalTable | None = None
         self._indexes: dict[str, TimelineIndex] = {}
         self._mask_cache: dict = {}
@@ -41,12 +67,17 @@ class TimelineEngine(Engine):
         with measured() as sw:
             self._table = table
             self._mask_cache = {}
-            self._indexes = {
-                dim.name: TimelineIndex(
-                    table, dim.name, self.value_columns, self.checkpoint_every
+            dims = [dim.name for dim in table.schema.time_dimensions]
+            build = _BuildIndexTask(
+                table, self.value_columns, self.checkpoint_every
+            )
+            if self.executor is None:
+                indexes = [build(dim) for dim in dims]
+            else:
+                indexes = self.executor.map_parallel(
+                    build, dims, label="timeline.build"
                 )
-                for dim in table.schema.time_dimensions
-            }
+            self._indexes = dict(zip(dims, indexes))
         return sw.elapsed
 
     def refresh(self) -> float:

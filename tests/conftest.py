@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.obs import metrics
 from repro.temporal import (
     Column,
     ColumnType,
@@ -11,6 +12,22 @@ from repro.temporal import (
     TemporalTable,
     date_to_ts,
 )
+
+
+@pytest.fixture(autouse=True)
+def _reset_metrics():
+    """Isolate every test from the global metrics registry.
+
+    The ``repro.obs.metrics`` registry is process-local *shared* state:
+    without a reset around each test, counters accumulated by whichever
+    tests happened to run earlier leak into snapshot-equality assertions
+    (the executor-parity suite compares full snapshots) and make results
+    ordering-dependent.  Reset before *and* after: before protects this
+    test from predecessors, after protects non-test consumers (doctests,
+    module teardown) from this test."""
+    metrics().reset()
+    yield
+    metrics().reset()
 
 # Paper timestamps for business time, used throughout the tests.
 BT_1993 = date_to_ts(1993, 1, 1)

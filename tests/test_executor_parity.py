@@ -1,30 +1,70 @@
-"""ThreadExecutor ↔ SerialExecutor parity, and label-fallback robustness.
+"""Serial ↔ Thread ↔ Process executor parity, and label-fallback robustness.
 
 DESIGN.md's hardware substitution claims that swapping the executor only
-changes *timing*, never *answers*.  These tests pin that claim: a full
-ParTime query under real threads and under simulated-parallel serial
-execution must produce identical aggregates.
+changes *timing*, never *answers*.  These tests pin that claim three ways
+(see docs/executors.md):
+
+* identical query results for every query shape;
+* identical ``SimClock`` phase bookings — same labels, same kinds, same
+  per-phase task counts (the measured durations differ, that is the
+  point);
+* identical ``repro.obs`` metric snapshots (the process backend ships
+  worker-side counter deltas home);
+* span trees that agree on structure — same nodes, same task counts —
+  with only the measured values backend-specific.
+
+The process half runs under every multiprocessing start method available
+(CI pins one per matrix job via ``REPRO_MP_START_METHOD``).
 """
 
 from __future__ import annotations
 
 import functools
+import multiprocessing
+import os
 
 import pytest
 
 from repro.core import ParTime, TemporalAggregationQuery, WindowSpec
 from repro.obs import metrics
-from repro.simtime import SerialExecutor, ThreadExecutor
-from repro.simtime.executor import task_label
+from repro.obs.tracer import tracing
+from repro.simtime import SerialExecutor, SimClock, ThreadExecutor
+from repro.simtime.executor import (
+    START_METHOD_ENV,
+    ProcessExecutor,
+    task_label,
+)
 from repro.temporal import Overlaps
 from repro.workloads import AmadeusConfig, AmadeusWorkload
 
 from tests.conftest import BT_1993, BT_1995, BT_1996, build_employee_table
 
+#: Start methods this run exercises: the CI matrix pins exactly one via
+#: the environment; an unpinned local run tries every supported one.
+_PINNED = os.environ.get(START_METHOD_ENV)
+START_METHODS = (
+    [_PINNED]
+    if _PINNED
+    else [
+        m
+        for m in ("fork", "spawn")
+        if m in multiprocessing.get_all_start_methods()
+    ]
+)
+
 
 @pytest.fixture(scope="module")
 def amadeus_table():
     return AmadeusWorkload(AmadeusConfig(num_bookings=600, seed=5)).table
+
+
+@pytest.fixture(scope="module", params=START_METHODS)
+def process_executor(request):
+    """One persistent worker pool per start method (module-scoped: pool
+    startup — especially ``spawn`` — dominates test runtime otherwise)."""
+    executor = ProcessExecutor(max_workers=2, start_method=request.param)
+    yield executor
+    executor.close()
 
 
 class TestThreadSerialParity:
@@ -164,3 +204,154 @@ class TestLabelFallback:
         assert task_label("", len) == "len"
         assert task_label("", functools.partial(len)) == "partial(len)"
         assert task_label("", _CallableObject()) == "<_CallableObject>"
+
+
+# ---------------------------------------------------------------------------
+# 3-way differential harness: Serial <-> Thread <-> Process
+# ---------------------------------------------------------------------------
+
+#: Query shapes the 3-way harness exercises: one of each execution path
+#: through ParTime (one-dimensional, multi-dimensional, windowed, and the
+#: parallel-Step 2 extension).
+PARITY_QUERIES = {
+    "onedim": (
+        TemporalAggregationQuery(varied_dims=("tt",), value_column=None),
+        {},
+    ),
+    "multidim": (
+        TemporalAggregationQuery(
+            varied_dims=("bt", "tt"), value_column=None, pivot="tt"
+        ),
+        {},
+    ),
+    "windowed": (
+        TemporalAggregationQuery(
+            varied_dims=("bt",),
+            value_column=None,
+            window=WindowSpec(0, 30, 6),
+        ),
+        {},
+    ),
+    "parallel_step2": (
+        TemporalAggregationQuery(varied_dims=("tt",), value_column=None),
+        {"parallel_step2": True},
+    ),
+}
+
+
+def _bookings(clock):
+    """The backend-independent projection of a clock's phase history."""
+    return [(p.label, p.kind, len(p.durations)) for p in clock.phases]
+
+
+def _structure(span):
+    """A span tree's backend-independent shape: names, kinds, task counts
+    and attributes (minus the executor tag), recursively — everything but
+    the measured/simulated times."""
+    attrs = {k: v for k, v in span.attrs.items() if k != "executor"}
+    return (
+        span.name,
+        span.kind,
+        len(span.durations),
+        tuple(sorted(attrs.items())),
+        tuple(_structure(c) for c in span.children),
+    )
+
+
+class TestThreeWayParity:
+    """Differential harness: every backend must agree on everything except
+    the measured numbers."""
+
+    def _run(self, table, query, executor, partime_kwargs):
+        """One fully-instrumented execution: (result, bookings, metrics
+        snapshot, span structure)."""
+        executor.clock = SimClock()
+        metrics().reset()
+        with tracing("parity") as tracer:
+            result = ParTime(**partime_kwargs).execute(
+                table, query, workers=4, executor=executor
+            )
+        return (
+            result,
+            _bookings(executor.clock),
+            metrics().snapshot(),
+            _structure(tracer.root),
+        )
+
+    def _run_all(self, amadeus_table, process_executor, name):
+        query, kwargs = PARITY_QUERIES[name]
+        outcomes = {}
+        for label, executor in (
+            ("serial", SerialExecutor(slots=4)),
+            ("threads", ThreadExecutor(max_workers=4)),
+            ("process", process_executor),
+        ):
+            outcomes[label] = self._run(
+                amadeus_table, query, executor, kwargs
+            )
+        return outcomes
+
+    @pytest.mark.parametrize("name", sorted(PARITY_QUERIES))
+    def test_three_way_parity(self, amadeus_table, process_executor, name):
+        outcomes = self._run_all(amadeus_table, process_executor, name)
+        serial = outcomes["serial"]
+        for backend in ("threads", "process"):
+            result, bookings, snapshot, structure = outcomes[backend]
+            assert result.rows == serial[0].rows, backend
+            assert bookings == serial[1], backend
+            assert snapshot == serial[2], backend
+            assert structure == serial[3], backend
+
+    def test_process_answers_match_on_employee_shapes(self, process_executor):
+        """The tiny Figure 1 table (object-dtype columns, 2-row chunks):
+        the shared-memory pickle path for string columns."""
+        table = build_employee_table()
+        for query in (
+            TemporalAggregationQuery(
+                varied_dims=("tt",), value_column="salary",
+                predicate=Overlaps("bt", BT_1995, BT_1996),
+            ),
+            TemporalAggregationQuery(
+                varied_dims=("bt", "tt"), value_column="salary", pivot="tt"
+            ),
+            TemporalAggregationQuery(
+                varied_dims=("bt",), value_column="salary",
+                window=WindowSpec(BT_1993, 365, 3),
+            ),
+        ):
+            ref = ParTime().execute(
+                table, query, workers=2, executor=SerialExecutor()
+            )
+            got = ParTime().execute(
+                table, query, workers=2, executor=process_executor
+            )
+            assert got.rows == ref.rows
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) <= 1,
+    reason="real speedup needs more than one core",
+)
+def test_process_beats_threads_on_pure_python_step1(amadeus_table):
+    """On a multi-core machine, pure-Python Step 1 (GIL-bound under
+    threads) must run faster under real processes.  Skipped — never faked
+    — on single-core runners."""
+    import time
+
+    query = TemporalAggregationQuery(varied_dims=("tt",), value_column=None)
+    workers = min(4, os.cpu_count() or 1)
+
+    def wall(executor):
+        operator = ParTime(mode="pure")
+        start = time.perf_counter()
+        for _ in range(3):
+            operator.execute(
+                amadeus_table, query, workers=workers, executor=executor
+            )
+        return time.perf_counter() - start
+
+    with ProcessExecutor(max_workers=workers) as process:
+        wall(process)  # warm the pool before timing
+        process_wall = wall(process)
+    threads_wall = wall(ThreadExecutor(max_workers=workers))
+    assert process_wall < threads_wall

@@ -1,0 +1,181 @@
+"""ProcessExecutor failure semantics and shared-memory lifecycle.
+
+The parity suite proves the happy path; these tests pin the unhappy one:
+a task that raises — or a worker that dies outright — must surface as a
+descriptive :class:`~repro.simtime.executor.ExecutorTaskError` naming the
+phase label, must not hang, and must not orphan a single shared-memory
+block (the parent releases every exported block in a ``finally``, and
+the `/dev/shm` name prefix makes leaks attributable).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.simtime.executor import ExecutorTaskError, ProcessExecutor
+from repro.simtime.shm import (
+    SHM_PREFIX,
+    active_block_names,
+    export_chunk,
+)
+from repro.temporal import Column, ColumnType, TableSchema, TemporalTable
+
+pytestmark = pytest.mark.filterwarnings(
+    # A worker killed mid-task can die while holding a mapped block; the
+    # interpreter-shutdown warning belongs to the killed child, not us.
+    "ignore::UserWarning"
+)
+
+
+def _make_chunk(rows: int = 64):
+    schema = TableSchema(
+        name="t",
+        columns=[
+            Column("v", ColumnType.INT),
+            Column("tag", ColumnType.STRING),
+        ],
+    )
+    table = TemporalTable(schema)
+    table.begin()
+    for i in range(rows):
+        table.insert({"v": i, "tag": f"row{i}"}, {})
+    table.commit()
+    return table.chunk()
+
+
+def _shm_leftovers() -> list[str]:
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return []
+    return [n for n in os.listdir("/dev/shm") if n.startswith(SHM_PREFIX)]
+
+
+# ---------------------------------------------------------------------------
+# Module-level task functions (must be picklable for the process pool)
+# ---------------------------------------------------------------------------
+
+
+def _ok(chunk):
+    return int(chunk.column("v").sum())
+
+
+def _raise_on_big(chunk):
+    if float(chunk.column("v").max()) >= 0:
+        raise ValueError("synthetic task failure")
+    return 0  # pragma: no cover
+
+
+def _die(chunk):
+    os._exit(17)  # simulates a segfaulting / OOM-killed worker
+
+
+def _return_view(chunk):
+    # Deliberately returns a zero-copy view of the mapped block — the
+    # worker wrapper must materialise it before the block unmaps.
+    return chunk.column("v")
+
+
+class TestFailureSemantics:
+    def test_raising_task_names_the_phase(self):
+        chunk = _make_chunk()
+        with ProcessExecutor(max_workers=2) as executor:
+            with pytest.raises(ExecutorTaskError) as err:
+                executor.map_parallel(
+                    _raise_on_big, [chunk, chunk], label="step1.partition"
+                )
+        message = str(err.value)
+        assert "step1.partition" in message
+        assert "ValueError" in message
+        assert "synthetic task failure" in message
+        assert err.value.phase == "step1.partition"
+        assert active_block_names() == []
+        assert _shm_leftovers() == []
+
+    def test_dying_worker_names_the_phase(self):
+        chunk = _make_chunk()
+        with ProcessExecutor(max_workers=2) as executor:
+            with pytest.raises(ExecutorTaskError) as err:
+                executor.map_parallel(
+                    _die, [chunk, chunk], label="scan.cycle"
+                )
+            # no hang and no poisoned pool: the broken pool is discarded
+            # and the executor is usable again immediately.
+            assert executor.map_parallel(
+                _ok, [chunk], label="scan.retry"
+            ) == [int(chunk.column("v").sum())]
+        assert "scan.cycle" in str(err.value)
+        assert "died" in str(err.value)
+        assert active_block_names() == []
+        assert _shm_leftovers() == []
+
+    def test_unpicklable_task_does_not_leak_blocks(self):
+        chunk = _make_chunk()
+
+        def local_closure(c):  # pragma: no cover - never reaches a worker
+            return len(c)
+
+        with ProcessExecutor(max_workers=1) as executor:
+            with pytest.raises(Exception):
+                executor.map_parallel(
+                    local_closure, [chunk], label="step1.closure"
+                )
+        assert active_block_names() == []
+        assert _shm_leftovers() == []
+
+
+class TestSharedMemoryLifecycle:
+    def test_roundtrip_zero_copy_and_pickle_columns(self):
+        chunk = _make_chunk(rows=32)
+        handle = export_chunk(chunk)
+        try:
+            assert handle.block_name.startswith(SHM_PREFIX)
+            assert handle.block_name in active_block_names()
+            with handle.open() as rebuilt:
+                assert len(rebuilt) == len(chunk)
+                np.testing.assert_array_equal(
+                    rebuilt.column("v"), chunk.column("v")
+                )
+                assert list(rebuilt.column("tag")) == list(
+                    chunk.column("tag")
+                )
+                # numeric columns are views into the mapped block, not
+                # copies; materialise results before the mapping closes.
+                total = int(rebuilt.column("v").sum())
+            assert total == int(chunk.column("v").sum())
+        finally:
+            handle.release()
+        assert active_block_names() == []
+        assert _shm_leftovers() == []
+
+    def test_release_is_idempotent(self):
+        handle = export_chunk(_make_chunk(rows=4))
+        handle.release()
+        handle.release()  # second release is a no-op, not an error
+        assert active_block_names() == []
+
+    def test_aliasing_result_is_materialised_not_dangling(self):
+        """A task that returns a view of its input chunk must not dangle.
+
+        NumPy records only a plain object reference to the mapped mmap —
+        invisible to ``mmap.close()`` — so a view surviving the unmap
+        would silently read unmapped memory.  The worker wrapper pickles
+        results inside the mapping window, materialising any aliasing
+        arrays; the parent must receive correct, owned data."""
+        chunk = _make_chunk(rows=16)
+        with ProcessExecutor(max_workers=1) as executor:
+            [result] = executor.map_parallel(
+                _return_view, [chunk], label="step1.alias"
+            )
+        np.testing.assert_array_equal(result, chunk.column("v"))
+        # The round-tripped array no longer references any mapped block:
+        # walk its base chain — nothing on it may be an mmap.
+        import mmap
+
+        base = result
+        while base is not None:
+            assert not isinstance(base, mmap.mmap)
+            base = getattr(base, "base", None)
+        assert active_block_names() == []
+        assert _shm_leftovers() == []
