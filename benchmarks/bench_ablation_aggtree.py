@@ -20,11 +20,12 @@ from __future__ import annotations
 import time
 
 from repro.aggtree import aggregation_tree_aggregate, parallel_aggregation_tree
-from repro.bench import format_table, write_result
+from repro.bench import BenchResult, format_table, write_result
 from repro.core import ParTime, TemporalAggregationQuery
 from repro.simtime import SerialExecutor
 from repro.workloads import TPCBiHConfig, TPCBiHDataset
 
+NAME = "ablation_aggtree"
 WORKERS = 8
 
 
@@ -51,14 +52,17 @@ def _sorted_open_versions(table, limit):
     )
 
 
-def test_ablation_aggregation_trees(benchmark):
-    dataset = TPCBiHDataset(TPCBiHConfig(scale_factor=1.0, seed=3))
+def run_bench(ctx) -> BenchResult:
+    dataset = ctx.tpcbih(
+        TPCBiHConfig(scale_factor=ctx.scaled(1.0, 0.15), seed=3)
+    )
     table = dataset.orders
 
     timings = {}
     results = {}
+    repeats = ctx.scaled(2, 1)
 
-    def measure(name, fn, repeats=2):
+    def measure(name, fn, repeats=repeats):
         best, out = float("inf"), None
         for _ in range(repeats):
             t0 = time.perf_counter()
@@ -69,17 +73,17 @@ def test_ablation_aggregation_trees(benchmark):
 
     # --- Part A: degeneration on commit-ordered input (small subset; the
     # unbalanced tree is quadratic there, so keep it feasible).
-    DEGEN_ROWS = 3_000
-    sorted_chunk = _sorted_open_versions(table, DEGEN_ROWS)
+    degen_rows = ctx.scaled(3_000, 600)
+    sorted_chunk = _sorted_open_versions(table, degen_rows)
     measure(
-        f"Kline-Snodgrass, {DEGEN_ROWS} sorted rows",
+        "Kline-Snodgrass, sorted rows",
         lambda: aggregation_tree_aggregate(
             sorted_chunk, "tt", "totalprice", "sum", balanced=False
         ),
         repeats=1,  # quadratic; one run is plenty
     )
     measure(
-        f"Balanced (AVL), {DEGEN_ROWS} sorted rows",
+        "Balanced (AVL), sorted rows",
         lambda: aggregation_tree_aggregate(
             sorted_chunk, "tt", "totalprice", "sum", balanced=True
         ),
@@ -118,14 +122,6 @@ def test_ablation_aggregation_trees(benchmark):
 
     measure(f"ParTime ({WORKERS} workers, pure mode, wall)", partime)
 
-    benchmark.pedantic(
-        lambda: aggregation_tree_aggregate(
-            table.chunk(0, 4_000), "tt", "totalprice", "sum", balanced=True
-        ),
-        rounds=2,
-        iterations=1,
-    )
-
     # All evaluators agree (compare uncoalesced tree output with ParTime's
     # coalesced rows pointwise).
     tree_rows = dict(
@@ -136,6 +132,12 @@ def test_ablation_aggregation_trees(benchmark):
         got = partime_result.value_at(start) or 0
         # Different accumulation orders: compare with relative tolerance.
         assert abs(got - value) <= 1e-9 * max(1.0, abs(value))
+
+    def rerun():
+        return aggregation_tree_aggregate(
+            table.chunk(0, ctx.scaled(4_000, 800)),
+            "tt", "totalprice", "sum", balanced=True,
+        )
 
     rows = [(name, seconds) for name, seconds in timings.items()]
     text = format_table(
@@ -148,10 +150,23 @@ def test_ablation_aggregation_trees(benchmark):
             "the parallel tree's sequential merge caps its speed-up",
         ],
     )
-    write_result("ablation_aggtree", text)
+    write_result(NAME, text)
 
-    kline = timings["Kline-Snodgrass, 3000 sorted rows"]
-    avl_small = timings["Balanced (AVL), 3000 sorted rows"]
+    return BenchResult(
+        NAME,
+        text=text,
+        data={"timings": dict(timings), "degen_rows": degen_rows},
+        rerun=rerun,
+    )
+
+
+def test_ablation_aggregation_trees(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=2, iterations=1)
+
+    timings = res.data["timings"]
+    kline = timings["Kline-Snodgrass, sorted rows"]
+    avl_small = timings["Balanced (AVL), sorted rows"]
     avl = timings["Balanced tree (Boehlen, AVL)"]
     par_sim = timings["parallel tree (simulated)"]
     partime_sim = timings["ParTime (simulated)"]

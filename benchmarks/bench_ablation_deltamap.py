@@ -18,7 +18,9 @@ import time
 
 from repro.core import SUM, generate_delta_map, merge_delta_maps, merge_sorted_arrays
 from repro.core.deltamap import SortedArrayDeltaMap
-from repro.bench import format_table, write_result
+from repro.bench import BenchResult, format_table, write_result
+
+NAME = "ablation_deltamap"
 
 
 def _run(chunk, mode, backend):
@@ -27,8 +29,9 @@ def _run(chunk, mode, backend):
     return dm, time.perf_counter() - t0
 
 
-def test_ablation_deltamap_backends(benchmark, amadeus_small):
-    chunk = amadeus_small.table.chunk(0, 60_000)
+def run_bench(ctx) -> BenchResult:
+    rows_limit = ctx.scaled(60_000, 4_000)
+    chunk = ctx.amadeus_small.table.chunk(0, rows_limit)
 
     variants = {
         "btree (paper)": ("pure", "btree"),
@@ -37,9 +40,10 @@ def test_ablation_deltamap_backends(benchmark, amadeus_small):
     }
     results = {}
     timings = {}
+    repeats = ctx.scaled(2, 1)
     for name, (mode, backend) in variants.items():
         best = float("inf")
-        for _ in range(2):
+        for _ in range(repeats):
             dm, seconds = _run(chunk, mode, backend)
             best = min(best, seconds)
         timings[name] = best
@@ -48,28 +52,40 @@ def test_ablation_deltamap_backends(benchmark, amadeus_small):
         else:
             results[name] = merge_delta_maps([dm], SUM)
 
-    def rerun():
-        return _run(chunk, "vectorized", "btree")
-
-    benchmark.pedantic(rerun, rounds=3, iterations=1)
-
     baseline = list(results.values())[0]
     for name, rows in results.items():
         assert len(rows) == len(baseline), name
         for (iv_a, v_a), (iv_b, v_b) in zip(rows, baseline):
             assert iv_a == iv_b and abs(v_a - v_b) < 1e-6, name
 
+    def rerun():
+        return _run(chunk, "vectorized", "btree")
+
     rows = [
         (name, seconds, f"{timings['btree (paper)'] / seconds:.1f}x")
         for name, seconds in timings.items()
     ]
     text = format_table(
-        "Ablation: delta-map backend (Step 1 over one 60k-row partition)",
+        f"Ablation: delta-map backend (Step 1 over one {rows_limit}-row "
+        "partition)",
         ["backend", "seconds", "speed vs btree"],
         rows,
         notes=["identical merged results across all backends (asserted)"],
     )
-    write_result("ablation_deltamap", text)
+    write_result(NAME, text)
 
+    return BenchResult(
+        NAME,
+        text=text,
+        data={"timings": dict(timings), "rows": rows_limit},
+        rerun=rerun,
+    )
+
+
+def test_ablation_deltamap_backends(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=3, iterations=1)
+
+    timings = res.data["timings"]
     assert timings["vectorized sorted array"] < timings["btree (paper)"]
     assert timings["hash + sort-at-merge"] < timings["btree (paper)"]

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 
-from repro.bench import format_table, write_result, write_result_json
+from repro.bench import BenchResult, format_table, write_result, write_result_json
 from repro.core import ParTime, TemporalAggregationQuery
 from repro.obs import metrics, tracing
 from repro.temporal import Interval
@@ -30,9 +30,13 @@ from repro.timeline import TimelineEngine
 from repro.timeline.hybrid import HybridAggregator
 from repro.workloads import AmadeusConfig, AmadeusWorkload
 
+NAME = "ablation_hybrid"
 
-def test_ablation_hybrid_index_scan(benchmark, trace_json):
-    workload = AmadeusWorkload(AmadeusConfig(num_bookings=120_000, seed=19))
+
+def run_bench(ctx) -> BenchResult:
+    workload = ctx.amadeus(
+        AmadeusConfig(num_bookings=ctx.scaled(120_000, 15_000), seed=19)
+    )
     table = workload.table
     horizon = int(table.column("tt_start").max())
 
@@ -57,7 +61,7 @@ def test_ablation_hybrid_index_scan(benchmark, trace_json):
         query_intervals={"tt": Interval(int(horizon * 0.9), horizon + 300)},
     )
 
-    def best(fn, repeats=3):
+    def best(fn, repeats=ctx.scaled(3, 1)):
         out = float("inf")
         for _ in range(repeats):
             t0 = time.perf_counter()
@@ -78,9 +82,8 @@ def test_ablation_hybrid_index_scan(benchmark, trace_json):
         assert vb is not None and abs(vb - va) <= 1e-6 * max(1.0, abs(va))
         assert vc is not None and abs(vc - va) <= 1e-6 * max(1.0, abs(va))
 
-    benchmark.pedantic(
-        lambda: hybrid.execute(query, workers=1), rounds=3, iterations=1
-    )
+    def rerun():
+        return hybrid.execute(query, workers=1)
 
     rows = [
         ("plain ParTime", 0.0, partime_q),
@@ -100,8 +103,8 @@ def test_ablation_hybrid_index_scan(benchmark, trace_json):
             " history from its pre-sorted index and scans only fresh rows",
         ],
     )
-    write_result("ablation_hybrid", text)
-    if trace_json:
+    write_result(NAME, text)
+    if ctx.trace_json:
         runs = []
         for label, fn in (
             ("partime", lambda: ParTime().execute(table, query, workers=1)),
@@ -122,6 +125,33 @@ def test_ablation_hybrid_index_scan(benchmark, trace_json):
             {"experiment": "ablation_hybrid", "runs": runs},
         )
 
-    assert refresh_s > 50 * (hybrid_maintenance_s + 1e-9)
-    assert hybrid_q < partime_q, "the frozen index must pay off"
-    assert hybrid_q < 10 * timeline_q, "and sit in the Timeline's ballpark"
+    return BenchResult(
+        NAME,
+        text=text,
+        data={
+            "maintenance": {
+                "hybrid": hybrid_maintenance_s,
+                "timeline_refresh": refresh_s,
+                "update_apply": apply_s,
+            },
+            "query": {
+                "partime": partime_q,
+                "hybrid": hybrid_q,
+                "timeline": timeline_q,
+            },
+        },
+        rerun=rerun,
+    )
+
+
+def test_ablation_hybrid_index_scan(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=3, iterations=1)
+
+    maint = res.data["maintenance"]
+    query = res.data["query"]
+    assert maint["timeline_refresh"] > 50 * (maint["hybrid"] + 1e-9)
+    assert query["hybrid"] < query["partime"], "the frozen index must pay off"
+    assert query["hybrid"] < 10 * query["timeline"], (
+        "and sit in the Timeline's ballpark"
+    )

@@ -12,11 +12,13 @@ checkpoints (and the business-time dimension forces a full re-sort).
 
 from __future__ import annotations
 
-from repro.bench import format_table, write_result
+from repro.bench import BenchResult, format_table, write_result
 from repro.storage import Cluster
 from repro.timeline import TimelineEngine
 from repro.temporal import TemporalTable
 from repro.workloads.bulk import append_rows
+
+NAME = "ablation_maintenance"
 
 
 def _clone(table):
@@ -29,8 +31,8 @@ def _clone(table):
     return clone
 
 
-def test_ablation_timeline_maintenance(benchmark, amadeus_small):
-    workload = amadeus_small
+def run_bench(ctx) -> BenchResult:
+    workload = ctx.amadeus_small
     updates = workload.update_stream(250)
 
     # Crescando: just apply the writes.
@@ -49,8 +51,6 @@ def test_ablation_timeline_maintenance(benchmark, amadeus_small):
     def rerun():
         return timeline.refresh()
 
-    benchmark.pedantic(rerun, rounds=2, iterations=1)
-
     rows = [
         ("Crescando + ParTime (apply writes)", crescando_s),
         ("Timeline Index (apply + refresh)", crescando_s + refresh_s),
@@ -67,7 +67,19 @@ def test_ablation_timeline_maintenance(benchmark, amadeus_small):
             " materialisation unviable for update-intensive workloads",
         ],
     )
-    write_result("ablation_maintenance", text)
+    write_result(NAME, text)
+
+    return BenchResult(
+        NAME,
+        text=text,
+        data={"crescando_s": crescando_s, "refresh_s": refresh_s},
+        rerun=rerun,
+    )
+
+
+def test_ablation_timeline_maintenance(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=2, iterations=1)
 
     # The refresh alone must dwarf the write application.
-    assert refresh_s > 3 * crescando_s
+    assert res.data["refresh_s"] > 3 * res.data["crescando_s"]

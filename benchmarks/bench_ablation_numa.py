@@ -16,17 +16,18 @@ full strength.
 
 from __future__ import annotations
 
-from repro.bench import format_series, write_result
+from repro.bench import BenchResult, format_series, write_result
 from repro.core import TemporalAggregationQuery, WindowSpec
 from repro.simtime.machine import PAPER_MACHINE
 from repro.storage import Cluster, TemporalAggQuery
 from repro.temporal import CurrentVersion
 
+NAME = "ablation_numa"
 CORES = [4, 8, 16, 32]
 
 
-def test_ablation_numa_placement(benchmark, amadeus_large):
-    table = amadeus_large.table
+def run_bench(ctx) -> BenchResult:
+    table = ctx.amadeus_large.table
     # A scan-bound probe: windowed aggregation over the whole table has a
     # fixed, tiny result, so Step 1 (where the NUMA penalty lives)
     # dominates the response time.
@@ -38,6 +39,7 @@ def test_ablation_numa_placement(benchmark, amadeus_large):
         window=WindowSpec(0, 7, 60),
     )
     op = TemporalAggQuery(query)
+    repeats = ctx.scaled(3, 1)
 
     points = {"NUMA-aware": [], "naive allocation": []}
     for cores in CORES:
@@ -48,15 +50,13 @@ def test_ablation_numa_placement(benchmark, amadeus_large):
             )
             best = min(
                 cluster.execute_batch([op]).response_time(op.op_id)
-                for _ in range(3)
+                for _ in range(repeats)
             )
             points[label].append((cores, best))
 
     def rerun():
         cluster = Cluster.from_table(table, 8, numa_aware=True)
         return cluster.execute_batch([op])
-
-    benchmark.pedantic(rerun, rounds=1, iterations=1)
 
     text = format_series(
         "Ablation: NUMA-aware vs naive placement (response time, s, simulated)",
@@ -68,10 +68,25 @@ def test_ablation_numa_placement(benchmark, amadeus_large):
             "the straggler effect makes the penalty bind at full strength",
         ],
     )
-    write_result("ablation_numa", text)
+    write_result(NAME, text)
 
-    aware = dict(points["NUMA-aware"])
-    naive = dict(points["naive allocation"])
+    return BenchResult(
+        NAME,
+        text=text,
+        data={
+            "aware": dict(points["NUMA-aware"]),
+            "naive": dict(points["naive allocation"]),
+        },
+        rerun=rerun,
+    )
+
+
+def test_ablation_numa_placement(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=1, iterations=1)
+
+    aware = res.data["aware"]
+    naive = res.data["naive"]
     # Up to 16 cores the 8 storage workers fit one socket (8 cores per
     # socket): no remote access, both placements behave alike.
     for cores in (4, 8, 16):

@@ -10,17 +10,20 @@ of delta maps per level, and levels run in (simulated) parallel.
 
 from __future__ import annotations
 
-from repro.bench import format_table, write_result
+from repro.bench import BenchResult, format_table, write_result
 from repro.core import ParTime, TemporalAggregationQuery
 from repro.simtime import make_executor
 from repro.temporal import CurrentVersion
 from repro.workloads import TPCBiHConfig, TPCBiHDataset
 
+NAME = "ablation_parallel_merge"
 WORKERS = 16
 
 
-def test_ablation_parallel_step2(benchmark, exec_backend):
-    dataset = TPCBiHDataset(TPCBiHConfig(scale_factor=4.0, seed=77))
+def run_bench(ctx) -> BenchResult:
+    dataset = ctx.tpcbih(
+        TPCBiHConfig(scale_factor=ctx.scaled(4.0, 0.4), seed=77)
+    )
     table = dataset.customer
     # r2's defining property is that every partition's delta map is large
     # (business-time boundaries are near-unique per version), so Step 2
@@ -34,7 +37,7 @@ def test_ablation_parallel_step2(benchmark, exec_backend):
     )
 
     def run_once(parallel_step2: bool):
-        executor = make_executor(exec_backend, workers=WORKERS)
+        executor = make_executor(ctx.backend, workers=WORKERS)
         operator = ParTime(mode="pure", parallel_step2=parallel_step2)
         try:
             result = operator.execute(
@@ -46,7 +49,7 @@ def test_ablation_parallel_step2(benchmark, exec_backend):
                 close()
         return result, executor.clock
 
-    def run(parallel_step2: bool, repeats: int = 4):
+    def run(parallel_step2: bool, repeats: int = ctx.scaled(4, 1)):
         best = None
         for _ in range(repeats):
             result, clock = run_once(parallel_step2)
@@ -57,12 +60,10 @@ def test_ablation_parallel_step2(benchmark, exec_backend):
     (seq_result, seq_clock) = run(False)
     (par_result, par_clock) = run(True)
 
-    def rerun():
-        return run(True)
-
-    benchmark.pedantic(rerun, rounds=1, iterations=1)
-
     assert seq_result.pairs() == par_result.pairs()
+
+    def rerun():
+        return run(True, repeats=1)
 
     rows = [
         (
@@ -89,11 +90,34 @@ def test_ablation_parallel_step2(benchmark, exec_backend):
             " behind Figure 19's r2 degradation",
         ],
     )
-    write_result("ablation_parallel_merge", text)
+    write_result(NAME, text)
 
+    return BenchResult(
+        NAME,
+        text=text,
+        data={
+            "sequential": {
+                "total": seq_clock.elapsed,
+                "step1": seq_clock.phase_elapsed("partime.step1"),
+            },
+            "parallel": {
+                "total": par_clock.elapsed,
+                "step1": par_clock.phase_elapsed("partime.step1"),
+            },
+        },
+        rerun=rerun,
+    )
+
+
+def test_ablation_parallel_step2(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=1, iterations=1)
+
+    seq = res.data["sequential"]
+    par = res.data["parallel"]
     # The parallel merge must beat the sequential one where it acts: on
     # Step 2 (total time also includes Step 1, whose run-to-run noise can
     # mask the effect under load).
-    seq_s2 = seq_clock.elapsed - seq_clock.phase_elapsed("partime.step1")
-    par_s2 = par_clock.elapsed - par_clock.phase_elapsed("partime.step1")
+    seq_s2 = seq["total"] - seq["step1"]
+    par_s2 = par["total"] - par["step1"]
     assert par_s2 < seq_s2

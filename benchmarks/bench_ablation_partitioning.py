@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bench import format_table, write_result
+from repro.bench import BenchResult, format_table, write_result
 from repro.core import TemporalAggregationQuery
 from repro.storage import Cluster, RangePartitioner, RoundRobinPartitioner, TemporalAggQuery
 from repro.temporal import Interval
 
+NAME = "ablation_partitioning"
 NODES = 8
 
 
@@ -26,8 +27,8 @@ def _imbalance(batch) -> float:
     return float(times.max() / max(times.mean(), 1e-12))
 
 
-def test_ablation_partitioning_stragglers(benchmark, amadeus_large):
-    table = amadeus_large.table
+def run_bench(ctx) -> BenchResult:
+    table = ctx.amadeus_large.table
     horizon = int(table.column("tt_start").max())
     # Query restricted to the most recent 10% of history.
     query = TemporalAggregationQuery(
@@ -46,10 +47,11 @@ def test_ablation_partitioning_stragglers(benchmark, amadeus_large):
             table, NODES, partitioner=RangePartitioner("tt_start")
         ),
     }
+    repeats = ctx.scaled(3, 1)
     measurements = {}
     for name, cluster in clusters.items():
         best_resp, best_imb, result = float("inf"), None, None
-        for _ in range(3):
+        for _ in range(repeats):
             batch = cluster.execute_batch([op])
             resp = batch.response_time(op.op_id)
             if resp < best_resp:
@@ -57,11 +59,6 @@ def test_ablation_partitioning_stragglers(benchmark, amadeus_large):
                 best_imb = _imbalance(batch)
                 result = batch.results[op.op_id]
         measurements[name] = (best_resp, best_imb, result)
-
-    def rerun():
-        return clusters["round-robin"].execute_batch([op])
-
-    benchmark.pedantic(rerun, rounds=1, iterations=1)
 
     rr = measurements["round-robin"]
     rg = measurements["range on tt"]
@@ -71,6 +68,9 @@ def test_ablation_partitioning_stragglers(benchmark, amadeus_large):
     for (iv_a, v_a), (iv_b, v_b) in zip(rr[2].pairs(), rg[2].pairs()):
         assert iv_a == iv_b
         assert abs(v_a - v_b) <= 1e-6 * max(1.0, abs(v_a))
+
+    def rerun():
+        return clusters["round-robin"].execute_batch([op])
 
     rows = [
         (name, resp, f"{imb:.2f}") for name, (resp, imb, _r) in measurements.items()
@@ -85,7 +85,24 @@ def test_ablation_partitioning_stragglers(benchmark, amadeus_large):
             " nodes: the straggler dominates the parallel phase",
         ],
     )
-    write_result("ablation_partitioning", text)
+    write_result(NAME, text)
+
+    return BenchResult(
+        NAME,
+        text=text,
+        data={
+            "round_robin": {"response": rr[0], "imbalance": rr[1]},
+            "range": {"response": rg[0], "imbalance": rg[1]},
+        },
+        rerun=rerun,
+    )
+
+
+def test_ablation_partitioning_stragglers(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=1, iterations=1)
 
     # Range partitioning must show materially worse balance.
-    assert rg[1] > rr[1] * 1.3
+    rr = res.data["round_robin"]
+    rg = res.data["range"]
+    assert rg["imbalance"] > rr["imbalance"] * 1.3

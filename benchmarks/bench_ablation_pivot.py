@@ -19,12 +19,16 @@ from repro.core import (
     choose_pivot,
     collect_statistics,
 )
-from repro.bench import format_table, write_result
+from repro.bench import BenchResult, format_table, write_result
 from repro.workloads import AmadeusConfig, AmadeusWorkload
 
+NAME = "ablation_pivot"
 
-def test_ablation_pivot_choice(benchmark):
-    workload = AmadeusWorkload(AmadeusConfig(num_bookings=1_500, seed=33))
+
+def run_bench(ctx) -> BenchResult:
+    workload = ctx.amadeus(
+        AmadeusConfig(num_bookings=ctx.scaled(1_500, 600), seed=33)
+    )
     table = workload.table
 
     stats = {s.dim: s for s in collect_statistics(table, ["bt", "tt"])}
@@ -58,8 +62,6 @@ def test_ablation_pivot_choice(benchmark):
         )
         return ParTime().execute(table, query, workers=2)
 
-    benchmark.pedantic(rerun, rounds=1, iterations=1)
-
     rows = [
         (
             f"pivot={pivot}" + (" (chosen)" if pivot == best else ""),
@@ -71,18 +73,37 @@ def test_ablation_pivot_choice(benchmark):
         for pivot, (entries, seconds, nrows) in measurements.items()
     ]
     text = format_table(
-        "Ablation: pivot choice for 2-D aggregation (1.5k bookings)",
+        "Ablation: pivot choice for 2-D aggregation "
+        f"({len(table):,} booking rows)",
         ["pivot", "distinct ts", "delta entries", "seconds", "result rows"],
         rows,
         notes=["fewer distinct pivot timestamps -> smaller delta maps"],
     )
-    write_result("ablation_pivot", text)
+    write_result(NAME, text)
+
+    return BenchResult(
+        NAME,
+        text=text,
+        data={
+            "chosen": best,
+            "measurements": {
+                pivot: {"entries": e, "seconds": s, "rows": n}
+                for pivot, (e, s, n) in measurements.items()
+            },
+        },
+        rerun=rerun,
+    )
+
+
+def test_ablation_pivot_choice(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=1, iterations=1)
 
     # With per-record-unique non-pivot intervals, consolidation cannot
     # shrink the delta maps, so entry counts are close either way; the
     # benefit of the coarse pivot shows where it matters — fewer pivot
     # spans mean fewer result rows and less Step 2 work.
-    _bt_entries, bt_seconds, bt_rows = measurements["bt"]
-    _tt_entries, tt_seconds, tt_rows = measurements["tt"]
-    assert bt_rows < tt_rows
-    assert bt_seconds < tt_seconds
+    meas = res.data["measurements"]
+    assert res.data["chosen"] == "bt"
+    assert meas["bt"]["rows"] < meas["tt"]["rows"]
+    assert meas["bt"]["seconds"] < meas["tt"]["seconds"]

@@ -12,13 +12,15 @@ from __future__ import annotations
 import dataclasses
 import time
 
-from repro.bench import format_table, write_result
+from repro.bench import BenchResult, format_table, write_result
 from repro.core import ParTime, TemporalAggregationQuery, WindowSpec
 from repro.temporal import CurrentVersion
 
+NAME = "ablation_windowed"
 
-def test_ablation_windowed_fast_path(benchmark, amadeus_small):
-    table = amadeus_small.table
+
+def run_bench(ctx) -> BenchResult:
+    table = ctx.amadeus_small.table
     window = WindowSpec(0, 7, 60)
     windowed_query = TemporalAggregationQuery(
         varied_dims=("bt",),
@@ -37,6 +39,7 @@ def test_ablation_windowed_fast_path(benchmark, amadeus_small):
 
     timings = {}
     results = {}
+    repeats = ctx.scaled(2, 1)
     for name, (query, mode) in {
         "windowed array (vectorized)": (windowed_query, "vectorized"),
         "windowed array (pure, Fig 9)": (windowed_query, "pure"),
@@ -44,22 +47,20 @@ def test_ablation_windowed_fast_path(benchmark, amadeus_small):
         "general vectorized": (general_query, "vectorized"),
     }.items():
         best, res = float("inf"), None
-        for _ in range(2):
+        for _ in range(repeats):
             res, seconds = run(query, mode)
             best = min(best, seconds)
         timings[name] = best
         results[name] = res
-
-    def rerun():
-        return run(windowed_query, "vectorized")
-
-    benchmark.pedantic(rerun, rounds=3, iterations=1)
 
     # Correctness: the general result sampled at window points equals the
     # windowed result.
     general = results["general vectorized"]
     for point, value in results["windowed array (vectorized)"].points():
         assert value == (general.value_at(point) or 0)
+
+    def rerun():
+        return run(windowed_query, "vectorized")
 
     rows = [(name, seconds) for name, seconds in timings.items()]
     text = format_table(
@@ -68,8 +69,21 @@ def test_ablation_windowed_fast_path(benchmark, amadeus_small):
         rows,
         notes=["fixed-size array delta map avoids the dynamic structure"],
     )
-    write_result("ablation_windowed", text)
+    write_result(NAME, text)
 
+    return BenchResult(
+        NAME,
+        text=text,
+        data={"timings": dict(timings)},
+        rerun=rerun,
+    )
+
+
+def test_ablation_windowed_fast_path(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=3, iterations=1)
+
+    timings = res.data["timings"]
     assert (
         timings["windowed array (pure, Fig 9)"]
         < timings["general B-tree (pure, Fig 7)"]

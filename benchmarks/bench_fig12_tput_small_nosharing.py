@@ -10,6 +10,7 @@ System D even at low core counts; ParTime scales with cores.
 from __future__ import annotations
 
 from repro.bench import (
+    BenchResult,
     format_series,
     throughput_commercial,
     throughput_crescando,
@@ -18,35 +19,35 @@ from repro.bench import (
 from repro.storage import Cluster
 from repro.systems import SystemD, SystemM
 
+NAME = "fig12_tput_small_nosharing"
 CORES = [2, 4, 8, 16, 32]
 BATCH = 200
 
 
-def test_fig12_throughput_small_no_sharing(benchmark, amadeus_small):
-    batch = amadeus_small.query_batch(BATCH)
+def run_bench(ctx) -> BenchResult:
+    workload = ctx.amadeus_small
+    batch = workload.query_batch(ctx.scaled(BATCH, 60))
 
     crescando_points = []
     for cores in CORES:
         cluster = Cluster.from_table(
-            amadeus_small.table, max(1, cores // 2), sharing=False
+            workload.table, max(1, cores // 2), sharing=False
         )
         tput = throughput_crescando(cluster, batch)
         crescando_points.append((cores, tput))
 
     system_d = SystemD()
-    system_d.bulkload(amadeus_small.table)
+    system_d.bulkload(workload.table)
     system_m = SystemM()
-    system_m.bulkload(amadeus_small.table)
+    system_m.bulkload(workload.table)
     # Measure the full batch: the 2% temporal aggregation queries are
     # what drags D down, so sampling must not miss them.
     d_tput = throughput_commercial(system_d, batch, cores=32)
     m_tput = throughput_commercial(system_m, batch, cores=32)
 
     def rerun_mid():
-        cluster = Cluster.from_table(amadeus_small.table, 8, sharing=False)
-        return throughput_crescando(cluster, batch[:40])
-
-    benchmark.pedantic(rerun_mid, rounds=1, iterations=1)
+        cluster = Cluster.from_table(workload.table, 8, sharing=False)
+        return throughput_crescando(cluster, batch[:40], repeats=1)
 
     series = {
         "ParTime (no sharing)": crescando_points,
@@ -63,9 +64,27 @@ def test_fig12_throughput_small_no_sharing(benchmark, amadeus_small):
             " ParTime grows with cores",
         ],
     )
-    write_result("fig12_tput_small_nosharing", text)
+    write_result(NAME, text)
 
-    tput_by_cores = dict(crescando_points)
+    return BenchResult(
+        NAME,
+        text=text,
+        data={
+            "partime_tput": dict(crescando_points),
+            "system_d_tput": d_tput,
+            "system_m_tput": m_tput,
+        },
+        rerun=rerun_mid,
+    )
+
+
+def test_fig12_throughput_small_no_sharing(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=1, iterations=1)
+
+    tput_by_cores = res.data["partime_tput"]
+    d_tput = res.data["system_d_tput"]
+    m_tput = res.data["system_m_tput"]
     # ParTime beats System D even with 2 cores vs D's 32 (paper claim).
     assert tput_by_cores[2] > d_tput
     # System M wins overall on this read-mostly, index-friendly workload.

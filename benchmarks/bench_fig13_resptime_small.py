@@ -9,13 +9,20 @@
 
 from __future__ import annotations
 
-from repro.bench import format_table, measure_response_time, write_result
+from repro.bench import (
+    BenchResult,
+    format_table,
+    measure_response_time,
+    write_result,
+)
 from repro.storage import CrescandoEngine
 from repro.systems import SystemD, SystemM
 
+NAME = "fig13_resptime_small"
 
-def test_fig13_response_times_small(benchmark, amadeus_small):
-    workload = amadeus_small
+
+def run_bench(ctx) -> BenchResult:
+    workload = ctx.amadeus_small
     flight = 5
     queries = {
         "ta1 (temporal aggregation)": workload.ta1(flight_id=flight),
@@ -32,13 +39,15 @@ def test_fig13_response_times_small(benchmark, amadeus_small):
     for engine in engines.values():
         engine.bulkload(workload.table)
 
+    repeats = ctx.scaled(3, 1)
+
     def measure_all() -> dict[str, dict[str, float]]:
         out: dict[str, dict[str, float]] = {}
         for qname, op in queries.items():
             out[qname] = {}
             for ename, engine in engines.items():
                 out[qname][ename] = min(
-                    measure_response_time(engine, op) for _ in range(3)
+                    measure_response_time(engine, op) for _ in range(repeats)
                 )
         return out
 
@@ -53,17 +62,15 @@ def test_fig13_response_times_small(benchmark, amadeus_small):
         return True
 
     # Sub-millisecond measurements: retry under load before failing.
-    for _attempt in range(3):
+    for _attempt in range(ctx.scaled(3, 1)):
         times = measure_all()
         if orderings_hold(times):
             break
 
     def rerun_ta1():
-        return measure_response_time(engines["ParTime (32 cores)"], queries[
-            "ta1 (temporal aggregation)"
-        ])
-
-    benchmark.pedantic(rerun_ta1, rounds=3, iterations=1)
+        return measure_response_time(
+            engines["ParTime (32 cores)"], queries["ta1 (temporal aggregation)"]
+        )
 
     rows = [
         (qname, *(times[qname][e] for e in engines)) for qname in queries
@@ -77,9 +84,22 @@ def test_fig13_response_times_small(benchmark, amadeus_small):
             "13b shape: D/M orders of magnitude faster on indexed non-temporal queries",
         ],
     )
-    write_result("fig13_resptime_small", text)
+    write_result(NAME, text)
 
-    for qname in list(queries)[:2]:  # temporal aggregation queries
+    return BenchResult(
+        NAME,
+        text=text,
+        data={"times": times, "query_names": list(queries)},
+        rerun=rerun_ta1,
+    )
+
+
+def test_fig13_response_times_small(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=3, iterations=1)
+
+    times = res.data["times"]
+    for qname in res.data["query_names"][:2]:  # temporal aggregation queries
         partime = times[qname]["ParTime (32 cores)"]
         assert partime * 20 < times[qname]["System D (32 cores)"], qname
         assert partime * 1.5 < times[qname]["System M (32 cores)"], qname

@@ -10,31 +10,39 @@ queries time out ("the throughput virtually drops to zero").
 
 from __future__ import annotations
 
-from repro.bench import format_series, throughput_crescando, write_result
+from repro.bench import (
+    BenchResult,
+    format_series,
+    throughput_crescando,
+    write_result,
+)
 from repro.storage import Cluster
 
+NAME = "fig14_tput_large_sharing"
 CORES = [2, 4, 8, 16, 32]
 BATCH = 240
 
 
-def test_fig14_throughput_large_sharing(benchmark, amadeus_large):
-    batch = amadeus_large.query_batch(BATCH)
+def run_bench(ctx) -> BenchResult:
+    workload = ctx.amadeus_large
+    batch = workload.query_batch(ctx.scaled(BATCH, 60))
+    repeats = ctx.scaled(2, 1)
 
     shared_points, unshared_points = [], []
     for cores in CORES:
         storage = max(1, cores // 2)
-        shared = Cluster.from_table(amadeus_large.table, storage, sharing=True)
-        unshared = Cluster.from_table(amadeus_large.table, storage, sharing=False)
-        shared_points.append((cores, throughput_crescando(shared, batch, repeats=2)))
+        shared = Cluster.from_table(workload.table, storage, sharing=True)
+        unshared = Cluster.from_table(workload.table, storage, sharing=False)
+        shared_points.append(
+            (cores, throughput_crescando(shared, batch, repeats=repeats))
+        )
         unshared_points.append(
-            (cores, throughput_crescando(unshared, batch, repeats=2))
+            (cores, throughput_crescando(unshared, batch, repeats=repeats))
         )
 
     def rerun():
-        cluster = Cluster.from_table(amadeus_large.table, 8, sharing=True)
+        cluster = Cluster.from_table(workload.table, 8, sharing=True)
         return throughput_crescando(cluster, batch[:60], repeats=1)
-
-    benchmark.pedantic(rerun, rounds=1, iterations=1)
 
     text = format_series(
         "Figure 14: Throughput, Amadeus large DB, vary cores "
@@ -50,10 +58,25 @@ def test_fig14_throughput_large_sharing(benchmark, amadeus_large):
             "expected shape: both modes scale with cores; sharing always wins",
         ],
     )
-    write_result("fig14_tput_large_sharing", text)
+    write_result(NAME, text)
 
-    shared = dict(shared_points)
-    unshared = dict(unshared_points)
+    return BenchResult(
+        NAME,
+        text=text,
+        data={
+            "shared_tput": dict(shared_points),
+            "unshared_tput": dict(unshared_points),
+        },
+        rerun=rerun,
+    )
+
+
+def test_fig14_throughput_large_sharing(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=1, iterations=1)
+
+    shared = res.data["shared_tput"]
+    unshared = res.data["unshared_tput"]
     for cores in CORES:
         assert shared[cores] > unshared[cores], f"sharing must win at {cores}"
     assert shared[32] > 4 * shared[2]

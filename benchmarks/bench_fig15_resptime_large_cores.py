@@ -8,18 +8,25 @@ per-query constant work stop shrinking).
 
 from __future__ import annotations
 
-from repro.bench import format_series, measure_response_time, write_result
+from repro.bench import (
+    BenchResult,
+    format_series,
+    measure_response_time,
+    write_result,
+)
 from repro.storage import CrescandoEngine
 
+NAME = "fig15_resptime_large_cores"
 CORES = [2, 4, 8, 16, 32]
 
 
-def test_fig15_response_time_large_vary_cores(benchmark, amadeus_large):
-    workload = amadeus_large
+def run_bench(ctx) -> BenchResult:
+    workload = ctx.amadeus_large
     queries = {
         "ta1": workload.ta1(flight_id=9),
         "ta2": workload.ta2(flight_id=9),
     }
+    repeats = ctx.scaled(3, 1)
     series: dict[str, list[tuple[int, float]]] = {name: [] for name in queries}
     engines = {}
     for cores in CORES:
@@ -27,13 +34,13 @@ def test_fig15_response_time_large_vary_cores(benchmark, amadeus_large):
         engine.bulkload(workload.table)
         engines[cores] = engine
         for name, op in queries.items():
-            best = min(measure_response_time(engine, op) for _ in range(3))
+            best = min(
+                measure_response_time(engine, op) for _ in range(repeats)
+            )
             series[name].append((cores, best))
 
     def rerun():
         return measure_response_time(engines[16], queries["ta1"])
-
-    benchmark.pedantic(rerun, rounds=3, iterations=1)
 
     speedups = {
         name: [(c, points[0][1] / t) for c, t in points]
@@ -55,10 +62,21 @@ def test_fig15_response_time_large_vary_cores(benchmark, amadeus_large):
             ),
         ]
     )
-    write_result("fig15_resptime_large_cores", text)
+    write_result(NAME, text)
 
-    for name, points in series.items():
-        times = dict(points)
+    return BenchResult(
+        NAME,
+        text=text,
+        data={"series": {name: dict(points) for name, points in series.items()}},
+        rerun=rerun,
+    )
+
+
+def test_fig15_response_time_large_vary_cores(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=3, iterations=1)
+
+    for name, times in res.data["series"].items():
         # Meaningful speed-up from 2 to 16 cores (paper: almost linear).
         assert times[16] < times[2] / 3, name
         # Monotone improvement through 16 cores.

@@ -12,9 +12,11 @@ from __future__ import annotations
 
 import math
 
-from repro.bench import format_table, write_result
+from repro.bench import BenchResult, format_table, write_result
 from repro.bench.tpcbih_runner import build_engines, run_all_queries
 from repro.workloads import TPCBIH_QUERIES
+
+NAME = "fig17_tpcbih_small"
 
 
 def _gmean(values) -> float:
@@ -31,11 +33,12 @@ def _ordering_holds(gm) -> bool:
     )
 
 
-def test_fig17_tpcbih_small(benchmark, tpcbih_small):
-    engines = build_engines(tpcbih_small, partime_cores=(2, 31))
+def run_bench(ctx) -> BenchResult:
+    dataset = ctx.tpcbih_small
+    engines = build_engines(dataset, partime_cores=(2, 31))
     # Orderings rest on sub-millisecond measurements; retry under load.
-    for attempt in range(3):
-        times = run_all_queries(tpcbih_small, engines)
+    for _attempt in range(ctx.scaled(3, 1)):
+        times = run_all_queries(dataset, engines)
         gm_probe = {
             e: _gmean(times[q][e] for q in TPCBIH_QUERIES)
             for e in list(engines)
@@ -45,23 +48,18 @@ def test_fig17_tpcbih_small(benchmark, tpcbih_small):
 
     def rerun():
         return run_all_queries(
-            tpcbih_small,
+            dataset,
             {"ParTime (31 cores)": engines["ParTime (31 cores)"]},
             repeats=1,
         )
-
-    benchmark.pedantic(rerun, rounds=1, iterations=1)
 
     engine_names = list(engines)
     rows = [
         (qname, *(times[qname][e] for e in engine_names))
         for qname in TPCBIH_QUERIES
     ]
-    rows.append(
-        ("geometric mean", *(
-            _gmean(times[q][e] for q in TPCBIH_QUERIES) for e in engine_names
-        ))
-    )
+    gm = {e: _gmean(times[q][e] for q in TPCBIH_QUERIES) for e in engine_names}
+    rows.append(("geometric mean", *(gm[e] for e in engine_names)))
     text = format_table(
         "Figure 17: Response time (s, simulated), TPC-BiH small DB (SF=1)",
         ["query"] + engine_names,
@@ -71,9 +69,21 @@ def test_fig17_tpcbih_small(benchmark, tpcbih_small):
             " System D; ParTime(2) slower than M (no parallelism to exploit)",
         ],
     )
-    write_result("fig17_tpcbih_small", text)
+    write_result(NAME, text)
 
-    gm = {e: _gmean(times[q][e] for q in TPCBIH_QUERIES) for e in engine_names}
+    return BenchResult(
+        NAME,
+        text=text,
+        data={"times": times, "geo_mean": gm},
+        rerun=rerun,
+    )
+
+
+def test_fig17_tpcbih_small(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=1, iterations=1)
+
+    gm = res.data["geo_mean"]
     assert gm["Timeline (1 core)"] < gm["ParTime (31 cores)"]
     assert gm["ParTime (31 cores)"] < gm["System M (32 cores)"]
     assert gm["System M (32 cores)"] < gm["System D (32 cores)"]

@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import math
 
-from repro.bench import format_table, write_result
+from repro.bench import BenchResult, format_table, write_result
 from repro.bench.tpcbih_runner import build_engines, run_all_queries
 from repro.simtime.cost import CostModel
 from repro.workloads import TPCBIH_QUERIES
+
+NAME = "fig18_tpcbih_large"
 
 #: Timeout calibrated to the scaled substrate (paper: 600 s on 312 GB).
 SCALED_TIMEOUT_S = 0.08
@@ -46,24 +48,27 @@ def _claims_hold(times) -> bool:
     return True
 
 
-def test_fig18_tpcbih_large(benchmark, tpcbih_large):
-    costs = CostModel(timeout_s=SCALED_TIMEOUT_S)
-    engines = build_engines(tpcbih_large, partime_cores=(2, 31), costs=costs)
+def run_bench(ctx) -> BenchResult:
+    dataset = ctx.tpcbih_large
+    # The smoke dataset is ~25x smaller; scale the timeout with the data
+    # so D and M still cross it while ParTime and Timeline stay under.
+    timeout = ctx.scaled(SCALED_TIMEOUT_S, SCALED_TIMEOUT_S / 25)
+    costs = CostModel(timeout_s=timeout)
+    engines = build_engines(dataset, partime_cores=(2, 31), costs=costs)
     # The D/M timeout boundary rides on measured base work; retry the
     # measurement under load before failing.
-    for _attempt in range(3):
-        times = run_all_queries(tpcbih_large, engines, repeats=2)
+    repeats = ctx.scaled(2, 1)
+    for _attempt in range(ctx.scaled(3, 1)):
+        times = run_all_queries(dataset, engines, repeats=repeats)
         if _claims_hold(times):
             break
 
     def rerun():
         return run_all_queries(
-            tpcbih_large,
+            dataset,
             {"Timeline (1 core)": engines["Timeline (1 core)"]},
             repeats=1,
         )
-
-    benchmark.pedantic(rerun, rounds=1, iterations=1)
 
     engine_names = list(engines)
     rows = [
@@ -80,8 +85,21 @@ def test_fig18_tpcbih_large(benchmark, tpcbih_large):
             " at scale)",
         ],
     )
-    write_result("fig18_tpcbih_large", text)
+    write_result(NAME, text)
 
+    return BenchResult(
+        NAME,
+        text=text,
+        data={"times": times},
+        rerun=rerun,
+    )
+
+
+def test_fig18_tpcbih_large(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=1, iterations=1)
+
+    times = res.data["times"]
     # D and M time out on the heavyweight aggregation queries.
     heavy = ["t6_sys", "t6_app", "t9", "r1"]
     assert all(math.isinf(times[q]["System D (32 cores)"]) for q in heavy)

@@ -18,12 +18,18 @@ merge of Section 3.2.2.
 
 from __future__ import annotations
 
-from repro.bench import format_series, write_result, write_result_json
+from repro.bench import (
+    BenchResult,
+    format_series,
+    write_result,
+    write_result_json,
+)
 from repro.obs import metrics, tracing
 from repro.storage import CrescandoEngine
 from repro.timeline import TimelineEngine
 from repro.workloads import TPCBIH_QUERIES
 
+NAME = "fig19_parallelization"
 CORES = [2, 4, 8, 16, 31]
 
 
@@ -53,33 +59,33 @@ def _traced_run(engines, ops) -> dict:
     return {"experiment": "fig19_parallelization", "runs": runs}
 
 
-def test_fig19_r2_r4_vary_cores(benchmark, tpcbih_large, trace_json, exec_backend):
-    _t, r2 = TPCBIH_QUERIES["r2"](tpcbih_large)
-    _t, r4 = TPCBIH_QUERIES["r4"](tpcbih_large)
+def run_bench(ctx) -> BenchResult:
+    dataset = ctx.tpcbih_large
+    _t, r2 = TPCBIH_QUERIES["r2"](dataset)
+    _t, r4 = TPCBIH_QUERIES["r4"](dataset)
 
     # --backend process|threads fans the node scan cycles out for real;
     # simulated response times still come from the reported per-node scan
     # seconds, so the figure's shape is backend-independent.
-    backend = None if exec_backend == "serial" else exec_backend
+    backend = None if ctx.backend == "serial" else ctx.backend
+    repeats = ctx.scaled(4, 1)
     r2_points, r4_points = [], []
     engines = {}
     for cores in CORES:
         engine = CrescandoEngine.response_time_config(
             cores, scan_mode="pure", backend=backend
         )
-        engine.bulkload(tpcbih_large.customer)
+        engine.bulkload(dataset.customer)
         engines[cores] = engine
-        r2_points.append((cores, _best_time(engine, r2)))
-        r4_points.append((cores, _best_time(engine, r4)))
+        r2_points.append((cores, _best_time(engine, r2, repeats=repeats)))
+        r4_points.append((cores, _best_time(engine, r4, repeats=repeats)))
 
     timeline = TimelineEngine()
-    timeline.bulkload(tpcbih_large.customer)
-    r4_timeline = _best_time(timeline, r4)
+    timeline.bulkload(dataset.customer)
+    r4_timeline = _best_time(timeline, r4, repeats=repeats)
 
     def rerun():
         return _best_time(engines[8], r4, repeats=1)
-
-    benchmark.pedantic(rerun, rounds=1, iterations=1)
 
     text = format_series(
         "Figure 19: Response time (s, simulated), TPC-BiH large DB, vary cores",
@@ -95,24 +101,47 @@ def test_fig19_r2_r4_vary_cores(benchmark, tpcbih_large, trace_json, exec_backen
             " sequential Step 2) and eventually degrades",
         ],
     )
-    write_result("fig19_parallelization", text)
-    if trace_json:
+    write_result(NAME, text)
+    if ctx.trace_json:
         write_result_json(
             "fig19_parallelization_trace",
             _traced_run(engines, {"r2": r2, "r4": r4}),
         )
 
-    r2_t, r4_t = dict(r2_points), dict(r4_points)
-    # r4: clear speed-up from 2 to 16 cores...
-    assert r4_t[16] < r4_t[2] / 2
-    # ...and parallelism brings ParTime within an order of magnitude of
-    # precomputation (margin padded: sub-ms measurements under load).
-    assert r4_t[31] < 15 * r4_timeline
-    # r2: parallelism does not pay — the curve bottoms out at few cores
-    # and *degrades* as the aggregator must consolidate ever more big
-    # delta maps (the paper's "somewhat disappointing result").
-    assert r2_t[31] > r2_t[8]
-    assert r2_t[31] >= 0.6 * r2_t[2]
+    def cleanup():
+        for engine in engines.values():
+            engine.close()
 
-    for engine in engines.values():
-        engine.close()
+    return BenchResult(
+        NAME,
+        text=text,
+        data={
+            "r2_times": dict(r2_points),
+            "r4_times": dict(r4_points),
+            "r4_timeline": r4_timeline,
+        },
+        rerun=rerun,
+        cleanup=cleanup,
+    )
+
+
+def test_fig19_r2_r4_vary_cores(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    try:
+        benchmark.pedantic(res.rerun, rounds=1, iterations=1)
+
+        r2_t = res.data["r2_times"]
+        r4_t = res.data["r4_times"]
+        r4_timeline = res.data["r4_timeline"]
+        # r4: clear speed-up from 2 to 16 cores...
+        assert r4_t[16] < r4_t[2] / 2
+        # ...and parallelism brings ParTime within an order of magnitude of
+        # precomputation (margin padded: sub-ms measurements under load).
+        assert r4_t[31] < 15 * r4_timeline
+        # r2: parallelism does not pay — the curve bottoms out at few cores
+        # and *degrades* as the aggregator must consolidate ever more big
+        # delta maps (the paper's "somewhat disappointing result").
+        assert r2_t[31] > r2_t[8]
+        assert r2_t[31] >= 0.6 * r2_t[2]
+    finally:
+        res.close()

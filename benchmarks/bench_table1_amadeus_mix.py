@@ -8,9 +8,11 @@ a small cluster.
 
 from __future__ import annotations
 
-from repro.bench import format_table, write_result
+from repro.bench import BenchResult, format_table, write_result
 from repro.storage import Cluster, SelectQuery, TemporalAggQuery
 from repro.temporal.predicates import Overlaps, TimeTravel
+
+NAME = "table1_amadeus_mix"
 
 
 def _classify(op) -> str:
@@ -25,26 +27,22 @@ def _classify(op) -> str:
     return "other temporal" if temporal else "non-temporal"
 
 
-def test_table1_amadeus_mix(benchmark, amadeus_small):
-    batch = amadeus_small.query_batch(4_000)
+def run_bench(ctx) -> BenchResult:
+    workload = ctx.amadeus_small
+    batch = workload.query_batch(ctx.scaled(4_000, 800))
     counts: dict[str, int] = {}
     for op in batch:
         counts[_classify(op)] = counts.get(_classify(op), 0) + 1
 
-    cluster = Cluster.from_table(amadeus_small.table, 2, sharing=True)
-    small_batch = amadeus_small.query_batch(50)
-
-    def run_batch():
-        return cluster.execute_batch(list(small_batch))
-
-    result = benchmark.pedantic(run_batch, rounds=3, iterations=1)
-    assert result.simulated_seconds > 0
+    cluster = Cluster.from_table(workload.table, 2, sharing=True)
+    small_batch = workload.query_batch(50)
+    batch_result = cluster.execute_batch(list(small_batch))
 
     rows = [
         (kind, n, f"{100 * n / len(batch):.1f}%")
         for kind, n in sorted(counts.items())
     ]
-    rows.append(("updates / second", amadeus_small.config.update_rate_per_second, "-"))
+    rows.append(("updates / second", workload.config.update_rate_per_second, "-"))
     text = format_table(
         "Table 1: Queries of the Airline Reservation System (generated mix)",
         ["kind", "count", "share"],
@@ -54,9 +52,29 @@ def test_table1_amadeus_mix(benchmark, amadeus_small):
             f"batch sampled: {len(batch)} queries",
         ],
     )
-    write_result("table1_amadeus_mix", text)
+    write_result(NAME, text)
 
+    return BenchResult(
+        NAME,
+        text=text,
+        data={
+            "counts": counts,
+            "batch_size": len(batch),
+            "batch_sim_seconds": batch_result.simulated_seconds,
+        },
+        rerun=lambda: cluster.execute_batch(list(small_batch)),
+    )
+
+
+def test_table1_amadeus_mix(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+
+    result = benchmark.pedantic(res.rerun, rounds=3, iterations=1)
+    assert result.simulated_seconds > 0
+
+    counts = res.data["counts"]
+    total = res.data["batch_size"]
     ta = sum(n for k, n in counts.items() if k.startswith("ta"))
-    assert 0.005 < ta / len(batch) < 0.05  # ~2% temporal aggregation
+    assert 0.005 < ta / total < 0.05  # ~2% temporal aggregation
     non_temporal = counts.get("non-temporal", 0)
-    assert non_temporal / len(batch) > 0.8
+    assert non_temporal / total > 0.8

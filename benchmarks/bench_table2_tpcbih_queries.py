@@ -7,10 +7,12 @@ the repository's executable version of the paper's Table 2.
 
 from __future__ import annotations
 
-from repro.bench import format_table, write_result
+from repro.bench import BenchResult, format_table, write_result
 from repro.core.result import TemporalAggregationResult
 from repro.storage import Cluster, SelectQuery
 from repro.workloads import TPCBIH_QUERIES
+
+NAME = "table2_tpcbih_queries"
 
 
 def _kind(ops) -> str:
@@ -25,14 +27,15 @@ def _kind(ops) -> str:
     return "Temp.Aggr."
 
 
-def test_table2_tpcbih_queries(benchmark, tpcbih_small):
+def run_bench(ctx) -> BenchResult:
+    dataset = ctx.tpcbih_small
     clusters = {
-        "customer": Cluster.from_table(tpcbih_small.customer, 4),
-        "orders": Cluster.from_table(tpcbih_small.orders, 4),
+        "customer": Cluster.from_table(dataset.customer, 4),
+        "orders": Cluster.from_table(dataset.orders, 4),
     }
     rows = []
     for name, build in TPCBIH_QUERIES.items():
-        table_name, ops = build(tpcbih_small)
+        table_name, ops = build(dataset)
         if not isinstance(ops, list):
             ops = [ops]
         total_s = 0.0
@@ -47,19 +50,35 @@ def test_table2_tpcbih_queries(benchmark, tpcbih_small):
         rows.append((name, _kind(ops), table_name, len(ops), result_rows, total_s))
 
     def rerun():
-        _t, op = TPCBIH_QUERIES["r1"](tpcbih_small)
+        _t, op = TPCBIH_QUERIES["r1"](dataset)
         return clusters["customer"].execute_query(op)
-
-    benchmark.pedantic(rerun, rounds=3, iterations=1)
 
     text = format_table(
         "Table 2: TPC-BiH queries on the ParTime cluster (SF=1)",
         ["query", "type", "table", "ops", "result rows", "seconds (sim)"],
         rows,
     )
-    write_result("table2_tpcbih_queries", text)
+    write_result(NAME, text)
 
-    assert len(rows) == 13  # all Table 2 queries implemented
-    assert all(r[5] > 0 for r in rows)
-    kinds = {r[1] for r in rows}
+    return BenchResult(
+        NAME,
+        text=text,
+        data={
+            "queries": {
+                r[0]: {"type": r[1], "result_rows": r[4], "seconds": r[5]}
+                for r in rows
+            },
+        },
+        rerun=rerun,
+    )
+
+
+def test_table2_tpcbih_queries(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=3, iterations=1)
+
+    queries = res.data["queries"]
+    assert len(queries) == 13  # all Table 2 queries implemented
+    assert all(q["seconds"] > 0 for q in queries.values())
+    kinds = {q["type"] for q in queries.values()}
     assert {"Time Travel", "Temp.Aggr.", "Key-in-Time"} <= kinds

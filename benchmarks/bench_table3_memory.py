@@ -9,15 +9,17 @@ maps + checkpoints + cached columns).
 
 from __future__ import annotations
 
-from repro.bench import format_table, write_result
+from repro.bench import BenchResult, format_table, write_result
 from repro.bench.tpcbih_runner import VALUE_COLUMNS
 from repro.storage import CrescandoEngine
 from repro.systems import SystemD, SystemM
 from repro.timeline import TimelineEngine
 
+NAME = "table3_memory"
 
-def test_table3_memory(benchmark, tpcbih_small):
-    table = tpcbih_small.orders
+
+def run_bench(ctx) -> BenchResult:
+    table = ctx.tpcbih_small.orders
     raw = table.memory_bytes()
 
     engines = {
@@ -31,11 +33,6 @@ def test_table3_memory(benchmark, tpcbih_small):
         engine.bulkload(table)
         sizes[name] = engine.memory_bytes()
 
-    def re_measure():
-        return engines["Timeline"].memory_bytes()
-
-    benchmark.pedantic(re_measure, rounds=3, iterations=1)
-
     rows = [
         (name, nbytes, f"{nbytes / raw:.2f}x")
         for name, nbytes in sizes.items()
@@ -46,8 +43,22 @@ def test_table3_memory(benchmark, tpcbih_small):
         rows,
         notes=["paper: raw 2.3 GB, ParTime 2.3, Timeline 3.0, D 2.5, M 2.1"],
     )
-    write_result("table3_memory", text)
+    write_result(NAME, text)
 
+    return BenchResult(
+        NAME,
+        text=text,
+        data={"bytes": dict(sizes), "raw_bytes": raw},
+        rerun=lambda: engines["Timeline"].memory_bytes(),
+    )
+
+
+def test_table3_memory(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=3, iterations=1)
+
+    sizes = res.data["bytes"]
+    raw = res.data["raw_bytes"]
     assert sizes["ParTime"] == raw  # no temporal-specific structures
     assert sizes["System M"] < raw
     assert raw < sizes["System D"] < sizes["Timeline"]

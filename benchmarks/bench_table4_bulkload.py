@@ -8,15 +8,17 @@ M slowest by far (962 minutes in the paper — compressed temporal load).
 
 from __future__ import annotations
 
-from repro.bench import format_table, write_result
+from repro.bench import BenchResult, format_table, write_result
 from repro.bench.tpcbih_runner import VALUE_COLUMNS
 from repro.storage import CrescandoEngine
 from repro.systems import SystemD, SystemM
 from repro.timeline import TimelineEngine
 
+NAME = "table4_bulkload"
 
-def test_table4_bulkload(benchmark, tpcbih_small):
-    table = tpcbih_small.orders
+
+def run_bench(ctx) -> BenchResult:
+    table = ctx.tpcbih_small.orders
 
     def load_partime():
         engine = CrescandoEngine.response_time_config(4)
@@ -38,9 +40,10 @@ def test_table4_bulkload(benchmark, tpcbih_small):
         "System D": load_d,
         "System M": load_m,
     }
-    seconds = {name: min(fn() for _ in range(3)) for name, fn in loaders.items()}
-
-    benchmark.pedantic(load_partime, rounds=3, iterations=1)
+    repeats = ctx.scaled(3, 1)
+    seconds = {
+        name: min(fn() for _ in range(repeats)) for name, fn in loaders.items()
+    }
 
     base = seconds["ParTime"]
     rows = [
@@ -54,8 +57,21 @@ def test_table4_bulkload(benchmark, tpcbih_small):
         rows,
         notes=["paper: ParTime 2.5 min, Timeline 4, D 220, M 962"],
     )
-    write_result("table4_bulkload", text)
+    write_result(NAME, text)
 
+    return BenchResult(
+        NAME,
+        text=text,
+        data={"seconds": dict(seconds)},
+        rerun=load_partime,
+    )
+
+
+def test_table4_bulkload(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+    benchmark.pedantic(res.rerun, rounds=3, iterations=1)
+
+    seconds = res.data["seconds"]
     assert seconds["ParTime"] < seconds["Timeline"]
     assert seconds["Timeline"] < seconds["System D"]
     assert seconds["System D"] < seconds["System M"]

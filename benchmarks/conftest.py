@@ -2,20 +2,20 @@
 
 Dataset scales are chosen so the whole suite runs in minutes on one CPU;
 the mapping to the paper's scales is recorded in EXPERIMENTS.md (shapes,
-not absolute numbers, are the reproduction target).
+not absolute numbers, are the reproduction target).  The scales
+themselves live in :mod:`repro.bench.datasets`, shared with the unified
+runner (``python -m repro bench``); every benchmark receives them
+through the session-scoped :class:`~repro.bench.runner.BenchContext`
+fixture so pytest-driven and runner-driven executions build identical
+datasets.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.bench.runner import BenchContext
 from repro.simtime.executor import BACKENDS
-from repro.workloads import (
-    AmadeusConfig,
-    AmadeusWorkload,
-    TPCBiHConfig,
-    TPCBiHDataset,
-)
 
 
 def pytest_addoption(parser) -> None:
@@ -25,6 +25,14 @@ def pytest_addoption(parser) -> None:
         default=False,
         help="also write span trees of representative runs as JSON "
         "artifacts into benchmarks/results/ (see docs/observability.md)",
+    )
+    parser.addoption(
+        "--trace-chrome",
+        action="store_true",
+        default=False,
+        help="also export reconstructed per-core schedules of "
+        "representative runs as chrome://tracing / Perfetto-loadable "
+        "JSON into benchmarks/results/ (see docs/observability.md)",
     )
     parser.addoption(
         "--backend",
@@ -51,35 +59,15 @@ def exec_backend(request) -> str:
     """The ``--backend`` of this benchmark run (``serial`` by default)."""
     return str(request.config.getoption("--backend", default="serial"))
 
-#: "small database" — the 1% Amadeus subset of Section 5.2.1, scaled.
-AMADEUS_SMALL = AmadeusConfig(num_bookings=50_000, num_flights=2_000, seed=11)
-#: "large database" — the full bookings table, scaled (~25x the small one,
-#: ~800k physical rows: big enough that per-partition scan work dominates
-#: fixed per-node costs up to 32 simulated cores).
-AMADEUS_LARGE = AmadeusConfig(num_bookings=400_000, num_flights=2_000, seed=12)
-
-#: TPC-BiH SF=1 (the "small" 2.3 GB database, scaled).
-TPCBIH_SMALL = TPCBiHConfig(scale_factor=1.0, seed=21)
-#: TPC-BiH SF=100 (the "large" 312 GB database, scaled 1:10 relative to
-#: small rather than 1:100 — enough to move the Amdahl crossover).
-TPCBIH_LARGE = TPCBiHConfig(scale_factor=10.0, seed=22)
-
 
 @pytest.fixture(scope="session")
-def amadeus_small() -> AmadeusWorkload:
-    return AmadeusWorkload(AMADEUS_SMALL)
-
-
-@pytest.fixture(scope="session")
-def amadeus_large() -> AmadeusWorkload:
-    return AmadeusWorkload(AMADEUS_LARGE)
-
-
-@pytest.fixture(scope="session")
-def tpcbih_small() -> TPCBiHDataset:
-    return TPCBiHDataset(TPCBIH_SMALL)
-
-
-@pytest.fixture(scope="session")
-def tpcbih_large() -> TPCBiHDataset:
-    return TPCBiHDataset(TPCBIH_LARGE)
+def bench_ctx(request) -> BenchContext:
+    """The full-scale benchmark context (datasets cached per session)."""
+    return BenchContext(
+        smoke=False,
+        backend=str(request.config.getoption("--backend", default="serial")),
+        trace_json=bool(request.config.getoption("--trace-json", default=False)),
+        trace_chrome=bool(
+            request.config.getoption("--trace-chrome", default=False)
+        ),
+    )

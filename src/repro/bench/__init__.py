@@ -2,10 +2,24 @@
 
 Every file in ``benchmarks/`` regenerates one table or figure of
 Section 5; this package holds the shared machinery — engine construction,
-response-time and throughput runners with timeout handling, and plain-text
-table/series reporters that print the same rows the paper plots.
+response-time and throughput runners with timeout handling, plain-text
+table/series reporters that print the same rows the paper plots, the
+shared dataset catalogue (:mod:`repro.bench.datasets`), and the unified
+runner behind ``python -m repro bench`` (:mod:`repro.bench.runner`),
+which emits schema-versioned ``BENCH_*.json`` telemetry and drives the
+``--check`` regression gate.
 """
 
+from repro.bench.datasets import (
+    AMADEUS_LARGE,
+    AMADEUS_LARGE_SMOKE,
+    AMADEUS_SMALL,
+    AMADEUS_SMALL_SMOKE,
+    TPCBIH_LARGE,
+    TPCBIH_LARGE_SMOKE,
+    TPCBIH_SMALL,
+    TPCBIH_SMALL_SMOKE,
+)
 from repro.bench.harness import (
     ExperimentResult,
     measure_response_time,
@@ -13,10 +27,21 @@ from repro.bench.harness import (
     throughput_crescando,
 )
 from repro.bench.reporting import (
+    SCHEMA_VERSION,
     format_series,
     format_table,
     write_result,
     write_result_json,
+)
+from repro.bench.runner import (
+    DEFAULT_TOLERANCES,
+    BenchContext,
+    BenchResult,
+    check_results,
+    compare_payloads,
+    discover,
+    run_benchmark,
+    run_many,
 )
 
 __all__ = [
@@ -28,4 +53,21 @@ __all__ = [
     "format_series",
     "write_result",
     "write_result_json",
+    "SCHEMA_VERSION",
+    "DEFAULT_TOLERANCES",
+    "BenchContext",
+    "BenchResult",
+    "check_results",
+    "compare_payloads",
+    "discover",
+    "run_benchmark",
+    "run_many",
+    "AMADEUS_SMALL",
+    "AMADEUS_LARGE",
+    "TPCBIH_SMALL",
+    "TPCBIH_LARGE",
+    "AMADEUS_SMALL_SMOKE",
+    "AMADEUS_LARGE_SMOKE",
+    "TPCBIH_SMALL_SMOKE",
+    "TPCBIH_LARGE_SMOKE",
 ]

@@ -1,0 +1,33 @@
+"""The benchmark dataset catalogue — full-scale and smoke configs.
+
+One place for the scales every benchmark shares, used both by the pytest
+drivers (``benchmarks/conftest.py`` session fixtures) and the unified
+runner (``python -m repro bench``).  The full configs reproduce the
+paper's shapes (see EXPERIMENTS.md for the scale mapping); the smoke
+configs are deliberately tiny — they exist so ``repro bench all --smoke``
+finishes in CI minutes while still exercising every phase of every
+benchmark, which is all the ``BENCH_*.json`` regression gate needs.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import AmadeusConfig, TPCBiHConfig
+
+#: "small database" — the 1% Amadeus subset of Section 5.2.1, scaled.
+AMADEUS_SMALL = AmadeusConfig(num_bookings=50_000, num_flights=2_000, seed=11)
+#: "large database" — the full bookings table, scaled (~25x the small one,
+#: ~800k physical rows: big enough that per-partition scan work dominates
+#: fixed per-node costs up to 32 simulated cores).
+AMADEUS_LARGE = AmadeusConfig(num_bookings=400_000, num_flights=2_000, seed=12)
+
+#: TPC-BiH SF=1 (the "small" 2.3 GB database, scaled).
+TPCBIH_SMALL = TPCBiHConfig(scale_factor=1.0, seed=21)
+#: TPC-BiH SF=100 (the "large" 312 GB database, scaled 1:10 relative to
+#: small rather than 1:100 — enough to move the Amdahl crossover).
+TPCBIH_LARGE = TPCBiHConfig(scale_factor=10.0, seed=22)
+
+#: Smoke variants: same seeds and shapes, drastically smaller scales.
+AMADEUS_SMALL_SMOKE = AmadeusConfig(num_bookings=4_000, num_flights=400, seed=11)
+AMADEUS_LARGE_SMOKE = AmadeusConfig(num_bookings=12_000, num_flights=400, seed=12)
+TPCBIH_SMALL_SMOKE = TPCBiHConfig(scale_factor=0.1, seed=21)
+TPCBIH_LARGE_SMOKE = TPCBiHConfig(scale_factor=0.4, seed=22)

@@ -15,6 +15,13 @@ import math
 import os
 from typing import Mapping, Sequence
 
+#: Version stamp written into every JSON artifact (``BENCH_*.json``
+#: telemetry and ``*_trace.json`` span dumps).  Bump when a field is
+#: renamed or its meaning changes so downstream consumers (the
+#: ``--check`` regression gate, external dashboards) can tell layouts
+#: apart.
+SCHEMA_VERSION = 1
+
 
 def _fmt(value) -> str:
     if isinstance(value, float):
@@ -92,13 +99,19 @@ def write_result_json(
 
     Used by the ``--trace-json`` benchmark mode to embed the span trees of
     representative runs (``Span.to_dict()`` output plus whatever metadata
-    the driver adds) in ``benchmarks/results/<name>.json``.
+    the driver adds) in ``benchmarks/results/<name>.json``, and by the
+    unified runner for its ``BENCH_<name>.json`` telemetry.  Every payload
+    is stamped with the current :data:`SCHEMA_VERSION` (an explicit
+    ``"schema"`` key in ``payload`` wins, so re-writing an old artifact
+    preserves its version).
     """
     if results_dir is None:
         results_dir = _default_results_dir()
     os.makedirs(results_dir, exist_ok=True)
     path = os.path.join(results_dir, f"{name}.json")
+    stamped = dict(payload)
+    stamped.setdefault("schema", SCHEMA_VERSION)
     with open(path, "w") as f:
-        json.dump(payload, f, indent=2, sort_keys=True)
+        json.dump(stamped, f, indent=2, sort_keys=True)
     print(f"\ntrace JSON written to {path}")
     return path

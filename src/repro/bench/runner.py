@@ -1,0 +1,482 @@
+"""The unified benchmark runner — ``python -m repro bench``.
+
+Every script in ``benchmarks/`` exposes a ``run_bench(ctx)`` function
+(the pytest driver in the same file wraps it and asserts on the returned
+data).  This module discovers those scripts, runs them under the
+observability layer, reconstructs the per-core schedule of everything
+their engines booked on a :class:`~repro.simtime.clock.SimClock`, and
+emits one schema-versioned ``BENCH_<name>.json`` telemetry file per
+benchmark — simulated elapsed, total work, per-phase utilization and
+imbalance, real wall-clock, backend and machine spec.  Those files are
+the repo's machine-readable perf trajectory; ``--check`` diffs them
+against a committed baseline (``benchmarks/baselines/``) with per-metric
+relative tolerances and exits non-zero on regression.
+
+Modes:
+
+* ``python -m repro bench all --smoke`` — every benchmark on tiny smoke
+  datasets (CI's ``bench-smoke`` job);
+* ``python -m repro bench fig19_parallelization --backend process`` — one
+  benchmark, full scale, on a chosen physical backend;
+* ``python -m repro bench --check benchmarks/baselines`` — regression
+  gate over previously produced ``BENCH_*.json`` files;
+* ``--trace-chrome`` — additionally export each benchmark's reconstructed
+  schedule as a ``chrome://tracing`` / Perfetto-loadable event array.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import math
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.datasets import (
+    AMADEUS_LARGE,
+    AMADEUS_LARGE_SMOKE,
+    AMADEUS_SMALL,
+    AMADEUS_SMALL_SMOKE,
+    TPCBIH_LARGE,
+    TPCBIH_LARGE_SMOKE,
+    TPCBIH_SMALL,
+    TPCBIH_SMALL_SMOKE,
+)
+from repro.bench.reporting import SCHEMA_VERSION, write_result_json
+from repro.obs import metrics, schedule_from_span, tracing, write_chrome_trace
+from repro.simtime.machine import PAPER_MACHINE
+from repro.simtime.measure import measured
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_TOLERANCES",
+    "BenchContext",
+    "BenchResult",
+    "discover",
+    "load_benchmark",
+    "run_benchmark",
+    "run_many",
+    "compare_payloads",
+    "check_results",
+    "machine_spec",
+    "repo_root",
+    "benchmarks_dir",
+]
+
+#: Per-metric relative tolerances of the regression gate: a metric
+#: regresses when ``current > baseline * (1 + tol)``.  All three are
+#: lower-is-better.  Simulated metrics derive from measured micro-costs,
+#: so they are machine-dependent but stable within ~tens of percent on
+#: one host; the gate's 60% headroom absorbs that noise while still
+#: catching a 2x slowdown.  Real wall-clock is far noisier (CI machines
+#: vary wildly) and gets 400% headroom.  A baseline payload may override
+#: these per benchmark via ``{"check": {"tolerances": {...}}}``.
+DEFAULT_TOLERANCES: dict[str, float] = {
+    "sim_elapsed": 0.6,
+    "total_work": 0.6,
+    "wall_seconds": 4.0,
+}
+
+
+# ---------------------------------------------------------------------------
+# The contract between benchmark scripts and the runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BenchResult:
+    """What every ``run_bench(ctx)`` returns.
+
+    ``data`` holds the headline numbers: the pytest driver asserts the
+    paper's shape claims on it, and the runner embeds it in the
+    ``BENCH_*.json`` payload.  ``rerun`` optionally re-executes a
+    representative operation (the pytest driver feeds it to
+    ``benchmark.pedantic``); ``cleanup`` releases engines/executors and
+    is called after ``rerun`` is no longer needed.
+    """
+
+    name: str
+    text: str = ""
+    data: dict = field(default_factory=dict)
+    rerun: Callable | None = None
+    cleanup: Callable | None = None
+
+    def close(self) -> None:
+        if self.cleanup is not None:
+            self.cleanup()
+            self.cleanup = None
+
+
+class BenchContext:
+    """Execution context handed to ``run_bench``.
+
+    Carries the run mode (``smoke``, physical ``backend``, trace flags)
+    and caches the shared datasets exactly like the pytest session
+    fixtures do, so ``bench all`` builds each table once.
+    """
+
+    def __init__(
+        self,
+        smoke: bool = False,
+        backend: str = "serial",
+        trace_json: bool = False,
+        trace_chrome: bool = False,
+    ) -> None:
+        self.smoke = bool(smoke)
+        self.backend = backend
+        self.trace_json = bool(trace_json)
+        self.trace_chrome = bool(trace_chrome)
+        self._cache: dict = {}
+
+    def scaled(self, full, smoke):
+        """``full`` normally, ``smoke`` under ``--smoke`` — the one knob
+        benchmark scripts use to shrink private datasets and repeats."""
+        return smoke if self.smoke else full
+
+    # ------------------------------------------------------ shared datasets
+
+    def _cached(self, key, build):
+        if key not in self._cache:
+            self._cache[key] = build()
+        return self._cache[key]
+
+    def amadeus(self, config):
+        """A cached :class:`~repro.workloads.AmadeusWorkload` for an
+        explicit config (benchmarks with private scales)."""
+        from repro.workloads import AmadeusWorkload
+
+        return self._cached(("amadeus", config), lambda: AmadeusWorkload(config))
+
+    def tpcbih(self, config):
+        """A cached :class:`~repro.workloads.TPCBiHDataset` for an
+        explicit config."""
+        from repro.workloads import TPCBiHDataset
+
+        return self._cached(("tpcbih", config), lambda: TPCBiHDataset(config))
+
+    @property
+    def amadeus_small(self):
+        return self.amadeus(self.scaled(AMADEUS_SMALL, AMADEUS_SMALL_SMOKE))
+
+    @property
+    def amadeus_large(self):
+        return self.amadeus(self.scaled(AMADEUS_LARGE, AMADEUS_LARGE_SMOKE))
+
+    @property
+    def tpcbih_small(self):
+        return self.tpcbih(self.scaled(TPCBIH_SMALL, TPCBIH_SMALL_SMOKE))
+
+    @property
+    def tpcbih_large(self):
+        return self.tpcbih(self.scaled(TPCBIH_LARGE, TPCBIH_LARGE_SMOKE))
+
+
+# ---------------------------------------------------------------------------
+# Discovery
+# ---------------------------------------------------------------------------
+
+
+def repo_root() -> str:
+    """The checkout root (three levels above this package)."""
+    return os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    )
+
+
+def benchmarks_dir() -> str:
+    return os.path.join(repo_root(), "benchmarks")
+
+
+def discover(directory: str | None = None) -> dict[str, str]:
+    """Benchmark name -> script path, for every ``bench_*.py`` present.
+
+    The name is the script stem without the ``bench_`` prefix — the same
+    name the script passes to ``write_result`` for its legacy ``.txt``.
+    """
+    directory = directory or benchmarks_dir()
+    if not os.path.isdir(directory):
+        raise FileNotFoundError(
+            f"no benchmarks directory at {directory} — the unified runner "
+            "needs a repo checkout (benchmarks/ is not installed)"
+        )
+    registry: dict[str, str] = {}
+    for entry in sorted(os.listdir(directory)):
+        if entry.startswith("bench_") and entry.endswith(".py"):
+            registry[entry[len("bench_"):-len(".py")]] = os.path.join(
+                directory, entry
+            )
+    return registry
+
+
+def load_benchmark(name: str, path: str):
+    """Import one benchmark script as a standalone module."""
+    module_name = f"repro_benchmarks.{name}"
+    if module_name in sys.modules:
+        return sys.modules[module_name]
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    if spec is None or spec.loader is None:  # pragma: no cover — importlib
+        raise ImportError(f"cannot load benchmark {name} from {path}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop(module_name, None)
+        raise
+    if not hasattr(module, "run_bench"):
+        raise AttributeError(
+            f"benchmark script {path} defines no run_bench(ctx) entry point"
+        )
+    return module
+
+
+# ---------------------------------------------------------------------------
+# Running + telemetry
+# ---------------------------------------------------------------------------
+
+
+def _json_safe(value):
+    """Recursively convert a payload to strict-JSON-serialisable form
+    (numpy scalars to Python numbers, non-finite floats to strings)."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, str)) or value is None:
+        return value
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalars
+        return _json_safe(item())
+    return str(value)
+
+
+def machine_spec() -> dict:
+    """The simulated machine plus the real host executing the run."""
+    return {
+        "simulated": {
+            "sockets": PAPER_MACHINE.sockets,
+            "cores_per_socket": PAPER_MACHINE.cores_per_socket,
+            "cores": PAPER_MACHINE.cores,
+        },
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+    }
+
+
+def run_benchmark(
+    name: str,
+    ctx: BenchContext,
+    *,
+    path: str | None = None,
+    results_dir: str | None = None,
+    chrome_dir: str | None = None,
+) -> dict:
+    """Run one benchmark under tracing; write and return its telemetry.
+
+    The ``BENCH_<name>.json`` payload lands in ``results_dir`` (default:
+    the repo root, where the perf trajectory lives); with
+    ``ctx.trace_chrome`` the reconstructed schedule is additionally
+    exported as ``<name>_chrome_trace.json`` into ``chrome_dir``
+    (default: ``benchmarks/results``).
+    """
+    if path is None:
+        registry = discover()
+        if name not in registry:
+            known = ", ".join(sorted(registry))
+            raise KeyError(f"unknown benchmark {name!r}; known: {known}")
+        path = registry[name]
+    module = load_benchmark(name, path)
+
+    metrics().reset()
+    with measured() as wall:
+        with tracing(f"bench:{name}") as tracer:
+            result: BenchResult = module.run_bench(ctx)
+    result.close()
+
+    report = schedule_from_span(tracer.root)
+    payload = {
+        "benchmark": name,
+        "smoke": ctx.smoke,
+        "backend": ctx.backend,
+        "machine": machine_spec(),
+        "wall_seconds": wall.elapsed,
+        "sim_elapsed": report.elapsed,
+        "total_work": report.work,
+        "utilization": report.utilization(),
+        "imbalance": report.imbalance(),
+        "amdahl": report.amdahl(),
+        "cores": report.cores,
+        "n_phases": len(report.phases),
+        "n_tasks": len(report.tasks),
+        "phases": report.phase_summary(),
+        "metrics": metrics().snapshot(),
+        "data": result.data,
+    }
+    payload = _json_safe(payload)
+    write_result_json(
+        f"BENCH_{name}", payload, results_dir=results_dir or repo_root()
+    )
+    if ctx.trace_chrome:
+        chrome_dir = chrome_dir or os.path.join(benchmarks_dir(), "results")
+        os.makedirs(chrome_dir, exist_ok=True)
+        out = write_chrome_trace(
+            os.path.join(chrome_dir, f"{name}_chrome_trace.json"),
+            report,
+            label=f"bench:{name}",
+        )
+        print(f"chrome trace written to {out}")
+    return payload
+
+
+def run_many(
+    names: list[str],
+    ctx: BenchContext,
+    *,
+    results_dir: str | None = None,
+    chrome_dir: str | None = None,
+    out=None,
+) -> tuple[list[dict], list[str]]:
+    """Run several benchmarks; returns (payloads, failure descriptions).
+
+    A failing benchmark does not abort the sweep — its error is recorded
+    and the remaining benchmarks still produce telemetry.
+    """
+    out = out or sys.stdout
+    registry = discover()
+    payloads: list[dict] = []
+    failures: list[str] = []
+    for name in names:
+        print(f"== bench {name} ==", file=out)
+        try:
+            payloads.append(
+                run_benchmark(
+                    name,
+                    ctx,
+                    path=registry.get(name),
+                    results_dir=results_dir,
+                    chrome_dir=chrome_dir,
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 — sweep must survive
+            failures.append(f"{name}: {type(exc).__name__}: {exc}")
+            print(f"FAILED {name}: {exc}", file=out)
+    return payloads, failures
+
+
+# ---------------------------------------------------------------------------
+# The regression gate
+# ---------------------------------------------------------------------------
+
+
+def load_payload(path: str) -> dict:
+    with open(path) as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "benchmark" not in payload:
+        raise ValueError(f"{path} is not a BENCH_*.json payload")
+    return payload
+
+
+def _baseline_payloads(baseline: str) -> dict[str, dict]:
+    """Load a baseline file or a directory of ``BENCH_*.json`` files."""
+    if os.path.isdir(baseline):
+        payloads = {}
+        for entry in sorted(os.listdir(baseline)):
+            if entry.startswith("BENCH_") and entry.endswith(".json"):
+                payload = load_payload(os.path.join(baseline, entry))
+                payloads[payload["benchmark"]] = payload
+        if not payloads:
+            raise FileNotFoundError(f"no BENCH_*.json baselines in {baseline}")
+        return payloads
+    payload = load_payload(baseline)
+    return {payload["benchmark"]: payload}
+
+
+def compare_payloads(
+    baseline: dict, current: dict, tolerance_scale: float = 1.0
+) -> list[str]:
+    """Violation descriptions for one benchmark's baseline vs current."""
+    name = baseline.get("benchmark", "?")
+    violations: list[str] = []
+    tolerances = dict(DEFAULT_TOLERANCES)
+    overrides = baseline.get("check", {})
+    if isinstance(overrides, dict):
+        tolerances.update(overrides.get("tolerances", {}))
+    for metric, tol in sorted(tolerances.items()):
+        if tol is None:
+            continue
+        base = baseline.get(metric)
+        cur = current.get(metric)
+        if not isinstance(base, (int, float)) or isinstance(base, bool):
+            continue  # metric absent (or non-finite) in the baseline
+        if base <= 0:
+            continue  # nothing measurable to regress against
+        if not isinstance(cur, (int, float)) or isinstance(cur, bool):
+            violations.append(
+                f"{name}: metric {metric!r} missing from current results"
+            )
+            continue
+        allowed = 1.0 + tol * tolerance_scale
+        ratio = cur / base
+        if ratio > allowed:
+            violations.append(
+                f"{name}: {metric} regressed {ratio:.2f}x "
+                f"({base:.6g} -> {cur:.6g}; allowed {allowed:.2f}x)"
+            )
+    return violations
+
+
+def check_results(
+    baseline: str,
+    results_dir: str | None = None,
+    tolerance_scale: float = 1.0,
+    out=None,
+) -> int:
+    """Diff current ``BENCH_*.json`` files against a committed baseline.
+
+    ``baseline`` is a single payload file or a directory of them;
+    ``results_dir`` holds the current run's payloads (default: the repo
+    root).  Returns the number of violations (0 = gate passes), after
+    printing a per-benchmark verdict.
+    """
+    out = out or sys.stdout
+    results_dir = results_dir or repo_root()
+    baselines = _baseline_payloads(baseline)
+    violations: list[str] = []
+    for name, base in sorted(baselines.items()):
+        current_path = os.path.join(results_dir, f"BENCH_{name}.json")
+        if not os.path.isfile(current_path):
+            violations.append(
+                f"{name}: no current results at {current_path} "
+                "(run `python -m repro bench` first)"
+            )
+            continue
+        current = load_payload(current_path)
+        if current.get("schema") != base.get("schema"):
+            print(
+                f"note: {name}: schema {base.get('schema')} (baseline) vs "
+                f"{current.get('schema')} (current) — comparing anyway",
+                file=out,
+            )
+        found = compare_payloads(base, current, tolerance_scale)
+        violations.extend(found)
+        verdict = "OK" if not found else f"REGRESSED ({len(found)})"
+        print(f"check {name}: {verdict}", file=out)
+    for violation in violations:
+        print(f"regression: {violation}", file=out)
+    if not violations:
+        print(f"regression gate: {len(baselines)} benchmark(s) OK", file=out)
+    return len(violations)

@@ -18,7 +18,15 @@ Subcommands:
 ``trace``
     Run a workload (``demo`` or a Python script) under the observability
     layer and print its span tree and metric snapshot; ``--json`` writes
-    both to a file (see ``docs/observability.md``).
+    both to a file and ``--chrome`` exports the reconstructed per-core
+    schedule for chrome://tracing / Perfetto (see
+    ``docs/observability.md``).
+``bench``
+    The unified benchmark runner: execute any subset of the
+    ``benchmarks/bench_*.py`` scripts (or ``all``), optionally on smoke
+    datasets, and emit one schema-versioned ``BENCH_<name>.json``
+    telemetry file each; ``--check BASELINE`` diffs the produced files
+    against a committed baseline and exits nonzero on regression.
 """
 
 from __future__ import annotations
@@ -273,7 +281,85 @@ def cmd_trace(args) -> int:
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
         print(f"\ntrace JSON written to {args.json}")
+    if args.chrome:
+        from repro.obs import schedule_from_span, write_chrome_trace
+
+        report = schedule_from_span(tracer.root)
+        out = write_chrome_trace(args.chrome, report, label=f"trace:{label}")
+        print(f"chrome trace written to {out} "
+              "(load in chrome://tracing or https://ui.perfetto.dev)")
     return 0
+
+
+def cmd_bench(args) -> int:
+    """The unified benchmark runner + regression gate."""
+    from repro.bench.runner import (
+        BenchContext,
+        check_results,
+        discover,
+        run_many,
+    )
+
+    try:
+        registry = discover()
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.list:
+        for name in sorted(registry):
+            print(name)
+        return 0
+
+    run_names: list[str] = []
+    if args.names:
+        if "all" in args.names:
+            run_names = sorted(registry)
+        else:
+            unknown = [n for n in args.names if n not in registry]
+            if unknown:
+                known = ", ".join(sorted(registry))
+                print(
+                    f"error: unknown benchmark(s): {', '.join(unknown)}\n"
+                    f"known: {known}",
+                    file=sys.stderr,
+                )
+                return 2
+            run_names = list(args.names)
+    elif not args.check:
+        print(
+            "error: give benchmark names, 'all', --list, or --check BASELINE",
+            file=sys.stderr,
+        )
+        return 2
+
+    status = 0
+    if run_names:
+        ctx = BenchContext(
+            smoke=args.smoke,
+            backend=args.backend,
+            trace_chrome=args.trace_chrome,
+        )
+        payloads, failures = run_many(
+            run_names, ctx, results_dir=args.results_dir or None
+        )
+        print(
+            f"\nbench: {len(payloads)}/{len(run_names)} benchmark(s) "
+            f"completed ({'smoke' if args.smoke else 'full'} scale, "
+            f"backend={args.backend})"
+        )
+        if failures:
+            for failure in failures:
+                print(f"bench failure: {failure}", file=sys.stderr)
+            status = 1
+    if args.check:
+        violations = check_results(
+            args.check,
+            results_dir=args.results_dir or None,
+            tolerance_scale=args.tolerance,
+        )
+        if violations:
+            status = 1
+    return status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -356,7 +442,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", default="",
         help="also write the span tree and metrics snapshot as JSON",
     )
+    trace.add_argument(
+        "--chrome", metavar="PATH", default="",
+        help="also export the reconstructed per-core schedule as a "
+        "chrome://tracing / Perfetto-loadable event array",
+    )
     trace.set_defaults(fn=cmd_trace)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run registered benchmarks and emit BENCH_*.json telemetry",
+        description="Unified benchmark runner. Executes benchmarks/"
+        "bench_*.py scripts (by name, or 'all'), reconstructs each run's "
+        "per-core schedule, and writes one schema-versioned "
+        "BENCH_<name>.json telemetry file per benchmark. With --check "
+        "BASELINE the produced files are diffed against a committed "
+        "baseline (file or directory) with per-metric relative "
+        "tolerances; exits nonzero on regression.",
+    )
+    bench.add_argument(
+        "names", nargs="*",
+        help="benchmark names (see --list) or 'all'; may be empty in "
+        "--check-only mode",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="run on tiny smoke datasets (seconds instead of minutes)",
+    )
+    bench.add_argument(
+        "--backend", default="serial", choices=list(BACKENDS),
+        help="physical execution backend for benchmarks that honour it",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list benchmark names and exit"
+    )
+    bench.add_argument(
+        "--check", metavar="BASELINE", default="",
+        help="diff produced BENCH_*.json files against a baseline payload "
+        "file or a directory of them; exits nonzero on regression",
+    )
+    bench.add_argument(
+        "--results-dir", metavar="DIR", default="",
+        help="where BENCH_*.json files are written/read "
+        "(default: the repo root)",
+    )
+    bench.add_argument(
+        "--trace-chrome", action="store_true",
+        help="additionally export each benchmark's schedule as a "
+        "chrome://tracing event array under benchmarks/results/",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=1.0, metavar="SCALE",
+        help="scale factor applied to every regression tolerance "
+        "(e.g. 2.0 doubles the allowed slack on noisy CI machines)",
+    )
+    bench.set_defaults(fn=cmd_bench)
     return parser
 
 

@@ -1,4 +1,4 @@
-"""``repro.obs`` — query tracing and phase metrics.
+"""``repro.obs`` — query tracing, phase metrics and schedule analysis.
 
 The observability layer of the reproduction (see docs/observability.md):
 
@@ -7,15 +7,27 @@ The observability layer of the reproduction (see docs/observability.md):
   *and* wall-clock time per node;
 * :mod:`repro.obs.metrics` — process-local counters/gauges (rows
   scanned, delta entries emitted, merge fan-in, NUMA penalties,
-  checkpoint hits, ...).
+  checkpoint hits, ...);
+* :mod:`repro.obs.schedule` — per-core Gantt reconstruction of any
+  recorded phase list or span tree, with utilization, imbalance and
+  Amdahl/critical-path statistics;
+* :mod:`repro.obs.export` — Chrome-trace (``chrome://tracing`` /
+  Perfetto) export of reconstructed schedules.
 
-Surfaced three ways: ``python -m repro trace <target>`` prints a span
-tree and the metric snapshot; benchmark drivers accept ``--trace-json``
-to embed span trees in ``benchmarks/results`` JSON; and
-``Database.explain`` annotates plans with the spans of the statement's
-last execution.
+Surfaced four ways: ``python -m repro trace <target>`` prints a span
+tree and the metric snapshot (``--chrome`` additionally exports the
+schedule); ``python -m repro bench`` emits schema-versioned
+``BENCH_*.json`` telemetry with per-phase schedule stats; benchmark
+drivers accept ``--trace-json`` to embed span trees in
+``benchmarks/results`` JSON; and ``Database.explain`` annotates plans
+with the spans of the statement's last execution.
 """
 
+from repro.obs.export import (
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from repro.obs.metrics import (
     CATALOGUE,
     Counter,
@@ -24,6 +36,14 @@ from repro.obs.metrics import (
     diff_snapshots,
     merge_delta,
     metrics,
+)
+from repro.obs.schedule import (
+    PhaseStats,
+    ScheduleReport,
+    TaskSlice,
+    build_schedule,
+    phases_from_span,
+    schedule_from_span,
 )
 from repro.obs.tracer import (
     Span,
@@ -43,6 +63,15 @@ __all__ = [
     "diff_snapshots",
     "merge_delta",
     "metrics",
+    "PhaseStats",
+    "ScheduleReport",
+    "TaskSlice",
+    "build_schedule",
+    "phases_from_span",
+    "schedule_from_span",
+    "chrome_trace_events",
+    "validate_chrome_trace",
+    "write_chrome_trace",
     "Span",
     "Tracer",
     "current_tracer",

@@ -1,0 +1,138 @@
+"""Chrome-trace export — load simulated schedules into real trace UIs.
+
+Converts a :class:`~repro.obs.schedule.ScheduleReport` into the Trace
+Event Format that ``chrome://tracing`` and https://ui.perfetto.dev accept:
+a JSON **array of events** where
+
+* each simulated core slot becomes a *thread* (``tid`` = core + 1, named
+  via ``thread_name`` metadata events),
+* each task slice becomes a *complete* event (``"ph": "X"``) with
+  microsecond ``ts``/``dur`` derived from the simulated offsets,
+* the phase label is the event name and the phase kind its category, so
+  the UI can color parallel scans apart from serial merges.
+
+The array form (rather than the ``{"traceEvents": [...]}`` object) is
+deliberately the simplest valid encoding; both loaders accept it and
+tests validate it structurally (:func:`validate_chrome_trace`).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.schedule import ScheduleReport
+
+__all__ = [
+    "chrome_trace_events",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: simulated seconds -> Trace Event Format microseconds
+_US = 1e6
+
+
+def chrome_trace_events(
+    report: ScheduleReport,
+    *,
+    label: str = "repro simulated schedule",
+    pid: int = 1,
+) -> list[dict]:
+    """The Trace Event array for one reconstructed schedule.
+
+    Deterministic: metadata events first (process name, one thread per
+    core in core order), then the task slices in schedule order.
+    """
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        }
+    ]
+    cores = sorted({t.core for t in report.tasks})
+    for core in cores:
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": core + 1,
+                "args": {"name": f"core {core}"},
+            }
+        )
+        # Perfetto sorts threads by this index, keeping core order.
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_sort_index",
+                "pid": pid,
+                "tid": core + 1,
+                "args": {"sort_index": core},
+            }
+        )
+    for slice_ in report.tasks:
+        events.append(
+            {
+                "ph": "X",
+                "name": slice_.phase,
+                "cat": slice_.kind,
+                "pid": pid,
+                "tid": slice_.core + 1,
+                "ts": slice_.start * _US,
+                "dur": slice_.duration * _US,
+                "args": {
+                    "task": slice_.task,
+                    "phase_index": slice_.phase_index,
+                    "sim_start_s": slice_.start,
+                    "sim_duration_s": slice_.duration,
+                },
+            }
+        )
+    return events
+
+
+def validate_chrome_trace(events: object) -> list[dict]:
+    """Structurally validate a Trace Event array; returns it on success.
+
+    Raises :class:`ValueError` unless ``events`` is a list of dicts each
+    carrying ``ph``/``pid``/``tid``/``name``, with numeric non-negative
+    ``ts``/``dur`` on every complete (``"X"``) event.  This is the same
+    shape check the tests run on exported files, kept in the library so
+    any future loader can reuse it.
+    """
+    if not isinstance(events, list):
+        raise ValueError("Chrome trace must be a JSON array of events")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i} is not an object: {event!r}")
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in event:
+                raise ValueError(f"event {i} lacks {key!r}: {event!r}")
+        if event["ph"] == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ValueError(
+                        f"complete event {i} needs numeric {key!r} >= 0"
+                    )
+    return events
+
+
+def write_chrome_trace(
+    path: str,
+    report: ScheduleReport,
+    *,
+    label: str = "repro simulated schedule",
+) -> str:
+    """Write the schedule as a Chrome-trace JSON file; returns ``path``.
+
+    Load the result via ``chrome://tracing`` ("Load") or
+    https://ui.perfetto.dev ("Open trace file").
+    """
+    events = validate_chrome_trace(chrome_trace_events(report, label=label))
+    with open(path, "w") as fh:
+        json.dump(events, fh, indent=1)
+    return path

@@ -1,0 +1,326 @@
+"""Per-core schedule reconstruction — the Gantt side of ``repro.obs``.
+
+A :class:`SimClock <repro.simtime.clock.SimClock>` folds each parallel
+phase to its LPT makespan and forgets the placement.  This module
+reconstructs it: from any recorded :class:`~repro.simtime.clock.Phase`
+list (``clock.phases``) or :class:`~repro.obs.tracer.Span` tree
+(``tracer.root``) it rebuilds the full per-core timeline — which task ran
+on which core slot at which simulated offset — and derives the statistics
+the paper's multicore discussion leans on:
+
+* **utilization** — work / (slots x elapsed): how busy the reserved
+  cores were;
+* **imbalance** — max core load / mean core load: the straggler ratio of
+  Section 4.1 (1.0 = perfectly balanced);
+* **Amdahl accounting** — the serial seconds that bound the achievable
+  speedup (``max_speedup = work / serial_work``), and the realised
+  speedup ``work / elapsed``.
+
+Phases compose serially (the clock already folded each parallel phase),
+so phase ``i`` starts at the sum of the elapsed times of phases
+``0..i-1`` — exactly how ``SimClock.elapsed`` accumulates.  The
+reconstruction is deterministic: :func:`~repro.simtime.clock.lpt_schedule`
+replays the same longest-first, least-loaded-slot policy ``makespan``
+used when the phase was booked, so ``max core load == phase.elapsed``
+holds exactly (see tests/test_schedule.py for the property-test pinning).
+
+The Chrome-trace exporter (:mod:`repro.obs.export`) turns a
+:class:`ScheduleReport` into a ``chrome://tracing`` / Perfetto-loadable
+event array (cores -> tids, tasks -> complete events).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover — runtime import would be circular:
+    # repro.simtime.clock imports repro.obs.tracer (and thereby this
+    # package's __init__) for its booking mirror, so this module imports
+    # the clock lazily inside the functions that need it.
+    from repro.simtime.clock import Phase
+
+__all__ = [
+    "TaskSlice",
+    "PhaseStats",
+    "ScheduleReport",
+    "build_schedule",
+    "phases_from_span",
+    "schedule_from_span",
+]
+
+
+@dataclass(frozen=True)
+class TaskSlice:
+    """One task occupying one core slot for a simulated time interval."""
+
+    phase: str  #: phase label
+    phase_index: int  #: position of the phase in the schedule
+    kind: str  #: "parallel" | "serial"
+    task: int  #: task index within the phase
+    core: int  #: core slot (0-based)
+    start: float  #: absolute simulated offset from schedule start
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Utilization/imbalance breakdown of one phase."""
+
+    index: int
+    label: str
+    kind: str
+    slots: int  #: core slots the phase reserved
+    tasks: int
+    start: float  #: absolute simulated offset of the phase start
+    elapsed: float  #: the phase's makespan (== max core load)
+    work: float  #: CPU-seconds across all tasks
+    utilization: float  #: work / (slots * elapsed); 1.0 for empty phases
+    imbalance: float  #: max / mean load over the occupied slots
+
+    @property
+    def end(self) -> float:
+        return self.start + self.elapsed
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "kind": self.kind,
+            "slots": self.slots,
+            "tasks": self.tasks,
+            "start": self.start,
+            "elapsed": self.elapsed,
+            "work": self.work,
+            "utilization": self.utilization,
+            "imbalance": self.imbalance,
+        }
+
+
+def _phase_loads(placements, slots_used: int) -> list[float]:
+    loads = [0.0] * max(1, slots_used)
+    for p in placements:
+        loads[p.slot] = max(loads[p.slot], p.end)
+    return loads
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """The reconstructed per-core schedule of one recorded execution."""
+
+    tasks: tuple[TaskSlice, ...]
+    phases: tuple[PhaseStats, ...]
+    cores: int  #: widest slot reservation across phases (>= 1)
+    elapsed: float  #: total simulated elapsed (== SimClock.elapsed)
+    work: float  #: total CPU-seconds (== SimClock.total_work())
+
+    # ------------------------------------------------------------- lanes
+
+    def core_lanes(self) -> dict[int, list[TaskSlice]]:
+        """Core slot -> its task slices in start order (the Gantt rows)."""
+        lanes: dict[int, list[TaskSlice]] = {}
+        for slice_ in self.tasks:
+            lanes.setdefault(slice_.core, []).append(slice_)
+        for slices in lanes.values():
+            slices.sort(key=lambda s: (s.start, s.end))
+        return lanes
+
+    def core_loads(self) -> dict[int, float]:
+        """Core slot -> total CPU-seconds placed on it."""
+        loads: dict[int, float] = {}
+        for slice_ in self.tasks:
+            loads[slice_.core] = loads.get(slice_.core, 0.0) + slice_.duration
+        return loads
+
+    # ------------------------------------------------------------- stats
+
+    def utilization(self) -> float:
+        """Work / (cores x elapsed) over the whole schedule."""
+        if self.elapsed <= 0.0 or self.cores <= 0:
+            return 1.0
+        return self.work / (self.cores * self.elapsed)
+
+    def imbalance(self) -> float:
+        """Max / mean total core load (1.0 = perfectly balanced)."""
+        loads = list(self.core_loads().values())
+        if not loads:
+            return 1.0
+        mean = sum(loads) / len(loads)
+        if mean <= 0.0:
+            return 1.0
+        return max(loads) / mean
+
+    def serial_elapsed(self) -> float:
+        """Simulated seconds spent in serial phases (the Amdahl floor)."""
+        return sum(p.elapsed for p in self.phases if p.kind == "serial")
+
+    def amdahl(self) -> dict:
+        """Critical-path / Amdahl accounting of the whole schedule.
+
+        ``speedup`` is the realised speedup over a 1-core execution of
+        the same work; ``serial_fraction`` is the share of total work
+        that ran in serial phases; ``max_speedup`` is Amdahl's bound
+        ``work / serial_work`` (``inf`` when nothing is serial);
+        ``critical_path`` is the elapsed time itself — the longest
+        chain of phase makespans, which no core count can beat.
+        """
+        serial_work = sum(p.work for p in self.phases if p.kind == "serial")
+        speedup = self.work / self.elapsed if self.elapsed > 0 else 1.0
+        return {
+            "speedup": speedup,
+            "serial_elapsed": self.serial_elapsed(),
+            "serial_fraction": (serial_work / self.work) if self.work > 0 else 0.0,
+            "max_speedup": (self.work / serial_work) if serial_work > 0 else math.inf,
+            "critical_path": self.elapsed,
+        }
+
+    def phase_summary(self) -> list[dict]:
+        """Per-label aggregation (a label may recur across the schedule):
+        occurrence count, total elapsed/work, pooled utilization and the
+        worst observed imbalance."""
+        by_label: dict[str, dict] = {}
+        for p in self.phases:
+            row = by_label.setdefault(
+                p.label,
+                {
+                    "label": p.label,
+                    "kind": p.kind,
+                    "count": 0,
+                    "slots": 0,
+                    "tasks": 0,
+                    "elapsed": 0.0,
+                    "work": 0.0,
+                    "imbalance": 1.0,
+                    "_capacity": 0.0,
+                },
+            )
+            row["count"] += 1
+            row["slots"] = max(row["slots"], p.slots)
+            row["tasks"] += p.tasks
+            row["elapsed"] += p.elapsed
+            row["work"] += p.work
+            row["imbalance"] = max(row["imbalance"], p.imbalance)
+            row["_capacity"] += p.slots * p.elapsed
+        out = []
+        for row in by_label.values():
+            capacity = row.pop("_capacity")
+            row["utilization"] = (row["work"] / capacity) if capacity > 0 else 1.0
+            out.append(row)
+        return out
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable summary (stats + per-phase breakdown; the
+        raw task slices are exported separately via the Chrome trace)."""
+        return {
+            "cores": self.cores,
+            "elapsed": self.elapsed,
+            "work": self.work,
+            "utilization": self.utilization(),
+            "imbalance": self.imbalance(),
+            "amdahl": self.amdahl(),
+            "n_phases": len(self.phases),
+            "n_tasks": len(self.tasks),
+            "phases": [p.to_dict() for p in self.phases],
+        }
+
+
+def build_schedule(
+    phases: Iterable["Phase"], cores: int | None = None
+) -> ScheduleReport:
+    """Reconstruct the per-core schedule of a recorded phase sequence.
+
+    ``phases`` is anything shaped like ``SimClock.phases``.  ``cores``
+    optionally fixes the core count used for whole-schedule utilization;
+    by default it is the widest slot reservation any phase made.
+    """
+    from repro.simtime.clock import lpt_schedule
+
+    slices: list[TaskSlice] = []
+    stats: list[PhaseStats] = []
+    offset = 0.0
+    widest = 1
+    total_work = 0.0
+    for index, phase in enumerate(phases):
+        slots = max(1, int(phase.slots))
+        placements = lpt_schedule(phase.durations, slots)
+        slots_used = 1 + max((p.slot for p in placements), default=0)
+        widest = max(widest, slots)
+        work = float(sum(phase.durations))
+        total_work += work
+        for p in placements:
+            slices.append(
+                TaskSlice(
+                    phase=phase.label,
+                    phase_index=index,
+                    kind=phase.kind,
+                    task=p.task,
+                    core=p.slot,
+                    start=offset + p.start,
+                    duration=p.duration,
+                )
+            )
+        loads = _phase_loads(placements, slots_used)
+        mean_load = sum(loads) / len(loads)
+        stats.append(
+            PhaseStats(
+                index=index,
+                label=phase.label,
+                kind=phase.kind,
+                slots=slots,
+                tasks=len(phase.durations),
+                start=offset,
+                elapsed=phase.elapsed,
+                work=work,
+                utilization=(
+                    work / (slots * phase.elapsed) if phase.elapsed > 0 else 1.0
+                ),
+                imbalance=(max(loads) / mean_load) if mean_load > 0 else 1.0,
+            )
+        )
+        offset += phase.elapsed
+    if cores is None:
+        cores = widest
+    return ScheduleReport(
+        tasks=tuple(slices),
+        phases=tuple(stats),
+        cores=max(1, int(cores)),
+        elapsed=offset,
+        work=total_work,
+    )
+
+
+def phases_from_span(root) -> list["Phase"]:
+    """Collect the ``SimClock``-booked phase leaves of a span tree, in
+    the order the clock booked them (pre-order — the tracer appends each
+    booking under the innermost open span as it happens, so pre-order
+    traversal recovers booking order)."""
+    from repro.simtime.clock import Phase
+
+    phases: list[Phase] = []
+    for sp in root.iter_spans():
+        if sp.kind not in ("parallel", "serial"):
+            continue
+        durations = tuple(float(d) for d in sp.durations)
+        if not durations:
+            durations = (float(sp.sim_seconds),)
+        phases.append(
+            Phase(
+                label=sp.name,
+                kind=sp.kind,
+                durations=durations,
+                slots=max(1, int(sp.slots)),
+                elapsed=float(sp.sim_seconds),
+            )
+        )
+    return phases
+
+
+def schedule_from_span(root, cores: int | None = None) -> ScheduleReport:
+    """Reconstruct the per-core schedule from a recorded span tree
+    (``tracer.root``, or a ``Span.from_dict`` round-trip of one)."""
+    return build_schedule(phases_from_span(root), cores=cores)

@@ -1,0 +1,298 @@
+"""The unified bench runner: discovery, telemetry, and the --check gate."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.reporting import SCHEMA_VERSION, write_result_json
+from repro.bench.runner import (
+    DEFAULT_TOLERANCES,
+    BenchContext,
+    BenchResult,
+    check_results,
+    compare_payloads,
+    discover,
+    load_benchmark,
+    machine_spec,
+    run_benchmark,
+)
+from repro.cli import main
+
+EXPECTED_BENCHMARKS = {
+    "ablation_aggtree",
+    "ablation_deltamap",
+    "ablation_hybrid",
+    "ablation_maintenance",
+    "ablation_numa",
+    "ablation_parallel_merge",
+    "ablation_partitioning",
+    "ablation_pivot",
+    "ablation_windowed",
+    "fig12_tput_small_nosharing",
+    "fig13_resptime_small",
+    "fig14_tput_large_sharing",
+    "fig15_resptime_large_cores",
+    "fig16_tput_updates",
+    "fig17_tpcbih_small",
+    "fig18_tpcbih_large",
+    "fig19_parallelization",
+    "table1_amadeus_mix",
+    "table2_tpcbih_queries",
+    "table3_memory",
+    "table4_bulkload",
+}
+
+
+# ---------------------------------------------------------------------------
+# Discovery + the run_bench contract
+# ---------------------------------------------------------------------------
+
+
+def test_discover_finds_all_benchmarks():
+    registry = discover()
+    assert set(registry) == EXPECTED_BENCHMARKS
+    for path in registry.values():
+        assert os.path.isfile(path)
+
+
+def test_every_benchmark_exposes_run_bench():
+    for name, path in discover().items():
+        module = load_benchmark(name, path)
+        assert callable(module.run_bench), name
+        assert module.NAME == name, name
+
+
+def test_discover_missing_directory():
+    with pytest.raises(FileNotFoundError):
+        discover("/nonexistent/benchmarks")
+
+
+def test_bench_result_cleanup_runs_once():
+    calls = []
+    res = BenchResult("x", cleanup=lambda: calls.append(1))
+    res.close()
+    res.close()
+    assert calls == [1]
+
+
+# ---------------------------------------------------------------------------
+# BenchContext
+# ---------------------------------------------------------------------------
+
+
+def test_context_scaled_switches_on_smoke():
+    assert BenchContext(smoke=False).scaled(100, 5) == 100
+    assert BenchContext(smoke=True).scaled(100, 5) == 5
+
+
+def test_context_caches_datasets():
+    ctx = BenchContext(smoke=True)
+    assert ctx.amadeus_small is ctx.amadeus_small
+    assert ctx.tpcbih_small is ctx.tpcbih_small
+    # Smoke and full contexts use different configs.
+    full = BenchContext(smoke=False)
+    assert full.scaled(1, 2) != ctx.scaled(1, 2)
+
+
+# ---------------------------------------------------------------------------
+# Telemetry payloads
+# ---------------------------------------------------------------------------
+
+
+def test_write_result_json_stamps_schema(tmp_path):
+    path = write_result_json("BENCH_unit", {"a": 1}, results_dir=str(tmp_path))
+    payload = json.loads(open(path).read())
+    assert payload["schema"] == SCHEMA_VERSION
+    # An explicit schema key wins (old artifacts keep their version).
+    path = write_result_json(
+        "BENCH_unit2", {"schema": 99}, results_dir=str(tmp_path)
+    )
+    assert json.loads(open(path).read())["schema"] == 99
+
+
+def test_machine_spec_shape():
+    spec = machine_spec()
+    assert spec["simulated"]["cores"] > 0
+    assert "platform" in spec["host"]
+
+
+def test_run_benchmark_emits_schema_versioned_telemetry(tmp_path):
+    ctx = BenchContext(smoke=True, trace_chrome=True)
+    payload = run_benchmark(
+        "ablation_deltamap",
+        ctx,
+        results_dir=str(tmp_path),
+        chrome_dir=str(tmp_path / "chrome"),
+    )
+    on_disk = json.loads((tmp_path / "BENCH_ablation_deltamap.json").read_text())
+    assert on_disk["schema"] == SCHEMA_VERSION
+    assert on_disk["benchmark"] == "ablation_deltamap"
+    assert on_disk["smoke"] is True
+    assert on_disk["sim_elapsed"] >= 0.0
+    assert on_disk["total_work"] >= 0.0
+    assert on_disk["wall_seconds"] > 0.0
+    assert 0.0 < on_disk["utilization"] <= 1.0 + 1e-9
+    assert on_disk["imbalance"] >= 1.0 - 1e-9
+    assert on_disk["n_phases"] == len(payload["phases"]) or on_disk["n_phases"] >= 1
+    for row in on_disk["phases"]:
+        assert {"label", "kind", "elapsed", "work", "utilization",
+                "imbalance"} <= set(row)
+    assert on_disk["data"]["timings"]
+
+    # --trace-chrome wrote a validating event array.
+    from repro.obs import validate_chrome_trace
+
+    events = json.loads(
+        (tmp_path / "chrome" / "ablation_deltamap_chrome_trace.json").read_text()
+    )
+    assert isinstance(events, list) and events
+    validate_chrome_trace(events)
+
+
+def test_run_benchmark_unknown_name():
+    with pytest.raises(KeyError):
+        run_benchmark("no_such_bench", BenchContext(smoke=True))
+
+
+# ---------------------------------------------------------------------------
+# The regression gate
+# ---------------------------------------------------------------------------
+
+
+def _payload(name="unit", **metrics):
+    base = {
+        "schema": SCHEMA_VERSION,
+        "benchmark": name,
+        "sim_elapsed": 1.0,
+        "total_work": 4.0,
+        "wall_seconds": 0.5,
+    }
+    base.update(metrics)
+    return base
+
+
+def test_compare_payloads_passes_identical():
+    assert compare_payloads(_payload(), _payload()) == []
+
+
+def test_compare_payloads_flags_2x_slowdown():
+    slow = _payload(sim_elapsed=2.0)
+    violations = compare_payloads(_payload(), slow)
+    assert len(violations) == 1
+    assert "sim_elapsed" in violations[0]
+    # Within tolerance: no violation.
+    ok = _payload(sim_elapsed=1.0 + DEFAULT_TOLERANCES["sim_elapsed"] / 2)
+    assert compare_payloads(_payload(), ok) == []
+
+
+def test_compare_payloads_missing_metric_is_violation():
+    current = _payload()
+    del current["total_work"]
+    violations = compare_payloads(_payload(), current)
+    assert any("total_work" in v for v in violations)
+
+
+def test_compare_payloads_tolerance_scale_and_overrides():
+    slow = _payload(sim_elapsed=2.0)
+    # Doubling the slack admits the 2x slowdown (0.6 -> 1.2 allowed).
+    assert compare_payloads(_payload(), slow, tolerance_scale=2.0) == []
+    # A per-benchmark override tightens one metric.
+    strict = _payload(check={"tolerances": {"sim_elapsed": 0.05}})
+    barely = _payload(sim_elapsed=1.2)
+    assert any(
+        "sim_elapsed" in v for v in compare_payloads(strict, barely)
+    )
+    # None disables a metric entirely.
+    disabled = _payload(check={"tolerances": {"sim_elapsed": None}})
+    assert compare_payloads(disabled, _payload(sim_elapsed=50.0)) == []
+
+
+def test_check_results_end_to_end(tmp_path, capsys):
+    baseline_dir = tmp_path / "baseline"
+    current_dir = tmp_path / "current"
+    write_result_json("BENCH_unit", _payload(), results_dir=str(baseline_dir))
+    write_result_json("BENCH_unit", _payload(), results_dir=str(current_dir))
+
+    assert (
+        check_results(str(baseline_dir), results_dir=str(current_dir)) == 0
+    )
+
+    # Inject a 2x sim_elapsed slowdown: the gate must fail.
+    write_result_json(
+        "BENCH_unit", _payload(sim_elapsed=2.0), results_dir=str(current_dir)
+    )
+    violations = check_results(str(baseline_dir), results_dir=str(current_dir))
+    assert violations > 0
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out
+
+    # A missing current file is a violation too.
+    os.remove(current_dir / "BENCH_unit.json")
+    assert check_results(str(baseline_dir), results_dir=str(current_dir)) > 0
+
+
+def test_check_results_single_file_baseline(tmp_path):
+    baseline = tmp_path / "BENCH_unit.json"
+    write_result_json("BENCH_unit", _payload(), results_dir=str(tmp_path))
+    current_dir = tmp_path / "current"
+    write_result_json("BENCH_unit", _payload(), results_dir=str(current_dir))
+    assert check_results(str(baseline), results_dir=str(current_dir)) == 0
+
+
+def test_check_results_empty_baseline_dir(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        check_results(str(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# CLI integration
+# ---------------------------------------------------------------------------
+
+
+def test_cli_bench_list(capsys):
+    assert main(["bench", "--list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert set(out) == EXPECTED_BENCHMARKS
+
+
+def test_cli_bench_requires_names_or_check(capsys):
+    assert main(["bench"]) == 2
+
+
+def test_cli_bench_unknown_name(capsys):
+    assert main(["bench", "definitely_not_a_bench"]) == 2
+
+
+def test_cli_bench_check_gate_exit_codes(tmp_path, capsys):
+    baseline_dir = tmp_path / "baseline"
+    results_dir = tmp_path / "results"
+    write_result_json("BENCH_unit", _payload(), results_dir=str(baseline_dir))
+    write_result_json("BENCH_unit", _payload(), results_dir=str(results_dir))
+    assert (
+        main(
+            ["bench", "--check", str(baseline_dir),
+             "--results-dir", str(results_dir)]
+        )
+        == 0
+    )
+    write_result_json(
+        "BENCH_unit", _payload(sim_elapsed=9.0), results_dir=str(results_dir)
+    )
+    assert (
+        main(
+            ["bench", "--check", str(baseline_dir),
+             "--results-dir", str(results_dir)]
+        )
+        == 1
+    )
+    # --tolerance scales the slack wide enough to pass again.
+    assert (
+        main(
+            ["bench", "--check", str(baseline_dir),
+             "--results-dir", str(results_dir), "--tolerance", "20"]
+        )
+        == 0
+    )

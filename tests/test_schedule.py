@@ -1,0 +1,305 @@
+"""Schedule reconstruction, heap LPT, and the Chrome-trace exporter.
+
+The reconstruction invariants (``docs/observability.md``):
+
+* per phase, the max core load equals ``makespan()`` *exactly* —
+  ``lpt_schedule`` replays the same placement policy;
+* no two tasks overlap on one core slot;
+* the sum of placed durations equals ``total_work()``;
+* the heap-based ``makespan`` is bit-identical to the quadratic
+  min-scan reference it replaced.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    build_schedule,
+    chrome_trace_events,
+    phases_from_span,
+    schedule_from_span,
+    tracing,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.simtime.clock import (
+    Phase,
+    Placement,
+    SimClock,
+    lpt_schedule,
+    makespan,
+)
+
+# ---------------------------------------------------------------------------
+# LPT placement properties
+# ---------------------------------------------------------------------------
+
+durations_st = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False, width=32),
+    min_size=0,
+    max_size=60,
+)
+slots_st = st.integers(min_value=1, max_value=40)
+
+
+def _reference_makespan(durations, slots):
+    """The pre-heap O(n * slots) implementation, kept as the oracle."""
+    if not durations:
+        return 0.0
+    if slots == 1:
+        return float(sum(durations))
+    loads = [0.0] * min(slots, len(durations))
+    for d in sorted(durations, reverse=True):
+        idx = loads.index(min(loads))
+        loads[idx] += d
+    return max(loads)
+
+
+@given(durations=durations_st, slots=slots_st)
+@settings(max_examples=200, deadline=None)
+def test_heap_makespan_bit_identical_to_reference(durations, slots):
+    assert makespan(durations, slots) == _reference_makespan(durations, slots)
+
+
+def test_heap_makespan_large_input_equivalence():
+    import random
+
+    rng = random.Random(1234)
+    durations = [rng.uniform(0.0, 5.0) for _ in range(5_000)]
+    for slots in (1, 2, 7, 31, 32, 64):
+        assert makespan(durations, slots) == _reference_makespan(
+            durations, slots
+        )
+
+
+@given(durations=durations_st, slots=slots_st)
+@settings(max_examples=200, deadline=None)
+def test_lpt_schedule_reproduces_makespan(durations, slots):
+    placements = lpt_schedule(durations, slots)
+    assert len(placements) == len(durations)
+    assert sorted(p.task for p in placements) == list(range(len(durations)))
+    end = max((p.end for p in placements), default=0.0)
+    assert end == makespan(durations, slots)
+
+
+@given(durations=durations_st, slots=slots_st)
+@settings(max_examples=200, deadline=None)
+def test_lpt_schedule_slots_never_overlap(durations, slots):
+    lanes: dict[int, list[Placement]] = {}
+    for p in lpt_schedule(durations, slots):
+        assert 0 <= p.slot < slots
+        lanes.setdefault(p.slot, []).append(p)
+    for placed in lanes.values():
+        placed.sort(key=lambda p: p.start)
+        for prev, nxt in zip(placed, placed[1:]):
+            assert nxt.start >= prev.end - 1e-12
+
+
+def test_lpt_schedule_rejects_zero_slots():
+    with pytest.raises(ValueError):
+        lpt_schedule([1.0], 0)
+    with pytest.raises(ValueError):
+        makespan([1.0], 0)
+
+
+def test_lpt_single_slot_keeps_execution_order():
+    placements = lpt_schedule([2.0, 1.0, 3.0], 1)
+    assert [p.task for p in placements] == [0, 1, 2]
+    assert [p.start for p in placements] == [0.0, 2.0, 3.0]
+    assert placements[-1].end == 6.0
+
+
+def test_phase_schedule_matches_elapsed():
+    clock = SimClock()
+    clock.parallel("scan", [3.0, 1.0, 2.0, 2.0], slots=2)
+    phase = clock.phases[0]
+    assert max(p.end for p in phase.schedule()) == phase.elapsed
+
+
+# ---------------------------------------------------------------------------
+# Schedule reconstruction from phases
+# ---------------------------------------------------------------------------
+
+phase_st = st.builds(
+    lambda durations, slots, serial: Phase(
+        label="p",
+        kind="serial" if serial else "parallel",
+        durations=tuple(durations) or (0.0,),
+        slots=1 if serial else slots,
+        elapsed=(
+            float(sum(durations))
+            if serial or slots == 1
+            else makespan(durations, slots)
+        ),
+    ),
+    durations=st.lists(
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False, width=32),
+        min_size=1,
+        max_size=20,
+    ),
+    slots=st.integers(min_value=1, max_value=16),
+    serial=st.booleans(),
+)
+
+
+@given(phases=st.lists(phase_st, min_size=0, max_size=8))
+@settings(max_examples=150, deadline=None)
+def test_build_schedule_invariants(phases):
+    clock_elapsed = sum(p.elapsed for p in phases)
+    clock_work = sum(sum(p.durations) for p in phases)
+
+    report = build_schedule(phases)
+
+    # Totals match the clock's accounting exactly.
+    assert report.elapsed == clock_elapsed
+    assert abs(report.work - clock_work) <= 1e-9 * max(1.0, clock_work)
+    assert sum(s.duration for s in report.tasks) == pytest.approx(
+        clock_work, abs=1e-9
+    )
+    assert len(report.tasks) == sum(len(p.durations) for p in phases)
+
+    # Per phase: max core load == the phase's recorded makespan. The
+    # phase-local placement is *exact* (same floats, same order); the
+    # absolute offsets re-associate the additions, so the global check
+    # gets a tolerance while the local one stays bitwise.
+    for stat, phase in zip(report.phases, phases):
+        local_end = max(
+            (p.end for p in lpt_schedule(phase.durations, phase.slots)),
+            default=0.0,
+        )
+        assert local_end == phase.elapsed
+        phase_slices = [s for s in report.tasks if s.phase_index == stat.index]
+        end = max((s.end for s in phase_slices), default=stat.start)
+        assert end == pytest.approx(
+            stat.start + phase.elapsed, abs=1e-9, rel=1e-9
+        )
+        assert stat.imbalance >= 1.0 - 1e-12
+        if phase.elapsed > 0:
+            assert 0.0 < stat.utilization <= 1.0 + 1e-12
+
+    # No overlap within any core lane (phases compose serially).
+    for slices in report.core_lanes().values():
+        for prev, nxt in zip(slices, slices[1:]):
+            assert nxt.start >= prev.end - 1e-9
+
+    # Whole-schedule stats are well-formed.
+    assert report.imbalance() >= 1.0 - 1e-12
+    amdahl = report.amdahl()
+    assert amdahl["critical_path"] == report.elapsed
+    assert 0.0 <= amdahl["serial_fraction"] <= 1.0 + 1e-12
+
+
+def test_build_schedule_from_simclock_booking():
+    clock = SimClock()
+    clock.parallel("step1", [2.0, 2.0, 1.0, 1.0], slots=2)  # makespan 3.0
+    clock.serial("step2", 0.5)
+    clock.parallel("step1", [1.0, 1.0], slots=4)  # makespan 1.0
+
+    report = build_schedule(clock.phases)
+    assert report.elapsed == clock.elapsed == 4.5
+    assert report.work == clock.total_work() == 8.5
+    assert report.cores == 4
+    assert report.serial_elapsed() == 0.5
+
+    # Phase stats line up with the booking order and offsets.
+    starts = [p.start for p in report.phases]
+    assert starts == [0.0, 3.0, 3.5]
+    labels = {row["label"]: row for row in report.phase_summary()}
+    assert labels["step1"]["count"] == 2
+    assert labels["step1"]["elapsed"] == 4.0
+    assert labels["step2"]["kind"] == "serial"
+
+
+# ---------------------------------------------------------------------------
+# Schedule reconstruction from span trees
+# ---------------------------------------------------------------------------
+
+
+def test_schedule_from_span_matches_clock():
+    clock = SimClock()
+    with tracing("unit") as tracer:
+        clock.parallel("scan", [1.5, 0.5, 1.0], slots=2)
+        clock.serial("merge", 0.25)
+
+    phases = phases_from_span(tracer.root)
+    assert [p.label for p in phases] == ["scan", "merge"]
+    report = schedule_from_span(tracer.root)
+    assert report.elapsed == pytest.approx(clock.elapsed)
+    assert report.work == pytest.approx(clock.total_work())
+    # The tracer's own sim accounting agrees too.
+    assert report.elapsed == pytest.approx(tracer.root.sim_total())
+
+
+def test_schedule_from_span_roundtrips_through_json():
+    from repro.obs.tracer import Span
+
+    clock = SimClock()
+    with tracing("unit") as tracer:
+        clock.parallel("scan", [1.0, 2.0], slots=2)
+    rehydrated = Span.from_dict(
+        json.loads(json.dumps(tracer.root.to_dict()))
+    )
+    direct = schedule_from_span(tracer.root)
+    via_json = schedule_from_span(rehydrated)
+    assert via_json.elapsed == direct.elapsed
+    assert via_json.work == direct.work
+    assert len(via_json.tasks) == len(direct.tasks)
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace export
+# ---------------------------------------------------------------------------
+
+
+def _sample_report():
+    clock = SimClock()
+    clock.parallel("scan", [2.0, 1.0, 1.0], slots=2)
+    clock.serial("merge", 0.5)
+    return build_schedule(clock.phases)
+
+
+def test_chrome_trace_events_shape():
+    report = _sample_report()
+    events = chrome_trace_events(report, label="unit test")
+    validate_chrome_trace(events)
+
+    meta = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    # process_name + one thread_name/thread_sort_index pair per core.
+    assert any(e["name"] == "process_name" for e in meta)
+    tids = {e["tid"] for e in complete}
+    assert tids == {c + 1 for c in {s.core for s in report.tasks}}
+    assert len(complete) == len(report.tasks)
+    # Microsecond timeline covers the whole schedule.
+    horizon = max(e["ts"] + e["dur"] for e in complete)
+    assert horizon == pytest.approx(report.elapsed * 1e6)
+    for e in complete:
+        assert e["cat"] in ("parallel", "serial")
+        assert e["args"]["sim_duration_s"] >= 0.0
+
+
+def test_chrome_trace_roundtrip_via_file(tmp_path):
+    report = _sample_report()
+    path = tmp_path / "trace.json"
+    out = write_chrome_trace(str(path), report, label="roundtrip")
+    assert out == str(path)
+    events = json.loads(path.read_text())
+    assert isinstance(events, list)
+    validate_chrome_trace(events)
+    assert {e["ph"] for e in events} == {"M", "X"}
+
+
+def test_validate_chrome_trace_rejects_malformed():
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"not": "a list"})
+    with pytest.raises(ValueError):
+        validate_chrome_trace([{"ph": "X", "pid": 1, "tid": 1}])  # no name
+    with pytest.raises(ValueError):
+        validate_chrome_trace(
+            [{"ph": "X", "pid": 1, "tid": 1, "name": "t", "ts": -1, "dur": 1}]
+        )
