@@ -32,6 +32,7 @@ import math
 import os
 import platform
 import sys
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -46,6 +47,7 @@ from repro.bench.datasets import (
     TPCBIH_SMALL_SMOKE,
 )
 from repro.bench.reporting import SCHEMA_VERSION, write_result_json
+from repro.faults import fault_injection
 from repro.obs import metrics, schedule_from_span, tracing, write_chrome_trace
 from repro.simtime.machine import PAPER_MACHINE
 from repro.simtime.measure import measured
@@ -124,11 +126,17 @@ class BenchContext:
         backend: str = "serial",
         trace_json: bool = False,
         trace_chrome: bool = False,
+        faults: str | int | None = None,
     ) -> None:
         self.smoke = bool(smoke)
         self.backend = backend
         self.trace_json = bool(trace_json)
         self.trace_chrome = bool(trace_chrome)
+        #: ``SEED[:RATE]`` fault spec (or ``None``).  The runner activates
+        #: one :class:`~repro.faults.FaultInjector` per benchmark from it;
+        #: executors and WALs built inside ``run_bench`` pick it up
+        #: ambiently (see docs/fault_injection.md).
+        self.faults = faults
         self._cache: dict = {}
 
     def scaled(self, full, smoke):
@@ -302,9 +310,13 @@ def run_benchmark(
     module = load_benchmark(name, path)
 
     metrics().reset()
-    with measured() as wall:
-        with tracing(f"bench:{name}") as tracer:
-            result: BenchResult = module.run_bench(ctx)
+    injector = None
+    with ExitStack() as stack:
+        if ctx.faults is not None:
+            injector = stack.enter_context(fault_injection(ctx.faults))
+        with measured() as wall:
+            with tracing(f"bench:{name}") as tracer:
+                result: BenchResult = module.run_bench(ctx)
     result.close()
 
     report = schedule_from_span(tracer.root)
@@ -326,6 +338,8 @@ def run_benchmark(
         "metrics": metrics().snapshot(),
         "data": result.data,
     }
+    if injector is not None:
+        payload["faults"] = injector.summary()
     payload = _json_safe(payload)
     write_result_json(
         f"BENCH_{name}", payload, results_dir=results_dir or repo_root()

@@ -41,10 +41,14 @@ from repro.temporal import TemporalTable
 
 
 def _load_dataset(
-    name: str, scale: float, seed: int, backend: str = "serial"
+    name: str,
+    scale: float,
+    seed: int,
+    backend: str = "serial",
+    faults: str | None = None,
 ) -> Database:
     """Build a Database with the requested dataset registered."""
-    db = Database(workers=4, backend=backend)
+    db = Database(workers=4, backend=backend, faults=faults)
     if name == "employee":
         db.register("employee", _employee_fallback())
     elif name == "amadeus":
@@ -148,7 +152,11 @@ def cmd_demo(_args) -> int:
 
 def cmd_sql(args) -> int:
     db = _load_dataset(
-        args.dataset, args.scale, args.seed, backend=args.backend
+        args.dataset,
+        args.scale,
+        args.seed,
+        backend=args.backend,
+        faults=args.faults or None,
     )
     try:
         if args.explain:
@@ -332,12 +340,21 @@ def cmd_bench(args) -> int:
         )
         return 2
 
+    if args.faults:
+        from repro.faults import FaultPlan
+
+        try:
+            FaultPlan.parse(args.faults)
+        except (TypeError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     status = 0
     if run_names:
         ctx = BenchContext(
             smoke=args.smoke,
             backend=args.backend,
             trace_chrome=args.trace_chrome,
+            faults=args.faults or None,
         )
         payloads, failures = run_many(
             run_names, ctx, results_dir=args.results_dir or None
@@ -387,6 +404,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="how parallel phases physically run: 'serial' (simulated-"
         "parallel accounting, the default), 'threads', or 'process' "
         "(real multiprocessing with shared-memory chunk transport)",
+    )
+    sql.add_argument(
+        "--faults", metavar="SEED[:RATE]", default="",
+        help="run the statement under a deterministic fault plan; the "
+        "query retries injected faults and still returns exact results "
+        "(see docs/fault_injection.md)",
     )
     sql.add_argument("--max-rows", type=int, default=40)
     sql.add_argument("--explain", action="store_true",
@@ -485,6 +508,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--results-dir", metavar="DIR", default="",
         help="where BENCH_*.json files are written/read "
         "(default: the repo root)",
+    )
+    bench.add_argument(
+        "--faults", metavar="SEED[:RATE]", default="",
+        help="activate deterministic fault injection for every benchmark: "
+        "a seeded FaultPlan (default rate 0.1) is threaded through the "
+        "executors and WALs the run builds; retries/backoff are booked "
+        "into the simulated clock and summarised in the telemetry "
+        "payload (see docs/fault_injection.md)",
     )
     bench.add_argument(
         "--trace-chrome", action="store_true",

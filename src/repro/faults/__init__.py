@@ -1,0 +1,54 @@
+"""``repro.faults`` — deterministic fault injection + retry/backoff.
+
+The production-readiness plane of the reproduction (see
+docs/fault_injection.md): a seeded :class:`FaultPlan` schedules task
+exceptions, worker kills, shared-memory attach failures, torn WAL
+records and straggler latency across the execution stack; a
+:class:`RetryPolicy` (bounded attempts, exponential backoff with
+deterministic jitter, per-phase timeouts) absorbs them, booking every
+retry and backoff wait into the :class:`~repro.simtime.clock.SimClock`
+so slowdown-under-faults is a first-class observable.
+
+Determinism contract: the same seed produces the same fault schedule,
+the same retry metrics and — because failing faults fire *before* task
+bodies run — query results bit-identical to a fault-free run, on every
+execution backend.  Pinned by ``tests/test_fault_injection.py``, the
+chaos-parity suite in ``tests/test_executor_parity.py`` and the
+Hypothesis chaos fuzzer in ``tests/test_chaos_fuzzer.py``.
+"""
+
+from repro.faults.inject import (
+    FaultInjector,
+    PhaseSession,
+    attempt_locally,
+    current_injector,
+    fault_injection,
+    make_injector,
+)
+from repro.faults.plan import (
+    FAILING_KINDS,
+    FAULT_KINDS,
+    TASK_KINDS,
+    WAL_KINDS,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+
+__all__ = [
+    "FAILING_KINDS",
+    "FAULT_KINDS",
+    "TASK_KINDS",
+    "WAL_KINDS",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "PhaseSession",
+    "RetryPolicy",
+    "attempt_locally",
+    "current_injector",
+    "fault_injection",
+    "make_injector",
+]

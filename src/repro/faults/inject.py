@@ -1,0 +1,322 @@
+"""The runtime side of ``repro.faults``: injectors, retry sessions, and
+the ambient activation used by ``python -m repro bench --faults``.
+
+A :class:`FaultInjector` pairs a (stateless, deterministic)
+:class:`~repro.faults.plan.FaultPlan` with a
+:class:`~repro.faults.plan.RetryPolicy` and carries the only mutable
+state of the plane: per-site sequence counters, the recorded fault
+history, and the injected/retried/gave-up totals.  Executors open one
+:class:`PhaseSession` per phase and run every task attempt through
+:meth:`PhaseSession.execute`, which
+
+* draws the attempt's fault from the plan (pure, order-independent);
+* lets the backend-specific ``attempt_fn`` enact it (raise, kill a
+  worker, fail an shm attach, stretch a duration);
+* on an injected failure, books the retry and its deterministic
+  exponential-backoff wait, then tries again;
+* after ``max_attempts`` (or past the policy's per-phase simulated
+  timeout) raises
+  :class:`~repro.simtime.executor.ExecutorTaskError` carrying the full
+  attempt history.
+
+Backoff waits are accumulated per ``(task, attempt)`` and summed in
+sorted key order at :meth:`PhaseSession.finish`, so the booked
+``faults.backoff`` phase — and the ``faults.backoff_seconds`` counter —
+are bit-identical across serial, thread and process backends even though
+threads retire tasks in nondeterministic order.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.faults.plan import (
+    FAILING_KINDS,
+    TASK_KINDS,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+from repro.obs.metrics import metrics
+from repro.simtime.measure import measured
+
+
+class FaultInjector:
+    """Mutable runtime state of one fault-injection run.
+
+    Create one injector per run (the chaos-parity tests create one per
+    backend with the *same* plan); share it between the executors, WAL
+    and engines that should draw from the same schedule.
+    """
+
+    def __init__(self, plan: FaultPlan, policy: RetryPolicy | None = None) -> None:
+        self.plan = plan
+        self.policy = policy or RetryPolicy()
+        self._lock = threading.Lock()
+        self._site_seq: dict[str, int] = {}
+        self._history: list[FaultSpec] = []
+        self.injected = 0
+        self.retries = 0
+        self.gave_up = 0
+        self.backoff_seconds = 0.0
+
+    def begin_phase(
+        self, label: str, kinds: tuple[str, ...] = TASK_KINDS
+    ) -> "PhaseSession":
+        """Open the next session for a phase labelled ``label``.
+
+        The per-label sequence number distinguishes repeated phases (every
+        ``partime.step1`` of a workload gets its own draws) and is part of
+        the plan's site key, so backends that execute the same logical
+        phase sequence see the same faults.
+        """
+        with self._lock:
+            seq = self._site_seq.get(label, 0)
+            self._site_seq[label] = seq + 1
+        return PhaseSession(self, label, seq, kinds)
+
+    def history(self) -> tuple[FaultSpec, ...]:
+        """Every fault injected so far, in deterministic (sorted) order."""
+        with self._lock:
+            return tuple(sorted(self._history))
+
+    def summary(self) -> dict:
+        """Plan parameters + totals, as embedded in bench telemetry."""
+        with self._lock:
+            return {
+                "seed": self.plan.seed,
+                "rate": self.plan.rate,
+                "kinds": list(self.plan.kinds),
+                "injected": self.injected,
+                "retries": self.retries,
+                "gave_up": self.gave_up,
+                "backoff_seconds": self.backoff_seconds,
+            }
+
+    # ------------------------------------------------- internal bookkeeping
+
+    def _record_injected(self, spec: FaultSpec) -> None:
+        with self._lock:
+            self._history.append(spec)
+            self.injected += 1
+        metrics().counter("faults.injected").add(1)
+
+    def _record_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+        metrics().counter("faults.retries").add(1)
+
+    def _record_gave_up(self) -> None:
+        with self._lock:
+            self.gave_up += 1
+        metrics().counter("faults.gave_up").add(1)
+
+    def _record_backoff(self, seconds: float) -> None:
+        with self._lock:
+            self.backoff_seconds += seconds
+        metrics().counter("faults.backoff_seconds").add(seconds)
+
+
+class PhaseSession:
+    """Retry bookkeeping for one phase (one ``map_parallel``/``run_serial``
+    call, or one WAL append)."""
+
+    def __init__(
+        self,
+        injector: FaultInjector,
+        phase: str,
+        seq: int,
+        kinds: tuple[str, ...],
+    ) -> None:
+        self.injector = injector
+        self.phase = phase
+        self.seq = seq
+        self.kinds = kinds
+        self._lock = threading.Lock()
+        #: Backoff waits keyed by (task, attempt): summing them in sorted
+        #: key order keeps the booked total independent of thread timing.
+        self._backoff: dict[tuple[int, int], float] = {}
+        self._specs: dict[int, list[FaultSpec]] = {}
+        self.retries = 0
+
+    # ----------------------------------------------------------- execution
+
+    def execute(
+        self,
+        index: int,
+        attempt_fn: Callable[[FaultSpec | None], tuple[Any, float]],
+    ) -> tuple[Any, float]:
+        """Run one task with retries.
+
+        ``attempt_fn(spec)`` performs a single attempt: it must enact
+        ``spec`` (raise :class:`FaultInjected` for failing kinds — see
+        :func:`attempt_locally` — or inflate the measured duration for
+        ``slow_task``) and return ``(result, seconds)``.  Genuine
+        exceptions from the task body are *not* retried: the plane only
+        absorbs the faults it injected, so real bugs still surface
+        immediately.
+        """
+        plan = self.injector.plan
+        policy = self.injector.policy
+        for attempt in range(1, policy.max_attempts + 1):
+            spec = plan.draw(self.phase, self.seq, index, attempt, self.kinds)
+            if spec is not None:
+                self._note_spec(index, spec)
+                self.injector._record_injected(spec)
+            try:
+                return attempt_fn(spec)
+            except FaultInjected as exc:
+                jitter = plan.backoff_jitter(self.phase, self.seq, index, attempt)
+                delay = policy.backoff_delay(attempt, jitter)
+                exhausted = attempt >= policy.max_attempts
+                over_budget = (
+                    policy.phase_timeout is not None
+                    and self.backoff_total() + delay > policy.phase_timeout
+                )
+                if exhausted or over_budget:
+                    self.injector._record_gave_up()
+                    raise self._give_up_error(index, attempt, over_budget) from exc
+                with self._lock:
+                    self._backoff[(index, attempt)] = delay
+                    self.retries += 1
+                self.injector._record_retry()
+        raise AssertionError("unreachable: retry loop exits via return/raise")
+
+    def _note_spec(self, index: int, spec: FaultSpec) -> None:
+        with self._lock:
+            self._specs.setdefault(index, []).append(spec)
+
+    def _give_up_error(self, index: int, attempts: int, over_budget: bool):
+        from repro.simtime.executor import ExecutorTaskError  # cycle-free at call time
+
+        with self._lock:
+            history = tuple(self._specs.get(index, ()))
+        kinds = ", ".join(s.kind for s in history) or "?"
+        why = (
+            "per-phase retry budget exhausted"
+            if over_budget
+            else f"all {attempts} attempt(s) faulted"
+        )
+        error = ExecutorTaskError(
+            self.phase,
+            index,
+            f"{why} under fault plan seed={self.injector.plan.seed} "
+            f"(injected: {kinds})",
+            attempts=history,
+        )
+        return error
+
+    # ---------------------------------------------------------- accounting
+
+    def backoff_total(self) -> float:
+        """Simulated backoff accumulated by this phase (deterministic)."""
+        with self._lock:
+            return sum(v for _k, v in sorted(self._backoff.items()))
+
+    def finish(self, clock=None) -> None:
+        """Book this phase's retry overhead.
+
+        The accumulated backoff becomes one ``faults.backoff`` serial
+        booking on ``clock`` (mirrored into spans/schedules/Chrome traces
+        like every other phase) and is added to the
+        ``faults.backoff_seconds`` counter.  No-op when nothing faulted.
+        """
+        total = self.backoff_total()
+        if total <= 0.0:
+            return
+        self.injector._record_backoff(total)
+        if clock is not None:
+            clock.serial(
+                "faults.backoff",
+                total,
+                meta={"phase": self.phase, "retries": self.retries},
+            )
+
+
+# ---------------------------------------------------------------------------
+# Backend-side enactment helpers
+# ---------------------------------------------------------------------------
+
+
+def attempt_locally(
+    spec: FaultSpec | None, fn: Callable, item: Any
+) -> tuple[Any, float]:
+    """One in-process task attempt under a fault spec.
+
+    Failing kinds raise *before* the task body runs (so a retried task
+    performs its work exactly once — results and engine metrics stay
+    bit-identical to a fault-free run); ``slow_task`` runs the body and
+    stretches the measured duration by the plan's multiplier.  Used by
+    the serial and thread executors; the process executor ships the
+    enactment to its workers instead (real worker kills, real shm-attach
+    failures).
+    """
+    if spec is not None and spec.kind in FAILING_KINDS:
+        raise FaultInjected(spec.kind, site=spec.site)
+    with measured() as sw:
+        result = fn(item)
+    seconds = sw.elapsed
+    if spec is not None and spec.kind == "slow_task":
+        seconds *= spec.multiplier
+    return result, seconds
+
+
+def make_injector(
+    faults: "FaultInjector | FaultPlan | int | str | None",
+    retry: RetryPolicy | None = None,
+) -> FaultInjector | None:
+    """Normalise the ``faults=`` argument engines accept.
+
+    ``None`` stays ``None``; an injector passes through (sharing its
+    schedule); a plan / seed / ``"SEED[:RATE]"`` string becomes a fresh
+    injector with ``retry`` (or the default policy).
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        return faults
+    plan = FaultPlan.parse(faults)
+    if plan is None:  # pragma: no cover — parse(None) handled above
+        return None
+    return FaultInjector(plan, retry)
+
+
+# ---------------------------------------------------------------------------
+# Ambient activation (the bench runner / CLI integration)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: FaultInjector | None = None
+
+
+def current_injector() -> FaultInjector | None:
+    """The ambient injector, or ``None`` when fault injection is off.
+
+    Executors and the :class:`~repro.storage.recovery.WriteAheadLog` pick
+    this up at *construction* time (mirroring the tracer's activation
+    pattern), which is how ``python -m repro bench <name> --faults SEED``
+    threads one plan through every engine a benchmark builds without the
+    21 benchmark scripts knowing faults exist.
+    """
+    return _ACTIVE
+
+
+@contextmanager
+def fault_injection(
+    faults: "FaultInjector | FaultPlan | int | str",
+    retry: RetryPolicy | None = None,
+) -> Iterator[FaultInjector]:
+    """Activate an injector for the ``with`` block (re-entrant: the outer
+    injector is restored on exit)."""
+    global _ACTIVE
+    injector = make_injector(faults, retry)
+    if injector is None:
+        raise ValueError("fault_injection() needs a plan, seed or injector")
+    outer = _ACTIVE
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = outer

@@ -1,0 +1,245 @@
+"""Deterministic fault plans and retry policies — the data side of
+``repro.faults``.
+
+A :class:`FaultPlan` is a *pure function* from injection sites to faults.
+It holds no mutable RNG stream: every draw re-seeds a private
+``random.Random`` from ``(plan seed, site label, site sequence, task
+index, attempt)``, so the decision for any site is independent of the
+order in which sites are visited.  That property is what makes the whole
+plane deterministic across execution backends — a thread pool may retire
+tasks in any order, a process pool may interleave phases differently, and
+the same seed still produces the *same* fault schedule (the contract
+pinned by the chaos-parity suite in ``tests/test_executor_parity.py`` and
+documented in docs/fault_injection.md).
+
+The vocabulary:
+
+* ``task_error`` — the task raises before doing any work;
+* ``worker_kill`` — the worker executing the task dies (the process
+  backend genuinely ``os._exit``\\ s a pool worker; serial/thread
+  backends simulate the death as an injected exception);
+* ``shm_attach`` — attaching the task's shared-memory chunk fails (the
+  process backend enacts it through the attach hook of
+  :mod:`repro.simtime.shm`; other backends simulate it);
+* ``slow_task`` — the task runs normally but its measured duration is
+  inflated by a deterministic latency multiplier (a straggler);
+* ``wal_torn`` — a :meth:`~repro.storage.recovery.WriteAheadLog.append`
+  writes only a prefix of its record and then "crashes".
+
+Faults that fail the attempt (everything but ``slow_task``) are injected
+*before* the task body runs.  A retried task therefore performs its work
+exactly once, which is why fault-injected runs return results — and
+engine metric snapshots — bit-identical to fault-free runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Fault kinds injectable at executor task sites.
+TASK_KINDS = ("task_error", "worker_kill", "shm_attach", "slow_task")
+
+#: Fault kinds injectable at write-ahead-log append sites.
+WAL_KINDS = ("wal_torn",)
+
+#: The full fault taxonomy (see docs/fault_injection.md).
+FAULT_KINDS = TASK_KINDS + WAL_KINDS
+
+#: Task-site kinds that fail the attempt (as opposed to slowing it down).
+FAILING_KINDS = ("task_error", "worker_kill", "shm_attach", "wal_torn")
+
+
+class FaultInjected(RuntimeError):
+    """An injected fault fired.
+
+    Raised by the fault plane itself (never by engine code) and caught by
+    the retry layer; crossing a process boundary must preserve the kind,
+    hence the explicit ``__reduce__``.
+    """
+
+    def __init__(self, kind: str, site: str = "", detail: str = "") -> None:
+        where = f" at {site!r}" if site else ""
+        extra = f" ({detail})" if detail else ""
+        super().__init__(f"injected fault {kind!r}{where}{extra}")
+        self.kind = kind
+        self.site = site
+        self.detail = detail
+
+    def __reduce__(self):
+        return (FaultInjected, (self.kind, self.site, self.detail))
+
+
+@dataclass(frozen=True, order=True)
+class FaultSpec:
+    """One concrete injected fault: where, when, and what.
+
+    ``site`` is the phase label (or ``"wal.append"``), ``seq`` the
+    per-site sequence number (the n-th phase with that label), ``task``
+    the task index within the phase, ``attempt`` the 1-based attempt the
+    fault fires on.  ``multiplier`` is the latency factor of a
+    ``slow_task``; ``fraction`` the tear point of a ``wal_torn`` record.
+    Ordered, so fault histories can be compared independently of the
+    (backend-specific) order in which they were recorded.
+    """
+
+    site: str
+    seq: int
+    task: int
+    attempt: int
+    kind: str
+    multiplier: float = 1.0
+    fraction: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic schedule of faults.
+
+    ``rate`` is the per-(site, task, attempt) injection probability;
+    ``kinds`` restricts the taxonomy (sites additionally pass the kinds
+    that make sense for them — executors never draw ``wal_torn``, the WAL
+    never draws ``worker_kill``); ``latency`` bounds the ``slow_task``
+    multiplier, drawn uniformly from ``[1, latency]``.
+
+    >>> plan = FaultPlan(seed=7, rate=1.0)
+    >>> spec = plan.draw("partime.step1", 0, 2, 1)
+    >>> spec == plan.draw("partime.step1", 0, 2, 1)  # pure function
+    True
+    """
+
+    seed: int
+    rate: float = 0.1
+    kinds: tuple[str, ...] = FAULT_KINDS
+    latency: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        unknown = [k for k in self.kinds if k not in FAULT_KINDS]
+        if unknown:
+            raise ValueError(
+                f"unknown fault kind(s) {unknown}; known: {FAULT_KINDS}"
+            )
+        if self.latency < 1.0:
+            raise ValueError("slow-task latency multiplier must be >= 1")
+
+    # ------------------------------------------------------------- parsing
+
+    @classmethod
+    def parse(
+        cls, spec: "FaultPlan | int | str | None"
+    ) -> "FaultPlan | None":
+        """Build a plan from a CLI-style spec: ``SEED`` or ``SEED:RATE``.
+
+        Accepts an existing plan (returned as-is), an integer seed, or a
+        string like ``"1337"`` / ``"1337:0.25"``; ``None`` stays ``None``.
+        """
+        if spec is None:
+            return None
+        if isinstance(spec, FaultPlan):
+            return spec
+        if isinstance(spec, bool):  # bool is an int; reject explicitly
+            raise TypeError("fault spec must be a seed, 'SEED[:RATE]' or a FaultPlan")
+        if isinstance(spec, int):
+            return cls(seed=spec)
+        if isinstance(spec, str):
+            text = spec.strip()
+            try:
+                if ":" in text:
+                    seed_text, rate_text = text.split(":", 1)
+                    return cls(seed=int(seed_text), rate=float(rate_text))
+                return cls(seed=int(text))
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad fault spec {spec!r}: expected SEED or SEED:RATE"
+                ) from exc
+        raise TypeError(
+            f"fault spec must be a seed, 'SEED[:RATE]' or a FaultPlan, "
+            f"got {type(spec).__name__}"
+        )
+
+    # --------------------------------------------------------------- draws
+
+    def _rng(self, *key) -> random.Random:
+        """A private RNG for one injection site.
+
+        Seeding ``random.Random`` with a string hashes it through SHA-512
+        (``seed(a, version=2)``) — stable across processes, platforms and
+        ``PYTHONHASHSEED``, which is exactly the determinism the
+        cross-backend contract needs.
+        """
+        return random.Random("|".join(str(part) for part in (self.seed, *key)))
+
+    def draw(
+        self,
+        site: str,
+        seq: int,
+        task: int,
+        attempt: int,
+        kinds: tuple[str, ...] = TASK_KINDS,
+    ) -> FaultSpec | None:
+        """The fault (if any) scheduled for one attempt at one site.
+
+        Pure: same arguments, same answer — regardless of call order,
+        thread interleaving or backend.
+        """
+        enabled = tuple(k for k in kinds if k in self.kinds)
+        if not enabled:
+            return None
+        rng = self._rng(site, seq, task, attempt)
+        if rng.random() >= self.rate:
+            return None
+        kind = enabled[rng.randrange(len(enabled))]
+        multiplier = 1.0
+        fraction = 0.0
+        if kind == "slow_task":
+            multiplier = 1.0 + rng.random() * (self.latency - 1.0)
+        elif kind == "wal_torn":
+            fraction = rng.random()
+        return FaultSpec(site, seq, task, attempt, kind, multiplier, fraction)
+
+    def backoff_jitter(self, site: str, seq: int, task: int, attempt: int) -> float:
+        """Deterministic jitter in ``[0, 1)`` for one backoff wait."""
+        return self._rng("backoff", site, seq, task, attempt).random()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How faulted operations are retried (and when they give up).
+
+    * ``max_attempts`` — total attempts per task (first try included);
+    * exponential backoff: attempt ``k`` waits
+      ``base_delay * multiplier**(k-1)``, stretched by up to ``jitter``
+      (the jitter fraction is drawn deterministically from the plan);
+    * ``phase_timeout`` — a *simulated-seconds* budget per phase: when the
+      accumulated backoff of a phase would exceed it, the task gives up
+      early instead of waiting further (per-phase timeout semantics).
+
+    Backoff waits are never slept for real — they are *booked* into the
+    executor's :class:`~repro.simtime.clock.SimClock` as
+    ``faults.backoff`` serial phases, so slowdown-under-faults shows up in
+    ``sim_elapsed``, span trees, schedules and Chrome traces exactly like
+    any other cost.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.005
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    phase_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.base_delay < 0 or self.jitter < 0:
+            raise ValueError("backoff parameters must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+        if self.phase_timeout is not None and self.phase_timeout < 0:
+            raise ValueError("phase_timeout must be non-negative")
+
+    def backoff_delay(self, attempt: int, jitter_u: float) -> float:
+        """The simulated wait after failed attempt ``attempt`` (1-based)."""
+        base = self.base_delay * self.multiplier ** (attempt - 1)
+        return base * (1.0 + self.jitter * jitter_u)

@@ -33,6 +33,10 @@ CATALOGUE: dict[str, str] = {
     "hybrid.queries": "queries answered by the hybrid index + scan",
     "hybrid.frozen_events": "frozen-index events considered by hybrid probes",
     "hybrid.supplemental_events": "post-freeze closing events fed to hybrid folds",
+    "faults.injected": "faults injected by the active FaultPlan",
+    "faults.retries": "task/append attempts retried after an injected fault",
+    "faults.gave_up": "tasks abandoned after exhausting their RetryPolicy",
+    "faults.backoff_seconds": "simulated backoff seconds booked by fault retries",
 }
 
 

@@ -28,16 +28,19 @@ labels, task counts, or metric snapshots — the parity contract pinned by
 
 from __future__ import annotations
 
+import functools
 import os
 import pickle
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol, Sequence
 
+from repro.faults.inject import FaultInjector, attempt_locally, current_injector
+from repro.faults.plan import FaultInjected
 from repro.obs.metrics import diff_snapshots, merge_delta, metrics
 from repro.simtime.clock import SimClock
 from repro.simtime.measure import measured
-from repro.simtime.shm import ShmChunk, export_chunk, release_all
+from repro.simtime.shm import ShmChunk, attach_hook, export_chunk, release_all
 
 #: Environment knob the CI matrix uses to pin the multiprocessing start
 #: method (``fork`` / ``spawn`` / ``forkserver``).  Unset → the platform
@@ -72,10 +75,19 @@ class ExecutorTaskError(RuntimeError):
 
     Always names the phase label and the failing task index, so a stack
     trace from deep inside a worker still says *which* Step 1 partition
-    (or node cycle) went down.
+    (or node cycle) went down.  When the fault-injection plane gives up
+    on a task after exhausting its :class:`~repro.faults.RetryPolicy`,
+    ``attempts`` carries the per-attempt
+    :class:`~repro.faults.FaultSpec` history.
     """
 
-    def __init__(self, phase: str, task_index: int | None, reason: str) -> None:
+    def __init__(
+        self,
+        phase: str,
+        task_index: int | None,
+        reason: str,
+        attempts: tuple = (),
+    ) -> None:
         where = (
             f"task {task_index} of phase {phase!r}"
             if task_index is not None
@@ -84,6 +96,7 @@ class ExecutorTaskError(RuntimeError):
         super().__init__(f"{where} failed: {reason}")
         self.phase = phase
         self.task_index = task_index
+        self.attempts = tuple(attempts)
 
 
 class Executor(Protocol):
@@ -98,35 +111,78 @@ class Executor(Protocol):
     def run_serial(self, fn: Callable[[], Any], label: str = "") -> Any: ...
 
 
+def _run_serial_with_faults(
+    executor, fn: Callable[[], Any], label: str, tag: str
+) -> Any:
+    """Shared faulted ``run_serial``: a serial phase is a 1-task phase, so
+    it draws from the same plan vocabulary as parallel phases (task index
+    0), retries under the same policy, and books its backoff the same
+    way."""
+    phase = task_label(label, fn)
+    session = executor.faults.begin_phase(phase)
+    result, seconds = session.execute(
+        0, functools.partial(attempt_locally, fn=lambda _item: fn(), item=None)
+    )
+    executor.clock.serial(phase, seconds, meta={"executor": tag})
+    session.finish(executor.clock)
+    return result
+
+
 class SerialExecutor:
     """Sequential execution with simulated-parallel accounting.
 
     ``slots`` is the number of simulated cores available to parallel
     phases; by default every task of a phase gets its own core (the
     one-chunk-per-worker usage of :class:`~repro.core.partime.ParTime`).
+
+    ``faults`` attaches a :class:`~repro.faults.FaultInjector`; omitted,
+    the ambient injector activated by
+    :func:`repro.faults.fault_injection` (if any) is picked up at
+    construction time.
     """
 
-    def __init__(self, slots: int | None = None, clock: SimClock | None = None) -> None:
+    def __init__(
+        self,
+        slots: int | None = None,
+        clock: SimClock | None = None,
+        faults: FaultInjector | None = None,
+    ) -> None:
         self.slots = slots
         self.clock = clock or SimClock()
+        self.faults = faults if faults is not None else current_injector()
 
     def map_parallel(self, fn: Callable, items: Sequence, label: str = "") -> list:
+        phase = task_label(label, fn)
+        session = (
+            self.faults.begin_phase(phase) if self.faults is not None else None
+        )
         results = []
         durations = []
-        for item in items:
-            with measured() as sw:
-                results.append(fn(item))
-            durations.append(sw.elapsed)
+        for i, item in enumerate(items):
+            if session is None:
+                with measured() as sw:
+                    results.append(fn(item))
+                durations.append(sw.elapsed)
+            else:
+                result, seconds = session.execute(
+                    i, functools.partial(attempt_locally, fn=fn, item=item)
+                )
+                results.append(result)
+                durations.append(seconds)
         slots = self.slots if self.slots is not None else max(1, len(items))
         self.clock.parallel(
-            task_label(label, fn),
+            phase,
             durations,
             slots,
             meta={"executor": "serial", "tasks": len(items)},
         )
+        if session is not None:
+            session.finish(self.clock)
         return results
 
     def run_serial(self, fn: Callable[[], Any], label: str = "") -> Any:
+        if self.faults is not None:
+            return _run_serial_with_faults(self, fn, label, "serial")
         with measured() as sw:
             result = fn()
         self.clock.serial(
@@ -156,27 +212,54 @@ class ThreadExecutor:
     the reference backend for simulated numbers.)
     """
 
-    def __init__(self, max_workers: int, clock: SimClock | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int,
+        clock: SimClock | None = None,
+        faults: FaultInjector | None = None,
+    ) -> None:
         if max_workers < 1:
             raise ValueError("need at least one worker")
         self.max_workers = max_workers
         self.pool_workers = min(max_workers, os.cpu_count() or max_workers)
         self.clock = clock or SimClock()
+        self.faults = faults if faults is not None else current_injector()
 
     def map_parallel(self, fn: Callable, items: Sequence, label: str = "") -> list:
+        phase = task_label(label, fn)
+        session = (
+            self.faults.begin_phase(phase) if self.faults is not None else None
+        )
         with ThreadPoolExecutor(max_workers=self.pool_workers) as pool:
-            outcomes = list(pool.map(_timed_task, [fn] * len(items), items))
+            if session is None:
+                outcomes = list(pool.map(_timed_task, [fn] * len(items), items))
+            else:
+                # The retry loop runs *inside* each pooled job, so a faulted
+                # task retries on its own worker thread without blocking the
+                # rest of the phase.  Every draw/backoff is keyed on the task
+                # index — thread scheduling cannot perturb the schedule.
+                def job(pair: tuple[int, Any]) -> tuple[Any, float]:
+                    i, item = pair
+                    return session.execute(
+                        i, functools.partial(attempt_locally, fn=fn, item=item)
+                    )
+
+                outcomes = list(pool.map(job, list(enumerate(items))))
         results = [r for r, _ in outcomes]
         durations = [d for _, d in outcomes]
         self.clock.parallel(
-            task_label(label, fn),
+            phase,
             durations,
             slots=self.max_workers,
             meta={"executor": "thread", "tasks": len(items)},
         )
+        if session is not None:
+            session.finish(self.clock)
         return results
 
     def run_serial(self, fn: Callable[[], Any], label: str = "") -> Any:
+        if self.faults is not None:
+            return _run_serial_with_faults(self, fn, label, "thread")
         with measured() as sw:
             result = fn()
         self.clock.serial(
@@ -205,7 +288,18 @@ class _PickledResult:
     blob: bytes
 
 
-def _run_process_task(fn: Callable, payload) -> tuple[Any, float, dict]:
+def _deny_attach(name: str):
+    """The attach hook installed for an injected ``shm_attach`` fault."""
+
+    def hook(block_name: str) -> None:
+        raise FaultInjected("shm_attach", site=block_name or name)
+
+    return hook
+
+
+def _run_process_task(
+    fn: Callable, payload, fault: str | None = None
+) -> tuple[Any, float, dict]:
     """Worker-side wrapper around one task.
 
     * Reconstructs :class:`~repro.simtime.shm.ShmChunk` payloads as
@@ -215,18 +309,29 @@ def _run_process_task(fn: Callable, payload) -> tuple[Any, float, dict]:
       the parent can book the phase as a measured makespan;
     * captures the metrics the task emitted into this worker's
       process-local registry as a snapshot delta, so the parent can fold
-      them into its own registry (metrics parity across backends).
+      them into its own registry (metrics parity across backends);
+    * enacts an injected ``fault`` directive *for real*: ``worker_kill``
+      hard-exits this worker (the parent sees ``BrokenProcessPool``),
+      ``shm_attach`` makes the chunk attach genuinely fail through the
+      :func:`~repro.simtime.shm.attach_hook` seam.  Both fire before the
+      task body runs, preserving the exactly-once work contract.
     """
+    if fault == "worker_kill":
+        os._exit(3)
     registry = metrics()
     before = registry.snapshot()
     if isinstance(payload, ShmChunk):
-        with payload.open() as chunk:
-            with measured() as sw:
-                result = fn(chunk)
-            result = _PickledResult(
-                pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-            )
+        hook = _deny_attach(payload.block_name) if fault == "shm_attach" else None
+        with attach_hook(hook):
+            with payload.open() as chunk:
+                with measured() as sw:
+                    result = fn(chunk)
+                result = _PickledResult(
+                    pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+                )
     else:
+        if fault == "shm_attach":
+            raise FaultInjected("shm_attach", site="<no-chunk-payload>")
         with measured() as sw:
             result = fn(payload)
     delta = diff_snapshots(before, registry.snapshot())
@@ -272,10 +377,12 @@ class ProcessExecutor:
         clock: SimClock | None = None,
         start_method: str | None = None,
         use_shared_memory: bool = True,
+        faults: FaultInjector | None = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("need at least one worker")
         self.max_workers = max_workers
+        self.faults = faults if faults is not None else current_injector()
         #: Physical pool size: simulated cores may outnumber real ones,
         #: but running more workers than cores only adds scheduler
         #: contention to the per-task measurements (see class docstring).
@@ -316,18 +423,30 @@ class ProcessExecutor:
             self._pool = None
 
     def _export_payloads(self, items: Sequence) -> tuple[list, list]:
-        """Chunks → shared-memory handles; everything else passes through."""
+        """Chunks → shared-memory handles; everything else passes through.
+
+        Exports are all-or-nothing: if any export fails partway (no
+        space in ``/dev/shm``, a dying interpreter, an injected fault),
+        the handles already created are released before the error
+        propagates.  Without this the caller's ``finally: release_all``
+        never sees them — the leak the shm leak-check fixture in
+        ``tests/conftest.py`` guards against.
+        """
         from repro.temporal.table import TableChunk
 
         payloads: list = []
         handles: list = []
-        for item in items:
-            if self.use_shared_memory and isinstance(item, TableChunk):
-                handle = export_chunk(item)
-                handles.append(handle)
-                payloads.append(handle)
-            else:
-                payloads.append(item)
+        try:
+            for item in items:
+                if self.use_shared_memory and isinstance(item, TableChunk):
+                    handle = export_chunk(item)
+                    handles.append(handle)
+                    payloads.append(handle)
+                else:
+                    payloads.append(item)
+        except BaseException:
+            release_all(handles)
+            raise
         return payloads, handles
 
     # -------------------------------------------------------------- protocol
@@ -335,6 +454,8 @@ class ProcessExecutor:
     def map_parallel(self, fn: Callable, items: Sequence, label: str = "") -> list:
         from concurrent.futures import process as _cf_process
 
+        if self.faults is not None:
+            return self._map_parallel_faulted(fn, items, label)
         phase = task_label(label, fn)
         payloads, handles = self._export_payloads(items)
         results: list = []
@@ -379,7 +500,110 @@ class ProcessExecutor:
         )
         return results
 
+    # -------------------------------------------------------- faulted path
+
+    def _map_parallel_faulted(
+        self, fn: Callable, items: Sequence, label: str = ""
+    ) -> list:
+        """``map_parallel`` under an active fault injector.
+
+        Tasks are dispatched one at a time: a genuinely killed worker
+        breaks *every* in-flight future of a ``ProcessPoolExecutor``, so
+        concurrent dispatch would turn one injected ``worker_kill`` into
+        collateral failures on innocent tasks and destroy cross-backend
+        parity.  Fault runs measure resilience, not wall-clock — the
+        simulated accounting (measured per-task seconds → LPT makespan
+        over ``max_workers`` slots) is unchanged.
+        """
+        phase = task_label(label, fn)
+        session = self.faults.begin_phase(phase)
+        payloads, handles = self._export_payloads(items)
+        results: list = []
+        durations: list[float] = []
+        try:
+            for i, payload in enumerate(payloads):
+                result, seconds = session.execute(
+                    i,
+                    functools.partial(
+                        self._process_attempt,
+                        fn=fn,
+                        payload=payload,
+                        phase=phase,
+                        index=i,
+                    ),
+                )
+                results.append(result)
+                durations.append(seconds)
+        finally:
+            release_all(handles)
+        self.clock.parallel(
+            phase,
+            durations,
+            slots=self.max_workers,
+            meta={"executor": "process", "tasks": len(items)},
+        )
+        session.finish(self.clock)
+        return results
+
+    def _process_attempt(
+        self,
+        spec,
+        fn: Callable,
+        payload,
+        phase: str,
+        index: int,
+    ) -> tuple[Any, float]:
+        """One attempt of one task on the process backend.
+
+        ``task_error`` is raised parent-side (the attempt never reaches a
+        worker — matching the inject-before-body contract of the other
+        backends); ``worker_kill`` and ``shm_attach`` ship to the worker
+        as a directive and are enacted for real.  A worker death comes
+        back as ``BrokenProcessPool``: the pool is discarded (rebuilt
+        lazily on the retry) and the death is converted into the
+        :class:`~repro.faults.FaultInjected` the retry layer expects.
+        """
+        from concurrent.futures import process as _cf_process
+
+        if spec is not None and spec.kind == "task_error":
+            raise FaultInjected("task_error", site=phase)
+        directive = (
+            spec.kind
+            if spec is not None and spec.kind in ("worker_kill", "shm_attach")
+            else None
+        )
+        pool = self._ensure_pool()
+        future = pool.submit(_run_process_task, fn, payload, fault=directive)
+        try:
+            result, seconds, metric_delta = future.result()
+        except FaultInjected:
+            raise
+        except _cf_process.BrokenProcessPool as exc:
+            self._discard_broken_pool()
+            if directive == "worker_kill":
+                raise FaultInjected("worker_kill", site=phase) from exc
+            raise ExecutorTaskError(
+                phase,
+                index,
+                f"worker process died before returning a result "
+                f"({exc}); the pool has been discarded",
+            ) from exc
+        except ExecutorTaskError:
+            raise
+        except Exception as exc:
+            raise ExecutorTaskError(
+                phase, index, f"{type(exc).__name__}: {exc}"
+            ) from exc
+        if isinstance(result, _PickledResult):
+            result = pickle.loads(result.blob)
+        merge_delta(metric_delta)
+        if spec is not None and spec.kind == "slow_task":
+            seconds *= spec.multiplier
+        return result, seconds
+
     def run_serial(self, fn: Callable[[], Any], label: str = "") -> Any:
+        if self.faults is not None:
+            return _run_serial_with_faults(self, fn, label, "process")
         with measured() as sw:
             result = fn()
         self.clock.serial(
@@ -401,20 +625,26 @@ def make_executor(
     workers: int | None = None,
     clock: SimClock | None = None,
     start_method: str | None = None,
+    faults: FaultInjector | None = None,
 ) -> "SerialExecutor | ThreadExecutor | ProcessExecutor":
     """Build an executor from a backend name.
 
     ``workers`` bounds the real worker pool for ``threads`` / ``process``
     (defaulting to ``os.cpu_count()``), and the simulated slot count for
     ``serial`` (defaulting to one slot per task, the historical default).
+    ``faults`` attaches a shared :class:`~repro.faults.FaultInjector`
+    (omitted, each executor picks up the ambient one, if any).
     """
     if backend == "serial":
-        return SerialExecutor(slots=workers, clock=clock)
+        return SerialExecutor(slots=workers, clock=clock, faults=faults)
     pool = workers or os.cpu_count() or 1
     if backend == "threads":
-        return ThreadExecutor(max_workers=pool, clock=clock)
+        return ThreadExecutor(max_workers=pool, clock=clock, faults=faults)
     if backend == "process":
         return ProcessExecutor(
-            max_workers=pool, clock=clock, start_method=start_method
+            max_workers=pool,
+            clock=clock,
+            start_method=start_method,
+            faults=faults,
         )
     raise ValueError(f"unknown executor backend {backend!r}; known: {BACKENDS}")

@@ -58,8 +58,10 @@ from __future__ import annotations
 
 import pickle
 import secrets
+from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -82,6 +84,34 @@ _LIVE_BLOCKS: dict[str, shared_memory.SharedMemory] = {}
 def active_block_names() -> list[str]:
     """Names of blocks exported by this process and not yet released."""
     return sorted(_LIVE_BLOCKS)
+
+
+#: Process-local hook consulted at the top of every attach (worker side).
+#: ``None`` → attaches proceed normally.  The fault-injection plane
+#: installs a hook that raises :class:`~repro.faults.FaultInjected` to
+#: enact a deterministic ``shm_attach`` failure *before* the block is
+#: mapped (see docs/fault_injection.md).
+_ATTACH_HOOK: Callable[[str], None] | None = None
+
+
+@contextmanager
+def attach_hook(hook: Callable[[str], None] | None) -> Iterator[None]:
+    """Install ``hook`` for attaches performed inside the ``with`` block.
+
+    The hook receives the block name and may raise to fail the attach.
+    ``None`` is accepted (and is a no-op) so call sites can pass their
+    maybe-hook unconditionally.  Re-entrant: the previous hook is
+    restored on exit.  Workers are single-threaded, so the process-global
+    swap cannot race (the same argument :func:`_attach_untracked` relies
+    on).
+    """
+    global _ATTACH_HOOK
+    outer = _ATTACH_HOOK
+    _ATTACH_HOOK = hook
+    try:
+        yield
+    finally:
+        _ATTACH_HOOK = outer
 
 
 def _align(offset: int) -> int:
@@ -148,6 +178,8 @@ class AttachedChunk:
 
     def __enter__(self) -> TableChunk:
         handle = self._handle
+        if _ATTACH_HOOK is not None:
+            _ATTACH_HOOK(handle.block_name)
         self._shm = _attach_untracked(handle.block_name)
         columns: dict[str, np.ndarray] = {}
         buf = self._shm.buf

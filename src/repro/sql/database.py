@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.core.joins import ParTimeJoin
 from repro.core.optimizer import ParallelismOptimizer
 from repro.core.partime import ParTime
+from repro.faults.inject import make_injector
 from repro.obs.tracer import Span, tracing
 from repro.sql.ast import JoinStmt
 from repro.sql.errors import SqlError
@@ -45,10 +46,18 @@ class Database:
         workers: int = 4,
         mode: str = "vectorized",
         backend: str = "serial",
+        faults: "FaultInjector | FaultPlan | int | str | None" = None,
+        retry: "RetryPolicy | None" = None,
     ) -> None:
         self.workers = workers
         self.backend = backend
-        self._executor = make_executor(backend, workers=workers)
+        #: The fault injector (if any) every statement executes under —
+        #: an explicit plan/seed, or the ambient one picked up by the
+        #: executor at construction (see docs/fault_injection.md).
+        self.faults = make_injector(faults, retry)
+        self._executor = make_executor(backend, workers=workers, faults=self.faults)
+        if self.faults is None:
+            self.faults = getattr(self._executor, "faults", None)
         self._partime = ParTime(mode=mode)
         self._tables: dict[str, TemporalTable] = {}
         #: Root span of the most recently executed statement, and the

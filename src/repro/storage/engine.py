@@ -15,6 +15,7 @@ from repro.core.result import TemporalAggregationResult
 from repro.obs.tracer import span
 from repro.storage.cluster import Cluster
 from repro.storage.partitioning import Partitioner, RoundRobinPartitioner
+from repro.faults.inject import FaultInjector, current_injector, make_injector
 from repro.simtime.executor import make_executor
 from repro.simtime.measure import measured
 from repro.storage.queries import SelectQuery, TemporalAggQuery
@@ -34,6 +35,8 @@ class CrescandoEngine(Engine):
         partitioner: Partitioner | None = None,
         scan_mode: str = "vectorized",
         backend: str | None = None,
+        faults: "FaultInjector | int | str | None" = None,
+        retry=None,
     ) -> None:
         self.num_storage = num_storage
         self.num_aggregators = num_aggregators
@@ -45,10 +48,23 @@ class CrescandoEngine(Engine):
         #: :data:`repro.simtime.executor.BACKENDS`.  The executor carries
         #: its own clock — the cluster's simulated accounting stays driven
         #: by the reported per-node scan seconds either way.
+        self.faults = make_injector(faults, retry)
+        if self.faults is None:
+            # Ambient activation (``bench --faults``): engines built inside
+            # a fault_injection() block join its plan automatically.
+            self.faults = current_injector()
+        if backend is None and self.faults is not None:
+            # Fault injection needs an executor to run the cycles through;
+            # the serial backend is the reference substrate.
+            backend = "serial"
         self.backend = backend
         self._executor = (
-            None if backend is None else make_executor(backend, workers=num_storage)
+            None
+            if backend is None
+            else make_executor(backend, workers=num_storage, faults=self.faults)
         )
+        if self.faults is None and self._executor is not None:
+            self.faults = getattr(self._executor, "faults", None)
         self.cluster: Cluster | None = None
         self.name = f"ParTime ({num_storage + num_aggregators} cores)"
 

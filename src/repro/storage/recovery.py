@@ -26,6 +26,8 @@ import json
 import os
 from typing import IO, Iterator
 
+from repro.faults.inject import FaultInjector, current_injector
+from repro.faults.plan import WAL_KINDS, FaultInjected
 from repro.storage.queries import DeleteOp, InsertOp, UpdateOp
 from repro.temporal.schema import TableSchema
 from repro.temporal.timestamps import Interval
@@ -106,22 +108,81 @@ def decode_op(record: dict):
 
 
 class WriteAheadLog:
-    """Append-only, fsync-on-append log of versioned write operations."""
+    """Append-only, fsync-on-append log of versioned write operations.
 
-    def __init__(self, path: str, sync: bool = False) -> None:
+    ``faults`` attaches a :class:`~repro.faults.FaultInjector` whose plan
+    may schedule ``wal_torn`` faults against :meth:`append`: the append
+    writes only a deterministic prefix of its record (a torn write, as
+    after a crash mid-``write``), the torn bytes are truncated away and
+    the append retried under the injector's
+    :class:`~repro.faults.RetryPolicy`.  An append that exhausts its
+    retries leaves the torn record on disk — exactly the crash state
+    :func:`recover_cluster` is specified against.  Omitted, the ambient
+    injector (if any) is picked up at construction, like the executors.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        sync: bool = False,
+        faults: FaultInjector | None = None,
+    ) -> None:
         self.path = path
         self.sync = sync
         self._file: IO[str] = open(path, "a", encoding="utf-8")
         self.appended = 0
+        self.faults = faults if faults is not None else current_injector()
 
     def append(self, version: int, op) -> None:
         """Durably record one write *before* it is applied."""
         record = {"version": int(version), "op": encode_op(op)}
-        self._file.write(json.dumps(record) + "\n")
+        line = json.dumps(record) + "\n"
+        if self.faults is None:
+            self._write(line)
+        else:
+            self._append_with_faults(line)
+        self.appended += 1
+
+    def _write(self, text: str) -> None:
+        self._file.write(text)
         self._file.flush()
         if self.sync:
             os.fsync(self._file.fileno())
-        self.appended += 1
+
+    def _append_with_faults(self, line: str) -> None:
+        """One logical append under the fault plane.
+
+        Each attempt first truncates the file back to the pre-append
+        offset (dropping any torn prefix a previous attempt left — the
+        file is opened ``O_APPEND``, so truncate-then-write still lands
+        the record at the end), then either writes the full record or
+        enacts the scheduled tear.  The torn prefix is capped at
+        ``len(line) - 2`` bytes: a proper prefix of a JSON object is
+        never valid JSON, so :meth:`replay` provably discards it.
+        """
+        session = self.faults.begin_phase("wal.append", kinds=WAL_KINDS)
+        self._file.flush()
+        start = os.path.getsize(self.path)
+
+        def attempt(spec) -> tuple[None, float]:
+            os.truncate(self.path, start)
+            if spec is not None and spec.kind == "wal_torn":
+                torn = line[: min(int(len(line) * spec.fraction), len(line) - 2)]
+                self._write(torn)
+                raise FaultInjected(
+                    "wal_torn",
+                    site="wal.append",
+                    detail=f"{len(torn)}/{len(line)} bytes written",
+                )
+            self._write(line)
+            return None, 0.0
+
+        try:
+            session.execute(0, attempt)
+        finally:
+            # Book backoff even when the append gives up: the torn record
+            # stays on disk (the crash state recovery is defined against).
+            session.finish()
 
     def close(self) -> None:
         self._file.close()
@@ -134,17 +195,26 @@ class WriteAheadLog:
 
     @staticmethod
     def replay(path: str) -> Iterator[tuple[int, object]]:
-        """Yield (version, op) records in log order.  A torn final line
-        (crash mid-append) is skipped — it was never acknowledged."""
+        """Yield (version, op) records in log order.
+
+        A torn final line (crash mid-append) is discarded, never raised:
+        it was never acknowledged.  The trailing newline is the *commit
+        marker* — a crash can land exactly between a record's last byte
+        and its newline, leaving a parseable-but-unterminated line, so
+        parseability alone must not imply durability (pinned byte-by-byte
+        by the crash-point matrix in ``tests/test_fault_injection.py``).
+        """
         with open(path, encoding="utf-8") as f:
-            for line in f:
-                line = line.strip()
+            for raw in f:
+                if not raw.endswith("\n"):
+                    break  # torn tail: the commit marker never landed
+                line = raw.strip()
                 if not line:
                     continue
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
-                    break  # torn tail
+                    break  # torn tail with a (rarer) mid-record crash
                 yield record["version"], decode_op(record["op"])
 
 

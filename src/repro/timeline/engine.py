@@ -14,8 +14,10 @@ from dataclasses import dataclass
 
 from repro.core.query import TemporalAggregationQuery
 from repro.core.result import TemporalAggregationResult
+from repro.faults.inject import FaultInjector, current_injector, make_injector
 from repro.obs.tracer import record_phase
 from repro.systems.base import Engine
+from repro.simtime.executor import SerialExecutor
 from repro.simtime.measure import Stopwatch, measured
 from repro.temporal.predicates import Predicate
 from repro.temporal.table import TemporalTable
@@ -52,12 +54,25 @@ class TimelineEngine(Engine):
         value_columns: tuple[str, ...] = (),
         checkpoint_every: int = 4096,
         executor=None,
+        faults: "FaultInjector | int | str | None" = None,
+        retry=None,
     ) -> None:
         self.value_columns = value_columns
         self.checkpoint_every = checkpoint_every
         #: Optional executor for the per-dimension index builds during
-        #: bulkload; ``None`` builds them inline.
+        #: bulkload; ``None`` builds them inline — unless a fault plan is
+        #: given, which needs an executor to retry through (a serial one
+        #: is built).
+        self.faults = make_injector(faults, retry)
+        if self.faults is None:
+            # Ambient activation (``bench --faults``): engines built inside
+            # a fault_injection() block join its plan automatically.
+            self.faults = current_injector()
+        if executor is None and self.faults is not None:
+            executor = SerialExecutor(faults=self.faults)
         self.executor = executor
+        if self.faults is None and executor is not None:
+            self.faults = getattr(executor, "faults", None)
         self._table: TemporalTable | None = None
         self._indexes: dict[str, TimelineIndex] = {}
         self._mask_cache: dict = {}

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import glob
+
 import pytest
 
 from repro.obs import metrics
+from repro.simtime.shm import SHM_PREFIX, active_block_names
 from repro.temporal import (
     Column,
     ColumnType,
@@ -28,6 +31,51 @@ def _reset_metrics():
     metrics().reset()
     yield
     metrics().reset()
+
+
+def _shm_backing_files() -> set[str]:
+    """``partime_``-prefixed blocks visible in ``/dev/shm`` (Linux).
+
+    On platforms without a tmpfs view of POSIX shared memory this simply
+    returns the empty set and the fixture falls back to the process-local
+    registry alone."""
+    return {
+        name.rsplit("/", 1)[-1]
+        for name in glob.glob(f"/dev/shm/{SHM_PREFIX}*")
+    }
+
+
+@pytest.fixture(autouse=True)
+def _no_shm_leaks():
+    """Fail any test that leaks a shared-memory block.
+
+    Two independent detectors, both scoped as *deltas* so pre-existing
+    state (e.g. blocks owned by a concurrently running process) never
+    causes false positives:
+
+    * the process-local export registry
+      (:func:`repro.simtime.shm.active_block_names`) — catches handles
+      exported but never released, including on error and worker-death
+      paths;
+    * the ``/dev/shm/partime_*`` backing files — catches blocks whose
+      Python-side bookkeeping was lost entirely (a close without unlink,
+      a registry bug).
+
+    A leaked block outlives the interpreter: under chaos testing, where
+    workers are genuinely killed mid-attach, this fixture is what proves
+    the cleanup paths actually run."""
+    before_blocks = set(active_block_names())
+    before_files = _shm_backing_files()
+    yield
+    leaked_blocks = set(active_block_names()) - before_blocks
+    leaked_files = _shm_backing_files() - before_files
+    assert not leaked_blocks, (
+        f"shared-memory blocks leaked by this test: {sorted(leaked_blocks)}"
+    )
+    assert not leaked_files, (
+        f"/dev/shm backing files leaked by this test: {sorted(leaked_files)}"
+    )
+
 
 # Paper timestamps for business time, used throughout the tests.
 BT_1993 = date_to_ts(1993, 1, 1)

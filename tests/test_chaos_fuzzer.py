@@ -1,0 +1,257 @@
+"""Chaos fuzzing: random queries × random fault plans vs. the oracle.
+
+The fault plane's whole-system contract (docs/fault_injection.md): for
+*any* query and *any* seeded :class:`FaultPlan`, a faulted run must
+either
+
+* return results **bit-identical** to the fault-free oracle (faults fire
+  before the task body, so retried work happens exactly once), or
+* give up **loudly** with :class:`ExecutorTaskError` carrying the full
+  attempt history —
+
+never a wrong answer, never a silent partial result.  Hypothesis drives
+both axes at once; the pinned ``@example`` cases are regressions that
+exercise paths plain random draws hit rarely (guaranteed give-up at
+rate 1.0, the multi-dimensional pivot path, latency-only plans).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ParTime, TemporalAggregationQuery, WindowSpec
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy, TASK_KINDS
+from repro.simtime import SerialExecutor
+from repro.simtime.executor import ExecutorTaskError
+from repro.sql import Database
+from repro.temporal import (
+    Column,
+    ColumnType,
+    FOREVER,
+    TableSchema,
+    TemporalTable,
+)
+from repro.workloads.bulk import append_rows
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        "chaos",
+        [Column("k", ColumnType.INT), Column("v", ColumnType.INT)],
+        business_dims=["bt"],
+        key="k",
+    )
+
+
+def build_table(rows) -> TemporalTable:
+    table = TemporalTable(_schema())
+    if not rows:
+        return table
+    n = len(rows)
+    append_rows(
+        table,
+        {
+            "k": np.arange(n, dtype=np.int64),
+            "v": np.array([r[4] for r in rows], dtype=np.int64),
+            "bt_start": np.array([r[0] for r in rows], dtype=np.int64),
+            "bt_end": np.array(
+                [FOREVER if r[1] is None else r[0] + r[1] for r in rows],
+                dtype=np.int64,
+            ),
+            "tt_start": np.array([r[2] for r in rows], dtype=np.int64),
+            "tt_end": np.array(
+                [FOREVER if r[3] is None else r[2] + r[3] for r in rows],
+                dtype=np.int64,
+            ),
+        },
+        next_version=100,
+    )
+    return table
+
+
+# One generated row: (bt_start, bt_dur|None, tt_start, tt_dur|None, value)
+row_strategy = st.tuples(
+    st.integers(0, 30),
+    st.one_of(st.none(), st.integers(1, 20)),
+    st.integers(0, 30),
+    st.one_of(st.none(), st.integers(1, 20)),
+    st.integers(-9, 9),
+)
+rows_strategy = st.lists(row_strategy, min_size=1, max_size=16)
+
+# Random fault plans: any seed, any rate, any non-empty kind subset.
+plan_strategy = st.builds(
+    FaultPlan,
+    seed=st.integers(0, 2**16),
+    rate=st.sampled_from((0.1, 0.3, 0.5, 0.8, 1.0)),
+    kinds=st.sets(
+        st.sampled_from(TASK_KINDS), min_size=1, max_size=len(TASK_KINDS)
+    ).map(tuple),
+    latency=st.floats(1.5, 6.0),
+)
+
+# Random one- and two-dimensional queries over the generated schema.
+query_strategy = st.one_of(
+    st.builds(
+        TemporalAggregationQuery,
+        varied_dims=st.sampled_from((("bt",), ("tt",))),
+        value_column=st.just("v"),
+        aggregate=st.sampled_from(("sum", "min", "max", "avg")),
+    ),
+    st.builds(
+        TemporalAggregationQuery,
+        varied_dims=st.sampled_from((("bt",), ("tt",))),
+        value_column=st.just("v"),
+        aggregate=st.just("sum"),
+        window=st.builds(
+            WindowSpec,
+            origin=st.integers(0, 10),
+            stride=st.integers(2, 8),
+            count=st.integers(1, 6),
+        ),
+    ),
+    st.builds(
+        TemporalAggregationQuery,
+        varied_dims=st.just(("bt", "tt")),
+        value_column=st.just("v"),
+        aggregate=st.just("sum"),
+        pivot=st.sampled_from(("bt", "tt")),
+    ),
+)
+
+# A tight retry budget keeps give-ups common enough to fuzz both arms.
+POLICY = RetryPolicy(max_attempts=3, base_delay=0.001)
+
+
+def _faulted_run(table, query, plan, workers):
+    injector = FaultInjector(plan, policy=POLICY)
+    executor = SerialExecutor(slots=workers, faults=injector)
+    outcome = ParTime().execute(table, query, workers=workers, executor=executor)
+    return outcome, injector
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=rows_strategy,
+    query=query_strategy,
+    plan=plan_strategy,
+    workers=st.integers(1, 4),
+)
+# Guaranteed give-up: every attempt of every task faults, so the run
+# must surface ExecutorTaskError (with history), never a partial result.
+@example(
+    rows=[(0, 5, 0, None, 3), (2, None, 1, 4, -1)],
+    query=TemporalAggregationQuery(varied_dims=("bt",), value_column="v"),
+    plan=FaultPlan(seed=7, rate=1.0, kinds=("task_error",)),
+    workers=2,
+)
+# Latency-only plan: slow_task never fails, so the run must *succeed*
+# with exact results no matter the rate — only simulated time inflates.
+@example(
+    rows=[(0, 5, 0, None, 3), (2, None, 1, 4, -1)],
+    query=TemporalAggregationQuery(varied_dims=("tt",), value_column="v"),
+    plan=FaultPlan(seed=3, rate=1.0, kinds=("slow_task",)),
+    workers=3,
+)
+# The multi-dimensional pivot path retries Step 1 *and* Step 2 phases.
+@example(
+    rows=[(0, None, 0, None, 1), (1, 2, 1, 2, 2), (3, 4, 0, 5, -3)],
+    query=TemporalAggregationQuery(
+        varied_dims=("bt", "tt"), value_column="v", pivot="tt"
+    ),
+    plan=FaultPlan(seed=23, rate=0.5),
+    workers=2,
+)
+def test_faulted_matches_oracle_or_gives_up_loudly(rows, query, plan, workers):
+    table = build_table(rows)
+    oracle = ParTime().execute(
+        table, query, workers=workers, executor=SerialExecutor(slots=workers)
+    )
+    try:
+        faulted, injector = _faulted_run(table, query, plan, workers)
+    except ExecutorTaskError as err:
+        # Loud give-up: the error names its phase and carries the attempt
+        # history of the task that exhausted its budget.
+        assert err.attempts, "give-up must carry the attempt history"
+        assert all(spec.kind in plan.kinds for spec in err.attempts)
+    else:
+        assert faulted.rows == oracle.rows
+        if "slow_task" in plan.kinds and plan.rate == 1.0:
+            assert injector.injected > 0  # latency plans always fire
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=rows_strategy,
+    query=query_strategy,
+    plan=plan_strategy,
+    workers=st.integers(1, 3),
+)
+def test_same_plan_replays_identically(rows, query, plan, workers):
+    """Determinism: the same plan on the same query produces the same
+    fault schedule, the same totals, and the same outcome — twice."""
+
+    def run():
+        table = build_table(rows)
+        try:
+            outcome, injector = _faulted_run(table, query, plan, workers)
+        except ExecutorTaskError as err:
+            return ("gave_up", err.attempts)
+        return ("ok", outcome.rows, injector.history(), injector.summary())
+
+    assert run() == run()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=rows_strategy,
+    seed=st.integers(0, 2**16),
+    rate=st.sampled_from((0.2, 0.5)),
+    count=st.sampled_from(("COUNT(*)", "sum(v)")),
+)
+@example(  # windowed SQL through a faulted Database
+    rows=[(0, 5, 0, None, 3), (2, None, 1, 4, -1)],
+    seed=1337,
+    rate=0.5,
+    count="sum(v)",
+)
+def test_sql_statements_survive_fault_plans(rows, seed, rate, count):
+    """The same contract one layer up: SQL through a faulted
+    :class:`Database` either matches the fault-free database exactly or
+    raises ExecutorTaskError."""
+    sql = (
+        "SELECT COUNT(*) FROM chaos WHERE v >= 0"
+        if count == "COUNT(*)"
+        else f"SELECT {count} FROM chaos GROUP BY TEMPORAL (bt)"
+    )
+    with Database(workers=2) as clean:
+        clean.register("chaos", build_table(rows))
+        expected = clean.query(sql)
+    with Database(workers=2, faults=f"{seed}:{rate}", retry=POLICY) as db:
+        db.register("chaos", build_table(rows))
+        try:
+            got = db.query(sql)
+        except ExecutorTaskError as err:
+            assert err.attempts
+            assert db.faults is not None and db.faults.gave_up > 0
+            return
+    if hasattr(expected, "rows"):
+        assert got.rows == expected.rows
+    else:
+        assert got == expected
+    assert db.faults is not None  # the plan was threaded through
+
+
+def test_pinned_wal_commit_marker_regression(tmp_path):
+    """Falsifying example found by the crash-point matrix, pinned here as
+    a plain regression: a crash exactly between a record's last byte and
+    its newline leaves a parseable-but-unterminated line that replay must
+    *discard* (parseability alone is not durability)."""
+    from repro.storage.recovery import WriteAheadLog
+
+    path = tmp_path / "torn.wal"
+    record = '{"version": 0, "op": {"kind": "delete", "key": 1, "business": null}}'
+    path.write_text(record)  # no trailing newline: the commit never landed
+    assert list(WriteAheadLog.replay(str(path))) == []

@@ -26,6 +26,7 @@ import os
 import pytest
 
 from repro.core import ParTime, TemporalAggregationQuery, WindowSpec
+from repro.faults import FaultInjector, FaultPlan
 from repro.obs import metrics
 from repro.obs.tracer import tracing
 from repro.simtime import SerialExecutor, SimClock, ThreadExecutor
@@ -326,6 +327,153 @@ class TestThreeWayParity:
                 table, query, workers=2, executor=process_executor
             )
             assert got.rows == ref.rows
+
+
+# ---------------------------------------------------------------------------
+# Chaos parity: the same fault plan on every backend
+# ---------------------------------------------------------------------------
+
+
+class TestChaosParity:
+    """The determinism contract of ``repro.faults`` (see
+    docs/fault_injection.md): one seeded :class:`FaultPlan` run against
+    Serial/Thread/Process backends must produce identical query results,
+    an identical fault schedule, identical retry totals, and identical
+    simulated backoff bookings — even though the process backend enacts
+    ``worker_kill`` by genuinely hard-exiting pool workers."""
+
+    # Probed so attempt-1 draws actually fire on the employee workload:
+    # shm_attach@step1 task 0, worker_kill@step1 task 1, shm_attach@step2
+    # task 1 — every process-specific enactment path is exercised.
+    PLAN = FaultPlan(seed=23, rate=0.5)
+
+    def _run(self, table, query, make_exec):
+        injector = FaultInjector(self.PLAN)
+        executor = make_exec(injector)
+        metrics().reset()
+        try:
+            result = ParTime().execute(
+                table, query, workers=2, executor=executor
+            )
+        finally:
+            close = getattr(executor, "close", None)
+            if close is not None:
+                close()
+        backoff = [
+            (p.label, tuple(p.durations))
+            for p in executor.clock.phases
+            if p.label == "faults.backoff"
+        ]
+        return (
+            result.rows,
+            injector.history(),
+            injector.summary(),
+            backoff,
+            metrics().snapshot(),
+        )
+
+    def test_chaos_three_way_parity(self):
+        table = build_employee_table()
+        query = TemporalAggregationQuery(
+            varied_dims=("tt",), value_column="salary"
+        )
+        backends = {
+            "serial": lambda inj: SerialExecutor(slots=2, faults=inj),
+            "threads": lambda inj: ThreadExecutor(max_workers=2, faults=inj),
+            "process": lambda inj: ProcessExecutor(
+                max_workers=2, faults=inj, start_method=START_METHODS[0]
+            ),
+        }
+        outcomes = {
+            name: self._run(table, query, make) for name, make in backends.items()
+        }
+        rows, history, summary, backoff, snapshot = outcomes["serial"]
+        assert summary["injected"] > 0  # the plan actually fired
+        for backend in ("threads", "process"):
+            other = outcomes[backend]
+            assert other[0] == rows, backend  # identical answers
+            assert other[1] == history, backend  # identical fault schedule
+            assert other[2] == summary, backend  # identical retry totals
+            assert other[3] == backoff, backend  # bit-identical backoff
+            assert other[4] == snapshot, backend  # identical metrics
+
+    def test_chaos_results_match_fault_free_oracle(self):
+        table = build_employee_table()
+        query = TemporalAggregationQuery(
+            varied_dims=("bt", "tt"), value_column="salary", pivot="tt"
+        )
+        oracle = ParTime().execute(
+            table, query, workers=2, executor=SerialExecutor()
+        )
+        metrics().reset()
+        oracle_snapshot = None
+        for seed in (1, 2, 3):
+            metrics().reset()
+            ParTime().execute(
+                table, query, workers=2, executor=SerialExecutor()
+            )
+            oracle_snapshot = metrics().snapshot()
+            metrics().reset()
+            faulted = ParTime().execute(
+                table,
+                query,
+                workers=2,
+                executor=SerialExecutor(
+                    faults=FaultInjector(FaultPlan(seed=seed, rate=0.5))
+                ),
+            )
+            assert faulted.rows == oracle.rows
+            faulted_snapshot = metrics().snapshot()
+            # Engine counters stay bit-identical (faults fire before the
+            # task body, so retried work happens exactly once); only the
+            # fault plane's own counters may differ.
+            scrub = lambda s: {  # noqa: E731 — local projection
+                "counters": {
+                    k: v
+                    for k, v in s["counters"].items()
+                    if not k.startswith("faults.")
+                },
+                "gauges": s["gauges"],
+            }
+            assert scrub(faulted_snapshot) == scrub(oracle_snapshot)
+
+    def test_worker_kill_really_kills_and_recovers(self):
+        """A plan of nothing but worker kills: the process pool loses a
+        worker per attempt, rebuilds, and still finishes with exact
+        results (the retried task runs exactly once)."""
+        plan = FaultPlan(seed=11, rate=0.5, kinds=("worker_kill",))
+        injector = FaultInjector(plan)
+        with ProcessExecutor(
+            max_workers=2, faults=injector, start_method=START_METHODS[0]
+        ) as executor:
+            results = executor.map_parallel(
+                _square, list(range(6)), label="kills"
+            )
+        assert results == [x * x for x in range(6)]
+        assert injector.injected > 0
+        assert all(s.kind == "worker_kill" for s in injector.history())
+
+    def test_shm_attach_fault_enacted_worker_side(self, amadeus_table):
+        """``shm_attach`` faults must fail the *real* attach in the worker
+        (through the shm attach hook), then succeed on retry."""
+        plan = FaultPlan(seed=23, rate=0.4, kinds=("shm_attach",))
+        injector = FaultInjector(plan)
+        query = TemporalAggregationQuery(varied_dims=("tt",), value_column=None)
+        oracle = ParTime().execute(
+            amadeus_table, query, workers=2, executor=SerialExecutor()
+        )
+        with ProcessExecutor(
+            max_workers=2, faults=injector, start_method=START_METHODS[0]
+        ) as executor:
+            got = ParTime().execute(
+                amadeus_table, query, workers=2, executor=executor
+            )
+        assert got.rows == oracle.rows
+        assert injector.injected > 0
+
+
+def _square(x):
+    return x * x
 
 
 @pytest.mark.skipif(

@@ -1,0 +1,496 @@
+"""The fault-injection plane: plans, retries, WAL crash points.
+
+Three pillars (see docs/fault_injection.md):
+
+* **Determinism** — a :class:`FaultPlan` is a pure function of its seed
+  and the injection-site key, so the same seed always produces the same
+  schedule, independent of call order, threads or backends.
+* **Exactly-once work** — failing faults fire *before* the task body, so
+  a query that survives injected faults returns results (and engine
+  metrics) bit-identical to a fault-free run.
+* **Crash-consistency** — the WAL crash-point matrix simulates a crash
+  at *every byte boundary* of an append stream and asserts recovery
+  restores exactly the longest durable prefix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    current_injector,
+    fault_injection,
+    make_injector,
+)
+from repro.obs import metrics
+from repro.simtime import SerialExecutor, SimClock
+from repro.simtime.executor import ExecutorTaskError, ThreadExecutor
+from repro.storage import Cluster, InsertOp, UpdateOp
+from repro.storage.queries import DeleteOp
+from repro.storage.recovery import WriteAheadLog, recover_cluster
+from repro.temporal import TemporalTable
+
+from tests.conftest import employee_schema
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan: the pure, deterministic schedule
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_draw_is_pure(self):
+        plan = FaultPlan(seed=7, rate=0.5)
+        draws = [plan.draw("phase", 0, i, 1) for i in range(50)]
+        again = [plan.draw("phase", 0, i, 1) for i in range(50)]
+        assert draws == again
+
+    def test_draw_is_order_independent(self):
+        plan = FaultPlan(seed=7, rate=0.5)
+        forward = [plan.draw("p", 0, i, 1) for i in range(20)]
+        backward = [plan.draw("p", 0, i, 1) for i in reversed(range(20))]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_differ(self):
+        a = [FaultPlan(seed=1, rate=0.5).draw("p", 0, i, 1) for i in range(40)]
+        b = [FaultPlan(seed=2, rate=0.5).draw("p", 0, i, 1) for i in range(40)]
+        assert a != b
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan(seed=3, rate=0.0)
+        assert all(plan.draw("p", 0, i, 1) is None for i in range(100))
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan(seed=3, rate=1.0)
+        assert all(plan.draw("p", 0, i, 1) is not None for i in range(100))
+
+    def test_kinds_filter_intersects_site_kinds(self):
+        plan = FaultPlan(seed=3, rate=1.0, kinds=("wal_torn",))
+        # Executor sites never draw WAL kinds, even at rate 1.
+        assert plan.draw("p", 0, 0, 1) is None
+        spec = plan.draw("wal.append", 0, 0, 1, kinds=("wal_torn",))
+        assert spec is not None and spec.kind == "wal_torn"
+        assert 0.0 <= spec.fraction < 1.0
+
+    def test_slow_task_multiplier_bounded(self):
+        plan = FaultPlan(seed=5, rate=1.0, kinds=("slow_task",), latency=3.0)
+        for i in range(50):
+            spec = plan.draw("p", 0, i, 1)
+            assert spec.kind == "slow_task"
+            assert 1.0 <= spec.multiplier <= 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, kinds=("nope",))
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, latency=0.5)
+
+    def test_parse(self):
+        assert FaultPlan.parse(None) is None
+        assert FaultPlan.parse(7) == FaultPlan(seed=7)
+        assert FaultPlan.parse("7") == FaultPlan(seed=7)
+        assert FaultPlan.parse("7:0.25") == FaultPlan(seed=7, rate=0.25)
+        plan = FaultPlan(seed=9, rate=0.4)
+        assert FaultPlan.parse(plan) is plan
+        with pytest.raises(ValueError):
+            FaultPlan.parse("not-a-seed")
+        with pytest.raises(TypeError):
+            FaultPlan.parse(True)
+        with pytest.raises(TypeError):
+            FaultPlan.parse(3.5)
+
+    def test_fault_injected_pickles(self):
+        import pickle
+
+        exc = FaultInjected("worker_kill", site="p", detail="d")
+        clone = pickle.loads(pickle.dumps(exc))
+        assert (clone.kind, clone.site, clone.detail) == ("worker_kill", "p", "d")
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(base_delay=0.01, multiplier=2.0, jitter=0.0)
+        assert policy.backoff_delay(1, 0.0) == pytest.approx(0.01)
+        assert policy.backoff_delay(3, 0.0) == pytest.approx(0.04)
+
+    def test_jitter_stretches_delay(self):
+        policy = RetryPolicy(base_delay=0.01, multiplier=1.0, jitter=0.5)
+        assert policy.backoff_delay(1, 1.0) == pytest.approx(0.015)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(phase_timeout=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# FaultInjector / PhaseSession: the retry loop
+# ---------------------------------------------------------------------------
+
+
+class TestInjector:
+    def test_make_injector_forms(self):
+        assert make_injector(None) is None
+        injector = make_injector(5)
+        assert injector.plan == FaultPlan(seed=5)
+        assert make_injector(injector) is injector
+        custom = make_injector("5:0.9", RetryPolicy(max_attempts=2))
+        assert custom.policy.max_attempts == 2
+
+    def test_executor_survives_full_fault_rate(self):
+        """rate=1.0 faults every attempt; with only the non-failing
+        ``slow_task`` kind enabled, every task still converges (and no
+        retry is booked — a straggler is not a failure)."""
+        injector = FaultInjector(FaultPlan(seed=21, rate=1.0, kinds=("slow_task",)))
+        executor = SerialExecutor(faults=injector)
+        assert executor.map_parallel(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        assert injector.injected == 3
+        assert injector.retries == 0  # slow tasks are not failures
+
+    def test_give_up_carries_attempt_history(self):
+        injector = FaultInjector(
+            FaultPlan(seed=4, rate=1.0, kinds=("task_error",)),
+            RetryPolicy(max_attempts=3),
+        )
+        executor = SerialExecutor(faults=injector)
+        with pytest.raises(ExecutorTaskError) as err:
+            executor.map_parallel(lambda x: x, [0], label="doomed")
+        assert len(err.value.attempts) == 3
+        assert {s.kind for s in err.value.attempts} == {"task_error"}
+        assert err.value.phase == "doomed"
+        assert injector.gave_up == 1
+
+    def test_phase_timeout_gives_up_early(self):
+        injector = FaultInjector(
+            FaultPlan(seed=4, rate=1.0, kinds=("task_error",)),
+            RetryPolicy(max_attempts=50, base_delay=1.0, phase_timeout=2.5),
+        )
+        executor = SerialExecutor(faults=injector)
+        with pytest.raises(ExecutorTaskError) as err:
+            executor.map_parallel(lambda x: x, [0], label="slowpoke")
+        assert "retry budget exhausted" in str(err.value)
+        assert injector.retries < 49  # gave up long before max_attempts
+
+    def test_genuine_exceptions_not_retried(self):
+        """The plane only absorbs its own faults — real bugs surface."""
+        injector = make_injector("9:0.0")  # plan never fires
+        executor = SerialExecutor(faults=injector)
+
+        def boom(_x):
+            raise KeyError("real bug")
+
+        with pytest.raises(KeyError):
+            executor.map_parallel(boom, [0], label="buggy")
+        assert injector.retries == 0
+
+    def test_backoff_booked_into_clock(self):
+        injector = FaultInjector(
+            FaultPlan(seed=8, rate=1.0, kinds=("task_error",)),
+            RetryPolicy(max_attempts=5),
+        )
+        clock = SimClock()
+        executor = SerialExecutor(clock=clock, faults=injector)
+        # seed 8 faults attempt 1 at rate 1.0 and (task_error only) every
+        # retry too — use a plan mixing in slow_task so tasks converge.
+        injector = FaultInjector(
+            FaultPlan(seed=8, rate=0.6, kinds=("task_error", "slow_task"))
+        )
+        executor = SerialExecutor(clock=clock, faults=injector)
+        executor.map_parallel(lambda x: x, list(range(12)), label="phase")
+        if injector.retries:
+            labels = [p.label for p in clock.phases]
+            assert "faults.backoff" in labels
+            backoff = [
+                p for p in clock.phases if p.label == "faults.backoff"
+            ]
+            total = sum(sum(p.durations) for p in backoff)
+            assert total == pytest.approx(injector.backoff_seconds)
+            assert clock.elapsed > 0
+
+    def test_results_bit_identical_to_fault_free(self):
+        items = list(range(16))
+        fn = lambda x: x * x  # noqa: E731 — tiny task
+        clean = SerialExecutor().map_parallel(fn, items, label="p")
+        injector = make_injector("13:0.5")
+        faulted = SerialExecutor(faults=injector).map_parallel(fn, items, label="p")
+        assert faulted == clean
+        assert injector.injected > 0
+
+    def test_metrics_counters_emitted(self):
+        metrics().reset()
+        injector = FaultInjector(
+            FaultPlan(seed=2, rate=0.7, kinds=("task_error", "slow_task"))
+        )
+        SerialExecutor(faults=injector).map_parallel(
+            lambda x: x, list(range(10)), label="p"
+        )
+        counters = metrics().snapshot()["counters"]
+        assert counters.get("faults.injected", 0) == injector.injected
+        assert counters.get("faults.retries", 0) == injector.retries
+
+    def test_history_is_sorted_and_deterministic(self):
+        def run(make):
+            injector = make_injector("31:0.5")
+            make(injector).map_parallel(lambda x: x, list(range(12)), label="p")
+            return injector.history()
+
+        serial = run(lambda inj: SerialExecutor(faults=inj))
+        threaded = run(lambda inj: ThreadExecutor(4, faults=inj))
+        assert serial == threaded
+        assert list(serial) == sorted(serial)
+
+    def test_ambient_activation(self):
+        assert current_injector() is None
+        with fault_injection("77:0.5") as injector:
+            assert current_injector() is injector
+            executor = SerialExecutor()
+            assert executor.faults is injector
+            with fault_injection(injector.plan) as inner:
+                assert current_injector() is inner
+            assert current_injector() is injector
+        assert current_injector() is None
+        with pytest.raises(ValueError):
+            with fault_injection(None):  # type: ignore[arg-type]
+                pass
+
+
+# ---------------------------------------------------------------------------
+# WAL: faulted appends and the crash-point matrix
+# ---------------------------------------------------------------------------
+
+
+def _ops():
+    return [
+        InsertOp({"name": "Anna", "descr": "CEO", "salary": 10}, {"bt": 0}),
+        InsertOp({"name": "Ben", "descr": "Coder", "salary": 5}, {"bt": 0}),
+        UpdateOp("Anna", {"salary": 15}, {"bt": 10}),
+        InsertOp({"name": "Chris", "descr": "Coder", "salary": 5}, {"bt": 3}),
+        DeleteOp("Ben", {"bt": 20}),
+        UpdateOp("Chris", {"descr": "Manager"}, {"bt": 5}),
+    ]
+
+
+class TestWalFaults:
+    def test_faulted_appends_replay_identically(self, tmp_path):
+        clean_path = str(tmp_path / "clean.jsonl")
+        with WriteAheadLog(clean_path) as wal:
+            for version, op in enumerate(_ops()):
+                wal.append(version, op)
+        faulted_path = str(tmp_path / "faulted.jsonl")
+        injector = FaultInjector(FaultPlan(seed=17, rate=0.6))
+        with WriteAheadLog(faulted_path, faults=injector) as wal:
+            for version, op in enumerate(_ops()):
+                wal.append(version, op)
+        assert injector.injected > 0
+        with open(clean_path, "rb") as a, open(faulted_path, "rb") as b:
+            assert a.read() == b.read()  # bit-identical after retries
+
+    def test_give_up_leaves_longest_durable_prefix(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path)
+        wal.append(0, _ops()[0])
+        wal.append(1, _ops()[1])
+        # Now every further append is doomed: torn on all attempts.
+        wal.faults = FaultInjector(
+            FaultPlan(seed=1, rate=1.0, kinds=("wal_torn",)),
+            RetryPolicy(max_attempts=2),
+        )
+        with pytest.raises(ExecutorTaskError):
+            wal.append(2, _ops()[2])
+        wal.close()
+        records = list(WriteAheadLog.replay(path))
+        assert [v for v, _ in records] == [0, 1]  # durable prefix only
+
+    def test_wal_fault_books_backoff_counter(self, tmp_path):
+        metrics().reset()
+        injector = FaultInjector(FaultPlan(seed=17, rate=0.6))
+        with WriteAheadLog(str(tmp_path / "w.jsonl"), faults=injector) as wal:
+            for version, op in enumerate(_ops()):
+                wal.append(version, op)
+        if injector.retries:
+            counters = metrics().snapshot()["counters"]
+            assert counters["faults.backoff_seconds"] == pytest.approx(
+                injector.backoff_seconds
+            )
+
+
+class TestCrashPointMatrix:
+    """Simulate a crash at *every byte boundary* of the append stream."""
+
+    def _full_log(self, tmp_path) -> tuple[bytes, int]:
+        path = str(tmp_path / "full.jsonl")
+        wal = WriteAheadLog(path)
+        schema = employee_schema()
+        cluster = Cluster.from_table(TemporalTable(schema), 3, wal=wal)
+        for op in _ops():
+            cluster.execute_batch([op])
+        wal.close()
+        with open(path, "rb") as fh:
+            return fh.read(), cluster._version  # noqa: SLF001 — invariant probe
+
+    def test_every_byte_boundary_recovers_durable_prefix(self, tmp_path):
+        data, final_version = self._full_log(tmp_path)
+        schema = employee_schema()
+        assert data.endswith(b"\n") and final_version == len(_ops())
+        crash_path = str(tmp_path / "crash.jsonl")
+        for cut in range(len(data) + 1):
+            prefix = data[:cut]
+            with open(crash_path, "wb") as fh:
+                fh.write(prefix)
+            # A record is durable iff its trailing newline made it to disk.
+            durable = prefix.count(b"\n")
+            recovered = recover_cluster(schema, crash_path, num_storage=3)
+            assert recovered._version == durable, (  # noqa: SLF001
+                f"crash at byte {cut}: expected {durable} durable records"
+            )
+
+    def test_replayed_prefix_matches_original_state(self, tmp_path):
+        """Recovery from a mid-record crash equals recovery from the
+        clean prefix — torn bytes change nothing."""
+        data, _ = self._full_log(tmp_path)
+        schema = employee_schema()
+        newlines = [i for i, b in enumerate(data) if b == ord("\n")]
+        # Crash halfway through the fourth record:
+        cut = newlines[2] + 1 + (newlines[3] - newlines[2]) // 2
+        torn_path = str(tmp_path / "torn.jsonl")
+        with open(torn_path, "wb") as fh:
+            fh.write(data[:cut])
+        clean_path = str(tmp_path / "clean.jsonl")
+        with open(clean_path, "wb") as fh:
+            fh.write(data[: newlines[2] + 1])
+        torn = recover_cluster(schema, torn_path, num_storage=3)
+        clean = recover_cluster(schema, clean_path, num_storage=3)
+        for t_node, c_node in zip(torn.nodes, clean.nodes):
+            for col in schema.physical_columns():
+                assert (
+                    t_node.table.column(col).tolist()
+                    == c_node.table.column(col).tolist()
+                )
+
+    def test_torn_tail_followed_by_garbage_is_discarded(self, tmp_path):
+        """Replay never raises on a torn tail, whatever the tear point."""
+        data, _ = self._full_log(tmp_path)
+        path = str(tmp_path / "g.jsonl")
+        for tail in (b"{", b'{"version"', b'{"version": 6, "op": {"kind"'):
+            with open(path, "wb") as fh:
+                fh.write(data + tail)
+            records = list(WriteAheadLog.replay(path))
+            assert len(records) == len(_ops())
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: queries under faults
+# ---------------------------------------------------------------------------
+
+
+class TestEnginesUnderFaults:
+    def test_database_query_exact_under_faults(self):
+        from tests.conftest import build_employee_table
+        from repro.sql import Database
+
+        table = build_employee_table()
+        sql = "SELECT SUM(salary) FROM employee GROUP BY TEMPORAL (tt)"
+
+        def run(faults=None):
+            with Database(workers=3, faults=faults) as db:
+                db.register("employee", table)
+                return db.query(sql)
+
+        clean = run()
+        faulted = run("5:0.6")
+        assert faulted.rows == clean.rows
+
+    def test_crescando_forced_onto_serial_backend(self):
+        from tests.conftest import build_employee_table
+        from repro.storage import CrescandoEngine
+
+        engine = CrescandoEngine(num_storage=2, faults=5)
+        assert engine.backend == "serial"
+        engine.bulkload(build_employee_table())
+
+    def test_timeline_builds_under_faults(self):
+        from tests.conftest import build_employee_table
+        from repro.timeline import TimelineEngine
+
+        clean = TimelineEngine(value_columns=("salary",))
+        clean.bulkload(build_employee_table())
+        faulted = TimelineEngine(value_columns=("salary",), faults="5:0.7")
+        faulted.bulkload(build_employee_table())
+        assert faulted.faults is not None
+        assert type(faulted.executor).__name__ == "SerialExecutor"
+
+    def test_bench_context_threads_faults(self):
+        from repro.bench.runner import BenchContext
+
+        ctx = BenchContext(smoke=True, faults="1337:0.2")
+        assert ctx.faults == "1337:0.2"
+
+    def test_cli_rejects_bad_fault_spec(self, capsys):
+        from repro.cli import main
+
+        status = main(["bench", "ablation_deltamap", "--faults", "bogus"])
+        assert status == 2
+        assert "bad fault spec" in capsys.readouterr().err
+
+
+class TestShmLeakPaths:
+    """Cleanup on the error paths the chaos plan exercises hardest.
+
+    The autouse ``_no_shm_leaks`` fixture in ``tests/conftest.py`` is the
+    net; these tests aim straight at the holes it was strung under."""
+
+    def test_partial_export_releases_earlier_handles(self, monkeypatch):
+        """``_export_payloads`` is all-or-nothing: an export that fails
+        partway must release the handles it already created (they are
+        invisible to the caller's ``finally: release_all``)."""
+        import repro.simtime.executor as executor_mod
+        from repro.simtime.executor import ProcessExecutor
+        from repro.simtime.shm import active_block_names
+        from tests.conftest import build_employee_table
+
+        chunk = build_employee_table().chunk()
+        real_export = executor_mod.export_chunk
+        calls = {"n": 0}
+
+        def flaky_export(item):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise OSError("no space left on /dev/shm")
+            return real_export(item)
+
+        monkeypatch.setattr(executor_mod, "export_chunk", flaky_export)
+        executor = ProcessExecutor(max_workers=2)
+        before = active_block_names()
+        with pytest.raises(OSError, match="no space left"):
+            executor._export_payloads([chunk, chunk])  # noqa: SLF001 — leak path under test
+        assert active_block_names() == before
+
+    def test_killed_worker_leaves_no_blocks_behind(self):
+        """A genuinely hard-exited worker (``worker_kill`` through the
+        process backend) must not strand the parent-owned block: the
+        faulted dispatch path releases every exported handle even when
+        attempts die mid-attach."""
+        from repro.core import ParTime, TemporalAggregationQuery
+        from repro.simtime.executor import ProcessExecutor
+        from repro.simtime.shm import active_block_names
+        from tests.conftest import build_employee_table
+
+        plan = FaultPlan(seed=11, rate=0.5, kinds=("worker_kill",))
+        before = active_block_names()
+        table = build_employee_table()
+        query = TemporalAggregationQuery(varied_dims=("tt",), value_column="salary")
+        with ProcessExecutor(max_workers=2, faults=FaultInjector(plan)) as executor:
+            ParTime().execute(table, query, workers=2, executor=executor)
+        assert active_block_names() == before
