@@ -17,6 +17,7 @@ bench.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.aggtree.balanced import BalancedAggregationTree
@@ -74,6 +75,34 @@ def _traverse(tree, aggregate, until: int, drop_empty: bool):
     return rows
 
 
+@dataclass(frozen=True)
+class _BuildTreeTask:
+    """Pass-1 task: build one partition's tree.
+
+    Module-level and frozen so it pickles for the process backend
+    (PT006); ``aggregate`` is carried as the caller's spec and resolved
+    inside the worker by :func:`_build_tree`.
+    """
+
+    dim: str
+    value_column: str | None
+    aggregate: object
+    predicate: Predicate | None
+    query_interval: Interval | None
+    balanced: bool
+
+    def __call__(self, chunk: TableChunk):
+        return _build_tree(
+            chunk,
+            self.dim,
+            self.value_column,
+            self.aggregate,
+            self.predicate,
+            self.query_interval,
+            self.balanced,
+        )
+
+
 def aggregation_tree_aggregate(
     chunk: TableChunk,
     dim: str,
@@ -113,11 +142,9 @@ def parallel_aggregation_tree(
     executor = executor or SerialExecutor()
     agg = get_aggregate(aggregate)
 
-    def build(chunk: TableChunk):
-        return _build_tree(
-            chunk, dim, value_column, agg, predicate, query_interval, balanced
-        )
-
+    build = _BuildTreeTask(
+        dim, value_column, aggregate, predicate, query_interval, balanced
+    )
     trees = executor.map_parallel(build, chunks, label="aggtree.build")
 
     def merge_and_traverse():

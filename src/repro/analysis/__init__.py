@@ -1,16 +1,23 @@
 """Parallel-safety analysis for the simtime substrate.
 
-Two halves (see ``docs/static_analysis.md``):
+Three layers (see ``docs/static_analysis.md``):
 
 * a **static lint framework** — :class:`Rule` protocol, AST driver,
   :class:`Finding`/:class:`Severity` model, per-line suppression, and the
-  repo-specific rule catalogue PT001–PT005 (``python -m repro lint``);
+  repo-specific module-local catalogue PT001–PT005
+  (``python -m repro lint``);
+* a **whole-program dataflow layer** (:mod:`repro.analysis.flow`) —
+  project call graph, bottom-up effect summaries, and the
+  interprocedural rule family PT006–PT010 (unpicklable task capture,
+  shm-view escape, nondeterminism sources, fault-blind phases,
+  transitive impure aggregates), with SARIF output and baseline
+  ratcheting;
 * a **runtime sanitizer** — :class:`SanitizingExecutor`, ThreadSanitizer
   for simulated parallelism: wraps any executor and reports
   :class:`RaceReport`\\ s when two tasks of one phase write overlapping
   keys of shared state.
 
-Both exist to machine-check the DESIGN.md substitution's two claims: that
+All exist to machine-check the DESIGN.md substitution's two claims: that
 Step 1 is embarrassingly parallel and that every measured cost flows
 through :class:`~repro.simtime.clock.SimClock`.
 """
@@ -18,11 +25,17 @@ through :class:`~repro.simtime.clock.SimClock`.
 from repro.analysis.model import (
     Finding,
     ModuleContext,
+    ProjectContext,
+    ProjectRule,
     Rule,
     Severity,
+    Suppression,
+    extract_suppressions,
+    parse_suppression,
     suppressed_codes,
 )
 from repro.analysis.rules import (
+    ALL_RULES,
     DEFAULT_RULES,
     RULES_BY_ID,
     GilBlindLoopRule,
@@ -37,6 +50,7 @@ from repro.analysis.driver import (
     iter_python_files,
     lint_paths,
     lint_source,
+    normalize_path,
 )
 from repro.analysis.sanitizer import (
     ChunkProxy,
@@ -51,10 +65,16 @@ __all__ = [
     # model
     "Finding",
     "ModuleContext",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "Severity",
+    "Suppression",
+    "extract_suppressions",
+    "parse_suppression",
     "suppressed_codes",
     # rules
+    "ALL_RULES",
     "DEFAULT_RULES",
     "RULES_BY_ID",
     "SharedMutableCaptureRule",
@@ -68,6 +88,7 @@ __all__ = [
     "iter_python_files",
     "format_findings",
     "explain_rules",
+    "normalize_path",
     # sanitizer
     "SanitizingExecutor",
     "RaceReport",

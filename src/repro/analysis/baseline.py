@@ -1,0 +1,81 @@
+"""Baseline ratchet: land new rules warn-first, then ratchet to zero.
+
+A baseline file records the *fingerprints* of currently-accepted
+findings; a later lint run fails only on findings whose fingerprint is
+not in the baseline.  Fingerprints deliberately exclude line/column
+numbers (pure edits above a finding must not churn the baseline) and
+disambiguate repeats of the same (path, rule, message) with an occurrence
+counter, so the file is byte-stable across platforms given the driver's
+posix-relative path normalization and deterministic ordering.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Sequence
+
+from repro.analysis.model import Finding
+
+BASELINE_VERSION = 1
+
+
+def _base_key(finding: Finding) -> str:
+    return f"{finding.path}::{finding.rule_id}::{finding.message}"
+
+
+def finding_fingerprints(findings: Sequence[Finding]) -> dict:
+    """Stable fingerprint per finding (occurrence-counted, line-free)."""
+    counters: dict[str, int] = {}
+    out: dict[Finding, str] = {}
+    # Occurrence numbering follows (line, col) order within each key so
+    # the Nth repeat keeps its identity as unrelated lines move.
+    for f in sorted(findings):
+        key = _base_key(f)
+        n = counters.get(key, 0)
+        counters[key] = n + 1
+        digest = hashlib.sha256(f"{key}::{n}".encode("utf-8")).hexdigest()
+        out[f] = digest[:20]
+    return out
+
+
+def write_baseline(findings: Sequence[Finding], path: str) -> int:
+    """Write the baseline for ``findings``; returns the entry count."""
+    fingerprints = sorted(finding_fingerprints(findings).values())
+    doc = {
+        "version": BASELINE_VERSION,
+        "note": (
+            "accepted lint findings; regenerate with "
+            "`python -m repro lint --write-baseline <path>` and ratchet "
+            "toward an empty list"
+        ),
+        "fingerprints": fingerprints,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    return len(fingerprints)
+
+
+def load_baseline(path: str) -> set:
+    """The fingerprint set of a baseline file (``ValueError`` on shape)."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: not a lint baseline (expected version "
+            f"{BASELINE_VERSION})"
+        )
+    fingerprints = doc.get("fingerprints", [])
+    if not isinstance(fingerprints, list):
+        raise ValueError(f"{path}: 'fingerprints' must be a list")
+    return set(fingerprints)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: set
+) -> "tuple[list[Finding], int]":
+    """Split findings into (new, number-suppressed-by-baseline)."""
+    fingerprints = finding_fingerprints(findings)
+    fresh = [f for f in findings if fingerprints[f] not in baseline]
+    return fresh, len(findings) - len(fresh)

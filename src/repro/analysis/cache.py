@@ -1,0 +1,108 @@
+"""mtime+hash summary cache backing the lint-runtime budget.
+
+Stage 1 of the whole-program analysis (:func:`extract_module`) is a pure
+function of one file's source, so its :class:`ModuleSummary` output can
+be reused across runs: the cache keys each path by ``(mtime, size)`` for
+the fast path and by a content hash for correctness (a touch without an
+edit still hits).  The CI budget check (``--budget``) relies on warm
+runs skipping extraction entirely.
+
+The cache is a single JSON file; a format bump (or any read error)
+silently invalidates it — the cache is an optimization, never a source
+of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.analysis.flow.callgraph import ModuleSummary
+
+#: Bump when extraction semantics change — stale summaries must not
+#: survive a rule upgrade.
+CACHE_FORMAT = 1
+
+
+def _sha(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class SummaryCache:
+    """Per-file :class:`ModuleSummary` cache with mtime+hash validation."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._entries: dict[str, dict] = {}
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            if (
+                isinstance(doc, dict)
+                and doc.get("format") == CACHE_FORMAT
+                and isinstance(doc.get("entries"), dict)
+            ):
+                self._entries = doc["entries"]
+        except (OSError, ValueError):
+            self._entries = {}
+
+    def get(self, path: str, source: str) -> "ModuleSummary | None":
+        entry = self._entries.get(path)
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            stat = os.stat(path)
+            mtime_ok = (
+                entry.get("mtime") == stat.st_mtime_ns
+                and entry.get("size") == stat.st_size
+            )
+        except OSError:
+            mtime_ok = False
+        if not mtime_ok and entry.get("sha") != _sha(source):
+            self.misses += 1
+            return None
+        try:
+            summary = ModuleSummary.from_dict(entry["summary"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        if not mtime_ok:
+            # Content matched but stat moved (e.g. a touch): refresh the
+            # fast-path key so the next run hits without hashing.
+            self._stamp(path, entry)
+        self.hits += 1
+        return summary
+
+    def put(self, path: str, source: str, summary: ModuleSummary) -> None:
+        entry = {"sha": _sha(source), "summary": summary.to_dict()}
+        self._stamp(path, entry)
+        self._entries[path] = entry
+
+    def _stamp(self, path: str, entry: dict) -> None:
+        try:
+            stat = os.stat(path)
+            entry["mtime"] = stat.st_mtime_ns
+            entry["size"] = stat.st_size
+        except OSError:
+            entry["mtime"] = entry["size"] = -1
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        doc = {"format": CACHE_FORMAT, "entries": self._entries}
+        tmp = f"{self.path}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

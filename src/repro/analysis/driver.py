@@ -4,6 +4,18 @@ The public entry points are :func:`lint_paths` (what the CLI and the CI
 gate call) and :func:`lint_source` (what the rule tests call with inline
 fixtures).  Unparseable files are reported as ``PT000`` findings rather
 than crashing the run, so the lint gate also catches syntax rot.
+
+Pipeline of one :func:`lint_paths` run:
+
+1. walk + parse every file (paths normalized to posix-relative form so
+   output, baselines and SARIF are platform-stable);
+2. module rules (PT001–PT005) per file;
+3. project rules (PT001 extension, PT006–PT010) over the whole program —
+   stage-1 extraction optionally served from the mtime+hash
+   :class:`~repro.analysis.cache.SummaryCache`;
+4. suppression-hygiene pass (PT099): malformed directives and directives
+   that matched no finding;
+5. deterministic sort by (path, line, col, rule id).
 """
 
 from __future__ import annotations
@@ -11,16 +23,36 @@ from __future__ import annotations
 import ast
 import json
 import os
+import posixpath
 from typing import Iterable, Sequence
 
-from repro.analysis.model import Finding, ModuleContext, Rule, Severity
-from repro.analysis.rules import DEFAULT_RULES, RULES_BY_ID
+from repro.analysis.model import (
+    Finding,
+    ModuleContext,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    Severity,
+)
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID
+
+
+def normalize_path(path: str) -> str:
+    """Posix-relative form of ``path`` (stable across platforms/CWDs)."""
+    try:
+        rel = os.path.relpath(path)
+    except ValueError:  # different drive on Windows
+        rel = path
+    norm = rel.replace(os.sep, "/")
+    if os.altsep:
+        norm = norm.replace(os.altsep, "/")
+    return posixpath.normpath(norm)
 
 
 def _select_rules(
     rules: "Sequence[Rule] | None", select: "Iterable[str] | None"
 ) -> Sequence[Rule]:
-    chosen = tuple(rules) if rules is not None else DEFAULT_RULES
+    chosen = tuple(rules) if rules is not None else ALL_RULES
     if select:
         wanted = {s.strip().upper() for s in select if s.strip()}
         unknown = wanted - {r.id for r in chosen} - set(RULES_BY_ID)
@@ -33,13 +65,52 @@ def _select_rules(
     return chosen
 
 
+def _dead_suppression_findings(ctx: ModuleContext) -> "list[Finding]":
+    """PT099: malformed directives and directives matching no finding.
+
+    Must run after every rule (module and project) so ``used_suppressions``
+    is complete.  PT099 findings are themselves unsuppressible — see
+    :meth:`ModuleContext.is_suppressed`.
+    """
+    out: list[Finding] = []
+    for line in sorted(ctx.suppressions):
+        sup = ctx.suppressions[line]
+        for problem in sup.problems:
+            out.append(Finding(
+                path=ctx.path, line=line, col=1, rule_id="PT099",
+                severity=Severity.ERROR,
+                message=f"malformed suppression: {problem}",
+            ))
+        if line not in ctx.used_suppressions and not sup.problems:
+            what = (
+                f"ignore[{', '.join(sorted(sup.codes))}]" if sup.codes
+                else "ignore"
+            )
+            out.append(Finding(
+                path=ctx.path, line=line, col=1, rule_id="PT099",
+                severity=Severity.ERROR,
+                message=(
+                    f"dead suppression: # partime: {what} matches no "
+                    "finding on this line — remove it"
+                ),
+            ))
+    return out
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     rules: "Sequence[Rule] | None" = None,
     select: "Iterable[str] | None" = None,
+    project: bool = True,
+    dead_suppressions: bool = False,
 ) -> list[Finding]:
-    """Lint one module given as a string; returns sorted findings."""
+    """Lint one module given as a string; returns sorted findings.
+
+    With ``project=True`` (default) the interprocedural rules run too,
+    treating the single module as the whole program — this is what the
+    rule tests and the linter-fuzzer drive.
+    """
     chosen = _select_rules(rules, select)
     try:
         tree = ast.parse(source, filename=path)
@@ -57,9 +128,20 @@ def lint_source(
     ctx = ModuleContext(path=path, source=source, tree=tree)
     findings: list[Finding] = []
     for rule in chosen:
+        if isinstance(rule, ProjectRule):
+            continue
         for finding in rule.check(ctx):
             if not ctx.is_suppressed(finding):
                 findings.append(finding)
+    project_rules = [r for r in chosen if isinstance(r, ProjectRule)]
+    if project and project_rules:
+        proj = ProjectContext([ctx])
+        for rule in project_rules:
+            for finding in rule.check_project(proj):
+                if not ctx.is_suppressed(finding):
+                    findings.append(finding)
+    if dead_suppressions:
+        findings.extend(_dead_suppression_findings(ctx))
     findings.sort()
     return findings
 
@@ -88,33 +170,88 @@ def lint_paths(
     paths: Iterable[str],
     rules: "Sequence[Rule] | None" = None,
     select: "Iterable[str] | None" = None,
+    cache: "object | None" = None,
+    dead_suppressions: "bool | None" = None,
 ) -> list[Finding]:
-    """Lint every ``.py`` file under ``paths``; returns sorted findings."""
+    """Lint every ``.py`` file under ``paths``; returns sorted findings.
+
+    ``cache`` is an optional :class:`~repro.analysis.cache.SummaryCache`;
+    ``dead_suppressions`` defaults to on exactly when the full rule set
+    runs (a partial ``--select`` run would misreport live suppressions
+    of unselected rules as dead).
+    """
     chosen = _select_rules(rules, select)
+    if dead_suppressions is None:
+        dead_suppressions = rules is None and not select
+    module_rules = [r for r in chosen if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in chosen if isinstance(r, ProjectRule)]
+
     findings: list[Finding] = []
+    contexts: list[ModuleContext] = []
+    summaries: list = []
+    use_cache = cache is not None and project_rules
+
     for filename in iter_python_files(paths):
+        norm = normalize_path(filename)
         try:
             with open(filename, encoding="utf-8") as fh:
                 source = fh.read()
         except OSError as exc:
-            findings.append(
-                Finding(
-                    path=filename,
-                    line=1,
-                    col=1,
-                    rule_id="PT000",
-                    severity=Severity.ERROR,
-                    message=f"cannot read file: {exc}",
-                )
-            )
+            findings.append(Finding(
+                path=norm, line=1, col=1, rule_id="PT000",
+                severity=Severity.ERROR,
+                message=f"cannot read file: {exc}",
+            ))
             continue
-        findings.extend(lint_source(source, path=filename, rules=chosen))
+        try:
+            tree = ast.parse(source, filename=norm)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                path=norm,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                rule_id="PT000",
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+            ))
+            continue
+        ctx = ModuleContext(path=norm, source=source, tree=tree)
+        contexts.append(ctx)
+        for rule in module_rules:
+            for finding in rule.check(ctx):
+                if not ctx.is_suppressed(finding):
+                    findings.append(finding)
+        if use_cache:
+            summary = cache.get(norm, source)
+            if summary is None:
+                from repro.analysis.flow.effects import extract_module
+
+                summary = extract_module(ctx)
+                cache.put(norm, source, summary)
+            summaries.append(summary)
+
+    if project_rules and contexts:
+        proj = ProjectContext(
+            contexts, summaries=summaries if use_cache else None
+        )
+        by_path = {ctx.path: ctx for ctx in contexts}
+        for rule in project_rules:
+            for finding in rule.check_project(proj):
+                ctx = by_path.get(finding.path)
+                if ctx is None or not ctx.is_suppressed(finding):
+                    findings.append(finding)
+
+    if dead_suppressions:
+        for ctx in contexts:
+            findings.extend(_dead_suppression_findings(ctx))
+    if use_cache:
+        cache.save()
     findings.sort()
     return findings
 
 
 def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
-    """Render findings as ``text`` (one per line + summary) or ``json``."""
+    """Render findings as ``text``/``json``/``sarif``."""
     if fmt == "json":
         return json.dumps(
             {
@@ -123,8 +260,14 @@ def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
             },
             indent=2,
         )
+    if fmt == "sarif":
+        from repro.analysis.sarif import format_sarif
+
+        return format_sarif(findings)
     if fmt != "text":
-        raise ValueError(f"unknown format {fmt!r}; use 'text' or 'json'")
+        raise ValueError(
+            f"unknown format {fmt!r}; use 'text', 'json' or 'sarif'"
+        )
     lines = [f.format() for f in findings]
     if findings:
         by_rule: dict[str, int] = {}
@@ -139,11 +282,17 @@ def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
 
 def explain_rules(rules: "Sequence[Rule] | None" = None) -> str:
     """Human-readable rule catalogue (``repro lint --explain``)."""
-    chosen = tuple(rules) if rules is not None else DEFAULT_RULES
+    chosen = tuple(rules) if rules is not None else ALL_RULES
     blocks = []
+    seen: set[tuple[str, str]] = set()
     for rule in chosen:
+        key = (rule.id, rule.name)
+        if key in seen:
+            continue
+        seen.add(key)
+        scope = " (whole-program)" if isinstance(rule, ProjectRule) else ""
         blocks.append(
-            f"{rule.id} {rule.name} [{rule.severity.value}]\n"
+            f"{rule.id} {rule.name} [{rule.severity.value}]{scope}\n"
             f"    {rule.rationale}\n"
             f"    suppress with: # partime: ignore[{rule.id}]"
         )

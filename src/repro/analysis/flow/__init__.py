@@ -1,0 +1,70 @@
+"""Whole-program dataflow layer of the lint framework.
+
+Three stages, deliberately separable (the summary cache serializes the
+output of stage 1, so warm lint runs never re-parse unchanged files):
+
+1. **Extraction** (:func:`~repro.analysis.flow.effects.extract_module`) —
+   one pass over a module's AST producing a :class:`ModuleSummary`:
+   symbol tables, symbolic call references, executor dispatch sites,
+   per-function *seed* effects, and the compact taint graphs of shm
+   mapping windows.  Pure function of the source; JSON-serializable.
+2. **Resolution** (:meth:`~repro.analysis.flow.callgraph.CallGraph.build`)
+   — name/attribute/partial/method resolution across modules, producing
+   the project call graph and its SCC condensation.
+3. **Effect fixpoint** (:func:`~repro.analysis.flow.effects.solve_effects`)
+   — bottom-up propagation of effect summaries over the SCCs (callees
+   before callers; cyclic components iterated to a fixed point).
+
+The PT006–PT010 rule family (:mod:`repro.analysis.flow.rules`) consumes
+the solved summaries; see ``docs/static_analysis.md`` for the catalogue.
+"""
+
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    CallRef,
+    ClassNode,
+    DispatchSite,
+    FuncNode,
+    ModuleSummary,
+    TaskRef,
+    TypeRef,
+)
+from repro.analysis.flow.effects import (
+    EffectMap,
+    EffectSummary,
+    Witness,
+    extract_module,
+    solve_effects,
+)
+from repro.analysis.flow.rules import (
+    PROJECT_RULES,
+    FaultBlindPhaseRule,
+    NondeterminismSourceRule,
+    ShmViewEscapeRule,
+    TransitiveImpureAggregateRule,
+    TransitiveSharedMutationRule,
+    UnpicklableTaskCaptureRule,
+)
+
+__all__ = [
+    "CallGraph",
+    "CallRef",
+    "ClassNode",
+    "DispatchSite",
+    "FuncNode",
+    "ModuleSummary",
+    "TaskRef",
+    "TypeRef",
+    "EffectMap",
+    "EffectSummary",
+    "Witness",
+    "extract_module",
+    "solve_effects",
+    "PROJECT_RULES",
+    "UnpicklableTaskCaptureRule",
+    "ShmViewEscapeRule",
+    "NondeterminismSourceRule",
+    "FaultBlindPhaseRule",
+    "TransitiveImpureAggregateRule",
+    "TransitiveSharedMutationRule",
+]

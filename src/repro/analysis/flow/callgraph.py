@@ -1,0 +1,501 @@
+"""Project call graph: symbols, resolution, and SCCs.
+
+The graph is built from :class:`ModuleSummary` objects — the serializable
+product of :func:`repro.analysis.flow.effects.extract_module` — so the
+whole-program stages never need an AST.  Resolution is deliberately
+*lexical and conservative*: an edge exists only when the callee can be
+pinned to a project function (plain names, ``self.method`` dispatch on
+known classes, imported symbols, ``functools.partial`` targets, instances
+of project classes bound to locals).  Unresolvable calls (builtins, numpy,
+protocol receivers) simply contribute no edge, which keeps every
+downstream rule under-approximate rather than noisy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.flow.effects import FuncSummary
+
+#: Separator between a module's dotted name and its symbol path, chosen
+#: so quals stay unambiguous ("repro.core.joins:ParTimeJoin.execute").
+QUAL_SEP = ":"
+#: Path component of nested (hence unpicklable-by-reference) functions.
+LOCALS = "<locals>"
+
+
+@dataclass(frozen=True)
+class CallRef:
+    """One call site, recorded symbolically during extraction.
+
+    ``form`` is ``"name"`` for ``f(...)`` (``name`` may be dotted when the
+    callee was written as an attribute chain of modules, e.g.
+    ``repro.core.joins.helper``) and ``"attr"`` for ``base.attr(...)``.
+    """
+
+    form: str
+    name: str = ""
+    attr: str = ""
+    line: int = 0
+    col: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "form": self.form, "name": self.name, "attr": self.attr,
+            "line": self.line, "col": self.col,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CallRef":
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """What a local (or module-level) name is bound to, when statically
+    evident.  ``kind`` ∈ instance/partial/callable/lambda/set/lock/file/
+    shm/shm_chunk/generator; ``target`` names the class / wrapped callable
+    / nested-function qual; ``issues`` carries unpicklable ingredients
+    observed at the binding site (constructor or partial arguments)."""
+
+    kind: str
+    target: str = ""
+    issues: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "target": self.target,
+                "issues": list(self.issues)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TypeRef":
+        return cls(d["kind"], d.get("target", ""),
+                   tuple(d.get("issues", ())))
+
+
+@dataclass(frozen=True)
+class TaskRef:
+    """The task argument of one executor dispatch, symbolically.
+
+    ``form`` ∈ lambda/local_function/function/constructor/partial/
+    attribute/other.  ``qual`` is set when the callable's body function is
+    already known locally (nested defs); ``name`` is the written name
+    (class name for constructors, wrapped target for partials).
+    """
+
+    form: str
+    name: str = ""
+    qual: str = ""
+    issues: tuple[str, ...] = ()
+    line: int = 0
+    col: int = 0
+
+    def to_dict(self) -> dict:
+        return {"form": self.form, "name": self.name, "qual": self.qual,
+                "issues": list(self.issues), "line": self.line,
+                "col": self.col}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TaskRef":
+        return cls(d["form"], d.get("name", ""), d.get("qual", ""),
+                   tuple(d.get("issues", ())), d.get("line", 0),
+                   d.get("col", 0))
+
+
+@dataclass(frozen=True)
+class DispatchSite:
+    """One ``<executor>.map_parallel(...)`` / ``.run_serial(...)`` call."""
+
+    method: str
+    task: TaskRef
+    items_is_set: bool = False
+    line: int = 0
+    col: int = 0
+
+    def to_dict(self) -> dict:
+        return {"method": self.method, "task": self.task.to_dict(),
+                "items_is_set": self.items_is_set, "line": self.line,
+                "col": self.col}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DispatchSite":
+        return cls(d["method"], TaskRef.from_dict(d["task"]),
+                   d.get("items_is_set", False), d.get("line", 0),
+                   d.get("col", 0))
+
+
+@dataclass
+class FuncNode:
+    """One project function/method/lambda plus its local summary."""
+
+    qual: str
+    module: str
+    path: str
+    name: str
+    cls: str | None
+    params: tuple[str, ...]
+    lineno: int
+    col: int
+    is_nested: bool
+    is_lambda: bool
+    local_bindings: frozenset[str]
+    calls: tuple[CallRef, ...]
+    var_types: dict[str, TypeRef]
+    summary: "FuncSummary" = None  # attached by extract_module
+
+    @property
+    def enclosing_quals(self) -> Iterator[str]:
+        """Quals of lexically enclosing functions, innermost first."""
+        parts = self.qual.split(f".{LOCALS}.")
+        for i in range(len(parts) - 1, 0, -1):
+            yield f".{LOCALS}.".join(parts[:i])
+
+    def to_dict(self) -> dict:
+        return {
+            "qual": self.qual, "module": self.module, "path": self.path,
+            "name": self.name, "cls": self.cls, "params": list(self.params),
+            "lineno": self.lineno, "col": self.col,
+            "is_nested": self.is_nested, "is_lambda": self.is_lambda,
+            "local_bindings": sorted(self.local_bindings),
+            "calls": [c.to_dict() for c in self.calls],
+            "var_types": {k: v.to_dict() for k, v in self.var_types.items()},
+            "summary": self.summary.to_dict() if self.summary else None,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FuncNode":
+        from repro.analysis.flow.effects import FuncSummary
+
+        return cls(
+            qual=d["qual"], module=d["module"], path=d["path"],
+            name=d["name"], cls=d.get("cls"),
+            params=tuple(d.get("params", ())),
+            lineno=d.get("lineno", 1), col=d.get("col", 0),
+            is_nested=d.get("is_nested", False),
+            is_lambda=d.get("is_lambda", False),
+            local_bindings=frozenset(d.get("local_bindings", ())),
+            calls=tuple(CallRef.from_dict(c) for c in d.get("calls", ())),
+            var_types={
+                k: TypeRef.from_dict(v)
+                for k, v in d.get("var_types", {}).items()
+            },
+            summary=(
+                FuncSummary.from_dict(d["summary"]) if d.get("summary")
+                else None
+            ),
+        )
+
+
+@dataclass
+class ClassNode:
+    """One project class: methods by name, base names as written."""
+
+    name: str
+    module: str
+    lineno: int
+    bases: tuple[str, ...]
+    methods: dict[str, str]  # method name -> function qual
+
+    @property
+    def qual(self) -> str:
+        return f"{self.module}{QUAL_SEP}{self.name}"
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "module": self.module,
+                "lineno": self.lineno, "bases": list(self.bases),
+                "methods": dict(self.methods)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ClassNode":
+        return cls(d["name"], d["module"], d.get("lineno", 1),
+                   tuple(d.get("bases", ())), dict(d.get("methods", {})))
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the whole-program stages need from one module."""
+
+    module: str
+    path: str
+    path_parts: tuple[str, ...]
+    imports: dict[str, str]  # local name -> dotted target
+    functions: dict[str, FuncNode] = field(default_factory=dict)
+    classes: dict[str, ClassNode] = field(default_factory=dict)
+    module_var_types: dict[str, TypeRef] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "module": self.module, "path": self.path,
+            "path_parts": list(self.path_parts),
+            "imports": dict(self.imports),
+            "functions": {q: f.to_dict() for q, f in self.functions.items()},
+            "classes": {n: c.to_dict() for n, c in self.classes.items()},
+            "module_var_types": {
+                k: v.to_dict() for k, v in self.module_var_types.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ModuleSummary":
+        return cls(
+            module=d["module"], path=d["path"],
+            path_parts=tuple(d.get("path_parts", ())),
+            imports=dict(d.get("imports", {})),
+            functions={
+                q: FuncNode.from_dict(f)
+                for q, f in d.get("functions", {}).items()
+            },
+            classes={
+                n: ClassNode.from_dict(c)
+                for n, c in d.get("classes", {}).items()
+            },
+            module_var_types={
+                k: TypeRef.from_dict(v)
+                for k, v in d.get("module_var_types", {}).items()
+            },
+        )
+
+
+class CallGraph:
+    """The resolved whole-program call graph."""
+
+    def __init__(self, modules: list[ModuleSummary]) -> None:
+        self.modules: dict[str, ModuleSummary] = {m.module: m for m in modules}
+        self.functions: dict[str, FuncNode] = {}
+        for mod in modules:
+            self.functions.update(mod.functions)
+        #: caller qual -> list of resolved callee quals (with the ref).
+        self.edges: dict[str, list[tuple[str, CallRef]]] = {}
+
+    # ------------------------------------------------------------ building
+
+    @classmethod
+    def build(cls, modules: list[ModuleSummary]) -> "CallGraph":
+        graph = cls(modules)
+        for fn in graph.functions.values():
+            resolved: list[tuple[str, CallRef]] = []
+            for ref in fn.calls:
+                target = graph.resolve(fn, ref)
+                if target is not None:
+                    resolved.append((target, ref))
+            graph.edges[fn.qual] = resolved
+        return graph
+
+    # ---------------------------------------------------------- resolution
+
+    def _module_of(self, fn_or_name) -> "ModuleSummary | None":
+        name = fn_or_name if isinstance(fn_or_name, str) else fn_or_name.module
+        return self.modules.get(name)
+
+    def resolve_class(
+        self, name: str, module: str, _seen: frozenset = frozenset()
+    ) -> "ClassNode | None":
+        """A class by written name from the perspective of ``module``."""
+        if (name, module) in _seen:
+            return None
+        mod = self.modules.get(module)
+        if mod is None:
+            return None
+        if name in mod.classes:
+            return mod.classes[name]
+        target = mod.imports.get(name)
+        if target:
+            # "pkg.mod.Class" or a re-export; try tail-split.
+            head, _, tail = target.rpartition(".")
+            if head in self.modules and tail in self.modules[head].classes:
+                return self.modules[head].classes[tail]
+        return None
+
+    def resolve_method(
+        self, cls: ClassNode, method: str, _depth: int = 0
+    ) -> "str | None":
+        """Method qual on ``cls`` or (DFS, in-project) its bases."""
+        if method in cls.methods:
+            return cls.methods[method]
+        if _depth > 8:
+            return None
+        for base in cls.bases:
+            parent = self.resolve_class(base, cls.module)
+            if parent is not None and parent is not cls:
+                found = self.resolve_method(parent, method, _depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def _resolve_symbol(self, dotted: str) -> "str | None":
+        """A dotted ``pkg.mod.sym`` to a function qual (class → __init__)."""
+        head, _, tail = dotted.rpartition(".")
+        mod = self.modules.get(head)
+        if mod is None:
+            return None
+        qual = f"{head}{QUAL_SEP}{tail}"
+        if qual in self.functions:
+            return qual
+        if tail in mod.classes:
+            return self.resolve_method(mod.classes[tail], "__init__")
+        return None
+
+    def _resolve_name(
+        self, fn: FuncNode, name: str, _depth: int = 0
+    ) -> "str | None":
+        """A bare name called from inside ``fn``."""
+        if _depth > 8:
+            return None
+        # 1. nested function of fn or of an enclosing scope
+        probe = f"{fn.qual}.{LOCALS}.{name}"
+        if probe in self.functions:
+            return probe
+        for enclosing in fn.enclosing_quals:
+            probe = f"{enclosing}.{LOCALS}.{name}"
+            if probe in self.functions:
+                return probe
+        # 2. local bindings with known callable types
+        tref = fn.var_types.get(name)
+        if tref is not None:
+            return self._resolve_typeref_callable(fn, tref, _depth)
+        # 3. module-level function / class / module binding
+        mod = self._module_of(fn)
+        if mod is not None:
+            qual = f"{fn.module}{QUAL_SEP}{name}"
+            if qual in self.functions:
+                return qual
+            if name in mod.classes:
+                return self.resolve_method(mod.classes[name], "__init__")
+            mref = mod.module_var_types.get(name)
+            if mref is not None:
+                return self._resolve_typeref_callable(fn, mref, _depth)
+            target = mod.imports.get(name)
+            if target:
+                return self._resolve_symbol(target)
+        return None
+
+    def _resolve_typeref_callable(
+        self, fn: FuncNode, tref: TypeRef, _depth: int
+    ) -> "str | None":
+        if tref.kind in ("callable", "lambda") and tref.target:
+            return tref.target if tref.target in self.functions else None
+        if tref.kind == "partial" and tref.target:
+            return self._resolve_name(fn, tref.target, _depth + 1)
+        if tref.kind == "instance" and tref.target:
+            klass = self.resolve_class(tref.target, fn.module)
+            if klass is not None:
+                return self.resolve_method(klass, "__call__")
+        return None
+
+    def resolve(self, fn: FuncNode, ref: CallRef) -> "str | None":
+        """The callee qual of one call site, or ``None``."""
+        if ref.form == "name":
+            if "." in ref.name:
+                # Dotted module-attribute call: "pkg.mod.f" or "alias.f".
+                head, _, tail = ref.name.rpartition(".")
+                mod = self._module_of(fn)
+                dotted = head
+                if mod is not None and head.split(".")[0] in mod.imports:
+                    first, _, rest = head.partition(".")
+                    dotted = mod.imports[first] + (f".{rest}" if rest else "")
+                return self._resolve_symbol(f"{dotted}.{tail}")
+            return self._resolve_name(fn, ref.name)
+        if ref.form == "attr":
+            base, attr = ref.name, ref.attr
+            if base in ("self", "cls") and fn.cls:
+                klass = self.resolve_class(fn.cls, fn.module)
+                if klass is not None:
+                    return self.resolve_method(klass, attr)
+                return None
+            tref = fn.var_types.get(base)
+            if tref is not None and tref.kind == "instance" and tref.target:
+                klass = self.resolve_class(tref.target, fn.module)
+                if klass is not None:
+                    return self.resolve_method(klass, attr)
+                return None
+            mod = self._module_of(fn)
+            if mod is not None:
+                target = mod.imports.get(base)
+                if target:
+                    if target in self.modules:
+                        return self._resolve_symbol(f"{target}.{attr}")
+                    # imported class: Class.method (static-ish dispatch)
+                    head, _, tail = target.rpartition(".")
+                    if head in self.modules and tail in self.modules[head].classes:
+                        return self.resolve_method(
+                            self.modules[head].classes[tail], attr
+                        )
+                mref = mod.module_var_types.get(base)
+                if mref is not None and mref.kind == "instance" and mref.target:
+                    klass = self.resolve_class(mref.target, fn.module)
+                    if klass is not None:
+                        return self.resolve_method(klass, attr)
+        return None
+
+    def resolve_task(self, fn: FuncNode, task: TaskRef) -> "str | None":
+        """The function that runs when a dispatched task is *called*."""
+        if task.qual and task.qual in self.functions:
+            return task.qual
+        if task.form in ("local_function", "function", "partial"):
+            return self._resolve_name(fn, task.name)
+        if task.form == "constructor":
+            klass = self.resolve_class(task.name, fn.module)
+            if klass is not None:
+                return self.resolve_method(klass, "__call__")
+        if task.form == "attribute" and task.name.startswith("self."):
+            if fn.cls:
+                klass = self.resolve_class(fn.cls, fn.module)
+                if klass is not None:
+                    return self.resolve_method(klass, task.name[5:])
+        return None
+
+    # ------------------------------------------------------------- ordering
+
+    def sccs(self) -> list[list[str]]:
+        """Strongly connected components in reverse topological order
+        (callees before callers) — iterative Tarjan, deterministic."""
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        out: list[list[str]] = []
+        counter = [0]
+
+        def edges_of(q: str) -> list[str]:
+            return [t for t, _ in self.edges.get(q, ())]
+
+        for root in sorted(self.functions):
+            if root in index:
+                continue
+            work: list[tuple[str, int]] = [(root, 0)]
+            while work:
+                node, ei = work.pop()
+                if ei == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recursed = False
+                targets = edges_of(node)
+                for i in range(ei, len(targets)):
+                    tgt = targets[i]
+                    if tgt not in self.functions:
+                        continue
+                    if tgt not in index:
+                        work.append((node, i + 1))
+                        work.append((tgt, 0))
+                        recursed = True
+                        break
+                    if tgt in on_stack:
+                        low[node] = min(low[node], index[tgt])
+                if recursed:
+                    continue
+                if low[node] == index[node]:
+                    comp: list[str] = []
+                    while True:
+                        top = stack.pop()
+                        on_stack.discard(top)
+                        comp.append(top)
+                        if top == node:
+                            break
+                    out.append(sorted(comp))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return out

@@ -1,0 +1,1341 @@
+"""Per-function effect summaries: extraction and the bottom-up fixpoint.
+
+**Extraction** (:func:`extract_module`) runs once per module and records,
+for every function, the *seed* effects its own body exhibits:
+
+* ``mut_captured`` — in-place mutation / rebinding of state captured from
+  an enclosing (or global) scope (the PT001 race shape);
+* ``wall_clock`` — direct ``time.*`` reads outside the accounting layer;
+* ``unseeded_random`` — module-level ``random`` / legacy ``numpy.random``
+  draws (no seeded generator object);
+* ``set_order`` — iteration order of a ``set`` escaping into an ordered
+  result (list/loop/dispatch items);
+* ``fault_site`` — the function opens a fault-injection
+  :class:`~repro.faults.inject.PhaseSession` (``begin_phase``);
+* ``bookings`` — direct ``clock.parallel`` / ``clock.serial`` phase
+  bookings (consumed by PT009);
+* ``dispatches`` — executor ``map_parallel``/``run_serial`` sites with a
+  symbolic :class:`~repro.analysis.flow.callgraph.TaskRef`;
+* ``shm_blocks`` — compact taint graphs of ``with chunk.open()`` mapping
+  windows (consumed by PT007);
+* ``mutates_params`` / ``ret_views`` / ``param_flows`` — the raw material
+  for the transitive value-semantics (PT010) and view-escape (PT007)
+  propagation.
+
+**Solving** (:func:`solve_effects`) propagates the seeds bottom-up over
+the call graph's SCC condensation: callees before callers, cyclic
+components iterated to a fixed point (all effects are monotone over
+finite domains, so termination is structural).  Each propagated effect
+carries a :class:`Witness` — the terminal source location plus the call
+chain that reaches it — so a finding three helpers away still points at
+the line that must change.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.flow.callgraph import (
+    LOCALS,
+    QUAL_SEP,
+    CallRef,
+    ClassNode,
+    DispatchSite,
+    FuncNode,
+    ModuleSummary,
+    TaskRef,
+    TypeRef,
+)
+from repro.analysis.model import ModuleContext
+from repro.analysis.scopes import (
+    MUTATING_METHODS,
+    captured_mutations,
+    function_params,
+    local_bindings,
+    mutations_of_names,
+)
+
+#: Wall-clock attributes of the ``time`` module (mirrors PT002).
+WALL_CLOCK_ATTRS = frozenset(
+    {"time", "perf_counter", "monotonic", "process_time", "clock"}
+)
+#: Module paths whose wall-clock reads are the accounting layer itself.
+WALL_CLOCK_EXEMPT = frozenset({"simtime", "bench", "benchmarks"})
+
+#: Module-level draws on the ``random`` module (unseeded global state).
+RANDOM_DRAWS = frozenset({
+    "random", "randint", "randrange", "shuffle", "choice", "choices",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "lognormvariate", "getrandbits", "randbytes",
+})
+#: Legacy (implicitly-seeded, global-state) numpy.random draws.
+NP_RANDOM_DRAWS = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "shuffle",
+    "choice", "permutation", "uniform", "normal", "standard_normal",
+})
+
+#: Callables whose result owns its buffer (breaks shm-view taint).
+SANITIZER_CALLS = frozenset({
+    "pickle.dumps", "np.copy", "numpy.copy", "np.array", "numpy.array",
+    "copy.deepcopy", "deepcopy", "bytes", "bytearray", "list", "tuple",
+    "dict", "set", "frozenset", "sorted", "len", "sum", "min", "max",
+    "int", "float", "str", "bool", "repr",
+})
+#: Methods whose result materialises (vs. aliasing the receiver).
+SANITIZER_METHODS = frozenset({
+    "copy", "tolist", "item", "tobytes", "sum", "mean", "min", "max",
+    "std", "var", "all", "any", "count", "index", "keys",
+})
+
+_LOCK_CTORS = frozenset({
+    "Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition",
+    "Event", "Barrier",
+})
+
+#: Builtins whose result does not depend on argument iteration order — a
+#: set expression fed straight into one of these is order-safe.
+_ORDER_INSENSITIVE = frozenset({
+    "sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset",
+})
+
+
+@dataclass(frozen=True)
+class Witness:
+    """Terminal location of an effect plus the call chain reaching it."""
+
+    path: str
+    line: int
+    col: int
+    desc: str
+    chain: tuple[str, ...] = ()
+
+    def with_hop(self, qual: str, limit: int = 6) -> "Witness":
+        if len(self.chain) >= limit:
+            return self
+        return Witness(self.path, self.line, self.col, self.desc,
+                       (qual,) + self.chain)
+
+    def render_chain(self) -> str:
+        if not self.chain:
+            return ""
+        names = [q.split(QUAL_SEP)[-1] for q in self.chain]
+        return " -> ".join(names) + " -> "
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "desc": self.desc, "chain": list(self.chain)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Witness":
+        return cls(d["path"], d["line"], d["col"], d["desc"],
+                   tuple(d.get("chain", ())))
+
+
+# --------------------------------------------------------------------------
+# shm mapping-window taint graph (serializable; replayed by PT007)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShmOp:
+    """One ordered operation inside (or after) a mapping window.
+
+    ``kind`` ∈ ``assign`` / ``return`` / ``yield`` / ``store`` /
+    ``load_after``.  For assigns, ``func_kind`` describes the value:
+    ``none`` (pure expression), ``sanitizer``, ``name`` (project call,
+    resolved during replay), ``method_on`` (method call whose receiver
+    root is ``func_name``) or ``unknown_call``.
+    """
+
+    kind: str
+    target: str = ""
+    sources: tuple[str, ...] = ()
+    func_kind: str = "none"
+    func_name: str = ""
+    attr: str = ""
+    arg_sources: tuple[str, ...] = ()  # bare names passed as args (name calls)
+    line: int = 0
+    col: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind, "target": self.target,
+            "sources": list(self.sources), "func_kind": self.func_kind,
+            "func_name": self.func_name, "attr": self.attr,
+            "arg_sources": list(self.arg_sources),
+            "line": self.line, "col": self.col,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ShmOp":
+        return cls(d["kind"], d.get("target", ""),
+                   tuple(d.get("sources", ())), d.get("func_kind", "none"),
+                   d.get("func_name", ""), d.get("attr", ""),
+                   tuple(d.get("arg_sources", ())), d.get("line", 0),
+                   d.get("col", 0))
+
+
+@dataclass(frozen=True)
+class ShmBlock:
+    """One ``with <chunk>.open() as alias:`` mapping window."""
+
+    alias: str
+    receiver: str
+    line: int
+    ops: tuple[ShmOp, ...]
+
+    def to_dict(self) -> dict:
+        return {"alias": self.alias, "receiver": self.receiver,
+                "line": self.line, "ops": [o.to_dict() for o in self.ops]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ShmBlock":
+        return cls(d["alias"], d.get("receiver", ""), d.get("line", 0),
+                   tuple(ShmOp.from_dict(o) for o in d.get("ops", ())))
+
+
+@dataclass(frozen=True)
+class ParamFlow:
+    """A bare parameter passed onward to a callee (PT010 raw material)."""
+
+    ref: CallRef
+    param_index: int
+    callee_pos: int = -1
+    callee_kw: str = ""
+    line: int = 0
+    col: int = 0
+
+    def to_dict(self) -> dict:
+        return {"ref": self.ref.to_dict(), "param_index": self.param_index,
+                "callee_pos": self.callee_pos, "callee_kw": self.callee_kw,
+                "line": self.line, "col": self.col}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ParamFlow":
+        return cls(CallRef.from_dict(d["ref"]), d["param_index"],
+                   d.get("callee_pos", -1), d.get("callee_kw", ""),
+                   d.get("line", 0), d.get("col", 0))
+
+
+@dataclass(frozen=True)
+class RetView:
+    """One return expression shape relevant to view propagation.
+
+    ``param_index >= 0`` — returns (a view of) that parameter directly;
+    otherwise ``callee`` + ``arg_map`` defer to the callee's summary.
+    """
+
+    param_index: int = -1
+    callee: str = ""
+    arg_map: tuple[tuple[int, int], ...] = ()  # (own param idx, callee pos)
+    line: int = 0
+    col: int = 0
+
+    def to_dict(self) -> dict:
+        return {"param_index": self.param_index, "callee": self.callee,
+                "arg_map": [list(p) for p in self.arg_map],
+                "line": self.line, "col": self.col}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RetView":
+        return cls(d.get("param_index", -1), d.get("callee", ""),
+                   tuple((a, b) for a, b in d.get("arg_map", ())),
+                   d.get("line", 0), d.get("col", 0))
+
+
+@dataclass
+class FuncSummary:
+    """Seed effects of one function's own body (serializable)."""
+
+    mut_captured: dict[str, Witness] = field(default_factory=dict)
+    wall_clock: Witness | None = None
+    unseeded_random: Witness | None = None
+    set_order: tuple[Witness, ...] = ()
+    fault_site: bool = False
+    bookings: tuple[tuple[str, int, int], ...] = ()
+    dispatches: tuple[DispatchSite, ...] = ()
+    shm_blocks: tuple[ShmBlock, ...] = ()
+    mutates_params: dict[int, Witness] = field(default_factory=dict)
+    param_flows: tuple[ParamFlow, ...] = ()
+    ret_views: tuple[RetView, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "mut_captured": {
+                k: w.to_dict() for k, w in self.mut_captured.items()
+            },
+            "wall_clock": self.wall_clock.to_dict() if self.wall_clock else None,
+            "unseeded_random": (
+                self.unseeded_random.to_dict() if self.unseeded_random else None
+            ),
+            "set_order": [w.to_dict() for w in self.set_order],
+            "fault_site": self.fault_site,
+            "bookings": [list(b) for b in self.bookings],
+            "dispatches": [d.to_dict() for d in self.dispatches],
+            "shm_blocks": [b.to_dict() for b in self.shm_blocks],
+            "mutates_params": {
+                str(i): w.to_dict() for i, w in self.mutates_params.items()
+            },
+            "param_flows": [f.to_dict() for f in self.param_flows],
+            "ret_views": [r.to_dict() for r in self.ret_views],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FuncSummary":
+        return cls(
+            mut_captured={
+                k: Witness.from_dict(w)
+                for k, w in d.get("mut_captured", {}).items()
+            },
+            wall_clock=(
+                Witness.from_dict(d["wall_clock"]) if d.get("wall_clock")
+                else None
+            ),
+            unseeded_random=(
+                Witness.from_dict(d["unseeded_random"])
+                if d.get("unseeded_random") else None
+            ),
+            set_order=tuple(
+                Witness.from_dict(w) for w in d.get("set_order", ())
+            ),
+            fault_site=d.get("fault_site", False),
+            bookings=tuple(tuple(b) for b in d.get("bookings", ())),
+            dispatches=tuple(
+                DispatchSite.from_dict(x) for x in d.get("dispatches", ())
+            ),
+            shm_blocks=tuple(
+                ShmBlock.from_dict(x) for x in d.get("shm_blocks", ())
+            ),
+            mutates_params={
+                int(i): Witness.from_dict(w)
+                for i, w in d.get("mutates_params", {}).items()
+            },
+            param_flows=tuple(
+                ParamFlow.from_dict(x) for x in d.get("param_flows", ())
+            ),
+            ret_views=tuple(
+                RetView.from_dict(x) for x in d.get("ret_views", ())
+            ),
+        )
+
+
+# --------------------------------------------------------------------------
+# Extraction helpers
+# --------------------------------------------------------------------------
+
+
+def _module_name(ctx: ModuleContext) -> str:
+    parts = list(ctx.path_parts)
+    if not parts or not parts[-1].endswith(".py"):
+        return "mod"
+    parts[-1] = parts[-1][:-3]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    parts = [p for p in parts if p not in ("", ".", "..")]
+    return ".".join(parts) or "mod"
+
+
+def _flatten(node: ast.AST) -> "str | None":
+    """A pure Name/Attribute chain as dotted text, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _mentions_clock(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return "clock" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "clock" in node.attr.lower() or _mentions_clock(node.value)
+    return False
+
+
+def _own_nodes(fn_body: list[ast.stmt]):
+    """Walk statements, yielding nested def/lambda nodes themselves but
+    never descending into their bodies (those get their own FuncNode)."""
+    stack: list[ast.AST] = list(fn_body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _loaded_names(node: ast.AST, *, skip_sanitized: bool = False) -> list[str]:
+    """Names loaded in an expression; with ``skip_sanitized`` the subtrees
+    of sanitizer calls are not descended (their results own their data)."""
+    out: list[str] = []
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        if skip_sanitized and isinstance(cur, ast.Call):
+            target = _flatten(cur.func)
+            if target and (
+                target in SANITIZER_CALLS
+                or target.split(".")[-1] in ("dumps", "deepcopy")
+            ):
+                continue
+        if isinstance(cur, ast.Name) and isinstance(cur.ctx, ast.Load):
+            out.append(cur.id)
+        stack.extend(ast.iter_child_nodes(cur))
+    return out
+
+
+def _collect_imports(tree: ast.Module, imports: dict[str, str]) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                imports[local] = alias.asname and alias.name or alias.name.split(".")[0]
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    # "import a.b.c" binds "a"; remember the root module.
+                    imports[alias.name.split(".")[0]] = alias.name.split(".")[0]
+                    if "." in alias.name:
+                        imports[alias.name] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+
+
+class _Extractor:
+    """Single-pass AST walk producing the :class:`ModuleSummary`."""
+
+    def __init__(self, ctx: ModuleContext, ms: ModuleSummary) -> None:
+        self.ctx = ctx
+        self.ms = ms
+        self.wall_exempt = bool(WALL_CLOCK_EXEMPT & set(ctx.path_parts))
+
+    def run(self) -> None:
+        tree = self.ctx.tree
+        # Module-level bindings first (lambdas, locks, partials...).
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and (
+                isinstance(stmt.targets[0], ast.Name)
+            ):
+                tref = self._infer_type(stmt.value, {}, "")
+                if tref is not None:
+                    self.ms.module_var_types[stmt.targets[0].id] = tref
+        # Classes and functions.
+        for stmt in tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                self._visit_class(stmt)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._visit_function(stmt, cls=None, parent_qual=None)
+        # The module body itself is a pseudo-function: top-level dispatch
+        # sites, set iterations and random draws (examples, scripts).
+        top = [
+            s for s in tree.body
+            if not isinstance(
+                s, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+            )
+        ]
+        self._make_node(
+            qual=f"{self.ms.module}{QUAL_SEP}<module>",
+            name="<module>", cls=None, params=(),
+            lineno=1, col=0, nested=False, is_lambda=False,
+            body=top, fn_ast=None,
+        )
+
+    # ------------------------------------------------------------ classes
+
+    def _visit_class(self, cls: ast.ClassDef) -> None:
+        bases = []
+        for b in cls.bases:
+            flat = _flatten(b)
+            if flat:
+                bases.append(flat.split(".")[-1] if "." in flat else flat)
+        node = ClassNode(
+            name=cls.name, module=self.ms.module, lineno=cls.lineno,
+            bases=tuple(bases), methods={},
+        )
+        self.ms.classes[cls.name] = node
+        for item in cls.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._visit_function(item, cls=cls.name, parent_qual=None)
+                node.methods[item.name] = fn.qual
+
+    # ---------------------------------------------------------- functions
+
+    def _visit_function(
+        self,
+        fn: "ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda",
+        cls: "str | None",
+        parent_qual: "str | None",
+        name: "str | None" = None,
+    ) -> FuncNode:
+        if isinstance(fn, ast.Lambda):
+            fname = name or f"<lambda@{fn.lineno}>"
+            body: list[ast.stmt] = [ast.Expr(value=fn.body)]
+        else:
+            fname = fn.name
+            body = fn.body
+        if parent_qual:
+            qual = f"{parent_qual}.{LOCALS}.{fname}"
+        elif cls:
+            qual = f"{self.ms.module}{QUAL_SEP}{cls}.{fname}"
+        else:
+            qual = f"{self.ms.module}{QUAL_SEP}{fname}"
+        return self._make_node(
+            qual=qual, name=fname, cls=cls,
+            params=tuple(function_params(fn)),
+            lineno=fn.lineno, col=fn.col_offset,
+            nested=parent_qual is not None,
+            is_lambda=isinstance(fn, ast.Lambda),
+            body=body, fn_ast=fn,
+        )
+
+    def _make_node(
+        self, qual: str, name: str, cls: "str | None",
+        params: tuple[str, ...], lineno: int, col: int,
+        nested: bool, is_lambda: bool,
+        body: list[ast.stmt], fn_ast,
+    ) -> FuncNode:
+        var_types: dict[str, TypeRef] = {}
+        # First: nested defs get their own nodes (and name bindings).
+        seen_lambdas: set[int] = set()
+        for stmt in body:
+            for sub in _own_nodes([stmt]):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if sub is fn_ast:
+                        continue
+                    child = self._visit_function(
+                        sub, cls=None, parent_qual=qual
+                    )
+                    var_types[sub.name] = TypeRef("callable", child.qual)
+                elif isinstance(sub, ast.Assign) and isinstance(
+                    sub.value, ast.Lambda
+                ):
+                    seen_lambdas.add(id(sub.value))
+                    for t in sub.targets:
+                        if isinstance(t, ast.Name):
+                            child = self._visit_function(
+                                sub.value, cls=None, parent_qual=qual,
+                                name=t.id,
+                            )
+                            var_types[t.id] = TypeRef("lambda", child.qual)
+                elif isinstance(sub, ast.Lambda) and id(sub) not in seen_lambdas:
+                    self._visit_function(sub, cls=None, parent_qual=qual)
+
+        # Second: type inference over own assignments.
+        for sub in _own_nodes(body):
+            if isinstance(sub, ast.Assign) and len(sub.targets) == 1 and (
+                isinstance(sub.targets[0], ast.Name)
+            ):
+                tname = sub.targets[0].id
+                if tname in var_types:
+                    continue
+                tref = self._infer_type(sub.value, var_types, qual)
+                if tref is not None:
+                    var_types[tname] = tref
+            elif isinstance(sub, ast.AnnAssign) and isinstance(
+                sub.target, ast.Name
+            ):
+                ann = _flatten(sub.annotation) or ""
+                if "ShmChunk" in ann:
+                    var_types[sub.target.id] = TypeRef("shm_chunk")
+
+        node = FuncNode(
+            qual=qual, module=self.ms.module, path=self.ms.path,
+            name=name, cls=cls, params=params, lineno=lineno, col=col,
+            is_nested=nested, is_lambda=is_lambda,
+            local_bindings=(
+                frozenset(local_bindings(fn_ast)) if fn_ast is not None
+                and not isinstance(fn_ast, ast.Lambda)
+                else frozenset(params)
+            ),
+            calls=(), var_types=var_types,
+        )
+        node.calls = tuple(self._collect_calls(body))
+        node.summary = self._summarize(node, body, fn_ast)
+        self.ms.functions[qual] = node
+        return node
+
+    # ------------------------------------------------------ type inference
+
+    def _infer_type(
+        self, value: ast.AST, var_types: dict[str, TypeRef], qual: str
+    ) -> "TypeRef | None":
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return TypeRef("set")
+        if isinstance(value, ast.BinOp) and isinstance(
+            value.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            l = self._expr_is_set(value.left, var_types)
+            r = self._expr_is_set(value.right, var_types)
+            if l and r:
+                return TypeRef("set")
+        if not isinstance(value, ast.Call):
+            return None
+        target = _flatten(value.func)
+        if target is None:
+            return None
+        tail = target.split(".")[-1]
+        if tail in ("set", "frozenset") and target == tail:
+            return TypeRef("set")
+        if target == "open":
+            return TypeRef("file")
+        if tail in _LOCK_CTORS:
+            return TypeRef("lock")
+        if tail == "SharedMemory":
+            return TypeRef("shm")
+        if tail == "export_chunk" or tail == "ShmChunk":
+            return TypeRef("shm_chunk")
+        if tail == "partial":
+            wrapped = ""
+            issues: list[str] = []
+            if value.args:
+                first = value.args[0]
+                if isinstance(first, ast.Name):
+                    wrapped = first.id
+                elif isinstance(first, ast.Lambda):
+                    issues.append("wraps a lambda")
+            issues.extend(self._arg_issues(value, var_types, skip_first=True))
+            return TypeRef("partial", wrapped, tuple(issues))
+        if "." not in target and target[:1].isupper():
+            return TypeRef(
+                "instance", target,
+                tuple(self._arg_issues(value, var_types)),
+            )
+        return None
+
+    def _expr_is_set(
+        self, node: ast.AST, var_types: dict[str, TypeRef]
+    ) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            target = _flatten(node.func)
+            return target in ("set", "frozenset")
+        if isinstance(node, ast.Name):
+            tref = var_types.get(node.id) or self.ms.module_var_types.get(
+                node.id
+            )
+            return tref is not None and tref.kind == "set"
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._expr_is_set(node.left, var_types) and (
+                self._expr_is_set(node.right, var_types)
+            )
+        return False
+
+    def _arg_issues(
+        self, call: ast.Call, var_types: dict[str, TypeRef],
+        skip_first: bool = False,
+    ) -> list[str]:
+        """Unpicklable ingredients among a call's arguments."""
+        issues: list[str] = []
+        args = list(call.args) + [kw.value for kw in call.keywords]
+        if skip_first and args:
+            args = args[1:]
+        for arg in args:
+            if isinstance(arg, ast.Lambda):
+                issues.append("a lambda argument")
+            elif isinstance(arg, ast.GeneratorExp):
+                issues.append("a generator argument")
+            elif isinstance(arg, ast.Name):
+                tref = var_types.get(arg.id) or (
+                    self.ms.module_var_types.get(arg.id)
+                )
+                if tref is None:
+                    continue
+                if tref.kind == "lambda":
+                    issues.append(f"{arg.id!r} (a lambda)")
+                elif tref.kind == "callable" and f".{LOCALS}." in tref.target:
+                    issues.append(f"{arg.id!r} (a nested function)")
+                elif tref.kind == "lock":
+                    issues.append(f"{arg.id!r} (a threading lock)")
+                elif tref.kind == "file":
+                    issues.append(f"{arg.id!r} (an open file handle)")
+                elif tref.kind == "shm":
+                    issues.append(f"{arg.id!r} (a SharedMemory object)")
+        return issues
+
+    # ----------------------------------------------------------- call refs
+
+    def _collect_calls(self, body: list[ast.stmt]) -> list[CallRef]:
+        out: list[CallRef] = []
+        for node in _own_nodes(body):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name):
+                out.append(CallRef("name", node.func.id,
+                                   line=node.lineno, col=node.col_offset))
+            elif isinstance(node.func, ast.Attribute):
+                base = _flatten(node.func.value)
+                if base is None:
+                    continue
+                if "." in base:
+                    out.append(CallRef(
+                        "name", f"{base}.{node.func.attr}",
+                        line=node.lineno, col=node.col_offset,
+                    ))
+                else:
+                    out.append(CallRef(
+                        "attr", base, node.func.attr,
+                        line=node.lineno, col=node.col_offset,
+                    ))
+        return out
+
+    # ------------------------------------------------------------ summary
+
+    def _summarize(
+        self, node: FuncNode, body: list[ast.stmt], fn_ast
+    ) -> FuncSummary:
+        s = FuncSummary()
+        path = self.ms.path
+
+        # Captured mutations (whole body, matching PT001's lexical view).
+        if fn_ast is not None and not isinstance(fn_ast, ast.Lambda):
+            for mut in captured_mutations(fn_ast):
+                if mut.name in s.mut_captured:
+                    continue
+                s.mut_captured[mut.name] = Witness(
+                    path, getattr(mut.node, "lineno", node.lineno),
+                    getattr(mut.node, "col_offset", 0),
+                    f"mutates captured {mut.name!r} ({mut.how})",
+                )
+            for mut in mutations_of_names(body, set(node.params)):
+                try:
+                    idx = node.params.index(mut.name)
+                except ValueError:
+                    continue
+                s.mutates_params.setdefault(idx, Witness(
+                    path, getattr(mut.node, "lineno", node.lineno),
+                    getattr(mut.node, "col_offset", 0),
+                    f"mutates parameter {mut.name!r} ({mut.how})",
+                ))
+
+        set_order: list[Witness] = []
+        bookings: list[tuple[str, int, int]] = []
+        dispatches: list[DispatchSite] = []
+        order_ok: set[int] = set()
+
+        for sub in _own_nodes(body):
+            self._scan_node(
+                node, sub, s, set_order, bookings, dispatches, order_ok
+            )
+
+        s.set_order = tuple(set_order)
+        s.bookings = tuple(bookings)
+        s.dispatches = tuple(dispatches)
+        s.shm_blocks = tuple(self._shm_blocks(node, body))
+        s.param_flows = tuple(self._param_flows(node, body))
+        s.ret_views = tuple(self._ret_views(node, body))
+        return s
+
+    def _scan_node(
+        self, node: FuncNode, sub: ast.AST, s: FuncSummary,
+        set_order: list[Witness], bookings: list[tuple[str, int, int]],
+        dispatches: list[DispatchSite], order_ok: set[int],
+    ) -> None:
+        path = self.ms.path
+        imports = self.ms.imports
+        if isinstance(sub, ast.Attribute) and not self.wall_exempt:
+            if (
+                sub.attr in WALL_CLOCK_ATTRS
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "time"
+            ) and s.wall_clock is None:
+                s.wall_clock = Witness(
+                    path, sub.lineno, sub.col_offset,
+                    f"reads time.{sub.attr} outside repro.simtime.measure",
+                )
+        if isinstance(sub, (ast.For, ast.AsyncFor)):
+            if self._expr_is_set(sub.iter, node.var_types):
+                set_order.append(Witness(
+                    path, sub.lineno, sub.col_offset,
+                    "iterates a set in order-sensitive position "
+                    "(wrap in sorted())",
+                ))
+        if isinstance(sub, (ast.ListComp, ast.GeneratorExp)):
+            if id(sub) not in order_ok:
+                for gen in sub.generators:
+                    if self._expr_is_set(gen.iter, node.var_types):
+                        set_order.append(Witness(
+                            path, sub.lineno, sub.col_offset,
+                            "comprehension over a set feeds an ordered "
+                            "result (wrap in sorted())",
+                        ))
+        if not isinstance(sub, ast.Call):
+            return
+        target = _flatten(sub.func)
+        if target is None:
+            return
+        # Arguments of order-insensitive consumers (pre-order walk: the
+        # call is seen before its argument comprehensions) are exempt from
+        # the set-order check — sorted({...}) is the sanctioned fix.
+        if target in _ORDER_INSENSITIVE:
+            order_ok.update(id(a) for a in sub.args)
+        parts = target.split(".")
+        tail = parts[-1]
+        # list()/tuple()/enumerate() over a set expression.
+        if target in ("list", "tuple", "enumerate") and sub.args and (
+            self._expr_is_set(sub.args[0], node.var_types)
+        ):
+            set_order.append(Witness(
+                path, sub.lineno, sub.col_offset,
+                f"{target}() over a set freezes a nondeterministic order "
+                "(wrap in sorted())",
+            ))
+        # Unseeded random draws.
+        if s.unseeded_random is None:
+            if len(parts) == 2 and parts[0] == "random" and (
+                tail in RANDOM_DRAWS
+            ) and imports.get("random", "random") == "random":
+                s.unseeded_random = Witness(
+                    path, sub.lineno, sub.col_offset,
+                    f"unseeded random.{tail} (module-level global RNG)",
+                )
+            elif len(parts) == 1 and imports.get(tail, "").startswith(
+                "random."
+            ) and imports[tail].split(".")[-1] in RANDOM_DRAWS:
+                s.unseeded_random = Witness(
+                    path, sub.lineno, sub.col_offset,
+                    f"unseeded {imports[tail]} (module-level global RNG)",
+                )
+            elif len(parts) >= 2 and parts[-2] == "random" and (
+                tail in NP_RANDOM_DRAWS
+            ) and parts[0] in ("np", "numpy"):
+                s.unseeded_random = Witness(
+                    path, sub.lineno, sub.col_offset,
+                    f"legacy numpy.random.{tail} draws from unseeded "
+                    "global state (use np.random.default_rng(seed))",
+                )
+        # Wall-clock via from-imports.
+        if (
+            not self.wall_exempt and s.wall_clock is None
+            and len(parts) == 1
+            and imports.get(tail, "").startswith("time.")
+            and imports[tail].split(".")[-1] in WALL_CLOCK_ATTRS
+        ):
+            s.wall_clock = Witness(
+                path, sub.lineno, sub.col_offset,
+                f"reads {imports[tail]} outside repro.simtime.measure",
+            )
+        # Fault-injection sites.
+        if tail in ("begin_phase", "PhaseSession", "fault_injection"):
+            s.fault_site = True
+        # Direct clock bookings.
+        if isinstance(sub.func, ast.Attribute) and sub.func.attr in (
+            "parallel", "serial"
+        ) and _mentions_clock(sub.func.value):
+            bookings.append((sub.func.attr, sub.lineno, sub.col_offset))
+        # Executor dispatch sites.
+        if isinstance(sub.func, ast.Attribute) and sub.func.attr in (
+            "map_parallel", "run_serial"
+        ) and sub.args:
+            items_is_set = (
+                sub.func.attr == "map_parallel"
+                and len(sub.args) > 1
+                and self._expr_is_set(sub.args[1], node.var_types)
+            )
+            dispatches.append(DispatchSite(
+                method=sub.func.attr,
+                task=self._task_ref(node, sub.args[0]),
+                items_is_set=items_is_set,
+                line=sub.lineno, col=sub.col_offset,
+            ))
+
+    def _task_ref(self, node: FuncNode, expr: ast.AST) -> TaskRef:
+        line, col = expr.lineno, expr.col_offset
+        if isinstance(expr, ast.Lambda):
+            return TaskRef("lambda", line=line, col=col)
+        if isinstance(expr, ast.Name):
+            tref = node.var_types.get(expr.id) or (
+                self.ms.module_var_types.get(expr.id)
+            )
+            if tref is not None:
+                if tref.kind == "lambda":
+                    return TaskRef("lambda", expr.id, tref.target,
+                                   line=line, col=col)
+                if tref.kind == "callable":
+                    return TaskRef("local_function", expr.id, tref.target,
+                                   line=line, col=col)
+                if tref.kind == "instance":
+                    return TaskRef("constructor", tref.target,
+                                   issues=tref.issues, line=line, col=col)
+                if tref.kind == "partial":
+                    return TaskRef("partial", tref.target,
+                                   issues=tref.issues, line=line, col=col)
+            return TaskRef("function", expr.id, line=line, col=col)
+        if isinstance(expr, ast.Call):
+            target = _flatten(expr.func)
+            if target is not None:
+                tail = target.split(".")[-1]
+                if tail == "partial":
+                    wrapped = ""
+                    if expr.args and isinstance(expr.args[0], ast.Name):
+                        wrapped = expr.args[0].id
+                    issues = list(self._arg_issues(
+                        expr, node.var_types, skip_first=True
+                    ))
+                    if expr.args and isinstance(expr.args[0], ast.Lambda):
+                        issues.append("wraps a lambda")
+                    return TaskRef("partial", wrapped,
+                                   issues=tuple(issues), line=line, col=col)
+                if "." not in target and target[:1].isupper():
+                    return TaskRef(
+                        "constructor", target,
+                        issues=tuple(
+                            self._arg_issues(expr, node.var_types)
+                        ),
+                        line=line, col=col,
+                    )
+            return TaskRef("other", line=line, col=col)
+        flat = _flatten(expr)
+        if flat is not None:
+            return TaskRef("attribute", flat, line=line, col=col)
+        return TaskRef("other", line=line, col=col)
+
+    # -------------------------------------------------------- shm windows
+
+    def _shm_receiver_ok(self, node: FuncNode, recv: ast.AST, body) -> bool:
+        flat = _flatten(recv)
+        if flat is None:
+            return False
+        root = flat.split(".")[0]
+        tref = node.var_types.get(root)
+        if tref is not None and tref.kind == "shm_chunk":
+            return True
+        if "shm" in flat.lower() or "chunk" in flat.lower() or (
+            "payload" in flat.lower() or "handle" in flat.lower()
+        ):
+            # Confirm with an isinstance(..., ShmChunk) guard or a
+            # ShmChunk annotation anywhere in the function.
+            return self._has_shmchunk_evidence(node, root, body)
+        return False
+
+    def _has_shmchunk_evidence(
+        self, node: FuncNode, name: str, body
+    ) -> bool:
+        for sub in _own_nodes(body):
+            if isinstance(sub, ast.Call) and isinstance(
+                sub.func, ast.Name
+            ) and sub.func.id == "isinstance" and len(sub.args) == 2:
+                flat = _flatten(sub.args[1]) or ""
+                arg0 = _flatten(sub.args[0]) or ""
+                if "ShmChunk" in flat and arg0.split(".")[0] == name:
+                    return True
+        # Annotated parameter?
+        if name in node.params and node.qual in self.ms.functions:
+            pass  # annotations handled via var_types at AnnAssign; params:
+        return False
+
+    def _shm_blocks(self, node: FuncNode, body: list[ast.stmt]):
+        blocks: list[ShmBlock] = []
+        stmts = list(body)
+        for i, stmt in enumerate(stmts):
+            for sub in _own_nodes([stmt]):
+                if not isinstance(sub, (ast.With, ast.AsyncWith)):
+                    continue
+                for item in sub.items:
+                    cexpr = item.context_expr
+                    if not (
+                        isinstance(cexpr, ast.Call)
+                        and isinstance(cexpr.func, ast.Attribute)
+                        and cexpr.func.attr == "open"
+                        and self._shm_receiver_ok(node, cexpr.func.value, body)
+                    ):
+                        continue
+                    if not isinstance(item.optional_vars, ast.Name):
+                        continue
+                    alias = item.optional_vars.id
+                    ops = self._block_ops(node, sub.body, alias)
+                    assigned = {
+                        op.target for op in ops
+                        if op.kind == "assign" and op.target
+                    } | {alias}
+                    # Loads after the *statement containing* the with.
+                    for later in stmts[i + 1:]:
+                        for n in _own_nodes([later]):
+                            if isinstance(n, ast.Name) and isinstance(
+                                n.ctx, ast.Load
+                            ) and n.id in assigned:
+                                ops.append(ShmOp(
+                                    "load_after", target=n.id,
+                                    line=n.lineno, col=n.col_offset,
+                                ))
+                    blocks.append(ShmBlock(
+                        alias=alias,
+                        receiver=_flatten(cexpr.func.value) or "",
+                        line=sub.lineno, ops=tuple(ops),
+                    ))
+        return blocks
+
+    def _block_ops(
+        self, node: FuncNode, body: list[ast.stmt], alias: str
+    ) -> list[ShmOp]:
+        ops: list[ShmOp] = []
+        captured_roots = {"self"} | {
+            n for n in () }  # self plus non-local roots resolved below
+
+        def classify_value(value: ast.AST) -> tuple[str, str, str, tuple]:
+            """(func_kind, func_name, attr, arg_sources) of a value expr."""
+            if isinstance(value, ast.Call):
+                target = _flatten(value.func)
+                if target is not None:
+                    tail = target.split(".")[-1]
+                    if target in SANITIZER_CALLS or tail in (
+                        "dumps", "deepcopy",
+                    ):
+                        return "sanitizer", target, "", ()
+                    if isinstance(value.func, ast.Attribute):
+                        root = target.split(".")[0]
+                        if value.func.attr in SANITIZER_METHODS:
+                            return "sanitizer", target, "", ()
+                        return ("method_on", root, value.func.attr, ())
+                    args = tuple(
+                        a.id for a in value.args if isinstance(a, ast.Name)
+                    )
+                    return "name", target, "", args
+                return "unknown_call", "", "", ()
+            return "none", "", "", ()
+
+        for sub in _own_nodes(body):
+            if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                tgt = sub.targets[0]
+                fk, fname, attr, argsrc = classify_value(sub.value)
+                sources = tuple(_loaded_names(sub.value, skip_sanitized=True))
+                if isinstance(tgt, ast.Name):
+                    ops.append(ShmOp(
+                        "assign", tgt.id, sources, fk, fname, attr, argsrc,
+                        sub.lineno, sub.col_offset,
+                    ))
+                elif isinstance(tgt, (ast.Attribute, ast.Subscript)):
+                    root = _flatten(
+                        tgt.value if isinstance(tgt, ast.Attribute)
+                        else tgt.value
+                    )
+                    root = (root or "").split(".")[0]
+                    if root == "self" or (
+                        root and root not in node.local_bindings
+                    ):
+                        ops.append(ShmOp(
+                            "store", root, sources, fk, fname, attr, argsrc,
+                            sub.lineno, sub.col_offset,
+                        ))
+                    elif root:
+                        # Store into a block-local container keeps taint.
+                        ops.append(ShmOp(
+                            "assign", root, sources + (root,), fk, fname,
+                            attr, argsrc, sub.lineno, sub.col_offset,
+                        ))
+            elif isinstance(sub, ast.AugAssign) and isinstance(
+                sub.target, ast.Name
+            ):
+                sources = tuple(
+                    _loaded_names(sub.value, skip_sanitized=True)
+                ) + (sub.target.id,)
+                ops.append(ShmOp(
+                    "assign", sub.target.id, sources, "none", "", "", (),
+                    sub.lineno, sub.col_offset,
+                ))
+            elif isinstance(sub, ast.Return) and sub.value is not None:
+                fk, fname, attr, _ = classify_value(sub.value)
+                sources = tuple(_loaded_names(sub.value, skip_sanitized=True))
+                ops.append(ShmOp(
+                    "return", "", sources, fk, fname, attr, (),
+                    sub.lineno, sub.col_offset,
+                ))
+            elif isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                val = sub.value
+                sources = tuple(
+                    _loaded_names(val, skip_sanitized=True)
+                ) if val is not None else ()
+                ops.append(ShmOp(
+                    "yield", "", sources, "none", "", "", (),
+                    sub.lineno, sub.col_offset,
+                ))
+            elif isinstance(sub, ast.Call) and isinstance(
+                sub.func, ast.Attribute
+            ) and sub.func.attr in MUTATING_METHODS:
+                root = (_flatten(sub.func.value) or "").split(".")[0]
+                if root == "self" or (
+                    root and root not in node.local_bindings
+                ):
+                    sources = tuple(
+                        n for a in sub.args
+                        for n in _loaded_names(a, skip_sanitized=True)
+                    )
+                    ops.append(ShmOp(
+                        "store", root, sources, "none", "", sub.func.attr,
+                        (), sub.lineno, sub.col_offset,
+                    ))
+        ops.sort(key=lambda o: (o.line, o.col))
+        _ = captured_roots
+        return ops
+
+    # -------------------------------------------------- param flows / rets
+
+    def _param_flows(
+        self, node: FuncNode, body: list[ast.stmt]
+    ) -> list[ParamFlow]:
+        out: list[ParamFlow] = []
+        if not node.params:
+            return out
+        index = {p: i for i, p in enumerate(node.params)}
+        for sub in _own_nodes(body):
+            if not isinstance(sub, ast.Call):
+                continue
+            ref = None
+            if isinstance(sub.func, ast.Name):
+                ref = CallRef("name", sub.func.id,
+                              line=sub.lineno, col=sub.col_offset)
+            elif isinstance(sub.func, ast.Attribute):
+                base = _flatten(sub.func.value)
+                if base is None:
+                    continue
+                if "." in base:
+                    ref = CallRef("name", f"{base}.{sub.func.attr}",
+                                  line=sub.lineno, col=sub.col_offset)
+                else:
+                    ref = CallRef("attr", base, sub.func.attr,
+                                  line=sub.lineno, col=sub.col_offset)
+            if ref is None:
+                continue
+            for pos, arg in enumerate(sub.args):
+                if isinstance(arg, ast.Name) and arg.id in index:
+                    out.append(ParamFlow(
+                        ref, index[arg.id], callee_pos=pos,
+                        line=sub.lineno, col=sub.col_offset,
+                    ))
+            for kw in sub.keywords:
+                if kw.arg and isinstance(kw.value, ast.Name) and (
+                    kw.value.id in index
+                ):
+                    out.append(ParamFlow(
+                        ref, index[kw.value.id], callee_kw=kw.arg,
+                        line=sub.lineno, col=sub.col_offset,
+                    ))
+        return out
+
+    def _ret_views(
+        self, node: FuncNode, body: list[ast.stmt]
+    ) -> list[RetView]:
+        out: list[RetView] = []
+        if not node.params:
+            return out
+        index = {p: i for i, p in enumerate(node.params)}
+
+        def scan(expr: ast.AST, line: int, col: int) -> None:
+            if isinstance(expr, (ast.Tuple, ast.List)):
+                for e in expr.elts:
+                    scan(e, line, col)
+                return
+            if isinstance(expr, ast.Name) and expr.id in index:
+                out.append(RetView(index[expr.id], line=line, col=col))
+                return
+            if isinstance(expr, (ast.Attribute, ast.Subscript)):
+                root = expr
+                while isinstance(root, (ast.Attribute, ast.Subscript)):
+                    root = root.value
+                if isinstance(root, ast.Name) and root.id in index:
+                    out.append(RetView(index[root.id], line=line, col=col))
+                return
+            if isinstance(expr, ast.Call):
+                target = _flatten(expr.func)
+                if target is None:
+                    return
+                tail = target.split(".")[-1]
+                if target in SANITIZER_CALLS or tail in ("dumps", "deepcopy"):
+                    return
+                if isinstance(expr.func, ast.Attribute):
+                    if expr.func.attr in SANITIZER_METHODS:
+                        return
+                    root = expr.func
+                    while isinstance(root, (ast.Attribute, ast.Subscript)):
+                        root = root.value
+                    if isinstance(root, ast.Name) and root.id in index:
+                        out.append(RetView(index[root.id], line=line, col=col))
+                    return
+                if "." not in target:
+                    arg_map = tuple(
+                        (index[a.id], pos)
+                        for pos, a in enumerate(expr.args)
+                        if isinstance(a, ast.Name) and a.id in index
+                    )
+                    if arg_map:
+                        out.append(RetView(
+                            -1, callee=target, arg_map=arg_map,
+                            line=line, col=col,
+                        ))
+
+        for sub in _own_nodes(body):
+            if isinstance(sub, ast.Return) and sub.value is not None:
+                scan(sub.value, sub.lineno, sub.col_offset)
+        return out
+
+
+def extract_module(ctx: ModuleContext) -> ModuleSummary:
+    """Stage 1: one module's symbols, call refs and seed effects."""
+    ms = ModuleSummary(
+        module=_module_name(ctx), path=ctx.path,
+        path_parts=ctx.path_parts, imports={},
+    )
+    _collect_imports(ctx.tree, ms.imports)
+    _Extractor(ctx, ms).run()
+    return ms
+
+
+# --------------------------------------------------------------------------
+# Fixpoint
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class EffectSummary:
+    """Solved (seed + transitive) effects of one function."""
+
+    mut_captured: dict[str, Witness] = field(default_factory=dict)
+    wall_clock: Witness | None = None
+    unseeded_random: Witness | None = None
+    fault_site: bool = False
+    returns_view: dict[int, Witness] = field(default_factory=dict)
+    mutates_params: dict[int, Witness] = field(default_factory=dict)
+
+
+EffectMap = dict  # qual -> EffectSummary
+
+
+def _self_offset(callee: FuncNode) -> int:
+    """1 when calls bind the first parameter implicitly (methods)."""
+    if callee.cls is not None and callee.params and (
+        callee.params[0] in ("self", "cls")
+    ):
+        return 1
+    return 0
+
+
+def solve_effects(graph) -> EffectMap:
+    """Stage 3: bottom-up effect propagation over the SCC condensation."""
+    effects: EffectMap = {}
+    for qual, fn in graph.functions.items():
+        s = fn.summary or FuncSummary()
+        summary = EffectSummary(
+            mut_captured=dict(s.mut_captured),
+            wall_clock=s.wall_clock,
+            unseeded_random=s.unseeded_random,
+            fault_site=s.fault_site,
+            mutates_params=dict(s.mutates_params),
+        )
+        effects[qual] = summary
+
+    def merge_from(fn: FuncNode, callee_qual: str) -> bool:
+        changed = False
+        eff = effects[fn.qual]
+        sub = effects[callee_qual]
+        callee = graph.functions[callee_qual]
+        nested_in_fn = callee_qual.startswith(f"{fn.qual}.{LOCALS}.")
+        for name, w in sub.mut_captured.items():
+            if nested_in_fn and name in fn.local_bindings:
+                continue
+            if name in fn.local_bindings and not (
+                name in (fn.summary.mut_captured if fn.summary else {})
+            ):
+                # The callee mutates a name that is local to this caller
+                # (its own accumulator): not shared state from here up —
+                # unless the callee is defined elsewhere and reaches a
+                # genuinely global name that happens to collide.
+                if nested_in_fn:
+                    continue
+            if name not in eff.mut_captured:
+                eff.mut_captured[name] = w.with_hop(callee_qual)
+                changed = True
+        if eff.wall_clock is None and sub.wall_clock is not None:
+            eff.wall_clock = sub.wall_clock.with_hop(callee_qual)
+            changed = True
+        if eff.unseeded_random is None and sub.unseeded_random is not None:
+            eff.unseeded_random = sub.unseeded_random.with_hop(callee_qual)
+            changed = True
+        if sub.fault_site and not eff.fault_site:
+            eff.fault_site = True
+            changed = True
+        _ = callee
+        return changed
+
+    def flow_params(fn: FuncNode) -> bool:
+        changed = False
+        eff = effects[fn.qual]
+        for flow in (fn.summary.param_flows if fn.summary else ()):
+            callee_qual = graph.resolve(fn, flow.ref)
+            if callee_qual is None or callee_qual not in graph.functions:
+                continue
+            callee = graph.functions[callee_qual]
+            sub = effects[callee_qual]
+            if flow.callee_kw:
+                try:
+                    pos = callee.params.index(flow.callee_kw)
+                except ValueError:
+                    continue
+            else:
+                pos = flow.callee_pos + _self_offset(callee)
+            if pos in sub.mutates_params and (
+                flow.param_index not in eff.mutates_params
+            ):
+                eff.mutates_params[flow.param_index] = (
+                    sub.mutates_params[pos].with_hop(callee_qual)
+                )
+                changed = True
+        for ret in (fn.summary.ret_views if fn.summary else ()):
+            if ret.param_index >= 0:
+                if ret.param_index not in eff.returns_view:
+                    eff.returns_view[ret.param_index] = Witness(
+                        fn.path, ret.line, ret.col,
+                        f"returns a view derived from parameter "
+                        f"{fn.params[ret.param_index]!r}"
+                        if ret.param_index < len(fn.params)
+                        else "returns a view of its input",
+                    )
+                    changed = True
+                continue
+            callee_qual = graph._resolve_name(fn, ret.callee)
+            if callee_qual is None or callee_qual not in graph.functions:
+                continue
+            callee = graph.functions[callee_qual]
+            sub = effects[callee_qual]
+            off = _self_offset(callee)
+            for own_idx, pos in ret.arg_map:
+                if (pos + off) in sub.returns_view and (
+                    own_idx not in eff.returns_view
+                ):
+                    eff.returns_view[own_idx] = (
+                        sub.returns_view[pos + off].with_hop(callee_qual)
+                    )
+                    changed = True
+        return changed
+
+    for component in graph.sccs():
+        stable = False
+        rounds = 0
+        while not stable and rounds < 50:
+            stable = True
+            rounds += 1
+            for qual in component:
+                fn = graph.functions[qual]
+                for callee_qual, _ref in graph.edges.get(qual, ()):
+                    if callee_qual not in effects:
+                        continue
+                    if merge_from(fn, callee_qual):
+                        stable = False
+                if flow_params(fn):
+                    stable = False
+    return effects

@@ -1,0 +1,500 @@
+"""Interprocedural rules PT006–PT010 (plus the PT001 extension).
+
+Every rule here is a :class:`~repro.analysis.model.ProjectRule` consuming
+the call graph and the solved effect summaries from
+:class:`~repro.analysis.model.ProjectContext`.  The catalogue::
+
+    PT006  unpicklable-task-capture     dispatched tasks must pickle
+    PT007  shm-view-escape              no view outlives its mapping window
+    PT008  nondeterminism-source        merge/schedule order must be pure
+    PT009  fault-blind-phase            booked phases need a fault site
+    PT010  transitive-impure-aggregate  PT004 through helper calls
+    PT001  (extension)                  captured mutation through helpers
+
+Resolution is conservative (unresolved callees contribute nothing), so
+the family under-approximates; see ``docs/static_analysis.md`` for the
+semantics and worked fixes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.flow.callgraph import (
+    LOCALS,
+    CallGraph,
+    CallRef,
+    FuncNode,
+    TaskRef,
+)
+from repro.analysis.flow.effects import ShmBlock, Witness, _self_offset
+from repro.analysis.model import (
+    Finding,
+    ProjectContext,
+    ProjectRule,
+    Severity,
+)
+
+#: Path components exempt from dispatch-task rules: the sanitizer runs
+#: deliberately racy probe tasks in-thread and never crosses a process.
+DISPATCH_EXEMPT = frozenset({"analysis"})
+
+#: Path components exempt from PT009: the accounting/fault layers *are*
+#: the mechanism, and bench harnesses book phases for raw measurement.
+PT009_EXEMPT = frozenset({"simtime", "faults", "bench", "benchmarks", "analysis"})
+
+_PURE_AGG_METHODS = frozenset({"make_delta", "combine", "negate", "is_null_delta"})
+_ACC_AGG_METHODS = frozenset({"apply"})
+
+
+def _parts(graph: CallGraph, fn: FuncNode) -> frozenset:
+    mod = graph.modules.get(fn.module)
+    return frozenset(mod.path_parts if mod is not None else ())
+
+
+def _iter_functions(graph: CallGraph) -> Iterator[FuncNode]:
+    for qual in sorted(graph.functions):
+        yield graph.functions[qual]
+
+
+def _task_desc(task: TaskRef) -> str:
+    if task.form == "lambda":
+        return "lambda task"
+    if task.name:
+        return f"task {task.name!r}"
+    return "dispatched task"
+
+
+class UnpicklableTaskCaptureRule(ProjectRule):
+    """PT006 — anything dispatched via ``map_parallel`` must pickle.
+
+    The process backend ships each task to a worker with :mod:`pickle`;
+    lambdas and nested functions pickle by qualified name and fail (or,
+    worse, resolve to the wrong object after a refactor), and captured
+    locks / open handles / ``SharedMemory`` objects fail outright.
+    ``run_serial`` is exempt — it runs in the parent process by design.
+    """
+
+    id = "PT006"
+    name = "unpicklable-task-capture"
+    severity = Severity.ERROR
+    rationale = (
+        "Dispatched tasks cross a process boundary on the process "
+        "backend; a task must be a module-level callable (e.g. a frozen "
+        "dataclass with __call__) whose every field pickles."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        for fn in _iter_functions(graph):
+            if DISPATCH_EXEMPT & _parts(graph, fn):
+                continue
+            if fn.summary is None:
+                continue
+            for d in fn.summary.dispatches:
+                if d.method != "map_parallel":
+                    continue
+                t = d.task
+                if t.form == "lambda":
+                    yield self.finding_at(
+                        fn.path, t.line, t.col,
+                        "lambda passed to map_parallel cannot cross a "
+                        "process boundary (pickled by qualified name); "
+                        "define a module-level task, e.g. a frozen "
+                        "dataclass with __call__",
+                    )
+                elif t.form == "local_function":
+                    yield self.finding_at(
+                        fn.path, t.line, t.col,
+                        f"task {t.name!r} is a nested function (closure): "
+                        "pickled by qualified name it cannot cross a "
+                        "process boundary, and its captured variables are "
+                        "silently re-bound per worker; hoist it to module "
+                        "level",
+                    )
+                elif t.form == "function":
+                    qual = graph.resolve_task(fn, t)
+                    if qual is not None and f".{LOCALS}." in qual:
+                        yield self.finding_at(
+                            fn.path, t.line, t.col,
+                            f"task {t.name!r} resolves to the nested "
+                            f"function {qual}; nested functions are "
+                            "unpicklable on the process backend — hoist "
+                            "it to module level",
+                        )
+                elif t.form == "constructor" and t.issues:
+                    yield self.finding_at(
+                        fn.path, t.line, t.col,
+                        f"task {t.name}(...) captures "
+                        f"{', '.join(t.issues)}; every field of a "
+                        "dispatched task must be picklable",
+                    )
+                elif t.form == "partial":
+                    qual = (
+                        graph._resolve_name(fn, t.name) if t.name else None
+                    )
+                    if qual is not None and f".{LOCALS}." in qual:
+                        yield self.finding_at(
+                            fn.path, t.line, t.col,
+                            f"functools.partial wraps the nested function "
+                            f"{t.name!r}; the partial pickles but its "
+                            "target does not — hoist the target to module "
+                            "level",
+                        )
+                    if t.issues:
+                        yield self.finding_at(
+                            fn.path, t.line, t.col,
+                            f"functools.partial binds {', '.join(t.issues)}"
+                            "; bound arguments ship to workers and must "
+                            "pickle",
+                        )
+
+
+class TransitiveSharedMutationRule(ProjectRule):
+    """PT001 (interprocedural) — captured-state mutation through helpers.
+
+    The module-local PT001 sees a lexical closure mutating its capture;
+    this extension follows the dispatched task through the call graph, so
+    a mutation buried two helpers deep — or behind a task object's
+    ``__call__`` — still fails the gate.
+    """
+
+    id = "PT001"
+    name = "transitive-shared-mutable-capture"
+    severity = Severity.ERROR
+    rationale = (
+        "Step-1 tasks must be effect-free; a dispatched task that "
+        "transitively mutates captured or global state races under the "
+        "thread backend and silently diverges under the process backend."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        effects = project.effects
+        for fn in _iter_functions(graph):
+            if DISPATCH_EXEMPT & _parts(graph, fn):
+                continue
+            if fn.summary is None:
+                continue
+            for d in fn.summary.dispatches:
+                if d.method != "map_parallel":
+                    continue
+                qual = graph.resolve_task(fn, d.task)
+                if qual is None or qual not in effects:
+                    continue
+                for name, w in sorted(effects[qual].mut_captured.items()):
+                    if not w.chain and d.task.form in ("lambda", "local_function"):
+                        # The lexical PT001 already points at the body.
+                        continue
+                    yield self.finding_at(
+                        fn.path, d.line, d.col,
+                        f"{_task_desc(d.task)} transitively mutates "
+                        f"captured/global state {name!r} "
+                        f"({w.render_chain()}{w.path}:{w.line}); Step-1 "
+                        "tasks must return values, not mutate shared "
+                        "structures",
+                    )
+
+
+class ShmViewEscapeRule(ProjectRule):
+    """PT007 — no NumPy view may outlive its shm mapping window.
+
+    A view produced inside ``with chunk.open() as c:`` points into the
+    mapped buffer; once the window closes the mapping is gone and the
+    view silently reads unmapped (or reused) memory.  Results must be
+    materialized (pickled/copied) *inside* the window.
+    """
+
+    id = "PT007"
+    name = "shm-view-escape"
+    severity = Severity.ERROR
+    rationale = (
+        "Zero-copy shm views are only valid inside the mapping window; "
+        "an escaping view is the PR 3 dangling-view bug class — pickle "
+        "or copy the result before the window closes."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        effects = project.effects
+        for fn in _iter_functions(graph):
+            if fn.summary is None:
+                continue
+            for block in fn.summary.shm_blocks:
+                yield from self._replay(graph, effects, fn, block)
+
+    def _replay(
+        self, graph: CallGraph, effects: dict, fn: FuncNode, block: ShmBlock
+    ) -> Iterator[Finding]:
+        tainted: set[str] = {block.alias}
+        for op in block.ops:
+            if op.kind == "assign":
+                hit = bool(set(op.sources) & tainted)
+                if op.func_kind == "sanitizer":
+                    hit = False
+                elif op.func_kind == "name" and hit:
+                    hit = self._call_taints(graph, effects, fn, op, tainted)
+                elif op.func_kind == "unknown_call":
+                    hit = False
+                if hit:
+                    tainted.add(op.target)
+                else:
+                    tainted.discard(op.target)
+            elif op.kind in ("return", "yield"):
+                if op.func_kind == "sanitizer":
+                    continue
+                names = sorted(set(op.sources) & tainted)
+                if names:
+                    yield self.finding_at(
+                        fn.path, op.line, op.col,
+                        f"{op.kind} of {', '.join(repr(n) for n in names)} "
+                        "escapes the shm mapping window opened at line "
+                        f"{block.line}; the view dangles once the window "
+                        "closes — pickle or copy inside the window",
+                    )
+            elif op.kind == "store":
+                names = sorted(set(op.sources) & tainted)
+                if names:
+                    yield self.finding_at(
+                        fn.path, op.line, op.col,
+                        f"stores {', '.join(repr(n) for n in names)} into "
+                        f"{op.target!r}, which outlives the shm mapping "
+                        f"window opened at line {block.line}; copy the "
+                        "data before the window closes",
+                    )
+            elif op.kind == "load_after":
+                if op.target in tainted:
+                    yield self.finding_at(
+                        fn.path, op.line, op.col,
+                        f"{op.target!r} is a view into the shm mapping "
+                        f"window opened at line {block.line} and is used "
+                        "after the window closed; materialize it inside "
+                        "the window",
+                    )
+                    tainted.discard(op.target)  # one finding per name
+
+    def _call_taints(
+        self, graph: CallGraph, effects: dict, fn: FuncNode, op, tainted: set
+    ) -> bool:
+        """Does a resolved project call propagate taint to its result?"""
+        ref = CallRef("name", op.func_name)
+        qual = graph.resolve(fn, ref)
+        if qual is None or qual not in effects:
+            # Unresolved calls are assumed to materialize their result;
+            # unresolvable receivers (builtins, numpy) overwhelmingly do.
+            return False
+        if not effects[qual].returns_view:
+            return False
+        return bool(set(op.arg_sources) & tainted) or not op.arg_sources
+
+
+class NondeterminismSourceRule(ProjectRule):
+    """PT008 — nondeterminism feeding merge or schedule order.
+
+    Chaos parity (PR 5) asserts bit-identical results across fault
+    seeds; that only holds if no task or ordering decision consults an
+    unseeded RNG, the wall clock, or set-iteration order.
+    """
+
+    id = "PT008"
+    name = "nondeterminism-source"
+    severity = Severity.ERROR
+    rationale = (
+        "Deterministic replay (and the chaos-parity suite) requires "
+        "every random draw to come from a seeded generator, every time "
+        "read to go through repro.simtime.measure, and every ordered "
+        "result to be independent of set-iteration order."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        effects = project.effects
+        for fn in _iter_functions(graph):
+            if fn.summary is None:
+                continue
+            s = fn.summary
+            if s.unseeded_random is not None:
+                w = s.unseeded_random
+                yield self.finding_at(
+                    fn.path, w.line, w.col,
+                    f"{w.desc}; draw from a generator seeded by the run "
+                    "config (np.random.default_rng(seed) / random.Random(seed))",
+                )
+            for w in s.set_order:
+                yield self.finding_at(fn.path, w.line, w.col, w.desc)
+            for d in s.dispatches:
+                if d.method != "map_parallel":
+                    continue
+                if d.items_is_set:
+                    yield self.finding_at(
+                        fn.path, d.line, d.col,
+                        "map_parallel items are built from a set: task "
+                        "order — and hence merge/schedule order — varies "
+                        "per process (PYTHONHASHSEED); sort the items",
+                    )
+                qual = graph.resolve_task(fn, d.task)
+                if qual is None or qual not in effects:
+                    continue
+                eff = effects[qual]
+                if eff.unseeded_random is not None:
+                    w = eff.unseeded_random
+                    yield self.finding_at(
+                        fn.path, d.line, d.col,
+                        f"{_task_desc(d.task)} transitively draws "
+                        f"unseeded randomness ({w.render_chain()}"
+                        f"{w.path}:{w.line}); chaos parity requires "
+                        "seeded generators threaded through the task",
+                    )
+                if eff.wall_clock is not None:
+                    w = eff.wall_clock
+                    yield self.finding_at(
+                        fn.path, d.line, d.col,
+                        f"{_task_desc(d.task)} transitively reads the "
+                        f"wall clock ({w.render_chain()}{w.path}:{w.line})"
+                        "; route timing through repro.simtime.measure so "
+                        "the cost is booked, not raced",
+                    )
+
+
+class FaultBlindPhaseRule(ProjectRule):
+    """PT009 — a booked parallel phase the fault plane cannot reach.
+
+    ``--faults`` draws per-(site, task, attempt); a phase booked
+    directly on the clock with no reachable ``FaultInjector`` session is
+    silently never exercised by the chaos suite.
+    """
+
+    id = "PT009"
+    name = "fault-blind-phase"
+    severity = Severity.ERROR
+    rationale = (
+        "Every parallel phase must either run through an executor (which "
+        "opens a PhaseSession) or open one itself; otherwise chaos runs "
+        "report full coverage while skipping the phase entirely."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        effects = project.effects
+        for fn in _iter_functions(graph):
+            if PT009_EXEMPT & _parts(graph, fn):
+                continue
+            if fn.summary is None:
+                continue
+            eff = effects.get(fn.qual)
+            for kind, line, col in fn.summary.bookings:
+                if kind != "parallel":
+                    continue
+                if eff is not None and eff.fault_site:
+                    continue
+                yield self.finding_at(
+                    fn.path, line, col,
+                    "books a parallel phase directly on the clock with no "
+                    "FaultInjector site reachable from this function; "
+                    "wrap the phase in injector.begin_phase(...) (or "
+                    "dispatch through an executor) so --faults can "
+                    "exercise it",
+                )
+
+
+class TransitiveImpureAggregateRule(ProjectRule):
+    """PT010 — PT004's value-semantics check through helper calls.
+
+    PT004 sees ``combine`` mutate its argument lexically; this rule
+    follows protected parameters through calls, so ``combine`` handing
+    its delta to a helper that ``.update()``s it is caught too.
+    """
+
+    id = "PT010"
+    name = "transitive-impure-aggregate"
+    severity = Severity.ERROR
+    rationale = (
+        "Deltas are shared between delta maps and merge levels; passing "
+        "one to a helper that mutates it corrupts other maps exactly "
+        "like a direct mutation would."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        effects = project.effects
+        for module in sorted(graph.modules):
+            mod = graph.modules[module]
+            for cls_name in sorted(mod.classes):
+                cls = mod.classes[cls_name]
+                if not self._is_aggregate(graph, cls):
+                    continue
+                for method in sorted(cls.methods):
+                    if method in _PURE_AGG_METHODS:
+                        protected_from = 1
+                    elif method in _ACC_AGG_METHODS:
+                        protected_from = 2
+                    else:
+                        continue
+                    qual = cls.methods[method]
+                    fn = graph.functions.get(qual)
+                    if fn is None or fn.summary is None:
+                        continue
+                    yield from self._check_method(
+                        graph, effects, cls.name, fn, protected_from
+                    )
+
+    def _is_aggregate(self, graph: CallGraph, cls, _seen=frozenset()) -> bool:
+        if cls.qual in _seen:
+            return False
+        if "aggregate" in cls.name.lower():
+            return True
+        for base in cls.bases:
+            if "aggregate" in base.lower():
+                return True
+            parent = graph.resolve_class(base, cls.module)
+            if parent is not None and self._is_aggregate(
+                graph, parent, _seen | {cls.qual}
+            ):
+                return True
+        return False
+
+    def _check_method(
+        self, graph, effects, cls_name, fn: FuncNode, protected_from: int
+    ) -> Iterator[Finding]:
+        for flow in fn.summary.param_flows:
+            if flow.param_index < protected_from:
+                continue
+            qual = graph.resolve(fn, flow.ref)
+            if qual is None or qual not in effects:
+                continue
+            callee = graph.functions[qual]
+            if flow.callee_kw:
+                try:
+                    pos = callee.params.index(flow.callee_kw)
+                except ValueError:
+                    continue
+            else:
+                pos = flow.callee_pos + _self_offset(callee)
+            w = effects[qual].mutates_params.get(pos)
+            if w is None:
+                continue
+            param = (
+                fn.params[flow.param_index]
+                if flow.param_index < len(fn.params) else "?"
+            )
+            yield self.finding_at(
+                fn.path, flow.line, flow.col,
+                f"{cls_name}.{fn.name} passes its input {param!r} to "
+                f"{callee.name}, which mutates it "
+                f"({Witness(w.path, w.line, w.col, w.desc, (qual,) + w.chain).render_chain()}"
+                f"{w.path}:{w.line}); deltas are shared between delta "
+                "maps — build a new value instead",
+            )
+
+
+#: The interprocedural rule set, in id order (PT001 extension first).
+PROJECT_RULES: tuple[ProjectRule, ...] = (
+    TransitiveSharedMutationRule(),
+    UnpicklableTaskCaptureRule(),
+    ShmViewEscapeRule(),
+    NondeterminismSourceRule(),
+    FaultBlindPhaseRule(),
+    TransitiveImpureAggregateRule(),
+)
+
+PROJECT_RULES_BY_ID = {rule.id: rule for rule in PROJECT_RULES}

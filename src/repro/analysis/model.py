@@ -16,10 +16,16 @@ parallel; every cost flows through ``SimClock``) rather than generic style.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (flow → model)
+    from repro.analysis.flow.callgraph import CallGraph
+    from repro.analysis.flow.effects import EffectMap
 
 
 class Severity(str, Enum):
@@ -59,8 +65,54 @@ class Finding:
 
 
 _SUPPRESS_RE = re.compile(
-    r"#\s*partime:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?"
+    r"#\s*partime:\s*ignore(?:\[(?P<codes>[^\]]*)\])?"
 )
+
+#: Rule-id shape accepted inside ``ignore[...]`` brackets.
+_CODE_RE = re.compile(r"^PT\d{3}$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# partime: ignore[...]`` directive.
+
+    ``codes`` is the empty set for a bare ``# partime: ignore`` (suppress
+    every rule); ``problems`` records malformed pieces (empty brackets,
+    tokens that are not rule ids) that the dead-suppression check turns
+    into PT099 findings.
+    """
+
+    line: int
+    codes: frozenset[str]
+    problems: tuple[str, ...] = ()
+
+
+def parse_suppression(text: str, line: int = 0) -> "Suppression | None":
+    """Parse one comment (or source line) for a suppression directive.
+
+    Multi-rule comments are hardened: codes are comma-separated, case-
+    insensitive, tolerate stray whitespace and duplicate commas; any
+    token that is not a ``PTnnn`` rule id — and an explicit empty
+    ``ignore[]`` — is reported as a problem instead of silently
+    suppressing nothing (or everything).
+    """
+    m = _SUPPRESS_RE.search(text)
+    if m is None:
+        return None
+    raw = m.group("codes")
+    if raw is None:  # bare directive without brackets: suppress all
+        return Suppression(line=line, codes=frozenset())
+    tokens = [t.strip().upper() for t in raw.split(",") if t.strip()]
+    problems: list[str] = []
+    codes: set[str] = set()
+    if not tokens:
+        problems.append("empty ignore[] — name rule ids or drop the brackets")
+    for token in tokens:
+        if _CODE_RE.match(token):
+            codes.add(token)
+        else:
+            problems.append(f"{token!r} is not a rule id (expected PTnnn)")
+    return Suppression(line=line, codes=frozenset(codes), problems=tuple(problems))
 
 
 def suppressed_codes(line: str) -> "set[str] | None":
@@ -70,13 +122,36 @@ def suppressed_codes(line: str) -> "set[str] | None":
     empty set for a bare ``# partime: ignore`` (suppress everything), and
     the set of named codes for ``# partime: ignore[PT001, PT002]``.
     """
-    m = _SUPPRESS_RE.search(line)
-    if m is None:
+    sup = parse_suppression(line)
+    if sup is None:
         return None
-    codes = m.group("codes")
-    if codes is None:
-        return set()
-    return {c.strip().upper() for c in codes.split(",") if c.strip()}
+    return set(sup.codes)
+
+
+def extract_suppressions(source: str) -> dict[int, Suppression]:
+    """All suppression directives in ``source``, keyed by line.
+
+    Uses :mod:`tokenize` so only *real* comments count — a
+    ``# partime: ignore`` inside a string literal (docstring, test
+    fixture) is not a suppression.  Falls back to a line-based regex scan
+    when the source cannot be tokenized (the syntax-error path already
+    reports PT000).
+    """
+    out: dict[int, Suppression] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for i, text in enumerate(source.splitlines(), start=1):
+            sup = parse_suppression(text, line=i)
+            if sup is not None:
+                out[i] = sup
+        return out
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            sup = parse_suppression(tok.string, line=tok.start[0])
+            if sup is not None:
+                out[tok.start[0]] = sup
+    return out
 
 
 class ModuleContext:
@@ -91,6 +166,12 @@ class ModuleContext:
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):
                 self.parents[child] = parent
+        #: Real-comment suppression directives, by line (tokenize-based:
+        #: a directive inside a string literal is not a suppression).
+        self.suppressions: dict[int, Suppression] = extract_suppressions(source)
+        #: Lines whose directive matched at least one finding — the
+        #: complement feeds the dead-suppression check (PT099).
+        self.used_suppressions: set[int] = set()
 
     @property
     def path_parts(self) -> tuple[str, ...]:
@@ -102,10 +183,24 @@ class ModuleContext:
         return ""
 
     def is_suppressed(self, finding: Finding) -> bool:
-        codes = suppressed_codes(self.line_text(finding.line))
-        if codes is None:
+        sup = self.suppressions.get(finding.line)
+        if sup is None:
             return False
-        return not codes or finding.rule_id.upper() in codes
+        if finding.rule_id.upper() == "PT099":
+            # Suppression-hygiene findings cannot themselves be
+            # suppressed — a dead suppression must not self-justify.
+            return False
+        if not sup.codes:
+            if sup.problems:
+                # A malformed directive (ignore[] / bad tokens with no
+                # valid id) must not degrade into suppress-everything.
+                return False
+            self.used_suppressions.add(finding.line)
+            return True
+        if finding.rule_id.upper() in sup.codes:
+            self.used_suppressions.add(finding.line)
+            return True
+        return False
 
 
 class Rule:
@@ -133,3 +228,79 @@ class Rule:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<rule {self.id} {self.name}>"
+
+
+class ProjectContext:
+    """Whole-program view: every parsed module plus the derived call
+    graph and effect summaries (built lazily by the driver, shared by all
+    :class:`ProjectRule` subclasses)."""
+
+    def __init__(
+        self,
+        modules: "list[ModuleContext]",
+        summaries: "list | None" = None,
+    ) -> None:
+        self.modules = list(modules)
+        #: Pre-extracted ModuleSummary list (e.g. from the summary
+        #: cache); when set, stage 1 is skipped entirely.
+        self.summaries = summaries
+        self._graph: "CallGraph | None" = None
+        self._effects: "EffectMap | None" = None
+
+    def by_path(self, path: str) -> "ModuleContext | None":
+        for ctx in self.modules:
+            if ctx.path == path:
+                return ctx
+        return None
+
+    @property
+    def graph(self) -> "CallGraph":
+        if self._graph is None:
+            from repro.analysis.flow.callgraph import CallGraph
+            from repro.analysis.flow.effects import extract_module
+
+            self._graph = CallGraph.build(
+                self.summaries
+                if self.summaries is not None
+                else [extract_module(ctx) for ctx in self.modules]
+            )
+        return self._graph
+
+    @property
+    def effects(self) -> "EffectMap":
+        if self._effects is None:
+            from repro.analysis.flow.effects import solve_effects
+
+            self._effects = solve_effects(self.graph)
+        return self._effects
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole program, not one module.
+
+    Subclasses implement :meth:`check_project`; the per-module
+    :meth:`Rule.check` is a no-op so a project rule accidentally run by a
+    module-only driver stays silent instead of crashing.
+    """
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+    ) -> Finding:
+        return Finding(
+            path=path,
+            line=line,
+            col=col + 1,
+            rule_id=self.id,
+            severity=self.severity,
+            message=message,
+        )

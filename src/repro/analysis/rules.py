@@ -378,7 +378,7 @@ class GilBlindLoopRule(Rule):
                 yield from self._scan_block(ctx, node.body)
 
 
-#: The shipped rule set, in id order.
+#: The module-local rule set, in id order.
 DEFAULT_RULES: tuple[Rule, ...] = (
     SharedMutableCaptureRule(),
     UnaccountedWallClockRule(),
@@ -387,4 +387,15 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     GilBlindLoopRule(),
 )
 
-RULES_BY_ID = {rule.id: rule for rule in DEFAULT_RULES}
+
+def _project_rules() -> tuple[Rule, ...]:
+    from repro.analysis.flow.rules import PROJECT_RULES
+
+    return PROJECT_RULES
+
+
+#: The full shipped catalogue: module rules plus the whole-program
+#: PT006–PT010 family (and the interprocedural PT001 extension).
+ALL_RULES: tuple[Rule, ...] = DEFAULT_RULES + _project_rules()
+
+RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}

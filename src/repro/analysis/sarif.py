@@ -1,0 +1,184 @@
+"""SARIF 2.1.0 emitter for lint findings (GitHub code scanning).
+
+One run, one driver (``partime-lint``), the full PT rule catalogue as
+``tool.driver.rules`` so code-scanning shows rationales, and one result
+per finding with a stable ``partialFingerprints`` entry (the same
+fingerprint the baseline ratchet uses, so alert identity survives line
+shifts).  The output is deterministic: rules sorted by id, results in
+the driver's (path, line, col, rule) order.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.baseline import finding_fingerprints
+from repro.analysis.model import Finding, Rule, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "partime-lint"
+_TOOL_URI = "https://example.invalid/partime"  # repo-relative docs stand in
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _rule_entry(rule: Rule) -> dict:
+    text = rule.rationale or rule.name
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name},
+        "fullDescription": {"text": text},
+        "help": {
+            "text": f"{text}\nSuppress with: # partime: ignore[{rule.id}]"
+        },
+        "defaultConfiguration": {"level": _level(rule.severity)},
+    }
+
+
+def _synthetic_rule(rule_id: str) -> dict:
+    """Catalogue entry for ids with no Rule object (PT000, PT099)."""
+    known = {
+        "PT000": "unparseable or unreadable module",
+        "PT099": "dead or malformed suppression comment",
+    }
+    text = known.get(rule_id, "finding")
+    return {
+        "id": rule_id,
+        "name": text,
+        "shortDescription": {"text": text},
+        "fullDescription": {"text": text},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    rules: "Sequence[Rule] | None" = None,
+    version: str = "0",
+) -> dict:
+    """Findings as a SARIF 2.1.0 ``dict`` (serialize with ``json.dumps``)."""
+    if rules is None:
+        from repro.analysis.rules import ALL_RULES
+
+        rules = ALL_RULES
+    catalogue: dict[str, dict] = {}
+    for rule in rules:
+        catalogue.setdefault(rule.id, _rule_entry(rule))
+    for f in findings:
+        catalogue.setdefault(f.rule_id, _synthetic_rule(f.rule_id))
+    rule_ids = sorted(catalogue)
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+
+    fingerprints = finding_fingerprints(findings)
+    results = []
+    for f in findings:
+        results.append({
+            "ruleId": f.rule_id,
+            "ruleIndex": rule_index[f.rule_id],
+            "level": _level(f.severity),
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(f.line, 1),
+                        "startColumn": max(f.col, 1),
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                "partimeFingerprint/v1": fingerprints[f],
+            },
+        })
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": _TOOL_NAME,
+                    "informationUri": _TOOL_URI,
+                    "version": version,
+                    "rules": [catalogue[rid] for rid in rule_ids],
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"description": {"text": "repository root"}},
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+
+
+def format_sarif(
+    findings: Sequence[Finding],
+    rules: "Sequence[Rule] | None" = None,
+    version: str = "0",
+) -> str:
+    return json.dumps(
+        to_sarif(findings, rules=rules, version=version),
+        indent=2, sort_keys=True,
+    )
+
+
+#: The structural subset of the SARIF 2.1.0 schema the emitter promises
+#: (and tests assert) — enough for GitHub code scanning ingestion.
+REQUIRED_RUN_KEYS = ("tool", "results")
+REQUIRED_RESULT_KEYS = ("ruleId", "level", "message", "locations")
+
+
+def validate_minimal(doc: dict) -> list[str]:
+    """Structural validation against the SARIF 2.1.0 shape.
+
+    Returns a list of problems (empty when valid).  This is not a full
+    JSON-Schema validation — the container has no jsonschema package —
+    but checks every property GitHub's ingestion requires.
+    """
+    problems: list[str] = []
+    if doc.get("version") != SARIF_VERSION:
+        problems.append(f"version must be {SARIF_VERSION!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return problems + ["runs must be a non-empty array"]
+    for i, run in enumerate(runs):
+        for key in REQUIRED_RUN_KEYS:
+            if key not in run:
+                problems.append(f"runs[{i}] missing {key!r}")
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            problems.append(f"runs[{i}].tool.driver.name missing")
+        declared = {r.get("id") for r in driver.get("rules", [])}
+        for j, res in enumerate(run.get("results", [])):
+            for key in REQUIRED_RESULT_KEYS:
+                if key not in res:
+                    problems.append(f"runs[{i}].results[{j}] missing {key!r}")
+            if res.get("ruleId") not in declared:
+                problems.append(
+                    f"runs[{i}].results[{j}].ruleId "
+                    f"{res.get('ruleId')!r} not in tool.driver.rules"
+                )
+            for loc in res.get("locations", []):
+                phys = loc.get("physicalLocation", {})
+                if "uri" not in phys.get("artifactLocation", {}):
+                    problems.append(
+                        f"runs[{i}].results[{j}] location missing uri"
+                    )
+                region = phys.get("region", {})
+                if region.get("startLine", 0) < 1:
+                    problems.append(
+                        f"runs[{i}].results[{j}] startLine must be >= 1"
+                    )
+    return problems

@@ -13,8 +13,11 @@ Subcommands:
     List the paper's experiments and the pytest targets that regenerate
     them (and show any results already produced).
 ``lint``
-    Run the parallel-safety lint rules (PT001–PT005) over source paths;
-    exits nonzero when findings remain (see ``docs/static_analysis.md``).
+    Run the parallel-safety lint rules — module-local PT001–PT005 plus
+    the whole-program PT006–PT010 family — over source paths; supports
+    ``--format=sarif``, ``--baseline`` ratcheting, an mtime+hash summary
+    cache and a runtime ``--budget``; exits nonzero when findings remain
+    (see ``docs/static_analysis.md``).
 ``trace``
     Run a workload (``demo`` or a Python script) under the observability
     layer and print its span tree and metric snapshot; ``--json`` writes
@@ -230,22 +233,73 @@ def cmd_experiments(_args) -> int:
 
 
 def cmd_lint(args) -> int:
+    import time as _time
+
     from repro.analysis import explain_rules, format_findings, lint_paths
+    from repro.analysis.baseline import (
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
 
     if args.explain:
         print(explain_rules())
         return 0
     paths = args.paths
     if not paths:
-        # Default to the package source tree when run from a checkout.
-        paths = ["src/repro"] if os.path.isdir("src/repro") else ["."]
+        # Default lint surface when run from a checkout: the package
+        # source plus the measurement and example entry points.
+        defaults = [
+            p for p in ("src/repro", "benchmarks", "examples")
+            if os.path.isdir(p)
+        ]
+        paths = defaults or ["."]
     select = args.select.split(",") if args.select else None
+    cache = None
+    if args.cache:
+        from repro.analysis.cache import SummaryCache
+
+        cache = SummaryCache(args.cache)
+    start = _time.perf_counter()
     try:
-        findings = lint_paths(paths, select=select)
+        findings = lint_paths(paths, select=select, cache=cache)
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    elapsed = _time.perf_counter() - start
+
+    if args.write_baseline:
+        count = write_baseline(findings, args.write_baseline)
+        print(
+            f"wrote baseline {args.write_baseline} "
+            f"({count} accepted finding(s))"
+        )
+        return 0
+    baselined = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings, baselined = apply_baseline(findings, baseline)
+
     print(format_findings(findings, fmt=args.format))
+    if baselined and args.format == "text":
+        print(f"({baselined} baselined finding(s) not shown)", file=sys.stderr)
+    if cache is not None and args.format == "text":
+        print(
+            f"(summary cache: {cache.hits} hit(s), "
+            f"{cache.misses} miss(es))",
+            file=sys.stderr,
+        )
+    if args.budget and elapsed > args.budget:
+        print(
+            f"error: lint took {elapsed:.1f}s, over the "
+            f"{args.budget:.0f}s budget",
+            file=sys.stderr,
+        )
+        return 3
     return 1 if findings else 0
 
 
@@ -429,15 +483,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the parallel-safety lint rules (PT001-PT005)",
-        description="AST-based parallel-safety lint for the simtime "
-        "substrate; exits 1 when findings remain, 0 when clean.",
+        help="run the parallel-safety lint rules (PT001-PT010)",
+        description="AST + whole-program parallel-safety lint for the "
+        "simtime substrate; exits 1 when findings remain, 0 when clean, "
+        "3 when over the --budget.",
     )
     lint.add_argument(
         "paths", nargs="*",
-        help="files or directories to lint (default: src/repro)",
+        help="files or directories to lint "
+        "(default: src/repro benchmarks examples)",
     )
-    lint.add_argument("--format", default="text", choices=["text", "json"])
+    lint.add_argument(
+        "--format", default="text", choices=["text", "json", "sarif"]
+    )
     lint.add_argument(
         "--select", default="",
         help="comma-separated rule ids to run (default: all)",
@@ -445,6 +503,23 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--explain", action="store_true",
         help="print the rule catalogue and exit",
+    )
+    lint.add_argument(
+        "--baseline", default="",
+        help="baseline file of accepted findings; only new findings fail",
+    )
+    lint.add_argument(
+        "--write-baseline", default="", metavar="PATH",
+        help="record current findings as the accepted baseline and exit",
+    )
+    lint.add_argument(
+        "--cache", default="", metavar="PATH",
+        help="mtime+hash summary-cache file (skips re-extraction of "
+        "unchanged files on warm runs)",
+    )
+    lint.add_argument(
+        "--budget", type=float, default=0.0, metavar="SECONDS",
+        help="fail (exit 3) if the lint run exceeds this many seconds",
     )
     lint.set_defaults(fn=cmd_lint)
 

@@ -26,6 +26,7 @@ used by the tests.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import NamedTuple
 
 import numpy as np
@@ -146,6 +147,32 @@ def _hash_partition(
     return out
 
 
+@dataclass(frozen=True)
+class _JoinPairTask:
+    """Per-partition join task, module-level and frozen so it pickles
+    for the process backend (PT006)."""
+
+    left_key: str
+    right_key: str
+    dim: str
+    left_predicate: Predicate | None
+    right_predicate: Predicate | None
+
+    def __call__(self, pair):
+        (lchunk, lrows), (rchunk, rrows) = pair
+        return merge_join_partition(
+            lchunk,
+            rchunk,
+            self.left_key,
+            self.right_key,
+            self.dim,
+            self.left_predicate,
+            self.right_predicate,
+            left_rows=lrows,
+            right_rows=rrows,
+        )
+
+
 class ParTimeJoin:
     """Parallel temporal equi-join, ParTime style.
 
@@ -172,20 +199,9 @@ class ParTimeJoin:
         left_parts = _hash_partition(left, left_key, workers)
         right_parts = _hash_partition(right, right_key, workers)
 
-        def join_pair(pair):
-            (lchunk, lrows), (rchunk, rrows) = pair
-            return merge_join_partition(
-                lchunk,
-                rchunk,
-                left_key,
-                right_key,
-                dim,
-                left_predicate,
-                right_predicate,
-                left_rows=lrows,
-                right_rows=rrows,
-            )
-
+        join_pair = _JoinPairTask(
+            left_key, right_key, dim, left_predicate, right_predicate
+        )
         partials = executor.map_parallel(
             join_pair, list(zip(left_parts, right_parts)), label="join.partition"
         )

@@ -20,9 +20,11 @@ phase over the aggregator cores, writes a sequence of broadcast steps.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from dataclasses import dataclass, field
 
 from repro.core.pivot import choose_pivot, collect_statistics
+from repro.faults.inject import FaultInjector, attempt_locally, current_injector
 from repro.obs.metrics import metrics
 from repro.obs.tracer import span
 from repro.simtime.clock import SimClock, makespan
@@ -119,6 +121,7 @@ class Cluster:
         machine: MachineSpec | None = None,
         numa_aware: bool = True,
         executor=None,
+        faults: FaultInjector | None = None,
     ) -> None:
         if not nodes:
             raise ValueError("need at least one storage node")
@@ -151,6 +154,11 @@ class Cluster:
         #: executor carries a separate clock precisely so the phase is not
         #: double-booked.
         self.executor = executor
+        #: Fault plane for the three batch phases (write/scan/merge);
+        #: omitted, the ambient injector activated by
+        #: :func:`repro.faults.fault_injection` (if any) is picked up at
+        #: construction time — same contract as the executors.
+        self.faults = faults if faults is not None else current_injector()
 
     @classmethod
     def from_table(
@@ -293,29 +301,89 @@ class Cluster:
         ):
             return self._run_batch(writes, reads)
 
+    def _faulted(self, label: str, index: int, work):
+        """Run one batch phase under the fault plane (if any attached).
+
+        Injected faults fire *before* the work body (same contract as
+        :func:`repro.faults.inject.attempt_locally`), so a retried phase
+        performs its work exactly once and results stay bit-identical to
+        a fault-free run; only the retry backoff is booked into the
+        clock.  Without an injector this is a plain call.
+        """
+        if self.faults is None:
+            return work()
+        session = self.faults.begin_phase(label)
+        result, _ = session.execute(
+            index,
+            functools.partial(attempt_locally, fn=lambda _item: work(), item=None),
+        )
+        session.finish(self.clock)
+        return result
+
+    def _apply_one_write(self, op, version: int) -> tuple[list, list[float]]:
+        """Apply a single write op to the node tier; returns the created
+        version ids and the per-node simulated durations."""
+        durations: list[float] = []
+        if isinstance(op, InsertOp):
+            node = self.nodes[self._insert_rr % len(self.nodes)]
+            self._insert_rr += 1
+            created, seconds = node.apply_write(op, version)
+            durations.append(seconds)
+        elif isinstance(op, UpdateOp):
+            created, durations = self._apply_update(op, version)
+        else:  # DeleteOp: broadcast, self-contained
+            created = []
+            for node in self.nodes:
+                part, seconds = node.apply_write(op, version)
+                created.extend(part)
+                durations.append(seconds)
+        return created, durations
+
+    def _scan_cycle(self, reads: list) -> list:
+        """One read cycle across the node tier (in-process or fanned out
+        through the attached physical executor)."""
+        if self.executor is None:
+            return [node.run_read_cycle(reads) for node in self.nodes]
+        return self.executor.map_parallel(
+            _NodeReadCycleTask(reads=tuple(reads)),
+            self.nodes,
+            label="cluster.scan.cycle",
+        )
+
+    def _merge_reads(
+        self, reads: list, partials: dict, results: dict
+    ) -> tuple[dict, list]:
+        """Aggregation tier: merge every read's partials (round-robin
+        across aggregators); fills ``results`` in place."""
+        merge_seconds_per_op: dict[int, float] = {}
+        merge_durations: list[float] = []
+        for i, op in enumerate(reads):
+            aggregator = self.aggregators[i % len(self.aggregators)]
+            if isinstance(op, SelectQuery):
+                results[op.op_id] = aggregator.merge_select(partials[op.op_id])
+                merge_seconds_per_op[op.op_id] = 0.0
+            else:
+                result, seconds = aggregator.merge_temporal(
+                    op.query, partials[op.op_id]
+                )
+                results[op.op_id] = result
+                merge_seconds_per_op[op.op_id] = seconds
+                merge_durations.append(seconds)
+        return merge_seconds_per_op, merge_durations
+
     def _run_batch(self, writes: list, reads: list) -> BatchResult:
         results: dict[int, object] = {}
 
         # --- writes: one global version per operation --------------------
         write_seconds = 0.0
-        for op in writes:
+        for w, op in enumerate(writes):
             version = self._version
             if self.wal is not None:
                 self.wal.append(version, op)
-            durations: list[float] = []
-            if isinstance(op, InsertOp):
-                node = self.nodes[self._insert_rr % len(self.nodes)]
-                self._insert_rr += 1
-                created, seconds = node.apply_write(op, version)
-                durations.append(seconds)
-            elif isinstance(op, UpdateOp):
-                created, durations = self._apply_update(op, version)
-            else:  # DeleteOp: broadcast, self-contained
-                created = []
-                for node in self.nodes:
-                    part, seconds = node.apply_write(op, version)
-                    created.extend(part)
-                    durations.append(seconds)
+            created, durations = self._faulted(
+                "cluster.write", w,
+                functools.partial(self._apply_one_write, op, version),
+            )
             results[op.op_id] = created
             step = makespan(durations, len(self.nodes))
             self.clock.parallel("cluster.write", durations, len(self.nodes))
@@ -334,14 +402,10 @@ class Cluster:
         reports = []
         partials: dict[int, list] = {}
         if reads:
-            if self.executor is None:
-                per_node = [node.run_read_cycle(reads) for node in self.nodes]
-            else:
-                per_node = self.executor.map_parallel(
-                    _NodeReadCycleTask(reads=tuple(reads)),
-                    self.nodes,
-                    label="cluster.scan.cycle",
-                )
+            per_node = self._faulted(
+                "cluster.scan", 0,
+                functools.partial(self._scan_cycle, reads),
+            )
             reports = [report for _, report in per_node]
             for node_results, _report in per_node:
                 for op_id, value in node_results.items():
@@ -364,20 +428,14 @@ class Cluster:
             )
 
         # --- aggregation tier --------------------------------------------
-        merge_seconds_per_op: dict[int, float] = {}
-        merge_durations: list[float] = []
-        for i, op in enumerate(reads):
-            aggregator = self.aggregators[i % len(self.aggregators)]
-            if isinstance(op, SelectQuery):
-                results[op.op_id] = aggregator.merge_select(partials[op.op_id])
-                merge_seconds_per_op[op.op_id] = 0.0
-            else:
-                result, seconds = aggregator.merge_temporal(
-                    op.query, partials[op.op_id]
-                )
-                results[op.op_id] = result
-                merge_seconds_per_op[op.op_id] = seconds
-                merge_durations.append(seconds)
+        merge_seconds_per_op, merge_durations = (
+            self._faulted(
+                "cluster.merge", 0,
+                functools.partial(self._merge_reads, reads, partials, results),
+            )
+            if reads
+            else ({}, [])
+        )
         merge_seconds = makespan(merge_durations, len(self.aggregators))
         if merge_durations:
             self.clock.parallel(

@@ -38,6 +38,8 @@ aggregates (SUM/COUNT/AVG).  Everything else falls back to plain ParTime.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.aggregates import get_aggregate
@@ -51,6 +53,29 @@ from repro.obs.tracer import span
 from repro.simtime.executor import Executor, SerialExecutor
 from repro.temporal.table import TableChunk, TemporalTable
 from repro.temporal.timestamps import FOREVER, MIN_TIME
+
+
+@dataclass(frozen=True)
+class _FreshSideTask:
+    """Step-1 task over one fresh-side chunk, module-level and frozen so
+    it pickles for the process backend (PT006)."""
+
+    value_column: "str | None"
+    dim: str
+    aggregate: object
+    predicate: object
+    query_interval: object
+
+    def __call__(self, chunk: TableChunk):
+        return generate_delta_map(
+            chunk,
+            self.value_column,
+            self.dim,
+            self.aggregate,
+            predicate=self.predicate,
+            query_interval=self.query_interval,
+            mode="vectorized",
+        )
 
 
 class _FrozenDimIndex:
@@ -345,17 +370,9 @@ class HybridAggregator:
             for i in range(max(1, workers))
         ]
 
-        def fresh_side(chunk):
-            return generate_delta_map(
-                chunk,
-                query.value_column,
-                dim,
-                agg,
-                predicate=query.predicate,
-                query_interval=interval,
-                mode="vectorized",
-            )
-
+        fresh_side = _FreshSideTask(
+            query.value_column, dim, agg, query.predicate, interval
+        )
         with span(
             "hybrid.query",
             kind="query",

@@ -176,23 +176,23 @@ class TestLabelFallback:
     def test_partial_does_not_crash_map_parallel(self):
         executor = SerialExecutor()
         fn = functools.partial(pow, 2)
-        assert executor.map_parallel(fn, [1, 2, 3]) == [2, 4, 8]
+        assert executor.map_parallel(fn, [1, 2, 3]) == [2, 4, 8]  # partime: ignore[PT003] -- the label fallback is under test
         assert executor.clock.phases[-1].label == "partial(pow)"
 
     def test_partial_does_not_crash_run_serial(self):
         executor = SerialExecutor()
-        assert executor.run_serial(functools.partial(int, "7")) == 7
+        assert executor.run_serial(functools.partial(int, "7")) == 7  # partime: ignore[PT003] -- the label fallback is under test
         assert executor.clock.phases[-1].label == "partial(int)"
 
     def test_callable_object_falls_back_to_type_name(self):
         executor = SerialExecutor()
-        assert executor.map_parallel(_CallableObject(), [1, 2]) == [2, 3]
+        assert executor.map_parallel(_CallableObject(), [1, 2]) == [2, 3]  # partime: ignore[PT003] -- the label fallback is under test
         assert executor.clock.phases[-1].label == "<_CallableObject>"
 
     def test_thread_executor_partial(self):
         executor = ThreadExecutor(max_workers=2)
         fn = functools.partial(pow, 3)
-        assert executor.map_parallel(fn, [1, 2]) == [3, 9]
+        assert executor.map_parallel(fn, [1, 2]) == [3, 9]  # partime: ignore[PT003] -- the label fallback is under test
         assert executor.clock.phases[-1].label == "partial(pow)"
 
     def test_explicit_label_still_wins(self):
@@ -491,12 +491,12 @@ def test_process_beats_threads_on_pure_python_step1(amadeus_table):
 
     def wall(executor):
         operator = ParTime(mode="pure")
-        start = time.perf_counter()
+        start = time.perf_counter()  # partime: ignore[PT002] -- asserts real speedup
         for _ in range(3):
             operator.execute(
                 amadeus_table, query, workers=workers, executor=executor
             )
-        return time.perf_counter() - start
+        return time.perf_counter() - start  # partime: ignore[PT002] -- asserts real speedup
 
     with ProcessExecutor(max_workers=workers) as process:
         wall(process)  # warm the pool before timing

@@ -155,7 +155,7 @@ class TestInjector:
         retry is booked — a straggler is not a failure)."""
         injector = FaultInjector(FaultPlan(seed=21, rate=1.0, kinds=("slow_task",)))
         executor = SerialExecutor(faults=injector)
-        assert executor.map_parallel(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        assert executor.map_parallel(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]  # partime: ignore[PT003, PT006] -- serial-only fault fixture
         assert injector.injected == 3
         assert injector.retries == 0  # slow tasks are not failures
 
@@ -166,7 +166,7 @@ class TestInjector:
         )
         executor = SerialExecutor(faults=injector)
         with pytest.raises(ExecutorTaskError) as err:
-            executor.map_parallel(lambda x: x, [0], label="doomed")
+            executor.map_parallel(lambda x: x, [0], label="doomed")  # partime: ignore[PT006] -- serial-only fault fixture
         assert len(err.value.attempts) == 3
         assert {s.kind for s in err.value.attempts} == {"task_error"}
         assert err.value.phase == "doomed"
@@ -179,7 +179,7 @@ class TestInjector:
         )
         executor = SerialExecutor(faults=injector)
         with pytest.raises(ExecutorTaskError) as err:
-            executor.map_parallel(lambda x: x, [0], label="slowpoke")
+            executor.map_parallel(lambda x: x, [0], label="slowpoke")  # partime: ignore[PT006] -- serial-only fault fixture
         assert "retry budget exhausted" in str(err.value)
         assert injector.retries < 49  # gave up long before max_attempts
 
@@ -192,7 +192,7 @@ class TestInjector:
             raise KeyError("real bug")
 
         with pytest.raises(KeyError):
-            executor.map_parallel(boom, [0], label="buggy")
+            executor.map_parallel(boom, [0], label="buggy")  # partime: ignore[PT006] -- serial-only fault fixture
         assert injector.retries == 0
 
     def test_backoff_booked_into_clock(self):
@@ -208,7 +208,7 @@ class TestInjector:
             FaultPlan(seed=8, rate=0.6, kinds=("task_error", "slow_task"))
         )
         executor = SerialExecutor(clock=clock, faults=injector)
-        executor.map_parallel(lambda x: x, list(range(12)), label="phase")
+        executor.map_parallel(lambda x: x, list(range(12)), label="phase")  # partime: ignore[PT006] -- serial-only fault fixture
         if injector.retries:
             labels = [p.label for p in clock.phases]
             assert "faults.backoff" in labels

@@ -1,0 +1,604 @@
+"""The interprocedural analysis layer: call graph, effect fixpoint, and
+rules PT006–PT010 plus the transitive PT001 extension.
+
+Every rule gets a positive fixture (defect behind at least one helper
+call), a clean twin, and where relevant a suppressed variant — driven
+through :func:`lint_source` with ``project=True`` so a single module is
+analysed as a whole program.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.flow import (
+    CallGraph,
+    extract_module,
+    solve_effects,
+)
+from repro.analysis.model import ModuleContext
+
+
+def lint(src: str, path: str = "src/repro/pipe/fixture.py", select=None):
+    return lint_source(textwrap.dedent(src), path=path, select=select)
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+def build_graph(src: str, path: str = "src/repro/pipe/fixture.py"):
+    src = textwrap.dedent(src)
+    ctx = ModuleContext(path, src, ast.parse(src))
+    return CallGraph.build([extract_module(ctx)])
+
+
+# ------------------------------------------------------------- call graph
+
+
+class TestCallGraph:
+    def test_resolves_module_functions_and_methods(self):
+        graph = build_graph(
+            """
+            def helper(x):
+                return x
+
+            class Runner:
+                def go(self):
+                    return helper(1)
+            """
+        )
+        quals = set(graph.functions)
+        assert any(q.endswith(":helper") for q in quals)
+        assert any(q.endswith(":Runner.go") for q in quals)
+        (go,) = [f for q, f in graph.functions.items() if q.endswith("Runner.go")]
+        resolved = {graph.resolve(go, ref) for ref in go.calls}
+        assert any(q and q.endswith(":helper") for q in resolved)
+
+    def test_unresolved_calls_contribute_nothing(self):
+        graph = build_graph(
+            """
+            def go():
+                return some_external_lib.frobnicate()
+            """
+        )
+        (go,) = [f for q, f in graph.functions.items() if q.endswith(":go")]
+        assert all(graph.resolve(go, ref) is None for ref in go.calls)
+
+    def test_sccs_reverse_topological(self):
+        graph = build_graph(
+            """
+            def a():
+                return b()
+
+            def b():
+                return a()
+
+            def c():
+                return a()
+            """
+        )
+        sccs = graph.sccs()
+        flat = [q for scc in sccs for q in scc]
+        (cycle,) = [s for s in sccs if len(s) == 2]
+        assert {q.rsplit(":", 1)[1] for q in cycle} == {"a", "b"}
+        # callees before callers: the a/b cycle comes before c.
+        assert flat.index(cycle[0]) < flat.index(
+            next(q for q in flat if q.endswith(":c"))
+        )
+
+
+# --------------------------------------------------------- effect fixpoint
+
+
+class TestEffectFixpoint:
+    def effects_of(self, src: str):
+        src = textwrap.dedent(src)
+        ctx = ModuleContext("src/repro/pipe/fixture.py", src, ast.parse(src))
+        graph = CallGraph.build([extract_module(ctx)])
+        effects = solve_effects(graph)
+        by_name = {}
+        for qual in graph.functions:
+            by_name[qual.rsplit(":", 1)[1].split(".")[-1]] = effects[qual]
+        return by_name
+
+    def test_captured_mutation_propagates_up_call_chain(self):
+        eff = self.effects_of(
+            """
+            SHARED = {}
+
+            def deep(x):
+                SHARED[x] = x
+
+            def mid(x):
+                return deep(x)
+
+            def task(x):
+                return mid(x)
+            """
+        )
+        assert "SHARED" in eff["deep"].mut_captured
+        assert "SHARED" in eff["mid"].mut_captured
+        assert "SHARED" in eff["task"].mut_captured
+        # The witness chain records the route, deepest site last.
+        w = eff["task"].mut_captured["SHARED"]
+        assert len(w.chain) >= 1
+
+    def test_wall_clock_and_random_propagate(self):
+        eff = self.effects_of(
+            """
+            import random
+            import time
+
+            def stamp():
+                return time.time()
+
+            def draw():
+                return random.random()
+
+            def task(x):
+                return stamp() + draw() + x
+            """
+        )
+        assert eff["task"].wall_clock is not None
+        assert eff["task"].unseeded_random is not None
+        assert eff["stamp"].unseeded_random is None
+
+    def test_recursion_converges(self):
+        eff = self.effects_of(
+            """
+            ACC = []
+
+            def ping(n):
+                ACC.append(n)
+                return pong(n - 1) if n else 0
+
+            def pong(n):
+                return ping(n - 1) if n else 0
+            """
+        )
+        assert "ACC" in eff["ping"].mut_captured
+        assert "ACC" in eff["pong"].mut_captured
+
+    def test_param_mutation_flows_through_helper(self):
+        eff = self.effects_of(
+            """
+            def poke(d):
+                d.update({1: 2})
+
+            def relay(d):
+                poke(d)
+            """
+        )
+        assert 0 in eff["poke"].mutates_params
+        assert 0 in eff["relay"].mutates_params
+
+
+# ------------------------------------------------- PT001 (interprocedural)
+
+
+class TestTransitiveSharedMutation:
+    def test_positive_mutation_two_helpers_deep(self):
+        findings = lint(
+            """
+            TOTALS = {}
+
+            def record(key):
+                TOTALS[key] = 1
+
+            def work(chunk):
+                record(len(chunk))
+                return len(chunk)
+
+            def run(executor, chunks):
+                return executor.map_parallel(work, chunks, label="p.scan")
+            """
+        )
+        assert "PT001" in rule_ids(findings)
+        f = next(f for f in findings if f.rule_id == "PT001")
+        assert "TOTALS" in f.message
+        assert "work" in f.message
+
+    def test_negative_pure_helper_chain(self):
+        findings = lint(
+            """
+            def record(key):
+                return key + 1
+
+            def work(chunk):
+                return record(len(chunk))
+
+            def run(executor, chunks):
+                return executor.map_parallel(work, chunks, label="p.scan")
+            """
+        )
+        assert "PT001" not in rule_ids(findings)
+
+    def test_local_mutation_inside_task_is_fine(self):
+        findings = lint(
+            """
+            def work(chunk):
+                acc = {}
+                acc[0] = len(chunk)
+                return acc
+
+            def run(executor, chunks):
+                return executor.map_parallel(work, chunks, label="p.scan")
+            """
+        )
+        assert "PT001" not in rule_ids(findings)
+
+
+# ------------------------------------------------------------------ PT006
+
+
+class TestUnpicklableTaskCapture:
+    def test_positive_lambda(self):
+        findings = lint(
+            """
+            def run(executor, chunks):
+                return executor.map_parallel(lambda c: len(c), chunks, label="p")
+            """,
+        )
+        assert "PT006" in rule_ids(findings)
+
+    def test_positive_nested_function_by_name(self):
+        findings = lint(
+            """
+            def run(executor, chunks):
+                def work(c):
+                    return len(c)
+                return executor.map_parallel(work, chunks, label="p")
+            """
+        )
+        pt6 = [f for f in findings if f.rule_id == "PT006"]
+        assert pt6 and "nested function" in pt6[0].message
+
+    def test_positive_constructor_with_lock(self):
+        findings = lint(
+            """
+            import threading
+
+            def run(executor, chunks):
+                lock = threading.Lock()
+                return executor.map_parallel(Task(lock), chunks, label="p")
+            """
+        )
+        pt6 = [f for f in findings if f.rule_id == "PT006"]
+        assert pt6 and "picklable" in pt6[0].message
+
+    def test_negative_module_level_task(self):
+        findings = lint(
+            """
+            def work(c):
+                return len(c)
+
+            def run(executor, chunks):
+                return executor.map_parallel(work, chunks, label="p")
+            """
+        )
+        assert "PT006" not in rule_ids(findings)
+
+    def test_run_serial_exempt(self):
+        findings = lint(
+            """
+            def run(executor):
+                return executor.run_serial(lambda: 42, label="p.merge")
+            """
+        )
+        assert "PT006" not in rule_ids(findings)
+
+    def test_suppressed(self):
+        findings = lint(
+            """
+            def run(executor, chunks):
+                return executor.map_parallel(
+                    lambda c: len(c), chunks, label="p"  # partime: ignore[PT006, PT003]
+                )
+            """
+        )
+        assert "PT006" not in rule_ids(findings)
+
+
+# ------------------------------------------------------------------ PT007
+
+
+class TestShmViewEscape:
+    def test_positive_view_used_after_window(self):
+        findings = lint(
+            """
+            def task(handle):
+                chunk = ShmChunk(handle)
+                with chunk.open() as c:
+                    view = c.column("x")
+                return view
+            """
+        )
+        pt7 = [f for f in findings if f.rule_id == "PT007"]
+        assert pt7 and "window" in pt7[0].message
+
+    def test_positive_return_inside_window(self):
+        findings = lint(
+            """
+            def task(handle):
+                chunk = ShmChunk(handle)
+                with chunk.open() as c:
+                    return c.column("x")
+            """
+        )
+        assert "PT007" in rule_ids(findings)
+
+    def test_negative_materialized_inside_window(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def task(handle):
+                chunk = ShmChunk(handle)
+                with chunk.open() as c:
+                    out = np.array(c.column("x"))
+                return out
+            """
+        )
+        assert "PT007" not in rule_ids(findings)
+
+    def test_negative_method_sanitizer(self):
+        findings = lint(
+            """
+            def task(handle):
+                chunk = ShmChunk(handle)
+                with chunk.open() as c:
+                    out = c.column("x").copy()
+                return out
+            """
+        )
+        assert "PT007" not in rule_ids(findings)
+
+    def test_taint_through_view_returning_helper(self):
+        findings = lint(
+            """
+            def slice_first(arr):
+                return arr[:10]
+
+            def task(handle):
+                chunk = ShmChunk(handle)
+                with chunk.open() as c:
+                    raw = c.column("x")
+                    head = slice_first(raw)
+                return head
+            """
+        )
+        assert "PT007" in rule_ids(findings)
+
+
+# ------------------------------------------------------------------ PT008
+
+
+class TestNondeterminismSource:
+    def test_positive_unseeded_random_behind_helper(self):
+        findings = lint(
+            """
+            import random
+
+            def jitter():
+                return random.random()
+
+            def work(c):
+                return len(c) + jitter()
+
+            def run(executor, chunks):
+                return executor.map_parallel(work, chunks, label="p")
+            """
+        )
+        pt8 = [f for f in findings if f.rule_id == "PT008"]
+        # seed-site finding in jitter() plus dispatch-site finding in run().
+        assert len(pt8) >= 2
+        assert any("transitively" in f.message for f in pt8)
+
+    def test_positive_set_items(self):
+        findings = lint(
+            """
+            def work(c):
+                return c
+
+            def run(executor):
+                return executor.map_parallel(work, {1, 2, 3}, label="p")
+            """
+        )
+        pt8 = [f for f in findings if f.rule_id == "PT008"]
+        assert any("set" in f.message for f in pt8)
+
+    def test_positive_set_iteration(self):
+        findings = lint(
+            """
+            def order(keys):
+                return [k for k in {1, 2} | set(keys)]
+            """
+        )
+        assert "PT008" in rule_ids(findings)
+
+    def test_negative_sorted_set_is_fine(self):
+        findings = lint(
+            """
+            def order(keys):
+                return sorted(k for k in set(keys))
+            """
+        )
+        assert "PT008" not in rule_ids(findings)
+
+    def test_negative_seeded_rng(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def work(c, rng):
+                return rng.integers(0, 10)
+
+            def make_rng(seed):
+                return np.random.default_rng(seed)
+            """
+        )
+        assert "PT008" not in rule_ids(findings)
+
+
+# ------------------------------------------------------------------ PT009
+
+
+class TestFaultBlindPhase:
+    def test_positive_direct_parallel_booking(self):
+        findings = lint(
+            """
+            def phase(clock, durations):
+                clock.parallel("scan", durations, slots=2)
+            """
+        )
+        pt9 = [f for f in findings if f.rule_id == "PT009"]
+        assert pt9 and "FaultInjector" in pt9[0].message
+
+    def test_negative_with_fault_session(self):
+        findings = lint(
+            """
+            def phase(clock, injector, durations):
+                session = injector.begin_phase("scan")
+                clock.parallel("scan", durations, slots=2)
+                session.finish(clock)
+            """
+        )
+        assert "PT009" not in rule_ids(findings)
+
+    def test_negative_fault_site_behind_helper(self):
+        findings = lint(
+            """
+            def _guarded(injector, label):
+                return injector.begin_phase(label)
+
+            def phase(clock, injector, durations):
+                session = _guarded(injector, "scan")
+                clock.parallel("scan", durations, slots=2)
+                session.finish(clock)
+            """
+        )
+        assert "PT009" not in rule_ids(findings)
+
+    def test_serial_bookings_exempt(self):
+        findings = lint(
+            """
+            def phase(clock):
+                clock.serial("merge", 0.5)
+            """
+        )
+        assert "PT009" not in rule_ids(findings)
+
+    def test_exempt_paths(self):
+        findings = lint(
+            """
+            def phase(clock, durations):
+                clock.parallel("scan", durations, slots=2)
+            """,
+            path="src/repro/simtime/fixture.py",
+        )
+        assert "PT009" not in rule_ids(findings)
+
+
+# ------------------------------------------------------------------ PT010
+
+
+class TestTransitiveImpureAggregate:
+    def test_positive_combine_delegates_to_mutator(self):
+        findings = lint(
+            """
+            def _merge(a, b):
+                a.update(b)
+                return a
+
+            class MultisetAggregate:
+                def combine(self, a, b):
+                    return _merge(a, b)
+            """
+        )
+        pt10 = [f for f in findings if f.rule_id == "PT010"]
+        assert pt10 and "_merge" in pt10[0].message
+
+    def test_positive_two_levels_deep(self):
+        findings = lint(
+            """
+            def _poke(d, other):
+                d.update(other)
+
+            def _merge(a, b):
+                _poke(a, b)
+                return a
+
+            class MultisetAggregate:
+                def combine(self, a, b):
+                    return _merge(a, b)
+            """
+        )
+        assert "PT010" in rule_ids(findings)
+
+    def test_negative_pure_helper(self):
+        findings = lint(
+            """
+            def _merge(a, b):
+                out = dict(a)
+                out.update(b)
+                return out
+
+            class MultisetAggregate:
+                def combine(self, a, b):
+                    return _merge(a, b)
+            """
+        )
+        assert "PT010" not in rule_ids(findings)
+
+    def test_accumulator_first_arg_of_apply_unprotected(self):
+        # apply(acc, delta): the accumulator is the method's own state and
+        # may be mutated; only the *delta* (arg 2) is protected.
+        findings = lint(
+            """
+            def _absorb(acc, delta):
+                acc.update(delta)
+                return acc
+
+            class SumAggregate:
+                def apply(self, acc, delta):
+                    return _absorb(acc, delta)
+            """
+        )
+        assert "PT010" not in rule_ids(findings)
+
+    def test_non_aggregate_class_ignored(self):
+        findings = lint(
+            """
+            def _merge(a, b):
+                a.update(b)
+                return a
+
+            class Planner:
+                def combine(self, a, b):
+                    return _merge(a, b)
+            """
+        )
+        assert "PT010" not in rule_ids(findings)
+
+
+# -------------------------------------------------------------- ordering
+
+
+class TestFindingOrder:
+    def test_findings_sorted_by_path_line_col_rule(self):
+        src = """
+            import random
+            import time
+
+            def late():
+                return time.time()
+
+            def early():
+                return random.random()
+            """
+        findings = lint(src)
+        keys = [(f.path, f.line, f.col, f.rule_id) for f in findings]
+        assert keys == sorted(keys)

@@ -62,7 +62,7 @@ def assert_step_equivalent(got, expected):
     probes = {row.interval().start for row in expected} | {
         row.interval().start for row in got
     }
-    for ts in probes:
+    for ts in sorted(probes):
         a, b = got.value_at(ts), expected.value_at(ts)
         if isinstance(b, float) and b is not None:
             assert a == pytest.approx(b, rel=1e-9, abs=1e-9), ts

@@ -24,7 +24,11 @@ from repro.cli import main as cli_main
 
 
 def lint(src: str, path: str = "fixture.py", select=None):
-    return lint_source(textwrap.dedent(src), path=path, select=select)
+    # project=False: this file tests the module-local rules PT001–PT005
+    # in isolation; the whole-program family has tests/test_flow_analysis.py.
+    return lint_source(
+        textwrap.dedent(src), path=path, select=select, project=False
+    )
 
 
 def rule_ids(findings):
@@ -390,11 +394,15 @@ class TestGilBlindLoop:
 
 class TestFramework:
     def test_rule_catalogue_complete(self):
+        from repro.analysis import ALL_RULES
+
         assert [r.id for r in DEFAULT_RULES] == [
             "PT001", "PT002", "PT003", "PT004", "PT005",
         ]
-        assert set(RULES_BY_ID) == {r.id for r in DEFAULT_RULES}
-        for rule in DEFAULT_RULES:
+        # RULES_BY_ID spans the full catalogue, module + whole-program.
+        assert set(RULES_BY_ID) == {r.id for r in ALL_RULES}
+        assert {"PT006", "PT007", "PT008", "PT009", "PT010"} <= set(RULES_BY_ID)
+        for rule in ALL_RULES:
             assert rule.rationale
             assert rule.severity in (Severity.ERROR, Severity.WARNING)
 
@@ -494,3 +502,102 @@ class TestLintCli:
     def test_cli_missing_path_exit_two(self, tmp_path, capsys):
         assert cli_main(["lint", str(tmp_path / "nope")]) == 2
         assert "error" in capsys.readouterr().err
+
+
+# ------------------------------------------- suppression hardening / PT099
+
+
+class TestSuppressionHardening:
+    def test_multi_rule_comment_tolerates_mess(self):
+        from repro.analysis import parse_suppression
+
+        sup = parse_suppression("x  # partime: ignore[ pt001 ,, PT004 , ]")
+        assert sup.codes == frozenset({"PT001", "PT004"})
+        assert sup.problems == ()
+
+    def test_invalid_tokens_reported_not_swallowed(self):
+        from repro.analysis import parse_suppression
+
+        sup = parse_suppression("x  # partime: ignore[PT001, bogus, 17]")
+        assert sup.codes == frozenset({"PT001"})
+        assert len(sup.problems) == 2
+        assert any("BOGUS" in p for p in sup.problems)
+
+    def test_empty_brackets_is_a_problem(self):
+        from repro.analysis import parse_suppression
+
+        sup = parse_suppression("x  # partime: ignore[]")
+        assert sup.codes == frozenset()
+        assert sup.problems
+
+    def test_directive_in_string_literal_is_not_a_suppression(self):
+        from repro.analysis import extract_suppressions
+
+        src = 's = "# partime: ignore[PT002]"\n# partime: ignore[PT001]\n'
+        sups = extract_suppressions(src)
+        assert list(sups) == [2]
+
+    def test_string_literal_directive_does_not_suppress(self):
+        src = (
+            "import time\n"
+            't = time.time()  # partime: ignore[PT002]\n'
+            'doc = """example: t = time.time()  # partime: ignore[PT002]"""\n'
+        )
+        findings = lint_source(src, path="src/repro/core/x.py", project=False)
+        assert findings == []  # line 2 suppressed; line 3 is just a string
+
+    def test_dead_suppression_flagged_pt099(self):
+        findings = lint_source(
+            "x = 1  # partime: ignore[PT002]\n",
+            path="src/repro/core/x.py",
+            dead_suppressions=True,
+        )
+        assert rule_ids(findings) == ["PT099"]
+        assert "PT002" in findings[0].message
+
+    def test_malformed_directive_flagged_pt099(self):
+        findings = lint_source(
+            "import time\nt = time.time()  # partime: ignore[oops]\n",
+            path="src/repro/core/x.py",
+            dead_suppressions=True,
+        )
+        assert "PT099" in rule_ids(findings)
+        # The malformed directive also fails to suppress PT002.
+        assert "PT002" in rule_ids(findings)
+
+    def test_live_suppression_not_flagged(self):
+        findings = lint_source(
+            "import time\nt = time.time()  # partime: ignore[PT002]\n",
+            path="src/repro/core/x.py",
+            dead_suppressions=True,
+        )
+        assert findings == []
+
+    def test_pt099_cannot_be_suppressed(self):
+        findings = lint_source(
+            "x = 1  # partime: ignore[PT002, PT099]\n",
+            path="src/repro/core/x.py",
+            dead_suppressions=True,
+        )
+        assert "PT099" in rule_ids(findings)
+
+    def test_live_project_rule_suppression_counts_as_used(self):
+        src = (
+            "def run(executor, chunks):\n"
+            "    return executor.map_parallel(\n"
+            "        lambda c: len(c), chunks, label='p'  # partime: ignore[PT006]\n"
+            "    )\n"
+        )
+        findings = lint_source(
+            src, path="src/repro/core/x.py", dead_suppressions=True
+        )
+        assert "PT099" not in rule_ids(findings)
+        assert "PT006" not in rule_ids(findings)
+
+    def test_lint_paths_reports_dead_suppressions_by_default(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("x = 1  # partime: ignore[PT001]\n")
+        findings = lint_paths([str(mod)])
+        assert rule_ids(findings) == ["PT099"]
+        # ...but not under --select (partial runs would misreport).
+        assert lint_paths([str(mod)], select=["PT001"]) == []

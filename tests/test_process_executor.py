@@ -119,7 +119,7 @@ class TestFailureSemantics:
         with ProcessExecutor(max_workers=1) as executor:
             with pytest.raises(Exception):
                 executor.map_parallel(
-                    local_closure, [chunk], label="step1.closure"
+                    local_closure, [chunk], label="step1.closure"  # partime: ignore[PT006] -- the pickling failure is under test
                 )
         assert active_block_names() == []
         assert _shm_leftovers() == []

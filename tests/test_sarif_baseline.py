@@ -1,0 +1,281 @@
+"""SARIF output, the baseline ratchet, and the summary cache.
+
+Covers the ISSUE acceptance point that ``--format=sarif`` output
+validates against the SARIF 2.1.0 shape, that baseline fingerprints are
+line-shift stable, and that the mtime+hash cache hits on warm runs and
+invalidates on edits and format bumps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_source
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    apply_baseline,
+    finding_fingerprints,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.cache import CACHE_FORMAT, SummaryCache
+from repro.analysis.driver import format_findings
+from repro.analysis.sarif import (
+    SARIF_VERSION,
+    format_sarif,
+    to_sarif,
+    validate_minimal,
+)
+from repro.cli import main as cli_main
+
+BAD = textwrap.dedent(
+    """
+    import time
+
+    def stamp():
+        return time.time()
+
+    def run(executor, chunks):
+        return executor.map_parallel(lambda c: len(c), chunks, label="p")
+    """
+)
+
+
+def bad_findings(path="src/repro/pipe/demo.py"):
+    findings = lint_source(BAD, path=path)
+    assert findings  # PT002 + PT006 at minimum
+    return findings
+
+
+# ------------------------------------------------------------------ SARIF
+
+
+class TestSarif:
+    def test_document_validates(self):
+        doc = to_sarif(bad_findings())
+        assert validate_minimal(doc) == []
+        assert doc["version"] == SARIF_VERSION
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+
+    def test_results_carry_rule_and_location(self):
+        doc = to_sarif(bad_findings())
+        results = doc["runs"][0]["results"]
+        assert {r["ruleId"] for r in results} >= {"PT002", "PT006"}
+        for r in results:
+            loc = r["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"] == "src/repro/pipe/demo.py"
+            assert loc["region"]["startLine"] >= 1
+            assert r["partialFingerprints"]["partimeFingerprint/v1"]
+
+    def test_rule_catalogue_covers_all_result_ids(self):
+        doc = to_sarif(bad_findings())
+        driver = doc["runs"][0]["tool"]["driver"]
+        declared = {r["id"] for r in driver["rules"]}
+        assert {r["ruleId"] for r in doc["runs"][0]["results"]} <= declared
+        # The full PT catalogue ships even for ids with no finding here.
+        assert {"PT001", "PT006", "PT007", "PT008", "PT009", "PT010"} <= declared
+        ids = [r["id"] for r in driver["rules"]]
+        assert ids == sorted(ids)
+
+    def test_validate_minimal_flags_broken_documents(self):
+        assert validate_minimal({"version": "1.0", "runs": []})
+        doc = to_sarif(bad_findings())
+        doc["runs"][0]["results"][0].pop("message")
+        doc["runs"][0]["results"][1]["ruleId"] = "PTXXX"
+        problems = validate_minimal(doc)
+        assert any("message" in p for p in problems)
+        assert any("PTXXX" in p for p in problems)
+
+    def test_format_findings_sarif_roundtrips(self):
+        text = format_findings(bad_findings(), fmt="sarif")
+        doc = json.loads(text)
+        assert validate_minimal(doc) == []
+        # Deterministic serialization: same findings, same bytes.
+        assert text == format_findings(bad_findings(), fmt="sarif")
+
+    def test_empty_run_still_validates(self):
+        doc = json.loads(format_sarif([]))
+        assert validate_minimal(doc) == []
+        assert doc["runs"][0]["results"] == []
+
+
+# --------------------------------------------------------------- baseline
+
+
+class TestBaseline:
+    def test_fingerprints_stable_across_line_shifts(self):
+        before = finding_fingerprints(bad_findings())
+        shifted = lint_source(
+            "# a new leading comment\n" + BAD, path="src/repro/pipe/demo.py"
+        )
+        after = finding_fingerprints(shifted)
+        assert sorted(before.values()) == sorted(after.values())
+
+    def test_duplicate_findings_get_distinct_fingerprints(self):
+        src = textwrap.dedent(
+            """
+            import time
+
+            def a():
+                return time.time()
+
+            def b():
+                return time.time()
+            """
+        )
+        findings = lint_source(src, path="src/repro/pipe/dup.py")
+        pt2 = [f for f in findings if f.rule_id == "PT002"]
+        assert len(pt2) == 2
+        fps = finding_fingerprints(findings)
+        assert fps[pt2[0]] != fps[pt2[1]]
+
+    def test_write_load_apply_roundtrip(self, tmp_path):
+        base = tmp_path / "baseline.json"
+        count = write_baseline(bad_findings(), str(base))
+        assert count == len(bad_findings())
+        accepted = load_baseline(str(base))
+        fresh, suppressed = apply_baseline(bad_findings(), accepted)
+        assert fresh == [] and suppressed == count
+        # A new defect is NOT absorbed by the old baseline.
+        worse = BAD + "\n\ndef later():\n    return time.time()\n"
+        new_findings = lint_source(worse, path="src/repro/pipe/demo.py")
+        fresh, _ = apply_baseline(new_findings, accepted)
+        assert [f.rule_id for f in fresh] == ["PT002"]
+
+    def test_load_rejects_wrong_shape(self, tmp_path):
+        bad_file = tmp_path / "not_baseline.json"
+        bad_file.write_text(json.dumps({"version": BASELINE_VERSION + 1}))
+        with pytest.raises(ValueError):
+            load_baseline(str(bad_file))
+        bad_file.write_text(json.dumps({"version": BASELINE_VERSION,
+                                        "fingerprints": "nope"}))
+        with pytest.raises(ValueError):
+            load_baseline(str(bad_file))
+
+
+# ------------------------------------------------------------------ cache
+
+
+class TestSummaryCache:
+    def write_module(self, tmp_path, body="def f():\n    return 1\n"):
+        mod = tmp_path / "mod.py"
+        mod.write_text(body)
+        return str(mod)
+
+    def test_miss_then_hit(self, tmp_path):
+        from repro.analysis.driver import lint_paths
+
+        mod = self.write_module(tmp_path)
+        cpath = str(tmp_path / "cache.json")
+        cold = SummaryCache(cpath)
+        assert lint_paths([mod], cache=cold) == []
+        assert (cold.hits, cold.misses) == (0, 1)
+        assert os.path.exists(cpath)
+
+        warm = SummaryCache(cpath)
+        assert lint_paths([mod], cache=warm) == []
+        assert (warm.hits, warm.misses) == (1, 0)
+
+    def test_edit_invalidates(self, tmp_path):
+        from repro.analysis.driver import lint_paths
+
+        mod = self.write_module(tmp_path)
+        cpath = str(tmp_path / "cache.json")
+        lint_paths([mod], cache=SummaryCache(cpath))
+
+        with open(mod, "a") as fh:
+            fh.write("\ndef g():\n    return 2\n")
+        stale = SummaryCache(cpath)
+        lint_paths([mod], cache=stale)
+        assert (stale.hits, stale.misses) == (0, 1)
+
+    def test_touch_without_edit_hits_via_content_hash(self, tmp_path):
+        from repro.analysis.driver import lint_paths, normalize_path
+
+        mod = self.write_module(tmp_path)
+        source = open(mod).read()
+        cpath = str(tmp_path / "cache.json")
+        first = SummaryCache(cpath)
+        lint_paths([mod], cache=first)
+        os.utime(mod, (1, 1))  # mtime moves, content identical
+        second = SummaryCache(cpath)
+        assert second.get(normalize_path(mod), source) is not None
+        assert (second.hits, second.misses) == (1, 0)
+
+    def test_format_bump_invalidates(self, tmp_path):
+        from repro.analysis.driver import lint_paths, normalize_path
+
+        mod = self.write_module(tmp_path)
+        source = open(mod).read()
+        cpath = str(tmp_path / "cache.json")
+        cache = SummaryCache(cpath)
+        lint_paths([mod], cache=cache)
+        doc = json.load(open(cpath))
+        doc["format"] = CACHE_FORMAT + 1
+        json.dump(doc, open(cpath, "w"))
+        stale = SummaryCache(cpath)
+        assert stale.get(normalize_path(mod), source) is None
+
+    def test_corrupt_cache_file_ignored(self, tmp_path):
+        cpath = tmp_path / "cache.json"
+        cpath.write_text("{ not json")
+        cache = SummaryCache(str(cpath))
+        assert cache.get("whatever.py", "x = 1\n") is None
+
+
+# ------------------------------------------------------------- CLI flows
+
+
+class TestCliFlows:
+    def seed_bad(self, tmp_path):
+        mod = tmp_path / "bad.py"
+        mod.write_text(BAD)
+        return str(mod)
+
+    def test_sarif_output_and_red_gate(self, tmp_path, capsys):
+        mod = self.seed_bad(tmp_path)
+        rc = cli_main(["lint", mod, "--format=sarif"])
+        out = capsys.readouterr().out
+        assert rc == 1  # seeded defect turns the gate red
+        doc = json.loads(out)
+        assert validate_minimal(doc) == []
+        assert doc["runs"][0]["results"]
+
+    def test_baseline_flow_green_then_red_on_new_defect(self, tmp_path, capsys):
+        mod = self.seed_bad(tmp_path)
+        base = str(tmp_path / "base.json")
+        assert cli_main(["lint", mod, "--write-baseline", base]) == 0
+        capsys.readouterr()
+        assert cli_main(["lint", mod, "--baseline", base]) == 0
+        capsys.readouterr()
+        with open(mod, "a") as fh:
+            fh.write("\ndef later():\n    return time.time()\n")
+        assert cli_main(["lint", mod, "--baseline", base]) == 1
+        assert "PT002" in capsys.readouterr().out
+
+    def test_bad_baseline_file_is_an_error(self, tmp_path, capsys):
+        mod = self.seed_bad(tmp_path)
+        base = tmp_path / "broken.json"
+        base.write_text("[]")
+        assert cli_main(["lint", mod, "--baseline", str(base)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_cache_flag_reports_stats(self, tmp_path, capsys):
+        mod = self.seed_bad(tmp_path)
+        cpath = str(tmp_path / "cache.json")
+        cli_main(["lint", mod, "--cache", cpath])
+        assert "miss" in capsys.readouterr().err
+        cli_main(["lint", mod, "--cache", cpath])
+        assert "1 hit(s)" in capsys.readouterr().err
+
+    def test_budget_exceeded_fails(self, tmp_path, capsys):
+        mod = tmp_path / "ok.py"
+        mod.write_text("def f():\n    return 1\n")
+        # A budget of zero seconds is always exceeded.
+        rc = cli_main(["lint", str(mod), "--budget", "0.000001"])
+        assert rc == 3
+        assert "budget" in capsys.readouterr().err

@@ -116,7 +116,7 @@ def test_lpt_single_slot_keeps_execution_order():
 
 def test_phase_schedule_matches_elapsed():
     clock = SimClock()
-    clock.parallel("scan", [3.0, 1.0, 2.0, 2.0], slots=2)
+    clock.parallel("scan", [3.0, 1.0, 2.0, 2.0], slots=2)  # partime: ignore[PT009] -- unit test of the booking plane
     phase = clock.phases[0]
     assert max(p.end for p in phase.schedule()) == phase.elapsed
 
@@ -196,9 +196,9 @@ def test_build_schedule_invariants(phases):
 
 def test_build_schedule_from_simclock_booking():
     clock = SimClock()
-    clock.parallel("step1", [2.0, 2.0, 1.0, 1.0], slots=2)  # makespan 3.0
+    clock.parallel("step1", [2.0, 2.0, 1.0, 1.0], slots=2)  # makespan 3.0  # partime: ignore[PT009] -- unit test of the booking plane
     clock.serial("step2", 0.5)
-    clock.parallel("step1", [1.0, 1.0], slots=4)  # makespan 1.0
+    clock.parallel("step1", [1.0, 1.0], slots=4)  # makespan 1.0  # partime: ignore[PT009] -- unit test of the booking plane
 
     report = build_schedule(clock.phases)
     assert report.elapsed == clock.elapsed == 4.5
@@ -223,7 +223,7 @@ def test_build_schedule_from_simclock_booking():
 def test_schedule_from_span_matches_clock():
     clock = SimClock()
     with tracing("unit") as tracer:
-        clock.parallel("scan", [1.5, 0.5, 1.0], slots=2)
+        clock.parallel("scan", [1.5, 0.5, 1.0], slots=2)  # partime: ignore[PT009] -- unit test of the booking plane
         clock.serial("merge", 0.25)
 
     phases = phases_from_span(tracer.root)
@@ -240,7 +240,7 @@ def test_schedule_from_span_roundtrips_through_json():
 
     clock = SimClock()
     with tracing("unit") as tracer:
-        clock.parallel("scan", [1.0, 2.0], slots=2)
+        clock.parallel("scan", [1.0, 2.0], slots=2)  # partime: ignore[PT009] -- unit test of the booking plane
     rehydrated = Span.from_dict(
         json.loads(json.dumps(tracer.root.to_dict()))
     )
@@ -258,7 +258,7 @@ def test_schedule_from_span_roundtrips_through_json():
 
 def _sample_report():
     clock = SimClock()
-    clock.parallel("scan", [2.0, 1.0, 1.0], slots=2)
+    clock.parallel("scan", [2.0, 1.0, 1.0], slots=2)  # partime: ignore[PT009] -- unit test of the booking plane
     clock.serial("merge", 0.5)
     return build_schedule(clock.phases)
 

@@ -50,14 +50,14 @@ class TestMakespan:
 class TestSimClock:
     def test_parallel_plus_serial(self):
         clock = SimClock()
-        clock.parallel("scan", [1.0, 1.0, 1.0, 1.0], slots=4)
+        clock.parallel("scan", [1.0, 1.0, 1.0, 1.0], slots=4)  # partime: ignore[PT009] -- unit test of the booking plane
         clock.serial("merge", 0.5)
         assert clock.elapsed == 1.5
         assert clock.total_work() == 4.5
 
     def test_phase_elapsed_prefix(self):
         clock = SimClock()
-        clock.parallel("partime.step1", [2.0], slots=1)
+        clock.parallel("partime.step1", [2.0], slots=1)  # partime: ignore[PT009] -- unit test of the booking plane
         clock.serial("partime.step2", 1.0)
         clock.serial("other", 9.0)
         assert clock.phase_elapsed("partime.step1") == 2.0
@@ -73,7 +73,7 @@ class TestSimClock:
 class TestExecutors:
     def test_serial_executor_parallel_accounting(self):
         executor = SerialExecutor()
-        results = executor.map_parallel(lambda x: x * 2, [1, 2, 3], label="m")
+        results = executor.map_parallel(lambda x: x * 2, [1, 2, 3], label="m")  # partime: ignore[PT006] -- serial-only accounting fixture
         assert results == [2, 4, 6]
         (phase,) = executor.clock.phases
         assert phase.kind == "parallel" and len(phase.durations) == 3
@@ -82,7 +82,7 @@ class TestExecutors:
 
     def test_serial_executor_fixed_slots(self):
         executor = SerialExecutor(slots=1)
-        executor.map_parallel(lambda x: x, [1, 2, 3, 4], label="m")
+        executor.map_parallel(lambda x: x, [1, 2, 3, 4], label="m")  # partime: ignore[PT006] -- serial-only accounting fixture
         (phase,) = executor.clock.phases
         assert phase.elapsed == pytest.approx(sum(phase.durations))
 
@@ -93,10 +93,10 @@ class TestExecutors:
 
     def test_thread_executor_results(self):
         executor = ThreadExecutor(max_workers=3)
-        assert executor.map_parallel(lambda x: x + 1, list(range(10))) == list(
+        assert executor.map_parallel(lambda x: x + 1, list(range(10))) == list(  # partime: ignore[PT003, PT006] -- thread-only fixture
             range(1, 11)
         )
-        assert executor.run_serial(lambda: "ok") == "ok"
+        assert executor.run_serial(lambda: "ok") == "ok"  # partime: ignore[PT003] -- thread-only fixture
 
     def test_thread_executor_validation(self):
         with pytest.raises(ValueError):

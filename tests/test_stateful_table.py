@@ -162,7 +162,7 @@ class TableMachine(RuleBasedStateMachine):
         # quadratic over long runs).
         if len(self.history) < 2:
             return
-        for version in {0, len(self.history) // 2, len(self.history) - 1}:
+        for version in sorted({0, len(self.history) // 2, len(self.history) - 1}):
             got = self._table_facts_at(version)
             assert got == self._model_as_sets(self.history[version]), version
 
