@@ -1,0 +1,227 @@
+"""Serving — open-loop latency under batch admission control.
+
+The paper's production claim is not "one query is fast" but "thousands of
+concurrent queries share one scan cycle and still meet latency
+guarantees" (Section 2, the Amadeus deployment; ParIS+ makes the same
+open-loop argument for measuring query serving).  This benchmark measures
+exactly that, in simulated time and therefore deterministically:
+
+* a seeded open-loop arrival process (Poisson and bursty) over the
+  Table-1 query mix;
+* batch admission: arrivals queue while a scan cycle runs; when the
+  engine comes free, everything queued is cut into the next
+  :meth:`Cluster.execute_batch` cycle;
+* per query, the latency decomposition: **queueing** (arrival to batch
+  cut) + **service** (the shared cycle it rode) = **total**, all on the
+  simulated clock.
+
+Offered load is swept as fractions of the calibrated capacity (one
+batch's queries / its cycle time), so the shape reproduces on any host
+even though absolute sim seconds are machine-dependent.  The signature
+of batch admission is that nothing blows up: the queue drains fully at
+every cut, so queueing delay is bounded by cycle length and load
+pressure shows up as *growing batches* (and hence longer cycles), not an
+unbounded queue.  Headline numbers:
+p50/p95/p99 of each component per rate, plus the saturation throughput
+(the largest achieved completion rate in the sweep).
+
+The live wire-protocol server (``python -m repro serve``) applies the
+identical admission policy in wall-clock time; docs/serving.md maps the
+two layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench import BenchResult, format_table, write_result
+from repro.storage import Cluster
+from repro.workloads import OpenLoopConfig, OpenLoopTrafficGenerator
+
+NAME = "serving"
+
+#: Offered-load points, as fractions of calibrated capacity.
+RATE_FRACTIONS = (0.25, 0.5, 1.0, 2.0)
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Sim-time latency decomposition of one served query."""
+
+    queue_seconds: float
+    service_seconds: float
+    total_seconds: float
+
+
+def simulate_serving(
+    cluster: Cluster, arrivals: list
+) -> tuple[list[QueryRecord], float, int]:
+    """Replay one open-loop trace through batch admission control.
+
+    Time is the simulated clock: the engine cuts a batch whenever it is
+    idle and queries have arrived; the batch's cycle advances time by its
+    :attr:`BatchResult.simulated_seconds`.  Returns the per-query
+    records, the makespan, and the number of cycles cut.
+    """
+    records: list[QueryRecord] = []
+    now = 0.0
+    i = 0
+    cycles = 0
+    n = len(arrivals)
+    while i < n:
+        if arrivals[i].time > now:
+            now = arrivals[i].time  # engine idle: wait for the next arrival
+        batch = []
+        while i < n and arrivals[i].time <= now:
+            batch.append(arrivals[i])
+            i += 1
+        cut = now
+        result = cluster.execute_batch([a.op for a in batch])
+        cycle = result.simulated_seconds
+        now = cut + cycle
+        cycles += 1
+        for a in batch:
+            records.append(
+                QueryRecord(
+                    queue_seconds=cut - a.time,
+                    service_seconds=cycle,
+                    total_seconds=now - a.time,
+                )
+            )
+    return records, now, cycles
+
+
+def _percentiles(values: list[float]) -> dict[str, float]:
+    arr = np.asarray(values, dtype=float)
+    return {
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+    }
+
+
+def calibrate_capacity(cluster: Cluster, workload, batch_size: int) -> float:
+    """Queries/sim-second of one full shared batch — the capacity anchor
+    the rate sweep scales from (keeps the sweep's shape host-independent)."""
+    batch = workload.query_batch(batch_size)
+    result = cluster.execute_batch(list(batch))
+    return batch_size / max(result.simulated_seconds, 1e-12)
+
+
+def run_bench(ctx) -> BenchResult:
+    workload = ctx.amadeus_small
+    cluster = Cluster.from_table(workload.table, 4, num_aggregators=2)
+    calib_size = ctx.scaled(256, 64)
+    num_queries = ctx.scaled(800, 160)
+    capacity = calibrate_capacity(cluster, workload, calib_size)
+
+    sweeps: list[dict] = []
+    rows = []
+    for k, fraction in enumerate(RATE_FRACTIONS):
+        rate = capacity * fraction
+        generator = OpenLoopTrafficGenerator(
+            workload,
+            OpenLoopConfig(
+                rate_qps=rate,
+                num_queries=num_queries,
+                process="bursty" if fraction >= 2.0 else "poisson",
+                seed=workload.config.seed * 1000 + k,
+            ),
+        )
+        records, makespan, cycles = simulate_serving(cluster, generator.arrivals())
+        entry = {
+            "offered_fraction": fraction,
+            "offered_qps": rate,
+            "achieved_qps": len(records) / max(makespan, 1e-12),
+            "process": generator.config.process,
+            "cycles": cycles,
+            "mean_batch": len(records) / max(cycles, 1),
+            "queueing": _percentiles([r.queue_seconds for r in records]),
+            "service": _percentiles([r.service_seconds for r in records]),
+            "total": _percentiles([r.total_seconds for r in records]),
+        }
+        sweeps.append(entry)
+        rows.append(
+            (
+                f"{fraction:.2f}x",
+                entry["process"],
+                f"{entry['offered_qps']:.0f}",
+                f"{entry['achieved_qps']:.0f}",
+                f"{entry['mean_batch']:.1f}",
+                f"{entry['queueing']['p95'] * 1e3:.3f}",
+                f"{entry['total']['p50'] * 1e3:.3f}",
+                f"{entry['total']['p95'] * 1e3:.3f}",
+                f"{entry['total']['p99'] * 1e3:.3f}",
+            )
+        )
+
+    saturation = max(e["achieved_qps"] for e in sweeps)
+    text = format_table(
+        "Serving: open-loop latency under batch admission (simulated time)",
+        [
+            "load", "process", "offered q/s", "achieved q/s", "batch",
+            "queue p95 ms", "total p50 ms", "total p95 ms", "total p99 ms",
+        ],
+        rows,
+        notes=[
+            f"capacity anchor: {capacity:.0f} q/s "
+            f"(one {calib_size}-query shared batch)",
+            f"saturation throughput: {saturation:.0f} q/s",
+            "Table-1 Amadeus mix; queueing + shared-cycle service = total",
+        ],
+    )
+    write_result(NAME, text)
+    return BenchResult(
+        NAME,
+        text=text,
+        data={
+            "capacity_qps": capacity,
+            "saturation_qps": saturation,
+            "num_queries_per_rate": num_queries,
+            "rates": sweeps,
+        },
+        rerun=lambda: simulate_serving(
+            cluster,
+            OpenLoopTrafficGenerator(
+                workload,
+                OpenLoopConfig(
+                    rate_qps=capacity * 0.5,
+                    num_queries=max(20, num_queries // 8),
+                    seed=workload.config.seed,
+                ),
+            ).arrivals(),
+        ),
+    )
+
+
+def test_serving_latency_shape(benchmark, bench_ctx):
+    res = run_bench(bench_ctx)
+
+    records, makespan, cycles = benchmark.pedantic(
+        res.rerun, rounds=1, iterations=1
+    )
+    assert records and makespan > 0 and cycles >= 1
+
+    rates = res.data["rates"]
+    for entry in rates:
+        for component in ("queueing", "service", "total"):
+            p = entry[component]
+            assert p["p50"] <= p["p95"] <= p["p99"]
+        # Total latency decomposes into queueing + service.
+        assert entry["total"]["p99"] >= entry["queueing"]["p99"]
+        # Open loop: you can't complete more than you were offered
+        # (small slack: completion clock stops at the last cycle's end).
+        assert entry["achieved_qps"] <= entry["offered_qps"] * 1.25
+
+    # Rising load shows up as bigger batches and longer queueing, bounded
+    # by cycle length (the batch-admission property).  Compare poisson
+    # points only — the bursty trace drains between bursts.
+    poisson = [e for e in rates if e["process"] == "poisson"]
+    low, high = poisson[0], poisson[-1]
+    assert high["queueing"]["p95"] >= low["queueing"]["p95"]
+    assert high["mean_batch"] >= low["mean_batch"]
+    # The bursty point must still cut visibly larger batches than idle load.
+    assert rates[-1]["mean_batch"] >= rates[0]["mean_batch"]
+    assert res.data["saturation_qps"] > 0

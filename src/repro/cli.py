@@ -6,7 +6,11 @@ Subcommands:
     The paper's running example (Figures 1-4) on stdout.
 ``sql``
     Run one statement of the temporal SQL dialect against a generated
-    dataset (``employee``, ``amadeus`` or ``tpcbih``).
+    dataset (``employee``, ``amadeus`` or ``tpcbih``); with no statement,
+    an interactive REPL.
+``serve``
+    The SQL front door: an asyncio PostgreSQL wire-protocol server with
+    batch admission control over a generated dataset (docs/serving.md).
 ``tables``
     Show the tables and schemas of a generated dataset.
 ``experiments``
@@ -162,6 +166,8 @@ def cmd_sql(args) -> int:
         faults=args.faults or None,
     )
     try:
+        if args.statement is None:
+            return _sql_repl(db, args)
         if args.explain:
             print(db.explain(args.statement))
             return 0
@@ -175,6 +181,118 @@ def cmd_sql(args) -> int:
         print(result)
     else:
         print(result.format_table(max_rows=args.max_rows))
+    return 0
+
+
+def _sql_repl(db, args) -> int:
+    """Interactive statement loop (``python -m repro sql`` with no
+    statement).
+
+    Exits cleanly — no traceback, executor closed by the caller's
+    ``finally`` — on EOF (^D), ``\\q``, *and* Ctrl-C: a REPL that dumps a
+    KeyboardInterrupt traceback while holding a process pool leaks
+    workers and ``partime_*`` shm blocks (tests/test_sql_repl.py pins
+    all three exits against a real subprocess)."""
+    interactive = sys.stdin.isatty()
+    prompt = "partime> " if interactive else ""
+    if interactive:
+        print(
+            f"ParTime SQL ({args.dataset} dataset, backend={args.backend}) "
+            "— \\q or ^D to quit"
+        )
+    while True:
+        try:
+            line = input(prompt)
+        except EOFError:
+            break
+        except KeyboardInterrupt:
+            # ^C at the prompt: leave quietly, like ^D.  (A newline keeps
+            # the shell prompt off the interrupted input line.)
+            print()
+            break
+        statement = line.strip()
+        if not statement:
+            continue
+        if statement in ("\\q", "quit", "exit"):
+            break
+        try:
+            if statement.upper().startswith("EXPLAIN "):
+                print(db.explain(statement[len("EXPLAIN "):]))
+                continue
+            result = db.query(statement, workers=args.workers)
+        except SqlError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            continue
+        except KeyboardInterrupt:
+            print("\n(statement interrupted)", file=sys.stderr)
+            continue
+        if isinstance(result, int):
+            print(result)
+        else:
+            print(result.format_table(max_rows=args.max_rows))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """``python -m repro serve`` — the wire-protocol front door."""
+    import asyncio
+
+    from repro.server import ParTimeServer, ServingEngine
+
+    db = _load_dataset(
+        args.dataset,
+        args.scale,
+        args.seed,
+        backend=args.backend,
+        faults=args.faults or None,
+    )
+    engine = ServingEngine(
+        db, storage_nodes=args.nodes, aggregators=args.aggregators
+    )
+    server = ParTimeServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        min_cycle_seconds=args.min_cycle_ms / 1000.0,
+    )
+
+    async def _serve() -> None:
+        import signal
+
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await server.start()
+        print(
+            f"partime server listening on {server.host}:{server.port} "
+            f"(dataset={args.dataset}, nodes={args.nodes}, "
+            f"backend={args.backend}"
+            + (f", faults={args.faults}" if args.faults else "")
+            + ") — psql quickstart: "
+            f"psql -h {server.host} -p {server.port} -d partime",
+            flush=True,
+        )
+        await stop.wait()
+        await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    finally:
+        engine.close()
+    former = server.former
+    print(
+        "server closed: "
+        f"connections={server.connections_served} "
+        f"queries={former.queries_served} batches={former.batches_cut}"
+    )
+    if db.faults is not None:
+        summary = db.faults.summary()
+        print(
+            "faults: "
+            f"injected={summary['injected']} retries={summary['retries']} "
+            f"gave_up={summary['gave_up']}"
+        )
     return 0
 
 
@@ -445,8 +563,12 @@ def build_parser() -> argparse.ArgumentParser:
         fn=cmd_demo
     )
 
-    sql = sub.add_parser("sql", help="run a temporal SQL statement")
-    sql.add_argument("statement", help="one SELECT in the temporal dialect")
+    sql = sub.add_parser("sql", help="run a temporal SQL statement (or a REPL)")
+    sql.add_argument(
+        "statement", nargs="?", default=None,
+        help="one SELECT in the temporal dialect; omitted, an interactive "
+        "REPL starts (\\q or ^D to quit)",
+    )
     sql.add_argument("--dataset", default="employee",
                      choices=["employee", "amadeus", "tpcbih"])
     sql.add_argument("--scale", type=float, default=0.2,
@@ -469,6 +591,45 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--explain", action="store_true",
                      help="show the plan instead of executing")
     sql.set_defaults(fn=cmd_sql)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a dataset over the PostgreSQL wire protocol",
+        description="Start the asyncio SQL front door (docs/serving.md): "
+        "clients (psql, DBeaver, any raw socket) connect with the simple "
+        "query protocol; arriving statements queue in the admission "
+        "batch former and execute one shared-scan batch per cycle. "
+        "SIGINT/SIGTERM shut down cleanly and print serving stats.",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=5433,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--dataset", default="amadeus",
+                       choices=["employee", "amadeus", "tpcbih"])
+    serve.add_argument("--scale", type=float, default=0.2,
+                       help="dataset scale factor")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--nodes", type=int, default=4,
+                       help="storage nodes per table's shared-scan cluster")
+    serve.add_argument("--aggregators", type=int, default=1,
+                       help="aggregator nodes (ParTime Step 2 tier)")
+    serve.add_argument(
+        "--backend", default="serial", choices=list(BACKENDS),
+        help="physical executor behind the scan cycles",
+    )
+    serve.add_argument(
+        "--faults", metavar="SEED[:RATE]", default="",
+        help="serve under a deterministic fault plan; injected faults are "
+        "retried inside the engine and never drop client connections "
+        "(see docs/fault_injection.md)",
+    )
+    serve.add_argument(
+        "--min-cycle-ms", type=float, default=0.0,
+        help="floor on the batch-former cycle cadence in milliseconds "
+        "(0 = cut as fast as the engine drains; a small floor restores "
+        "shared-scan batching under a trickle of clients)",
+    )
+    serve.set_defaults(fn=cmd_serve)
 
     tables = sub.add_parser("tables", help="show a dataset's tables")
     tables.add_argument("--dataset", default="tpcbih",
@@ -615,6 +776,11 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except KeyboardInterrupt:
+        # ^C outside the REPL's own handling (e.g. mid-query in one-shot
+        # mode): exit with the conventional 130, never a traceback.
+        print(file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         try:

@@ -298,7 +298,7 @@ def current_injector() -> FaultInjector | None:
     this up at *construction* time (mirroring the tracer's activation
     pattern), which is how ``python -m repro bench <name> --faults SEED``
     threads one plan through every engine a benchmark builds without the
-    21 benchmark scripts knowing faults exist.
+    22 benchmark scripts knowing faults exist.
     """
     return _ACTIVE
 

@@ -33,6 +33,10 @@ CATALOGUE: dict[str, str] = {
     "hybrid.queries": "queries answered by the hybrid index + scan",
     "hybrid.frozen_events": "frozen-index events considered by hybrid probes",
     "hybrid.supplemental_events": "post-freeze closing events fed to hybrid folds",
+    "server.connections": "client connections accepted by the wire-protocol server",
+    "server.queries": "SQL statements received over the wire (incl. failed ones)",
+    "server.batches": "admission batches cut by the server's batch former",
+    "server.queue_depth": "queued statements at the most recent batch cut (gauge)",
     "faults.injected": "faults injected by the active FaultPlan",
     "faults.retries": "task/append attempts retried after an injected fault",
     "faults.gave_up": "tasks abandoned after exhausting their RetryPolicy",

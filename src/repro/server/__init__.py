@@ -1,0 +1,34 @@
+"""The SQL front door: an asyncio PostgreSQL wire-protocol server.
+
+Thousands of concurrent clients funnel into Crescando's natural unit of
+sharing — one admission batch per scan cycle (docs/serving.md):
+
+* :mod:`repro.server.protocol` — sans-IO codec for the simple-query
+  protocol subset (psql/DBeaver-compatible);
+* :mod:`repro.server.engine` — SQL batches planned into shared-scan
+  :meth:`Cluster.execute_batch` cycles, errors as values;
+* :mod:`repro.server.batch` — admission control: queue arrivals, cut one
+  batch per cycle, record per-query queueing + service time;
+* :mod:`repro.server.server` — the asyncio connection handler;
+* :mod:`repro.server.client` — a minimal blocking client for tests/CI.
+
+Entry point: ``python -m repro serve``.
+"""
+
+from repro.server.batch import BatchFormer, BatchFormerClosed, ServedResult
+from repro.server.client import QueryOutcome, SimpleQueryClient
+from repro.server.engine import ServedQuery, ServingEngine
+from repro.server.protocol import ProtocolError
+from repro.server.server import ParTimeServer
+
+__all__ = [
+    "BatchFormer",
+    "BatchFormerClosed",
+    "ParTimeServer",
+    "ProtocolError",
+    "QueryOutcome",
+    "ServedQuery",
+    "ServedResult",
+    "ServingEngine",
+    "SimpleQueryClient",
+]

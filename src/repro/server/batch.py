@@ -1,0 +1,181 @@
+"""Batch admission control: arrivals queue, one batch per scan cycle.
+
+Crescando never executes queries one at a time — arrivals wait in an
+admission queue and the engine cuts **one batch per scan cycle** (PAPER.md
+section 2).  :class:`BatchFormer` is that policy for the asyncio front
+door: connection handlers :meth:`submit` statements and await their
+result; a single former task drains the queue whenever the engine is
+idle, executes the whole batch in one shared scan (off the event loop, in
+a worker thread), then resolves every waiter.  Statements arriving while
+a cycle runs accumulate — exactly the open-loop behaviour the serving
+benchmark measures.
+
+Each served statement gets the latency decomposition recorded:
+
+* ``queue_seconds``   — wall time from arrival to batch cut (admission);
+* ``service_seconds`` — wall time of the shared cycle it rode in;
+* ``sim_response_seconds`` / ``sim_batch_seconds`` — the simulated
+  standalone response and full-cycle times from the cluster's clock.
+
+Metrics: ``server.batches`` counts cut batches, ``server.queue_depth``
+gauges the queue length at each cut (see docs/observability.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+from dataclasses import dataclass
+
+from repro.obs.metrics import metrics
+from repro.server.engine import ServedQuery, ServingEngine
+from repro.simtime.measure import clock_source
+
+
+@dataclass
+class ServedResult:
+    """What a waiter gets back: the outcome plus its latency split."""
+
+    outcome: ServedQuery
+    queue_seconds: float
+    service_seconds: float
+    batch_size: int
+
+
+@dataclass
+class _Pending:
+    sql: str
+    future: "asyncio.Future[ServedResult]"
+    arrived: float
+
+
+class BatchFormerClosed(RuntimeError):
+    """Submission after the former stopped (server shutting down)."""
+
+
+class BatchFormer:
+    """The admission queue and the cycle-cutting loop."""
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        *,
+        min_cycle_seconds: float = 0.0,
+    ) -> None:
+        self.engine = engine
+        #: Optional floor on the cycle cadence: with a fast engine and a
+        #: trickle of clients every query would get a private batch;
+        #: a small floor (e.g. 2ms) restores the shared-scan economics.
+        self.min_cycle_seconds = min_cycle_seconds
+        self.queries_served = 0
+        self.batches_cut = 0
+        self._pending: list[_Pending] = []
+        self._arrival = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        #: The engine runs on a dedicated thread, NOT the event loop's
+        #: default pool: that pool is shared (asyncio.to_thread users,
+        #: blocking clients in tests) and tiny on small machines, so
+        #: borrowing a slot per cycle can deadlock the former behind the
+        #: very connections waiting on it.
+        self._engine_thread: concurrent.futures.ThreadPoolExecutor | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        if self._task is None:
+            self._closed = False
+            self._engine_thread = concurrent.futures.ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="partime-former"
+            )
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="partime-batch-former"
+            )
+
+    async def stop(self) -> None:
+        """Stop cutting batches; fail any still-queued statements."""
+        self._closed = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        if self._engine_thread is not None:
+            # Let an in-flight cycle drain off the loop before releasing
+            # the engine underneath it.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._engine_thread.shutdown
+            )
+            self._engine_thread = None
+        for item in self._pending:
+            if not item.future.done():
+                item.future.set_exception(
+                    BatchFormerClosed("server shutting down")
+                )
+        self._pending.clear()
+
+    # ------------------------------------------------------------ admission
+
+    async def submit(self, sql: str) -> ServedResult:
+        """Queue one statement and await its batch's completion."""
+        if self._closed or self._task is None:
+            raise BatchFormerClosed("batch former is not running")
+        future: asyncio.Future[ServedResult] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending.append(_Pending(sql, future, clock_source()))
+        self._arrival.set()
+        return await future
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    # ---------------------------------------------------------- the former
+
+    async def _run(self) -> None:
+        while True:
+            await self._arrival.wait()
+            self._arrival.clear()
+            batch = self._pending
+            self._pending = []
+            if not batch:
+                continue
+            self.batches_cut += 1
+            metrics().counter("server.batches").add(1)
+            metrics().gauge("server.queue_depth").set(len(batch))
+            cut = clock_source()
+            try:
+                outcomes = await asyncio.get_running_loop().run_in_executor(
+                    self._engine_thread,
+                    self.engine.execute_batch,
+                    [p.sql for p in batch],
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — the former must
+                # survive any engine failure: fail this batch's waiters
+                # loudly, keep admitting the next one.
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+                continue
+            done = clock_source()
+            for item, outcome in zip(batch, outcomes):
+                self.queries_served += 1
+                if item.future.done():  # waiter gone (connection dropped)
+                    continue
+                item.future.set_result(
+                    ServedResult(
+                        outcome=outcome,
+                        queue_seconds=cut - item.arrived,
+                        service_seconds=done - cut,
+                        batch_size=len(batch),
+                    )
+                )
+            if self.min_cycle_seconds > 0.0:
+                elapsed = clock_source() - cut
+                if elapsed < self.min_cycle_seconds:
+                    await asyncio.sleep(self.min_cycle_seconds - elapsed)

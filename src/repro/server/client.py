@@ -1,0 +1,118 @@
+"""A minimal blocking wire-protocol client (tests, CI smoke, examples).
+
+Just enough of the frontend side to drive :class:`ParTimeServer` over a
+raw socket — startup handshake, simple queries, clean termination.  Not
+a general driver: no TLS, no extended protocol, no cancel keys.  Real
+tools (psql, DBeaver) speak to the server directly; this exists so the
+test suite and the CI serving-smoke job need no third-party driver.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+
+from repro.server import protocol
+
+
+@dataclass
+class QueryOutcome:
+    """Everything the backend sent for one simple query."""
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[list[str | None]] = field(default_factory=list)
+    command_tag: str = ""
+    error: dict[str, str] | None = None
+    notices: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class SimpleQueryClient:
+    """A blocking simple-query connection."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        user: str = "partime",
+        database: str = "partime",
+        timeout: float = 30.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._buffer = b""
+        self.parameters: dict[str, str] = {}
+        self.backend_pid: int | None = None
+        self._sock.sendall(protocol.startup_message(user, database))
+        self._drain_until_ready(QueryOutcome())
+
+    # --------------------------------------------------------------- frames
+
+    def _next_frame(self) -> tuple[bytes, bytes]:
+        while True:
+            frames, self._buffer = protocol.split_frames(self._buffer)
+            if frames:
+                # Keep all but the first frame buffered for later reads.
+                head, *rest = frames
+                if rest:
+                    self._buffer = (
+                        b"".join(protocol.frame(t, p) for t, p in rest)
+                        + self._buffer
+                    )
+                return head
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._buffer += chunk
+
+    def _drain_until_ready(self, outcome: QueryOutcome) -> QueryOutcome:
+        """Consume frames into ``outcome`` until ReadyForQuery."""
+        while True:
+            type_byte, payload = self._next_frame()
+            if type_byte == b"Z":
+                return outcome
+            if type_byte == b"T":
+                outcome.columns = [
+                    c.name for c in protocol.parse_row_description(payload)
+                ]
+            elif type_byte == b"D":
+                outcome.rows.append(protocol.parse_data_row(payload))
+            elif type_byte == b"C":
+                outcome.command_tag = protocol.parse_command_complete(payload)
+            elif type_byte == b"E":
+                outcome.error = protocol.parse_error_response(payload)
+            elif type_byte == b"N":
+                fields = protocol.parse_error_response(payload)
+                outcome.notices.append(fields.get("M", ""))
+            elif type_byte == b"S":
+                name, offset = protocol._read_cstr(payload, 0)
+                value, _ = protocol._read_cstr(payload, offset)
+                self.parameters[name] = value
+            elif type_byte == b"K":
+                self.backend_pid = int.from_bytes(payload[:4], "big")
+            elif type_byte == b"I":
+                outcome.command_tag = "EMPTY"
+            # AuthenticationOk ('R') and anything else: nothing to record.
+
+    # -------------------------------------------------------------- queries
+
+    def query(self, sql: str) -> QueryOutcome:
+        """Run one simple query; never raises on SQL errors (see
+        ``QueryOutcome.error``)."""
+        self._sock.sendall(protocol.query_message(sql))
+        return self._drain_until_ready(QueryOutcome())
+
+    def close(self) -> None:
+        try:
+            self._sock.sendall(protocol.terminate_message())
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "SimpleQueryClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

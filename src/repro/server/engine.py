@@ -1,0 +1,174 @@
+"""The serving engine: SQL text in, shared-scan batch execution out.
+
+This is the bridge between the wire protocol and Crescando's unit of
+sharing.  A batch of SQL statements (cut by the
+:class:`~repro.server.batch.BatchFormer`) is planned into cluster read
+operations and executed in **one** :meth:`Cluster.execute_batch` scan
+cycle per table — thousands of concurrent clients funnel into a single
+shared scan, which is the production property the paper's Amadeus
+deployment is built on (PAPER.md section 2).
+
+Statements the cluster cannot batch (temporal joins, and anything whose
+planning fails) degrade gracefully: joins fall back to the in-process
+:meth:`Database.query` path inside the same service window, and per-
+statement errors are returned *as values* so one malformed query never
+poisons the rest of its batch — the connection handler turns them into
+ErrorResponses while every other client in the batch gets its rows.
+
+Results are bit-identical to in-process ``Database.query`` — pinned by
+tests/test_server.py and by the distributed-consistency suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simtime.executor import ExecutorTaskError
+from repro.sql import Database, SqlError
+from repro.sql.ast import JoinStmt
+from repro.sql.parser import parse
+from repro.sql.planner import plan
+from repro.storage.cluster import Cluster
+from repro.storage.queries import SelectQuery, TemporalAggQuery
+
+
+@dataclass
+class ServedQuery:
+    """Outcome of one statement inside a served batch.
+
+    Exactly one of ``result`` / ``error`` is meaningful (``error is
+    None`` marks success); the sim timings carry the paper's latency
+    decomposition — the standalone response time of the operation and
+    the full shared-cycle duration it rode in.
+    """
+
+    sql: str
+    result: object = None
+    error: Exception | None = None
+    sim_response_seconds: float = 0.0
+    sim_batch_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class _Planned:
+    """One batchable statement: its cluster op and result slot index."""
+
+    index: int
+    op: object = None
+    stmt: object = field(default=None, repr=False)
+
+
+class ServingEngine:
+    """Plans SQL into cluster ops and runs admission batches.
+
+    One :class:`Cluster` is built lazily per registered table (the
+    partitioned, shared-scan view of that table); the underlying
+    :class:`Database` stays the source of truth for schemas, planning and
+    the join fallback.  A fault injector attached to the database is
+    threaded into every cluster, so injected faults are retried *inside*
+    the batch and never surface to a client connection.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        *,
+        storage_nodes: int = 4,
+        aggregators: int = 1,
+    ) -> None:
+        if storage_nodes < 1:
+            raise ValueError("need at least one storage node")
+        self.db = db
+        self.storage_nodes = storage_nodes
+        self.aggregators = aggregators
+        self._clusters: dict[str, Cluster] = {}
+
+    # ------------------------------------------------------------- clusters
+
+    def cluster_for(self, table_name: str) -> Cluster:
+        """The (lazily built) shared-scan cluster serving one table."""
+        cluster = self._clusters.get(table_name)
+        if cluster is None:
+            table = self.db.table(table_name)
+            cluster = Cluster.from_table(
+                table,
+                min(self.storage_nodes, max(1, len(table))),
+                num_aggregators=self.aggregators,
+                executor=None if self.db.backend == "serial" else self.db.executor,
+            )
+            cluster.faults = self.db.faults
+            self._clusters[table_name] = cluster
+        return cluster
+
+    # -------------------------------------------------------------- serving
+
+    def execute_batch(self, sqls: list[str]) -> list[ServedQuery]:
+        """Serve one admission batch; one shared scan cycle per table.
+
+        Never raises for per-statement failures — malformed SQL, unknown
+        tables, and even exhausted fault-retry budgets come back as
+        ``ServedQuery.error`` values in statement order.
+        """
+        served = [ServedQuery(sql) for sql in sqls]
+        per_table: dict[str, list[_Planned]] = {}
+        fallback: list[_Planned] = []
+        for i, sql in enumerate(sqls):
+            try:
+                stmt = parse(sql)
+                if isinstance(stmt, JoinStmt):
+                    fallback.append(_Planned(i, stmt=stmt))
+                    continue
+                table = self.db.table(stmt.table)
+                kind, compiled = plan(stmt, table.schema)
+                op = (
+                    SelectQuery(compiled)
+                    if kind == "select"
+                    else TemporalAggQuery(compiled)
+                )
+                per_table.setdefault(stmt.table, []).append(_Planned(i, op=op))
+            except SqlError as exc:
+                served[i].error = exc
+
+        for table_name, planned in sorted(per_table.items()):
+            self._run_shared_cycle(table_name, planned, served)
+        for item in fallback:
+            self._run_fallback(item, served)
+        return served
+
+    def _run_shared_cycle(
+        self, table_name: str, planned: list[_Planned], served: list[ServedQuery]
+    ) -> None:
+        """One cluster batch for every statement bound to one table."""
+        cluster = self.cluster_for(table_name)
+        try:
+            batch = cluster.execute_batch([p.op for p in planned])
+        except ExecutorTaskError as exc:
+            # The fault plane gave up after exhausting its retry budget.
+            # The affected statements fail loudly; their connections (and
+            # the rest of the server) live on.
+            for p in planned:
+                served[p.index].error = exc
+            return
+        for p in planned:
+            out = served[p.index]
+            out.result = batch.result_of(p.op.op_id)
+            out.sim_response_seconds = batch.response_time(p.op.op_id)
+            out.sim_batch_seconds = batch.simulated_seconds
+
+    def _run_fallback(self, item: _Planned, served: list[ServedQuery]) -> None:
+        """Joins (and future non-batchable shapes) via the in-process
+        path, still inside the batch's service window."""
+        out = served[item.index]
+        try:
+            out.result = self.db.query(out.sql)
+        except (SqlError, ExecutorTaskError) as exc:
+            out.error = exc
+
+    def close(self) -> None:
+        """Release the underlying database (idempotent)."""
+        self._clusters.clear()
+        self.db.close()

@@ -1,0 +1,347 @@
+"""PostgreSQL wire-protocol (v3) codec — the bytes level of the front door.
+
+Sans-IO by design: every function here maps python values to wire bytes
+or back, with no sockets and no asyncio, so the whole protocol surface is
+testable byte-for-byte (tests/test_server_protocol.py pins golden frames
+for every message).  :mod:`repro.server.server` does the IO on top.
+
+The subset implemented is the *simple query* flow, which is all psql,
+DBeaver and most drivers need for ad-hoc statements::
+
+    frontend                      backend
+    --------                      -------
+    StartupMessage          ->
+                            <-    AuthenticationOk
+                            <-    ParameterStatus (one per parameter)
+                            <-    BackendKeyData
+                            <-    ReadyForQuery('I')
+    Query("SELECT ...")     ->
+                            <-    RowDescription
+                            <-    DataRow (one per row)
+                            <-    CommandComplete("SELECT n")
+                            <-    ReadyForQuery('I')
+    Query("broken(")        ->
+                            <-    ErrorResponse          (connection lives on)
+                            <-    ReadyForQuery('I')
+    Terminate               ->    (close)
+
+``SSLRequest`` and ``GSSENCRequest`` probes are answered with the single
+byte ``N`` (not supported) after which the client retries in cleartext;
+``CancelRequest`` connections are closed without reply, per the spec.
+
+Reference: https://www.postgresql.org/docs/current/protocol-message-formats.html
+(the message-flow walkthrough in the related larsql repo's protocol plan
+was the map for which messages matter in practice).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+#: Protocol version 3.0: major 3 in the high 16 bits, minor 0 in the low.
+PROTOCOL_VERSION_3 = 196608
+#: Magic "version" codes of the special startup-packet variants.
+SSL_REQUEST_CODE = 80877103
+GSSENC_REQUEST_CODE = 80877104
+CANCEL_REQUEST_CODE = 80877102
+
+#: Upper bound on any single frame; a length beyond this is a corrupt or
+#: hostile peer, not a query, and the connection is dropped.
+MAX_MESSAGE_BYTES = 1 << 20
+
+#: Type OIDs of the pg_catalog types the server emits (text format).
+OID_INT8 = 20
+OID_FLOAT8 = 701
+OID_TEXT = 25
+
+_TYPLEN = {OID_INT8: 8, OID_FLOAT8: 8, OID_TEXT: -1}
+
+
+class ProtocolError(Exception):
+    """A malformed frame: wrong length, bad magic, unterminated string."""
+
+
+# ---------------------------------------------------------------------------
+# Frontend (client -> server) messages
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Startup:
+    """A parsed StartupMessage: protocol version + parameter pairs."""
+
+    params: tuple[tuple[str, str], ...]
+
+    def get(self, key: str, default: str = "") -> str:
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class SslRequest:
+    """The client probed for TLS; answer ``N`` and expect a retry."""
+
+
+@dataclass(frozen=True)
+class GssEncRequest:
+    """The client probed for GSSAPI encryption; answer ``N``."""
+
+
+@dataclass(frozen=True)
+class CancelRequest:
+    """An out-of-band cancel probe naming a backend pid/secret."""
+
+    pid: int
+    secret: int
+
+
+def _read_cstr(payload: bytes, offset: int) -> tuple[str, int]:
+    end = payload.find(b"\x00", offset)
+    if end < 0:
+        raise ProtocolError("unterminated string in message payload")
+    return payload[offset:end].decode("utf-8", "replace"), end + 1
+
+
+def parse_startup_payload(
+    payload: bytes,
+) -> Startup | SslRequest | GssEncRequest | CancelRequest:
+    """Decode the body of the (untyped) first packet on a connection.
+
+    ``payload`` excludes the 4-byte length prefix.
+    """
+    if len(payload) < 4:
+        raise ProtocolError("startup packet shorter than its version field")
+    code = struct.unpack("!i", payload[:4])[0]
+    if code == SSL_REQUEST_CODE:
+        return SslRequest()
+    if code == GSSENC_REQUEST_CODE:
+        return GssEncRequest()
+    if code == CANCEL_REQUEST_CODE:
+        if len(payload) != 12:
+            raise ProtocolError("CancelRequest must carry pid + secret")
+        pid, secret = struct.unpack("!ii", payload[4:12])
+        return CancelRequest(pid, secret)
+    if code != PROTOCOL_VERSION_3:
+        raise ProtocolError(
+            f"unsupported protocol version {code >> 16}.{code & 0xFFFF}"
+        )
+    params: list[tuple[str, str]] = []
+    offset = 4
+    while offset < len(payload) and payload[offset] != 0:
+        name, offset = _read_cstr(payload, offset)
+        value, offset = _read_cstr(payload, offset)
+        params.append((name, value))
+    return Startup(tuple(params))
+
+
+def parse_query_payload(payload: bytes) -> str:
+    """The SQL text of a Query ('Q') message body."""
+    if not payload.endswith(b"\x00"):
+        raise ProtocolError("Query message not NUL-terminated")
+    return payload[:-1].decode("utf-8", "replace")
+
+
+# ---------------------------------------------------------------------------
+# Frame assembly
+# ---------------------------------------------------------------------------
+
+
+def frame(type_byte: bytes, payload: bytes = b"") -> bytes:
+    """One typed backend/frontend frame: type + int32 length + payload."""
+    if len(type_byte) != 1:
+        raise ProtocolError(f"frame type must be one byte, got {type_byte!r}")
+    return type_byte + struct.pack("!i", len(payload) + 4) + payload
+
+
+def split_frames(buffer: bytes) -> tuple[list[tuple[bytes, bytes]], bytes]:
+    """Split a byte buffer into complete ``(type, payload)`` frames.
+
+    Returns the parsed frames and the unconsumed remainder (a partial
+    trailing frame).  Used by the test/CI clients; the asyncio server
+    reads frames incrementally instead.
+    """
+    frames: list[tuple[bytes, bytes]] = []
+    offset = 0
+    while len(buffer) - offset >= 5:
+        type_byte = buffer[offset:offset + 1]
+        (length,) = struct.unpack("!i", buffer[offset + 1:offset + 5])
+        if length < 4 or length > MAX_MESSAGE_BYTES:
+            raise ProtocolError(f"implausible frame length {length}")
+        if len(buffer) - offset - 1 < length:
+            break
+        payload = buffer[offset + 5:offset + 1 + length]
+        frames.append((type_byte, payload))
+        offset += 1 + length
+    return frames, buffer[offset:]
+
+
+# ---------------------------------------------------------------------------
+# Backend (server -> client) messages
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One output column of a result set."""
+
+    name: str
+    type_oid: int = OID_TEXT
+
+    @property
+    def typlen(self) -> int:
+        return _TYPLEN.get(self.type_oid, -1)
+
+
+def authentication_ok() -> bytes:
+    return frame(b"R", struct.pack("!i", 0))
+
+
+def parameter_status(name: str, value: str) -> bytes:
+    return frame(b"S", name.encode() + b"\x00" + value.encode() + b"\x00")
+
+
+def backend_key_data(pid: int, secret: int) -> bytes:
+    return frame(b"K", struct.pack("!ii", pid, secret))
+
+
+def ready_for_query(status: bytes = b"I") -> bytes:
+    """Transaction status is always ``I`` (idle): the dialect has no
+    explicit transactions."""
+    return frame(b"Z", status)
+
+
+def row_description(columns: list[ColumnSpec]) -> bytes:
+    parts = [struct.pack("!h", len(columns))]
+    for col in columns:
+        parts.append(col.name.encode() + b"\x00")
+        # table oid, attnum: 0 (not backed by catalog objects);
+        # typmod -1; format 0 (text).
+        parts.append(
+            struct.pack("!ihihih", 0, 0, col.type_oid, col.typlen, -1, 0)
+        )
+    return frame(b"T", b"".join(parts))
+
+
+def data_row(values: list[str | None]) -> bytes:
+    parts = [struct.pack("!h", len(values))]
+    for value in values:
+        if value is None:
+            parts.append(struct.pack("!i", -1))
+        else:
+            raw = value.encode("utf-8")
+            parts.append(struct.pack("!i", len(raw)) + raw)
+    return frame(b"D", b"".join(parts))
+
+
+def command_complete(tag: str) -> bytes:
+    return frame(b"C", tag.encode() + b"\x00")
+
+
+def empty_query_response() -> bytes:
+    return frame(b"I")
+
+
+def error_response(
+    message: str,
+    *,
+    code: str = "42601",
+    severity: str = "ERROR",
+    position: int | None = None,
+) -> bytes:
+    """An ErrorResponse with the fields psql renders: severity (twice —
+    localized 'S' and non-localized 'V'), SQLSTATE code, message, and an
+    optional 1-based statement position."""
+    fields = [
+        b"S" + severity.encode() + b"\x00",
+        b"V" + severity.encode() + b"\x00",
+        b"C" + code.encode() + b"\x00",
+        b"M" + message.encode("utf-8") + b"\x00",
+    ]
+    if position is not None:
+        fields.append(b"P" + str(position).encode() + b"\x00")
+    return frame(b"E", b"".join(fields) + b"\x00")
+
+
+def notice_response(message: str) -> bytes:
+    fields = [
+        b"SNOTICE\x00",
+        b"VNOTICE\x00",
+        b"C00000\x00",
+        b"M" + message.encode("utf-8") + b"\x00",
+    ]
+    return frame(b"N", b"".join(fields) + b"\x00")
+
+
+# ---------------------------------------------------------------------------
+# Client-side encoders/decoders (tests, CI driver, traffic generator)
+# ---------------------------------------------------------------------------
+
+
+def startup_message(user: str = "partime", database: str = "partime") -> bytes:
+    """An untyped StartupMessage frame (length prefix + body)."""
+    body = struct.pack("!i", PROTOCOL_VERSION_3)
+    body += b"user\x00" + user.encode() + b"\x00"
+    body += b"database\x00" + database.encode() + b"\x00"
+    body += b"\x00"
+    return struct.pack("!i", len(body) + 4) + body
+
+
+def ssl_request() -> bytes:
+    return struct.pack("!ii", 8, SSL_REQUEST_CODE)
+
+
+def query_message(sql: str) -> bytes:
+    return frame(b"Q", sql.encode("utf-8") + b"\x00")
+
+
+def terminate_message() -> bytes:
+    return frame(b"X")
+
+
+def parse_row_description(payload: bytes) -> list[ColumnSpec]:
+    (n,) = struct.unpack("!h", payload[:2])
+    offset = 2
+    columns: list[ColumnSpec] = []
+    for _ in range(n):
+        name, offset = _read_cstr(payload, offset)
+        _table, _attnum, oid, _typlen, _typmod, _fmt = struct.unpack(
+            "!ihihih", payload[offset:offset + 18]
+        )
+        offset += 18
+        columns.append(ColumnSpec(name, oid))
+    return columns
+
+
+def parse_data_row(payload: bytes) -> list[str | None]:
+    (n,) = struct.unpack("!h", payload[:2])
+    offset = 2
+    values: list[str | None] = []
+    for _ in range(n):
+        (length,) = struct.unpack("!i", payload[offset:offset + 4])
+        offset += 4
+        if length < 0:
+            values.append(None)
+        else:
+            values.append(payload[offset:offset + length].decode("utf-8"))
+            offset += length
+    return values
+
+
+def parse_command_complete(payload: bytes) -> str:
+    if not payload.endswith(b"\x00"):
+        raise ProtocolError("CommandComplete tag not NUL-terminated")
+    return payload[:-1].decode("utf-8")
+
+
+def parse_error_response(payload: bytes) -> dict[str, str]:
+    """ErrorResponse/NoticeResponse fields as ``{field_code: value}``."""
+    fields: dict[str, str] = {}
+    offset = 0
+    while offset < len(payload) and payload[offset] != 0:
+        code = chr(payload[offset])
+        value, offset = _read_cstr(payload, offset + 1)
+        fields[code] = value
+    return fields

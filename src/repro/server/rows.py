@@ -1,0 +1,86 @@
+"""Result shaping: engine results to wire-protocol result sets.
+
+Each SQL result shape the dialect can produce maps to one RowDescription
+plus text-format DataRows:
+
+* selection counts (``int``) — a single ``count`` int8 column;
+* :class:`~repro.core.result.TemporalAggregationResult` — per varied
+  dimension a ``<dim>_start``/``<dim>_end`` int8 pair (``FOREVER`` stays
+  the raw ``2**62`` sentinel: a real integer, so clients can compare it)
+  plus the aggregate value column named after the aggregate;
+* join row lists — the pair columns, rendered as text.
+
+The same shaping feeds the integration tests, which compare wire rows
+against in-process :meth:`~repro.sql.database.Database.query` results.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import TemporalAggregationResult
+from repro.server.protocol import (
+    OID_FLOAT8,
+    OID_INT8,
+    OID_TEXT,
+    ColumnSpec,
+)
+
+#: Row cap per result set: the front door serves admission-controlled
+#: aggregate answers, not bulk exports.  Mirrors ``--max-rows`` of the
+#: CLI but at a server-appropriate scale.
+MAX_ROWS = 100_000
+
+
+def _value_cell(value) -> str:
+    """Render one aggregate value as its text-format cell."""
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        value = item()
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _value_oid(rows) -> int:
+    for row in rows:
+        if isinstance(row.value, float):
+            return OID_FLOAT8
+    return OID_INT8
+
+
+def describe_result(result) -> tuple[list[ColumnSpec], list[list[str | None]]]:
+    """``(columns, rows)`` of one executed statement's result."""
+    if isinstance(result, int):
+        return [ColumnSpec("count", OID_INT8)], [[str(result)]]
+    if isinstance(result, TemporalAggregationResult):
+        columns: list[ColumnSpec] = []
+        for dim in result.dims:
+            columns.append(ColumnSpec(f"{dim}_start", OID_INT8))
+            columns.append(ColumnSpec(f"{dim}_end", OID_INT8))
+        columns.append(
+            ColumnSpec(result.aggregate_name.lower(), _value_oid(result.rows))
+        )
+        rows: list[list[str | None]] = []
+        for row in result.rows[:MAX_ROWS]:
+            cells: list[str | None] = []
+            for iv in row.intervals:
+                cells.append(str(int(iv.start)))
+                cells.append(str(int(iv.end)))
+            cells.append(None if row.value is None else _value_cell(row.value))
+            rows.append(cells)
+        return columns, rows
+    if isinstance(result, list):  # join output: matched row pairs
+        columns = [ColumnSpec("left", OID_TEXT), ColumnSpec("right", OID_TEXT)]
+        rows = []
+        for pair in result[:MAX_ROWS]:
+            if isinstance(pair, tuple) and len(pair) == 2:
+                rows.append([str(pair[0]), str(pair[1])])
+            else:
+                rows.append([str(pair), None])
+        return columns, rows
+    # Anything else (future result kinds): one text column.
+    return [ColumnSpec("result", OID_TEXT)], [[str(result)]]
+
+
+def command_tag(rows: list) -> str:
+    """The CommandComplete tag: everything the dialect runs is a SELECT."""
+    return f"SELECT {len(rows)}"

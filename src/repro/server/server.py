@@ -1,0 +1,228 @@
+"""The asyncio front door: ``python -m repro serve``.
+
+:class:`ParTimeServer` accepts PostgreSQL wire-protocol connections
+(simple-query subset — psql and DBeaver connect out of the box), funnels
+every arriving statement through the :class:`~repro.server.batch
+.BatchFormer`'s admission queue, and streams result sets back.  Malformed
+SQL produces an ErrorResponse followed by ReadyForQuery — the connection
+survives, per protocol.  Injected faults (docs/fault_injection.md) are
+retried inside the engine and are invisible here except as latency.
+
+Metrics: ``server.connections`` counts accepted clients and
+``server.queries`` served statements; the batch former owns
+``server.batches`` / ``server.queue_depth``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import struct
+
+from repro.obs.metrics import metrics
+from repro.server import protocol
+from repro.server.batch import BatchFormer, BatchFormerClosed
+from repro.server.engine import ServingEngine
+from repro.server.rows import command_tag, describe_result
+from repro.sql import SqlError
+
+#: ParameterStatus pairs sent after authentication.  ``server_version``
+#: makes psql's version handshake happy; the rest are the values clients
+#: commonly assert on.
+SERVER_PARAMETERS = (
+    ("server_version", "16.0 (ParTime reproduction)"),
+    ("server_encoding", "UTF8"),
+    ("client_encoding", "UTF8"),
+    ("DateStyle", "ISO, MDY"),
+    ("integer_datetimes", "on"),
+)
+
+
+class ParTimeServer:
+    """One listening socket, one batch former, many connections."""
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        host: str = "127.0.0.1",
+        port: int = 5433,
+        *,
+        min_cycle_seconds: float = 0.0,
+    ) -> None:
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.former = BatchFormer(engine, min_cycle_seconds=min_cycle_seconds)
+        self.connections_served = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._secret = int.from_bytes(os.urandom(4), "big") >> 1
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        """Bind the socket and start the batch former."""
+        self.former.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        # Port 0 binds an ephemeral port; record what the OS picked.
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("server not started")
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, fail queued work, release the engine."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.former.stop()
+
+    async def __aenter__(self) -> "ParTimeServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ---------------------------------------------------------- connections
+
+    async def _read_startup(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> protocol.Startup | None:
+        """The startup loop: answer encryption probes until a real
+        StartupMessage arrives (or the peer turns out to be a cancel
+        probe / corrupt, in which case ``None``: close)."""
+        while True:
+            raw_len = await reader.readexactly(4)
+            (length,) = struct.unpack("!i", raw_len)
+            if length < 8 or length > protocol.MAX_MESSAGE_BYTES:
+                return None
+            payload = await reader.readexactly(length - 4)
+            message = protocol.parse_startup_payload(payload)
+            if isinstance(message, (protocol.SslRequest, protocol.GssEncRequest)):
+                writer.write(b"N")  # not supported; client retries in clear
+                await writer.drain()
+                continue
+            if isinstance(message, protocol.CancelRequest):
+                return None  # cancel keys are not implemented; just close
+            return message
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        metrics().counter("server.connections").add(1)
+        self.connections_served += 1
+        try:
+            startup = await self._read_startup(reader, writer)
+            if startup is None:
+                return
+            writer.write(protocol.authentication_ok())
+            for name, value in SERVER_PARAMETERS:
+                writer.write(protocol.parameter_status(name, value))
+            writer.write(protocol.backend_key_data(os.getpid(), self._secret))
+            writer.write(protocol.ready_for_query())
+            await writer.drain()
+            await self._query_loop(reader, writer)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            protocol.ProtocolError,
+        ):
+            pass  # peer went away or spoke garbage: close quietly
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _query_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            header = await reader.readexactly(5)
+            type_byte = header[:1]
+            (length,) = struct.unpack("!i", header[1:5])
+            if length < 4 or length > protocol.MAX_MESSAGE_BYTES:
+                raise protocol.ProtocolError(f"bad frame length {length}")
+            payload = await reader.readexactly(length - 4)
+            if type_byte == b"X":  # Terminate
+                return
+            if type_byte == b"Q":
+                await self._serve_query(
+                    protocol.parse_query_payload(payload), writer
+                )
+            else:
+                # Extended-protocol and copy messages are out of scope;
+                # say so and stay alive (ROADMAP: extended protocol).
+                writer.write(
+                    protocol.error_response(
+                        f"message type {type_byte.decode('ascii', 'replace')!r} "
+                        "not supported (simple query protocol only)",
+                        code="0A000",
+                    )
+                )
+                writer.write(protocol.ready_for_query())
+            await writer.drain()
+
+    async def _serve_query(
+        self, sql: str, writer: asyncio.StreamWriter
+    ) -> None:
+        metrics().counter("server.queries").add(1)
+        # psql sends the terminating semicolon as part of the statement;
+        # the SQL dialect has none, so trailing terminators are a wire
+        # concern.  A bare ";" is an empty query, as in PostgreSQL.
+        sql = sql.strip()
+        while sql.endswith(";"):
+            sql = sql[:-1].rstrip()
+        if not sql:
+            writer.write(protocol.empty_query_response())
+            writer.write(protocol.ready_for_query())
+            return
+        try:
+            served = await self.former.submit(sql)
+        except BatchFormerClosed as exc:
+            writer.write(
+                protocol.error_response(str(exc), code="57P01", severity="FATAL")
+            )
+            return
+        outcome = served.outcome
+        if not outcome.ok:
+            writer.write(_error_frame(outcome.error))
+            writer.write(protocol.ready_for_query())
+            return
+        columns, rows = describe_result(outcome.result)
+        writer.write(protocol.row_description(columns))
+        for row in rows:
+            writer.write(protocol.data_row(row))
+        writer.write(protocol.command_complete(command_tag(rows)))
+        writer.write(
+            protocol.notice_response(
+                f"partime: batch={served.batch_size} "
+                f"queue={served.queue_seconds * 1e3:.3f}ms "
+                f"service={served.service_seconds * 1e3:.3f}ms "
+                f"sim_response={outcome.sim_response_seconds * 1e3:.6f}ms"
+            )
+        )
+        writer.write(protocol.ready_for_query())
+
+
+def _error_frame(error: Exception) -> bytes:
+    """Map an engine-side failure to the right SQLSTATE class."""
+    if isinstance(error, SqlError):
+        pos = getattr(error, "pos", None)
+        return protocol.error_response(
+            str(error),
+            code="42601",  # syntax_error (covers parse/plan failures)
+            position=None if pos is None else pos + 1,
+        )
+    return protocol.error_response(
+        f"{type(error).__name__}: {error}", code="XX000"  # internal_error
+    )

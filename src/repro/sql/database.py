@@ -9,6 +9,8 @@ selections are vectorized counts.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.core.joins import ParTimeJoin
 from repro.core.optimizer import ParallelismOptimizer
 from repro.core.partime import ParTime
@@ -41,6 +43,9 @@ class Database:
     — the parity suite pins that — only wall-clock time changes.
     """
 
+    #: Default bound on the per-statement trace history (see ``query``).
+    TRACE_CACHE_SIZE = 128
+
     def __init__(
         self,
         workers: int = 4,
@@ -48,6 +53,7 @@ class Database:
         backend: str = "serial",
         faults: "FaultInjector | FaultPlan | int | str | None" = None,
         retry: "RetryPolicy | None" = None,
+        trace_cache_size: int | None = None,
     ) -> None:
         self.workers = workers
         self.backend = backend
@@ -61,9 +67,31 @@ class Database:
         self._partime = ParTime(mode=mode)
         self._tables: dict[str, TemporalTable] = {}
         #: Root span of the most recently executed statement, and the
-        #: per-statement history ``EXPLAIN`` annotates plans from.
+        #: per-statement history ``EXPLAIN`` annotates plans from.  The
+        #: history is an LRU bounded at ``trace_cache_size`` entries:
+        #: under server traffic every distinct statement text is a new
+        #: key, and an unbounded dict of span trees is a memory leak.
         self.last_trace: Span | None = None
-        self._traces: dict[str, Span] = {}
+        self.trace_cache_size = (
+            self.TRACE_CACHE_SIZE if trace_cache_size is None else trace_cache_size
+        )
+        if self.trace_cache_size < 1:
+            raise ValueError("trace_cache_size must be at least 1")
+        self._traces: OrderedDict[str, Span] = OrderedDict()
+        self._closed = False
+
+    @property
+    def executor(self):
+        """The physical executor statements run on (see docs/executors.md).
+
+        Exposed so co-operating tiers — the serving engine's per-table
+        clusters — can share one worker pool instead of spawning their
+        own."""
+        return self._executor
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def register(self, name: str, table: TemporalTable) -> None:
         """Make a table visible to SQL under ``name``."""
@@ -91,12 +119,20 @@ class Database:
         and rendered by :meth:`explain` — the EXPLAIN-ANALYZE side of the
         observability layer (see docs/observability.md).
         """
+        if self._closed:
+            raise SqlError(
+                "database is closed — no statements can run after close() "
+                "(build a new Database to continue)"
+            )
         stmt = parse(sql)
         key = _statement_key(sql)
         with tracing(f"sql:{key}") as tracer:
             result = self._execute(stmt, workers)
         self.last_trace = tracer.root
         self._traces[key] = tracer.root
+        self._traces.move_to_end(key)
+        while len(self._traces) > self.trace_cache_size:
+            self._traces.popitem(last=False)
         return result
 
     def _execute(self, stmt, workers: int | None):
@@ -124,7 +160,16 @@ class Database:
         )
 
     def close(self) -> None:
-        """Release executor resources (worker processes, if any)."""
+        """Release executor resources (worker processes, if any).
+
+        Idempotent: a second ``close()`` is a no-op, and a ``query()``
+        after close raises a clear :class:`SqlError` instead of hitting a
+        shut-down executor with a cryptic backend error — the server's
+        shutdown path (stop former, close engine, close database, in any
+        interleaving a signal produces) relies on both properties."""
+        if self._closed:
+            return
+        self._closed = True
         close = getattr(self._executor, "close", None)
         if close is not None:
             close()
@@ -142,7 +187,10 @@ class Database:
         this database before, the plan is annotated with the span tree of
         that last execution — per-phase simulated and measured time."""
         stmt = parse(sql)
-        trace = self._traces.get(_statement_key(sql))
+        key = _statement_key(sql)
+        trace = self._traces.get(key)
+        if trace is not None:
+            self._traces.move_to_end(key)  # an EXPLAIN is a use, LRU-wise
         if isinstance(stmt, JoinStmt):
             text = (
                 f"ParTime temporal equi-join {stmt.left} x {stmt.right}\n"

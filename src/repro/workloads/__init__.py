@@ -9,11 +9,21 @@ batches matching Table 1, update streams, and the full Table 2 query set.
 """
 
 from repro.workloads.amadeus import AmadeusConfig, AmadeusWorkload
+from repro.workloads.openloop import (
+    ARRIVAL_PROCESSES,
+    Arrival,
+    OpenLoopConfig,
+    OpenLoopTrafficGenerator,
+)
 from repro.workloads.tpcbih import TPCBiHConfig, TPCBiHDataset, TPCBIH_QUERIES
 
 __all__ = [
     "AmadeusConfig",
     "AmadeusWorkload",
+    "ARRIVAL_PROCESSES",
+    "Arrival",
+    "OpenLoopConfig",
+    "OpenLoopTrafficGenerator",
     "TPCBiHConfig",
     "TPCBiHDataset",
     "TPCBIH_QUERIES",

@@ -1,0 +1,142 @@
+"""Open-loop traffic: seeded arrival processes over the Table-1 mix.
+
+A *closed-loop* client waits for each response before sending the next
+query, so a slow server conveniently slows its own load down.  Production
+front doors face *open-loop* traffic: arrivals keep coming at their own
+rate whether or not the engine keeps up, and queueing delay — not service
+time — dominates the latency tail near saturation.  This module generates
+such traffic deterministically:
+
+* **poisson** — exponential inter-arrival gaps at a fixed rate, the
+  classic open-loop model;
+* **bursty** — a two-state modulated Poisson process (quiet base rate,
+  periodic bursts at ``burst_factor`` times the rate), the shape that
+  actually stresses admission control.
+
+Every arrival carries both the executable cluster operation *and* its SQL
+rendering (via :mod:`repro.sql.render`), so one trace can drive the
+in-process serving simulation (``benchmarks/bench_serving.py``) and the
+wire-protocol server (``python -m repro serve``) with identical work.
+The mix is Table 1's: 1% ta1, 1% ta2, 8% other temporal, 90%
+non-temporal — the Amadeus production profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sql.render import render_query, render_select
+from repro.storage.queries import TemporalAggQuery
+from repro.workloads.amadeus import AmadeusWorkload
+
+ARRIVAL_PROCESSES = ("poisson", "bursty")
+
+
+@dataclass(frozen=True)
+class OpenLoopConfig:
+    """Shape of one open-loop traffic trace."""
+
+    #: Mean arrival rate in queries per (simulated) second.
+    rate_qps: float = 1000.0
+    #: Number of queries in the trace.
+    num_queries: int = 500
+    #: ``poisson`` or ``bursty``.
+    process: str = "poisson"
+    #: Bursty only: rate multiplier inside a burst...
+    burst_factor: float = 8.0
+    #: ...and the fraction of time spent bursting.
+    burst_fraction: float = 0.1
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+        if self.num_queries < 1:
+            raise ValueError("num_queries must be at least 1")
+        if self.process not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"unknown arrival process {self.process!r}; "
+                f"known: {ARRIVAL_PROCESSES}"
+            )
+        if not 0.0 < self.burst_fraction < 1.0:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        if self.burst_factor <= 1.0:
+            raise ValueError("burst_factor must exceed 1")
+        if self.burst_fraction * self.burst_factor >= 1.0:
+            raise ValueError(
+                "burst_fraction * burst_factor must stay below 1 "
+                "(otherwise no quiet rate can balance the time average)"
+            )
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One query arrival: when, what (as an op), and its SQL text."""
+
+    time: float
+    op: object
+    sql: str
+
+
+def _interarrival_gaps(config: OpenLoopConfig, rng) -> np.ndarray:
+    """Per-query gaps; both processes have mean rate ``rate_qps``."""
+    n = config.num_queries
+    if config.process == "poisson":
+        return rng.exponential(1.0 / config.rate_qps, n)
+    # Bursty: a two-state modulated process.  A fraction f of *time* runs
+    # at burst_rate = factor * rate; the quiet rate is chosen so the
+    # time-average stays rate_qps.  Each arrival then belongs to a state
+    # with probability proportional to that state's share of *arrivals*
+    # (time share x state rate) — weighting by raw factors instead would
+    # under-deliver the nominal rate.
+    factor = config.burst_factor
+    fraction = config.burst_fraction
+    quiet_rate = config.rate_qps * (1.0 - fraction * factor) / (1.0 - fraction)
+    quiet_rate = max(quiet_rate, config.rate_qps * 0.05)
+    burst_rate = config.rate_qps * factor
+    burst_share = fraction * burst_rate
+    quiet_share = (1.0 - fraction) * quiet_rate
+    in_burst = rng.random(n) < burst_share / (burst_share + quiet_share)
+    gaps = np.where(
+        in_burst,
+        rng.exponential(1.0 / burst_rate, n),
+        rng.exponential(1.0 / quiet_rate, n),
+    )
+    return gaps
+
+
+class OpenLoopTrafficGenerator:
+    """Deterministic arrival traces over an Amadeus workload's mix."""
+
+    def __init__(
+        self, workload: AmadeusWorkload, config: OpenLoopConfig = OpenLoopConfig()
+    ) -> None:
+        self.workload = workload
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+
+    def arrivals(self) -> list[Arrival]:
+        """One fresh trace: sorted arrival times + Table-1-mix queries.
+
+        Each call draws new queries and new gaps from the generator's
+        stream — successive calls give independent (but reproducible)
+        traces.
+        """
+        gaps = _interarrival_gaps(self.config, self._rng)
+        times = np.cumsum(gaps)
+        ops = self.workload.query_batch(self.config.num_queries)
+        table = self.workload.table.schema.name
+        out: list[Arrival] = []
+        for t, op in zip(times, ops):
+            if isinstance(op, TemporalAggQuery):
+                sql = render_query(op.query, table)
+            else:
+                sql = render_select(op.predicate, table)
+            out.append(Arrival(float(t), op, sql))
+        return out
+
+    def statements(self) -> list[tuple[float, str]]:
+        """The SQL-only view of a trace (what a wire client sends)."""
+        return [(a.time, a.sql) for a in self.arrivals()]

@@ -39,6 +39,7 @@ EXPECTED_BENCHMARKS = {
     "fig17_tpcbih_small",
     "fig18_tpcbih_large",
     "fig19_parallelization",
+    "serving",
     "table1_amadeus_mix",
     "table2_tpcbih_queries",
     "table3_memory",

@@ -1,0 +1,417 @@
+"""The SQL front door: serving engine, batch former, asyncio server.
+
+The load-bearing property is **parity**: rows served over the wire (via
+the shared-scan batch path) must equal what in-process
+``Database.query`` returns for the same statements — including under an
+active fault plan, whose retries must stay invisible to connections.
+The integration tests run a real ``ParTimeServer`` on an ephemeral port
+and drive it with the raw-socket :class:`SimpleQueryClient`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import pytest
+
+from repro.server import (
+    BatchFormer,
+    BatchFormerClosed,
+    ParTimeServer,
+    ServingEngine,
+    SimpleQueryClient,
+)
+from repro.server.rows import describe_result
+from repro.sql import Database, SqlError
+from repro.workloads import (
+    AmadeusConfig,
+    AmadeusWorkload,
+    OpenLoopConfig,
+    OpenLoopTrafficGenerator,
+)
+
+#: Small but mix-complete: big enough that every Table-1 query shape
+#: appears in a 40-statement trace, small enough for test-suite budgets.
+WORKLOAD_CONFIG = AmadeusConfig(num_bookings=1_500, num_flights=150, seed=11)
+
+
+@pytest.fixture(scope="module")
+def workload() -> AmadeusWorkload:
+    return AmadeusWorkload(WORKLOAD_CONFIG)
+
+
+@pytest.fixture()
+def db(workload) -> Database:
+    database = Database(workers=2)
+    database.register("bookings", workload.table)
+    yield database
+    database.close()
+
+
+def mix_statements(workload, n: int, seed: int = 3) -> list[str]:
+    gen = OpenLoopTrafficGenerator(
+        workload, OpenLoopConfig(rate_qps=500.0, num_queries=n, seed=seed)
+    )
+    return [a.sql for a in gen.arrivals()]
+
+
+def reference_rows(db: Database, sql: str):
+    """Columns + text rows of the in-process answer — the parity oracle."""
+    columns, rows = describe_result(db.query(sql))
+    return [c.name for c in columns], rows
+
+
+def assert_rows_match(got, want, sql=""):
+    """The serving parity contract (docs/serving.md): row set, shape,
+    intervals, counts and int aggregates bit-identical; float aggregate
+    cells may differ in the last ulp because the cluster's round-robin
+    partials merge in a different order than the in-process chunks."""
+    assert len(got) == len(want), sql
+    for got_row, want_row in zip(got, want):
+        assert len(got_row) == len(want_row), sql
+        for g, w in zip(got_row, want_row):
+            if g == w:
+                continue
+            assert g is not None and w is not None, (sql, g, w)
+            assert math.isclose(
+                float(g), float(w), rel_tol=1e-9, abs_tol=1e-9
+            ), (sql, g, w)
+
+
+# ---------------------------------------------------------------------------
+# ServingEngine
+# ---------------------------------------------------------------------------
+
+
+class TestServingEngine:
+    def test_batch_results_match_in_process_query(self, db, workload):
+        engine = ServingEngine(db, storage_nodes=3)
+        statements = mix_statements(workload, 40)
+        served = engine.execute_batch(statements)
+        assert len(served) == len(statements)
+        for sql, out in zip(statements, served):
+            assert out.ok, f"{sql!r} failed: {out.error}"
+            got_cols, got_rows = describe_result(out.result)
+            want_cols, want_rows = describe_result(db.query(sql))
+            assert got_cols == want_cols, sql
+            assert_rows_match(got_rows, want_rows, sql)
+
+    def test_one_malformed_statement_does_not_poison_the_batch(self, db):
+        engine = ServingEngine(db)
+        served = engine.execute_batch(
+            [
+                "SELECT COUNT(*) FROM bookings",
+                "SELECT FROG(*) FROM bookings",
+                "SELECT COUNT(*) FROM nowhere",
+                "SELECT COUNT(*) FROM bookings WHERE CURRENT(tt)",
+            ]
+        )
+        assert served[0].ok and served[3].ok
+        assert isinstance(served[1].error, SqlError)
+        assert isinstance(served[2].error, SqlError)
+        assert served[0].result == db.query("SELECT COUNT(*) FROM bookings")
+
+    def test_sim_timings_recorded(self, db):
+        engine = ServingEngine(db)
+        (out,) = engine.execute_batch(["SELECT COUNT(*) FROM bookings"])
+        assert out.sim_response_seconds > 0
+        assert out.sim_batch_seconds >= out.sim_response_seconds
+
+    def test_statements_share_one_cluster_per_table(self, db):
+        engine = ServingEngine(db, storage_nodes=2)
+        engine.execute_batch(["SELECT COUNT(*) FROM bookings"] * 5)
+        first = engine.cluster_for("bookings")
+        engine.execute_batch(["SELECT COUNT(*) FROM bookings"])
+        assert engine.cluster_for("bookings") is first
+
+    def test_faulty_batches_still_match_reference(self, workload):
+        noisy = Database(workers=2, faults="1337:0.4")
+        noisy.register("bookings", workload.table)
+        clean = Database(workers=2)
+        clean.register("bookings", workload.table)
+        try:
+            engine = ServingEngine(noisy, storage_nodes=3)
+            statements = mix_statements(workload, 25, seed=5)
+            served = engine.execute_batch(statements)
+            for sql, out in zip(statements, served):
+                assert out.ok, f"{sql!r} failed under faults: {out.error}"
+                got_cols, got_rows = describe_result(out.result)
+                want_cols, want_rows = describe_result(clean.query(sql))
+                assert got_cols == want_cols, sql
+                assert_rows_match(got_rows, want_rows, sql)
+            summary = noisy.faults.summary()
+            assert summary["injected"] > 0
+            assert summary["gave_up"] == 0
+        finally:
+            noisy.close()
+            clean.close()
+
+
+# ---------------------------------------------------------------------------
+# BatchFormer
+# ---------------------------------------------------------------------------
+
+
+class TestBatchFormer:
+    def test_concurrent_submissions_share_a_batch(self, db):
+        engine = ServingEngine(db)
+
+        async def scenario():
+            former = BatchFormer(engine)
+            former.start()
+            try:
+                results = await asyncio.gather(
+                    *[
+                        former.submit("SELECT COUNT(*) FROM bookings")
+                        for _ in range(8)
+                    ]
+                )
+            finally:
+                await former.stop()
+            return results, former.batches_cut
+
+        results, batches = asyncio.run(scenario())
+        assert len(results) == 8
+        assert all(r.outcome.ok for r in results)
+        # 8 statements submitted together must not get 8 private scans.
+        assert batches < 8
+        assert any(r.batch_size > 1 for r in results)
+        for r in results:
+            assert r.queue_seconds >= 0.0
+            assert r.service_seconds >= 0.0
+
+    def test_submit_after_stop_raises(self, db):
+        engine = ServingEngine(db)
+
+        async def scenario():
+            former = BatchFormer(engine)
+            former.start()
+            await former.stop()
+            with pytest.raises(BatchFormerClosed):
+                await former.submit("SELECT COUNT(*) FROM bookings")
+
+        asyncio.run(scenario())
+
+    def test_engine_crash_fails_waiters_but_former_survives(self, db):
+        class ExplodingEngine:
+            def __init__(self):
+                self.calls = 0
+
+            def execute_batch(self, sqls):
+                self.calls += 1
+                if self.calls == 1:
+                    raise RuntimeError("engine exploded")
+                return ServingEngine(db).execute_batch(sqls)
+
+        async def scenario():
+            former = BatchFormer(ExplodingEngine())
+            former.start()
+            try:
+                with pytest.raises(RuntimeError, match="engine exploded"):
+                    await former.submit("SELECT COUNT(*) FROM bookings")
+                # The former is still alive and serves the next batch.
+                result = await former.submit("SELECT COUNT(*) FROM bookings")
+                assert result.outcome.ok
+            finally:
+                await former.stop()
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Wire-level integration: a real server on an ephemeral port
+# ---------------------------------------------------------------------------
+
+
+async def _with_server(db, fn, **server_kwargs):
+    """Run blocking client code ``fn(host, port)`` against a live server."""
+    engine = ServingEngine(db, storage_nodes=3)
+    async with ParTimeServer(engine, port=0, **server_kwargs) as server:
+        return await asyncio.to_thread(fn, server.host, server.port)
+
+
+class TestWireIntegration:
+    def test_handshake_parameters_and_backend_pid(self, db):
+        def scenario(host, port):
+            with SimpleQueryClient(host, port) as client:
+                return dict(client.parameters), client.backend_pid
+
+        params, pid = asyncio.run(_with_server(db, scenario))
+        assert params["server_version"].startswith("16.0")
+        assert params["client_encoding"] == "UTF8"
+        assert pid is not None
+
+    def test_amadeus_mix_rows_match_in_process_query(self, db, workload):
+        statements = mix_statements(workload, 30, seed=9)
+        expected = [reference_rows(db, sql) for sql in statements]
+
+        def scenario(host, port):
+            with SimpleQueryClient(host, port) as client:
+                return [client.query(sql) for sql in statements]
+
+        outcomes = asyncio.run(_with_server(db, scenario))
+        for sql, outcome, (columns, rows) in zip(
+            statements, outcomes, expected
+        ):
+            assert outcome.ok, f"{sql!r}: {outcome.error}"
+            assert outcome.columns == columns, sql
+            assert_rows_match(outcome.rows, rows, sql)
+            assert outcome.command_tag == f"SELECT {len(rows)}"
+            assert any("partime: batch=" in n for n in outcome.notices)
+
+    def test_error_then_recover_on_one_connection(self, db):
+        def scenario(host, port):
+            with SimpleQueryClient(host, port) as client:
+                bad = client.query("SELECT FROG(*) FROM bookings")
+                good = client.query("SELECT COUNT(*) FROM bookings")
+                return bad, good
+
+        bad, good = asyncio.run(_with_server(db, scenario))
+        assert not bad.ok
+        assert bad.error["C"] == "42601"
+        assert "FROG" in bad.error["M"]
+        assert good.ok
+        assert good.rows == [[str(db.query("SELECT COUNT(*) FROM bookings"))]]
+
+    def test_empty_query_and_whitespace(self, db):
+        def scenario(host, port):
+            with SimpleQueryClient(host, port) as client:
+                return client.query(""), client.query("   "), client.query(";")
+
+        empty, blank, semi = asyncio.run(_with_server(db, scenario))
+        assert empty.command_tag == "EMPTY"
+        assert blank.command_tag == "EMPTY"
+        assert semi.command_tag == "EMPTY"
+
+    def test_trailing_semicolon_is_stripped(self, db):
+        """psql sends the terminating ``;`` with the statement (both
+        interactively and via ``-c``); the dialect has none, so the
+        server must strip it."""
+
+        def scenario(host, port):
+            with SimpleQueryClient(host, port) as client:
+                return (
+                    client.query("SELECT COUNT(*) FROM bookings;"),
+                    client.query("SELECT COUNT(*) FROM bookings ; "),
+                )
+
+        plain, spaced = asyncio.run(_with_server(db, scenario))
+        expected = [[str(db.query("SELECT COUNT(*) FROM bookings"))]]
+        assert plain.ok and plain.rows == expected
+        assert spaced.ok and spaced.rows == expected
+
+    def test_concurrent_clients_batch_together(self, db):
+        n_clients = 6
+
+        async def scenario():
+            engine = ServingEngine(db, storage_nodes=3)
+            async with ParTimeServer(engine, port=0) as server:
+
+                def one_client(_i):
+                    with SimpleQueryClient(server.host, server.port) as c:
+                        return c.query("SELECT COUNT(*) FROM bookings")
+
+                outcomes = await asyncio.gather(
+                    *[
+                        asyncio.to_thread(one_client, i)
+                        for i in range(n_clients)
+                    ]
+                )
+                return outcomes, server.former.batches_cut
+
+        outcomes, batches = asyncio.run(scenario())
+        expected = str(db.query("SELECT COUNT(*) FROM bookings"))
+        assert all(o.rows == [[expected]] for o in outcomes)
+        assert 1 <= batches <= n_clients
+
+    def test_faults_are_invisible_to_connections(self, workload):
+        noisy = Database(workers=2, faults="1337:0.4")
+        noisy.register("bookings", workload.table)
+        statements = mix_statements(workload, 15, seed=13)
+        expected = []
+        clean = Database(workers=2)
+        clean.register("bookings", workload.table)
+        for sql in statements:
+            expected.append(reference_rows(clean, sql))
+        clean.close()
+
+        def scenario(host, port):
+            with SimpleQueryClient(host, port) as client:
+                return [client.query(sql) for sql in statements]
+
+        try:
+            outcomes = asyncio.run(_with_server(noisy, scenario))
+            for sql, outcome, (columns, rows) in zip(
+                statements, outcomes, expected
+            ):
+                assert outcome.ok, f"{sql!r} under faults: {outcome.error}"
+                assert outcome.columns == columns
+                assert_rows_match(outcome.rows, rows, sql)
+            summary = noisy.faults.summary()
+            assert summary["injected"] > 0
+            assert summary["gave_up"] == 0
+        finally:
+            noisy.close()
+
+    def test_unsupported_message_type_keeps_connection_alive(self, db):
+        from repro.server import QueryOutcome, protocol
+
+        def scenario(host, port):
+            client = SimpleQueryClient(host, port)
+            try:
+                # A Parse ('P') message: extended protocol, unsupported.
+                client._sock.sendall(protocol.frame(b"P", b"\x00\x00\x00"))
+                refused = client._drain_until_ready(QueryOutcome())
+                alive = client.query("SELECT COUNT(*) FROM bookings")
+                return refused, alive
+            finally:
+                client.close()
+
+        refused, alive = asyncio.run(_with_server(db, scenario))
+        assert refused.error is not None
+        assert refused.error["C"] == "0A000"
+        assert alive.ok
+
+    def test_ssl_probe_answered_with_n(self, db):
+        import socket as socketlib
+
+        def scenario(host, port):
+            from repro.server import protocol
+
+            with socketlib.create_connection((host, port), timeout=10) as s:
+                s.sendall(protocol.ssl_request())
+                answer = s.recv(1)
+                s.sendall(protocol.startup_message())
+                # Server proceeds with the normal cleartext handshake.
+                first = s.recv(1)
+                return answer, first
+
+        answer, first = asyncio.run(_with_server(db, scenario))
+        assert answer == b"N"
+        assert first == b"R"  # AuthenticationOk
+
+    def test_server_metrics_counted(self, db):
+        from repro.obs.metrics import metrics
+
+        def scenario(host, port):
+            with SimpleQueryClient(host, port) as client:
+                client.query("SELECT COUNT(*) FROM bookings")
+                client.query("SELECT COUNT(*) FROM bookings WHERE CURRENT(tt)")
+
+        asyncio.run(_with_server(db, scenario))
+        snap = metrics().snapshot()["counters"]
+        assert snap["server.connections"] == 1
+        assert snap["server.queries"] == 2
+        assert snap["server.batches"] >= 1
+
+    def test_stop_fails_queued_statements_with_fatal(self, db):
+        async def scenario():
+            engine = ServingEngine(db)
+            server = ParTimeServer(engine, port=0)
+            await server.start()
+            await server.stop()
+            with pytest.raises(BatchFormerClosed):
+                await server.former.submit("SELECT COUNT(*) FROM bookings")
+
+        asyncio.run(scenario())

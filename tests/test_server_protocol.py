@@ -1,0 +1,197 @@
+"""The sans-IO PostgreSQL wire-protocol codec — golden byte tests.
+
+Every message the server can emit or consume is pinned here at the byte
+level, against frames hand-assembled from the v3 protocol description
+(typed messages are ``type byte + int32 length including itself +
+payload``; the startup family has no type byte).  If a frame drifts,
+psql stops talking to us — so these are exact ``==`` comparisons on
+bytes, not structural checks.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.server import ProtocolError, protocol
+from repro.server.protocol import (
+    OID_FLOAT8,
+    OID_INT8,
+    OID_TEXT,
+    CancelRequest,
+    ColumnSpec,
+    GssEncRequest,
+    SslRequest,
+    Startup,
+)
+
+
+def _typed(kind: bytes, payload: bytes) -> bytes:
+    return kind + struct.pack("!i", 4 + len(payload)) + payload
+
+
+class TestStartupFamily:
+    def test_startup_message_roundtrip(self):
+        raw = protocol.startup_message(user="anna", database="flights")
+        # length (incl. itself) + protocol 3.0 + key\0value\0 pairs + \0
+        body = b"user\x00anna\x00database\x00flights\x00\x00"
+        assert raw == struct.pack("!ii", 8 + len(body), 196608) + body
+
+        parsed = protocol.parse_startup_payload(raw[4:])
+        assert isinstance(parsed, Startup)
+        assert parsed.params == (("user", "anna"), ("database", "flights"))
+        assert parsed.get("user") == "anna"
+        assert parsed.get("missing", "dflt") == "dflt"
+
+    def test_ssl_and_gssenc_probes(self):
+        assert protocol.ssl_request() == struct.pack("!ii", 8, 80877103)
+        ssl = protocol.parse_startup_payload(struct.pack("!i", 80877103))
+        assert isinstance(ssl, SslRequest)
+        gss = protocol.parse_startup_payload(struct.pack("!i", 80877104))
+        assert isinstance(gss, GssEncRequest)
+
+    def test_cancel_request(self):
+        payload = struct.pack("!iii", 80877102, 7, 42)
+        parsed = protocol.parse_startup_payload(payload)
+        assert isinstance(parsed, CancelRequest)
+
+    def test_unknown_protocol_version_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_startup_payload(struct.pack("!i", 0x00020000))
+
+    def test_garbage_parameters_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_startup_payload(
+                struct.pack("!i", 196608) + b"user\x00unterminated"
+            )
+
+
+class TestBackendMessages:
+    def test_authentication_ok(self):
+        assert protocol.authentication_ok() == _typed(b"R", struct.pack("!i", 0))
+
+    def test_parameter_status(self):
+        frame = protocol.parameter_status("server_version", "16.0")
+        assert frame == _typed(b"S", b"server_version\x0016.0\x00")
+
+    def test_backend_key_data(self):
+        frame = protocol.backend_key_data(7, 99)
+        assert frame == _typed(b"K", struct.pack("!ii", 7, 99))
+
+    def test_ready_for_query_idle(self):
+        assert protocol.ready_for_query() == _typed(b"Z", b"I")
+
+    def test_row_description_golden(self):
+        frame = protocol.row_description(
+            [ColumnSpec("count", OID_INT8), ColumnSpec("value", OID_FLOAT8)]
+        )
+        fields = struct.pack("!h", 2)
+        fields += b"count\x00" + struct.pack("!ihihih", 0, 0, 20, 8, -1, 0)
+        fields += b"value\x00" + struct.pack("!ihihih", 0, 0, 701, 8, -1, 0)
+        assert frame == _typed(b"T", fields)
+
+    def test_row_description_text_column_is_varlena(self):
+        frame = protocol.row_description([ColumnSpec("name", OID_TEXT)])
+        fields = struct.pack("!h", 1)
+        fields += b"name\x00" + struct.pack("!ihihih", 0, 0, 25, -1, -1, 0)
+        assert frame == _typed(b"T", fields)
+
+    def test_data_row_golden(self):
+        frame = protocol.data_row(["42", "x"])
+        payload = struct.pack("!h", 2)
+        payload += struct.pack("!i", 2) + b"42"
+        payload += struct.pack("!i", 1) + b"x"
+        assert frame == _typed(b"D", payload)
+
+    def test_data_row_null_cell(self):
+        frame = protocol.data_row([None])
+        assert frame == _typed(b"D", struct.pack("!hi", 1, -1))
+
+    def test_command_complete(self):
+        assert protocol.command_complete("SELECT 3") == _typed(
+            b"C", b"SELECT 3\x00"
+        )
+
+    def test_empty_query_response(self):
+        assert protocol.empty_query_response() == _typed(b"I", b"")
+
+    def test_error_response_golden(self):
+        frame = protocol.error_response("boom", code="42601", position=7)
+        payload = (
+            b"SERROR\x00VERROR\x00C42601\x00Mboom\x00P7\x00\x00"
+        )
+        assert frame == _typed(b"E", payload)
+
+    def test_notice_response_golden(self):
+        frame = protocol.notice_response("partime: batch=3")
+        assert frame == _typed(
+            b"N", b"SNOTICE\x00VNOTICE\x00C00000\x00Mpartime: batch=3\x00\x00"
+        )
+
+
+class TestFrontendMessages:
+    def test_query_message_roundtrip(self):
+        frame = protocol.query_message("SELECT 1")
+        assert frame == _typed(b"Q", b"SELECT 1\x00")
+        assert protocol.parse_query_payload(frame[5:]) == "SELECT 1"
+
+    def test_query_payload_must_be_nul_terminated(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_query_payload(b"SELECT 1")
+
+    def test_terminate(self):
+        assert protocol.terminate_message() == _typed(b"X", b"")
+
+
+class TestFraming:
+    def test_split_frames_and_rebuffer(self):
+        stream = (
+            protocol.authentication_ok()
+            + protocol.ready_for_query()
+            + b"D\x00\x00"  # a truncated header tail
+        )
+        frames, rest = protocol.split_frames(stream)
+        assert [k for k, _p in frames] == [b"R", b"Z"]
+        assert rest == b"D\x00\x00"
+
+    def test_frame_reencode_is_identity(self):
+        original = protocol.error_response("x", code="XX000")
+        frames, rest = protocol.split_frames(original)
+        assert rest == b""
+        ((kind, payload),) = frames
+        assert protocol.frame(kind, payload) == original
+
+    def test_oversized_frame_rejected(self):
+        huge = b"Q" + struct.pack("!i", protocol.MAX_MESSAGE_BYTES + 5)
+        with pytest.raises(ProtocolError):
+            protocol.split_frames(huge + b"x")
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.split_frames(b"Q" + struct.pack("!i", 2))
+
+
+class TestClientSideParsers:
+    def test_parse_row_description(self):
+        frame = protocol.row_description(
+            [ColumnSpec("a", OID_INT8), ColumnSpec("b", OID_TEXT)]
+        )
+        columns = protocol.parse_row_description(frame[5:])
+        assert [c.name for c in columns] == ["a", "b"]
+        assert [c.type_oid for c in columns] == [OID_INT8, OID_TEXT]
+
+    def test_parse_data_row(self):
+        frame = protocol.data_row(["1", None, "xyz"])
+        assert protocol.parse_data_row(frame[5:]) == ["1", None, "xyz"]
+
+    def test_parse_command_complete(self):
+        frame = protocol.command_complete("SELECT 17")
+        assert protocol.parse_command_complete(frame[5:]) == "SELECT 17"
+
+    def test_parse_error_response(self):
+        frame = protocol.error_response("bad syntax", code="42601", position=3)
+        fields = protocol.parse_error_response(frame[5:])
+        assert fields["M"] == "bad syntax"
+        assert fields["C"] == "42601"
+        assert fields["P"] == "3"

@@ -273,3 +273,71 @@ class TestDatabase:
             probe_workers=4,
         )
         assert 1 <= best <= 8
+
+
+class TestDatabaseLifecycle:
+    """Trace-history bounds and close semantics (server prerequisites)."""
+
+    def test_trace_history_is_lru_bounded(self):
+        database = Database(workers=2, trace_cache_size=3)
+        database.register("employee", build_employee_table())
+        statements = [
+            f"SELECT COUNT(*) FROM employee WHERE salary > {bound}"
+            for bound in range(6)
+        ]
+        for sql in statements:
+            database.query(sql)
+        assert len(database._traces) == 3
+        # The three most recent statements survive, oldest first evicted.
+        kept = list(database._traces)
+        assert kept == [" ".join(s.split()) for s in statements[-3:]]
+        # last_trace still reflects the most recent execution.
+        assert database.last_trace is database._traces[kept[-1]]
+
+    def test_explain_counts_as_lru_use(self):
+        database = Database(workers=2, trace_cache_size=2)
+        database.register("employee", build_employee_table())
+        first = "SELECT COUNT(*) FROM employee WHERE salary > 1"
+        second = "SELECT COUNT(*) FROM employee WHERE salary > 2"
+        third = "SELECT COUNT(*) FROM employee WHERE salary > 3"
+        database.query(first)
+        database.query(second)
+        # Touch `first` via EXPLAIN: it becomes most-recently-used...
+        assert "COUNT" in database.explain(first)
+        database.query(third)
+        # ...so `second`, not `first`, was evicted.
+        keys = list(database._traces)
+        assert " ".join(first.split()) in keys
+        assert " ".join(second.split()) not in keys
+
+    def test_trace_cache_size_validated(self):
+        with pytest.raises(ValueError, match="trace_cache_size"):
+            Database(trace_cache_size=0)
+
+    def test_repeated_statement_reuses_one_slot(self):
+        database = Database(workers=2, trace_cache_size=2)
+        database.register("employee", build_employee_table())
+        for _ in range(5):
+            database.query("SELECT COUNT(*)   FROM employee")  # odd spacing
+        assert len(database._traces) == 1
+
+    def test_close_is_idempotent(self):
+        database = Database(workers=2)
+        database.register("employee", build_employee_table())
+        database.query("SELECT COUNT(*) FROM employee")
+        database.close()
+        database.close()  # no error
+        assert database.closed
+
+    def test_query_after_close_raises_clearly(self):
+        database = Database(workers=2)
+        database.register("employee", build_employee_table())
+        database.close()
+        with pytest.raises(SqlError, match="database is closed"):
+            database.query("SELECT COUNT(*) FROM employee")
+
+    def test_context_manager_closes(self):
+        with Database(workers=2) as database:
+            database.register("employee", build_employee_table())
+            assert database.query("SELECT COUNT(*) FROM employee") > 0
+        assert database.closed

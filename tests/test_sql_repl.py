@@ -1,0 +1,199 @@
+"""The ``python -m repro sql`` REPL: every exit path must be clean.
+
+"Clean" means: exit status 0, no traceback on stderr, the executor
+closed, and no leaked ``partime_*`` shared-memory blocks — checked
+against *real subprocesses*, because the failure mode being pinned
+(a KeyboardInterrupt traceback unwinding past a live process pool) only
+exists outside pytest's in-process harness.  The Ctrl-C path runs the
+REPL on a pty and delivers a real SIGINT to the foreground process
+group, exactly what a terminal does.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import pty
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ENV = {**os.environ, "PYTHONPATH": os.path.join(REPO, "src")}
+CMD = [sys.executable, "-m", "repro", "sql", "--dataset", "employee"]
+
+
+def _shm_blocks() -> set[str]:
+    return set(glob.glob("/dev/shm/partime_*"))
+
+
+def run_repl(stdin_text: str, *extra_args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        CMD + list(extra_args),
+        input=stdin_text,
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=ENV,
+        cwd=REPO,
+    )
+
+
+class TestPipedExit:
+    def test_eof_exits_cleanly(self):
+        before = _shm_blocks()
+        proc = run_repl("SELECT COUNT(*) FROM employee\n")
+        assert proc.returncode == 0, proc.stderr
+        assert "Traceback" not in proc.stderr
+        assert proc.stdout.strip().endswith("9")  # 9 version rows
+        assert _shm_blocks() == before
+
+    def test_backslash_q_exits_cleanly(self):
+        proc = run_repl("SELECT COUNT(*) FROM employee\n\\q\nnever-run\n")
+        assert proc.returncode == 0, proc.stderr
+        assert "Traceback" not in proc.stderr
+        assert "never-run" not in proc.stderr
+
+    def test_sql_error_does_not_kill_the_loop(self):
+        proc = run_repl(
+            "SELECT FROG(*) FROM employee\nSELECT COUNT(*) FROM employee\n"
+        )
+        assert proc.returncode == 0
+        assert "error:" in proc.stderr
+        assert "Traceback" not in proc.stderr
+        assert proc.stdout.strip().endswith("9")  # the loop recovered
+
+    def test_blank_lines_and_quit_keyword(self):
+        proc = run_repl("\n\n   \nquit\n")
+        assert proc.returncode == 0
+        assert "Traceback" not in proc.stderr
+
+    def test_explain_in_repl(self):
+        proc = run_repl(
+            "EXPLAIN SELECT SUM(salary) FROM employee GROUP BY TEMPORAL (tt)\n"
+        )
+        assert proc.returncode == 0
+        assert "ParTime temporal aggregation" in proc.stdout
+
+    @pytest.mark.skipif(
+        sys.platform != "linux", reason="process backend shm check is Linux-only"
+    )
+    def test_process_backend_leaves_no_shm(self):
+        before = _shm_blocks()
+        proc = run_repl(
+            "SELECT COUNT(*) FROM employee\n", "--backend", "process"
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Traceback" not in proc.stderr
+        assert _shm_blocks() == before
+
+
+class TestCtrlC:
+    def _spawn_on_pty(self, *extra_args: str):
+        leader, follower = pty.openpty()
+        proc = subprocess.Popen(
+            CMD + list(extra_args),
+            stdin=follower,
+            stdout=follower,
+            stderr=follower,
+            env=ENV,
+            cwd=REPO,
+            start_new_session=True,  # its own pgroup, like a shell job
+        )
+        os.close(follower)
+        return proc, leader
+
+    def _read_all(self, fd: int) -> str:
+        chunks = []
+        while True:
+            try:
+                chunk = os.read(fd, 65536)
+            except OSError:  # EIO when the other end closes: end of output
+                break
+            if not chunk:
+                break
+            chunks.append(chunk)
+        os.close(fd)
+        return b"".join(chunks).decode("utf-8", "replace")
+
+    def _await_prompt(self, fd: int, proc) -> str:
+        """Wait for the REPL banner/prompt so SIGINT lands inside input()."""
+        seen = b""
+        deadline = time.monotonic() + 60  # partime: ignore[PT002] -- subprocess poll deadline
+        while time.monotonic() < deadline:  # partime: ignore[PT002] -- subprocess poll deadline
+            try:
+                seen += os.read(fd, 65536)
+            except (OSError, BlockingIOError):
+                pass
+            if b"partime>" in seen:
+                return seen.decode("utf-8", "replace")
+            if proc.poll() is not None:
+                break
+            time.sleep(0.05)
+        raise AssertionError(f"REPL prompt never appeared; saw {seen!r}")
+
+    def test_sigint_at_prompt_exits_cleanly(self):
+        before = _shm_blocks()
+        proc, fd = self._spawn_on_pty()
+        os.set_blocking(fd, False)
+        try:
+            self._await_prompt(fd, proc)
+            os.killpg(proc.pid, signal.SIGINT)
+            code = proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        output = self._read_all(fd)
+        assert code == 0, output
+        assert "Traceback" not in output
+        assert "KeyboardInterrupt" not in output
+        assert _shm_blocks() == before
+
+    def test_sigint_after_a_query_still_clean(self):
+        proc, fd = self._spawn_on_pty()
+        os.set_blocking(fd, False)
+        try:
+            self._await_prompt(fd, proc)
+            os.write(fd, b"SELECT COUNT(*) FROM employee\n")
+            # Wait for the result (9) *and* the re-printed prompt after
+            # it, so ^C usually lands inside input() (quiet exit 0).
+            deadline = time.monotonic() + 60  # partime: ignore[PT002] -- subprocess poll deadline
+            seen = ""
+            while time.monotonic() < deadline:  # partime: ignore[PT002] -- subprocess poll deadline
+                try:
+                    seen += os.read(fd, 65536).decode("utf-8", "replace")
+                except (OSError, BlockingIOError):
+                    time.sleep(0.05)
+                if "partime>" in seen.split("9", 1)[-1]:
+                    break
+            else:
+                raise AssertionError(f"result + prompt never appeared: {seen!r}")
+            os.killpg(proc.pid, signal.SIGINT)
+            code = proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        output = self._read_all(fd)
+        # 0 = ^C caught at the prompt; 130 = it raced into the sliver
+        # between statements and took main()'s conventional ^C exit.
+        # Either way: a clean shutdown, never a traceback.
+        assert code in (0, 130), output
+        assert "Traceback" not in output
+        assert "KeyboardInterrupt" not in output
+
+
+class TestOneShotStillWorks:
+    def test_statement_argument_bypasses_repl(self):
+        proc = subprocess.run(
+            CMD + ["SELECT COUNT(*) FROM employee"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=ENV,
+            cwd=REPO,
+        )
+        assert proc.returncode == 0
+        assert proc.stdout.strip() == "9"

@@ -9,8 +9,11 @@ from repro.core import ParTime
 from repro.storage import Cluster, SelectQuery, TemporalAggQuery
 from repro.temporal.timestamps import FOREVER
 from repro.workloads import (
+    ARRIVAL_PROCESSES,
     AmadeusConfig,
     AmadeusWorkload,
+    OpenLoopConfig,
+    OpenLoopTrafficGenerator,
     TPCBiHConfig,
     TPCBiHDataset,
     TPCBIH_QUERIES,
@@ -153,3 +156,97 @@ def test_r4_windowed_matches_general(tpcbih):
     )
     for point, value in windowed.points():
         assert value == (general.value_at(point) or 0)
+
+
+# ---------------------------------------------------------------------------
+# Open-loop traffic (the serving benchmark's arrival processes)
+# ---------------------------------------------------------------------------
+
+
+def test_openloop_trace_is_deterministic():
+    # Fresh workloads on both sides: query_batch draws from the
+    # workload's own RNG, so determinism is per (workload seed, config).
+    config = OpenLoopConfig(rate_qps=200.0, num_queries=50, seed=42)
+    a = OpenLoopTrafficGenerator(
+        AmadeusWorkload(AmadeusConfig(num_bookings=2_000, seed=3)), config
+    ).arrivals()
+    b = OpenLoopTrafficGenerator(
+        AmadeusWorkload(AmadeusConfig(num_bookings=2_000, seed=3)), config
+    ).arrivals()
+    assert [x.time for x in a] == [x.time for x in b]
+    assert [x.sql for x in a] == [x.sql for x in b]
+
+
+def test_openloop_successive_traces_differ(amadeus):
+    gen = OpenLoopTrafficGenerator(
+        amadeus, OpenLoopConfig(rate_qps=200.0, num_queries=50, seed=42)
+    )
+    first, second = gen.arrivals(), gen.arrivals()
+    assert [x.time for x in first] != [x.time for x in second]
+
+
+@pytest.mark.parametrize("process", ARRIVAL_PROCESSES)
+def test_openloop_mean_rate_is_respected(amadeus, process):
+    config = OpenLoopConfig(
+        rate_qps=1_000.0, num_queries=2_000, process=process, seed=7
+    )
+    arrivals = OpenLoopTrafficGenerator(amadeus, config).arrivals()
+    times = [a.time for a in arrivals]
+    assert times == sorted(times)
+    empirical = len(times) / times[-1]
+    # Poisson traces of this length concentrate tightly; bursty keeps the
+    # same time-average rate by construction, with more variance.
+    assert empirical == pytest.approx(1_000.0, rel=0.25)
+
+
+def test_openloop_bursty_has_heavier_gap_tail(amadeus):
+    n = 2_000
+    poisson = OpenLoopTrafficGenerator(
+        amadeus, OpenLoopConfig(rate_qps=500.0, num_queries=n, seed=1)
+    ).arrivals()
+    bursty = OpenLoopTrafficGenerator(
+        amadeus,
+        OpenLoopConfig(rate_qps=500.0, num_queries=n, process="bursty", seed=1),
+    ).arrivals()
+
+    def gap_cv(arrivals):
+        times = np.array([a.time for a in arrivals])
+        gaps = np.diff(times)
+        return float(np.std(gaps) / np.mean(gaps))
+
+    # Coefficient of variation: ~1 for Poisson, strictly larger when the
+    # same rate is delivered in bursts.
+    assert gap_cv(bursty) > gap_cv(poisson) > 0.8
+
+
+def test_openloop_sql_matches_op(amadeus):
+    arrivals = OpenLoopTrafficGenerator(
+        amadeus, OpenLoopConfig(rate_qps=100.0, num_queries=40, seed=9)
+    ).arrivals()
+    cluster = Cluster.from_table(amadeus.table, 2)
+    batch = cluster.execute_batch([a.op for a in arrivals])
+    assert all(a.sql.strip().upper().startswith("SELECT") for a in arrivals)
+    # Table-1 mix shapes only: every op is a select or temporal aggregate.
+    assert all(
+        isinstance(a.op, (SelectQuery, TemporalAggQuery)) for a in arrivals
+    )
+    assert batch.simulated_seconds > 0
+
+
+def test_openloop_config_validation(amadeus):
+    with pytest.raises(ValueError, match="rate_qps"):
+        OpenLoopConfig(rate_qps=0.0)
+    with pytest.raises(ValueError, match="arrival process"):
+        OpenLoopConfig(process="carrier-pigeon")
+    with pytest.raises(ValueError, match="burst_factor"):
+        OpenLoopConfig(process="bursty", burst_factor=1.0)
+
+
+def test_openloop_statements_view(amadeus):
+    gen = OpenLoopTrafficGenerator(
+        amadeus, OpenLoopConfig(rate_qps=100.0, num_queries=10, seed=2)
+    )
+    statements = gen.statements()
+    assert len(statements) == 10
+    for t, sql in statements:
+        assert t > 0 and isinstance(sql, str) and "FROM bookings" in sql
