@@ -6,48 +6,62 @@ performance."  This bench compares Step 1 over the same partition with:
 
 * the paper's B-tree (``dm_put`` consolidation),
 * a hash table (consolidate in O(1), sort once at iteration),
-* the vectorized sorted-array construction (sort + segmented reduce).
+* the columnar kernels (one stable argsort + ``np.add.reduceat``,
+  see ``repro.core.kernels``), selected with ``deltamap="columnar"``.
 
 All three must produce identical merged results; the expected performance
-order on this substrate is array < hash < btree.
+order on this substrate is columnar < hash < btree.  The headline
+telemetry (``sim_elapsed``/``total_work``) additionally books one full
+two-step pipeline in the run's ``--deltamap`` mode through an executor,
+so the kernel-parity CI can diff columnar vs. scalar end-to-end cost.
 """
 
 from __future__ import annotations
 
 import time
 
-from repro.core import SUM, generate_delta_map, merge_delta_maps, merge_sorted_arrays
-from repro.core.deltamap import SortedArrayDeltaMap
 from repro.bench import BenchResult, format_table, write_result
+from repro.core import (
+    SUM,
+    ParTime,
+    TemporalAggregationQuery,
+    generate_delta_map,
+    merge_delta_maps,
+    merge_sorted_arrays,
+)
+from repro.core.deltamap import ColumnarDeltaMap
+from repro.simtime import make_executor
 
 NAME = "ablation_deltamap"
+WORKERS = 8
 
 
-def _run(chunk, mode, backend):
+def _run(chunk, deltamap):
     t0 = time.perf_counter()
-    dm = generate_delta_map(chunk, "fare", "tt", SUM, mode=mode, backend=backend)
+    dm = generate_delta_map(chunk, "fare", "tt", SUM, deltamap=deltamap)
     return dm, time.perf_counter() - t0
 
 
 def run_bench(ctx) -> BenchResult:
     rows_limit = ctx.scaled(60_000, 4_000)
-    chunk = ctx.amadeus_small.table.chunk(0, rows_limit)
+    table = ctx.amadeus_small.table
+    chunk = table.chunk(0, rows_limit)
 
     variants = {
-        "btree (paper)": ("pure", "btree"),
-        "hash + sort-at-merge": ("pure", "hash"),
-        "vectorized sorted array": ("vectorized", "btree"),
+        "btree (paper)": "btree",
+        "hash + sort-at-merge": "hash",
+        "columnar kernels": "columnar",
     }
     results = {}
     timings = {}
     repeats = ctx.scaled(2, 1)
-    for name, (mode, backend) in variants.items():
+    for name, deltamap in variants.items():
         best = float("inf")
         for _ in range(repeats):
-            dm, seconds = _run(chunk, mode, backend)
+            dm, seconds = _run(chunk, deltamap)
             best = min(best, seconds)
         timings[name] = best
-        if isinstance(dm, SortedArrayDeltaMap):
+        if isinstance(dm, ColumnarDeltaMap):
             results[name] = merge_sorted_arrays([dm], SUM)
         else:
             results[name] = merge_delta_maps([dm], SUM)
@@ -58,8 +72,24 @@ def run_bench(ctx) -> BenchResult:
         for (iv_a, v_a), (iv_b, v_b) in zip(rows, baseline):
             assert iv_a == iv_b and abs(v_a - v_b) < 1e-6, name
 
+    # One full two-step pipeline in the run's delta-map mode: this is the
+    # part the schedule reconstruction books, so the payload's
+    # sim_elapsed/total_work reflect the selected kernels.
+    query = TemporalAggregationQuery(
+        varied_dims=("tt",), value_column="fare", aggregate="sum"
+    )
+    executor = make_executor(ctx.backend, workers=WORKERS)
+    try:
+        ParTime(deltamap=ctx.deltamap).execute(
+            table, query, workers=WORKERS, executor=executor
+        )
+    finally:
+        close = getattr(executor, "close", None)
+        if close is not None:
+            close()
+
     def rerun():
-        return _run(chunk, "vectorized", "btree")
+        return _run(chunk, "columnar")
 
     rows = [
         (name, seconds, f"{timings['btree (paper)'] / seconds:.1f}x")
@@ -77,7 +107,11 @@ def run_bench(ctx) -> BenchResult:
     return BenchResult(
         NAME,
         text=text,
-        data={"timings": dict(timings), "rows": rows_limit},
+        data={
+            "timings": dict(timings),
+            "rows": rows_limit,
+            "pipeline_deltamap": ctx.deltamap,
+        },
         rerun=rerun,
     )
 
@@ -87,5 +121,5 @@ def test_ablation_deltamap_backends(benchmark, bench_ctx):
     benchmark.pedantic(res.rerun, rounds=3, iterations=1)
 
     timings = res.data["timings"]
-    assert timings["vectorized sorted array"] < timings["btree (paper)"]
+    assert timings["columnar kernels"] < timings["btree (paper)"]
     assert timings["hash + sort-at-merge"] < timings["btree (paper)"]

@@ -6,6 +6,12 @@ parallelization of Step 2 could improve performance is left for future
 work."  This bench implements the study on the r2-like corner case where
 Step 2 dominates: a multi-level pairwise consolidation halves the number
 of delta maps per level, and levels run in (simulated) parallel.
+
+The multi-level merge pays off against the *scalar* per-entry merge
+(``--deltamap btree``).  Under the default columnar kernels the
+sequential merge is already a single concatenate-sort-reduceat pass, so
+the extra levels only add synchronisation — the bench then checks the
+overhead stays bounded instead.
 """
 
 from __future__ import annotations
@@ -38,7 +44,11 @@ def run_bench(ctx) -> BenchResult:
 
     def run_once(parallel_step2: bool):
         executor = make_executor(ctx.backend, workers=WORKERS)
-        operator = ParTime(mode="pure", parallel_step2=parallel_step2)
+        operator = ParTime(
+            mode="pure",
+            parallel_step2=parallel_step2,
+            deltamap=ctx.deltamap,
+        )
         try:
             result = operator.execute(
                 table, query, workers=WORKERS, executor=executor
@@ -57,6 +67,8 @@ def run_bench(ctx) -> BenchResult:
                 best = (result, clock)
         return best
 
+    step1_label = ParTime(mode="pure", deltamap=ctx.deltamap).step1_label
+
     (seq_result, seq_clock) = run(False)
     (par_result, par_clock) = run(True)
 
@@ -69,14 +81,14 @@ def run_bench(ctx) -> BenchResult:
         (
             "sequential Step 2 (paper)",
             seq_clock.elapsed,
-            seq_clock.phase_elapsed("partime.step1"),
-            seq_clock.elapsed - seq_clock.phase_elapsed("partime.step1"),
+            seq_clock.phase_elapsed(step1_label),
+            seq_clock.elapsed - seq_clock.phase_elapsed(step1_label),
         ),
         (
             "multi-level parallel Step 2",
             par_clock.elapsed,
-            par_clock.phase_elapsed("partime.step1"),
-            par_clock.elapsed - par_clock.phase_elapsed("partime.step1"),
+            par_clock.phase_elapsed(step1_label),
+            par_clock.elapsed - par_clock.phase_elapsed(step1_label),
         ),
     ]
     text = format_table(
@@ -96,13 +108,14 @@ def run_bench(ctx) -> BenchResult:
         NAME,
         text=text,
         data={
+            "deltamap": ctx.deltamap,
             "sequential": {
                 "total": seq_clock.elapsed,
-                "step1": seq_clock.phase_elapsed("partime.step1"),
+                "step1": seq_clock.phase_elapsed(step1_label),
             },
             "parallel": {
                 "total": par_clock.elapsed,
-                "step1": par_clock.phase_elapsed("partime.step1"),
+                "step1": par_clock.phase_elapsed(step1_label),
             },
         },
         rerun=rerun,
@@ -115,9 +128,15 @@ def test_ablation_parallel_step2(benchmark, bench_ctx):
 
     seq = res.data["sequential"]
     par = res.data["parallel"]
-    # The parallel merge must beat the sequential one where it acts: on
-    # Step 2 (total time also includes Step 1, whose run-to-run noise can
-    # mask the effect under load).
     seq_s2 = seq["total"] - seq["step1"]
     par_s2 = par["total"] - par["step1"]
-    assert par_s2 < seq_s2
+    if res.data["deltamap"] == "columnar":
+        # The columnar merge is a single concatenate-sort-reduceat pass,
+        # so multi-level pairwise consolidation only adds sync levels; it
+        # must at worst cost a constant factor, never blow up.
+        assert par_s2 < 3 * seq_s2
+    else:
+        # The parallel merge must beat the sequential scalar one where it
+        # acts: on Step 2 (total time also includes Step 1, whose
+        # run-to-run noise can mask the effect under load).
+        assert par_s2 < seq_s2

@@ -46,6 +46,14 @@ def pytest_addoption(parser) -> None:
         "independent; only measured wall-clock changes "
         "(see docs/executors.md)",
     )
+    parser.addoption(
+        "--deltamap",
+        action="store",
+        default="columnar",
+        choices=["columnar", "btree", "hash"],
+        help="Step-1 delta-map representation: 'columnar' (NumPy "
+        "kernels, default) or a scalar oracle backend",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -61,6 +69,12 @@ def exec_backend(request) -> str:
 
 
 @pytest.fixture(scope="session")
+def deltamap_mode(request) -> str:
+    """The ``--deltamap`` of this benchmark run (``columnar`` default)."""
+    return str(request.config.getoption("--deltamap", default="columnar"))
+
+
+@pytest.fixture(scope="session")
 def bench_ctx(request) -> BenchContext:
     """The full-scale benchmark context (datasets cached per session)."""
     return BenchContext(
@@ -70,4 +84,5 @@ def bench_ctx(request) -> BenchContext:
         trace_chrome=bool(
             request.config.getoption("--trace-chrome", default=False)
         ),
+        deltamap=str(request.config.getoption("--deltamap", default="columnar")),
     )

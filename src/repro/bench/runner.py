@@ -127,11 +127,17 @@ class BenchContext:
         trace_json: bool = False,
         trace_chrome: bool = False,
         faults: str | int | None = None,
+        deltamap: str = "columnar",
     ) -> None:
         self.smoke = bool(smoke)
         self.backend = backend
         self.trace_json = bool(trace_json)
         self.trace_chrome = bool(trace_chrome)
+        #: Step-1 delta-map representation the benches run with:
+        #: ``"columnar"`` (the NumPy kernels, default) or a scalar oracle
+        #: (``"btree"`` / ``"hash"``) — the ``kernel-parity`` CI step runs
+        #: the target benches on both and diffs the answers.
+        self.deltamap = deltamap
         #: ``SEED[:RATE]`` fault spec (or ``None``).  The runner activates
         #: one :class:`~repro.faults.FaultInjector` per benchmark from it;
         #: executors and WALs built inside ``run_bench`` pick it up
@@ -324,6 +330,7 @@ def run_benchmark(
         "benchmark": name,
         "smoke": ctx.smoke,
         "backend": ctx.backend,
+        "deltamap": ctx.deltamap,
         "machine": machine_spec(),
         "wall_seconds": wall.elapsed,
         "sim_elapsed": report.elapsed,

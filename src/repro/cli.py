@@ -527,6 +527,7 @@ def cmd_bench(args) -> int:
             backend=args.backend,
             trace_chrome=args.trace_chrome,
             faults=args.faults or None,
+            deltamap=args.deltamap,
         )
         payloads, failures = run_many(
             run_names, ctx, results_dir=args.results_dir or None
@@ -731,6 +732,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--backend", default="serial", choices=list(BACKENDS),
         help="physical execution backend for benchmarks that honour it",
+    )
+    bench.add_argument(
+        "--deltamap", default="columnar",
+        choices=["columnar", "btree", "hash"],
+        help="Step-1 delta-map representation: 'columnar' (NumPy kernels, "
+        "default) or a scalar oracle backend — the kernel-parity CI step "
+        "runs both and diffs the results",
     )
     bench.add_argument(
         "--list", action="store_true", help="list benchmark names and exit"

@@ -28,6 +28,7 @@ from repro.core.aggregates import (
 from repro.core.deltamap import (
     ArrayDeltaMap,
     BTreeDeltaMap,
+    ColumnarDeltaMap,
     DeltaMap,
     HashDeltaMap,
     MultiDimDeltaMap,
@@ -40,9 +41,11 @@ from repro.core.pivot import DimensionStatistics, choose_pivot, collect_statisti
 from repro.core.query import TemporalAggregationQuery
 from repro.core.result import ResultRow, TemporalAggregationResult
 from repro.core.step1 import (
+    DELTA_MAP_MODES,
     generate_delta_map,
     generate_multidim_delta_map,
     generate_windowed_delta_map,
+    resolve_deltamap,
 )
 from repro.core.step2 import (
     consolidate_pair,
@@ -51,6 +54,7 @@ from repro.core.step2 import (
     merge_sorted_arrays,
     merge_window_maps,
     parallel_merge_plan,
+    vectorized_mergeable,
 )
 from repro.core.window import WindowSpec
 
@@ -78,9 +82,13 @@ __all__ = [
     "DeltaMap",
     "BTreeDeltaMap",
     "HashDeltaMap",
+    "ColumnarDeltaMap",
     "SortedArrayDeltaMap",
     "ArrayDeltaMap",
     "MultiDimDeltaMap",
+    "DELTA_MAP_MODES",
+    "resolve_deltamap",
+    "vectorized_mergeable",
     "generate_delta_map",
     "generate_windowed_delta_map",
     "generate_multidim_delta_map",

@@ -41,8 +41,15 @@ class AggregateFunction:
 
     #: Registry name, e.g. ``"sum"``.
     name: str = "?"
-    #: Whether Step 1 may use the vectorized scalar-delta fast path.
+    #: Whether a record's effect can be *removed* again (Section 3.2.3).
     incremental: bool = True
+    #: Whether deltas are additive ``(value, count)`` pairs, i.e. whether
+    #: the columnar kernels (argsort + ``np.add.reduceat`` + ``np.cumsum``)
+    #: compute this aggregate exactly.  PRODUCT is incremental but *not*
+    #: columnar: its deltas multiply, so summing their components would be
+    #: silently wrong — gate array fast paths on this flag, never on
+    #: ``incremental``.
+    columnar: bool = False
 
     # -- delta-map side -------------------------------------------------
     def make_delta(self, value, sign: int):
@@ -79,6 +86,8 @@ class AggregateFunction:
 class _SumLike(AggregateFunction):
     """Shared machinery for SUM / COUNT / AVG: deltas are ``(value, count)``
     pairs under componentwise addition."""
+
+    columnar = True
 
     def make_delta(self, value, sign: int):
         return (sign * value, sign)

@@ -12,9 +12,10 @@ performance" — the alternatives here back the delta-map ablation bench:
 * :class:`BTreeDeltaMap` — the paper's choice, built on
   :class:`repro.btree.BTree` with the special ``dm_put``;
 * :class:`HashDeltaMap` — hash consolidation, sorted once at iteration;
-* :class:`SortedArrayDeltaMap` — immutable, built in one vectorized pass
-  (sort + unique + segmented reduce), the NumPy stand-in for a tight
-  C++ loop;
+* :class:`ColumnarDeltaMap` — immutable, built in one vectorized pass
+  (stable argsort + ``np.add.reduceat`` via :mod:`repro.core.kernels`),
+  the NumPy stand-in for a tight C++ loop; ``SortedArrayDeltaMap`` is a
+  backwards-compatible alias;
 * :class:`ArrayDeltaMap` — the fixed-size array of windowed queries
   (Figure 9), indexed by window bucket rather than raw timestamp.
 
@@ -31,6 +32,7 @@ from typing import Any, Iterator
 import numpy as np
 
 from repro.btree import BTree
+from repro.core import kernels
 from repro.core.aggregates import AggregateFunction
 
 
@@ -55,7 +57,15 @@ class DeltaMap:
 
     def add_record(self, valid_from: int, valid_to: int, value, forever: int) -> None:
         """Contribute one record: ``+value`` at its start and, unless it is
-        still valid, ``-value`` at its end (Figure 7)."""
+        still valid, ``-value`` at its end (Figure 7).
+
+        Zero-width records (``valid_from >= valid_to``) were never valid
+        at any point in time and contribute nothing — uniformly across
+        every backend, matching the vectorized Step-1 ``starts < ends``
+        liveness filter.
+        """
+        if valid_from >= valid_to:
+            return
         agg = self.aggregate
         self.put(valid_from, agg.make_delta(value, +1))
         if valid_to < forever:
@@ -102,23 +112,41 @@ class HashDeltaMap(DeltaMap):
         return len(self._entries)
 
 
-class SortedArrayDeltaMap(DeltaMap):
-    """Immutable delta map produced by the vectorized Step 1 fast path.
+class ColumnarDeltaMap(DeltaMap):
+    """Immutable columnar delta map produced by the Step-1 fast paths.
 
     Holds parallel arrays: unique sorted timestamps plus one array per
-    delta component.  Only usable for incremental aggregates whose deltas
-    are fixed-width numeric tuples (SUM / COUNT / AVG).
+    delta component.  Two kinds share the representation:
+
+    * ``"additive"`` — components ``(value_sums, count_sums)`` for the
+      columnar aggregates (SUM / COUNT / AVG); built with
+      :func:`repro.core.kernels.consolidate_additive`.
+    * ``"extreme"`` — components ``(extremes, count_sums)`` for MIN/MAX
+      over an *append-only* interval (no record expires inside the query
+      window), where a per-timestamp ``min``/``max`` plus a running
+      ``np.minimum``/``np.maximum.accumulate`` is exact.
+
+    The two contiguous-ish component arrays are what make the map cheap
+    to ship: :func:`repro.simtime.shm.export_delta_map` maps them into a
+    shared-memory block as zero-copy views, and pickling goes through a
+    compact ``(aggregate name, kind, arrays)`` reduce instead of the
+    generic object protocol.
     """
+
+    KIND_ADDITIVE = "additive"
+    KIND_EXTREME = "extreme"
 
     def __init__(
         self,
         aggregate: AggregateFunction,
         keys: np.ndarray,
         components: tuple[np.ndarray, ...],
+        kind: str = KIND_ADDITIVE,
     ) -> None:
         super().__init__(aggregate)
         self._keys = keys
         self._components = components
+        self.kind = kind
 
     @classmethod
     def from_events(
@@ -127,13 +155,12 @@ class SortedArrayDeltaMap(DeltaMap):
         timestamps: np.ndarray,
         values: np.ndarray,
         counts: np.ndarray,
-    ) -> "SortedArrayDeltaMap":
-        """Consolidate raw per-record events in one vectorized pass."""
-        keys, inverse = np.unique(timestamps, return_inverse=True)
-        val_sum = np.zeros(len(keys), dtype=np.float64)
-        cnt_sum = np.zeros(len(keys), dtype=np.int64)
-        np.add.at(val_sum, inverse, values)
-        np.add.at(cnt_sum, inverse, counts)
+    ) -> "ColumnarDeltaMap":
+        """Consolidate raw per-record additive events in one vectorized
+        pass (stable argsort + ``np.add.reduceat``)."""
+        keys, val_sum, cnt_sum = kernels.consolidate_additive(
+            timestamps, values, counts
+        )
         # Entries that consolidated to the null delta are no-ops for the
         # merge; keeping them would only manufacture interval seams that
         # other evaluation paths (which never generated the cancelling
@@ -141,21 +168,79 @@ class SortedArrayDeltaMap(DeltaMap):
         live = (val_sum != 0.0) | (cnt_sum != 0)
         return cls(aggregate, keys[live], (val_sum[live], cnt_sum[live]))
 
+    @classmethod
+    def from_extreme_events(
+        cls,
+        aggregate: AggregateFunction,
+        timestamps: np.ndarray,
+        values: np.ndarray,
+    ) -> "ColumnarDeltaMap":
+        """Build an ``"extreme"``-kind map for MIN/MAX from start events.
+
+        Callers must have certified the stream append-only within the
+        query interval (no end events); every event carries count +1.
+        """
+        ufunc = np.minimum if aggregate.name == "min" else np.maximum
+        keys, extremes, cnt_sum = kernels.consolidate_extreme(
+            timestamps, values, np.ones(len(timestamps), dtype=np.int64), ufunc
+        )
+        return cls(aggregate, keys, (extremes, cnt_sum), kind=cls.KIND_EXTREME)
+
     def put(self, key, delta) -> None:
-        raise TypeError("SortedArrayDeltaMap is immutable; build from events")
+        raise TypeError("ColumnarDeltaMap is immutable; build from events")
 
     def items(self) -> Iterator[tuple[Any, Any]]:
         vals, cnts = self._components
+        if self.kind == self.KIND_EXTREME:
+            # Scalar-compatible view: the per-timestamp extreme as a
+            # value-set delta.  Suppressed same-timestamp values are all
+            # dominated by the kept extreme and — append-only — never
+            # removed later, so MIN/MAX over the reduced set is exact;
+            # the count collapses to "nonzero", which is all drop_empty
+            # ever asks of an append-only stream.
+            for i in range(len(self._keys)):
+                yield int(self._keys[i]), ((vals[i].item(),), ())
+            return
         for i in range(len(self._keys)):
             yield int(self._keys[i]), (vals[i].item(), int(cnts[i]))
 
     def __len__(self) -> int:
         return len(self._keys)
 
+    def __reduce__(self):
+        # Compact pickle: registry name + kind + the raw arrays.  Workers
+        # reduce inside the shm mapping window, so views materialise into
+        # plain arrays here instead of dragging an exported block along.
+        return (
+            _rebuild_columnar,
+            (
+                self.aggregate.name,
+                self.kind,
+                np.ascontiguousarray(self._keys),
+                tuple(np.ascontiguousarray(c) for c in self._components),
+            ),
+        )
+
     @property
     def arrays(self) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
         """The backing arrays (used by the vectorized merge)."""
         return self._keys, self._components
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size of the backing arrays (shm transport sizing)."""
+        return self._keys.nbytes + sum(c.nbytes for c in self._components)
+
+
+def _rebuild_columnar(agg_name, kind, keys, components):
+    from repro.core.aggregates import get_aggregate
+
+    return ColumnarDeltaMap(get_aggregate(agg_name), keys, components, kind=kind)
+
+
+#: Backwards-compatible alias — the vectorized Step-1 map has been
+#: columnar-sorted-array shaped since PR 0; only the name grew up.
+SortedArrayDeltaMap = ColumnarDeltaMap
 
 
 class ArrayDeltaMap(DeltaMap):

@@ -1,0 +1,106 @@
+"""Shared NumPy consolidation kernels for the columnar hot paths.
+
+Every vectorized pipeline in the repo — Step-1 delta-map construction,
+the Step-2 k-way merge, the Timeline Index bulkload — reduces to the
+same array program: stable-sort parallel event arrays by timestamp,
+find the segment boundaries between distinct timestamps, and collapse
+each segment with a segmented reduction (``np.add.reduceat`` for the
+additive aggregates, ``np.minimum``/``np.maximum.reduceat`` for the
+extremes).  This module is that program, written once.
+
+The stable sort matters: it keeps same-timestamp events in input order,
+so float consolidation sums components in a deterministic order and the
+kernels' output is reproducible run-to-run (the kernel-oracle suite in
+``tests/test_kernel_oracle.py`` relies on this).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sort_events(
+    timestamps: np.ndarray, *streams: np.ndarray
+) -> tuple[np.ndarray, ...]:
+    """Stable-sort parallel event arrays by timestamp.
+
+    Returns ``(sorted_timestamps, *sorted_streams)`` where every stream
+    is permuted by the same stable order.
+    """
+    order = np.argsort(timestamps, kind="stable")
+    return (timestamps[order],) + tuple(s[order] for s in streams)
+
+
+def segment_starts(sorted_ts: np.ndarray) -> np.ndarray:
+    """Indices where a new timestamp run begins in a sorted array.
+
+    ``sorted_ts[segment_starts(sorted_ts)]`` are the distinct keys.
+    """
+    if len(sorted_ts) == 0:
+        return np.zeros(0, dtype=np.intp)
+    return np.concatenate(
+        [[0], np.flatnonzero(sorted_ts[1:] != sorted_ts[:-1]) + 1]
+    )
+
+
+def consolidate_additive(
+    timestamps: np.ndarray, values: np.ndarray, counts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One-pass consolidation of additive ``(value, count)`` deltas.
+
+    The Section-3.2.1 consolidation rule (``<t7,-10k>`` + ``<t7,+15k>``
+    → ``<t7,+5k>``) as a single argsort + two ``np.add.reduceat`` calls.
+    Returns ``(unique_keys, value_sums, count_sums)``; null entries are
+    *kept* — dropping them is a build-time policy, not a kernel concern.
+    """
+    ts = np.asarray(timestamps, dtype=np.int64)
+    vals = np.asarray(values, dtype=np.float64)
+    cnts = np.asarray(counts, dtype=np.int64)
+    ts, vals, cnts = sort_events(ts, vals, cnts)
+    seg = segment_starts(ts)
+    if len(seg) == 0:
+        return ts, vals, cnts
+    return ts[seg], np.add.reduceat(vals, seg), np.add.reduceat(cnts, seg)
+
+
+def consolidate_extreme(
+    timestamps: np.ndarray,
+    values: np.ndarray,
+    counts: np.ndarray,
+    ufunc: np.ufunc,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Consolidation for MIN/MAX deltas over an append-only stream.
+
+    Same shape as :func:`consolidate_additive`, but the value component
+    collapses with ``ufunc.reduceat`` (``np.minimum`` or ``np.maximum``)
+    while counts still sum: the per-timestamp extreme plus how many
+    records arrived there.
+    """
+    ts = np.asarray(timestamps, dtype=np.int64)
+    vals = np.asarray(values, dtype=np.float64)
+    cnts = np.asarray(counts, dtype=np.int64)
+    ts, vals, cnts = sort_events(ts, vals, cnts)
+    seg = segment_starts(ts)
+    if len(seg) == 0:
+        return ts, vals, cnts
+    return ts[seg], ufunc.reduceat(vals, seg), np.add.reduceat(cnts, seg)
+
+
+def running_totals(
+    value_deltas: np.ndarray, count_deltas: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Step-2 running aggregation as prefix scans (``np.cumsum``)."""
+    return np.cumsum(value_deltas), np.cumsum(count_deltas)
+
+
+def running_extremes(
+    value_deltas: np.ndarray, count_deltas: np.ndarray, ufunc: np.ufunc
+) -> tuple[np.ndarray, np.ndarray]:
+    """Running MIN/MAX over append-only deltas via ``ufunc.accumulate``.
+
+    Valid only when no record expires inside the scanned interval: an
+    accumulate can absorb new extremes but never retract one, which is
+    exactly the append-only case Step 1 certifies before building an
+    ``extreme``-kind columnar map.
+    """
+    return ufunc.accumulate(value_deltas), np.cumsum(count_deltas)

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.deltamap import SortedArrayDeltaMap
 from repro.core.pivot import choose_pivot, collect_statistics
 from repro.core.query import TemporalAggregationQuery
 from repro.core.result import TemporalAggregationResult
@@ -27,6 +26,7 @@ from repro.core.step1 import (
     generate_delta_map,
     generate_multidim_delta_map,
     generate_windowed_delta_map,
+    resolve_deltamap,
 )
 from repro.core.step2 import (
     consolidate_pair,
@@ -35,6 +35,7 @@ from repro.core.step2 import (
     merge_sorted_arrays,
     merge_window_maps,
     parallel_merge_plan,
+    vectorized_mergeable,
 )
 from repro.obs.tracer import span
 from repro.simtime.executor import Executor, SerialExecutor
@@ -75,6 +76,7 @@ class _Step1Task:
     dim: str
     mode: str
     backend: str
+    deltamap: str | None = None
 
     def __call__(self, chunk: TableChunk):
         return generate_delta_map(
@@ -86,6 +88,7 @@ class _Step1Task:
             query_interval=self.query.interval_of(self.dim),
             mode=self.mode,
             backend=self.backend,
+            deltamap=self.deltamap,
         )
 
 
@@ -161,6 +164,10 @@ class ParTime:
     parallel_step2:
         Use the multi-level parallel merge (the paper's future-work
         extension) instead of the sequential Step 2.
+    deltamap:
+        Delta-map representation: ``"columnar"`` (NumPy kernels),
+        ``"btree"`` or ``"hash"`` (scalar oracles).  Defaults from the
+        legacy ``mode``/``backend`` pair (``vectorized`` → columnar).
     """
 
     def __init__(
@@ -168,11 +175,26 @@ class ParTime:
         mode: str = "vectorized",
         backend: str = "btree",
         parallel_step2: bool = False,
+        deltamap: str | None = None,
     ) -> None:
         self.mode = mode
         self.backend = backend
         self.parallel_step2 = parallel_step2
+        self.deltamap = resolve_deltamap(mode, backend, deltamap)
         self.last_stats = ParTimeStats()
+
+    @property
+    def step1_label(self) -> str:
+        """The phase label Step 1 books on the simulated clock.
+
+        Columnar runs get a ``.columnar`` suffix so schedules and Chrome
+        traces say which kernel ran; the fault plane strips the suffix
+        (``repro.faults.inject.fault_site``), so both labels draw from the
+        same deterministic fault schedule.
+        """
+        if self.deltamap == "columnar":
+            return "partime.step1.columnar"
+        return "partime.step1"
 
     # ------------------------------------------------------------------ API
 
@@ -230,17 +252,23 @@ class ParTime:
         agg = query.aggregate_fn
 
         step1 = _Step1Task(
-            query=query, dim=dim, mode=self.mode, backend=self.backend
+            query=query,
+            dim=dim,
+            mode=self.mode,
+            backend=self.backend,
+            deltamap=self.deltamap,
         )
-        maps = executor.map_parallel(step1, chunks, label="partime.step1")
+        maps = executor.map_parallel(step1, chunks, label=self.step1_label)
         self.last_stats.delta_entries = sum(len(m) for m in maps)
         until = self._until(query, dim)
 
         if self.parallel_step2 and len(maps) > 1:
             maps = self._consolidate_parallel(maps, agg, executor)
 
+        vectorized = vectorized_mergeable(maps)
+
         def step2():
-            if all(isinstance(m, SortedArrayDeltaMap) for m in maps):
+            if vectorized:
                 return merge_sorted_arrays(
                     maps, agg, until=until, drop_empty=query.drop_empty
                 )
@@ -248,7 +276,8 @@ class ParTime:
                 maps, agg, until=until, drop_empty=query.drop_empty
             )
 
-        pairs = executor.run_serial(step2, label="partime.step2")
+        step2_label = "partime.step2.vectorized" if vectorized else "partime.step2"
+        pairs = executor.run_serial(step2, label=step2_label)
         self.last_stats.result_rows = len(pairs)
         return TemporalAggregationResult.from_pairs(
             dim, pairs, aggregate_name=agg.name
@@ -268,7 +297,11 @@ class ParTime:
         step1 = _Step1WindowTask(
             query=query,
             dim=dim,
-            mode=self.mode if agg.incremental else "pure",
+            mode=(
+                "vectorized"
+                if agg.columnar and self.deltamap == "columnar"
+                else "pure"
+            ),
         )
         maps = executor.map_parallel(step1, chunks, label="partime.step1w")
 

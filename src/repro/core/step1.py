@@ -29,10 +29,10 @@ from repro.core.aggregates import AggregateFunction
 from repro.core.deltamap import (
     ArrayDeltaMap,
     BTreeDeltaMap,
+    ColumnarDeltaMap,
     DeltaMap,
     HashDeltaMap,
     MultiDimDeltaMap,
-    SortedArrayDeltaMap,
 )
 from repro.core.window import WindowSpec
 from repro.obs.metrics import metrics
@@ -41,6 +41,30 @@ from repro.temporal.table import TableChunk
 from repro.temporal.timestamps import FOREVER, Interval, MIN_TIME
 
 _BACKENDS = {"btree": BTreeDeltaMap, "hash": HashDeltaMap}
+
+#: The delta-map representations the `deltamap=` switch accepts:
+#: ``"columnar"`` selects the NumPy kernels (with per-aggregate scalar
+#: fallback), the rest name a scalar oracle backend.
+DELTA_MAP_MODES = ("columnar",) + tuple(sorted(_BACKENDS))
+
+
+def resolve_deltamap(mode: str, backend: str, deltamap: str | None) -> str:
+    """Canonicalise the (legacy ``mode``/``backend``, new ``deltamap``)
+    triple into one delta-map choice.
+
+    ``deltamap`` wins when given; otherwise the legacy knobs map onto the
+    equivalent representation (``vectorized`` was always the columnar
+    sorted-array build, ``pure`` builds on ``backend``).
+    """
+    if mode not in ("pure", "vectorized"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if deltamap is None:
+        deltamap = "columnar" if mode == "vectorized" else backend
+    if deltamap not in DELTA_MAP_MODES:
+        raise ValueError(
+            f"unknown deltamap {deltamap!r}; known: {sorted(DELTA_MAP_MODES)}"
+        )
+    return deltamap
 
 
 def _count_scan(chunk: TableChunk) -> None:
@@ -103,6 +127,7 @@ def generate_delta_map(
     query_interval: Interval | None = None,
     mode: str = "vectorized",
     backend: str = "btree",
+    deltamap: str | None = None,
 ) -> DeltaMap:
     """General one-dimensional Step 1 (Figure 7).
 
@@ -114,14 +139,21 @@ def generate_delta_map(
     the pseudo-code).
 
     ``value_column=None`` aggregates ``COUNT(*)``-style with value 1.
+    ``deltamap="columnar"`` builds a :class:`ColumnarDeltaMap` with the
+    NumPy kernels where the aggregate permits (SUM/COUNT/AVG always;
+    MIN/MAX when the chunk is append-only within the query interval) and
+    falls back to the scalar b-tree loop otherwise.
     """
+    deltamap = resolve_deltamap(mode, backend, deltamap)
     qlo = MIN_TIME if query_interval is None else query_interval.start
     qhi = FOREVER if query_interval is None else query_interval.end
     start_col = f"{dim}_start"
     end_col = f"{dim}_end"
     _count_scan(chunk)
 
-    if mode == "vectorized" and aggregate.incremental:
+    if deltamap == "columnar" and (
+        aggregate.columnar or aggregate.name in ("min", "max")
+    ):
         needed = [start_col, end_col]
         if value_column is not None:
             needed.append(value_column)
@@ -135,26 +167,33 @@ def generate_delta_map(
         live = starts < ends
         starts, ends, values = starts[live], ends[live], values[live]
         expiring = ends < qhi
-        timestamps = np.concatenate([starts, ends[expiring]])
-        if aggregate.name == "count":
-            vals = np.concatenate(
-                [np.ones(len(starts)), -np.ones(int(expiring.sum()))]
+        dm: ColumnarDeltaMap | None = None
+        if aggregate.columnar:
+            timestamps = np.concatenate([starts, ends[expiring]])
+            if aggregate.name == "count":
+                vals = np.concatenate(
+                    [np.ones(len(starts)), -np.ones(int(expiring.sum()))]
+                )
+            else:
+                vals = np.concatenate([values, -values[expiring]])
+            counts = np.concatenate(
+                [np.ones(len(starts), dtype=np.int64),
+                 -np.ones(int(expiring.sum()), dtype=np.int64)]
             )
-        else:
-            vals = np.concatenate([values, -values[expiring]])
-        counts = np.concatenate(
-            [np.ones(len(starts), dtype=np.int64),
-             -np.ones(int(expiring.sum()), dtype=np.int64)]
-        )
-        dm = SortedArrayDeltaMap.from_events(aggregate, timestamps, vals, counts)
-        metrics().counter("step1.delta_entries").add(len(dm))
-        return dm
+            dm = ColumnarDeltaMap.from_events(aggregate, timestamps, vals, counts)
+        elif not expiring.any():
+            # MIN/MAX over an append-only interval: an accumulate can
+            # absorb new extremes but never retract one, so the columnar
+            # representation is exact exactly when nothing expires.
+            dm = ColumnarDeltaMap.from_extreme_events(aggregate, starts, values)
+        if dm is not None:
+            metrics().counter("step1.delta_entries").add(len(dm))
+            return dm
 
-    if mode not in ("pure", "vectorized"):
-        raise ValueError(f"unknown mode {mode!r}")
-    # Pure per-record path (also used for non-incremental aggregates).
+    # Pure per-record path (the scalar oracle; also the fallback for
+    # aggregates/chunks the columnar kernels cannot express).
     chunk = _filtered(chunk, predicate)
-    dm = _make_backend(backend, aggregate)
+    dm = _make_backend(backend if deltamap == "columnar" else deltamap, aggregate)
     for record in chunk.records():
         value = 1 if value_column is None else record[value_column]
         valid_from = max(int(record[start_col]), qlo)
@@ -189,7 +228,7 @@ def generate_windowed_delta_map(
     end_col = f"{dim}_end"
     _count_scan(chunk)
 
-    if mode == "vectorized" and aggregate.incremental:
+    if mode == "vectorized" and aggregate.columnar:
         needed = [start_col, end_col]
         if value_column is not None and aggregate.name != "count":
             needed.append(value_column)

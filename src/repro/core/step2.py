@@ -28,8 +28,9 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.aggregates import AggregateFunction
-from repro.core.deltamap import ArrayDeltaMap, DeltaMap, SortedArrayDeltaMap
+from repro.core.deltamap import ArrayDeltaMap, ColumnarDeltaMap, DeltaMap
 from repro.core.window import WindowSpec
 from repro.obs.metrics import metrics
 from repro.temporal.timestamps import FOREVER, Interval
@@ -118,20 +119,86 @@ def merge_delta_maps(
     return rows
 
 
+def vectorized_mergeable(maps: Sequence[DeltaMap]) -> bool:
+    """Whether :func:`merge_sorted_arrays` applies: every map columnar,
+    all of one kind (additive and extreme maps never mix — they belong to
+    different aggregates)."""
+    return (
+        bool(maps)
+        and all(isinstance(m, ColumnarDeltaMap) for m in maps)
+        and len({m.kind for m in maps}) == 1
+    )
+
+
+def _emit_rows(
+    keys: np.ndarray,
+    run_cnts: np.ndarray,
+    finals: np.ndarray,
+    none_mask: np.ndarray | None,
+    until: int,
+    drop_empty: bool,
+    coalesce: bool,
+) -> list[tuple[Interval, object]]:
+    """Vectorized row emission: keep-mask, change-point coalescing, one
+    ``tolist`` per column.  ``none_mask`` marks entries whose finalised
+    value is ``None`` (AVG over zero records); two ``None`` spans coalesce
+    like equal values, mirroring :func:`merge_delta_maps`' ``emit``."""
+    ends = np.empty(len(keys), dtype=np.int64)
+    ends[:-1] = keys[1:]
+    ends[-1] = until
+    keep = keys < ends
+    if drop_empty:
+        keep &= run_cnts != 0
+    if not keep.any():
+        return []
+    lo = keys[keep]
+    hi = ends[keep]
+    vals = finals[keep]
+    nm = None if none_mask is None else none_mask[keep]
+    if coalesce and len(lo) > 1:
+        contiguous = lo[1:] == hi[:-1]
+        if nm is None:
+            same = vals[1:] == vals[:-1]
+        else:
+            both_none = nm[1:] & nm[:-1]
+            neither = ~nm[1:] & ~nm[:-1]
+            same = both_none | (neither & (vals[1:] == vals[:-1]))
+        new_group = np.concatenate([[True], ~(contiguous & same)])
+        starts = np.flatnonzero(new_group)
+    else:
+        starts = np.arange(len(lo))
+    last = np.append(starts[1:], len(lo)) - 1
+    lo_list = lo[starts].tolist()
+    hi_list = hi[last].tolist()
+    val_list = vals[starts].tolist()
+    if nm is not None:
+        val_list = [
+            None if is_none else v
+            for v, is_none in zip(val_list, nm[starts].tolist())
+        ]
+    return [
+        (Interval(a, b), v) for a, b, v in zip(lo_list, hi_list, val_list)
+    ]
+
+
 def merge_sorted_arrays(
-    maps: Sequence[SortedArrayDeltaMap],
+    maps: Sequence[ColumnarDeltaMap],
     aggregate: AggregateFunction,
     until: int = FOREVER,
     drop_empty: bool = False,
     coalesce: bool = True,
 ) -> list[tuple[Interval, object]]:
-    """Vectorized Step 2 for the SUM/COUNT/AVG fast path.
+    """Vectorized Step 2 for columnar delta maps.
 
     Semantically identical to :func:`merge_delta_maps`; concatenates the
-    backing arrays, re-consolidates with one sort, and prefix-sums.
+    backing arrays, re-consolidates with one stable sort + segmented
+    reduction (:mod:`repro.core.kernels`), runs the Step-2 accumulator as
+    a prefix scan (``np.cumsum``; ``np.minimum``/``np.maximum.accumulate``
+    for extreme-kind maps), and emits rows without a per-entry loop.
     """
     _count_merge(maps)
     keys_parts, val_parts, cnt_parts = [], [], []
+    kind = maps[0].kind if maps else ColumnarDeltaMap.KIND_ADDITIVE
     for m in maps:
         keys, (vals, cnts) = m.arrays
         keys_parts.append(keys)
@@ -142,29 +209,42 @@ def merge_sorted_arrays(
     all_keys = np.concatenate(keys_parts)
     all_vals = np.concatenate(val_parts)
     all_cnts = np.concatenate(cnt_parts)
-    keys, inverse = np.unique(all_keys, return_inverse=True)
-    vals = np.zeros(len(keys), dtype=np.float64)
-    cnts = np.zeros(len(keys), dtype=np.int64)
-    np.add.at(vals, inverse, all_vals)
-    np.add.at(cnts, inverse, all_cnts)
-    run_vals = np.cumsum(vals)
-    run_cnts = np.cumsum(cnts)
-    finals = finalize_arrays(aggregate, run_vals, run_cnts)
-
+    if kind == ColumnarDeltaMap.KIND_EXTREME:
+        ufunc = np.minimum if aggregate.name == "min" else np.maximum
+        keys, deltas, cnts = kernels.consolidate_extreme(
+            all_keys, all_vals, all_cnts, ufunc
+        )
+        run_vals, run_cnts = kernels.running_extremes(deltas, cnts, ufunc)
+        return _emit_rows(
+            keys, run_cnts, run_vals, run_cnts == 0, until, drop_empty, coalesce
+        )
+    keys, deltas, cnts = kernels.consolidate_additive(all_keys, all_vals, all_cnts)
+    run_vals, run_cnts = kernels.running_totals(deltas, cnts)
+    name = aggregate.name
+    if name == "sum":
+        return _emit_rows(keys, run_cnts, run_vals, None, until, drop_empty, coalesce)
+    if name == "count":
+        return _emit_rows(keys, run_cnts, run_cnts, None, until, drop_empty, coalesce)
+    if name == "avg":
+        with np.errstate(invalid="ignore", divide="ignore"):
+            finals = run_vals / run_cnts
+        return _emit_rows(
+            keys, run_cnts, finals, run_cnts == 0, until, drop_empty, coalesce
+        )
+    # Aggregates outside the columnar family never build these maps; keep
+    # a generic scalar emission so hand-constructed maps still resolve.
+    finals_list = finalize_arrays(aggregate, run_vals, run_cnts)
     rows: list[tuple[Interval, object]] = []
     ends = np.empty(len(keys), dtype=np.int64)
     ends[:-1] = keys[1:]
     ends[-1] = until
-    keys_list = keys.tolist()
-    ends_list = ends.tolist()
-    cnts_list = run_cnts.tolist()
-    for i, lo in enumerate(keys_list):
-        if drop_empty and cnts_list[i] == 0:
+    for i, lo in enumerate(keys.tolist()):
+        if drop_empty and run_cnts[i] == 0:
             continue
-        hi = ends_list[i]
+        hi = int(ends[i])
         if lo >= hi:
             continue
-        value = finals[i]
+        value = finals_list[i]
         if coalesce and rows and rows[-1][0].end == lo and rows[-1][1] == value:
             rows[-1] = (Interval(rows[-1][0].start, hi), value)
         else:
@@ -185,7 +265,7 @@ def merge_window_maps(
     ``(value_deltas, count_deltas)`` array pairs (vectorized path).
     """
     _count_merge(maps)
-    if aggregate.incremental:
+    if aggregate.columnar:
         val_total = np.zeros(window.count + 1, dtype=np.float64)
         cnt_total = np.zeros(window.count + 1, dtype=np.int64)
         for m in maps:
@@ -402,8 +482,28 @@ def consolidate_pair(
     level, pairs of maps are consolidated independently (in parallel),
     halving the number of maps; after log2(k) levels one map remains and
     the final accumulator pass is linear in its size.
+
+    Two columnar maps of the same kind consolidate with one concatenate +
+    segmented reduction, producing a new columnar map — the multi-level
+    merge stays vectorized end to end.
     """
     _count_merge((a, b))
+    if (
+        isinstance(a, ColumnarDeltaMap)
+        and isinstance(b, ColumnarDeltaMap)
+        and a.kind == b.kind
+    ):
+        ka, (va, ca) = a.arrays
+        kb, (vb, cb) = b.arrays
+        keys = np.concatenate([ka, kb])
+        vals = np.concatenate([va, vb])
+        cnts = np.concatenate([ca, cb])
+        if a.kind == ColumnarDeltaMap.KIND_EXTREME:
+            ufunc = np.minimum if aggregate.name == "min" else np.maximum
+            keys, vals, cnts = kernels.consolidate_extreme(keys, vals, cnts, ufunc)
+        else:
+            keys, vals, cnts = kernels.consolidate_additive(keys, vals, cnts)
+        return ColumnarDeltaMap(aggregate, keys, (vals, cnts), kind=a.kind)
     entries: list = []
     for key, delta in heapq.merge(a.items(), b.items(), key=lambda kv: kv[0]):
         if entries and entries[-1][0] == key:

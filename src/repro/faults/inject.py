@@ -43,6 +43,22 @@ from repro.faults.plan import (
 from repro.obs.metrics import metrics
 from repro.simtime.measure import measured
 
+#: Phase-label suffixes that name *which kernel* ran, not *what phase* it
+#: was (``partime.step1.columnar`` is the same logical phase as
+#: ``partime.step1``).  Fault sites strip them so a columnar run draws
+#: the exact same deterministic fault schedule as its scalar oracle —
+#: the chaos-parity suites assert identical injected/retry totals across
+#: ``deltamap=`` modes, which only holds if labels and sites decouple.
+_KERNEL_SUFFIXES = (".columnar", ".vectorized")
+
+
+def fault_site(label: str) -> str:
+    """Canonical fault-plan site for a phase label."""
+    for suffix in _KERNEL_SUFFIXES:
+        if label.endswith(suffix):
+            return label[: -len(suffix)]
+    return label
+
 
 class FaultInjector:
     """Mutable runtime state of one fault-injection run.
@@ -68,15 +84,18 @@ class FaultInjector:
     ) -> "PhaseSession":
         """Open the next session for a phase labelled ``label``.
 
-        The per-label sequence number distinguishes repeated phases (every
+        The per-site sequence number distinguishes repeated phases (every
         ``partime.step1`` of a workload gets its own draws) and is part of
         the plan's site key, so backends that execute the same logical
-        phase sequence see the same faults.
+        phase sequence see the same faults.  Labels canonicalise through
+        :func:`fault_site` first, so kernel-variant suffixes don't fork
+        the schedule.
         """
+        site = fault_site(label)
         with self._lock:
-            seq = self._site_seq.get(label, 0)
-            self._site_seq[label] = seq + 1
-        return PhaseSession(self, label, seq, kinds)
+            seq = self._site_seq.get(site, 0)
+            self._site_seq[site] = seq + 1
+        return PhaseSession(self, site, seq, kinds)
 
     def history(self) -> tuple[FaultSpec, ...]:
         """Every fault injected so far, in deterministic (sorted) order."""

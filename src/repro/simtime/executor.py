@@ -32,6 +32,7 @@ import functools
 import os
 import pickle
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol, Sequence
 
@@ -40,7 +41,14 @@ from repro.faults.plan import FaultInjected
 from repro.obs.metrics import diff_snapshots, merge_delta, metrics
 from repro.simtime.clock import SimClock
 from repro.simtime.measure import measured
-from repro.simtime.shm import ShmChunk, attach_hook, export_chunk, release_all
+from repro.simtime.shm import (
+    ShmChunk,
+    ShmDeltaMap,
+    attach_hook,
+    export_chunk,
+    export_delta_map,
+    release_all,
+)
 
 #: Environment knob the CI matrix uses to pin the multiprocessing start
 #: method (``fork`` / ``spawn`` / ``forkserver``).  Unset → the platform
@@ -329,6 +337,25 @@ def _run_process_task(
                 result = _PickledResult(
                     pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
                 )
+    elif isinstance(payload, ShmDeltaMap) or (
+        isinstance(payload, tuple)
+        and payload
+        and all(isinstance(p, ShmDeltaMap) for p in payload)
+    ):
+        # Columnar delta maps (single, or a consolidation pair) attach
+        # like chunks: zero-copy views inside the block, result pickled
+        # inside the mapping window.
+        handles = payload if isinstance(payload, tuple) else (payload,)
+        hook = _deny_attach(handles[0].block_name) if fault == "shm_attach" else None
+        with attach_hook(hook):
+            with ExitStack() as stack:
+                maps = tuple(stack.enter_context(h.open()) for h in handles)
+                arg = maps if isinstance(payload, tuple) else maps[0]
+                with measured() as sw:
+                    result = fn(arg)
+                result = _PickledResult(
+                    pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+                )
     else:
         if fault == "shm_attach":
             raise FaultInjected("shm_attach", site="<no-chunk-payload>")
@@ -432,6 +459,7 @@ class ProcessExecutor:
         never sees them — the leak the shm leak-check fixture in
         ``tests/conftest.py`` guards against.
         """
+        from repro.core.deltamap import ColumnarDeltaMap
         from repro.temporal.table import TableChunk
 
         payloads: list = []
@@ -442,6 +470,25 @@ class ProcessExecutor:
                     handle = export_chunk(item)
                     handles.append(handle)
                     payloads.append(handle)
+                elif self.use_shared_memory and isinstance(item, ColumnarDeltaMap):
+                    handle = export_delta_map(item)
+                    handles.append(handle)
+                    payloads.append(handle)
+                elif (
+                    self.use_shared_memory
+                    and isinstance(item, tuple)
+                    and item
+                    and all(isinstance(x, ColumnarDeltaMap) for x in item)
+                ):
+                    # Consolidation pairs of the parallel Step-2 merge:
+                    # export each map individually so the pair crosses as
+                    # two small handles instead of a pickled map pair.
+                    pair: list = []
+                    for x in item:
+                        handle = export_delta_map(x)
+                        handles.append(handle)
+                        pair.append(handle)
+                    payloads.append(tuple(pair))
                 else:
                     payloads.append(item)
         except BaseException:

@@ -150,14 +150,7 @@ class ShmChunk:
 
     def release(self) -> None:
         """Parent side: close and unlink the backing block (idempotent)."""
-        shm = _LIVE_BLOCKS.pop(self.block_name, None)
-        if shm is None:
-            return
-        shm.close()
-        try:
-            shm.unlink()
-        except FileNotFoundError:  # already unlinked by an earlier release
-            pass
+        _release_block(self.block_name)
 
 
 class AttachedChunk:
@@ -219,6 +212,18 @@ class AttachedChunk:
         finally:
             self._views = []
             self._shm = None
+
+
+def _release_block(name: str) -> None:
+    """Parent side: close and unlink one exported block (idempotent)."""
+    shm = _LIVE_BLOCKS.pop(name, None)
+    if shm is None:
+        return
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # already unlinked by an earlier release
+        pass
 
 
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:
@@ -303,6 +308,138 @@ def export_chunk(chunk: TableChunk) -> ShmChunk:
         row_offset=chunk.row_offset,
         columns=tuple(descriptors),
         num_rows=len(chunk),
+    )
+
+
+@dataclass(frozen=True)
+class ShmDeltaMap:
+    """Picklable handle to a columnar delta map living in shared memory.
+
+    A :class:`~repro.core.deltamap.ColumnarDeltaMap` is just a keys array
+    plus two component arrays — all fixed-width numerics — so it ships
+    exactly like a chunk: the arrays go into one block raw, the handle
+    carries ``(block name, aggregate name, kind, descriptors)``, and the
+    worker reconstructs the map over **zero-copy views**.  No
+    pickle-in-block fallback exists here: delta maps never hold object
+    columns.
+    """
+
+    block_name: str
+    aggregate: str
+    kind: str
+    columns: tuple[ColumnDescriptor, ...]
+
+    def open(self) -> "AttachedDeltaMap":
+        """Attach to the block (worker side); use as a context manager."""
+        return AttachedDeltaMap(self)
+
+    def release(self) -> None:
+        """Parent side: close and unlink the backing block (idempotent)."""
+        _release_block(self.block_name)
+
+
+class AttachedDeltaMap:
+    """Worker-side mapping of a :class:`ShmDeltaMap`.
+
+    ``with handle.open() as dm:`` yields a reconstructed
+    ``ColumnarDeltaMap`` whose arrays are zero-copy views into the mapped
+    block.  The same aliasing contract as :class:`AttachedChunk` applies:
+    task results must be pickled inside the mapping window.
+    """
+
+    def __init__(self, handle: ShmDeltaMap) -> None:
+        self._handle = handle
+        self._shm: shared_memory.SharedMemory | None = None
+        self._views: list[memoryview] = []
+
+    def __enter__(self):
+        from repro.core.aggregates import get_aggregate
+        from repro.core.deltamap import ColumnarDeltaMap
+
+        handle = self._handle
+        if _ATTACH_HOOK is not None:
+            _ATTACH_HOOK(handle.block_name)
+        self._shm = _attach_untracked(handle.block_name)
+        buf = self._shm.buf
+        arrays: list[np.ndarray] = []
+        for desc in handle.columns:
+            raw = buf[desc.offset : desc.offset + desc.nbytes]
+            self._views.append(raw)
+            arrays.append(
+                np.ndarray((desc.length,), dtype=np.dtype(desc.dtype), buffer=raw)
+            )
+        return ColumnarDeltaMap(
+            get_aggregate(handle.aggregate),
+            arrays[0],
+            tuple(arrays[1:]),
+            kind=handle.kind,
+        )
+
+    def __exit__(self, *exc_info) -> None:
+        if self._shm is None:
+            return
+        try:
+            for view in self._views:
+                view.release()
+            self._shm.close()
+        except BufferError:
+            raise BufferError(
+                f"buffers exported from shared-memory delta map "
+                f"{self._handle.block_name!r} are still alive at unmap "
+                f"time; results returned from a ProcessExecutor task must "
+                f"own their buffers (the executor pickles results inside "
+                f"the mapping window for exactly this reason)"
+            ) from None
+        finally:
+            self._views = []
+            self._shm = None
+
+
+def export_delta_map(dm) -> ShmDeltaMap:
+    """Serialize a ``ColumnarDeltaMap`` into one shared-memory block.
+
+    Same lifecycle contract as :func:`export_chunk`: the parent owns the
+    block and must :meth:`ShmDeltaMap.release` it after the phase.
+    """
+    keys, components = dm.arrays
+    named = [("keys", keys)] + [
+        (f"c{i}", comp) for i, comp in enumerate(components)
+    ]
+    offset = 0
+    descriptors: list[ColumnDescriptor] = []
+    payloads: list[np.ndarray] = []
+    for name, arr in named:
+        arr = np.ascontiguousarray(arr)
+        offset = _align(offset)
+        descriptors.append(
+            ColumnDescriptor(name, "raw", arr.dtype.str, len(arr), offset, arr.nbytes)
+        )
+        payloads.append(arr)
+        offset += arr.nbytes
+
+    shm = shared_memory.SharedMemory(
+        create=True, size=max(offset, 1), name=_fresh_name()
+    )
+    try:
+        buf = shm.buf
+        for desc, payload in zip(descriptors, payloads):
+            target = buf[desc.offset : desc.offset + desc.nbytes]
+            view = np.ndarray(
+                (desc.length,), dtype=np.dtype(desc.dtype), buffer=target
+            )
+            view[:] = payload
+            del view
+            del target
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    _LIVE_BLOCKS[shm.name] = shm
+    return ShmDeltaMap(
+        block_name=shm.name,
+        aggregate=dm.aggregate.name,
+        kind=dm.kind,
+        columns=tuple(descriptors),
     )
 
 

@@ -31,6 +31,7 @@ from repro.core.step1 import (
     generate_delta_map,
     generate_multidim_delta_map,
     generate_windowed_delta_map,
+    resolve_deltamap,
 )
 from repro.obs.metrics import metrics
 from repro.simtime.measure import measured
@@ -80,11 +81,22 @@ class ScanCycleReport:
 
 
 class ClockScan:
-    """Shared-scan executor over one partition."""
+    """Shared-scan executor over one partition.
 
-    def __init__(self, table: TemporalTable, mode: str = "vectorized") -> None:
+    ``deltamap`` picks the Step-1 delta-map representation (``"columnar"``
+    for the NumPy kernels, ``"btree"``/``"hash"`` for a scalar oracle);
+    by default it derives from the legacy ``mode`` knob.
+    """
+
+    def __init__(
+        self,
+        table: TemporalTable,
+        mode: str = "vectorized",
+        deltamap: str | None = None,
+    ) -> None:
         self.table = table
         self.mode = mode
+        self.deltamap = resolve_deltamap(mode, "btree", deltamap)
 
     def _measure_base(self) -> float:
         """One pass over the partition — the shared tuple-access cost.
@@ -200,7 +212,11 @@ class ClockScan:
                 query.window,
                 agg,
                 predicate=query.predicate,
-                mode=self.mode if agg.incremental else "pure",
+                mode=(
+                    "vectorized"
+                    if agg.columnar and self.deltamap == "columnar"
+                    else "pure"
+                ),
             )
         if query.is_multidim:
             if query.pivot is None:
@@ -225,4 +241,5 @@ class ClockScan:
             predicate=query.predicate,
             query_interval=query.interval_of(query.varied_dims[0]),
             mode=self.mode,
+            deltamap=self.deltamap,
         )

@@ -173,6 +173,7 @@ class Cluster:
         machine: MachineSpec | None = None,
         numa_aware: bool = True,
         executor=None,
+        deltamap: str | None = None,
     ) -> "Cluster":
         """Partition ``table`` across ``num_storage`` nodes.
 
@@ -189,6 +190,7 @@ class Cluster:
                 part,
                 numa_region=spec.numa_region(i % spec.cores),
                 scan_mode=scan_mode,
+                deltamap=deltamap,
             )
             for i, part in enumerate(parts)
         ]

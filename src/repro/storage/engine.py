@@ -37,12 +37,17 @@ class CrescandoEngine(Engine):
         backend: str | None = None,
         faults: "FaultInjector | int | str | None" = None,
         retry=None,
+        deltamap: str | None = None,
     ) -> None:
         self.num_storage = num_storage
         self.num_aggregators = num_aggregators
         self.sharing = sharing
         self.partitioner = partitioner or RoundRobinPartitioner()
         self.scan_mode = scan_mode
+        #: Step-1 delta-map representation for every node scan
+        #: (``"columnar"`` / ``"btree"`` / ``"hash"``); ``None`` derives
+        #: from ``scan_mode`` inside :class:`~repro.storage.clockscan.ClockScan`.
+        self.deltamap = deltamap
         #: Physical execution backend for the node scan cycles: ``None``
         #: (historical in-process loop) or one of
         #: :data:`repro.simtime.executor.BACKENDS`.  The executor carries
@@ -107,6 +112,7 @@ class CrescandoEngine(Engine):
                     sharing=self.sharing,
                     scan_mode=self.scan_mode,
                     executor=self._executor,
+                    deltamap=self.deltamap,
                 )
         return sw.elapsed
 

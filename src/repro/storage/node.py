@@ -24,11 +24,12 @@ class StorageNode:
         table: TemporalTable,
         numa_region: int = 0,
         scan_mode: str = "vectorized",
+        deltamap: str | None = None,
     ) -> None:
         self.node_id = node_id
         self.table = table
         self.numa_region = numa_region
-        self.scan = ClockScan(table, mode=scan_mode)
+        self.scan = ClockScan(table, mode=scan_mode, deltamap=deltamap)
         self.updates_applied = 0
 
     def __len__(self) -> int:

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import kernels
 from repro.temporal.table import TemporalTable
 from repro.temporal.timestamps import FOREVER
 
@@ -39,8 +40,7 @@ class EventMap:
         signs = np.concatenate(
             [np.ones(n, dtype=np.int8), -np.ones(int(finite.sum()), dtype=np.int8)]
         )
-        order = np.argsort(ts, kind="stable")
-        return cls(ts[order], rows[order], signs[order])
+        return cls(*kernels.sort_events(ts, rows, signs))
 
     def __len__(self) -> int:
         return len(self.timestamps)
@@ -59,8 +59,7 @@ class EventMap:
         rw = np.concatenate([self.rows, rows])
         sg = np.concatenate([self.signs, signs])
         if len(timestamps) and len(self.timestamps) and timestamps.min() < self.timestamps[-1]:
-            order = np.argsort(ts, kind="stable")
-            ts, rw, sg = ts[order], rw[order], sg[order]
+            ts, rw, sg = kernels.sort_events(ts, rw, sg)
         return EventMap(ts, rw, sg)
 
     def position_of(self, ts: int) -> int:
@@ -89,5 +88,5 @@ class EventMap:
         n = len(self.timestamps)
         if n == 0:
             return 0
-        distinct = 1 + int(np.count_nonzero(self.timestamps[1:] != self.timestamps[:-1]))
+        distinct = len(kernels.segment_starts(self.timestamps))
         return distinct * 8 + n * 4 + (n + 7) // 8

@@ -42,8 +42,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.aggregates import get_aggregate
-from repro.core.deltamap import SortedArrayDeltaMap
+from repro.core.deltamap import ColumnarDeltaMap
 from repro.core.query import TemporalAggregationQuery
 from repro.core.result import TemporalAggregationResult
 from repro.core.step1 import generate_delta_map
@@ -107,10 +108,9 @@ class _FrozenDimIndex:
             [np.ones(n, dtype=np.int64),
              -np.ones(int(end_keep.sum()), dtype=np.int64)]
         )
-        order = np.argsort(ts, kind="stable")
-        self.timestamps = ts[order]
-        self.rows = evt_rows[order]
-        self.signs = signs[order]
+        self.timestamps, self.rows, self.signs = kernels.sort_events(
+            ts, evt_rows, signs
+        )
         #: column name -> (event value deltas, prefix sums) for
         #: predicate-free queries (computed lazily, immutable thereafter).
         self._cumulative: dict = {}
@@ -132,7 +132,7 @@ class _FrozenDimIndex:
         aggregate,
         column_key=None,
         extra: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
-    ) -> SortedArrayDeltaMap:
+    ) -> ColumnarDeltaMap:
         """The frozen contribution as a consolidated sorted-array map:
         predicate filter, prefix-fold of events before the query range,
         no sorting (the index is pre-sorted).  ``column_key`` identifies
@@ -193,7 +193,7 @@ class _FrozenDimIndex:
             parts_ts.insert(0, np.array([qlo], dtype=np.int64))
             parts_vals.insert(0, np.array([fold_val]))
             parts_cnts.insert(0, np.array([fold_cnt], dtype=np.int64))
-        return SortedArrayDeltaMap.from_events(
+        return ColumnarDeltaMap.from_events(
             aggregate,
             np.concatenate(parts_ts),
             np.concatenate(parts_vals).astype(np.float64),
@@ -293,10 +293,13 @@ class HybridAggregator:
         return ts, -values[closed], -np.ones(len(ts), dtype=np.int64)
 
     def supports(self, query: TemporalAggregationQuery) -> bool:
+        # ``columnar``, not ``incremental``: the frozen index folds
+        # additive (value, count) deltas, which is wrong for PRODUCT even
+        # though PRODUCT is incremental.
         return (
             not query.is_multidim
             and not query.is_windowed
-            and query.aggregate_fn.incremental
+            and query.aggregate_fn.columnar
         )
 
     def execute(

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.aggregates import get_aggregate
 from repro.simtime.measure import Stopwatch
 from repro.core.step2 import finalize_arrays
@@ -183,20 +184,12 @@ class TimelineIndex:
         i1 = int(np.searchsorted(ts, qhi, side="left"))
         init_val = float(vals[:i0].sum())
         init_cnt = int(cnts[:i0].sum())
-        ts_in = ts[i0:i1]
-        if len(ts_in):
-            seg = np.concatenate(
-                [[0], np.flatnonzero(ts_in[1:] != ts_in[:-1]) + 1]
-            )
-            keys = ts_in[seg]
-            val_d = np.add.reduceat(vals[i0:i1].astype(np.float64), seg)
-            cnt_d = np.add.reduceat(cnts[i0:i1], seg)
-        else:
-            keys = ts_in
-            val_d = np.zeros(0)
-            cnt_d = np.zeros(0, dtype=np.int64)
-        run_vals = init_val + np.cumsum(val_d)
-        run_cnts = init_cnt + np.cumsum(cnt_d)
+        keys, val_d, cnt_d = kernels.consolidate_additive(
+            ts[i0:i1], vals[i0:i1], cnts[i0:i1]
+        )
+        run_vals, run_cnts = kernels.running_totals(val_d, cnt_d)
+        run_vals = init_val + run_vals
+        run_cnts = init_cnt + run_cnts
         finals = finalize_arrays(agg, run_vals, run_cnts)
 
         rows: list[tuple[Interval, object]] = []

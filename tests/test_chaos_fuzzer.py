@@ -125,11 +125,19 @@ query_strategy = st.one_of(
 POLICY = RetryPolicy(max_attempts=3, base_delay=0.001)
 
 
-def _faulted_run(table, query, plan, workers):
+def _faulted_run(table, query, plan, workers, deltamap=None):
     injector = FaultInjector(plan, policy=POLICY)
     executor = SerialExecutor(slots=workers, faults=injector)
-    outcome = ParTime().execute(table, query, workers=workers, executor=executor)
+    outcome = ParTime(deltamap=deltamap).execute(
+        table, query, workers=workers, executor=executor
+    )
     return outcome, injector
+
+
+# The columnar axis: every plan is fuzzed against both the NumPy kernels
+# and the scalar b-tree oracle (fault sites canonicalise away the kernel
+# suffix, so the same plan fires identically on both).
+deltamap_strategy = st.sampled_from(("columnar", "btree"))
 
 
 @settings(max_examples=60, deadline=None)
@@ -138,6 +146,7 @@ def _faulted_run(table, query, plan, workers):
     query=query_strategy,
     plan=plan_strategy,
     workers=st.integers(1, 4),
+    deltamap=deltamap_strategy,
 )
 # Guaranteed give-up: every attempt of every task faults, so the run
 # must surface ExecutorTaskError (with history), never a partial result.
@@ -146,6 +155,7 @@ def _faulted_run(table, query, plan, workers):
     query=TemporalAggregationQuery(varied_dims=("bt",), value_column="v"),
     plan=FaultPlan(seed=7, rate=1.0, kinds=("task_error",)),
     workers=2,
+    deltamap="columnar",
 )
 # Latency-only plan: slow_task never fails, so the run must *succeed*
 # with exact results no matter the rate — only simulated time inflates.
@@ -154,6 +164,7 @@ def _faulted_run(table, query, plan, workers):
     query=TemporalAggregationQuery(varied_dims=("tt",), value_column="v"),
     plan=FaultPlan(seed=3, rate=1.0, kinds=("slow_task",)),
     workers=3,
+    deltamap="columnar",
 )
 # The multi-dimensional pivot path retries Step 1 *and* Step 2 phases.
 @example(
@@ -163,14 +174,17 @@ def _faulted_run(table, query, plan, workers):
     ),
     plan=FaultPlan(seed=23, rate=0.5),
     workers=2,
+    deltamap="btree",
 )
-def test_faulted_matches_oracle_or_gives_up_loudly(rows, query, plan, workers):
+def test_faulted_matches_oracle_or_gives_up_loudly(
+    rows, query, plan, workers, deltamap
+):
     table = build_table(rows)
-    oracle = ParTime().execute(
+    oracle = ParTime(deltamap=deltamap).execute(
         table, query, workers=workers, executor=SerialExecutor(slots=workers)
     )
     try:
-        faulted, injector = _faulted_run(table, query, plan, workers)
+        faulted, injector = _faulted_run(table, query, plan, workers, deltamap)
     except ExecutorTaskError as err:
         # Loud give-up: the error names its phase and carries the attempt
         # history of the task that exhausted its budget.
@@ -202,6 +216,41 @@ def test_same_plan_replays_identically(rows, query, plan, workers):
         return ("ok", outcome.rows, injector.history(), injector.summary())
 
     assert run() == run()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=rows_strategy,
+    query=query_strategy,
+    plan=plan_strategy,
+    workers=st.integers(1, 3),
+)
+@example(  # pinned: a plan known to fire on both Step-1 and Step-2 sites
+    rows=[(0, 5, 0, None, 3), (2, None, 1, 4, -1), (1, 2, 3, None, 7)],
+    query=TemporalAggregationQuery(varied_dims=("tt",), value_column="v"),
+    plan=FaultPlan(seed=23, rate=0.5),
+    workers=2,
+)
+def test_fault_schedule_identical_across_deltamap_modes(
+    rows, query, plan, workers
+):
+    """Swapping the kernels must not perturb the chaos plane: the
+    ``.columnar``/``.vectorized`` phase labels canonicalise to the scalar
+    fault sites, so one seeded plan draws the *same* schedule, books the
+    same retry totals, and reaches the same outcome on both delta-map
+    modes."""
+
+    def run(deltamap):
+        table = build_table(rows)
+        try:
+            outcome, injector = _faulted_run(
+                table, query, plan, workers, deltamap
+            )
+        except ExecutorTaskError as err:
+            return ("gave_up", tuple(s.kind for s in err.attempts))
+        return ("ok", outcome.rows, injector.history(), injector.summary())
+
+    assert run("columnar") == run("btree")
 
 
 @settings(max_examples=20, deadline=None)

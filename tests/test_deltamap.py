@@ -98,6 +98,34 @@ class TestMultiDimDeltaMap:
         assert len(dm) == 2
 
 
+class TestZeroWidthRecords:
+    """``add_record`` with ``valid_from == valid_to`` (a zero-width
+    validity interval) contributes nothing — on *every* backend.  The
+    contract used to fork per backend: one emitted a start delta without
+    the matching end, another emitted both.  The base-class early return
+    now pins a single behaviour."""
+
+    @pytest.mark.parametrize("backend", [BTreeDeltaMap, HashDeltaMap])
+    def test_zero_width_is_a_noop(self, backend):
+        dm = backend(SUM)
+        dm.add_record(5, 5, 100, FOREVER)
+        assert list(dm.items()) == []
+        assert len(dm) == 0
+
+    @pytest.mark.parametrize("backend", [BTreeDeltaMap, HashDeltaMap])
+    def test_inverted_interval_is_a_noop(self, backend):
+        dm = backend(SUM)
+        dm.add_record(9, 3, 100, FOREVER)
+        assert list(dm.items()) == []
+
+    @pytest.mark.parametrize("backend", [BTreeDeltaMap, HashDeltaMap])
+    def test_zero_width_alongside_real_records(self, backend):
+        dm = backend(SUM)
+        dm.add_record(3, 9, 100, FOREVER)
+        dm.add_record(5, 5, 999, FOREVER)
+        assert list(dm.items()) == [(3, (100, 1)), (9, (-100, -1))]
+
+
 @settings(max_examples=40, deadline=None)
 @given(
     events=st.lists(

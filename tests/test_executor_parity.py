@@ -152,14 +152,25 @@ class TestThreadSerialParity:
         assert counters["step2.merge_fan_in"] >= 4  # one map per partition
 
     def test_both_clocks_record_phases(self):
+        """Phase labels advertise the kernels in use: the columnar default
+        books ``.columnar``/``.vectorized`` suffixed phases, the scalar
+        oracle keeps the bare labels (see docs/observability.md)."""
         table = build_employee_table()
         query = TemporalAggregationQuery(
             varied_dims=("tt",), value_column="salary"
         )
-        for executor in (SerialExecutor(), ThreadExecutor(max_workers=2)):
-            ParTime().execute(table, query, workers=2, executor=executor)
-            labels = [p.label for p in executor.clock.phases]
-            assert labels == ["partime.step1", "partime.step2"]
+        expected = {
+            None: ["partime.step1.columnar", "partime.step2.vectorized"],
+            "btree": ["partime.step1", "partime.step2"],
+        }
+        for deltamap, labels_want in expected.items():
+            kwargs = {} if deltamap is None else {"deltamap": deltamap}
+            for executor in (SerialExecutor(), ThreadExecutor(max_workers=2)):
+                ParTime(**kwargs).execute(
+                    table, query, workers=2, executor=executor
+                )
+                labels = [p.label for p in executor.clock.phases]
+                assert labels == labels_want, (deltamap, type(executor))
 
 
 class _CallableObject:
@@ -303,6 +314,37 @@ class TestThreeWayParity:
             assert snapshot == serial[2], backend
             assert structure == serial[3], backend
 
+    @pytest.mark.parametrize("name", sorted(PARITY_QUERIES))
+    def test_three_way_parity_scalar_oracle(
+        self, amadeus_table, process_executor, name
+    ):
+        """The columnar axis of the parity matrix: the scalar b-tree
+        oracle must satisfy the same three-way contract, *and* agree with
+        the columnar default on the answers (COUNT is integral, so the
+        agreement is exact)."""
+        query, kwargs = PARITY_QUERIES[name]
+        scalar_kwargs = {**kwargs, "deltamap": "btree"}
+        outcomes = {}
+        for label, executor in (
+            ("serial", SerialExecutor(slots=4)),
+            ("threads", ThreadExecutor(max_workers=4)),
+            ("process", process_executor),
+        ):
+            outcomes[label] = self._run(
+                amadeus_table, query, executor, scalar_kwargs
+            )
+        serial = outcomes["serial"]
+        for backend in ("threads", "process"):
+            result, bookings, snapshot, structure = outcomes[backend]
+            assert result.rows == serial[0].rows, backend
+            assert bookings == serial[1], backend
+            assert snapshot == serial[2], backend
+            assert structure == serial[3], backend
+        columnar = self._run(
+            amadeus_table, query, SerialExecutor(slots=4), kwargs
+        )
+        assert columnar[0].rows == serial[0].rows
+
     def test_process_answers_match_on_employee_shapes(self, process_executor):
         """The tiny Figure 1 table (object-dtype columns, 2-row chunks):
         the shared-memory pickle path for string columns."""
@@ -347,12 +389,12 @@ class TestChaosParity:
     # task 1 — every process-specific enactment path is exercised.
     PLAN = FaultPlan(seed=23, rate=0.5)
 
-    def _run(self, table, query, make_exec):
+    def _run(self, table, query, make_exec, **partime_kwargs):
         injector = FaultInjector(self.PLAN)
         executor = make_exec(injector)
         metrics().reset()
         try:
-            result = ParTime().execute(
+            result = ParTime(**partime_kwargs).execute(
                 table, query, workers=2, executor=executor
             )
         finally:
@@ -396,6 +438,32 @@ class TestChaosParity:
             assert other[2] == summary, backend  # identical retry totals
             assert other[3] == backoff, backend  # bit-identical backoff
             assert other[4] == snapshot, backend  # identical metrics
+
+    def test_chaos_fault_schedule_survives_columnar_labels(self):
+        """The kernel suffix must be invisible to the fault plane: the
+        ``partime.step1.columnar`` phase canonicalises to the
+        ``partime.step1`` site (``fault_site``), so columnar and scalar
+        runs draw the *same* seeded fault schedule and book identical
+        retry totals — on every backend."""
+        table = build_employee_table()
+        query = TemporalAggregationQuery(
+            varied_dims=("tt",), value_column="salary"
+        )
+        backends = {
+            "serial": lambda inj: SerialExecutor(slots=2, faults=inj),
+            "threads": lambda inj: ThreadExecutor(max_workers=2, faults=inj),
+            "process": lambda inj: ProcessExecutor(
+                max_workers=2, faults=inj, start_method=START_METHODS[0]
+            ),
+        }
+        for name, make in backends.items():
+            columnar = self._run(table, query, make)
+            scalar = self._run(table, query, make, deltamap="btree")
+            assert columnar[1], name  # the plan actually fired
+            assert columnar[0] == scalar[0], name  # identical answers
+            assert columnar[1] == scalar[1], name  # identical schedule
+            assert columnar[2] == scalar[2], name  # identical retry totals
+            assert columnar[3] == scalar[3], name  # identical backoff
 
     def test_chaos_results_match_fault_free_oracle(self):
         table = build_employee_table()

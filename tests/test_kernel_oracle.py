@@ -1,0 +1,469 @@
+"""Kernel-oracle differential suite: the columnar fast paths vs. scalar.
+
+The columnar rewrite (``repro.core.kernels``, :class:`ColumnarDeltaMap`,
+:func:`merge_sorted_arrays`) replaces per-record Python loops with NumPy
+array programs.  These tests pin the claim that the rewrite changes *how*
+the answer is computed, never *what* it is:
+
+* the kernels themselves against tiny hand-rolled dict/loop oracles
+  (including the Section 3.2.1 consolidation example, pinned);
+* Step-1 columnar builds entry-for-entry against the scalar
+  :class:`BTreeDeltaMap` oracle;
+* the vectorized merge + prefix scan against the scalar heap-merge;
+* whole ParTime pipelines, columnar vs. scalar delta maps.
+
+Integer aggregates must agree with **zero tolerance** (every intermediate
+is exact in float64); genuinely fractional inputs get 1e-9 relative
+tolerance, since the vectorized merge re-associates float additions.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ParTime, TemporalAggregationQuery, WindowSpec
+from repro.core import kernels
+from repro.core.aggregates import get_aggregate
+from repro.core.deltamap import BTreeDeltaMap, ColumnarDeltaMap
+from repro.core.step1 import generate_delta_map
+from repro.core.step2 import merge_delta_maps, merge_sorted_arrays
+from repro.simtime import SerialExecutor
+from repro.temporal import (
+    Column,
+    ColumnType,
+    FOREVER,
+    TableSchema,
+    TemporalTable,
+)
+from repro.workloads.bulk import append_rows
+
+
+# ---------------------------------------------------------------------------
+# Table construction (same row encoding as the chaos fuzzer)
+# ---------------------------------------------------------------------------
+
+
+def _schema(vtype: ColumnType = ColumnType.INT) -> TableSchema:
+    return TableSchema(
+        "oracle",
+        [Column("k", ColumnType.INT), Column("v", vtype)],
+        business_dims=["bt"],
+        key="k",
+    )
+
+
+def build_table(rows, vtype: ColumnType = ColumnType.INT) -> TemporalTable:
+    """One generated row: (bt_start, bt_dur|None, tt_start, tt_dur|None, v).
+
+    A duration of 0 produces a zero-width validity interval — the
+    ``add_record`` no-op case every backend must agree on.
+    """
+    table = TemporalTable(_schema(vtype))
+    if not rows:
+        return table
+    n = len(rows)
+    dtype = vtype.numpy_dtype
+    append_rows(
+        table,
+        {
+            "k": np.arange(n, dtype=np.int64),
+            "v": np.array([r[4] for r in rows], dtype=dtype),
+            "bt_start": np.array([r[0] for r in rows], dtype=np.int64),
+            "bt_end": np.array(
+                [FOREVER if r[1] is None else r[0] + r[1] for r in rows],
+                dtype=np.int64,
+            ),
+            "tt_start": np.array([r[2] for r in rows], dtype=np.int64),
+            "tt_end": np.array(
+                [FOREVER if r[3] is None else r[2] + r[3] for r in rows],
+                dtype=np.int64,
+            ),
+        },
+        next_version=100,
+    )
+    return table
+
+
+row_strategy = st.tuples(
+    st.integers(0, 30),
+    st.one_of(st.none(), st.integers(0, 20)),  # 0 → zero-width interval
+    st.integers(0, 30),
+    st.one_of(st.none(), st.integers(0, 20)),
+    st.integers(-9, 9),
+)
+rows_strategy = st.lists(row_strategy, max_size=24)
+
+# Raw additive events for the kernel-level tests: (timestamp, value, count).
+event_strategy = st.tuples(
+    st.integers(0, 15), st.integers(-9, 9), st.sampled_from((-1, 1))
+)
+events_strategy = st.lists(event_strategy, max_size=60)
+
+
+# ---------------------------------------------------------------------------
+# The kernels against hand-rolled oracles
+# ---------------------------------------------------------------------------
+
+
+class TestConsolidationKernels:
+    @settings(max_examples=80, deadline=None)
+    @given(events=events_strategy)
+    # Section 3.2.1: <t7,-10k> + <t7,+15k> consolidate to <t7,+5k>.
+    @example(events=[(7, -10_000, -1), (7, 15_000, 1)])
+    @example(events=[])  # empty stream → empty consolidation
+    @example(events=[(3, 5, 1)] * 7)  # single-timestamp pile-up
+    def test_consolidate_additive_matches_dict_oracle(self, events):
+        ts = np.array([e[0] for e in events], dtype=np.int64)
+        vals = np.array([e[1] for e in events], dtype=np.float64)
+        cnts = np.array([e[2] for e in events], dtype=np.int64)
+        keys, val_sum, cnt_sum = kernels.consolidate_additive(ts, vals, cnts)
+        oracle: dict[int, list] = {}
+        for t, v, c in events:
+            entry = oracle.setdefault(t, [0, 0])
+            entry[0] += v
+            entry[1] += c
+        assert keys.tolist() == sorted(oracle)
+        # Integer inputs: the kernel must be exact, not just close.
+        assert val_sum.tolist() == [oracle[t][0] for t in sorted(oracle)]
+        assert cnt_sum.tolist() == [oracle[t][1] for t in sorted(oracle)]
+
+    def test_section_3_2_1_pinned(self):
+        keys, val_sum, cnt_sum = kernels.consolidate_additive(
+            np.array([7, 7], dtype=np.int64),
+            np.array([-10_000.0, 15_000.0]),
+            np.array([-1, 1], dtype=np.int64),
+        )
+        assert keys.tolist() == [7]
+        assert val_sum.tolist() == [5_000.0]
+        assert cnt_sum.tolist() == [0]
+
+    @settings(max_examples=60, deadline=None)
+    @given(events=events_strategy, which=st.sampled_from(("min", "max")))
+    @example(events=[(4, 2, 1), (4, -7, 1), (4, 9, 1)], which="min")
+    def test_consolidate_extreme_matches_oracle(self, events, which):
+        ts = np.array([e[0] for e in events], dtype=np.int64)
+        vals = np.array([e[1] for e in events], dtype=np.float64)
+        cnts = np.array([abs(e[2]) for e in events], dtype=np.int64)
+        ufunc = np.minimum if which == "min" else np.maximum
+        pick = min if which == "min" else max
+        keys, extremes, cnt_sum = kernels.consolidate_extreme(
+            ts, vals, cnts, ufunc
+        )
+        oracle: dict[int, list] = {}
+        for (t, v, _), c in zip(events, cnts.tolist()):
+            entry = oracle.setdefault(t, [[], 0])
+            entry[0].append(v)
+            entry[1] += c
+        assert keys.tolist() == sorted(oracle)
+        assert extremes.tolist() == [pick(oracle[t][0]) for t in sorted(oracle)]
+        assert cnt_sum.tolist() == [oracle[t][1] for t in sorted(oracle)]
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        deltas=st.lists(
+            st.tuples(st.integers(-9, 9), st.integers(-2, 2)), max_size=40
+        )
+    )
+    def test_running_totals_matches_accumulate(self, deltas):
+        vals = np.array([d[0] for d in deltas], dtype=np.float64)
+        cnts = np.array([d[1] for d in deltas], dtype=np.int64)
+        run_vals, run_cnts = kernels.running_totals(vals, cnts)
+        assert run_vals.tolist() == list(
+            itertools.accumulate(float(d[0]) for d in deltas)
+        )
+        assert run_cnts.tolist() == list(
+            itertools.accumulate(d[1] for d in deltas)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        vals=st.lists(st.integers(-9, 9), min_size=1, max_size=40),
+        which=st.sampled_from(("min", "max")),
+    )
+    def test_running_extremes_matches_accumulate(self, vals, which):
+        ufunc = np.minimum if which == "min" else np.maximum
+        pick = min if which == "min" else max
+        arr = np.array(vals, dtype=np.float64)
+        run_vals, run_cnts = kernels.running_extremes(
+            arr, np.ones(len(arr), dtype=np.int64), ufunc
+        )
+        assert run_vals.tolist() == list(
+            itertools.accumulate(map(float, vals), pick)
+        )
+        assert run_cnts.tolist() == list(range(1, len(vals) + 1))
+
+    def test_sort_events_is_stable(self):
+        ts = np.array([5, 3, 5, 3], dtype=np.int64)
+        tags = np.array([0, 1, 2, 3], dtype=np.int64)
+        sorted_ts, sorted_tags = kernels.sort_events(ts, tags)
+        assert sorted_ts.tolist() == [3, 3, 5, 5]
+        assert sorted_tags.tolist() == [1, 3, 0, 2]  # input order preserved
+
+
+# ---------------------------------------------------------------------------
+# Step-1 columnar builds vs. the scalar B-tree oracle, entry for entry
+# ---------------------------------------------------------------------------
+
+
+def _scalar_entries(dm: BTreeDeltaMap) -> list:
+    """The oracle's entries minus fully-null deltas.
+
+    The B-tree keeps entries that consolidated to the null delta (they
+    fall out only at merge time); the columnar build drops them at
+    construction.  Both behaviours are correct — a null delta is a no-op —
+    so the comparison is over the *live* entries.
+    """
+    agg = dm.aggregate
+    return [(ts, d) for ts, d in dm.items() if not agg.is_null_delta(d)]
+
+
+class TestStep1Differential:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        rows=rows_strategy,
+        aggregate=st.sampled_from(("sum", "count", "avg")),
+        dim=st.sampled_from(("bt", "tt")),
+    )
+    @example(rows=[], aggregate="sum", dim="bt")  # empty chunk → empty map
+    @example(  # every record collides on one timestamp
+        rows=[(4, None, 0, None, v) for v in (3, -1, 3, 8)],
+        aggregate="sum",
+        dim="bt",
+    )
+    @example(  # forever rows only: starts but no end events
+        rows=[(0, None, 1, None, 5), (2, None, 3, None, -5)],
+        aggregate="avg",
+        dim="bt",
+    )
+    @example(  # zero-width rows contribute nothing, on both paths
+        rows=[(3, 0, 0, None, 9), (1, 4, 0, None, 2)],
+        aggregate="sum",
+        dim="bt",
+    )
+    def test_columnar_build_matches_btree_entry_for_entry(
+        self, rows, aggregate, dim
+    ):
+        chunk = build_table(rows).chunk()
+        agg = get_aggregate(aggregate)
+        columnar = generate_delta_map(chunk, "v", dim, agg, deltamap="columnar")
+        oracle = generate_delta_map(chunk, "v", dim, agg, deltamap="btree")
+        assert isinstance(columnar, ColumnarDeltaMap)
+        assert isinstance(oracle, BTreeDeltaMap)
+        got = list(columnar.items())
+        want = _scalar_entries(oracle)
+        # Integer inputs: zero tolerance, the entries must be identical.
+        assert [(ts, (float(v), c)) for ts, (v, c) in want] == got
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        starts=st.lists(st.integers(0, 30), min_size=1, max_size=20),
+        values=st.lists(st.integers(-9, 9), min_size=1, max_size=20),
+        aggregate=st.sampled_from(("min", "max")),
+    )
+    def test_extreme_build_merges_like_scalar_oracle(
+        self, starts, values, aggregate
+    ):
+        """MIN/MAX over an append-only chunk: the extreme-kind columnar
+        map, pushed through the vectorized merge, must produce the exact
+        rows of the scalar build + heap merge."""
+        n = min(len(starts), len(values))
+        rows = [(starts[i], None, 0, None, values[i]) for i in range(n)]
+        chunk = build_table(rows).chunk()
+        agg = get_aggregate(aggregate)
+        columnar = generate_delta_map(chunk, "v", "bt", agg, deltamap="columnar")
+        oracle = generate_delta_map(chunk, "v", "bt", agg, deltamap="btree")
+        assert isinstance(columnar, ColumnarDeltaMap)
+        assert columnar.kind == ColumnarDeltaMap.KIND_EXTREME
+        got = merge_sorted_arrays([columnar], agg)
+        want = merge_delta_maps([oracle], agg)
+        assert got == want
+
+    def test_expiring_rows_fall_back_to_scalar_for_extremes(self):
+        """MIN/MAX with records expiring inside the window cannot be an
+        accumulate (an extreme might need *retracting*): the columnar mode
+        must fall back to the scalar backend, not build an unsound map."""
+        rows = [(0, 5, 0, None, 9), (2, None, 0, None, 1)]
+        chunk = build_table(rows).chunk()
+        agg = get_aggregate("min")
+        dm = generate_delta_map(chunk, "v", "bt", agg, deltamap="columnar")
+        assert isinstance(dm, BTreeDeltaMap)
+
+    def test_product_falls_back_to_scalar(self):
+        """PRODUCT is incremental but not columnar — its deltas multiply.
+        Regression for the old ``aggregate.incremental`` gate, which would
+        have summed multiplicative deltas."""
+        rows = [(0, 5, 0, None, 2), (2, None, 0, None, 3)]
+        chunk = build_table(rows).chunk()
+        agg = get_aggregate("product")
+        dm = generate_delta_map(chunk, "v", "bt", agg, deltamap="columnar")
+        assert isinstance(dm, BTreeDeltaMap)
+        want = generate_delta_map(chunk, "v", "bt", agg, deltamap="btree")
+        assert list(dm.items()) == list(want.items())
+
+
+# ---------------------------------------------------------------------------
+# Vectorized merge + prefix scan vs. the scalar heap merge
+# ---------------------------------------------------------------------------
+
+
+def _partition(rows, k):
+    return [rows[i::k] for i in range(k)] if rows else [[]]
+
+
+class TestMergeDifferential:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        rows=rows_strategy,
+        aggregate=st.sampled_from(("sum", "count", "avg")),
+        partitions=st.integers(1, 4),
+        drop_empty=st.booleans(),
+    )
+    @example(rows=[], aggregate="sum", partitions=2, drop_empty=False)
+    @example(  # adjacent equal spans exercise the coalescing change-points
+        rows=[(0, 4, 0, None, 5), (4, 4, 0, None, 5)],
+        aggregate="sum",
+        partitions=2,
+        drop_empty=False,
+    )
+    @example(  # AVG over a gap: the None span must coalesce like a value
+        rows=[(0, 2, 0, None, 4), (6, 2, 0, None, 4)],
+        aggregate="avg",
+        partitions=1,
+        drop_empty=False,
+    )
+    def test_vectorized_merge_matches_heap_merge(
+        self, rows, aggregate, partitions, drop_empty
+    ):
+        agg = get_aggregate(aggregate)
+        columnar_maps, oracle_maps = [], []
+        for part in _partition(rows, partitions):
+            chunk = build_table(part).chunk()
+            columnar_maps.append(
+                generate_delta_map(chunk, "v", "bt", agg, deltamap="columnar")
+            )
+            oracle_maps.append(
+                generate_delta_map(chunk, "v", "bt", agg, deltamap="btree")
+            )
+        got = merge_sorted_arrays(columnar_maps, agg, drop_empty=drop_empty)
+        want = merge_delta_maps(oracle_maps, agg, drop_empty=drop_empty)
+        # Integer inputs: bit-identical rows (intervals *and* values).
+        assert got == want
+
+
+# ---------------------------------------------------------------------------
+# Whole pipelines: ParTime with columnar vs. scalar delta maps
+# ---------------------------------------------------------------------------
+
+
+def _step_value_at(rows, ts):
+    for intervals, value in rows:
+        iv = intervals[0]
+        if iv.start <= ts < iv.end:
+            return value
+    return "<gap>"
+
+
+class TestPipelineDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=rows_strategy,
+        aggregate=st.sampled_from(("sum", "count", "avg", "min", "max")),
+        workers=st.integers(1, 4),
+    )
+    def test_partime_columnar_matches_scalar(self, rows, aggregate, workers):
+        table = build_table(rows)
+        query = TemporalAggregationQuery(
+            varied_dims=("tt",), value_column="v", aggregate=aggregate
+        )
+        columnar = ParTime(deltamap="columnar").execute(
+            table, query, workers=workers, executor=SerialExecutor()
+        )
+        scalar = ParTime(deltamap="btree").execute(
+            table, query, workers=workers, executor=SerialExecutor()
+        )
+        assert columnar.rows == scalar.rows
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=rows_strategy,
+        aggregate=st.sampled_from(("sum", "count", "avg")),
+        origin=st.integers(0, 10),
+        stride=st.integers(2, 8),
+        count=st.integers(1, 6),
+    )
+    def test_windowed_prefix_scan_matches_scalar(
+        self, rows, aggregate, origin, stride, count
+    ):
+        table = build_table(rows)
+        query = TemporalAggregationQuery(
+            varied_dims=("bt",),
+            value_column="v",
+            aggregate=aggregate,
+            window=WindowSpec(origin, stride, count),
+        )
+        columnar = ParTime(deltamap="columnar").execute(
+            table, query, workers=2, executor=SerialExecutor()
+        )
+        scalar = ParTime(deltamap="btree").execute(
+            table, query, workers=2, executor=SerialExecutor()
+        )
+        assert columnar.rows == scalar.rows
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=rows_strategy,
+        numerators=st.lists(
+            st.integers(-999, 999), min_size=1, max_size=24
+        ),
+        workers=st.integers(1, 3),
+    )
+    def test_float_reassociation_within_tolerance(
+        self, rows, numerators, workers
+    ):
+        """Genuinely fractional values: the vectorized merge re-associates
+        float additions (reduceat + cumsum vs. one-at-a-time), so the two
+        step functions agree to 1e-9 *relative* tolerance rather than
+        bit-for-bit."""
+        if not rows:
+            return
+        frac_rows = [
+            r[:4] + (numerators[i % len(numerators)] / 7.0,)
+            for i, r in enumerate(rows)
+        ]
+        table = build_table(frac_rows, vtype=ColumnType.FLOAT)
+        query = TemporalAggregationQuery(
+            varied_dims=("tt",), value_column="v", aggregate="sum"
+        )
+        columnar = ParTime(deltamap="columnar").execute(
+            table, query, workers=workers, executor=SerialExecutor()
+        )
+        scalar = ParTime(deltamap="btree").execute(
+            table, query, workers=workers, executor=SerialExecutor()
+        )
+        # Coalescing may split spans differently when float sums differ in
+        # the last ulp; the *step functions* must still agree everywhere.
+        probes = sorted(
+            {ivs[0].start for ivs, _ in columnar.rows}
+            | {ivs[0].start for ivs, _ in scalar.rows}
+        )
+        for ts in probes:
+            got = _step_value_at(columnar.rows, ts)
+            want = _step_value_at(scalar.rows, ts)
+            if isinstance(got, float) and isinstance(want, float):
+                assert got == pytest.approx(want, rel=1e-9, abs=1e-9)
+            else:
+                assert got == want
+
+    def test_empty_table_yields_empty_result_on_both_paths(self):
+        table = build_table([])
+        query = TemporalAggregationQuery(varied_dims=("tt",), value_column="v")
+        for deltamap in ("columnar", "btree"):
+            result = ParTime(deltamap=deltamap).execute(
+                table, query, workers=2, executor=SerialExecutor()
+            )
+            assert result.rows == []

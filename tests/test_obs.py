@@ -66,7 +66,10 @@ class TestSpanTreeShape:
         q = tracer.root.find("partime.query")
         assert q is not None and q.kind == "query"
         child_names = [c.name for c in q.children]
-        assert child_names == ["partime.step1", "partime.step2"]
+        assert child_names == [
+            "partime.step1.columnar",
+            "partime.step2.vectorized",
+        ]
         step1 = q.children[0]
         assert step1.kind == "parallel"
         assert step1.slots >= 1

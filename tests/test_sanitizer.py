@@ -217,7 +217,11 @@ class TestFullPipeline:
             workers=4,
         )
         # The parallel phase really ran task-per-chunk under the sanitizer.
-        phase_logs = [l for l in sanitizer.task_logs if l.phase == "partime.step1"]
+        phase_logs = [
+            l
+            for l in sanitizer.task_logs
+            if l.phase == "partime.step1.columnar"
+        ]
         assert len(phase_logs) == 4
         assert any(log.reads for log in phase_logs)
 
@@ -264,5 +268,5 @@ class TestFullPipeline:
         sanitizer = SanitizingExecutor(SerialExecutor())
         ParTime().execute(table, query, workers=4, executor=sanitizer)
         labels = [p.label for p in sanitizer.clock.phases]
-        assert "partime.step1" in labels
-        assert "partime.step2" in labels
+        assert "partime.step1.columnar" in labels
+        assert "partime.step2.vectorized" in labels
