@@ -1,0 +1,211 @@
+"""The persistent bench-history ledger: ``benchmarks/history.jsonl``.
+
+``BENCH_*.json`` files are the *latest* run's telemetry; this module
+keeps the trajectory.  ``python -m repro bench ... --append-history``
+appends one schema-versioned row per produced payload — keyed by git
+SHA and run mode — to an append-only JSONL ledger that is committed
+alongside the code, and ``python -m repro bench --trend`` reads the
+ledger back and flags drift between the latest and the previous run of
+each (benchmark, mode) series.
+
+Rows are deliberately small (headline metrics only, no per-phase
+detail): the ledger is meant to be committed for years, grep-able, and
+loadable into anything that reads JSON lines — including the serving
+stack's own SQL layer one day (ROADMAP).
+
+The trend gate is informational by design — it prints findings and
+returns them; CI treats drift as a signal to look at, not a failure,
+because history rows mix machines (laptop rows next to CI rows).  The
+hard regression gate stays ``bench --check`` against per-machine
+baselines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "default_history_path",
+    "git_sha",
+    "mode_string",
+    "history_row",
+    "append_history",
+    "read_history",
+    "trend_report",
+]
+
+#: Bump on any row-shape change; readers skip rows with a newer schema.
+HISTORY_SCHEMA = 1
+
+#: Headline metrics a history row carries, and the relative drift (vs
+#: the previous row of the same series) past which ``--trend`` flags
+#: them.  All lower-is-better; ``wall_seconds`` is excluded on purpose
+#: (cross-machine noise would drown the signal).
+TREND_TOLERANCES: dict[str, float] = {
+    "sim_elapsed": 0.25,
+    "total_work": 0.25,
+    "peak_rss_bytes": 0.50,
+}
+
+
+def default_history_path(results_dir: str | None = None) -> str:
+    """``benchmarks/history.jsonl`` under the repo checkout."""
+    from repro.bench.runner import benchmarks_dir
+
+    return os.path.join(results_dir or benchmarks_dir(), "history.jsonl")
+
+
+def git_sha(cwd: str | None = None) -> str:
+    """The checkout's HEAD SHA, or ``"unknown"`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def mode_string(payload: dict) -> str:
+    """The run-mode key of one payload: scale/backend/deltamap[+faults].
+
+    Two rows compare only within the same mode — a smoke row drifting
+    against a full-scale row would be noise, not signal.
+    """
+    scale = "smoke" if payload.get("smoke") else "full"
+    mode = (
+        f"{scale}/{payload.get('backend', 'serial')}"
+        f"/{payload.get('deltamap', 'columnar')}"
+    )
+    if payload.get("faults"):
+        mode += "+faults"
+    return mode
+
+
+def history_row(
+    payload: dict, *, sha: str | None = None, timestamp: float | None = None
+) -> dict:
+    """One ledger row for one ``BENCH_*.json`` payload."""
+    row = {
+        "schema": HISTORY_SCHEMA,
+        "sha": sha if sha is not None else git_sha(),
+        "ts": time.time() if timestamp is None else float(timestamp),
+        "benchmark": payload.get("benchmark", "?"),
+        "mode": mode_string(payload),
+    }
+    for metric in ("sim_elapsed", "total_work", "wall_seconds",
+                   "peak_rss_bytes", "n_phases", "n_tasks"):
+        value = payload.get(metric)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            row[metric] = value
+    return row
+
+
+def append_history(
+    payloads: list[dict], path: str, *, sha: str | None = None
+) -> list[dict]:
+    """Append one row per payload to the ledger; returns the rows.
+
+    The SHA is resolved once per call so every row of one sweep carries
+    the same key even if a commit lands mid-run.
+    """
+    if sha is None:
+        sha = git_sha()
+    rows = [history_row(p, sha=sha) for p in payloads]
+    if rows:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "a") as fh:
+            for row in rows:
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return rows
+
+
+def read_history(path: str) -> list[dict]:
+    """All readable ledger rows, oldest first.
+
+    Unparseable lines and rows from a *newer* schema are skipped (an old
+    checkout reading a ledger the future appended to), so the ledger can
+    only ever grow.
+    """
+    rows: list[dict] = []
+    if not os.path.isfile(path):
+        return rows
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(row, dict):
+                continue
+            if row.get("schema", 0) > HISTORY_SCHEMA:
+                continue
+            rows.append(row)
+    return rows
+
+
+def trend_report(rows: list[dict], out=None) -> list[str]:
+    """Latest-vs-previous drift per (benchmark, mode) series.
+
+    Prints one verdict line per series and returns the drift findings
+    (empty = no metric moved past its tolerance).  Single-row series
+    report as such — they need one more run before trends exist.
+    """
+    out = out or sys.stdout
+    series: dict[tuple[str, str], list[dict]] = {}
+    for row in rows:
+        key = (str(row.get("benchmark", "?")), str(row.get("mode", "?")))
+        series.setdefault(key, []).append(row)
+    findings: list[str] = []
+    for (benchmark, mode), history in sorted(series.items()):
+        if len(history) < 2:
+            print(
+                f"trend {benchmark} [{mode}]: {len(history)} run(s), "
+                "no previous run to compare",
+                file=out,
+            )
+            continue
+        previous, latest = history[-2], history[-1]
+        drifted: list[str] = []
+        for metric, tol in sorted(TREND_TOLERANCES.items()):
+            base, cur = previous.get(metric), latest.get(metric)
+            if not isinstance(base, (int, float)) or isinstance(base, bool):
+                continue
+            if not isinstance(cur, (int, float)) or isinstance(cur, bool):
+                continue
+            if base <= 0:
+                continue
+            ratio = cur / base
+            if ratio > 1.0 + tol or ratio < 1.0 / (1.0 + tol):
+                drifted.append(
+                    f"{metric} {ratio:.2f}x ({base:.6g} -> {cur:.6g})"
+                )
+        sha = str(latest.get("sha", "?"))[:12]
+        if drifted:
+            finding = (
+                f"{benchmark} [{mode}] @ {sha}: " + "; ".join(drifted)
+            )
+            findings.append(finding)
+            print(f"trend {benchmark} [{mode}]: DRIFT — {finding}", file=out)
+        else:
+            print(
+                f"trend {benchmark} [{mode}]: steady over "
+                f"{len(history)} runs (latest @ {sha})",
+                file=out,
+            )
+    if not rows:
+        print("trend: history ledger is empty", file=out)
+    return findings

@@ -31,6 +31,7 @@ import json
 import math
 import os
 import platform
+import resource
 import sys
 from contextlib import ExitStack
 from dataclasses import dataclass, field
@@ -64,6 +65,7 @@ __all__ = [
     "compare_payloads",
     "check_results",
     "machine_spec",
+    "peak_rss_bytes",
     "repo_root",
     "benchmarks_dir",
 ]
@@ -275,6 +277,19 @@ def _json_safe(value):
     return str(value)
 
 
+def peak_rss_bytes() -> int:
+    """The process's peak resident set size, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise to
+    bytes so the telemetry (and the history ledger's drift gate) is
+    platform-independent.
+    """
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(rss)
+    return int(rss) * 1024
+
+
 def machine_spec() -> dict:
     """The simulated machine plus the real host executing the run."""
     return {
@@ -333,6 +348,7 @@ def run_benchmark(
         "deltamap": ctx.deltamap,
         "machine": machine_spec(),
         "wall_seconds": wall.elapsed,
+        "peak_rss_bytes": peak_rss_bytes(),
         "sim_elapsed": report.elapsed,
         "total_work": report.work,
         "utilization": report.utilization(),
@@ -358,6 +374,7 @@ def run_benchmark(
             os.path.join(chrome_dir, f"{name}_chrome_trace.json"),
             report,
             label=f"bench:{name}",
+            span_root=tracer.root,
         )
         print(f"chrome trace written to {out}")
     return payload

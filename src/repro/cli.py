@@ -293,6 +293,11 @@ def cmd_serve(args) -> int:
             f"injected={summary['injected']} retries={summary['retries']} "
             f"gave_up={summary['gave_up']}"
         )
+    if args.events_jsonl:
+        from repro.obs.events import events
+
+        count = events().write_jsonl(args.events_jsonl)
+        print(f"events: wrote {count} record(s) to {args.events_jsonl}")
     return 0
 
 
@@ -505,9 +510,10 @@ def cmd_bench(args) -> int:
                 )
                 return 2
             run_names = list(args.names)
-    elif not args.check:
+    elif not args.check and args.trend is None:
         print(
-            "error: give benchmark names, 'all', --list, or --check BASELINE",
+            "error: give benchmark names, 'all', --list, --check BASELINE, "
+            "or --trend",
             file=sys.stderr,
         )
         return 2
@@ -541,6 +547,24 @@ def cmd_bench(args) -> int:
             for failure in failures:
                 print(f"bench failure: {failure}", file=sys.stderr)
             status = 1
+        if args.append_history is not None:
+            from repro.bench.history import (
+                append_history,
+                default_history_path,
+            )
+
+            history_path = args.append_history or default_history_path()
+            rows = append_history(payloads, history_path)
+            print(f"history: appended {len(rows)} row(s) to {history_path}")
+    if args.trend is not None:
+        from repro.bench.history import (
+            default_history_path,
+            read_history,
+            trend_report,
+        )
+
+        trend_path = args.trend or default_history_path()
+        trend_report(read_history(trend_path))
     if args.check:
         violations = check_results(
             args.check,
@@ -623,6 +647,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve under a deterministic fault plan; injected faults are "
         "retried inside the engine and never drop client connections "
         "(see docs/fault_injection.md)",
+    )
+    serve.add_argument(
+        "--events-jsonl", metavar="PATH", default="",
+        help="on shutdown, dump the structured event log (query "
+        "admissions, batch cuts, fault injections, ...) as JSON Lines; "
+        "the same records are queryable live via "
+        "SELECT * FROM partime_events",
     )
     serve.add_argument(
         "--min-cycle-ms", type=float, default=0.0,
@@ -770,6 +801,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--tolerance", type=float, default=1.0, metavar="SCALE",
         help="scale factor applied to every regression tolerance "
         "(e.g. 2.0 doubles the allowed slack on noisy CI machines)",
+    )
+    bench.add_argument(
+        "--append-history", nargs="?", const="", default=None,
+        metavar="PATH",
+        help="after the run, append one schema-versioned row per "
+        "benchmark — keyed by git SHA and run mode — to the persistent "
+        "history ledger (default: benchmarks/history.jsonl)",
+    )
+    bench.add_argument(
+        "--trend", nargs="?", const="", default=None, metavar="PATH",
+        help="read the history ledger back and flag metric drift between "
+        "the latest and previous run of each (benchmark, mode) series; "
+        "informational — does not affect the exit status",
     )
     bench.set_defaults(fn=cmd_bench)
     return parser

@@ -37,8 +37,10 @@ from repro.core.step2 import (
     parallel_merge_plan,
     vectorized_mergeable,
 )
+from repro.obs.metrics import metrics
 from repro.obs.tracer import span
 from repro.simtime.executor import Executor, SerialExecutor
+from repro.simtime.measure import measured
 from repro.temporal.table import TableChunk, TemporalTable
 from repro.temporal.timestamps import FOREVER
 
@@ -79,17 +81,22 @@ class _Step1Task:
     deltamap: str | None = None
 
     def __call__(self, chunk: TableChunk):
-        return generate_delta_map(
-            chunk,
-            self.query.value_column,
-            self.dim,
-            self.query.aggregate_fn,
-            predicate=self.query.predicate,
-            query_interval=self.query.interval_of(self.dim),
-            mode=self.mode,
-            backend=self.backend,
-            deltamap=self.deltamap,
-        )
+        # The labelled ``measured`` adds a sub-step leaf to the *task's*
+        # span capture (a no-op when tracing is off): executors graft it
+        # under the dispatching phase, so Chrome traces show what each
+        # worker actually ran — including across the process boundary.
+        with measured("partime.step1.kernel"):
+            return generate_delta_map(
+                chunk,
+                self.query.value_column,
+                self.dim,
+                self.query.aggregate_fn,
+                predicate=self.query.predicate,
+                query_interval=self.query.interval_of(self.dim),
+                mode=self.mode,
+                backend=self.backend,
+                deltamap=self.deltamap,
+            )
 
 
 @dataclass(frozen=True)
@@ -101,15 +108,16 @@ class _Step1WindowTask:
     mode: str
 
     def __call__(self, chunk: TableChunk):
-        return generate_windowed_delta_map(
-            chunk,
-            self.query.value_column,
-            self.dim,
-            self.query.window,
-            self.query.aggregate_fn,
-            predicate=self.query.predicate,
-            mode=self.mode,
-        )
+        with measured("partime.step1w.kernel"):
+            return generate_windowed_delta_map(
+                chunk,
+                self.query.value_column,
+                self.dim,
+                self.query.window,
+                self.query.aggregate_fn,
+                predicate=self.query.predicate,
+                mode=self.mode,
+            )
 
 
 @dataclass(frozen=True)
@@ -120,15 +128,16 @@ class _Step1MultiDimTask:
     pivot: str
 
     def __call__(self, chunk: TableChunk):
-        return generate_multidim_delta_map(
-            chunk,
-            self.query.value_column,
-            self.query.varied_dims,
-            self.pivot,
-            self.query.aggregate_fn,
-            predicate=self.query.predicate,
-            query_intervals=self.query.query_intervals or None,
-        )
+        with measured("partime.step1md.kernel"):
+            return generate_multidim_delta_map(
+                chunk,
+                self.query.value_column,
+                self.query.varied_dims,
+                self.pivot,
+                self.query.aggregate_fn,
+                predicate=self.query.predicate,
+                query_intervals=self.query.query_intervals or None,
+            )
 
 
 @dataclass(frozen=True)
@@ -147,7 +156,8 @@ class _ConsolidateTask:
         left, right = pair
         from repro.core.aggregates import get_aggregate
 
-        return consolidate_pair(left, right, get_aggregate(self.aggregate))
+        with measured("partime.step2.consolidate"):
+            return consolidate_pair(left, right, get_aggregate(self.aggregate))
 
 
 class ParTime:
@@ -238,6 +248,32 @@ class ParTime:
 
     # ----------------------------------------------------------- internals
 
+    @staticmethod
+    def _step1_timed(executor: Executor, task, chunks, label: str):
+        """Step 1 with its simulated phase time recorded as a histogram.
+
+        The observation is the *simulated* elapsed the phase added to the
+        executor's clock (makespan plus any booked retry backoff) — one
+        observation per query, identical across backends in count though
+        not in value (measured durations legitimately differ).
+        """
+        before = executor.clock.elapsed
+        maps = executor.map_parallel(task, chunks, label=label)
+        metrics().histogram("partime.step1_seconds").observe(
+            executor.clock.elapsed - before
+        )
+        return maps
+
+    @staticmethod
+    def _step2_timed(executor: Executor, step2, label: str):
+        """Step 2 with its simulated phase time recorded as a histogram."""
+        before = executor.clock.elapsed
+        result = executor.run_serial(step2, label=label)
+        metrics().histogram("partime.step2_seconds").observe(
+            executor.clock.elapsed - before
+        )
+        return result
+
     def _until(self, query: TemporalAggregationQuery, dim: str) -> int:
         iv = query.interval_of(dim)
         return FOREVER if iv is None else iv.end
@@ -258,7 +294,9 @@ class ParTime:
             backend=self.backend,
             deltamap=self.deltamap,
         )
-        maps = executor.map_parallel(step1, chunks, label=self.step1_label)
+        maps = self._step1_timed(
+            executor, step1, chunks, label=self.step1_label
+        )
         self.last_stats.delta_entries = sum(len(m) for m in maps)
         until = self._until(query, dim)
 
@@ -277,7 +315,7 @@ class ParTime:
             )
 
         step2_label = "partime.step2.vectorized" if vectorized else "partime.step2"
-        pairs = executor.run_serial(step2, label=step2_label)
+        pairs = self._step2_timed(executor, step2, label=step2_label)
         self.last_stats.result_rows = len(pairs)
         return TemporalAggregationResult.from_pairs(
             dim, pairs, aggregate_name=agg.name
@@ -303,14 +341,16 @@ class ParTime:
                 else "pure"
             ),
         )
-        maps = executor.map_parallel(step1, chunks, label="partime.step1w")
+        maps = self._step1_timed(
+            executor, step1, chunks, label="partime.step1w"
+        )
 
         def step2():
             return merge_window_maps(
                 maps, window, agg, drop_empty=query.drop_empty
             )
 
-        points = executor.run_serial(step2, label="partime.step2w")
+        points = self._step2_timed(executor, step2, label="partime.step2w")
         self.last_stats.result_rows = len(points)
         return TemporalAggregationResult.from_points(
             dim, window.stride, points, aggregate_name=agg.name
@@ -332,7 +372,9 @@ class ParTime:
         nonpivot = [d for d in query.varied_dims if d != pivot]
 
         step1 = _Step1MultiDimTask(query=query, pivot=pivot)
-        maps = executor.map_parallel(step1, chunks, label="partime.step1md")
+        maps = self._step1_timed(
+            executor, step1, chunks, label="partime.step1md"
+        )
         self.last_stats.delta_entries = sum(len(m) for m in maps)
 
         if self.parallel_step2 and len(maps) > 1:
@@ -347,7 +389,7 @@ class ParTime:
                 nonpivot_untils=[self._until(query, d) for d in nonpivot],
             )
 
-        raw_rows = executor.run_serial(step2, label="partime.step2md")
+        raw_rows = self._step2_timed(executor, step2, label="partime.step2md")
         self.last_stats.result_rows = len(raw_rows)
 
         # Raw rows order intervals (nonpivot..., pivot); reorder to the

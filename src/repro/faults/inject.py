@@ -40,6 +40,7 @@ from repro.faults.plan import (
     FaultSpec,
     RetryPolicy,
 )
+from repro.obs.events import events
 from repro.obs.metrics import metrics
 from repro.simtime.measure import measured
 
@@ -122,16 +123,35 @@ class FaultInjector:
             self._history.append(spec)
             self.injected += 1
         metrics().counter("faults.injected").add(1)
+        events().emit(
+            "fault_injected",
+            site=spec.site,
+            task=spec.task,
+            attempt=spec.attempt,
+            fault=spec.kind,
+        )
 
-    def _record_retry(self) -> None:
+    def _record_retry(self, spec: FaultSpec | None = None) -> None:
         with self._lock:
             self.retries += 1
         metrics().counter("faults.retries").add(1)
+        fields = (
+            {"site": spec.site, "task": spec.task, "fault": spec.kind}
+            if spec is not None
+            else {}
+        )
+        events().emit("fault_retry", **fields)
 
-    def _record_gave_up(self) -> None:
+    def _record_gave_up(self, spec: FaultSpec | None = None) -> None:
         with self._lock:
             self.gave_up += 1
         metrics().counter("faults.gave_up").add(1)
+        fields = (
+            {"site": spec.site, "task": spec.task, "fault": spec.kind}
+            if spec is not None
+            else {}
+        )
+        events().emit("fault_gave_up", **fields)
 
     def _record_backoff(self, seconds: float) -> None:
         with self._lock:
@@ -196,12 +216,12 @@ class PhaseSession:
                     and self.backoff_total() + delay > policy.phase_timeout
                 )
                 if exhausted or over_budget:
-                    self.injector._record_gave_up()
+                    self.injector._record_gave_up(spec)
                     raise self._give_up_error(index, attempt, over_budget) from exc
                 with self._lock:
                     self._backoff[(index, attempt)] = delay
                     self.retries += 1
-                self.injector._record_retry()
+                self.injector._record_retry(spec)
         raise AssertionError("unreachable: retry loop exits via return/raise")
 
     def _note_spec(self, index: int, spec: FaultSpec) -> None:

@@ -7,7 +7,13 @@ The observability layer of the reproduction (see docs/observability.md):
   *and* wall-clock time per node;
 * :mod:`repro.obs.metrics` — process-local counters/gauges (rows
   scanned, delta entries emitted, merge fan-in, NUMA penalties,
-  checkpoint hits, ...);
+  checkpoint hits, ...) plus mergeable log-bucketed histograms
+  (serving latency decomposition, ParTime step times);
+* :mod:`repro.obs.slo` — burn-rate accounting of the serving stack's
+  latency/availability objectives over simulated time;
+* :mod:`repro.obs.events` — the ring-buffered structured event log
+  (batch cuts, fault injections, worker kills, ...), exportable as
+  JSONL;
 * :mod:`repro.obs.schedule` — per-core Gantt reconstruction of any
   recorded phase list or span tree, with utilization, imbalance and
   Amdahl/critical-path statistics;
@@ -28,15 +34,21 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.events import EventLog, events
 from repro.obs.metrics import (
     CATALOGUE,
+    HISTOGRAM_CATALOGUE,
     Counter,
     Gauge,
+    Histogram,
     MetricsRegistry,
+    comparable_snapshot,
     diff_snapshots,
+    labelled,
     merge_delta,
     metrics,
 )
+from repro.obs.slo import DEFAULT_OBJECTIVES, SLObjective, SloTracker
 from repro.obs.schedule import (
     PhaseStats,
     ScheduleReport,
@@ -57,12 +69,21 @@ from repro.obs.tracer import (
 
 __all__ = [
     "CATALOGUE",
+    "HISTOGRAM_CATALOGUE",
     "Counter",
     "Gauge",
+    "Histogram",
     "MetricsRegistry",
+    "comparable_snapshot",
     "diff_snapshots",
+    "labelled",
     "merge_delta",
     "metrics",
+    "EventLog",
+    "events",
+    "DEFAULT_OBJECTIVES",
+    "SLObjective",
+    "SloTracker",
     "PhaseStats",
     "ScheduleReport",
     "TaskSlice",

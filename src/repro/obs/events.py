@@ -1,0 +1,120 @@
+"""Structured event log — discrete happenings, ring-buffered.
+
+Counters say *how much*, histograms say *how it was distributed*; the
+event log says *what happened, in order*: a query was admitted, a batch
+was cut, a fault fired, a retry succeeded, a pool worker died and the
+pool was rebuilt.  Each record is one flat dict with a monotonic
+sequence number and a wall timestamp read through the sanctioned clock
+(:data:`repro.simtime.measure.clock_source`), so the log stays honest
+under the repo's wall-clock accounting rule (PT002) and tests can
+monkeypatch time deterministically.
+
+The log is process-local and bounded (a ring of the most recent
+:data:`DEFAULT_CAPACITY` records): it is diagnostics, not a WAL.  It is
+surfaced two ways — live over the wire protocol as the ``partime_events``
+virtual table (docs/serving.md) and, on server shutdown, as a JSONL file
+via ``repro serve --events-jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Iterable
+
+from repro.simtime.measure import clock_source
+
+#: Default ring capacity: enough to cover a serving smoke run end to end
+#: while bounding memory under sustained load.
+DEFAULT_CAPACITY = 4096
+
+#: Event kinds the instrumented layers emit, with a one-line meaning.
+#: The vocabulary the docs, the ``partime_events`` virtual table and the
+#: tests share (mirrors the metric CATALOGUE convention).
+EVENT_KINDS: dict[str, str] = {
+    "server_started": "the wire-protocol server began accepting connections",
+    "server_stopped": "the server shut down (SIGINT/SIGTERM or close)",
+    "query_admitted": "a statement entered the admission queue",
+    "query_error": "a statement failed and an ErrorResponse was sent",
+    "batch_cut": "the batch former cut an admission batch",
+    "fault_injected": "the active FaultPlan fired a fault",
+    "fault_retry": "an attempt was retried after an injected fault",
+    "fault_gave_up": "a task exhausted its RetryPolicy",
+    "worker_kill": "a process-pool worker died executing a task",
+    "pool_rebuild": "a broken process pool was discarded and rebuilt",
+}
+
+
+class EventLog:
+    """A bounded, thread-safe, append-only ring of structured events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Append one event; returns the record (mostly for tests)."""
+        record = {"seq": None, "ts": clock_source(), "kind": kind, **fields}
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            self._ring.append(record)
+        return record
+
+    def records(self) -> list[dict]:
+        """The retained events, oldest first (copies, safe to mutate)."""
+        with self._lock:
+            return [dict(r) for r in self._ring]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def emitted(self) -> int:
+        """Total events emitted, including any the ring has dropped."""
+        with self._lock:
+            return self._seq
+
+    def reset(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._seq = 0
+
+    def write_jsonl(self, path: str) -> int:
+        """Dump the retained events as JSON Lines; returns the count."""
+        records = self.records()
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(records)
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Load a :meth:`EventLog.write_jsonl` file back into records."""
+    records: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def summarize(records: Iterable[dict]) -> dict[str, int]:
+    """Event counts by kind — the quick triage view."""
+    counts: dict[str, int] = {}
+    for record in records:
+        kind = record.get("kind", "?")
+        counts[kind] = counts.get(kind, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+_LOG = EventLog()
+
+
+def events() -> EventLog:
+    """The process-local default event log."""
+    return _LOG

@@ -14,6 +14,13 @@ a JSON **array of events** where
 The array form (rather than the ``{"traceEvents": [...]}`` object) is
 deliberately the simplest valid encoding; both loaders accept it and
 tests validate it structurally (:func:`validate_chrome_trace`).
+
+When a traced span tree is supplied (``span_root=``), the worker-side
+subtrees the executors grafted under each phase leaf (see
+:func:`repro.obs.tracer.graft_task_spans`) become additional ``cat:
+"worker"`` slices nested inside their task's simulated interval — the
+trace then shows *what each worker did inside its task*, on every
+backend including real process pools.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from __future__ import annotations
 import json
 
 from repro.obs.schedule import ScheduleReport
+from repro.obs.tracer import Span
 
 __all__ = [
     "chrome_trace_events",
@@ -32,16 +40,82 @@ __all__ = [
 _US = 1e6
 
 
+def _phase_leaves(root: Span) -> list[Span]:
+    """The phase leaves of a span tree, in pre-order — the exact order
+    :func:`repro.obs.schedule.phases_from_span` enumerates them, so the
+    position in this list matches ``TaskSlice.phase_index``."""
+    leaves: list[Span] = []
+
+    def visit(sp: Span) -> None:
+        if sp.kind in ("parallel", "serial"):
+            leaves.append(sp)
+        for child in sp.children:
+            visit(child)
+
+    visit(root)
+    return leaves
+
+
+def _worker_events(
+    report: ScheduleReport, span_root: Span, pid: int
+) -> list[dict]:
+    """``cat: "worker"`` slices for every grafted worker subtree.
+
+    Each phase leaf's ``task[i]`` wrapper is matched to its TaskSlice by
+    ``(phase_index, task)``; the wrapper's captured spans are laid out
+    sequentially inside the slice, scaled by measured wall time to fill
+    the task's *simulated* interval (worker wall clocks are not
+    commensurable with the simulated timeline, their proportions are).
+    """
+    slices = {(t.phase_index, t.task): t for t in report.tasks}
+    events: list[dict] = []
+    for phase_index, leaf in enumerate(_phase_leaves(span_root)):
+        for wrapper in leaf.children:
+            if wrapper.kind != "worker":
+                continue
+            slice_ = slices.get((phase_index, wrapper.attrs.get("task")))
+            if slice_ is None:
+                continue
+            total_wall = sum(c.wall_seconds for c in wrapper.children)
+            if total_wall <= 0.0 or slice_.duration <= 0.0:
+                continue
+            scale = slice_.duration / total_wall
+            offset = slice_.start
+            for child in wrapper.children:
+                duration = child.wall_seconds * scale
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": child.name,
+                        "cat": "worker",
+                        "pid": pid,
+                        "tid": slice_.core + 1,
+                        "ts": offset * _US,
+                        "dur": duration * _US,
+                        "args": {
+                            "task": slice_.task,
+                            "phase_index": phase_index,
+                            "wall_seconds": child.wall_seconds,
+                            "kind": child.kind,
+                        },
+                    }
+                )
+                offset += duration
+    return events
+
+
 def chrome_trace_events(
     report: ScheduleReport,
     *,
     label: str = "repro simulated schedule",
     pid: int = 1,
+    span_root: Span | None = None,
 ) -> list[dict]:
     """The Trace Event array for one reconstructed schedule.
 
     Deterministic: metadata events first (process name, one thread per
-    core in core order), then the task slices in schedule order.
+    core in core order), then the task slices in schedule order, then —
+    when ``span_root`` is given — the grafted worker-side slices.
     """
     events: list[dict] = [
         {
@@ -91,6 +165,8 @@ def chrome_trace_events(
                 },
             }
         )
+    if span_root is not None:
+        events.extend(_worker_events(report, span_root, pid))
     return events
 
 
@@ -126,13 +202,16 @@ def write_chrome_trace(
     report: ScheduleReport,
     *,
     label: str = "repro simulated schedule",
+    span_root: Span | None = None,
 ) -> str:
     """Write the schedule as a Chrome-trace JSON file; returns ``path``.
 
     Load the result via ``chrome://tracing`` ("Load") or
     https://ui.perfetto.dev ("Open trace file").
     """
-    events = validate_chrome_trace(chrome_trace_events(report, label=label))
+    events = validate_chrome_trace(
+        chrome_trace_events(report, label=label, span_root=span_root)
+    )
     with open(path, "w") as fh:
         json.dump(events, fh, indent=1)
     return path

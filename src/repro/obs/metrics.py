@@ -1,13 +1,22 @@
-"""Process-local counters and gauges — the metrics side of ``repro.obs``.
+"""Process-local counters, gauges and histograms — the metrics side of
+``repro.obs``.
 
 Engines increment named counters at well-defined points (rows scanned,
 delta-map entries emitted, merge fan-in, NUMA penalties applied,
 checkpoint hits, ...).  The registry is deliberately tiny: a counter is a
-locked integer/float, a gauge a locked last-value — enough to answer
-"what did that query actually do" without a dependency, and safe under
-the real-thread executor (every mutation takes the instrument's lock, so
-serial and threaded runs of the same workload produce identical
-snapshots).
+locked integer/float, a gauge a locked last-value, a histogram a locked
+set of sparse log-spaced buckets — enough to answer "what did that query
+actually do" without a dependency, and safe under the real-thread
+executor (every mutation takes the instrument's lock, so serial and
+threaded runs of the same workload produce identical snapshots).
+
+Histograms use exact base-2 buckets (:func:`bucket_key`): the bucket a
+value lands in is a pure function of its floating-point exponent, so the
+same observation produces the same bucket on every platform and under
+every multiprocessing start method.  That is what lets worker-side
+histograms merge *exactly* into the parent registry — bucket counts are
+integers, and ``min``/``max`` move monotonically — preserving the
+executor-parity contract across Serial/Thread/Process backends.
 
 The default registry is process-local (:func:`metrics`).  Tests and the
 CLI ``reset()`` it around a workload and read ``snapshot()`` after.
@@ -15,11 +24,13 @@ CLI ``reset()`` it around a workload and read ``snapshot()`` after.
 
 from __future__ import annotations
 
+import math
 import threading
 
-#: The metric catalogue: every name the instrumented engines emit, with a
-#: one-line meaning.  Kept in one place so the docs, the CLI and the
-#: tests agree on the vocabulary (see docs/observability.md).
+#: The metric catalogue: every counter/gauge name the instrumented
+#: engines emit, with a one-line meaning.  Kept in one place so the docs,
+#: the CLI and the tests agree on the vocabulary (see
+#: docs/observability.md).
 CATALOGUE: dict[str, str] = {
     "step1.rows_scanned": "records scanned by ParTime Step 1 (all paths)",
     "step1.delta_entries": "consolidated delta-map entries emitted by Step 1",
@@ -42,6 +53,72 @@ CATALOGUE: dict[str, str] = {
     "faults.gave_up": "tasks abandoned after exhausting their RetryPolicy",
     "faults.backoff_seconds": "simulated backoff seconds booked by fault retries",
 }
+
+#: Catalogue names that are gauges (everything else in ``CATALOGUE`` is a
+#: counter).  Used by the SQL introspection layer to report a kind for
+#: instruments that have not registered yet.
+GAUGE_NAMES: frozenset[str] = frozenset({"server.queue_depth"})
+
+#: The histogram catalogue: every distribution the serving stack and the
+#: ParTime engine record, with a one-line meaning.  Labelled variants
+#: (e.g. ``server.sim_response{table=bookings}``) share the base name's
+#: meaning.
+HISTOGRAM_CATALOGUE: dict[str, str] = {
+    "server.queue_seconds": "wall seconds a statement waited for its batch cut",
+    "server.service_seconds": "wall seconds a statement's batch spent executing",
+    "server.batch_size": "statements per admission batch",
+    "server.sim_response": "simulated response seconds per served statement",
+    "partime.step1_seconds": "simulated seconds booked per ParTime Step 1 phase",
+    "partime.step2_seconds": "simulated seconds booked per ParTime Step 2 phase",
+}
+
+#: Gauges that record a high-water mark.  ``merge_delta`` folds these
+#: with ``max`` instead of last-write-wins, so the parent-side value is
+#: independent of the order worker deltas happen to arrive in (fork and
+#: spawn pools complete tasks in different orders).
+HIGH_WATER_GAUGES: frozenset[str] = frozenset({"server.queue_depth"})
+
+
+def labelled(name: str, **labels) -> str:
+    """Encode a labelled instrument name: ``base{k=v,...}``, keys sorted.
+
+    Labels are part of the instrument's identity — a labelled histogram
+    is just a histogram whose name carries its dimensions, so snapshots,
+    deltas and merges need no special casing.
+
+    >>> labelled("server.sim_response", table="bookings")
+    'server.sim_response{table=bookings}'
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_labels(name: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`labelled`: ``(base_name, labels)``.
+
+    >>> parse_labels("server.sim_response{table=bookings}")
+    ('server.sim_response', {'table': 'bookings'})
+    >>> parse_labels("server.batch_size")
+    ('server.batch_size', {})
+    """
+    if not name.endswith("}") or "{" not in name:
+        return name, {}
+    base, _, inner = name.partition("{")
+    labels: dict[str, str] = {}
+    for pair in inner[:-1].split(","):
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        labels[key] = value
+    return base, labels
+
+
+def is_high_water(name: str) -> bool:
+    """Whether a gauge records a high-water mark (merged with ``max``)."""
+    base, _labels = parse_labels(name)
+    return base in HIGH_WATER_GAUGES or base.endswith(".peak")
 
 
 class Counter:
@@ -82,13 +159,171 @@ class Gauge:
         return self._value
 
 
+# ---------------------------------------------------------------------------
+# Histograms
+# ---------------------------------------------------------------------------
+
+
+def bucket_key(value: float) -> str:
+    """The exact base-2 bucket a value belongs to.
+
+    Positive values land in ``p<e>`` where ``e`` is the binary exponent
+    from :func:`math.frexp` (bucket ``p<e>`` covers ``[2**(e-1), 2**e)``);
+    negative values mirror into ``n<e>``; zero gets its own bucket.  The
+    key is a pure function of the IEEE-754 bit pattern — no float
+    arithmetic, no platform dependence — which is what makes histogram
+    merges exact across process boundaries.
+
+    >>> bucket_key(0.75), bucket_key(1.0), bucket_key(0.0), bucket_key(-3.0)
+    ('p0', 'p1', 'z', 'n2')
+    """
+    if value == 0.0:
+        return "z"
+    _mantissa, exponent = math.frexp(abs(value))
+    return f"p{exponent}" if value > 0 else f"n{exponent}"
+
+
+def bucket_bounds(key: str) -> tuple[float, float]:
+    """``(low, high)`` of a bucket key; the bucket covers ``[low, high)``.
+
+    >>> bucket_bounds("p1")
+    (1.0, 2.0)
+    >>> bucket_bounds("p0")
+    (0.5, 1.0)
+    """
+    if key == "z":
+        return (0.0, 0.0)
+    exponent = int(key[1:])
+    high = math.ldexp(1.0, exponent)
+    low = math.ldexp(0.5, exponent)
+    if key[0] == "p":
+        return (low, high)
+    return (-high, -low)
+
+
+def _bucket_sort_value(key: str) -> float:
+    """A sort key that orders buckets by the values they contain."""
+    low, high = bucket_bounds(key)
+    return (low + high) / 2.0
+
+
+class Histogram:
+    """A thread-safe, exactly-mergeable log-bucketed distribution.
+
+    Buckets are sparse (``{bucket_key: count}``); alongside them the
+    instrument tracks exact ``count``/``sum``/``min``/``max``.  All five
+    move monotonically under observation (sum in magnitude for the usual
+    non-negative durations), so a snapshot delta between two points in
+    time merges losslessly into another registry — see
+    :func:`diff_snapshots` / :func:`merge_delta`.
+    """
+
+    __slots__ = ("name", "_buckets", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._buckets: dict[str, int] = {}
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        key = bucket_key(value)
+        with self._lock:
+            self._buckets[key] = self._buckets.get(key, 0) + 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    def value_snapshot(self) -> dict:
+        """This histogram's state as plain data (JSON-serialisable)."""
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "buckets": dict(sorted(self._buckets.items(),
+                                       key=lambda kv: _bucket_sort_value(kv[0]))),
+            }
+
+    def merge(self, snap: dict) -> None:
+        """Fold another histogram snapshot (or delta) into this one."""
+        with self._lock:
+            for key, n in snap.get("buckets", {}).items():
+                self._buckets[key] = self._buckets.get(key, 0) + int(n)
+            self._count += int(snap.get("count", 0))
+            self._sum += float(snap.get("sum", 0.0))
+            for bound, pick in (("min", min), ("max", max)):
+                other = snap.get(bound)
+                if other is None:
+                    continue
+                ours = self._min if bound == "min" else self._max
+                merged = float(other) if ours is None else pick(ours, float(other))
+                if bound == "min":
+                    self._min = merged
+                else:
+                    self._max = merged
+
+    def quantile(self, q: float) -> float | None:
+        """An estimated quantile (exact bucket bounds, clamped to the
+        observed ``min``/``max``)."""
+        return snapshot_quantile(self.value_snapshot(), q)
+
+
+def snapshot_quantile(snap: dict, q: float) -> float | None:
+    """Estimate the ``q``-quantile of a histogram snapshot.
+
+    Walks the buckets in value order until the cumulative count crosses
+    ``q * count`` and reports that bucket's upper bound, clamped to the
+    exact observed ``min``/``max`` so single-observation histograms
+    answer exactly.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = snap.get("count", 0)
+    if not total:
+        return None
+    rank = q * total
+    seen = 0
+    estimate = None
+    for key in sorted(snap.get("buckets", {}), key=_bucket_sort_value):
+        seen += snap["buckets"][key]
+        if seen >= rank:
+            estimate = bucket_bounds(key)[1]
+            break
+    if estimate is None:  # q == 1.0 edge or empty buckets
+        estimate = snap.get("max")
+    lo, hi = snap.get("min"), snap.get("max")
+    if lo is not None:
+        estimate = max(estimate, lo)
+    if hi is not None:
+        estimate = min(estimate, hi)
+    return estimate
+
+
 class MetricsRegistry:
-    """A named collection of counters and gauges."""
+    """A named collection of counters, gauges and histograms."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         """The counter with this name (created on first use)."""
@@ -106,8 +341,18 @@ class MetricsRegistry:
                 inst = self._gauges[name] = Gauge(name)
             return inst
 
+    def histogram(self, name: str, **labels) -> Histogram:
+        """The histogram with this name + labels (created on first use)."""
+        name = labelled(name, **labels)
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(name)
+            return inst
+
     def snapshot(self) -> dict:
-        """All current values: ``{"counters": {...}, "gauges": {...}}``.
+        """All current values:
+        ``{"counters": {...}, "gauges": {...}, "histograms": {...}}``.
 
         Zero-valued instruments are included — an explicit zero is
         information ("no checkpoint was hit"), a missing key is not.
@@ -116,6 +361,10 @@ class MetricsRegistry:
             return {
                 "counters": {n: c.value for n, c in sorted(self._counters.items())},
                 "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.value_snapshot()
+                    for n, h in sorted(self._histograms.items())
+                },
             }
 
     def reset(self) -> None:
@@ -123,18 +372,31 @@ class MetricsRegistry:
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
+            self._histograms.clear()
 
     def format_table(self) -> str:
         """Aligned plain-text rendering of the snapshot."""
         snap = self.snapshot()
         rows = [("counter", n, v) for n, v in snap["counters"].items()]
         rows += [("gauge", n, v) for n, v in snap["gauges"].items()]
+        for name, hist in snap["histograms"].items():
+            p95 = snapshot_quantile(hist, 0.95)
+            shown = (
+                f"n={hist['count']} p95={p95:g}" if p95 is not None
+                else f"n={hist['count']}"
+            )
+            rows.append(("histogram", name, shown))
         if not rows:
             return "(no metrics recorded)"
         width = max(len(n) for _k, n, _v in rows)
         lines = []
         for kind, name, value in rows:
-            shown = f"{value:,}" if isinstance(value, int) else f"{value:g}"
+            if isinstance(value, int):
+                shown = f"{value:,}"
+            elif isinstance(value, float):
+                shown = f"{value:g}"
+            else:
+                shown = str(value)
             lines.append(f"{name.ljust(width)}  {shown:>14}  ({kind})")
         return "\n".join(lines)
 
@@ -160,11 +422,43 @@ def metrics() -> MetricsRegistry:
 # process execution produces identical parent-side snapshots.
 
 
+def _diff_histogram(before: dict | None, after: dict) -> dict | None:
+    """What ``after`` observed on top of ``before`` (``None``: nothing)."""
+    if before is None:
+        return dict(after) if after.get("count") else None
+    count = after.get("count", 0) - before.get("count", 0)
+    if count <= 0:
+        return None
+    buckets = {}
+    before_buckets = before.get("buckets", {})
+    for key, n in after.get("buckets", {}).items():
+        delta = int(n) - int(before_buckets.get(key, 0))
+        if delta:
+            buckets[key] = delta
+    delta_hist: dict = {
+        "count": count,
+        "sum": after.get("sum", 0.0) - before.get("sum", 0.0),
+        "min": None,
+        "max": None,
+        "buckets": buckets,
+    }
+    # min only ever decreases and max only ever increases: the delta
+    # carries a bound exactly when the new observations moved it, so the
+    # merge's min()/max() fold reconstructs ``after`` losslessly.
+    if after.get("min") != before.get("min"):
+        delta_hist["min"] = after.get("min")
+    if after.get("max") != before.get("max"):
+        delta_hist["max"] = after.get("max")
+    return delta_hist
+
+
 def diff_snapshots(before: dict, after: dict) -> dict:
     """What ``after`` added on top of ``before``.
 
     Counters subtract; gauges are last-value, so the delta carries every
-    gauge whose value changed (or appeared) since ``before``.
+    gauge whose value changed (or appeared) since ``before``; histograms
+    subtract bucket-wise (their counts are monotonic) and carry
+    ``min``/``max`` only when the new observations moved them.
     """
     counters = {}
     for name, value in after.get("counters", {}).items():
@@ -176,14 +470,53 @@ def diff_snapshots(before: dict, after: dict) -> dict:
     for name, value in after.get("gauges", {}).items():
         if name not in before_gauges or before_gauges[name] != value:
             gauges[name] = value
-    return {"counters": counters, "gauges": gauges}
+    histograms = {}
+    before_hists = before.get("histograms", {})
+    for name, value in after.get("histograms", {}).items():
+        delta_hist = _diff_histogram(before_hists.get(name), value)
+        if delta_hist is not None or name not in before_hists:
+            histograms[name] = delta_hist if delta_hist is not None else {
+                "count": 0, "sum": 0.0, "min": None, "max": None, "buckets": {},
+            }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
 
 def merge_delta(delta: dict, registry: MetricsRegistry | None = None) -> None:
     """Fold a :func:`diff_snapshots` delta into ``registry`` (the default
-    process-local one when omitted)."""
+    process-local one when omitted).
+
+    Counters and histogram buckets add; plain gauges keep last-write
+    semantics; high-water gauges (:data:`HIGH_WATER_GAUGES`, and any
+    ``*.peak`` name) fold with ``max`` so the merged value does not
+    depend on the order concurrent worker deltas arrive in.
+    """
     registry = registry or metrics()
     for name, value in delta.get("counters", {}).items():
         registry.counter(name).add(value)
     for name, value in delta.get("gauges", {}).items():
-        registry.gauge(name).set(value)
+        inst = registry.gauge(name)
+        if is_high_water(name):
+            inst.set(max(inst.value, value))
+        else:
+            inst.set(value)
+    for name, value in delta.get("histograms", {}).items():
+        registry.histogram(name).merge(value)
+
+
+def comparable_snapshot(snap: dict) -> dict:
+    """A backend-independent projection of a snapshot.
+
+    Counters and gauges are deterministic across executor backends, but
+    histogram *values* record measured wall/sim durations that legitimately
+    differ run to run; what parity can pin is the shape — which
+    distributions exist and how many observations each took.  The parity
+    suites compare this projection.
+    """
+    return {
+        "counters": dict(snap.get("counters", {})),
+        "gauges": dict(snap.get("gauges", {})),
+        "histograms": {
+            name: value.get("count", 0)
+            for name, value in snap.get("histograms", {}).items()
+        },
+    }

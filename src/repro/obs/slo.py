@@ -1,0 +1,171 @@
+"""Service-level objectives over *simulated* time — burn-rate accounting.
+
+ParTime's pitch is predictable response times under load (PAPER.md §6:
+the Amadeus deployment promises response-time guarantees; Figures 13/15
+are latency *distributions*).  This module turns that promise into
+checkable objectives: each :class:`SLObjective` declares what fraction
+of served statements must be good (fast enough, or simply not an
+error), and a :class:`SloTracker` scores recent traffic against it over
+several look-back windows.
+
+Everything is booked in **simulated seconds**: the tracker's clock
+advances by each admission batch's simulated cycle time (what the
+paper's 32-core machine would have observed), not by host wall time, so
+burn rates are as deterministic as the serving simulation itself.
+
+The *burn rate* is the standard SRE ratio: the fraction of the error
+budget being consumed, ``bad_fraction / (1 - target)``.  A burn rate of
+1.0 spends the budget exactly as fast as the objective allows; above
+1.0 the objective is burning down; sustained high burn over a long
+window is an incident.  Multi-window reporting (short + long) is what
+distinguishes a blip from a trend.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+#: Look-back windows, in simulated seconds (short blip -> long trend).
+DEFAULT_WINDOWS: tuple[float, ...] = (1.0, 10.0, 60.0)
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One objective: what fraction of events must be good.
+
+    ``kind`` is ``"latency"`` (good = at or under ``threshold_seconds``)
+    or ``"error_rate"`` (good = not an error).  ``target`` is the
+    required good fraction, e.g. ``0.95`` for a p95 objective.
+    """
+
+    name: str
+    kind: str  # "latency" | "error_rate"
+    target: float
+    threshold_seconds: float | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "error_rate"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.kind == "latency" and self.threshold_seconds is None:
+            raise ValueError("latency objectives need threshold_seconds")
+
+    def is_bad(self, latency_seconds: float, error: bool) -> bool:
+        if self.kind == "error_rate":
+            return error
+        return error or latency_seconds > float(self.threshold_seconds)
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the allowed bad fraction, ``1 - target``."""
+        return 1.0 - self.target
+
+
+#: The serving stack's shipped objectives.  Thresholds are simulated
+#: response seconds (`server.sim_response`); the serving benchmark's
+#: Table-1 mix sits comfortably inside them on the paper's machine, so a
+#: burn rate above 1.0 means the simulation got slower, not the host.
+DEFAULT_OBJECTIVES: tuple[SLObjective, ...] = (
+    SLObjective(
+        "sim_response_p95", "latency", target=0.95, threshold_seconds=0.050,
+        description="95% of statements answer within 50 simulated ms",
+    ),
+    SLObjective(
+        "sim_response_p99", "latency", target=0.99, threshold_seconds=0.250,
+        description="99% of statements answer within 250 simulated ms",
+    ),
+    SLObjective(
+        "availability", "error_rate", target=0.99,
+        description="99% of statements succeed",
+    ),
+)
+
+
+class SloTracker:
+    """Scores recent served statements against a set of objectives.
+
+    ``advance(sim_seconds)`` moves the tracker's simulated clock (called
+    once per admission batch with the batch's simulated cycle time);
+    ``record(latency, error)`` books one served statement at the current
+    simulated instant.  ``burn_rates()`` reports one row per
+    (objective, window).
+    """
+
+    def __init__(
+        self,
+        objectives: tuple[SLObjective, ...] = DEFAULT_OBJECTIVES,
+        windows: tuple[float, ...] = DEFAULT_WINDOWS,
+        capacity: int = 8192,
+    ) -> None:
+        self.objectives = tuple(objectives)
+        self.windows = tuple(windows)
+        self._events: deque[tuple[float, float, bool]] = deque(maxlen=capacity)
+        self._sim_now = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def sim_now(self) -> float:
+        return self._sim_now
+
+    def advance(self, sim_seconds: float) -> None:
+        """Advance the simulated clock (non-negative increments only)."""
+        if sim_seconds < 0:
+            raise ValueError("simulated time cannot run backwards")
+        with self._lock:
+            self._sim_now += float(sim_seconds)
+
+    def record(self, latency_seconds: float, error: bool = False) -> None:
+        """Book one served statement at the current simulated instant."""
+        with self._lock:
+            self._events.append(
+                (self._sim_now, float(latency_seconds), bool(error))
+            )
+
+    def burn_rates(self) -> list[dict]:
+        """One row per (objective, window): counts, burn rate, status.
+
+        ``status`` is ``"ok"`` (burn <= 1), ``"burn"`` (budget burning
+        faster than allowed) or ``"idle"`` (no traffic in the window).
+        """
+        with self._lock:
+            now = self._sim_now
+            snapshot = list(self._events)
+        rows: list[dict] = []
+        for objective in self.objectives:
+            for window in self.windows:
+                recent = [e for e in snapshot if e[0] >= now - window]
+                total = len(recent)
+                bad = sum(
+                    1 for _ts, latency, error in recent
+                    if objective.is_bad(latency, error)
+                )
+                if total:
+                    bad_fraction = bad / total
+                    burn = bad_fraction / objective.budget
+                    status = "ok" if burn <= 1.0 else "burn"
+                else:
+                    bad_fraction = 0.0
+                    burn = 0.0
+                    status = "idle"
+                rows.append({
+                    "objective": objective.name,
+                    "kind": objective.kind,
+                    "window_seconds": window,
+                    "target": objective.target,
+                    "threshold_seconds": objective.threshold_seconds,
+                    "total": total,
+                    "bad": bad,
+                    "bad_fraction": bad_fraction,
+                    "burn_rate": burn,
+                    "status": status,
+                })
+        return rows
+
+    def worst_burn(self) -> float:
+        """The highest burn rate across all (objective, window) rows."""
+        rows = self.burn_rates()
+        return max((r["burn_rate"] for r in rows), default=0.0)

@@ -37,8 +37,18 @@ from typing import Iterator
 
 from repro.simtime.measure import measured
 
-#: Span kinds, in the order they usually appear in a tree.
-KINDS = ("root", "query", "parallel", "serial", "probe", "span", "measure")
+#: Span kinds, in the order they usually appear in a tree.  The
+#: ``worker*`` kinds only appear under phase leaves: they wrap span
+#: subtrees captured inside executor tasks (possibly in another process)
+#: and grafted back under the phase that dispatched them.  A captured
+#: parallel/serial booking is renamed to ``worker-parallel``/
+#: ``worker-serial`` with its simulated time moved into attrs, so the
+#: schedule reconstruction (:func:`repro.obs.schedule.phases_from_span`)
+#: and ``sim_total()`` only ever see the parent clock's bookings.
+KINDS = (
+    "root", "query", "parallel", "serial", "probe", "span", "measure",
+    "worker", "worker-parallel", "worker-serial",
+)
 
 
 @dataclass
@@ -238,9 +248,24 @@ class Tracer:
 
 _CURRENT: Tracer | None = None
 
+#: Thread-local tracer override, installed by :func:`capture`.  Executor
+#: tasks run their bodies under a capture so the spans they record land
+#: in a detached per-task tree (to be grafted under the dispatching
+#: phase leaf) instead of racing for the shared process-wide tracer —
+#: essential for the thread backend, whose pool threads would otherwise
+#: interleave their leaves under whatever span the main thread has open.
+_TLS = threading.local()
+
 
 def current_tracer() -> Tracer | None:
-    """The active tracer, or ``None`` when tracing is off."""
+    """The active tracer, or ``None`` when tracing is off.
+
+    A thread-local :func:`capture` takes precedence over the
+    process-wide tracer installed by :func:`tracing`.
+    """
+    override = getattr(_TLS, "tracer", None)
+    if override is not None:
+        return override
     return _CURRENT
 
 
@@ -267,6 +292,80 @@ def tracing(name: str = "trace") -> Iterator[Tracer]:
         _CURRENT = outer
 
 
+@contextmanager
+def capture(name: str = "capture") -> Iterator[Tracer]:
+    """Collect this thread's spans into a detached tracer.
+
+    Unlike :func:`tracing`, the captured root is *not* grafted into any
+    outer tree and the activation is thread-local: executors wrap each
+    task body in a capture, then graft the captured children under the
+    phase leaf the clock booked (:func:`graft_task_spans`) — which is
+    how worker-side span structure survives the thread pool and, via
+    ``Span.to_dict``, the process boundary.
+    """
+    tracer = Tracer(name)
+    previous = getattr(_TLS, "tracer", None)
+    _TLS.tracer = tracer
+    try:
+        with measured() as sw:
+            yield tracer
+    finally:
+        tracer.root.wall_seconds = sw.elapsed
+        _TLS.tracer = previous
+
+
+def neutralize_subtree(sp: Span) -> Span:
+    """A copy of a captured subtree, safe to graft under a phase leaf.
+
+    Captured ``parallel``/``serial`` bookings become ``worker-parallel``/
+    ``worker-serial`` with ``sim_seconds`` moved into
+    ``attrs["local_sim_seconds"]``: the parent's clock already booked
+    this task's measured duration into the dispatching phase, so the
+    grafted copy must contribute neither simulated time
+    (``sim_total()``) nor phases (``phases_from_span``) of its own.
+    """
+    kind = sp.kind
+    attrs = dict(sp.attrs)
+    if kind in ("parallel", "serial"):
+        kind = f"worker-{sp.kind}"
+    if sp.sim_seconds:
+        attrs["local_sim_seconds"] = sp.sim_seconds
+    return Span(
+        sp.name,
+        kind=kind,
+        wall_seconds=sp.wall_seconds,
+        sim_seconds=0.0,
+        durations=sp.durations,
+        slots=sp.slots,
+        attrs=attrs,
+        children=[neutralize_subtree(c) for c in sp.children],
+    )
+
+
+def graft_task_spans(leaf: Span | None, subtrees: dict[int, list[Span]]) -> None:
+    """Attach per-task captured subtrees under a phase leaf.
+
+    ``subtrees`` maps task index to the children of that task's capture
+    root.  Tasks that recorded nothing are skipped, so backends that
+    cannot capture (or tasks with un-instrumented bodies) stay
+    structurally identical to ones that simply had nothing to say.
+    """
+    if leaf is None:
+        return
+    for task in sorted(subtrees):
+        children = subtrees[task]
+        if not children:
+            continue
+        wrapper = Span(
+            f"task[{task}]",
+            kind="worker",
+            wall_seconds=sum(c.wall_seconds for c in children),
+            attrs={"task": task},
+            children=[neutralize_subtree(c) for c in children],
+        )
+        leaf.children.append(wrapper)
+
+
 def record_phase(
     label: str,
     kind: str,
@@ -274,24 +373,32 @@ def record_phase(
     slots: int,
     elapsed: float,
     attrs: dict | None = None,
-) -> None:
-    """Module-level hook used by :class:`~repro.simtime.clock.SimClock`."""
-    if _CURRENT is not None:
-        _CURRENT.record_phase(label, kind, durations, slots, elapsed, attrs)
+) -> Span | None:
+    """Module-level hook used by :class:`~repro.simtime.clock.SimClock`.
+
+    Returns the recorded phase leaf (for executors to graft worker
+    subtrees under), or ``None`` when tracing is off.
+    """
+    tracer = current_tracer()
+    if tracer is not None:
+        return tracer.record_phase(label, kind, durations, slots, elapsed, attrs)
+    return None
 
 
 def record_measure(label: str, seconds: float,
                    attrs: dict | None = None) -> None:
     """Module-level hook used by ``measured(label=...)``."""
-    if _CURRENT is not None:
-        _CURRENT.record_measure(label, seconds, attrs)
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.record_measure(label, seconds, attrs)
 
 
 @contextmanager
 def span(name: str, kind: str = "span", **attrs) -> Iterator[Span | None]:
     """Open a span on the active tracer; no-op when tracing is off."""
-    if _CURRENT is None:
+    tracer = current_tracer()
+    if tracer is None:
         yield None
         return
-    with _CURRENT.span(name, kind=kind, **attrs) as sp:
+    with tracer.span(name, kind=kind, **attrs) as sp:
         yield sp

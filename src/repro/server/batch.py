@@ -18,7 +18,12 @@ Each served statement gets the latency decomposition recorded:
   standalone response and full-cycle times from the cluster's clock.
 
 Metrics: ``server.batches`` counts cut batches, ``server.queue_depth``
-gauges the queue length at each cut (see docs/observability.md).
+gauges the queue length at each cut, and the latency decomposition feeds
+the ``server.*`` histograms (queue/service/batch-size/sim-response, the
+last also labelled per table).  Each cut emits a ``batch_cut`` event,
+and the optional :class:`~repro.obs.slo.SloTracker` is advanced by the
+batch's simulated cycle time with every statement's simulated response
+recorded against it (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -27,7 +32,9 @@ import asyncio
 import concurrent.futures
 from dataclasses import dataclass
 
+from repro.obs.events import events
 from repro.obs.metrics import metrics
+from repro.obs.slo import SloTracker
 from repro.server.engine import ServedQuery, ServingEngine
 from repro.simtime.measure import clock_source
 
@@ -61,8 +68,12 @@ class BatchFormer:
         engine: ServingEngine,
         *,
         min_cycle_seconds: float = 0.0,
+        slo: SloTracker | None = None,
     ) -> None:
         self.engine = engine
+        #: Burn-rate tracker advanced by each batch's simulated cycle
+        #: time (the server wires its own in; ``None`` disables SLOs).
+        self.slo = slo
         #: Optional floor on the cycle cadence: with a fast engine and a
         #: trickle of clients every query would get a private batch;
         #: a small floor (e.g. 2ms) restores the shared-scan economics.
@@ -163,6 +174,7 @@ class BatchFormer:
                         item.future.set_exception(exc)
                 continue
             done = clock_source()
+            self._observe_batch(batch, outcomes, cut, done)
             for item, outcome in zip(batch, outcomes):
                 self.queries_served += 1
                 if item.future.done():  # waiter gone (connection dropped)
@@ -179,3 +191,45 @@ class BatchFormer:
                 elapsed = clock_source() - cut
                 if elapsed < self.min_cycle_seconds:
                     await asyncio.sleep(self.min_cycle_seconds - elapsed)
+
+    def _observe_batch(
+        self,
+        batch: list[_Pending],
+        outcomes: list[ServedQuery],
+        cut: float,
+        done: float,
+    ) -> None:
+        """Book one cut batch into the telemetry plane: the ``server.*``
+        histograms, a ``batch_cut`` event, and the SLO tracker (advanced
+        by the batch's simulated cycle time — simulated, not wall, so
+        burn rates are as deterministic as the serving simulation)."""
+        reg = metrics()
+        reg.histogram("server.batch_size").observe(len(batch))
+        reg.histogram("server.service_seconds").observe(done - cut)
+        for item, outcome in zip(batch, outcomes):
+            reg.histogram("server.queue_seconds").observe(cut - item.arrived)
+            if outcome.ok:
+                reg.histogram("server.sim_response").observe(
+                    outcome.sim_response_seconds
+                )
+                if outcome.table is not None:
+                    reg.histogram(
+                        "server.sim_response", table=outcome.table
+                    ).observe(outcome.sim_response_seconds)
+        sim_cycle = max(
+            (o.sim_batch_seconds for o in outcomes if o.ok), default=0.0
+        )
+        errors = sum(1 for o in outcomes if not o.ok)
+        events().emit(
+            "batch_cut",
+            size=len(batch),
+            errors=errors,
+            service_seconds=done - cut,
+            sim_cycle_seconds=sim_cycle,
+        )
+        if self.slo is not None:
+            self.slo.advance(sim_cycle)
+            for outcome in outcomes:
+                self.slo.record(
+                    outcome.sim_response_seconds, error=not outcome.ok
+                )

@@ -9,10 +9,16 @@ test suite and the CI serving-smoke job need no third-party driver.
 
 from __future__ import annotations
 
+import json
 import socket
 from dataclasses import dataclass, field
 
 from repro.server import protocol
+
+#: NOTICE prefix of the machine-parseable telemetry trailer the server
+#: appends to every successful result set (after the human-readable
+#: ``partime: batch=...`` line).
+TELEMETRY_PREFIX = "partime-telemetry: "
 
 
 @dataclass
@@ -24,6 +30,10 @@ class QueryOutcome:
     command_tag: str = ""
     error: dict[str, str] | None = None
     notices: list[str] = field(default_factory=list)
+    #: Parsed ``partime-telemetry`` trailer: batch size, latency
+    #: decomposition and planned table (``None`` when the server sent
+    #: none, e.g. for errors or virtual-table probes).
+    telemetry: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -85,7 +95,15 @@ class SimpleQueryClient:
                 outcome.error = protocol.parse_error_response(payload)
             elif type_byte == b"N":
                 fields = protocol.parse_error_response(payload)
-                outcome.notices.append(fields.get("M", ""))
+                message = fields.get("M", "")
+                outcome.notices.append(message)
+                if message.startswith(TELEMETRY_PREFIX):
+                    try:
+                        outcome.telemetry = json.loads(
+                            message[len(TELEMETRY_PREFIX):]
+                        )
+                    except ValueError:
+                        pass  # malformed trailer: keep the raw notice
             elif type_byte == b"S":
                 name, offset = protocol._read_cstr(payload, 0)
                 value, _ = protocol._read_cstr(payload, offset)

@@ -47,6 +47,9 @@ class ServedQuery:
     error: Exception | None = None
     sim_response_seconds: float = 0.0
     sim_batch_seconds: float = 0.0
+    #: Table the statement was planned against (``None`` for joins and
+    #: statements that failed to parse) — labels per-table telemetry.
+    table: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -129,6 +132,7 @@ class ServingEngine:
                     if kind == "select"
                     else TemporalAggQuery(compiled)
                 )
+                served[i].table = stmt.table
                 per_table.setdefault(stmt.table, []).append(_Planned(i, op=op))
             except SqlError as exc:
                 served[i].error = exc

@@ -1,0 +1,209 @@
+"""SQL-queryable live telemetry: the ``partime_*`` virtual tables.
+
+The serving stack's observability plane is reachable over the same wire
+as the data: ``SELECT * FROM partime_metrics`` (and friends) against a
+live ``python -m repro serve`` answers from the process's own registry,
+SLO tracker and event ring — no sidecar, no scrape endpoint, psql is the
+dashboard.  Four tables:
+
+* ``partime_metrics``    — every catalogued counter/gauge (unregistered
+  instruments report 0, so the full vocabulary is always visible);
+* ``partime_histograms`` — every catalogued + registered histogram with
+  count/sum/min/max and p50/p90/p99 (labelled variants included);
+* ``partime_slo``        — one row per (objective, look-back window)
+  from the server's burn-rate tracker;
+* ``partime_events``     — the structured event ring, oldest first.
+
+Virtual statements are intercepted *before* admission control: they
+answer from the serving process's live state and must not ride a shared
+scan cycle (a metrics probe that has to wait for a batch cut would
+perturb the very queue depths it reports).  Only the exact shape
+``SELECT * FROM partime_<name> [LIMIT n]`` is recognised; anything else
+falls through to the SQL front door untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import (
+    CATALOGUE,
+    GAUGE_NAMES,
+    HISTOGRAM_CATALOGUE,
+    MetricsRegistry,
+    snapshot_quantile,
+)
+from repro.obs.slo import SloTracker
+from repro.server.protocol import OID_FLOAT8, OID_INT8, OID_TEXT, ColumnSpec
+
+#: The only statement shape the virtual layer answers.  Deliberately
+#: narrow: projections, predicates and joins over telemetry belong to a
+#: real catalog integration (ROADMAP), not a regex.
+_VIRTUAL_RE = re.compile(
+    r"^select\s+\*\s+from\s+(partime_[a-z_]+)\s*(?:limit\s+(\d+))?$",
+    re.IGNORECASE,
+)
+
+#: Reserved event-record keys; everything else lands in ``detail``.
+_EVENT_CORE = ("seq", "ts", "kind")
+
+
+def match_virtual(sql: str) -> tuple[str, int | None] | None:
+    """``(table_name, limit)`` when ``sql`` targets a virtual table."""
+    m = _VIRTUAL_RE.match(sql.strip())
+    if m is None:
+        return None
+    name = m.group(1).lower()
+    if name not in VIRTUAL_TABLES:
+        return None
+    limit = None if m.group(2) is None else int(m.group(2))
+    return name, limit
+
+
+def _cell(value) -> str | None:
+    """Text-format wire cell for one telemetry value."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def metrics_rows(
+    registry: MetricsRegistry,
+) -> tuple[list[ColumnSpec], list[list[str | None]]]:
+    """Every catalogued counter/gauge plus anything registered beyond
+    the catalogue, alphabetically; unregistered instruments report 0."""
+    snap = registry.snapshot()
+    names: dict[str, tuple[str, float]] = {}
+    for name in CATALOGUE:
+        kind = "gauge" if name in GAUGE_NAMES else "counter"
+        names[name] = (kind, 0)
+    for name, value in snap["counters"].items():
+        names[name] = ("counter", value)
+    for name, value in snap["gauges"].items():
+        names[name] = ("gauge", value)
+    columns = [
+        ColumnSpec("name", OID_TEXT),
+        ColumnSpec("kind", OID_TEXT),
+        ColumnSpec("value", OID_FLOAT8),
+    ]
+    rows = [
+        [name, kind, _cell(float(value))]
+        for name, (kind, value) in sorted(names.items())
+    ]
+    return columns, rows
+
+
+def histogram_rows(
+    registry: MetricsRegistry,
+) -> tuple[list[ColumnSpec], list[list[str | None]]]:
+    """Catalogued + registered histograms (labelled variants included)
+    with their counts, extrema and headline quantiles."""
+    snap = registry.snapshot()["histograms"]
+    empty = {"count": 0, "sum": 0.0, "min": None, "max": None, "buckets": {}}
+    merged: dict[str, dict] = {name: empty for name in HISTOGRAM_CATALOGUE}
+    merged.update(snap)
+    columns = [
+        ColumnSpec("name", OID_TEXT),
+        ColumnSpec("count", OID_INT8),
+        ColumnSpec("sum", OID_FLOAT8),
+        ColumnSpec("min", OID_FLOAT8),
+        ColumnSpec("max", OID_FLOAT8),
+        ColumnSpec("p50", OID_FLOAT8),
+        ColumnSpec("p90", OID_FLOAT8),
+        ColumnSpec("p99", OID_FLOAT8),
+    ]
+    rows = []
+    for name, h in sorted(merged.items()):
+        rows.append([
+            name,
+            _cell(h["count"]),
+            _cell(float(h["sum"])),
+            _cell(h["min"]),
+            _cell(h["max"]),
+            _cell(snapshot_quantile(h, 0.50)),
+            _cell(snapshot_quantile(h, 0.90)),
+            _cell(snapshot_quantile(h, 0.99)),
+        ])
+    return columns, rows
+
+
+def slo_rows(
+    tracker: SloTracker | None,
+) -> tuple[list[ColumnSpec], list[list[str | None]]]:
+    """One row per (objective, window) from the live burn-rate tracker."""
+    columns = [
+        ColumnSpec("objective", OID_TEXT),
+        ColumnSpec("kind", OID_TEXT),
+        ColumnSpec("window_seconds", OID_FLOAT8),
+        ColumnSpec("target", OID_FLOAT8),
+        ColumnSpec("threshold_seconds", OID_FLOAT8),
+        ColumnSpec("total", OID_INT8),
+        ColumnSpec("bad", OID_INT8),
+        ColumnSpec("bad_fraction", OID_FLOAT8),
+        ColumnSpec("burn_rate", OID_FLOAT8),
+        ColumnSpec("status", OID_TEXT),
+    ]
+    rows = []
+    for r in (tracker.burn_rates() if tracker is not None else []):
+        rows.append([
+            r["objective"],
+            r["kind"],
+            _cell(r["window_seconds"]),
+            _cell(r["target"]),
+            _cell(r["threshold_seconds"]),
+            _cell(r["total"]),
+            _cell(r["bad"]),
+            _cell(r["bad_fraction"]),
+            _cell(r["burn_rate"]),
+            r["status"],
+        ])
+    return columns, rows
+
+
+def event_rows(
+    log: EventLog,
+) -> tuple[list[ColumnSpec], list[list[str | None]]]:
+    """The event ring, oldest first; extra fields JSON-packed in
+    ``detail`` (sorted keys, so rows are stable for tests and diffs)."""
+    columns = [
+        ColumnSpec("seq", OID_INT8),
+        ColumnSpec("ts", OID_FLOAT8),
+        ColumnSpec("kind", OID_TEXT),
+        ColumnSpec("detail", OID_TEXT),
+    ]
+    rows = []
+    for record in log.records():
+        detail = {k: v for k, v in record.items() if k not in _EVENT_CORE}
+        rows.append([
+            _cell(record["seq"]),
+            _cell(float(record["ts"])),
+            record["kind"],
+            json.dumps(detail, sort_keys=True),
+        ])
+    return columns, rows
+
+
+#: Table name -> builder(server) -> (columns, rows).  The server object
+#: supplies the live registry / tracker / ring.
+VIRTUAL_TABLES = {
+    "partime_metrics": lambda server: metrics_rows(server.registry),
+    "partime_histograms": lambda server: histogram_rows(server.registry),
+    "partime_slo": lambda server: slo_rows(server.slo),
+    "partime_events": lambda server: event_rows(server.events),
+}
+
+
+def serve_virtual(
+    server, name: str, limit: int | None
+) -> tuple[list[ColumnSpec], list[list[str | None]]]:
+    """Build one virtual result set against the live server state."""
+    columns, rows = VIRTUAL_TABLES[name](server)
+    if limit is not None:
+        rows = rows[:limit]
+    return columns, rows

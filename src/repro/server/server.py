@@ -10,19 +10,30 @@ retried inside the engine and are invisible here except as latency.
 
 Metrics: ``server.connections`` counts accepted clients and
 ``server.queries`` served statements; the batch former owns
-``server.batches`` / ``server.queue_depth``.
+``server.batches`` / ``server.queue_depth`` and the ``server.*``
+histograms.  The server also owns the telemetry plane's server-side
+state: the :class:`~repro.obs.slo.SloTracker` the former books into,
+and the ``partime_*`` virtual tables (``repro.server.introspect``) that
+expose registry, SLO burn rates and the event ring over the same wire.
+Every successful result set carries two NOTICEs: the human-readable
+``partime: batch=...`` line and a machine-parseable
+``partime-telemetry: {json}`` trailer.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import struct
 
+from repro.obs.events import events
 from repro.obs.metrics import metrics
+from repro.obs.slo import SloTracker
 from repro.server import protocol
 from repro.server.batch import BatchFormer, BatchFormerClosed
 from repro.server.engine import ServingEngine
+from repro.server.introspect import match_virtual, serve_virtual
 from repro.server.rows import command_tag, describe_result
 from repro.sql import SqlError
 
@@ -52,10 +63,23 @@ class ParTimeServer:
         self.engine = engine
         self.host = host
         self.port = port
-        self.former = BatchFormer(engine, min_cycle_seconds=min_cycle_seconds)
+        self.slo = SloTracker()
+        self.former = BatchFormer(
+            engine, min_cycle_seconds=min_cycle_seconds, slo=self.slo
+        )
         self.connections_served = 0
         self._server: asyncio.AbstractServer | None = None
         self._secret = int.from_bytes(os.urandom(4), "big") >> 1
+
+    @property
+    def registry(self):
+        """The process-wide metrics registry the virtual tables read."""
+        return metrics()
+
+    @property
+    def events(self):
+        """The process-wide event ring the virtual tables read."""
+        return events()
 
     # ------------------------------------------------------------ lifecycle
 
@@ -69,6 +93,7 @@ class ParTimeServer:
         sockets = self._server.sockets or []
         if sockets:
             self.port = sockets[0].getsockname()[1]
+        events().emit("server_started", host=self.host, port=self.port)
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -77,11 +102,18 @@ class ParTimeServer:
 
     async def stop(self) -> None:
         """Stop accepting, fail queued work, release the engine."""
+        stopping = self._server is not None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         await self.former.stop()
+        if stopping:
+            events().emit(
+                "server_stopped",
+                connections=self.connections_served,
+                queries=self.former.queries_served,
+            )
 
     async def __aenter__(self) -> "ParTimeServer":
         await self.start()
@@ -186,6 +218,19 @@ class ParTimeServer:
             writer.write(protocol.empty_query_response())
             writer.write(protocol.ready_for_query())
             return
+        virtual = match_virtual(sql)
+        if virtual is not None:
+            # Telemetry probes answer from live process state, ahead of
+            # admission control: a metrics query must not wait for (or
+            # perturb) the very batch queue it is inspecting.
+            columns, rows = serve_virtual(self, *virtual)
+            writer.write(protocol.row_description(columns))
+            for row in rows:
+                writer.write(protocol.data_row(row))
+            writer.write(protocol.command_complete(command_tag(rows)))
+            writer.write(protocol.ready_for_query())
+            return
+        events().emit("query_admitted", sql=sql[:200])
         try:
             served = await self.former.submit(sql)
         except BatchFormerClosed as exc:
@@ -195,6 +240,11 @@ class ParTimeServer:
             return
         outcome = served.outcome
         if not outcome.ok:
+            events().emit(
+                "query_error",
+                sql=sql[:200],
+                error=f"{type(outcome.error).__name__}: {outcome.error}"[:200],
+            )
             writer.write(_error_frame(outcome.error))
             writer.write(protocol.ready_for_query())
             return
@@ -209,6 +259,26 @@ class ParTimeServer:
                 f"queue={served.queue_seconds * 1e3:.3f}ms "
                 f"service={served.service_seconds * 1e3:.3f}ms "
                 f"sim_response={outcome.sim_response_seconds * 1e3:.6f}ms"
+            )
+        )
+        # The same decomposition again, machine-parseable: one JSON
+        # object per statement (SimpleQueryClient exposes it as
+        # ``QueryOutcome.telemetry``; other drivers can just json.loads
+        # everything after the prefix).
+        writer.write(
+            protocol.notice_response(
+                "partime-telemetry: "
+                + json.dumps(
+                    {
+                        "batch_size": served.batch_size,
+                        "queue_seconds": served.queue_seconds,
+                        "service_seconds": served.service_seconds,
+                        "sim_response_seconds": outcome.sim_response_seconds,
+                        "sim_batch_seconds": outcome.sim_batch_seconds,
+                        "table": outcome.table,
+                    },
+                    sort_keys=True,
+                )
             )
         )
         writer.write(protocol.ready_for_query())

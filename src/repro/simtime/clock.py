@@ -147,20 +147,25 @@ class SimClock:
         durations: Sequence[float],
         slots: int,
         meta: dict | None = None,
-    ) -> None:
+    ):
+        """Book a parallel phase; returns the mirrored trace leaf (a
+        :class:`repro.obs.tracer.Span`) when tracing is active, else
+        ``None`` — executors graft worker-side span subtrees under it."""
         span = makespan(durations, slots)
         self.phases.append(
             Phase(label, "parallel", tuple(durations), slots, span)
         )
         self.elapsed += span
-        record_phase(label, "parallel", durations, slots, span, meta)
+        return record_phase(label, "parallel", durations, slots, span, meta)
 
     def serial(
         self, label: str, duration: float, meta: dict | None = None
-    ) -> None:
+    ):
+        """Book a serial phase; returns the mirrored trace leaf as
+        :meth:`parallel` does."""
         self.phases.append(Phase(label, "serial", (duration,), 1, duration))
         self.elapsed += duration
-        record_phase(label, "serial", (duration,), 1, duration, meta)
+        return record_phase(label, "serial", (duration,), 1, duration, meta)
 
     def reset(self) -> None:
         self.elapsed = 0.0

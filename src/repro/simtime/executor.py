@@ -22,8 +22,14 @@ All three book **the same phases** into their clock: one
 ``clock.parallel`` per ``map_parallel`` with one measured duration per
 task, one ``clock.serial`` per ``run_serial``.  Swapping the executor
 changes measured values (and real wall-clock), never answers, phase
-labels, task counts, or metric snapshots — the parity contract pinned by
+labels, task counts, counters/gauges, histogram observation counts, or
+span-tree structure — the parity contract pinned by
 ``tests/test_executor_parity.py`` and documented in docs/executors.md.
+
+When a tracer is active, each backend additionally captures the spans a
+task body records (thread-locally, via ``repro.obs.tracer.capture``) and
+grafts them under the phase leaf the clock booked; the process backend
+ships them back as serialised span dicts alongside the metrics delta.
 """
 
 from __future__ import annotations
@@ -38,7 +44,9 @@ from typing import Any, Callable, Protocol, Sequence
 
 from repro.faults.inject import FaultInjector, attempt_locally, current_injector
 from repro.faults.plan import FaultInjected
+from repro.obs.events import events
 from repro.obs.metrics import diff_snapshots, merge_delta, metrics
+from repro.obs.tracer import Span, capture, current_tracer, graft_task_spans
 from repro.simtime.clock import SimClock
 from repro.simtime.measure import measured
 from repro.simtime.shm import (
@@ -119,6 +127,28 @@ class Executor(Protocol):
     def run_serial(self, fn: Callable[[], Any], label: str = "") -> Any: ...
 
 
+def _captured_call(
+    run: Callable[[], tuple[Any, float]], want_spans: bool
+) -> tuple[Any, float, list]:
+    """Run one ``(result, seconds)`` task attempt, optionally collecting
+    the spans its body records.
+
+    When a tracer is active, the attempt runs under a thread-local
+    :func:`~repro.obs.tracer.capture`, so span hooks fired inside the
+    task body (labelled ``measured()`` calls, nested ``span()`` blocks)
+    land in a detached per-task tree instead of the shared tracer —
+    identical behaviour on the main thread (serial backend) and on pool
+    threads (thread backend).  The caller grafts the returned children
+    under the phase leaf once the clock has booked the phase.
+    """
+    if not want_spans:
+        result, seconds = run()
+        return result, seconds, []
+    with capture() as cap:
+        result, seconds = run()
+    return result, seconds, cap.root.children
+
+
 def _run_serial_with_faults(
     executor, fn: Callable[[], Any], label: str, tag: str
 ) -> Any:
@@ -128,11 +158,34 @@ def _run_serial_with_faults(
     way."""
     phase = task_label(label, fn)
     session = executor.faults.begin_phase(phase)
-    result, seconds = session.execute(
-        0, functools.partial(attempt_locally, fn=lambda _item: fn(), item=None)
+    result, seconds, spans = _captured_call(
+        functools.partial(
+            session.execute,
+            0,
+            functools.partial(attempt_locally, fn=lambda _item: fn(), item=None),
+        ),
+        current_tracer() is not None,
     )
-    executor.clock.serial(phase, seconds, meta={"executor": tag})
+    leaf = executor.clock.serial(phase, seconds, meta={"executor": tag})
     session.finish(executor.clock)
+    if spans:
+        graft_task_spans(leaf, {0: spans})
+    return result
+
+
+def _run_serial_traced(
+    executor, fn: Callable[[], Any], label: str, tag: str
+) -> Any:
+    """Shared unfaulted ``run_serial``: measure, book, graft captures."""
+    result, seconds, spans = _captured_call(
+        functools.partial(_timed_task, lambda _item: fn(), None),
+        current_tracer() is not None,
+    )
+    leaf = executor.clock.serial(
+        task_label(label, fn), seconds, meta={"executor": tag}
+    )
+    if spans:
+        graft_task_spans(leaf, {0: spans})
     return result
 
 
@@ -164,21 +217,26 @@ class SerialExecutor:
         session = (
             self.faults.begin_phase(phase) if self.faults is not None else None
         )
+        want_spans = current_tracer() is not None
         results = []
         durations = []
+        subtrees: dict[int, list] = {}
         for i, item in enumerate(items):
             if session is None:
-                with measured() as sw:
-                    results.append(fn(item))
-                durations.append(sw.elapsed)
+                run = functools.partial(_timed_task, fn, item)
             else:
-                result, seconds = session.execute(
-                    i, functools.partial(attempt_locally, fn=fn, item=item)
+                run = functools.partial(
+                    session.execute,
+                    i,
+                    functools.partial(attempt_locally, fn=fn, item=item),
                 )
-                results.append(result)
-                durations.append(seconds)
+            result, seconds, spans = _captured_call(run, want_spans)
+            results.append(result)
+            durations.append(seconds)
+            if spans:
+                subtrees[i] = spans
         slots = self.slots if self.slots is not None else max(1, len(items))
-        self.clock.parallel(
+        leaf = self.clock.parallel(
             phase,
             durations,
             slots,
@@ -186,17 +244,13 @@ class SerialExecutor:
         )
         if session is not None:
             session.finish(self.clock)
+        graft_task_spans(leaf, subtrees)
         return results
 
     def run_serial(self, fn: Callable[[], Any], label: str = "") -> Any:
         if self.faults is not None:
             return _run_serial_with_faults(self, fn, label, "serial")
-        with measured() as sw:
-            result = fn()
-        self.clock.serial(
-            task_label(label, fn), sw.elapsed, meta={"executor": "serial"}
-        )
-        return result
+        return _run_serial_traced(self, fn, label, "serial")
 
 
 def _timed_task(fn: Callable, item) -> tuple[Any, float]:
@@ -238,24 +292,33 @@ class ThreadExecutor:
         session = (
             self.faults.begin_phase(phase) if self.faults is not None else None
         )
+        want_spans = current_tracer() is not None
         with ThreadPoolExecutor(max_workers=self.pool_workers) as pool:
-            if session is None:
-                outcomes = list(pool.map(_timed_task, [fn] * len(items), items))
-            else:
-                # The retry loop runs *inside* each pooled job, so a faulted
-                # task retries on its own worker thread without blocking the
-                # rest of the phase.  Every draw/backoff is keyed on the task
-                # index — thread scheduling cannot perturb the schedule.
-                def job(pair: tuple[int, Any]) -> tuple[Any, float]:
-                    i, item = pair
-                    return session.execute(
-                        i, functools.partial(attempt_locally, fn=fn, item=item)
+            # The retry loop (and the span capture) runs *inside* each
+            # pooled job, so a faulted task retries on its own worker
+            # thread without blocking the rest of the phase, and its spans
+            # land in a thread-local per-task capture instead of racing
+            # for the shared tracer.  Every draw/backoff is keyed on the
+            # task index — thread scheduling cannot perturb the schedule.
+            def job(pair: tuple[int, Any]) -> tuple[Any, float, list]:
+                i, item = pair
+                if session is None:
+                    run = functools.partial(_timed_task, fn, item)
+                else:
+                    run = functools.partial(
+                        session.execute,
+                        i,
+                        functools.partial(attempt_locally, fn=fn, item=item),
                     )
+                return _captured_call(run, want_spans)
 
-                outcomes = list(pool.map(job, list(enumerate(items))))
-        results = [r for r, _ in outcomes]
-        durations = [d for _, d in outcomes]
-        self.clock.parallel(
+            outcomes = list(pool.map(job, list(enumerate(items))))
+        results = [r for r, _s, _spans in outcomes]
+        durations = [s for _r, s, _spans in outcomes]
+        subtrees = {
+            i: spans for i, (_r, _s, spans) in enumerate(outcomes) if spans
+        }
+        leaf = self.clock.parallel(
             phase,
             durations,
             slots=self.max_workers,
@@ -263,17 +326,13 @@ class ThreadExecutor:
         )
         if session is not None:
             session.finish(self.clock)
+        graft_task_spans(leaf, subtrees)
         return results
 
     def run_serial(self, fn: Callable[[], Any], label: str = "") -> Any:
         if self.faults is not None:
             return _run_serial_with_faults(self, fn, label, "thread")
-        with measured() as sw:
-            result = fn()
-        self.clock.serial(
-            task_label(label, fn), sw.elapsed, meta={"executor": "thread"}
-        )
-        return result
+        return _run_serial_traced(self, fn, label, "thread")
 
 
 # ---------------------------------------------------------------------------
@@ -306,8 +365,8 @@ def _deny_attach(name: str):
 
 
 def _run_process_task(
-    fn: Callable, payload, fault: str | None = None
-) -> tuple[Any, float, dict]:
+    fn: Callable, payload, fault: str | None = None, trace: bool = False
+) -> tuple[Any, float, dict, list | None]:
     """Worker-side wrapper around one task.
 
     * Reconstructs :class:`~repro.simtime.shm.ShmChunk` payloads as
@@ -318,6 +377,10 @@ def _run_process_task(
     * captures the metrics the task emitted into this worker's
       process-local registry as a snapshot delta, so the parent can fold
       them into its own registry (metrics parity across backends);
+    * under ``trace``, additionally captures the spans the task body
+      records and ships them back as ``to_dict`` payloads — the parent
+      grafts them under the dispatching phase leaf, which is how trace
+      trees keep worker-side structure across the process boundary;
     * enacts an injected ``fault`` directive *for real*: ``worker_kill``
       hard-exits this worker (the parent sees ``BrokenProcessPool``),
       ``shm_attach`` makes the chunk attach genuinely fail through the
@@ -328,41 +391,50 @@ def _run_process_task(
         os._exit(3)
     registry = metrics()
     before = registry.snapshot()
-    if isinstance(payload, ShmChunk):
-        hook = _deny_attach(payload.block_name) if fault == "shm_attach" else None
-        with attach_hook(hook):
-            with payload.open() as chunk:
-                with measured() as sw:
-                    result = fn(chunk)
-                result = _PickledResult(
-                    pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-                )
-    elif isinstance(payload, ShmDeltaMap) or (
-        isinstance(payload, tuple)
-        and payload
-        and all(isinstance(p, ShmDeltaMap) for p in payload)
-    ):
-        # Columnar delta maps (single, or a consolidation pair) attach
-        # like chunks: zero-copy views inside the block, result pickled
-        # inside the mapping window.
-        handles = payload if isinstance(payload, tuple) else (payload,)
-        hook = _deny_attach(handles[0].block_name) if fault == "shm_attach" else None
-        with attach_hook(hook):
-            with ExitStack() as stack:
-                maps = tuple(stack.enter_context(h.open()) for h in handles)
-                arg = maps if isinstance(payload, tuple) else maps[0]
-                with measured() as sw:
-                    result = fn(arg)
-                result = _PickledResult(
-                    pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-                )
-    else:
-        if fault == "shm_attach":
-            raise FaultInjected("shm_attach", site="<no-chunk-payload>")
-        with measured() as sw:
-            result = fn(payload)
+    with ExitStack() as trace_stack:
+        cap = trace_stack.enter_context(capture("worker")) if trace else None
+        if isinstance(payload, ShmChunk):
+            hook = _deny_attach(payload.block_name) if fault == "shm_attach" else None
+            with attach_hook(hook):
+                with payload.open() as chunk:
+                    with measured() as sw:
+                        result = fn(chunk)
+                    result = _PickledResult(
+                        pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+                    )
+        elif isinstance(payload, ShmDeltaMap) or (
+            isinstance(payload, tuple)
+            and payload
+            and all(isinstance(p, ShmDeltaMap) for p in payload)
+        ):
+            # Columnar delta maps (single, or a consolidation pair) attach
+            # like chunks: zero-copy views inside the block, result pickled
+            # inside the mapping window.
+            handles = payload if isinstance(payload, tuple) else (payload,)
+            hook = (
+                _deny_attach(handles[0].block_name)
+                if fault == "shm_attach"
+                else None
+            )
+            with attach_hook(hook):
+                with ExitStack() as stack:
+                    maps = tuple(stack.enter_context(h.open()) for h in handles)
+                    arg = maps if isinstance(payload, tuple) else maps[0]
+                    with measured() as sw:
+                        result = fn(arg)
+                    result = _PickledResult(
+                        pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+                    )
+        else:
+            if fault == "shm_attach":
+                raise FaultInjected("shm_attach", site="<no-chunk-payload>")
+            with measured() as sw:
+                result = fn(payload)
     delta = diff_snapshots(before, registry.snapshot())
-    return result, sw.elapsed, delta
+    spans = (
+        [c.to_dict() for c in cap.root.children] if cap is not None else None
+    )
+    return result, sw.elapsed, delta, spans
 
 
 class ProcessExecutor:
@@ -448,6 +520,7 @@ class ProcessExecutor:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+            events().emit("pool_rebuild", workers=self.pool_workers)
 
     def _export_payloads(self, items: Sequence) -> tuple[list, list]:
         """Chunks → shared-memory handles; everything else passes through.
@@ -504,18 +577,20 @@ class ProcessExecutor:
         if self.faults is not None:
             return self._map_parallel_faulted(fn, items, label)
         phase = task_label(label, fn)
+        want_spans = current_tracer() is not None
         payloads, handles = self._export_payloads(items)
         results: list = []
         durations: list[float] = []
+        subtrees: dict[int, list] = {}
         try:
             pool = self._ensure_pool()
             futures = [
-                pool.submit(_run_process_task, fn, payload)
+                pool.submit(_run_process_task, fn, payload, trace=want_spans)
                 for payload in payloads
             ]
             for i, future in enumerate(futures):
                 try:
-                    result, seconds, metric_delta = future.result()
+                    result, seconds, metric_delta, span_dicts = future.result()
                 except _cf_process.BrokenProcessPool as exc:
                     self._discard_broken_pool()
                     raise ExecutorTaskError(
@@ -537,14 +612,17 @@ class ProcessExecutor:
                 results.append(result)
                 durations.append(seconds)
                 merge_delta(metric_delta)
+                if span_dicts:
+                    subtrees[i] = [Span.from_dict(d) for d in span_dicts]
         finally:
             release_all(handles)
-        self.clock.parallel(
+        leaf = self.clock.parallel(
             phase,
             durations,
             slots=self.max_workers,
             meta={"executor": "process", "tasks": len(items)},
         )
+        graft_task_spans(leaf, subtrees)
         return results
 
     # -------------------------------------------------------- faulted path
@@ -565,6 +643,9 @@ class ProcessExecutor:
         phase = task_label(label, fn)
         session = self.faults.begin_phase(phase)
         payloads, handles = self._export_payloads(items)
+        captured: dict[int, list] | None = (
+            {} if current_tracer() is not None else None
+        )
         results: list = []
         durations: list[float] = []
         try:
@@ -577,19 +658,22 @@ class ProcessExecutor:
                         payload=payload,
                         phase=phase,
                         index=i,
+                        captured=captured,
                     ),
                 )
                 results.append(result)
                 durations.append(seconds)
         finally:
             release_all(handles)
-        self.clock.parallel(
+        leaf = self.clock.parallel(
             phase,
             durations,
             slots=self.max_workers,
             meta={"executor": "process", "tasks": len(items)},
         )
         session.finish(self.clock)
+        if captured:
+            graft_task_spans(leaf, captured)
         return results
 
     def _process_attempt(
@@ -599,6 +683,7 @@ class ProcessExecutor:
         payload,
         phase: str,
         index: int,
+        captured: dict | None = None,
     ) -> tuple[Any, float]:
         """One attempt of one task on the process backend.
 
@@ -620,14 +705,21 @@ class ProcessExecutor:
             else None
         )
         pool = self._ensure_pool()
-        future = pool.submit(_run_process_task, fn, payload, fault=directive)
+        future = pool.submit(
+            _run_process_task,
+            fn,
+            payload,
+            fault=directive,
+            trace=captured is not None,
+        )
         try:
-            result, seconds, metric_delta = future.result()
+            result, seconds, metric_delta, span_dicts = future.result()
         except FaultInjected:
             raise
         except _cf_process.BrokenProcessPool as exc:
             self._discard_broken_pool()
             if directive == "worker_kill":
+                events().emit("worker_kill", phase=phase, task=index)
                 raise FaultInjected("worker_kill", site=phase) from exc
             raise ExecutorTaskError(
                 phase,
@@ -644,6 +736,11 @@ class ProcessExecutor:
         if isinstance(result, _PickledResult):
             result = pickle.loads(result.blob)
         merge_delta(metric_delta)
+        if captured is not None and span_dicts:
+            # Only a successful attempt reaches this point, so retried
+            # tasks keep exactly one captured subtree — the one whose
+            # result was actually used.
+            captured[index] = [Span.from_dict(d) for d in span_dicts]
         if spec is not None and spec.kind == "slow_task":
             seconds *= spec.multiplier
         return result, seconds
@@ -651,12 +748,7 @@ class ProcessExecutor:
     def run_serial(self, fn: Callable[[], Any], label: str = "") -> Any:
         if self.faults is not None:
             return _run_serial_with_faults(self, fn, label, "process")
-        with measured() as sw:
-            result = fn()
-        self.clock.serial(
-            task_label(label, fn), sw.elapsed, meta={"executor": "process"}
-        )
-        return result
+        return _run_serial_traced(self, fn, label, "process")
 
 
 # ---------------------------------------------------------------------------

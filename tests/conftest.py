@@ -6,7 +6,7 @@ import glob
 
 import pytest
 
-from repro.obs import metrics
+from repro.obs import events, metrics
 from repro.simtime.shm import SHM_PREFIX, active_block_names
 from repro.temporal import (
     Column,
@@ -27,10 +27,13 @@ def _reset_metrics():
     (the executor-parity suite compares full snapshots) and make results
     ordering-dependent.  Reset before *and* after: before protects this
     test from predecessors, after protects non-test consumers (doctests,
-    module teardown) from this test."""
+    module teardown) from this test.  The structured event log is the
+    same kind of shared state and resets alongside."""
     metrics().reset()
+    events().reset()
     yield
     metrics().reset()
+    events().reset()
 
 
 def _shm_backing_files() -> set[str]:

@@ -28,6 +28,7 @@ import pytest
 from repro.core import ParTime, TemporalAggregationQuery, WindowSpec
 from repro.faults import FaultInjector, FaultPlan
 from repro.obs import metrics
+from repro.obs.metrics import comparable_snapshot
 from repro.obs.tracer import tracing
 from repro.simtime import SerialExecutor, SimClock, ThreadExecutor
 from repro.simtime.executor import (
@@ -142,7 +143,7 @@ class TestThreadSerialParity:
             ParTime().execute(
                 amadeus_table, query, workers=4, executor=executor
             )
-            snapshots[label] = metrics().snapshot()
+            snapshots[label] = comparable_snapshot(metrics().snapshot())
         assert snapshots["serial"] == snapshots["threads"]
         counters = snapshots["serial"]["counters"]
         # Step 1 sweeps every physical row exactly once across partitions.
@@ -286,7 +287,7 @@ class TestThreeWayParity:
         return (
             result,
             _bookings(executor.clock),
-            metrics().snapshot(),
+            comparable_snapshot(metrics().snapshot()),
             _structure(tracer.root),
         )
 
@@ -411,7 +412,7 @@ class TestChaosParity:
             injector.history(),
             injector.summary(),
             backoff,
-            metrics().snapshot(),
+            comparable_snapshot(metrics().snapshot()),
         )
 
     def test_chaos_three_way_parity(self):
@@ -498,10 +499,11 @@ class TestChaosParity:
             scrub = lambda s: {  # noqa: E731 — local projection
                 "counters": {
                     k: v
-                    for k, v in s["counters"].items()
+                    for k, v in comparable_snapshot(s)["counters"].items()
                     if not k.startswith("faults.")
                 },
                 "gauges": s["gauges"],
+                "histograms": comparable_snapshot(s)["histograms"],
             }
             assert scrub(faulted_snapshot) == scrub(oracle_snapshot)
 

@@ -177,7 +177,7 @@ class TestMetricsRegistry:
         table = reg.format_table()
         assert "step2.merges" in table and "(counter)" in table
         reg.reset()
-        assert reg.snapshot() == {"counters": {}, "gauges": {}}
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
         assert reg.format_table() == "(no metrics recorded)"
 
     def test_engines_emit_only_catalogued_names(self):

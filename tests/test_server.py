@@ -415,3 +415,118 @@ class TestWireIntegration:
                 await server.former.submit("SELECT COUNT(*) FROM bookings")
 
         asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# The telemetry plane over the wire: NOTICE trailer + partime_* tables
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetryPlane:
+    def test_telemetry_notice_is_machine_parseable(self, db):
+        def scenario(host, port):
+            with SimpleQueryClient(host, port) as client:
+                return client.query("SELECT COUNT(*) FROM bookings")
+
+        outcome = asyncio.run(_with_server(db, scenario))
+        assert outcome.ok
+        # The human-readable line stays (operators tail it in psql)...
+        assert any("partime: batch=" in n for n in outcome.notices)
+        # ...and the JSON trailer parses into structured fields.
+        assert outcome.telemetry is not None
+        assert outcome.telemetry["batch_size"] >= 1
+        assert outcome.telemetry["table"] == "bookings"
+        assert outcome.telemetry["queue_seconds"] >= 0.0
+        assert outcome.telemetry["service_seconds"] >= 0.0
+        assert outcome.telemetry["sim_response_seconds"] > 0.0
+        assert (
+            outcome.telemetry["sim_batch_seconds"]
+            >= outcome.telemetry["sim_response_seconds"]
+        )
+
+    def test_virtual_tables_answer_live_over_the_wire(self, db):
+        from repro.obs.metrics import CATALOGUE, HISTOGRAM_CATALOGUE
+        from repro.obs.slo import DEFAULT_OBJECTIVES, DEFAULT_WINDOWS
+
+        def scenario(host, port):
+            with SimpleQueryClient(host, port) as client:
+                real = client.query("SELECT COUNT(*) FROM bookings")
+                return real, {
+                    name: client.query(f"SELECT * FROM {name}")
+                    for name in (
+                        "partime_metrics",
+                        "partime_histograms",
+                        "partime_slo",
+                        "partime_events",
+                    )
+                }
+
+        real, tables = asyncio.run(_with_server(db, scenario))
+        assert real.ok
+        for name, outcome in tables.items():
+            assert outcome.ok, f"{name}: {outcome.error}"
+            assert outcome.rows, f"{name} returned no rows"
+            assert outcome.command_tag == f"SELECT {len(outcome.rows)}"
+            # Probes bypass admission: no batch NOTICE, no telemetry.
+            assert outcome.telemetry is None, name
+            assert not outcome.notices, name
+
+        metric_names = {row[0] for row in tables["partime_metrics"].rows}
+        assert set(CATALOGUE) <= metric_names
+        assert tables["partime_metrics"].columns == ["name", "kind", "value"]
+        by_name = {r[0]: r for r in tables["partime_metrics"].rows}
+        assert float(by_name["server.queries"][2]) >= 1.0
+
+        histogram_names = {row[0] for row in tables["partime_histograms"].rows}
+        assert set(HISTOGRAM_CATALOGUE) <= histogram_names
+        hist_by_name = {r[0]: r for r in tables["partime_histograms"].rows}
+        assert int(hist_by_name["server.sim_response"][1]) >= 1
+        assert "server.sim_response{table=bookings}" in histogram_names
+
+        slo = tables["partime_slo"]
+        assert len(slo.rows) == len(DEFAULT_OBJECTIVES) * len(DEFAULT_WINDOWS)
+        assert {row[9] for row in slo.rows} <= {"ok", "burn", "idle"}
+
+        event_kinds = [row[2] for row in tables["partime_events"].rows]
+        assert "server_started" in event_kinds
+        assert "query_admitted" in event_kinds
+        assert "batch_cut" in event_kinds
+
+    def test_virtual_table_limit_and_fallthrough(self, db):
+        def scenario(host, port):
+            with SimpleQueryClient(host, port) as client:
+                limited = client.query("SELECT * FROM partime_metrics LIMIT 3")
+                # Anything but the exact virtual shape falls through to
+                # the SQL front door (and fails: no such base table).
+                probed = client.query("SELECT COUNT(*) FROM partime_metrics")
+                return limited, probed
+
+        limited, probed = asyncio.run(_with_server(db, scenario))
+        assert limited.ok and len(limited.rows) == 3
+        assert not probed.ok
+
+    def test_fault_events_reach_the_events_table(self, workload):
+        noisy = Database(workers=2, faults="1337:0.4")
+        noisy.register("bookings", workload.table)
+        statements = mix_statements(workload, 15, seed=13)
+
+        def scenario(host, port):
+            with SimpleQueryClient(host, port) as client:
+                for sql in statements:
+                    assert client.query(sql).ok
+                return (
+                    client.query("SELECT * FROM partime_events"),
+                    client.query("SELECT * FROM partime_metrics"),
+                )
+
+        try:
+            events_out, metrics_out = asyncio.run(_with_server(noisy, scenario))
+        finally:
+            noisy.close()
+        assert noisy.faults.summary()["injected"] > 0
+        kinds = [row[2] for row in events_out.rows]
+        assert "fault_injected" in kinds
+        assert "fault_retry" in kinds
+        by_name = {r[0]: r for r in metrics_out.rows}
+        assert float(by_name["faults.injected"][2]) > 0.0
+        assert float(by_name["faults.retries"][2]) > 0.0

@@ -1,0 +1,819 @@
+"""The serving telemetry plane: histograms, events, SLOs, span grafting.
+
+Four subsystems added for the observability tentpole, each pinned here:
+
+* mergeable log-bucketed histograms (``repro.obs.metrics.Histogram``) —
+  exact bucket algebra, labelled variants, and the *lossless* snapshot
+  diff/merge round trip the process executor relies on (Hypothesis
+  properties for associativity/commutativity, plus a real fork/spawn
+  cross-process run);
+* the structured event log (``repro.obs.events``) — ring semantics,
+  monotonic sequencing, JSONL round trip;
+* SLO burn rates over simulated time (``repro.obs.slo``);
+* cross-process span grafting — worker-side span subtrees appear under
+  the dispatching phase leaf on every backend while the pinned
+  ``span.sim_total() == clock.elapsed`` invariant survives, and the
+  Chrome-trace export renders them as ``cat: "worker"`` slices.
+
+The ``partime_*`` virtual tables are unit-tested here against the live
+registries; the wire-level integration lives in tests/test_server.py.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import multiprocessing
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    chrome_trace_events,
+    metrics,
+    schedule_from_span,
+    tracing,
+    validate_chrome_trace,
+)
+from repro.obs.events import EventLog, events, read_jsonl, summarize
+from repro.obs.metrics import (
+    CATALOGUE,
+    HISTOGRAM_CATALOGUE,
+    MetricsRegistry,
+    bucket_bounds,
+    bucket_key,
+    comparable_snapshot,
+    diff_snapshots,
+    labelled,
+    merge_delta,
+    parse_labels,
+    snapshot_quantile,
+)
+from repro.obs.slo import SLObjective, SloTracker
+from repro.server import introspect
+from repro.simtime import SerialExecutor, ThreadExecutor
+from repro.simtime.executor import START_METHOD_ENV, ProcessExecutor
+from repro.simtime.measure import measured
+
+_PINNED = os.environ.get(START_METHOD_ENV)
+START_METHODS = (
+    [_PINNED]
+    if _PINNED
+    else [
+        m
+        for m in ("fork", "spawn")
+        if m in multiprocessing.get_all_start_methods()
+    ]
+)
+
+#: Finite, magnitude-bounded observations: big enough to cross many
+#: buckets, small enough that sums stay finite under any list Hypothesis
+#: generates.
+_VALUES = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+def _observe_all(registry: MetricsRegistry, name: str, values) -> None:
+    hist = registry.histogram(name)
+    for value in values:
+        hist.observe(value)
+
+
+def _assert_histograms_equal(got: dict, want: dict) -> None:
+    """Bucket counts, count and extrema are *exactly* equal; the sum is
+    a float accumulation and only reproduces to rounding."""
+    assert got["count"] == want["count"]
+    assert got["buckets"] == want["buckets"]
+    assert got["min"] == want["min"]
+    assert got["max"] == want["max"]
+    assert got["sum"] == pytest.approx(want["sum"], rel=1e-9, abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Histogram mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestHistogram:
+    def test_bucket_key_bounds_roundtrip(self):
+        for value in (0.75, 1.0, 1.5, 3.0, 1e-9, 1e9, -0.25, -7.0):
+            key = bucket_key(value)
+            low, high = bucket_bounds(key)
+            if value > 0:
+                assert low <= value < high
+            else:
+                assert low < value <= high
+
+    def test_zero_gets_its_own_bucket(self):
+        assert bucket_key(0.0) == "z"
+        assert bucket_bounds("z") == (0.0, 0.0)
+
+    def test_observe_tracks_exact_stats(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h")
+        for v in (1.0, 2.0, 4.0, 0.5):
+            hist.observe(v)
+        snap = hist.value_snapshot()
+        assert snap["count"] == 4
+        assert snap["min"] == 0.5
+        assert snap["max"] == 4.0
+        assert snap["sum"] == 7.5
+        assert snap["buckets"] == {"p0": 1, "p1": 1, "p2": 1, "p3": 1}
+
+    def test_single_observation_quantiles_are_exact(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(0.037)
+        snap = reg.snapshot()["histograms"]["h"]
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert snapshot_quantile(snap, q) == 0.037
+
+    def test_quantile_walks_buckets(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h")
+        for _ in range(99):
+            hist.observe(1.5)  # p1: [1, 2)
+        hist.observe(100.0)  # p7: [64, 128)
+        assert hist.quantile(0.5) == 2.0  # p1 upper bound
+        assert hist.quantile(1.0) == 100.0  # clamped to observed max
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_empty_histogram_has_no_quantiles(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h").quantile(0.5) is None
+
+    def test_labels_are_part_of_the_name(self):
+        assert labelled("server.sim_response", table="bookings") == (
+            "server.sim_response{table=bookings}"
+        )
+        assert parse_labels("server.sim_response{table=bookings}") == (
+            "server.sim_response",
+            {"table": "bookings"},
+        )
+        assert parse_labels("plain.name") == ("plain.name", {})
+        reg = MetricsRegistry()
+        reg.histogram("server.sim_response", table="a").observe(1.0)
+        reg.histogram("server.sim_response", table="b").observe(1.0)
+        reg.histogram("server.sim_response").observe(1.0)
+        assert sorted(reg.snapshot()["histograms"]) == [
+            "server.sim_response",
+            "server.sim_response{table=a}",
+            "server.sim_response{table=b}",
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Snapshot algebra: Hypothesis properties
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(first=st.lists(_VALUES, max_size=30), second=st.lists(_VALUES, max_size=30))
+    def test_histogram_diff_merge_roundtrip_is_lossless(self, first, second):
+        """``merge_delta(diff_snapshots(before, after))`` onto a registry
+        in the ``before`` state reconstructs ``after`` — the exact
+        contract the process executor's delta shipping depends on."""
+        a = MetricsRegistry()
+        _observe_all(a, "h", first)
+        before = a.snapshot()
+        _observe_all(a, "h", second)
+        after = a.snapshot()
+
+        b = MetricsRegistry()
+        _observe_all(b, "h", first)
+        merge_delta(diff_snapshots(before, after), b)
+        _assert_histograms_equal(
+            b.snapshot()["histograms"]["h"], after["histograms"]["h"]
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        first=st.lists(_VALUES, min_size=1, max_size=20),
+        second=st.lists(_VALUES, min_size=1, max_size=20),
+    )
+    def test_histogram_merge_is_commutative(self, first, second):
+        a = MetricsRegistry()
+        _observe_all(a, "h", first)
+        b = MetricsRegistry()
+        _observe_all(b, "h", second)
+        snap_a = a.snapshot()["histograms"]["h"]
+        snap_b = b.snapshot()["histograms"]["h"]
+
+        ab = MetricsRegistry()
+        ab.histogram("h").merge(snap_a)
+        ab.histogram("h").merge(snap_b)
+        ba = MetricsRegistry()
+        ba.histogram("h").merge(snap_b)
+        ba.histogram("h").merge(snap_a)
+        _assert_histograms_equal(
+            ab.snapshot()["histograms"]["h"], ba.snapshot()["histograms"]["h"]
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        chunks=st.lists(
+            st.lists(_VALUES, min_size=1, max_size=10), min_size=3, max_size=3
+        )
+    )
+    def test_histogram_merge_is_associative(self, chunks):
+        snaps = []
+        for chunk in chunks:
+            reg = MetricsRegistry()
+            _observe_all(reg, "h", chunk)
+            snaps.append(reg.snapshot()["histograms"]["h"])
+
+        left = MetricsRegistry()  # (a + b) + c
+        left.histogram("h").merge(snaps[0])
+        left.histogram("h").merge(snaps[1])
+        left.histogram("h").merge(snaps[2])
+        right = MetricsRegistry()  # a + (b + c)
+        bc = MetricsRegistry()
+        bc.histogram("h").merge(snaps[1])
+        bc.histogram("h").merge(snaps[2])
+        right.histogram("h").merge(snaps[0])
+        right.histogram("h").merge(bc.snapshot()["histograms"]["h"])
+        _assert_histograms_equal(
+            left.snapshot()["histograms"]["h"],
+            right.snapshot()["histograms"]["h"],
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        base=st.integers(min_value=0, max_value=10**6),
+        added=st.integers(min_value=0, max_value=10**6),
+        gauge=st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+    )
+    def test_counter_and_gauge_roundtrip(self, base, added, gauge):
+        a = MetricsRegistry()
+        a.counter("c").add(base)
+        before = a.snapshot()
+        a.counter("c").add(added)
+        a.gauge("g").set(gauge)
+        after = a.snapshot()
+
+        b = MetricsRegistry()
+        b.counter("c").add(base)
+        merge_delta(diff_snapshots(before, after), b)
+        assert b.snapshot() == after
+
+    def test_high_water_gauge_merge_is_order_independent(self):
+        """Regression for the deterministic-merge satellite: worker
+        deltas carrying ``server.queue_depth`` fold with ``max``, so the
+        parent-side value cannot depend on pool completion order."""
+        deltas = [
+            {"counters": {}, "gauges": {"server.queue_depth": d}, "histograms": {}}
+            for d in (5, 3, 4)
+        ]
+        forward = MetricsRegistry()
+        for delta in deltas:
+            merge_delta(delta, forward)
+        backward = MetricsRegistry()
+        for delta in reversed(deltas):
+            merge_delta(delta, backward)
+        assert forward.snapshot()["gauges"]["server.queue_depth"] == 5
+        assert backward.snapshot()["gauges"]["server.queue_depth"] == 5
+
+    def test_plain_gauge_keeps_last_write(self):
+        reg = MetricsRegistry()
+        for delta in (
+            {"gauges": {"load": 0.9}},
+            {"gauges": {"load": 0.2}},
+        ):
+            merge_delta(delta, reg)
+        assert reg.snapshot()["gauges"]["load"] == 0.2
+
+    def test_comparable_snapshot_collapses_histograms_to_counts(self):
+        reg = MetricsRegistry()
+        reg.counter("c").add(2)
+        reg.histogram("h").observe(1.25)
+        reg.histogram("h").observe(3.5)
+        assert comparable_snapshot(reg.snapshot()) == {
+            "counters": {"c": 2},
+            "gauges": {},
+            "histograms": {"h": 2},
+        }
+
+
+# ---------------------------------------------------------------------------
+# Cross-process delta shipping (real fork/spawn pools)
+# ---------------------------------------------------------------------------
+
+
+def _observing_task(value):
+    metrics().counter("telemetry.tasks").add(1)
+    metrics().histogram("telemetry.values").observe(float(value))
+    return value
+
+
+class TestCrossProcessMerge:
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_worker_histograms_merge_exactly(self, start_method):
+        with ProcessExecutor(
+            max_workers=2, start_method=start_method
+        ) as executor:
+            results = executor.map_parallel(
+                _observing_task, [1.0, 2.0, 4.0, 0.0], label="telemetry.obs"
+            )
+        assert results == [1.0, 2.0, 4.0, 0.0]
+        snap = metrics().snapshot()
+        assert snap["counters"]["telemetry.tasks"] == 4
+        hist = snap["histograms"]["telemetry.values"]
+        assert hist["count"] == 4
+        assert hist["buckets"] == {"z": 1, "p1": 1, "p2": 1, "p3": 1}
+        assert hist["min"] == 0.0
+        assert hist["max"] == 4.0
+        assert hist["sum"] == 7.0
+
+    def test_thread_and_serial_agree_with_process(self):
+        snapshots = {}
+        for label, make in (
+            ("serial", lambda: SerialExecutor(slots=2)),
+            ("threads", lambda: ThreadExecutor(max_workers=2)),
+            (
+                "process",
+                lambda: ProcessExecutor(
+                    max_workers=2, start_method=START_METHODS[0]
+                ),
+            ),
+        ):
+            metrics().reset()
+            executor = make()
+            try:
+                executor.map_parallel(
+                    _observing_task, [1.0, 2.0, 4.0], label="telemetry.obs"
+                )
+            finally:
+                close = getattr(executor, "close", None)
+                if close is not None:
+                    close()
+            snapshots[label] = metrics().snapshot()
+        assert snapshots["serial"] == snapshots["threads"]
+        # The process backend ships per-task deltas home: bucket counts
+        # and extrema are exact, so the full snapshot matches too (the
+        # observed values are the inputs, not measured durations).
+        assert snapshots["process"] == snapshots["serial"]
+
+
+# ---------------------------------------------------------------------------
+# Event log
+# ---------------------------------------------------------------------------
+
+
+class TestEventLog:
+    def test_ring_drops_oldest_but_keeps_sequence(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit("batch_cut", size=i)
+        records = log.records()
+        assert len(log) == 3
+        assert [r["seq"] for r in records] == [3, 4, 5]
+        assert [r["size"] for r in records] == [2, 3, 4]
+        assert log.emitted == 5
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        log = EventLog()
+        log.emit("fault_injected", site="partime.step1", task=2, fault="task_error")
+        log.emit("query_admitted", sql="SELECT 1")
+        path = tmp_path / "events.jsonl"
+        assert log.write_jsonl(str(path)) == 2
+        back = read_jsonl(str(path))
+        assert [r["kind"] for r in back] == ["fault_injected", "query_admitted"]
+        assert back[0]["site"] == "partime.step1"
+        assert summarize(back) == {"fault_injected": 1, "query_admitted": 1}
+
+    def test_default_log_resets_between_tests(self):
+        # The conftest fixture clears the process-local ring; this test
+        # would otherwise see events from whichever test ran before.
+        assert len(events()) == 0
+        events().emit("pool_rebuild", workers=2)
+        assert events().records()[-1]["kind"] == "pool_rebuild"
+
+    def test_fault_plane_emits_events(self):
+        import functools
+
+        from repro.faults import FaultInjector, FaultPlan
+        from repro.faults.inject import attempt_locally
+        from repro.simtime.executor import ExecutorTaskError
+
+        # rate 1.0 with only a failing kind: every attempt faults, so the
+        # session deterministically walks inject -> retry -> give up.
+        injector = FaultInjector(
+            FaultPlan(seed=23, rate=1.0, kinds=("task_error",))
+        )
+        session = injector.begin_phase("telemetry.faulty")
+        with pytest.raises(ExecutorTaskError):
+            session.execute(
+                0,
+                functools.partial(attempt_locally, fn=lambda _x: 42, item=None),
+            )
+        kinds = [r["kind"] for r in events().records()]
+        assert "fault_injected" in kinds
+        assert "fault_retry" in kinds
+        assert kinds[-1] == "fault_gave_up"
+        injected = next(
+            r for r in events().records() if r["kind"] == "fault_injected"
+        )
+        assert injected["site"] == "telemetry.faulty"
+        assert injected["task"] == 0
+        assert injected["fault"] == "task_error"
+
+
+# ---------------------------------------------------------------------------
+# SLO burn rates
+# ---------------------------------------------------------------------------
+
+
+class TestSlo:
+    def test_latency_objective_burn(self):
+        # target 0.5 keeps the budget arithmetic exact in binary floating
+        # point (0.5 and 1/2 are representable), so the ok/burn boundary
+        # is deterministic rather than resting on rounding direction.
+        objective = SLObjective(
+            "lat_p50", "latency", target=0.5, threshold_seconds=1.0
+        )
+        tracker = SloTracker((objective,), windows=(10.0,))
+        tracker.record(0.5)
+        tracker.record(2.0)
+        (row,) = tracker.burn_rates()
+        assert row["total"] == 2 and row["bad"] == 1
+        assert row["burn_rate"] == pytest.approx(1.0)
+        assert row["status"] == "ok"  # burn == 1.0: spending, not over
+        tracker.record(2.0)  # 2 bad / 3: past the 50% budget
+        assert tracker.worst_burn() > 1.0
+        (row,) = tracker.burn_rates()
+        assert row["status"] == "burn"
+
+    def test_error_rate_objective(self):
+        objective = SLObjective("avail", "error_rate", target=0.5)
+        tracker = SloTracker((objective,), windows=(10.0,))
+        tracker.record(0.0, error=True)
+        tracker.record(0.0, error=False)
+        (row,) = tracker.burn_rates()
+        assert row["bad"] == 1
+        assert row["burn_rate"] == pytest.approx(1.0)
+
+    def test_windows_expire_in_simulated_time(self):
+        objective = SLObjective(
+            "lat", "latency", target=0.9, threshold_seconds=1.0
+        )
+        tracker = SloTracker((objective,), windows=(1.0, 100.0))
+        tracker.record(5.0)  # bad, at sim t=0
+        tracker.advance(50.0)
+        short, long_ = tracker.burn_rates()
+        assert short["window_seconds"] == 1.0 and short["status"] == "idle"
+        assert long_["total"] == 1 and long_["status"] == "burn"
+        with pytest.raises(ValueError):
+            tracker.advance(-1.0)
+
+    def test_objective_validation(self):
+        with pytest.raises(ValueError):
+            SLObjective("x", "latency", target=0.9)  # no threshold
+        with pytest.raises(ValueError):
+            SLObjective("x", "weird", target=0.9)
+        with pytest.raises(ValueError):
+            SLObjective("x", "error_rate", target=1.5)
+
+
+# ---------------------------------------------------------------------------
+# Span grafting: worker-side subtrees under the dispatching phase
+# ---------------------------------------------------------------------------
+
+
+def _kernel_task(value):
+    with measured("telemetry.kernel"):
+        # Enough work that the measured wall time (and hence the task's
+        # simulated duration) is strictly positive on any clock.
+        acc = 0
+        for i in range(512):
+            acc += i * value
+        return value * value
+
+
+class TestSpanGrafting:
+    def _assert_grafted(self, tracer, executor, n_tasks):
+        leaf = next(
+            sp for sp in tracer.root.children if sp.name == "telemetry.phase"
+        )
+        workers = [c for c in leaf.children if c.kind == "worker"]
+        assert sorted(w.attrs["task"] for w in workers) == list(range(n_tasks))
+        for wrapper in workers:
+            names = [child.name for child in wrapper.children]
+            assert "telemetry.kernel" in names
+        # The pinned invariant: grafting adds structure, never sim time.
+        assert tracer.root.sim_total() == pytest.approx(executor.clock.elapsed)
+        return leaf
+
+    def test_serial_backend_grafts_task_spans(self):
+        executor = SerialExecutor(slots=2)
+        with tracing("graft") as tracer:
+            executor.map_parallel(
+                _kernel_task, [1, 2, 3], label="telemetry.phase"
+            )
+        self._assert_grafted(tracer, executor, 3)
+
+    def test_thread_backend_grafts_task_spans(self):
+        executor = ThreadExecutor(max_workers=2)
+        with tracing("graft") as tracer:
+            executor.map_parallel(
+                _kernel_task, [1, 2, 3], label="telemetry.phase"
+            )
+        self._assert_grafted(tracer, executor, 3)
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_process_backend_grafts_worker_spans(self, start_method):
+        """The distributed-tracing gap: spans recorded inside real pool
+        workers come home with the result tuple and appear under the
+        dispatching phase in the parent's trace."""
+        with ProcessExecutor(
+            max_workers=2, start_method=start_method
+        ) as executor:
+            with tracing("graft") as tracer:
+                results = executor.map_parallel(
+                    _kernel_task, [1, 2, 3], label="telemetry.phase"
+                )
+        assert results == [1, 4, 9]
+        self._assert_grafted(tracer, executor, 3)
+
+    def test_untraced_runs_skip_capture(self):
+        executor = SerialExecutor(slots=2)
+        results = executor.map_parallel(
+            _kernel_task, [2, 3], label="telemetry.phase"
+        )
+        assert results == [4, 9]  # no tracer active: nothing to graft onto
+
+    def test_schedule_reconstruction_ignores_worker_spans(self):
+        """Grafted subtrees must be invisible to phase/schedule logic:
+        ``phases_from_span`` only reads parallel/serial leaves."""
+        from repro.obs import phases_from_span
+
+        executor = SerialExecutor(slots=2)
+        with tracing("graft") as tracer:
+            executor.map_parallel(
+                _kernel_task, [1, 2, 3, 4], label="telemetry.phase"
+            )
+        phases = phases_from_span(tracer.root)
+        assert [p.label for p in phases] == ["telemetry.phase"]
+        assert len(phases[0].durations) == 4
+
+    def test_chrome_trace_renders_worker_slices(self):
+        executor = SerialExecutor(slots=2)
+        with tracing("graft") as tracer:
+            executor.map_parallel(
+                _kernel_task, [1, 2, 3], label="telemetry.phase"
+            )
+        report = schedule_from_span(tracer.root)
+        trace = validate_chrome_trace(
+            chrome_trace_events(report, span_root=tracer.root)
+        )
+        worker_slices = [e for e in trace if e.get("cat") == "worker"]
+        assert len(worker_slices) == 3
+        slices = {
+            (e["args"]["phase_index"], e["args"]["task"]): e
+            for e in trace
+            if e["ph"] == "X" and e.get("cat") != "worker"
+        }
+        for event in worker_slices:
+            outer = slices[(event["args"]["phase_index"], event["args"]["task"])]
+            assert event["ts"] >= outer["ts"] - 1e-6
+            assert (
+                event["ts"] + event["dur"]
+                <= outer["ts"] + outer["dur"] + 1e-6
+            )
+            assert event["name"] == "telemetry.kernel"
+
+    def test_chrome_trace_without_span_root_is_unchanged(self):
+        executor = SerialExecutor(slots=2)
+        with tracing("graft") as tracer:
+            executor.map_parallel(
+                _kernel_task, [1, 2], label="telemetry.phase"
+            )
+        report = schedule_from_span(tracer.root)
+        trace = chrome_trace_events(report)
+        assert not [e for e in trace if e.get("cat") == "worker"]
+
+
+# ---------------------------------------------------------------------------
+# partime_* virtual tables (unit level; wire level in test_server.py)
+# ---------------------------------------------------------------------------
+
+
+class _FakeServer:
+    def __init__(self):
+        self.registry = metrics()
+        self.slo = SloTracker()
+        self.events = events()
+
+
+class TestVirtualTables:
+    def test_match_virtual_shapes(self):
+        assert introspect.match_virtual("SELECT * FROM partime_metrics") == (
+            "partime_metrics",
+            None,
+        )
+        assert introspect.match_virtual(
+            "select * from PARTIME_EVENTS limit 5"
+        ) == ("partime_events", 5)
+        assert introspect.match_virtual("SELECT * FROM bookings") is None
+        assert introspect.match_virtual(
+            "SELECT COUNT(*) FROM partime_metrics"
+        ) is None
+        assert introspect.match_virtual(
+            "SELECT * FROM partime_nonsense"
+        ) is None
+
+    def test_metrics_rows_cover_the_catalogue(self):
+        server = _FakeServer()
+        metrics().counter("server.queries").add(7)
+        columns, rows = introspect.serve_virtual(server, "partime_metrics", None)
+        assert [c.name for c in columns] == ["name", "kind", "value"]
+        by_name = {r[0]: r for r in rows}
+        assert set(CATALOGUE) <= set(by_name)
+        assert by_name["server.queries"][2] == repr(7.0)
+        assert by_name["server.queue_depth"][1] == "gauge"
+        assert by_name["step1.rows_scanned"][1] == "counter"
+
+    def test_histogram_rows_cover_the_catalogue(self):
+        server = _FakeServer()
+        metrics().histogram("server.sim_response").observe(0.01)
+        metrics().histogram("server.sim_response", table="bookings").observe(0.01)
+        columns, rows = introspect.serve_virtual(
+            server, "partime_histograms", None
+        )
+        names = {r[0] for r in rows}
+        assert set(HISTOGRAM_CATALOGUE) <= names
+        assert "server.sim_response{table=bookings}" in names
+        by_name = {r[0]: r for r in rows}
+        populated = by_name["server.sim_response"]
+        assert populated[1] == "1"  # count
+        assert float(populated[5]) == 0.01  # p50 clamped to the single value
+        empty = by_name["partime.step1_seconds"]
+        assert empty[1] == "0" and empty[5] is None
+
+    def test_slo_rows(self):
+        server = _FakeServer()
+        server.slo.record(0.01)
+        columns, rows = introspect.serve_virtual(server, "partime_slo", None)
+        assert [c.name for c in columns][:3] == [
+            "objective",
+            "kind",
+            "window_seconds",
+        ]
+        assert len(rows) == len(server.slo.objectives) * len(server.slo.windows)
+        assert {r[9] for r in rows} <= {"ok", "burn", "idle"}
+
+    def test_event_rows_and_limit(self):
+        server = _FakeServer()
+        events().emit("query_admitted", sql="SELECT 1")
+        events().emit("batch_cut", size=3, errors=0)
+        _columns, rows = introspect.serve_virtual(server, "partime_events", None)
+        assert [r[2] for r in rows] == ["query_admitted", "batch_cut"]
+        detail = json.loads(rows[1][3])
+        assert detail == {"errors": 0, "size": 3}
+        _columns, limited = introspect.serve_virtual(server, "partime_events", 1)
+        assert len(limited) == 1
+
+    def test_cells_are_wire_safe(self):
+        # Every cell is None or str — the protocol layer encodes text
+        # format only.
+        server = _FakeServer()
+        metrics().histogram("server.batch_size").observe(4)
+        server.slo.record(0.5, error=True)
+        events().emit("worker_kill", phase="p", task=1)
+        for name in introspect.VIRTUAL_TABLES:
+            _columns, rows = introspect.serve_virtual(server, name, None)
+            for row in rows:
+                for cell in row:
+                    assert cell is None or isinstance(cell, str)
+
+
+# ---------------------------------------------------------------------------
+# Bench history ledger
+# ---------------------------------------------------------------------------
+
+
+class TestBenchHistory:
+    def _payload(self, **overrides):
+        payload = {
+            "benchmark": "fig19_parallelization",
+            "smoke": True,
+            "backend": "serial",
+            "deltamap": "columnar",
+            "sim_elapsed": 0.010,
+            "total_work": 0.020,
+            "wall_seconds": 0.5,
+            "peak_rss_bytes": 40_000_000,
+            "n_phases": 21,
+            "n_tasks": 123,
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_mode_string_distinguishes_series(self):
+        from repro.bench.history import mode_string
+
+        assert mode_string(self._payload()) == "smoke/serial/columnar"
+        assert (
+            mode_string(self._payload(smoke=False, backend="process"))
+            == "full/process/columnar"
+        )
+        assert (
+            mode_string(self._payload(faults={"seed": 1}))
+            == "smoke/serial/columnar+faults"
+        )
+
+    def test_append_and_read_roundtrip(self, tmp_path):
+        from repro.bench.history import (
+            HISTORY_SCHEMA,
+            append_history,
+            read_history,
+        )
+
+        path = str(tmp_path / "history.jsonl")
+        rows = append_history(
+            [self._payload(), self._payload(benchmark="serving")],
+            path,
+            sha="abc123",
+        )
+        assert all(r["sha"] == "abc123" for r in rows)
+        back = read_history(path)
+        assert [r["benchmark"] for r in back] == [
+            "fig19_parallelization",
+            "serving",
+        ]
+        assert all(r["schema"] == HISTORY_SCHEMA for r in back)
+        assert back[0]["peak_rss_bytes"] == 40_000_000
+        # Garbage lines and future-schema rows are skipped, not fatal.
+        with open(path, "a") as fh:
+            fh.write("not json\n")
+            fh.write('{"schema": 999, "benchmark": "x"}\n')
+        assert len(read_history(path)) == 2
+
+    def test_trend_flags_drift_and_stays_informational(self, tmp_path, capsys):
+        from repro.bench.history import append_history, read_history, trend_report
+
+        path = str(tmp_path / "history.jsonl")
+        append_history([self._payload()], path, sha="one")
+        append_history(
+            [self._payload(sim_elapsed=0.020)], path, sha="two"
+        )  # 2x: past the 25% tolerance
+        findings = trend_report(read_history(path))
+        out = capsys.readouterr().out
+        assert len(findings) == 1
+        assert "sim_elapsed" in findings[0]
+        assert "DRIFT" in out
+
+    def test_trend_steady_and_single_run(self, tmp_path, capsys):
+        from repro.bench.history import append_history, read_history, trend_report
+
+        path = str(tmp_path / "history.jsonl")
+        append_history([self._payload()], path, sha="one")
+        assert trend_report(read_history(path)) == []
+        assert "no previous run" in capsys.readouterr().out
+        # A second run within tolerance: steady, no findings.  Different
+        # machines' wall clocks never trip it (wall_seconds untracked).
+        append_history(
+            [self._payload(sim_elapsed=0.011, wall_seconds=50.0)], path, sha="two"
+        )
+        assert trend_report(read_history(path)) == []
+        assert "steady" in capsys.readouterr().out
+
+    def test_committed_ledger_is_readable(self):
+        from repro.bench.history import default_history_path, read_history
+
+        rows = read_history(default_history_path())
+        assert rows, "benchmarks/history.jsonl must ship with a first entry"
+        assert {"sha", "mode", "benchmark", "sim_elapsed"} <= set(rows[0])
+
+    def test_peak_rss_is_positive(self):
+        from repro.bench.runner import peak_rss_bytes
+
+        rss = peak_rss_bytes()
+        assert rss > 1_000_000  # an interpreter is at least a megabyte
+
+
+# ---------------------------------------------------------------------------
+# ParTime engine histograms
+# ---------------------------------------------------------------------------
+
+
+class TestEngineHistograms:
+    def test_step_phase_times_recorded(self, employee_table):
+        from repro.core import ParTime, TemporalAggregationQuery
+
+        ParTime().execute(
+            employee_table,
+            TemporalAggregationQuery(varied_dims=("tt",), value_column="salary"),
+            workers=2,
+            executor=SerialExecutor(slots=2),
+        )
+        hists = metrics().snapshot()["histograms"]
+        assert hists["partime.step1_seconds"]["count"] == 1
+        assert hists["partime.step2_seconds"]["count"] == 1
+        assert hists["partime.step1_seconds"]["sum"] > 0.0
+        assert math.isfinite(hists["partime.step2_seconds"]["sum"])
