@@ -54,6 +54,14 @@ def pytest_addoption(parser) -> None:
         help="Step-1 delta-map representation: 'columnar' (NumPy "
         "kernels, default) or a scalar oracle backend",
     )
+    parser.addoption(
+        "--adaptive",
+        action="store_true",
+        default=False,
+        help="run the adaptive-aware benches with cracked (incrementally "
+        "built) Timeline indexes instead of bulk loads "
+        "(see docs/adaptive_indexing.md)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -85,4 +93,5 @@ def bench_ctx(request) -> BenchContext:
             request.config.getoption("--trace-chrome", default=False)
         ),
         deltamap=str(request.config.getoption("--deltamap", default="columnar")),
+        adaptive=bool(request.config.getoption("--adaptive", default=False)),
     )

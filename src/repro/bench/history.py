@@ -77,7 +77,8 @@ def git_sha(cwd: str | None = None) -> str:
 
 
 def mode_string(payload: dict) -> str:
-    """The run-mode key of one payload: scale/backend/deltamap[+faults].
+    """The run-mode key of one payload:
+    scale/backend/deltamap[+adaptive][+faults].
 
     Two rows compare only within the same mode — a smoke row drifting
     against a full-scale row would be noise, not signal.
@@ -87,6 +88,8 @@ def mode_string(payload: dict) -> str:
         f"{scale}/{payload.get('backend', 'serial')}"
         f"/{payload.get('deltamap', 'columnar')}"
     )
+    if payload.get("adaptive"):
+        mode += "+adaptive"
     if payload.get("faults"):
         mode += "+faults"
     return mode
@@ -157,14 +160,26 @@ def read_history(path: str) -> list[dict]:
     return rows
 
 
-def trend_report(rows: list[dict], out=None) -> list[str]:
+def trend_report(rows: list[dict], out=None, path: str | None = None) -> list[str]:
     """Latest-vs-previous drift per (benchmark, mode) series.
 
     Prints one verdict line per series and returns the drift findings
-    (empty = no metric moved past its tolerance).  Single-row series
-    report as such — they need one more run before trends exist.
+    (empty = no metric moved past its tolerance).  Cold-start cases are
+    first-class, not crashes: an empty (or missing) ledger says so and
+    points at the path and ``--append-history``; single-row series report
+    that they need one more run before trends exist; and a pair of rows
+    sharing no comparable metric says "no comparable metrics" instead of
+    claiming the series is steady.
     """
     out = out or sys.stdout
+    if not rows:
+        where = f" at {path}" if path else ""
+        print(
+            f"trend: history ledger{where} is empty — run "
+            "'bench <names> --append-history' to start one",
+            file=out,
+        )
+        return []
     series: dict[tuple[str, str], list[dict]] = {}
     for row in rows:
         key = (str(row.get("benchmark", "?")), str(row.get("mode", "?")))
@@ -180,6 +195,7 @@ def trend_report(rows: list[dict], out=None) -> list[str]:
             continue
         previous, latest = history[-2], history[-1]
         drifted: list[str] = []
+        compared = 0
         for metric, tol in sorted(TREND_TOLERANCES.items()):
             base, cur = previous.get(metric), latest.get(metric)
             if not isinstance(base, (int, float)) or isinstance(base, bool):
@@ -188,6 +204,7 @@ def trend_report(rows: list[dict], out=None) -> list[str]:
                 continue
             if base <= 0:
                 continue
+            compared += 1
             ratio = cur / base
             if ratio > 1.0 + tol or ratio < 1.0 / (1.0 + tol):
                 drifted.append(
@@ -200,12 +217,16 @@ def trend_report(rows: list[dict], out=None) -> list[str]:
             )
             findings.append(finding)
             print(f"trend {benchmark} [{mode}]: DRIFT — {finding}", file=out)
+        elif compared == 0:
+            print(
+                f"trend {benchmark} [{mode}]: no comparable metrics "
+                f"between the latest two runs (latest @ {sha})",
+                file=out,
+            )
         else:
             print(
                 f"trend {benchmark} [{mode}]: steady over "
                 f"{len(history)} runs (latest @ {sha})",
                 file=out,
             )
-    if not rows:
-        print("trend: history ledger is empty", file=out)
     return findings

@@ -130,11 +130,17 @@ class BenchContext:
         trace_chrome: bool = False,
         faults: str | int | None = None,
         deltamap: str = "columnar",
+        adaptive: bool = False,
     ) -> None:
         self.smoke = bool(smoke)
         self.backend = backend
         self.trace_json = bool(trace_json)
         self.trace_chrome = bool(trace_chrome)
+        #: Adaptive-indexing mode: benchmarks that honour it crack their
+        #: Timeline indexes under the query sequence instead of
+        #: bulk-loading (docs/adaptive_indexing.md); recorded in the
+        #: payload so history rows key on it.
+        self.adaptive = bool(adaptive)
         #: Step-1 delta-map representation the benches run with:
         #: ``"columnar"`` (the NumPy kernels, default) or a scalar oracle
         #: (``"btree"`` / ``"hash"``) — the ``kernel-parity`` CI step runs
@@ -346,6 +352,7 @@ def run_benchmark(
         "smoke": ctx.smoke,
         "backend": ctx.backend,
         "deltamap": ctx.deltamap,
+        "adaptive": ctx.adaptive,
         "machine": machine_spec(),
         "wall_seconds": wall.elapsed,
         "peak_rss_bytes": peak_rss_bytes(),

@@ -53,9 +53,10 @@ def _load_dataset(
     seed: int,
     backend: str = "serial",
     faults: str | None = None,
+    adaptive: bool = False,
 ) -> Database:
     """Build a Database with the requested dataset registered."""
-    db = Database(workers=4, backend=backend, faults=faults)
+    db = Database(workers=4, backend=backend, faults=faults, adaptive=adaptive)
     if name == "employee":
         db.register("employee", _employee_fallback())
     elif name == "amadeus":
@@ -164,6 +165,7 @@ def cmd_sql(args) -> int:
         args.seed,
         backend=args.backend,
         faults=args.faults or None,
+        adaptive=args.adaptive,
     )
     try:
         if args.statement is None:
@@ -534,6 +536,7 @@ def cmd_bench(args) -> int:
             trace_chrome=args.trace_chrome,
             faults=args.faults or None,
             deltamap=args.deltamap,
+            adaptive=args.adaptive,
         )
         payloads, failures = run_many(
             run_names, ctx, results_dir=args.results_dir or None
@@ -564,7 +567,7 @@ def cmd_bench(args) -> int:
         )
 
         trend_path = args.trend or default_history_path()
-        trend_report(read_history(trend_path))
+        trend_report(read_history(trend_path), path=trend_path)
     if args.check:
         violations = check_results(
             args.check,
@@ -615,6 +618,12 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--max-rows", type=int, default=40)
     sql.add_argument("--explain", action="store_true",
                      help="show the plan instead of executing")
+    sql.add_argument(
+        "--adaptive", action="store_true",
+        help="answer eligible aggregations from a cracked Timeline Index "
+        "built incrementally by the query traffic itself "
+        "(see docs/adaptive_indexing.md)",
+    )
     sql.set_defaults(fn=cmd_sql)
 
     serve = sub.add_parser(
@@ -791,6 +800,12 @@ def build_parser() -> argparse.ArgumentParser:
         "executors and WALs the run builds; retries/backoff are booked "
         "into the simulated clock and summarised in the telemetry "
         "payload (see docs/fault_injection.md)",
+    )
+    bench.add_argument(
+        "--adaptive", action="store_true",
+        help="run benchmarks that honour it in adaptive-indexing mode: "
+        "Timeline indexes crack incrementally under the query sequence "
+        "instead of bulk-loading up front (see docs/adaptive_indexing.md)",
     )
     bench.add_argument(
         "--trace-chrome", action="store_true",

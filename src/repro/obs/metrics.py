@@ -48,6 +48,10 @@ CATALOGUE: dict[str, str] = {
     "server.queries": "SQL statements received over the wire (incl. failed ones)",
     "server.batches": "admission batches cut by the server's batch former",
     "server.queue_depth": "queued statements at the most recent batch cut (gauge)",
+    "cracking.cracks": "holes cracked into sorted pieces by query traffic",
+    "cracking.refinements": "pieces installed by the background refinement worker",
+    "cracking.queries_from_index": "adaptive queries answered from index pieces alone",
+    "cracking.pieces": "pieces in the cracked index catalogue (gauge, per dim)",
     "faults.injected": "faults injected by the active FaultPlan",
     "faults.retries": "task/append attempts retried after an injected fault",
     "faults.gave_up": "tasks abandoned after exhausting their RetryPolicy",
@@ -57,7 +61,7 @@ CATALOGUE: dict[str, str] = {
 #: Catalogue names that are gauges (everything else in ``CATALOGUE`` is a
 #: counter).  Used by the SQL introspection layer to report a kind for
 #: instruments that have not registered yet.
-GAUGE_NAMES: frozenset[str] = frozenset({"server.queue_depth"})
+GAUGE_NAMES: frozenset[str] = frozenset({"server.queue_depth", "cracking.pieces"})
 
 #: The histogram catalogue: every distribution the serving stack and the
 #: ParTime engine record, with a one-line meaning.  Labelled variants

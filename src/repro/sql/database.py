@@ -21,6 +21,7 @@ from repro.sql.errors import SqlError
 from repro.sql.parser import parse
 from repro.sql.planner import annotate_plan, plan, plan_join
 from repro.simtime.executor import make_executor
+from repro.temporal.schema import ColumnType
 from repro.temporal.table import TemporalTable
 
 
@@ -54,9 +55,16 @@ class Database:
         faults: "FaultInjector | FaultPlan | int | str | None" = None,
         retry: "RetryPolicy | None" = None,
         trace_cache_size: int | None = None,
+        adaptive: bool = False,
     ) -> None:
         self.workers = workers
         self.backend = backend
+        #: Adaptive indexing (docs/adaptive_indexing.md): eligible
+        #: one-dimensional columnar aggregations route to a per-table
+        #: cracked Timeline Index that refines itself under the query
+        #: traffic; everything else still executes through ParTime.
+        self.adaptive = bool(adaptive)
+        self._adaptive_engines: dict[str, tuple] = {}
         #: The fault injector (if any) every statement executes under —
         #: an explicit plan/seed, or the ambient one picked up by the
         #: executor at construction (see docs/fault_injection.md).
@@ -152,12 +160,51 @@ class Database:
         kind, compiled = plan(stmt, table.schema)
         if kind == "select":
             return int(compiled.mask(table.chunk()).sum())
+        if self.adaptive:
+            engine = self._adaptive_engine_for(stmt.table, table, compiled)
+            if engine is not None:
+                result, _seconds = engine.temporal_aggregation(compiled)
+                return result
         return self._partime.execute(
             table,
             compiled,
             workers=workers or self.workers,
             executor=self._executor,
         )
+
+    def _adaptive_engine_for(self, name: str, table, compiled):
+        """The per-table cracked Timeline engine, if this aggregation is
+        eligible for it — one-dimensional, columnar aggregate, numeric (or
+        absent) value column.  Multi-dimensional queries, non-columnar
+        aggregates (MIN/MAX/MEDIAN/PRODUCT) and string columns fall back
+        to ParTime: cracking only accelerates what the event-map delta
+        algebra can answer.  The engine is built lazily on first eligible
+        query and refreshed when the table's version/row stamp moves."""
+        if compiled.is_multidim or not compiled.aggregate_fn.columnar:
+            return None
+        numeric = tuple(
+            col.name
+            for col in table.schema.columns
+            if col.ctype in (ColumnType.INT, ColumnType.FLOAT)
+        )
+        if compiled.value_column is not None and compiled.value_column not in numeric:
+            return None
+        from repro.timeline.engine import TimelineEngine
+
+        stamp = (table.current_version, len(table))
+        cached = self._adaptive_engines.get(name)
+        if cached is not None:
+            engine, seen = cached
+            if seen != stamp:
+                engine.refresh()
+                self._adaptive_engines[name] = (engine, stamp)
+            return engine
+        engine = TimelineEngine(
+            value_columns=numeric, adaptive=True, executor=self._executor
+        )
+        engine.bulkload(table)
+        self._adaptive_engines[name] = (engine, stamp)
+        return engine
 
     def close(self) -> None:
         """Release executor resources (worker processes, if any).

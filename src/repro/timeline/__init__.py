@@ -22,6 +22,11 @@ from repro.timeline.eventmap import EventMap
 from repro.timeline.checkpoints import Checkpoint, CheckpointSet
 from repro.timeline.index import TimelineIndex
 from repro.timeline.bitemporal import BitemporalTimelineIndex
+from repro.timeline.cracking import (
+    AdaptiveTimelineIndex,
+    CrackPiece,
+    RefinementWorker,
+)
 from repro.timeline.engine import TimelineEngine
 from repro.timeline.hybrid import HybridAggregator
 
@@ -31,6 +36,9 @@ __all__ = [
     "CheckpointSet",
     "TimelineIndex",
     "BitemporalTimelineIndex",
+    "AdaptiveTimelineIndex",
+    "CrackPiece",
+    "RefinementWorker",
     "TimelineEngine",
     "HybridAggregator",
 ]

@@ -1,0 +1,731 @@
+"""Adaptive Timeline Index cracking: the index as a side effect of queries.
+
+The bulk-loaded :class:`~repro.timeline.index.TimelineIndex` pays its
+dominant cost — one stable sort of the whole event stream — before the
+first query runs.  Database cracking (Idreos et al.; *Main Memory
+Adaptive Indexing for Multi-core Systems*) inverts that: the first scan
+answers the query from raw data and, on the way, partitions the data at
+the query bounds, so each query refines exactly the ranges it touches
+and the index converges to the bulk-loaded one under real traffic.
+
+This module maps that idea onto the event-map timestamp axis:
+
+* load is O(n) — the +1/-1 visibility events are *collected* but not
+  sorted (:meth:`AdaptiveTimelineIndex.load`);
+* a query ``[qlo, qhi)`` extracts the still-unsorted events inside any
+  uncovered part of its range, sorts only those (the PR 8 columnar
+  kernels), and installs them as :class:`CrackPiece` entries — the piece
+  catalogue is the cracked/uncracked frontier, the adaptive analogue of
+  the hybrid index's freeze boundary;
+* everything before ``qlo`` folds into the initial accumulator without
+  sorting (additive aggregates are order-independent up to float
+  rounding), so an uncracked prefix costs one vectorized sum, not a sort;
+* a ParIS+-style :class:`RefinementWorker` cracks the *coldest* uncracked
+  range ahead of queries on a real executor backend, booked into the
+  :class:`~repro.simtime.clock.SimClock` as ``cracking.refine`` phases.
+
+Correctness invariant (the basis of the convergence test): pieces are
+extracted from the pending pool with order-preserving boolean masks and
+stable-sorted individually, so stable-sorting disjoint timestamp
+partitions equals stable-sorting the whole stream — once the full span
+is cracked, the concatenated piece arrays are *bit-identical* to
+``EventMap.build``'s arrays.  Query results can differ from the bulk
+index only by float reassociation in the prefix fold (<= 1e-9 relative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import kernels
+from repro.core.aggregates import get_aggregate
+from repro.core.step2 import finalize_arrays
+from repro.core.window import WindowSpec
+from repro.obs.metrics import metrics
+from repro.simtime.measure import Stopwatch
+from repro.temporal.table import TemporalTable
+from repro.temporal.timestamps import FOREVER, Interval, MIN_TIME
+
+
+@dataclass
+class CrackPiece:
+    """One cracked range ``[lo, hi)``: its events, stable-sorted.
+
+    A piece may be empty (a cracked range that happened to contain no
+    events) — emptiness is information: queries over it are answered
+    from the catalogue without touching the pending pool.
+
+    Like the bulk index's precomputed delta arrays, a piece lazily
+    caches its count deltas (``signs`` widened to int64) and per-column
+    value deltas, so steady-state queries cost a searchsorted + slice —
+    not a fresh gather-and-multiply.  :meth:`invalidate` drops the
+    caches when :meth:`AdaptiveTimelineIndex.refresh` rewrites the
+    piece's events.
+    """
+
+    lo: int
+    hi: int
+    timestamps: np.ndarray  # int64, ascending (stable order within ties)
+    rows: np.ndarray  # int64 row ids
+    signs: np.ndarray  # int8, +1 / -1
+
+    def __post_init__(self) -> None:
+        self._cnts: np.ndarray | None = None
+        self._vals: dict[str, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def invalidate(self) -> None:
+        self._cnts = None
+        self._vals = {}
+
+    def count_deltas(self) -> np.ndarray:
+        if self._cnts is None:
+            self._cnts = self.signs.astype(np.int64)
+        return self._cnts
+
+    def value_deltas(self, name: str, column: np.ndarray) -> np.ndarray:
+        cached = self._vals.get(name)
+        if cached is None:
+            cached = column[self.rows] * self.count_deltas()
+            self._vals[name] = cached
+        return cached
+
+    def nbytes(self) -> int:
+        cached = sum(v.nbytes for v in self._vals.values())
+        if self._cnts is not None:
+            cached += self._cnts.nbytes
+        return (
+            self.timestamps.nbytes
+            + self.rows.nbytes
+            + self.signs.nbytes
+            + cached
+        )
+
+
+def refine_sort(payload):
+    """Sort one pending extract — the refinement task body.
+
+    Module-level (picklable) so the :class:`RefinementWorker` can ship it
+    to a real process backend; the parent installs the result only after
+    the executor reports success, which is what makes a ``worker_kill``
+    landing mid-refinement safe: the killed attempt's work is discarded
+    wholesale and the piece is re-sorted on retry, never half-cracked.
+    """
+    timestamps, rows, signs = payload
+    return kernels.sort_events(timestamps, rows, signs)
+
+
+class AdaptiveTimelineIndex:
+    """An incrementally-cracked Timeline Index on one time dimension.
+
+    The same query surface as :class:`~repro.timeline.index.TimelineIndex`
+    for the *columnar* aggregates (SUM / COUNT / AVG — the ones the
+    additive kernels compute exactly); MIN/MAX/MEDIAN need the bulk
+    index's multiset replay and are not served here.
+    """
+
+    def __init__(
+        self,
+        table: TemporalTable,
+        dim: str = "tt",
+        value_columns: tuple[str, ...] = (),
+    ) -> None:
+        self.dim = dim
+        self.value_column_names = tuple(value_columns)
+        self.pieces: list[CrackPiece] = []
+        #: Stopwatch seconds the most recent query spent cracking (the
+        #: engine books them as a ``cracking.crack`` phase, separate from
+        #: the answer scan).
+        self.last_crack_seconds = 0.0
+        #: Whether the most recent query's range was already fully
+        #: covered by pieces when it arrived (an index-only answer).
+        self.last_from_index = False
+        self.load(table)
+
+    # ------------------------------------------------------------- loading
+
+    def load(self, table: TemporalTable) -> None:
+        """Collect the visibility events *without* sorting them — O(n)
+        concatenation, the cheap load cracking buys its head start with."""
+        self._indexed_rows = len(table)
+        self._columns = {
+            name: table.column(name).astype(np.float64).copy()
+            for name in self.value_column_names
+        }
+        starts = table.column(f"{self.dim}_start")
+        ends = table.column(f"{self.dim}_end")
+        self._ends_snapshot = ends.copy()
+        n = len(starts)
+        row_ids = np.arange(n, dtype=np.int64)
+        finite = ends < FOREVER
+        self._pending_ts = np.concatenate([starts, ends[finite]])
+        self._pending_rows = np.concatenate([row_ids, row_ids[finite]])
+        self._pending_signs = np.concatenate(
+            [np.ones(n, dtype=np.int8),
+             -np.ones(int(finite.sum()), dtype=np.int8)]
+        )
+        self.pieces = []
+
+    # --------------------------------------------------------------- sizes
+
+    def nbytes(self) -> int:
+        """Index storage: cracked pieces plus the pending pool."""
+        pending = (
+            self._pending_ts.nbytes
+            + self._pending_rows.nbytes
+            + self._pending_signs.nbytes
+        )
+        return pending + sum(p.nbytes() for p in self.pieces)
+
+    def column_cache_nbytes(self) -> int:
+        return sum(arr.nbytes for arr in self._columns.values())
+
+    @property
+    def num_rows(self) -> int:
+        return self._indexed_rows
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._pending_ts)
+
+    @property
+    def cracked_events(self) -> int:
+        return sum(len(p) for p in self.pieces)
+
+    # ------------------------------------------------------- the frontier
+
+    def covers(self, qlo: int, qhi: int) -> bool:
+        """Whether ``[qlo, qhi)`` lies entirely inside cracked pieces."""
+        return not self._holes(qlo, qhi)
+
+    def _holes(self, qlo: int, qhi: int) -> list[tuple[int, int]]:
+        """The uncracked sub-ranges of ``[qlo, qhi)``, in order."""
+        holes: list[tuple[int, int]] = []
+        cursor = qlo
+        for piece in self.pieces:
+            if piece.hi <= cursor:
+                continue
+            if piece.lo >= qhi:
+                break
+            if piece.lo > cursor:
+                holes.append((cursor, min(piece.lo, qhi)))
+            cursor = piece.hi
+            if cursor >= qhi:
+                break
+        if cursor < qhi:
+            holes.append((cursor, qhi))
+        return holes
+
+    def _pending_range_mask(self, lo: int, hi: int) -> np.ndarray:
+        return (self._pending_ts >= lo) & (self._pending_ts < hi)
+
+    def extract_pending(
+        self, lo: int, hi: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The pending events inside ``[lo, hi)``, in stream order
+        (copies — the pool is not mutated; see :meth:`install_piece`)."""
+        mask = self._pending_range_mask(lo, hi)
+        return (
+            self._pending_ts[mask],
+            self._pending_rows[mask],
+            self._pending_signs[mask],
+        )
+
+    def install_piece(
+        self,
+        lo: int,
+        hi: int,
+        timestamps: np.ndarray,
+        rows: np.ndarray,
+        signs: np.ndarray,
+    ) -> CrackPiece:
+        """Install a sorted extract as a new piece and drop its events
+        from the pending pool — the *only* mutation of the frontier, and
+        it happens after the sort succeeded (crash-safe by construction)."""
+        keep = ~self._pending_range_mask(lo, hi)
+        self._pending_ts = self._pending_ts[keep]
+        self._pending_rows = self._pending_rows[keep]
+        self._pending_signs = self._pending_signs[keep]
+        piece = CrackPiece(int(lo), int(hi), timestamps, rows, signs)
+        self.pieces.append(piece)
+        self.pieces.sort(key=lambda p: p.lo)
+        metrics().gauge(f"cracking.pieces{{dim={self.dim}}}").set(
+            float(len(self.pieces))
+        )
+        return piece
+
+    def ensure_range(self, qlo: int, qhi: int) -> int:
+        """Crack every uncracked sub-range of ``[qlo, qhi)``.
+
+        Returns the number of new pieces.  Sets
+        :attr:`last_crack_seconds` / :attr:`last_from_index` for the
+        engine's phase accounting.
+        """
+        sw = Stopwatch()
+        holes = self._holes(qlo, qhi)
+        self.last_from_index = not holes
+        for lo, hi in holes:
+            extract = self.extract_pending(lo, hi)
+            self.install_piece(lo, hi, *kernels.sort_events(*extract))
+        if holes:
+            metrics().counter("cracking.cracks").add(len(holes))
+        # An index-only answer did no cracking: report zero, not the
+        # epsilon the stopwatch measured for the hole check, so the
+        # engine books a ``cracking.crack`` phase only when one happened.
+        self.last_crack_seconds = sw.lap() if holes else 0.0
+        return len(holes)
+
+    def merge_adjacent(self) -> int:
+        """Consolidate neighbouring pieces separated by event-free gaps.
+
+        Once the pending pool drains, the catalogue may still hold many
+        small pieces in the order queries happened to crack them; each
+        extra piece costs a searchsorted + concatenate on every later
+        query.  Neighbours whose gap contains no pending events merge by
+        plain concatenation — both are sorted and their ranges ordered,
+        so the merged arrays are exactly what one big stable sort would
+        have produced and the bit-identity argument is untouched.
+        Returns the number of pieces removed.
+        """
+        if len(self.pieces) < 2:
+            return 0
+        merged: list[CrackPiece] = [self.pieces[0]]
+        removed = 0
+        for piece in self.pieces[1:]:
+            prev = merged[-1]
+            if (
+                piece.lo > prev.hi
+                and self._pending_range_mask(prev.hi, piece.lo).any()
+            ):
+                merged.append(piece)
+                continue
+            merged[-1] = CrackPiece(
+                prev.lo,
+                piece.hi,
+                np.concatenate([prev.timestamps, piece.timestamps]),
+                np.concatenate([prev.rows, piece.rows]),
+                np.concatenate([prev.signs, piece.signs]),
+            )
+            removed += 1
+        if removed:
+            self.pieces = merged
+            metrics().gauge(f"cracking.pieces{{dim={self.dim}}}").set(
+                float(len(self.pieces))
+            )
+        return removed
+
+    def coldest_hole(self) -> tuple[int, int] | None:
+        """The uncracked range holding the most pending events (ties go
+        to the lowest bound) — the ParIS+ worker's next target.
+
+        "Coldest" because no query has touched it yet: the ranges queries
+        care about crack themselves; the background worker's job is the
+        rest of the span, largest backlog first.
+        """
+        if not len(self._pending_ts):
+            return None
+        lo = int(self._pending_ts.min())
+        hi = int(self._pending_ts.max()) + 1
+        best: tuple[int, int] | None = None
+        best_count = -1
+        for hole in self._holes(lo, hi):
+            count = int(self._pending_range_mask(*hole).sum())
+            if count > best_count:
+                best, best_count = hole, count
+        return best
+
+    # ------------------------------------------------------------- queries
+
+    def _piece_deltas(
+        self,
+        piece_slice: tuple[np.ndarray, np.ndarray, np.ndarray],
+        value_column: str | None,
+        predicate_mask: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(timestamps, value deltas, count deltas) of one event slice."""
+        ts, rows, signs = piece_slice
+        if predicate_mask is not None:
+            keep = predicate_mask[rows]
+            ts, rows, signs = ts[keep], rows[keep], signs[keep]
+        cnts = signs.astype(np.int64)
+        if value_column is None:
+            vals = cnts
+        else:
+            vals = self._column(value_column)[rows] * cnts
+        return ts, vals, cnts
+
+    def _column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"column {name!r} is not indexed by this adaptive "
+                "Timeline Index; register it in value_columns"
+            ) from None
+
+    def _range_slices(self, qlo: int, qhi: int):
+        """``(piece, i0, i1)`` event slices of ``[qlo, qhi)`` from the
+        (covering) pieces, in timestamp order — concatenating them
+        reproduces the stable globally-sorted stream of the bulk event
+        map."""
+        slices = []
+        for piece in self.pieces:
+            if piece.hi <= qlo or piece.lo >= qhi:
+                continue
+            i0 = int(np.searchsorted(piece.timestamps, qlo, side="left"))
+            i1 = int(np.searchsorted(piece.timestamps, qhi, side="left"))
+            if i1 > i0:
+                slices.append((piece, i0, i1))
+        return slices
+
+    def _slice_deltas(
+        self,
+        piece: CrackPiece,
+        i0: int,
+        i1: int,
+        value_column: str | None,
+        predicate_mask: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Delta arrays of one piece slice, via the piece's caches when
+        no predicate filters rows (the steady-state fast path)."""
+        if predicate_mask is None:
+            ts = piece.timestamps[i0:i1]
+            cnts = piece.count_deltas()[i0:i1]
+            if value_column is None:
+                vals = cnts
+            else:
+                vals = piece.value_deltas(
+                    value_column, self._column(value_column)
+                )[i0:i1]
+            return ts, vals, cnts
+        return self._piece_deltas(
+            (piece.timestamps[i0:i1], piece.rows[i0:i1], piece.signs[i0:i1]),
+            value_column,
+            predicate_mask,
+        )
+
+    def _prefix_fold(
+        self,
+        qlo: int,
+        value_column: str | None,
+        predicate_mask: np.ndarray | None,
+    ) -> tuple[float, int]:
+        """Fold every event strictly before ``qlo`` into ``(value, count)``.
+
+        Additive deltas are order-independent (up to float rounding), so
+        the fold sums cracked prefixes and the unsorted pending pool
+        directly — no sort, the reason an uncracked prefix is cheap.
+        """
+        init_val = 0.0
+        init_cnt = 0
+        for piece in self.pieces:
+            if piece.lo >= qlo:
+                break
+            i = int(np.searchsorted(piece.timestamps, qlo, side="left"))
+            if i == 0:
+                continue
+            _ts, vals, cnts = self._slice_deltas(
+                piece, 0, i, value_column, predicate_mask
+            )
+            init_val += float(vals.sum())
+            init_cnt += int(cnts.sum())
+        mask = self._pending_ts < qlo
+        if mask.any():
+            _ts, vals, cnts = self._piece_deltas(
+                (
+                    self._pending_ts[mask],
+                    self._pending_rows[mask],
+                    self._pending_signs[mask],
+                ),
+                value_column,
+                predicate_mask,
+            )
+            init_val += float(vals.sum())
+            init_cnt += int(cnts.sum())
+        return init_val, init_cnt
+
+    def temporal_aggregation(
+        self,
+        value_column: str | None = None,
+        aggregate="sum",
+        query_interval: Interval | None = None,
+        predicate_mask: np.ndarray | None = None,
+        drop_empty: bool = False,
+        coalesce: bool = True,
+    ) -> list[tuple[Interval, object]]:
+        """Temporal aggregation that cracks exactly the queried range.
+
+        Same row shape (fold row, coalescing, ``drop_empty``) as
+        :meth:`TimelineIndex.temporal_aggregation`; results differ from
+        the bulk index only by prefix-fold reassociation.
+        """
+        agg = get_aggregate(aggregate)
+        if not agg.columnar:
+            raise NotImplementedError(
+                f"adaptive cracking serves the columnar aggregates "
+                f"(sum/count/avg); {agg.name} needs the bulk Timeline "
+                "Index's multiset replay"
+            )
+        qlo = MIN_TIME if query_interval is None else query_interval.start
+        qhi = FOREVER if query_interval is None else query_interval.end
+        self.ensure_range(qlo, qhi)
+        if self.last_from_index:
+            metrics().counter("cracking.queries_from_index").add(1)
+
+        init_val, init_cnt = self._prefix_fold(
+            qlo, value_column, predicate_mask
+        )
+        slices = [
+            self._slice_deltas(p, i0, i1, value_column, predicate_mask)
+            for p, i0, i1 in self._range_slices(qlo, qhi)
+        ]
+        slices = [s for s in slices if len(s[0])]
+        if len(slices) == 1:
+            ts, vals, cnts = slices[0]
+        elif slices:
+            ts = np.concatenate([s[0] for s in slices])
+            vals = np.concatenate([s[1] for s in slices])
+            cnts = np.concatenate([s[2] for s in slices])
+        else:
+            ts = np.zeros(0, dtype=np.int64)
+            vals = np.zeros(0, dtype=np.float64)
+            cnts = np.zeros(0, dtype=np.int64)
+        keys, val_d, cnt_d = kernels.consolidate_additive(ts, vals, cnts)
+        run_vals, run_cnts = kernels.running_totals(val_d, cnt_d)
+        run_vals = init_val + run_vals
+        run_cnts = init_cnt + run_cnts
+        finals = finalize_arrays(agg, run_vals, run_cnts)
+
+        # Row emission — kept textually in step with the bulk index's
+        # emit loop so both produce identical interval structure.
+        rows: list[tuple[Interval, object]] = []
+        keys_list = keys.tolist()
+        cnts_list = run_cnts.tolist()
+        if qlo > MIN_TIME and init_cnt > 0:
+            first_end = keys_list[0] if keys_list else qhi
+            if qlo < first_end:
+                rows.append(
+                    (Interval(qlo, first_end), agg.finalize((init_val, init_cnt)))
+                )
+        last = len(keys_list) - 1
+        for i, lo in enumerate(keys_list):
+            hi = keys_list[i + 1] if i < last else qhi
+            if lo >= hi or (drop_empty and cnts_list[i] == 0):
+                continue
+            value = finals[i]
+            if coalesce and rows and rows[-1][0].end == lo and rows[-1][1] == value:
+                rows[-1] = (Interval(rows[-1][0].start, hi), value)
+            else:
+                rows.append((Interval(lo, hi), value))
+        return rows
+
+    def windowed_aggregation(
+        self,
+        window: WindowSpec,
+        value_column: str | None = None,
+        aggregate="sum",
+        predicate_mask: np.ndarray | None = None,
+    ) -> list[tuple[int, object]]:
+        """Windowed aggregation: crack up to the last sample point, then
+        cumulative sums + searchsorted exactly like the bulk index."""
+        agg = get_aggregate(aggregate)
+        if not agg.columnar:
+            raise NotImplementedError(
+                "adaptive cracking serves the columnar aggregates only"
+            )
+        points = window.points()
+        last = int(points[-1]) + 1 if len(points) else MIN_TIME
+        self.ensure_range(MIN_TIME, last)
+        if self.last_from_index:
+            metrics().counter("cracking.queries_from_index").add(1)
+        slices = [
+            self._slice_deltas(p, i0, i1, value_column, predicate_mask)
+            for p, i0, i1 in self._range_slices(MIN_TIME, last)
+        ]
+        slices = [s for s in slices if len(s[0])]
+        if len(slices) == 1:
+            ts, vals, cnts = slices[0]
+        elif slices:
+            ts = np.concatenate([s[0] for s in slices])
+            vals = np.concatenate([s[1] for s in slices])
+            cnts = np.concatenate([s[2] for s in slices])
+        else:
+            ts = np.zeros(0, dtype=np.int64)
+            vals = np.zeros(0, dtype=np.float64)
+            cnts = np.zeros(0, dtype=np.int64)
+        run_vals = np.cumsum(vals)
+        run_cnts = np.cumsum(cnts).astype(np.int64)
+        idx = np.searchsorted(ts, points, side="right") - 1
+        out: list[tuple[int, object]] = []
+        for p, i in zip(points, idx):
+            if i < 0:
+                out.append((int(p), agg.finalize(agg.identity())))
+            else:
+                out.append(
+                    (int(p), agg.finalize((run_vals[i].item(), int(run_cnts[i]))))
+                )
+        return out
+
+    # --------------------------------------------------------- maintenance
+
+    def refresh(self, table: TemporalTable) -> int:
+        """Bring the index up to date with ``table``; returns the number
+        of events absorbed.
+
+        New events landing inside a cracked piece merge into it (one
+        small stable re-sort — appending then stable-sorting reproduces
+        the order a bulk rebuild would give, since new events follow old
+        ones in stream order); events landing in uncracked territory
+        just join the pending pool, O(1) amortised.
+        """
+        dim = self.dim
+        n_new = len(table) - self._indexed_rows
+        starts = table.column(f"{dim}_start")
+        ends = table.column(f"{dim}_end")
+
+        old = slice(0, self._indexed_rows)
+        closed = (self._ends_snapshot < FOREVER) ^ (ends[old] < FOREVER)
+        closed_rows = np.nonzero(closed)[0]
+
+        app_ts: list[np.ndarray] = []
+        app_rows: list[np.ndarray] = []
+        app_signs: list[np.ndarray] = []
+        if len(closed_rows):
+            app_ts.append(ends[closed_rows])
+            app_rows.append(closed_rows.astype(np.int64))
+            app_signs.append(-np.ones(len(closed_rows), dtype=np.int8))
+        if n_new > 0:
+            new_ids = np.arange(self._indexed_rows, len(table), dtype=np.int64)
+            app_ts.append(starts[new_ids])
+            app_rows.append(new_ids)
+            app_signs.append(np.ones(n_new, dtype=np.int8))
+            finite = ends[new_ids] < FOREVER
+            app_ts.append(ends[new_ids][finite])
+            app_rows.append(new_ids[finite])
+            app_signs.append(-np.ones(int(finite.sum()), dtype=np.int8))
+
+        self._indexed_rows = len(table)
+        for name in self.value_column_names:
+            self._columns[name] = table.column(name).astype(np.float64).copy()
+        self._ends_snapshot = ends.copy()
+        for piece in self.pieces:
+            piece.invalidate()  # delta caches bind the old column arrays
+        if not app_ts:
+            return 0
+        ts = np.concatenate(app_ts)
+        rows = np.concatenate(app_rows)
+        signs = np.concatenate(app_signs)
+        routed = np.zeros(len(ts), dtype=bool)
+        for piece in self.pieces:
+            mask = (ts >= piece.lo) & (ts < piece.hi) & ~routed
+            if not mask.any():
+                continue
+            routed |= mask
+            merged = kernels.sort_events(
+                np.concatenate([piece.timestamps, ts[mask]]),
+                np.concatenate([piece.rows, rows[mask]]),
+                np.concatenate([piece.signs, signs[mask]]),
+            )
+            piece.timestamps, piece.rows, piece.signs = merged
+            piece.invalidate()
+        rest = ~routed
+        if rest.any():
+            self._pending_ts = np.concatenate([self._pending_ts, ts[rest]])
+            self._pending_rows = np.concatenate(
+                [self._pending_rows, rows[rest]]
+            )
+            self._pending_signs = np.concatenate(
+                [self._pending_signs, signs[rest]]
+            )
+        return len(ts)
+
+    # ------------------------------------------------------- introspection
+
+    def catalogue(self) -> dict:
+        """The frontier as plain data: cracked ranges and the pool size."""
+        return {
+            "dim": self.dim,
+            "pieces": [
+                {"lo": p.lo, "hi": p.hi, "events": len(p)}
+                for p in self.pieces
+            ],
+            "pending_events": self.pending_events,
+            "cracked_events": self.cracked_events,
+        }
+
+    def check_invariants(self) -> None:
+        """Assert the frontier invariants (the stateful harness calls
+        this after every rule):
+
+        * pieces sorted by ``lo`` and pairwise disjoint;
+        * every piece's events sorted and inside its ``[lo, hi)``;
+        * no pending event inside any cracked range;
+        * no event lost: pieces + pending account for every visibility
+          event of the indexed rows.
+        """
+        prev_hi = None
+        for piece in self.pieces:
+            assert piece.lo < piece.hi, f"empty range [{piece.lo},{piece.hi})"
+            if prev_hi is not None:
+                assert piece.lo >= prev_hi, "pieces overlap or are unsorted"
+            prev_hi = piece.hi
+            ts = piece.timestamps
+            if len(ts):
+                assert ts[0] >= piece.lo and ts[-1] < piece.hi, (
+                    f"events escape [{piece.lo},{piece.hi})"
+                )
+                assert bool((ts[1:] >= ts[:-1]).all()), "piece not sorted"
+            assert len(piece.rows) == len(ts) == len(piece.signs)
+        for piece in self.pieces:
+            assert not self._pending_range_mask(piece.lo, piece.hi).any(), (
+                f"pending events inside cracked [{piece.lo},{piece.hi})"
+            )
+        finite = int((self._ends_snapshot < FOREVER).sum())
+        expected = self._indexed_rows + finite
+        assert self.cracked_events + self.pending_events == expected, (
+            f"event conservation: {self.cracked_events} cracked + "
+            f"{self.pending_events} pending != {expected}"
+        )
+
+
+class RefinementWorker:
+    """ParIS+-style ahead-of-query refinement.
+
+    Each :meth:`step` picks the coldest uncracked range of one index,
+    ships the sort to the executor (``cracking.refine`` — a real task on
+    the process backend, retried through the fault plane like any other),
+    and installs the piece only on success.  A step whose every retry
+    faulted leaves the frontier untouched: the range simply stays
+    scan-backed until the next step or the next query cracks it.
+    """
+
+    def __init__(self, index: AdaptiveTimelineIndex, executor) -> None:
+        self.index = index
+        self.executor = executor
+
+    def step(self) -> bool:
+        """Crack one cold range; ``False`` when nothing is pending or
+        the refinement attempt gave up (cleanly — no state changed)."""
+        from repro.simtime.executor import ExecutorTaskError
+
+        hole = self.index.coldest_hole()
+        if hole is None:
+            # Converged — the worker's remaining job is consolidation:
+            # merging adjacent pieces until the steady-state answer path
+            # is the bulk index's single sorted scan.
+            return self.index.merge_adjacent() > 0
+        lo, hi = hole
+        extract = self.index.extract_pending(lo, hi)
+        try:
+            (sorted_arrays,) = self.executor.map_parallel(
+                refine_sort, [extract], label="cracking.refine"
+            )
+        except ExecutorTaskError:
+            return False
+        self.index.install_piece(lo, hi, *sorted_arrays)
+        metrics().counter("cracking.refinements").add(1)
+        return True

@@ -21,6 +21,7 @@ from repro.simtime.executor import SerialExecutor
 from repro.simtime.measure import Stopwatch, measured
 from repro.temporal.predicates import Predicate
 from repro.temporal.table import TemporalTable
+from repro.timeline.cracking import AdaptiveTimelineIndex, RefinementWorker
 from repro.timeline.index import TimelineIndex
 
 
@@ -44,6 +45,17 @@ class _BuildIndexTask:
         )
 
 
+@dataclass(frozen=True)
+class _BuildAdaptiveTask:
+    """Collect (not sort) one dimension's events — the adaptive load."""
+
+    table: TemporalTable
+    value_columns: tuple[str, ...]
+
+    def __call__(self, dim: str) -> AdaptiveTimelineIndex:
+        return AdaptiveTimelineIndex(self.table, dim, self.value_columns)
+
+
 class TimelineEngine(Engine):
     """Engine facade over per-dimension Timeline Indexes."""
 
@@ -56,25 +68,35 @@ class TimelineEngine(Engine):
         executor=None,
         faults: "FaultInjector | int | str | None" = None,
         retry=None,
+        adaptive: bool = False,
+        refine: int = 0,
     ) -> None:
         self.value_columns = value_columns
         self.checkpoint_every = checkpoint_every
+        #: Adaptive mode: bulkload collects events without sorting and
+        #: each query cracks only the ranges it touches
+        #: (docs/adaptive_indexing.md); ``refine`` background refinement
+        #: steps run after every query (ParIS+-style ahead-of-query
+        #: cracking of the coldest pending range).
+        self.adaptive = bool(adaptive)
+        self.refine = int(refine)
         #: Optional executor for the per-dimension index builds during
         #: bulkload; ``None`` builds them inline — unless a fault plan is
-        #: given, which needs an executor to retry through (a serial one
-        #: is built).
+        #: given or adaptive mode is on (cracking books its phases into
+        #: the executor's SimClock), either of which builds a serial one.
         self.faults = make_injector(faults, retry)
         if self.faults is None:
             # Ambient activation (``bench --faults``): engines built inside
             # a fault_injection() block join its plan automatically.
             self.faults = current_injector()
-        if executor is None and self.faults is not None:
+        if executor is None and (self.faults is not None or self.adaptive):
             executor = SerialExecutor(faults=self.faults)
         self.executor = executor
         if self.faults is None and executor is not None:
             self.faults = getattr(executor, "faults", None)
         self._table: TemporalTable | None = None
         self._indexes: dict[str, TimelineIndex] = {}
+        self._refiners: dict[str, RefinementWorker] = {}
         self._mask_cache: dict = {}
 
     def bulkload(self, table: TemporalTable) -> float:
@@ -83,9 +105,12 @@ class TimelineEngine(Engine):
             self._table = table
             self._mask_cache = {}
             dims = [dim.name for dim in table.schema.time_dimensions]
-            build = _BuildIndexTask(
-                table, self.value_columns, self.checkpoint_every
-            )
+            if self.adaptive:
+                build = _BuildAdaptiveTask(table, self.value_columns)
+            else:
+                build = _BuildIndexTask(
+                    table, self.value_columns, self.checkpoint_every
+                )
             if self.executor is None:
                 indexes = [build(dim) for dim in dims]
             else:
@@ -93,7 +118,31 @@ class TimelineEngine(Engine):
                     build, dims, label="timeline.build"
                 )
             self._indexes = dict(zip(dims, indexes))
+            if self.adaptive:
+                self._refiners = {
+                    dim: RefinementWorker(index, self.executor)
+                    for dim, index in self._indexes.items()
+                }
         return sw.elapsed
+
+    def refine_step(self) -> bool:
+        """One background refinement step: crack the coldest uncracked
+        range of the dimension with the largest pending backlog.  Returns
+        whether a piece was installed (``False`` once converged, or when
+        the attempt gave up under faults — cleanly, no state changed)."""
+        self._require_loaded()
+        if not self.adaptive or not self._refiners:
+            return False
+        dim = max(
+            self._refiners,
+            key=lambda d: self._indexes[d].pending_events,
+        )
+        if self._indexes[dim].pending_events == 0:
+            # No pending anywhere — steps now consolidate piece
+            # catalogues (one dimension per call) until each is one
+            # sorted run, i.e. the bulk-loaded index.
+            return any(w.step() for w in self._refiners.values())
+        return self._refiners[dim].step()
 
     def refresh(self) -> float:
         """Maintenance after table updates; returns measured seconds —
@@ -145,15 +194,31 @@ class TimelineEngine(Engine):
                 mask = query.predicate.mask(self._table.chunk())
                 self._mask_cache[cache_key] = mask
         if query.is_windowed:
-            points = index.windowed_aggregation(
-                query.window,
-                query.value_column,
-                agg,
-                predicate_mask=mask,
-                cache_key=cache_key,
-            )
+            if self.adaptive:
+                points = index.windowed_aggregation(
+                    query.window, query.value_column, agg, predicate_mask=mask
+                )
+            else:
+                points = index.windowed_aggregation(
+                    query.window,
+                    query.value_column,
+                    agg,
+                    predicate_mask=mask,
+                    cache_key=cache_key,
+                )
             result = TemporalAggregationResult.from_points(
                 dim, query.window.stride, points, aggregate_name=agg.name
+            )
+        elif self.adaptive:
+            pairs = index.temporal_aggregation(
+                query.value_column,
+                agg,
+                query_interval=query.interval_of(dim),
+                predicate_mask=mask,
+                drop_empty=query.drop_empty,
+            )
+            result = TemporalAggregationResult.from_pairs(
+                dim, pairs, aggregate_name=agg.name
             )
         else:
             pairs = index.temporal_aggregation(
@@ -168,17 +233,40 @@ class TimelineEngine(Engine):
                 dim, pairs, aggregate_name=agg.name
             )
         seconds = sw.lap()
-        # The Timeline runs single-core, so its measured wall time *is* the
-        # simulated time; mirror it to the tracer as one serial phase so
-        # trace trees show the engine comparison on equal footing.
-        record_phase(
-            "timeline.query",
-            "serial",
-            (seconds,),
-            1,
-            seconds,
-            {"engine": self.name, "dim": dim},
-        )
+        if self.adaptive:
+            # Adaptive queries split their measured time into the cracking
+            # they caused and the answer scan, both booked on the shared
+            # SimClock — span trees and `span.sim_total() == clock.elapsed`
+            # stay honest about where the index build really happened.
+            crack = min(index.last_crack_seconds, seconds)
+            clock = self.executor.clock
+            if crack > 0.0:
+                clock.serial(
+                    "cracking.crack",
+                    crack,
+                    meta={"engine": self.name, "dim": dim},
+                )
+            clock.serial(
+                "timeline.query",
+                seconds - crack,
+                meta={"engine": self.name, "dim": dim, "adaptive": True},
+            )
+            for _ in range(self.refine):
+                if not self.refine_step():
+                    break
+        else:
+            # The Timeline runs single-core, so its measured wall time *is*
+            # the simulated time; mirror it to the tracer as one serial
+            # phase so trace trees show the engine comparison on equal
+            # footing.
+            record_phase(
+                "timeline.query",
+                "serial",
+                (seconds,),
+                1,
+                seconds,
+                {"engine": self.name, "dim": dim},
+            )
         return result, seconds
 
     def select(self, predicate: Predicate, indexed: bool = False) -> tuple[int, float]:

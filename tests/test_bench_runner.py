@@ -23,6 +23,7 @@ from repro.cli import main
 
 EXPECTED_BENCHMARKS = {
     "ablation_aggtree",
+    "ablation_cracking",
     "ablation_deltamap",
     "ablation_hybrid",
     "ablation_maintenance",
@@ -297,3 +298,87 @@ def test_cli_bench_check_gate_exit_codes(tmp_path, capsys):
         )
         == 0
     )
+
+
+# ---------------------------------------------------------------------------
+# Trend cold starts: an empty or thin ledger is guidance, never a crash
+# ---------------------------------------------------------------------------
+
+
+def _history_payload(**overrides):
+    payload = {
+        "benchmark": "ablation_cracking",
+        "smoke": True,
+        "backend": "serial",
+        "deltamap": "columnar",
+        "sim_elapsed": 0.010,
+        "total_work": 0.020,
+        "peak_rss_bytes": 40_000_000,
+    }
+    payload.update(overrides)
+    return payload
+
+
+def test_trend_empty_ledger_names_path_and_remedy(capsys):
+    from repro.bench.history import trend_report
+
+    assert trend_report([], path="/tmp/nowhere/history.jsonl") == []
+    out = capsys.readouterr().out
+    assert "/tmp/nowhere/history.jsonl" in out
+    assert "--append-history" in out
+
+
+def test_trend_single_row_series_wants_one_more_run(tmp_path, capsys):
+    from repro.bench.history import append_history, read_history, trend_report
+
+    path = str(tmp_path / "history.jsonl")
+    append_history([_history_payload()], path, sha="first")
+    assert trend_report(read_history(path)) == []
+    out = capsys.readouterr().out
+    assert "1 run(s)" in out
+    assert "no previous run to compare" in out
+
+
+def test_trend_incomparable_pair_says_so(tmp_path, capsys):
+    """Two rows sharing no finite tracked metric must report 'no
+    comparable metrics', not claim the series is steady."""
+    from repro.bench.history import append_history, read_history, trend_report
+
+    path = str(tmp_path / "history.jsonl")
+    # sim_elapsed/total_work missing, peak_rss_bytes non-positive: every
+    # tracked metric is skipped.
+    sparse = {
+        "benchmark": "ablation_cracking",
+        "smoke": True,
+        "backend": "serial",
+        "deltamap": "columnar",
+        "peak_rss_bytes": 0,
+    }
+    append_history([dict(sparse)], path, sha="one")
+    append_history([dict(sparse)], path, sha="two")
+    assert trend_report(read_history(path)) == []
+    out = capsys.readouterr().out
+    assert "no comparable metrics" in out
+    assert "steady" not in out
+
+
+def test_cli_bench_trend_missing_ledger_exits_zero(tmp_path, capsys):
+    missing = str(tmp_path / "never_written.jsonl")
+    assert main(["bench", "--trend", missing]) == 0
+    out = capsys.readouterr().out
+    assert missing in out
+    assert "empty" in out
+
+
+def test_mode_string_adaptive_axis():
+    from repro.bench.history import mode_string
+
+    assert (
+        mode_string(_history_payload(adaptive=True))
+        == "smoke/serial/columnar+adaptive"
+    )
+    assert (
+        mode_string(_history_payload(adaptive=True, faults={"seed": 1}))
+        == "smoke/serial/columnar+adaptive+faults"
+    )
+    assert mode_string(_history_payload()) == "smoke/serial/columnar"

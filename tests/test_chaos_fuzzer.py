@@ -17,6 +17,8 @@ rate 1.0, the multi-dimensional pivot path, latency-only plans).
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 from hypothesis import example, given, settings
 from hypothesis import strategies as st
@@ -30,9 +32,11 @@ from repro.temporal import (
     Column,
     ColumnType,
     FOREVER,
+    Interval,
     TableSchema,
     TemporalTable,
 )
+from repro.timeline import TimelineEngine
 from repro.workloads.bulk import append_rows
 
 
@@ -291,6 +295,190 @@ def test_sql_statements_survive_fault_plans(rows, seed, rate, count):
     else:
         assert got == expected
     assert db.faults is not None  # the plan was threaded through
+
+
+# ------------------------------------------------------ adaptive axis
+# The same contract over the adaptive (cracked) Timeline Index: query
+# cracking runs inline (no fault site), and the only faultable adaptive
+# phase — ``cracking.refine`` — swallows its give-ups without touching
+# the frontier.  So once the engine is loaded, a faulted adaptive run
+# has no loud arm at all: it must stay bit-identical to the fault-free
+# bulk oracle for every plan.  The label carries no kernel suffix, so it
+# is its own canonical fault site by construction.
+
+
+@st.composite
+def adaptive_query(draw):
+    """Adaptive-eligible traffic: one-dimensional sum/count/avg, ranged,
+    full-span, or windowed (``min``/``max`` are not crackable)."""
+    dim = draw(st.sampled_from(("bt", "tt")))
+    shape = draw(st.sampled_from(("full", "ranged", "windowed")))
+    if shape == "windowed":
+        return TemporalAggregationQuery(
+            varied_dims=(dim,),
+            value_column="v",
+            aggregate="sum",
+            window=WindowSpec(
+                origin=draw(st.integers(0, 8)),
+                stride=draw(st.integers(2, 8)),
+                count=draw(st.integers(1, 5)),
+            ),
+        )
+    aggregate = draw(st.sampled_from(("sum", "count", "avg")))
+    intervals = {}
+    if shape == "ranged":
+        lo = draw(st.integers(0, 45))
+        intervals = {dim: Interval(lo, lo + draw(st.integers(1, 25)))}
+    return TemporalAggregationQuery(
+        varied_dims=(dim,),
+        value_column=None if aggregate == "count" else "v",
+        aggregate=aggregate,
+        query_intervals=intervals,
+        drop_empty=draw(st.booleans()),
+    )
+
+
+def _rows_match(got, want) -> bool:
+    """Exact equality, with a 1e-9 rel-tol guard for AVG's division."""
+    if len(got) != len(want):
+        return False
+    for (gi, gv), (wi, wv) in zip(got, want):
+        if gi != wi:
+            return False
+        if gv != wv and not (
+            isinstance(gv, float)
+            and isinstance(wv, float)
+            and math.isclose(gv, wv, rel_tol=1e-9, abs_tol=1e-12)
+        ):
+            return False
+    return True
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=rows_strategy,
+    queries=st.lists(adaptive_query(), min_size=1, max_size=5),
+    plan=plan_strategy,
+    refine=st.integers(0, 2),
+)
+# Guaranteed give-up at the only faultable adaptive site: the bulkload
+# (event collection) exhausts its budget loudly; nothing half-loads.
+@example(
+    rows=[(0, 5, 0, None, 3), (2, None, 1, 4, -1)],
+    queries=[TemporalAggregationQuery(varied_dims=("bt",), value_column="v")],
+    plan=FaultPlan(seed=7, rate=1.0, kinds=("task_error",)),
+    refine=2,
+)
+def test_adaptive_cracking_matches_oracle_under_faults(
+    rows, queries, plan, refine
+):
+    table = build_table(rows)
+    oracle = TimelineEngine(("v",))
+    oracle.bulkload(table)
+    injector = FaultInjector(plan, policy=POLICY)
+    engine = TimelineEngine(
+        ("v",), adaptive=True, refine=refine, faults=injector
+    )
+    try:
+        engine.bulkload(table)
+    except ExecutorTaskError as err:
+        assert err.attempts, "load give-up must carry the attempt history"
+        assert all(spec.kind in plan.kinds for spec in err.attempts)
+        return
+    for query in queries:
+        got, _ = engine.temporal_aggregation(query)
+        want, _ = oracle.temporal_aggregation(query)
+        assert _rows_match(got.rows, want.rows), (
+            f"{query.aggregate}: {got.rows} != {want.rows}"
+        )
+    # Refinement give-ups (if any) left the frontier consistent — no
+    # half-cracked piece, no lost event.
+    for index in engine._indexes.values():
+        index.check_invariants()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=rows_strategy,
+    queries=st.lists(adaptive_query(), min_size=1, max_size=4),
+    plan=plan_strategy,
+    refine=st.integers(0, 2),
+)
+def test_adaptive_fault_schedule_replays_identically(
+    rows, queries, plan, refine
+):
+    """Determinism on the adaptive axis: the same seeded plan over the
+    same cracking trace draws the same schedule and the same answers —
+    twice."""
+
+    def run():
+        table = build_table(rows)
+        injector = FaultInjector(plan, policy=POLICY)
+        engine = TimelineEngine(
+            ("v",), adaptive=True, refine=refine, faults=injector
+        )
+        try:
+            engine.bulkload(table)
+        except ExecutorTaskError as err:
+            return ("gave_up", err.attempts)
+        answers = [
+            engine.temporal_aggregation(q)[0].rows for q in queries
+        ]
+        catalogues = {
+            dim: index.catalogue()
+            for dim, index in sorted(engine._indexes.items())
+        }
+        return (
+            "ok",
+            answers,
+            catalogues,
+            injector.history(),
+            injector.summary(),
+        )
+
+    assert run() == run()
+
+
+def test_pinned_refinement_giveup_leaves_frontier_intact():
+    """Every refinement attempt faults (rate-1.0 plan): each step gives
+    up cleanly — ``False``, frontier byte-for-byte unchanged — while
+    queries keep answering exactly from the scan-backed pending pool."""
+    rows = [(0, 5, 0, None, 3), (2, None, 1, 4, -1), (1, 2, 3, None, 7),
+            (4, 9, 2, 6, -5)]
+    table = build_table(rows)
+    oracle = TimelineEngine(("v",))
+    oracle.bulkload(table)
+    engine = TimelineEngine(("v",), adaptive=True)
+    engine.bulkload(table)
+    injector = FaultInjector(
+        FaultPlan(seed=7, rate=1.0, kinds=("task_error",)), policy=POLICY
+    )
+    doomed = SerialExecutor(faults=injector)
+    for worker in engine._refiners.values():
+        worker.executor = doomed
+
+    before = {d: ix.catalogue() for d, ix in engine._indexes.items()}
+    assert sum(c["pending_events"] for c in before.values()) > 0
+    for _ in range(4):
+        assert engine.refine_step() is False
+    after = {d: ix.catalogue() for d, ix in engine._indexes.items()}
+    assert after == before, "a failed refinement must not move the frontier"
+    assert injector.injected > 0 and injector.gave_up > 0
+
+    for query in (
+        TemporalAggregationQuery(varied_dims=("bt",), value_column="v"),
+        TemporalAggregationQuery(
+            varied_dims=("tt",),
+            value_column="v",
+            aggregate="avg",
+            query_intervals={"tt": Interval(1, 6)},
+        ),
+    ):
+        got, _ = engine.temporal_aggregation(query)
+        want, _ = oracle.temporal_aggregation(query)
+        assert _rows_match(got.rows, want.rows)
+    for index in engine._indexes.values():
+        index.check_invariants()
 
 
 def test_pinned_wal_commit_marker_regression(tmp_path):

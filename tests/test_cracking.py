@@ -1,0 +1,381 @@
+"""Unit and convergence tests for the adaptive (cracked) Timeline Index.
+
+The differential story lives in ``test_cracking_stateful.py``; this file
+pins the building blocks — frontier bookkeeping, the prefix fold, piece
+delta caches, consolidation — and the convergence claim: after a query
+trace covering the span, the cracked index answers everything from its
+pieces and those pieces are, concatenated, bit-identical to the arrays
+the bulk ``EventMap.build`` sort produces.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.query import TemporalAggregationQuery
+from repro.core.window import WindowSpec
+from repro.obs.metrics import metrics
+from repro.sql import Database
+from repro.temporal import (
+    Column,
+    ColumnType,
+    FOREVER,
+    Interval,
+    MIN_TIME,
+    TableSchema,
+    TemporalTable,
+)
+from repro.timeline import AdaptiveTimelineIndex, TimelineEngine
+from repro.timeline.eventmap import EventMap
+from repro.timeline.index import TimelineIndex
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        "crack",
+        [Column("k", ColumnType.INT), Column("v", ColumnType.INT)],
+        business_dims=["bt"],
+        key="k",
+    )
+
+
+def make_table(n: int = 300, seed: int = 5) -> TemporalTable:
+    table = TemporalTable(_schema())
+    rng = random.Random(seed)
+    table.begin()
+    for i in range(n):
+        start = rng.randrange(0, 200)
+        if rng.random() < 0.5:
+            business = (start, start + rng.randrange(1, 60))
+        else:
+            business = start
+        table.insert(
+            {"k": i, "v": rng.randrange(-40, 40)}, {"bt": business}
+        )
+    table.commit()
+    return table
+
+
+def ranged_queries(n: int, seed: int = 11):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        lo = rng.randrange(0, 240)
+        hi = lo + rng.randrange(2, 70)
+        out.append(
+            TemporalAggregationQuery(
+                varied_dims=("bt",),
+                value_column=None if i % 3 == 1 else "v",
+                aggregate=("sum", "count", "avg")[i % 3],
+                query_intervals={"bt": Interval(lo, hi)},
+                drop_empty=bool(i % 2),
+            )
+        )
+    return out
+
+
+def _counter(name: str) -> int:
+    return metrics().snapshot()["counters"].get(name, 0)
+
+
+class TestFrontier:
+    def test_load_collects_without_sorting(self):
+        table = make_table(50)
+        index = AdaptiveTimelineIndex(table, "bt", ("v",))
+        finite = int((table.column("bt_end") < FOREVER).sum())
+        assert index.pending_events == len(table) + finite
+        assert index.cracked_events == 0
+        assert index.pieces == []
+        index.check_invariants()
+
+    def test_holes_and_covers(self):
+        table = make_table(50)
+        index = AdaptiveTimelineIndex(table, "bt", ("v",))
+        assert not index.covers(10, 20)
+        index.ensure_range(10, 20)
+        assert index.covers(10, 20)
+        assert index._holes(0, 30) == [(0, 10), (20, 30)]
+        index.ensure_range(0, 30)
+        assert index.covers(0, 30)
+        index.check_invariants()
+
+    def test_ensure_range_moves_events_out_of_pending(self):
+        table = make_table(80)
+        index = AdaptiveTimelineIndex(table, "bt", ("v",))
+        before = index.pending_events
+        index.ensure_range(0, 100)
+        assert index.cracked_events > 0
+        assert index.pending_events + index.cracked_events == before
+        assert not index._pending_range_mask(0, 100).any()
+        index.check_invariants()
+
+    def test_pieces_sorted_and_from_index_flag(self):
+        table = make_table(80)
+        index = AdaptiveTimelineIndex(table, "bt", ("v",))
+        index.ensure_range(50, 90)
+        index.ensure_range(0, 20)
+        assert [p.lo for p in index.pieces] == sorted(
+            p.lo for p in index.pieces
+        )
+        assert not index.last_from_index
+        index.ensure_range(55, 80)  # fully inside a cracked piece
+        assert index.last_from_index
+        assert index.last_crack_seconds == 0.0
+        index.check_invariants()
+
+    def test_coldest_hole_targets_largest_backlog(self):
+        table = make_table(120)
+        index = AdaptiveTimelineIndex(table, "bt", ("v",))
+        index.ensure_range(100, 140)  # split the span around a piece
+        hole = index.coldest_hole()
+        assert hole is not None
+        lo, hi = hole
+        count = int(index._pending_range_mask(lo, hi).sum())
+        for other in index._holes(
+            int(index._pending_ts.min()), int(index._pending_ts.max()) + 1
+        ):
+            assert count >= int(index._pending_range_mask(*other).sum())
+
+    def test_merge_adjacent_consolidates_to_bulk_order(self):
+        table = make_table(100)
+        index = AdaptiveTimelineIndex(table, "bt", ("v",))
+        for lo, hi in ((0, 40), (40, 90), (90, 300)):
+            index.ensure_range(lo, hi)
+        index.ensure_range(MIN_TIME, FOREVER)
+        assert len(index.pieces) > 1
+        index.merge_adjacent()
+        assert len(index.pieces) == 1
+        index.check_invariants()
+        event_map = EventMap.build(table, "bt")
+        piece = index.pieces[0]
+        assert np.array_equal(piece.timestamps, event_map.timestamps)
+        assert np.array_equal(piece.rows, event_map.rows)
+        assert np.array_equal(piece.signs, event_map.signs)
+
+    def test_non_columnar_aggregate_rejected(self):
+        index = AdaptiveTimelineIndex(make_table(20), "bt", ("v",))
+        with pytest.raises(NotImplementedError):
+            index.temporal_aggregation("v", "min")
+
+    def test_unknown_value_column_rejected(self):
+        index = AdaptiveTimelineIndex(make_table(20), "bt", ())
+        with pytest.raises(KeyError, match="value_columns"):
+            index.temporal_aggregation("v", "sum")
+
+
+class TestQueryParity:
+    """Every answer identical to the bulk TimelineIndex (int values, so
+    the prefix-fold reassociation is exact, not just 1e-9-close)."""
+
+    def test_ranged_queries_match_bulk(self):
+        table = make_table(300)
+        index = AdaptiveTimelineIndex(table, "bt", ("v",))
+        bulk = TimelineIndex(table, "bt", ("v",))
+        for query in ranged_queries(60):
+            interval = query.query_intervals["bt"]
+            got = index.temporal_aggregation(
+                query.value_column,
+                query.aggregate,
+                query_interval=interval,
+                drop_empty=query.drop_empty,
+            )
+            want = bulk.temporal_aggregation(
+                query.value_column,
+                query.aggregate,
+                query_interval=interval,
+                drop_empty=query.drop_empty,
+            )
+            assert got == want
+            index.check_invariants()
+
+    def test_full_span_query_matches_bulk(self):
+        table = make_table(150)
+        index = AdaptiveTimelineIndex(table, "bt", ("v",))
+        bulk = TimelineIndex(table, "bt", ("v",))
+        assert index.temporal_aggregation("v", "sum") == (
+            bulk.temporal_aggregation("v", "sum")
+        )
+
+    def test_predicate_mask_matches_bulk(self):
+        table = make_table(200)
+        mask = table.column("v") > 0
+        index = AdaptiveTimelineIndex(table, "bt", ("v",))
+        bulk = TimelineIndex(table, "bt", ("v",))
+        for aggregate in ("sum", "count", "avg"):
+            got = index.temporal_aggregation(
+                "v",
+                aggregate,
+                query_interval=Interval(20, 160),
+                predicate_mask=mask,
+            )
+            want = bulk.temporal_aggregation(
+                "v",
+                aggregate,
+                query_interval=Interval(20, 160),
+                predicate_mask=mask,
+            )
+            assert got == want
+
+    def test_windowed_matches_bulk(self):
+        table = make_table(200)
+        window = WindowSpec(origin=10, stride=25, count=8)
+        index = AdaptiveTimelineIndex(table, "bt", ("v",))
+        bulk = TimelineIndex(table, "bt", ("v",))
+        for aggregate in ("sum", "count", "avg"):
+            got = index.windowed_aggregation(window, "v", aggregate)
+            want = bulk.windowed_aggregation(window, "v", aggregate)
+            assert got == want
+
+    def test_refresh_matches_bulk_after_mutations(self):
+        table = make_table(120)
+        index = AdaptiveTimelineIndex(table, "bt", ("v",))
+        index.ensure_range(0, 120)  # crack before mutating
+        open_keys = np.nonzero(table.column("bt_end") == FOREVER)[0]
+        table.begin()
+        table.delete(int(table.column("k")[open_keys[0]]), {"bt": 150})
+        for j in range(5):
+            table.insert({"k": 1000 + j, "v": j - 2}, {"bt": 30 + j})
+        table.commit()
+        index.refresh(table)
+        index.check_invariants()
+        bulk = TimelineIndex(table, "bt", ("v",))
+        for query in ranged_queries(30, seed=3):
+            interval = query.query_intervals["bt"]
+            got = index.temporal_aggregation(
+                query.value_column,
+                query.aggregate,
+                query_interval=interval,
+                drop_empty=query.drop_empty,
+            )
+            want = bulk.temporal_aggregation(
+                query.value_column,
+                query.aggregate,
+                query_interval=interval,
+                drop_empty=query.drop_empty,
+            )
+            assert got == want
+            index.check_invariants()
+
+
+class TestConvergence:
+    """ISSUE satellite: after a full query trace, the cracked index is
+    the bulk index — structurally, and in where answers come from."""
+
+    def test_trace_converges_to_index_only_answers(self):
+        table = make_table(400)
+        engine = TimelineEngine(("v",), adaptive=True, refine=1)
+        engine.bulkload(table)
+        for query in ranged_queries(40):
+            engine.temporal_aggregation(query)
+        while engine.refine_step():
+            pass
+        index = engine._indexes["bt"]
+        assert index.pending_events == 0
+        metrics().reset()
+        probes = ranged_queries(25, seed=99)
+        for query in probes:
+            engine.temporal_aggregation(query)
+        assert _counter("cracking.queries_from_index") == len(probes)
+        assert _counter("cracking.cracks") == 0
+
+    def test_converged_catalogue_is_bulk_equivalent(self):
+        table = make_table(400)
+        engine = TimelineEngine(("v",), adaptive=True, refine=2)
+        engine.bulkload(table)
+        for query in ranged_queries(40):
+            engine.temporal_aggregation(query)
+        while engine.refine_step():
+            pass
+        for dim in ("bt", "tt"):
+            index = engine._indexes[dim]
+            index.check_invariants()
+            assert index.pending_events == 0
+            event_map = EventMap.build(table, dim)
+            cat = {
+                "timestamps": np.concatenate(
+                    [p.timestamps for p in index.pieces]
+                ),
+                "rows": np.concatenate([p.rows for p in index.pieces]),
+                "signs": np.concatenate([p.signs for p in index.pieces]),
+            }
+            assert np.array_equal(cat["timestamps"], event_map.timestamps)
+            assert np.array_equal(cat["rows"], event_map.rows)
+            assert np.array_equal(cat["signs"], event_map.signs)
+
+
+class TestEngineAndDatabase:
+    def test_engine_adaptive_matches_bulk_engine(self):
+        table = make_table(250)
+        adaptive = TimelineEngine(("v",), adaptive=True, refine=1)
+        bulk = TimelineEngine(("v",))
+        adaptive.bulkload(table)
+        bulk.bulkload(table)
+        for query in ranged_queries(30):
+            got, _ = adaptive.temporal_aggregation(query)
+            want, _ = bulk.temporal_aggregation(query)
+            assert got.rows == want.rows
+
+    def test_adaptive_phases_booked_on_clock(self):
+        table = make_table(150)
+        engine = TimelineEngine(("v",), adaptive=True)
+        engine.bulkload(table)
+        engine.temporal_aggregation(ranged_queries(1)[0])
+        labels = {p.label for p in engine.executor.clock.phases}
+        assert "timeline.build" in labels
+        assert "cracking.crack" in labels
+        assert "timeline.query" in labels
+        assert engine.executor.clock.elapsed > 0
+
+    def test_database_adaptive_matches_partime(self):
+        table = make_table(300)
+        with Database(adaptive=True) as adaptive, Database() as plain:
+            adaptive.register("crack", table)
+            plain.register("crack", table)
+            statements = [
+                "SELECT SUM(v) FROM crack GROUP BY TEMPORAL (bt)",
+                "SELECT COUNT(*) FROM crack GROUP BY TEMPORAL (bt)",
+                "SELECT AVG(v) FROM crack GROUP BY TEMPORAL (bt)",
+                "SELECT SUM(v) FROM crack WHERE v > 0 "
+                "GROUP BY TEMPORAL (bt)",
+                # Ineligible shapes must fall back to ParTime untouched:
+                "SELECT MAX(v) FROM crack GROUP BY TEMPORAL (bt)",
+                "SELECT COUNT(*) FROM crack WHERE v >= 0",
+            ]
+            for sql in statements:
+                got, want = adaptive.query(sql), plain.query(sql)
+                if hasattr(got, "rows"):
+                    assert got.rows == want.rows, sql
+                else:
+                    assert got == want, sql
+
+    def test_database_adaptive_refreshes_on_table_change(self):
+        table = make_table(100)
+        with Database(adaptive=True) as adaptive, Database() as plain:
+            adaptive.register("crack", table)
+            plain.register("crack", table)
+            sql = "SELECT SUM(v) FROM crack GROUP BY TEMPORAL (bt)"
+            assert adaptive.query(sql).rows == plain.query(sql).rows
+            table.begin()
+            table.insert({"k": 9000, "v": 17}, {"bt": 42})
+            table.commit()
+            assert adaptive.query(sql).rows == plain.query(sql).rows
+
+    def test_database_adaptive_ineligible_table_falls_back(self):
+        schema = TableSchema(
+            "s",
+            [Column("k", ColumnType.INT), Column("s", ColumnType.STRING)],
+            business_dims=["bt"],
+            key="k",
+        )
+        table = TemporalTable(schema)
+        table.begin()
+        table.insert({"k": 1, "s": "a"}, {"bt": 1})
+        table.insert({"k": 2, "s": "b"}, {"bt": (2, 9)})
+        table.commit()
+        with Database(adaptive=True) as db:
+            db.register("s", table)
+            result = db.query("SELECT COUNT(*) FROM s GROUP BY TEMPORAL (bt)")
+            assert result.rows

@@ -26,7 +26,7 @@ import os
 import pytest
 
 from repro.core import ParTime, TemporalAggregationQuery, WindowSpec
-from repro.faults import FaultInjector, FaultPlan
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.obs import metrics
 from repro.obs.metrics import comparable_snapshot
 from repro.obs.tracer import tracing
@@ -36,7 +36,9 @@ from repro.simtime.executor import (
     ProcessExecutor,
     task_label,
 )
-from repro.temporal import Overlaps
+from repro.temporal import Interval, Overlaps
+from repro.timeline import TimelineEngine
+from repro.timeline.cracking import RefinementWorker
 from repro.workloads import AmadeusConfig, AmadeusWorkload
 
 from tests.conftest import BT_1993, BT_1995, BT_1996, build_employee_table
@@ -540,6 +542,151 @@ class TestChaosParity:
             )
         assert got.rows == oracle.rows
         assert injector.injected > 0
+
+
+class TestAdaptiveChaosParity:
+    """The chaos contract on the adaptive (cracked) Timeline engine.
+
+    The adaptive load and every background refinement go through the
+    executor (``timeline.build``, ``cracking.refine``), so one seeded
+    plan must draw the same fault schedule, book the same retry totals,
+    and leave the same piece catalogue on Serial/Thread/Process backends
+    — and a ``worker_kill`` that lands mid-refinement on the process
+    backend must either retry to a fully-installed piece or give up with
+    the frontier untouched, never a half-cracked piece."""
+
+    # Probed so attempt-1 draws fire on this trace: three injections
+    # across the adaptive build and the per-query refinement steps.
+    PLAN = FaultPlan(seed=17, rate=0.5)
+
+    QUERIES = (
+        TemporalAggregationQuery(varied_dims=("tt",), value_column="salary"),
+        TemporalAggregationQuery(
+            varied_dims=("bt",),
+            value_column="salary",
+            aggregate="avg",
+            query_intervals={"bt": Interval(BT_1993, BT_1996)},
+        ),
+        TemporalAggregationQuery(
+            varied_dims=("bt",), value_column=None, aggregate="count"
+        ),
+    )
+
+    def _run(self, table, make_exec):
+        injector = FaultInjector(self.PLAN)
+        executor = make_exec(injector)
+        metrics().reset()
+        try:
+            engine = TimelineEngine(
+                ("salary",), adaptive=True, refine=1, executor=executor
+            )
+            engine.bulkload(table)
+            answers = [
+                engine.temporal_aggregation(q)[0].rows for q in self.QUERIES
+            ]
+            for index in engine._indexes.values():
+                index.check_invariants()
+            catalogues = {
+                dim: index.catalogue()
+                for dim, index in sorted(engine._indexes.items())
+            }
+        finally:
+            close = getattr(executor, "close", None)
+            if close is not None:
+                close()
+        return (
+            answers,
+            catalogues,
+            injector.history(),
+            injector.summary(),
+            comparable_snapshot(metrics().snapshot()),
+        )
+
+    def test_adaptive_chaos_three_way_parity(self):
+        table = build_employee_table()
+        backends = {
+            "serial": lambda inj: SerialExecutor(slots=2, faults=inj),
+            "threads": lambda inj: ThreadExecutor(max_workers=2, faults=inj),
+            "process": lambda inj: ProcessExecutor(
+                max_workers=2, faults=inj, start_method=START_METHODS[0]
+            ),
+        }
+        outcomes = {
+            name: self._run(table, make) for name, make in backends.items()
+        }
+        answers, catalogues, history, summary, snapshot = outcomes["serial"]
+        assert summary["injected"] > 0  # the plan actually fired
+        for backend in ("threads", "process"):
+            other = outcomes[backend]
+            assert other[0] == answers, backend  # identical answers
+            assert other[1] == catalogues, backend  # identical frontier
+            assert other[2] == history, backend  # identical fault schedule
+            assert other[3] == summary, backend  # identical retry totals
+            assert other[4] == snapshot, backend  # identical metrics
+
+    def test_worker_kill_mid_refinement_gives_up_cleanly(self):
+        """A kill-everything plan: each refinement attempt genuinely
+        loses a pool worker, the budget drains, and the step reports
+        ``False`` with the frontier byte-for-byte unchanged."""
+        table = build_employee_table()
+        oracle = TimelineEngine(("salary",))
+        oracle.bulkload(table)
+        engine = TimelineEngine(("salary",), adaptive=True)
+        engine.bulkload(table)
+        index = engine._indexes["tt"]
+        before = index.catalogue()
+        plan = FaultPlan(seed=11, rate=1.0, kinds=("worker_kill",))
+        injector = FaultInjector(
+            plan, policy=RetryPolicy(max_attempts=2, base_delay=0.001)
+        )
+        with ProcessExecutor(
+            max_workers=2, faults=injector, start_method=START_METHODS[0]
+        ) as executor:
+            worker = RefinementWorker(index, executor)
+            assert worker.step() is False
+        assert injector.injected > 0 and injector.gave_up > 0
+        assert all(s.kind == "worker_kill" for s in injector.history())
+        assert index.catalogue() == before, "no half-cracked piece"
+        index.check_invariants()
+        query = TemporalAggregationQuery(
+            varied_dims=("tt",), value_column="salary"
+        )
+        got, _ = engine.temporal_aggregation(query)
+        want, _ = oracle.temporal_aggregation(query)
+        assert got.rows == want.rows
+
+    def test_worker_kill_mid_refinement_retries_to_whole_piece(self):
+        """At rate 0.5 the killed attempt is retried and the re-scanned
+        sort lands as exactly one piece — installed once, every pending
+        event accounted for, answers still exact."""
+        table = build_employee_table()
+        oracle = TimelineEngine(("salary",))
+        oracle.bulkload(table)
+        engine = TimelineEngine(("salary",), adaptive=True)
+        engine.bulkload(table)
+        index = engine._indexes["tt"]
+        pending_before = index.pending_events
+        plan = FaultPlan(seed=11, rate=0.5, kinds=("worker_kill",))
+        injector = FaultInjector(
+            plan, policy=RetryPolicy(max_attempts=4, base_delay=0.001)
+        )
+        installed = 0
+        with ProcessExecutor(
+            max_workers=2, faults=injector, start_method=START_METHODS[0]
+        ) as executor:
+            worker = RefinementWorker(index, executor)
+            for _ in range(4):
+                installed += bool(worker.step())
+        assert installed > 0  # at least one piece survived the kills
+        assert injector.injected > 0  # and at least one kill really fired
+        assert index.pending_events < pending_before
+        index.check_invariants()
+        query = TemporalAggregationQuery(
+            varied_dims=("tt",), value_column="salary"
+        )
+        got, _ = engine.temporal_aggregation(query)
+        want, _ = oracle.temporal_aggregation(query)
+        assert got.rows == want.rows
 
 
 def _square(x):
